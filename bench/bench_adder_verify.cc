@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Experiment E2 - Figure 6.3 / Table 10.2 of the paper: verification
+ * time of the adder program (adder.qbr) for n in {50, 75, ..., 200},
+ * with the two solver presets standing in for CVC5 and Bitwuzla.
+ *
+ * Each run performs the complete pipeline the paper times: generate
+ * the program text, parse, elaborate, build the (6.1)/(6.2) formulas
+ * for every one of the n-1 dirty qubits, and discharge them.  The
+ * solveSeconds counter isolates the solver portion, which is what the
+ * paper's tables report.
+ *
+ * Paper reference (MacBook Air M3): CVC5 4/24/71/171/365/751/1069 s,
+ * Bitwuzla 3/12/29/98/158/248/313 s for n = 50..200.  Absolute times
+ * are not comparable (different solver and machine); the shape -
+ * polynomial growth in n - is.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "circuits/qbr_text.h"
+#include "core/verifier.h"
+#include "lang/elaborate.h"
+
+namespace {
+
+void
+runAdderVerify(benchmark::State &state,
+               const qb::core::VerifierOptions &lane)
+{
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    qb::core::VerifierOptions options = lane;
+    options.wantCounterexample = false;
+    double solve = 0, build = 0;
+    std::size_t nodes = 0;
+    std::int64_t conflicts = 0;
+    for (auto _ : state) {
+        const auto program = qb::lang::elaborateSource(
+            qb::circuits::adderQbrSource(n));
+        const auto result =
+            qb::core::verifyProgram(program, options);
+        if (!result.allSafe())
+            state.SkipWithError("adder verification failed");
+        solve = build = 0;
+        nodes = 0;
+        conflicts = 0;
+        for (const auto &r : result.qubits) {
+            solve += r.solveSeconds;
+            build += r.buildSeconds;
+            nodes += r.formulaNodes;
+            conflicts += r.conflicts;
+        }
+    }
+    state.counters["solve_s"] = solve;
+    state.counters["build_s"] = build;
+    state.counters["formula_nodes"] = static_cast<double>(nodes);
+    state.counters["conflicts"] = static_cast<double>(conflicts);
+    state.counters["dirty_qubits"] = n - 1;
+}
+
+void
+AdderVerifyLaneA(benchmark::State &state)
+{
+    runAdderVerify(state, qb::core::VerifierOptions::laneA());
+}
+
+void
+AdderVerifyLaneB(benchmark::State &state)
+{
+    runAdderVerify(state, qb::core::VerifierOptions::laneB());
+}
+
+} // namespace
+
+BENCHMARK(AdderVerifyLaneA)
+    ->DenseRange(50, 200, 25)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+BENCHMARK(AdderVerifyLaneB)
+    ->DenseRange(50, 200, 25)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);

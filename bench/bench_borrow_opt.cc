@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Experiment E6 - the Figure 3.1 width reduction at scale: the
+ * borrowing optimizer applied to multi-module circuits in which each
+ * module borrows dirty ancillas while the other modules' qubits idle
+ * (the Figure 1.2 scenario).
+ *
+ * The synthetic workload strings together k Figure 1.3-style CCCNOT
+ * routines, each on its own working-qubit block with its own dirty
+ * ancilla; every ancilla can be borrowed from a neighbouring idle
+ * block, so the optimizer should remove all k ancillas.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "circuits/paper_figures.h"
+#include "opt/borrow_opt.h"
+
+namespace {
+
+using qb::ir::Circuit;
+using qb::ir::Gate;
+using qb::ir::QubitId;
+
+/**
+ * k modules of 4 working qubits + 1 dirty ancilla each; module i uses
+ * block i but idles during every other module's period.
+ */
+Circuit
+multiModuleWorkload(std::uint32_t modules,
+                    std::vector<QubitId> &dirty_out)
+{
+    const std::uint32_t working = 4 * modules;
+    Circuit c(working + modules);
+    dirty_out.clear();
+    for (std::uint32_t mod = 0; mod < modules; ++mod) {
+        const QubitId base = 4 * mod;
+        const QubitId anc = working + mod;
+        dirty_out.push_back(anc);
+        c.setLabel(anc, "a" + std::to_string(mod));
+        // Figure 1.3: CCCNOT on the block via the dirty ancilla.
+        c.append(Gate::ccnot(base + 0, base + 1, anc));
+        c.append(Gate::ccnot(anc, base + 2, base + 3));
+        c.append(Gate::ccnot(base + 0, base + 1, anc));
+        c.append(Gate::ccnot(anc, base + 2, base + 3));
+    }
+    return c;
+}
+
+void
+BorrowOptMultiModule(benchmark::State &state)
+{
+    const auto modules = static_cast<std::uint32_t>(state.range(0));
+    std::vector<QubitId> dirty;
+    const Circuit c = multiModuleWorkload(modules, dirty);
+    qb::opt::BorrowPlan plan;
+    for (auto _ : state) {
+        plan = qb::opt::planBorrows(c, dirty);
+        benchmark::DoNotOptimize(plan.assignments.size());
+    }
+    state.counters["width_before"] = plan.widthBefore;
+    state.counters["width_after"] = plan.widthAfter;
+    state.counters["borrowed"] =
+        static_cast<double>(plan.assignments.size());
+}
+
+void
+BorrowOptNoVerify(benchmark::State &state)
+{
+    // Ablation: planning time without the safety verification,
+    // isolating the allocator from the verifier.
+    const auto modules = static_cast<std::uint32_t>(state.range(0));
+    std::vector<QubitId> dirty;
+    const Circuit c = multiModuleWorkload(modules, dirty);
+    qb::opt::BorrowOptions options;
+    options.verifySafety = false;
+    qb::opt::BorrowPlan plan;
+    for (auto _ : state) {
+        plan = qb::opt::planBorrows(c, dirty, options);
+        benchmark::DoNotOptimize(plan.assignments.size());
+    }
+    state.counters["width_before"] = plan.widthBefore;
+    state.counters["width_after"] = plan.widthAfter;
+}
+
+void
+BorrowOptFig31(benchmark::State &state)
+{
+    const Circuit c = qb::circuits::fig31Circuit();
+    qb::opt::BorrowPlan plan;
+    for (auto _ : state) {
+        plan = qb::opt::planBorrows(
+            c, {qb::circuits::kFig31DirtyA1,
+                qb::circuits::kFig31DirtyA2});
+        benchmark::DoNotOptimize(plan.assignments.size());
+    }
+    state.counters["width_before"] = plan.widthBefore; // 7
+    state.counters["width_after"] = plan.widthAfter;   // 5
+}
+
+} // namespace
+
+BENCHMARK(BorrowOptFig31)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BorrowOptMultiModule)
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BorrowOptNoVerify)
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Experiment E7 - the Section 6.2 claim that "the construction of
+ * Boolean formulas involves only a linear scan of the circuit and
+ * completes in under one second", plus an ablation of the arena's
+ * structural simplification.
+ *
+ * Benchmarks:
+ *  - FormulaBuildAdder / FormulaBuildMcx: time of the per-qubit
+ *    formula construction (linear scan) alone, across circuit sizes.
+ *  - CofactorSweepAdder: the substitution (cofactor) stage behind
+ *    formula (6.2), which dominates verification at large n.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "boolexpr/arena.h"
+#include "circuits/adders.h"
+#include "circuits/mcx.h"
+#include "core/formula_builder.h"
+
+namespace {
+
+void
+FormulaBuildAdder(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    const auto circuit = qb::circuits::hanerCarryCircuit(n);
+    std::size_t nodes = 0;
+    for (auto _ : state) {
+        qb::bexp::Arena arena;
+        qb::core::FormulaBuilder builder(arena,
+                                         circuit.numQubits());
+        builder.applyCircuit(circuit);
+        nodes = arena.numNodes();
+        benchmark::DoNotOptimize(nodes);
+    }
+    state.counters["arena_nodes"] = static_cast<double>(nodes);
+    state.counters["gates"] = static_cast<double>(circuit.size());
+}
+
+void
+FormulaBuildMcx(benchmark::State &state)
+{
+    const auto m = static_cast<std::uint32_t>(state.range(0));
+    const auto circuit = qb::circuits::gidneyMcx(m);
+    std::size_t nodes = 0;
+    for (auto _ : state) {
+        qb::bexp::Arena arena;
+        qb::core::FormulaBuilder builder(arena,
+                                         circuit.numQubits());
+        builder.applyCircuit(circuit);
+        nodes = arena.numNodes();
+        benchmark::DoNotOptimize(nodes);
+    }
+    state.counters["arena_nodes"] = static_cast<double>(nodes);
+    state.counters["gates"] = static_cast<double>(circuit.size());
+}
+
+void
+CofactorSweepAdder(benchmark::State &state)
+{
+    // For dirty qubit a[1], compute both cofactors of every other
+    // qubit's formula - the inner loop of formula (6.2).
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    const auto circuit = qb::circuits::hanerCarryCircuit(n);
+    for (auto _ : state) {
+        qb::bexp::Arena arena;
+        qb::core::FormulaBuilder builder(arena,
+                                         circuit.numQubits());
+        builder.applyCircuit(circuit);
+        const std::uint32_t dirty = n; // a[1]
+        std::size_t nonzero = 0;
+        for (std::uint32_t q = 0; q < circuit.numQubits(); ++q) {
+            if (q == dirty)
+                continue;
+            const auto f = builder.formula(q);
+            const auto c0 =
+                arena.substitute(f, dirty, qb::bexp::kFalse);
+            const auto c1 =
+                arena.substitute(f, dirty, qb::bexp::kTrue);
+            nonzero += arena.mkXor({c0, c1}) != qb::bexp::kFalse;
+        }
+        benchmark::DoNotOptimize(nonzero);
+    }
+}
+
+} // namespace
+
+BENCHMARK(FormulaBuildAdder)
+    ->DenseRange(50, 200, 50)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(FormulaBuildMcx)
+    ->DenseRange(250, 1750, 500)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(CofactorSweepAdder)
+    ->DenseRange(50, 200, 50)
+    ->Unit(benchmark::kMillisecond);

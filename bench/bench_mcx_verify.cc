@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Experiment E3 - Figure 6.4 / Table 10.3 of the paper: verification
+ * time of the MCX program (mcx.qbr) for control counts
+ * n = 2m-1 in {499, 999, ..., 3499}, with both solver presets.
+ *
+ * The benchmark verifies the single dirty ancilla of the
+ * (2m-1)-controlled NOT over its borrow...release lifetime, running
+ * the full text -> parse -> elaborate -> verify pipeline.
+ *
+ * Paper reference (MacBook Air M3): CVC5 0/1/4/7/11/17/27 s,
+ * Bitwuzla 3/16/35/61/115/163/239 s for n = 499..3499.  Note the
+ * solver crossover relative to the adder benchmark: the solver that
+ * wins there loses here, which our two presets reproduce.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "circuits/qbr_text.h"
+#include "core/verifier.h"
+#include "lang/elaborate.h"
+
+namespace {
+
+void
+runMcxVerify(benchmark::State &state,
+             const qb::core::VerifierOptions &lane)
+{
+    // state.range(0) is the paper's control count n = 2m - 1.
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    const std::uint32_t m = (n + 1) / 2;
+    qb::core::VerifierOptions options = lane;
+    options.wantCounterexample = false;
+    double solve = 0, build = 0;
+    std::size_t nodes = 0;
+    for (auto _ : state) {
+        const auto program = qb::lang::elaborateSource(
+            qb::circuits::mcxQbrSource(m));
+        const auto result =
+            qb::core::verifyProgram(program, options);
+        if (result.qubits.size() != 1 || !result.allSafe())
+            state.SkipWithError("mcx verification failed");
+        solve = result.qubits[0].solveSeconds;
+        build = result.qubits[0].buildSeconds;
+        nodes = result.qubits[0].formulaNodes;
+    }
+    state.counters["solve_s"] = solve;
+    state.counters["build_s"] = build;
+    state.counters["formula_nodes"] = static_cast<double>(nodes);
+    state.counters["controls"] = n;
+}
+
+void
+McxVerifyLaneA(benchmark::State &state)
+{
+    runMcxVerify(state, qb::core::VerifierOptions::laneA());
+}
+
+void
+McxVerifyLaneB(benchmark::State &state)
+{
+    runMcxVerify(state, qb::core::VerifierOptions::laneB());
+}
+
+} // namespace
+
+BENCHMARK(McxVerifyLaneA)
+    ->DenseRange(499, 3499, 500)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+BENCHMARK(McxVerifyLaneB)
+    ->DenseRange(499, 3499, 500)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);

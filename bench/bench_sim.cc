@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Substrate benchmarks: throughput of the three simulation engines
+ * that back the reference verifiers and the semantics engine.  Not a
+ * paper figure; included so substrate regressions are visible.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "circuits/mcx.h"
+#include "circuits/paper_figures.h"
+#include "sim/classical.h"
+#include "sim/kraus.h"
+#include "sim/statevector.h"
+#include "support/rng.h"
+
+namespace {
+
+using qb::ir::Circuit;
+using qb::ir::Gate;
+
+Circuit
+randomClassical(std::uint32_t n, int gates, std::uint64_t seed)
+{
+    qb::Rng rng(seed);
+    Circuit c(n);
+    for (int g = 0; g < gates; ++g) {
+        auto a = static_cast<qb::ir::QubitId>(rng.nextBelow(n));
+        auto b = static_cast<qb::ir::QubitId>(rng.nextBelow(n));
+        auto t = static_cast<qb::ir::QubitId>(rng.nextBelow(n));
+        while (b == a)
+            b = static_cast<qb::ir::QubitId>(rng.nextBelow(n));
+        while (t == a || t == b)
+            t = static_cast<qb::ir::QubitId>(rng.nextBelow(n));
+        c.append(Gate::ccnot(a, b, t));
+    }
+    return c;
+}
+
+void
+StateVectorToffolis(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    const Circuit c = randomClassical(n, 64, 1);
+    qb::sim::StateVector sv(n);
+    sv.hadamard(0);
+    for (auto _ : state) {
+        sv.applyCircuit(c);
+        benchmark::DoNotOptimize(sv.amp(0));
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+
+void
+TruthTableBuild(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    const Circuit c = randomClassical(n, 128, 2);
+    for (auto _ : state) {
+        qb::sim::TruthTable tt(c);
+        benchmark::DoNotOptimize(tt.output(0, 0));
+    }
+    state.SetItemsProcessed(state.iterations() * 128);
+}
+
+void
+ClassicalSimMcx1750(benchmark::State &state)
+{
+    // One classical pass over the paper's largest benchmark circuit
+    // (3501 qubits, ~28k Toffolis).
+    const Circuit c = qb::circuits::gidneyMcx(1750);
+    qb::sim::ClassicalState s(c.numQubits());
+    for (std::uint32_t q = 0; q + 2 < c.numQubits(); ++q)
+        s.set(q, true);
+    for (auto _ : state) {
+        s.applyCircuit(c);
+        benchmark::DoNotOptimize(s.get(c.numQubits() - 2));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(c.size()));
+}
+
+void
+KrausCompose(benchmark::State &state)
+{
+    const auto op =
+        qb::sim::QuantumOp::fromCircuit(qb::circuits::cccnotDirty());
+    for (auto _ : state) {
+        const auto composed = op.after(op);
+        benchmark::DoNotOptimize(composed.kraus().size());
+    }
+}
+
+} // namespace
+
+BENCHMARK(StateVectorToffolis)->DenseRange(12, 20, 4);
+BENCHMARK(TruthTableBuild)->DenseRange(12, 20, 4);
+BENCHMARK(ClassicalSimMcx1750)->Unit(benchmark::kMillisecond);
+BENCHMARK(KrausCompose)->Unit(benchmark::kMillisecond);

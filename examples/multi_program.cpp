@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The Section 7 multi-programming scenario: a QuCloud-style scheduler
+ * co-locates two tenant programs on one device and lets tenant B
+ * borrow a qubit that tenant A leaves idle - but only after the
+ * verifier proves B restores it (state *and* entanglement), since "an
+ * incorrectly returned dirty qubit can cause errors or even crashes
+ * in other programs".
+ *
+ * Tenant A: a CCCNOT module on qubits 0-4 with a long idle window on
+ * qubit 2.  Tenant B (well-behaved): the Fig. 1.3 toggling pattern.
+ * Tenant B' (buggy): forgets one uncompute gate.  The scheduler
+ * admits B and rejects B'.
+ */
+
+#include <cstdio>
+
+#include "core/verifier.h"
+#include "ir/circuit.h"
+#include "opt/borrow_opt.h"
+
+namespace {
+
+using qb::ir::Circuit;
+using qb::ir::Gate;
+
+/** Tenant A: occupies qubits 0..4; qubit 2 idles between the halves. */
+Circuit
+tenantA(std::uint32_t device_width)
+{
+    Circuit c(device_width, "tenant A");
+    c.append(Gate::ccnot(0, 1, 2));
+    c.append(Gate::cnot(3, 4));
+    c.append(Gate::cnot(0, 1)); // <- window: qubit 2 idle from here
+    c.append(Gate::ccnot(3, 4, 0));
+    c.append(Gate::cnot(1, 3)); // <- window ends after B's slot
+    c.append(Gate::ccnot(0, 1, 2));
+    return c;
+}
+
+/** Tenant B on qubits 5..8 plus one dirty ancilla. */
+Circuit
+tenantB(std::uint32_t device_width, qb::ir::QubitId anc,
+        bool buggy)
+{
+    Circuit c(device_width, buggy ? "tenant B' (buggy)" : "tenant B");
+    c.append(Gate::ccnot(5, 6, anc));
+    c.append(Gate::ccnot(anc, 7, 8));
+    if (!buggy)
+        c.append(Gate::ccnot(5, 6, anc));
+    c.append(Gate::ccnot(anc, 7, 8));
+    return c;
+}
+
+/** Interleave: A's prefix, B's slot inside A's idle window, A's rest. */
+Circuit
+schedule(const Circuit &a, const Circuit &b)
+{
+    Circuit merged(a.numQubits(), "co-scheduled");
+    for (std::size_t i = 0; i < 3; ++i)
+        merged.append(a.gates()[i]);
+    merged.appendCircuit(b);
+    for (std::size_t i = 3; i < a.size(); ++i)
+        merged.append(a.gates()[i]);
+    return merged;
+}
+
+bool
+admit(const char *name, const Circuit &b_candidate,
+      const Circuit &a, qb::ir::QubitId anc)
+{
+    const Circuit merged = schedule(a, b_candidate);
+    // The scheduler's admission check: B must safely uncompute the
+    // ancilla it wants to borrow from A's idle window.
+    qb::opt::BorrowPlan plan =
+        qb::opt::planBorrows(merged, {anc});
+    const bool admitted = !plan.assignments.empty();
+    std::printf("%-18s -> %s\n", name,
+                admitted ? "ADMITTED (borrows an idle qubit of A)"
+                         : "REJECTED (would corrupt tenant A)");
+    if (admitted) {
+        const auto &assign = plan.assignments[0];
+        std::printf("    host: device qubit %u over gates [%zu, %zu)"
+                    "; width %u -> %u\n",
+                    assign.host, assign.periodBegin,
+                    assign.periodEnd, plan.widthBefore,
+                    plan.widthAfter);
+    } else {
+        std::printf("    %s", plan.toString(merged).c_str());
+    }
+    return admitted;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Device: qubits 0..8 for the two tenants + ancilla wire 9 that
+    // the scheduler would only materialize if no idle qubit exists.
+    constexpr std::uint32_t device = 10;
+    constexpr qb::ir::QubitId anc = 9;
+    const Circuit a = tenantA(device);
+
+    std::printf("tenant A occupies qubits 0-4 and leaves them idle "
+                "during tenant B's time slot.\n\n");
+    const bool good =
+        admit("tenant B", tenantB(device, anc, false), a, anc);
+    const bool bad =
+        admit("tenant B' (buggy)", tenantB(device, anc, true), a,
+              anc);
+    return good && !bad ? 0 : 1;
+}

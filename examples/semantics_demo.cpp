@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The QBorrow denotational semantics in action (Sections 4-5):
+ *
+ *  - Example 5.2: a program whose borrow is unsafe, yet a specific
+ *    qubit is still safely uncomputed;
+ *  - Theorem 5.5: safety <=> the semantics collapses to at most one
+ *    quantum operation;
+ *  - the Figure 4.4 nested-borrow program, whose only admissible
+ *    instantiation is q3 for both placeholders.
+ */
+
+#include <cstdio>
+
+#include "semantics/ast.h"
+#include "semantics/interp.h"
+#include "semantics/safety.h"
+
+using namespace qb::sem;
+
+int
+main()
+{
+    const auto q0 = Operand::q(0);
+    const auto a = Operand::ph("a");
+
+    // Example 5.2: S = X[q]; borrow a; X[q]; X[a]; release a.
+    const StmtPtr s = seq(
+        gateX(q0), borrow("a", seq(gateX(q0), gateX(a))));
+    std::printf("S = %s\n", toString(s).c_str());
+
+    InterpOptions options;
+    options.numQubits = 3;
+
+    const OpSet set = interpret(s, options);
+    std::printf("|[[S]]| = %zu with %u qubits "
+                "(one operation per idle-qubit choice)\n",
+                set.ops.size(), options.numQubits);
+
+    std::printf("S safely uncomputes q0: %s\n",
+                safelyUncomputes(s, 0, options) ? "yes" : "no");
+    std::printf("S is a safe program:    %s\n",
+                programIsSafe(s, options) ? "yes" : "no");
+    std::printf("S is deterministic:     %s   (Theorem 5.5: safe "
+                "<=> |[[S]]| <= 1)\n",
+                isDeterministic(s, options) ? "yes" : "no");
+
+    // A safe borrow: the Figure 1.3 toggling pattern.
+    const auto q1 = Operand::q(1), q2 = Operand::q(2);
+    const StmtPtr safe_body =
+        seqAll({gateCcnot(q0, q1, a), gateCnot(a, q2),
+                gateCcnot(q0, q1, a), gateCnot(a, q2)});
+    const StmtPtr safe = borrow("a", safe_body);
+    InterpOptions wide = options;
+    wide.numQubits = 5; // two candidate qubits for a
+    std::printf("\nT = %s\n", toString(safe).c_str());
+    std::printf("T is a safe program:    %s\n",
+                programIsSafe(safe, wide) ? "yes" : "no");
+    std::printf("|[[T]]| = %zu  (all instantiations coincide)\n",
+                interpret(safe, wide).ops.size());
+
+    // Measurement-guarded loop: while M[q0] do H[q0] - terminates
+    // almost surely; the series converges without truncation.
+    const StmtPtr loop = whileM(q0, gateH(q0));
+    InterpOptions one;
+    one.numQubits = 1;
+    const OpSet loop_set = interpret(loop, one);
+    std::printf("\nwhile M[q0] do H[q0]: %zu operation(s), "
+                "truncated = %s\n",
+                loop_set.ops.size(),
+                loop_set.truncated ? "yes" : "no");
+
+    // A stuck borrow: no idle qubit to instantiate the placeholder.
+    const StmtPtr stuck = borrow(
+        "a", seq(gateCnot(Operand::q(0), Operand::q(1)), gateX(a)));
+    InterpOptions two;
+    two.numQubits = 2;
+    const OpSet stuck_set = interpret(stuck, two);
+    std::printf("borrow with no idle qubit: stuck = %s, "
+                "|[[S]]| = %zu\n",
+                stuck_set.stuck ? "yes" : "no",
+                stuck_set.ops.size());
+    return 0;
+}

@@ -1,0 +1,147 @@
+#include "boolexpr/anf.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/logging.h"
+
+namespace qb::bexp {
+
+Anf
+Anf::one()
+{
+    Anf a;
+    a.monomials.insert(Monomial{});
+    return a;
+}
+
+Anf
+Anf::var(std::uint32_t v)
+{
+    Anf a;
+    a.monomials.insert(Monomial{v});
+    return a;
+}
+
+bool
+Anf::isOne() const
+{
+    return monomials.size() == 1 && monomials.begin()->empty();
+}
+
+Anf
+Anf::operator^(const Anf &other) const
+{
+    // XOR = symmetric difference of monomial sets over GF(2).
+    Anf out;
+    std::set_symmetric_difference(
+        monomials.begin(), monomials.end(),
+        other.monomials.begin(), other.monomials.end(),
+        std::inserter(out.monomials, out.monomials.begin()));
+    return out;
+}
+
+Anf
+Anf::operator&(const Anf &other) const
+{
+    Anf out;
+    for (const Monomial &m1 : monomials) {
+        for (const Monomial &m2 : other.monomials) {
+            Monomial merged;
+            std::set_union(m1.begin(), m1.end(), m2.begin(), m2.end(),
+                           std::back_inserter(merged));
+            // Products cancel in pairs over GF(2).
+            auto [it, inserted] = out.monomials.insert(merged);
+            if (!inserted)
+                out.monomials.erase(it);
+        }
+    }
+    return out;
+}
+
+Anf
+Anf::operator~() const
+{
+    return *this ^ one();
+}
+
+bool
+Anf::evaluate(const std::vector<bool> &assignment) const
+{
+    bool acc = false;
+    for (const Monomial &m : monomials) {
+        bool term = true;
+        for (std::uint32_t v : m) {
+            qbAssert(v < assignment.size(),
+                     "Anf::evaluate: assignment does not cover variable");
+            term = term && assignment[v];
+        }
+        acc = acc != term;
+    }
+    return acc;
+}
+
+Anf
+Anf::fromExpr(const Arena &arena, NodeRef root)
+{
+    std::unordered_map<NodeRef, Anf> memo;
+    std::vector<std::pair<NodeRef, bool>> stack;
+    stack.emplace_back(root, false);
+    while (!stack.empty()) {
+        auto [ref, expanded] = stack.back();
+        stack.pop_back();
+        if (memo.count(ref))
+            continue;
+        switch (arena.kind(ref)) {
+          case NodeKind::Const:
+            memo.emplace(ref, ref == kTrue ? one() : zero());
+            break;
+          case NodeKind::Var:
+            memo.emplace(ref, var(arena.varId(ref)));
+            break;
+          case NodeKind::And:
+          case NodeKind::Xor:
+            if (!expanded) {
+                stack.emplace_back(ref, true);
+                for (NodeRef c : arena.children(ref))
+                    stack.emplace_back(c, false);
+            } else {
+                const bool is_and = arena.kind(ref) == NodeKind::And;
+                Anf acc = is_and ? one() : zero();
+                for (NodeRef c : arena.children(ref)) {
+                    const Anf &child = memo.at(c);
+                    acc = is_and ? (acc & child) : (acc ^ child);
+                }
+                memo.emplace(ref, std::move(acc));
+            }
+            break;
+        }
+    }
+    return memo.at(root);
+}
+
+std::string
+Anf::toString() const
+{
+    if (monomials.empty())
+        return "0";
+    std::string out;
+    bool first = true;
+    for (const Monomial &m : monomials) {
+        if (!first)
+            out += " ^ ";
+        first = false;
+        if (m.empty()) {
+            out += "1";
+            continue;
+        }
+        for (std::size_t i = 0; i < m.size(); ++i) {
+            if (i > 0)
+                out += ".";
+            out += "x" + std::to_string(m[i]);
+        }
+    }
+    return out;
+}
+
+} // namespace qb::bexp

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Algebraic normal form (ANF) reference engine.
+ *
+ * An ANF is an XOR of monomials, each monomial an AND of distinct
+ * variables (the empty monomial is the constant 1).  ANF is a *canonical*
+ * representation of a Boolean function, so two formulas are equivalent
+ * iff their ANFs are equal.  The representation can blow up
+ * exponentially, which is exactly why the production path uses the
+ * hash-consed DAG of arena.h; this class exists as an independent oracle
+ * for cross-checking the DAG simplifier and the verifier on small
+ * formulas in tests.
+ */
+
+#ifndef QB_BOOLEXPR_ANF_H
+#define QB_BOOLEXPR_ANF_H
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "boolexpr/arena.h"
+
+namespace qb::bexp {
+
+/** Canonical ANF of a Boolean function over uint32 variable ids. */
+class Anf
+{
+  public:
+    /** A monomial is a sorted set of variable ids; empty means 1. */
+    using Monomial = std::vector<std::uint32_t>;
+
+    /** The constant-zero function. */
+    Anf() = default;
+
+    static Anf zero() { return Anf(); }
+    static Anf one();
+    static Anf var(std::uint32_t v);
+
+    /** Convert a DAG formula to its canonical ANF (may be exponential). */
+    static Anf fromExpr(const Arena &arena, NodeRef root);
+
+    Anf operator^(const Anf &other) const;
+    Anf operator&(const Anf &other) const;
+    Anf operator~() const;
+
+    bool operator==(const Anf &other) const = default;
+
+    bool isZero() const { return monomials.empty(); }
+    bool isOne() const;
+
+    /** Evaluate under a total assignment indexed by variable id. */
+    bool evaluate(const std::vector<bool> &assignment) const;
+
+    /** Number of monomials. */
+    std::size_t size() const { return monomials.size(); }
+
+    std::string toString() const;
+
+  private:
+    /** Sorted, duplicate-free set of monomials. */
+    std::set<Monomial> monomials;
+};
+
+} // namespace qb::bexp
+
+#endif // QB_BOOLEXPR_ANF_H

@@ -1,0 +1,190 @@
+#include "circuits/adders.h"
+
+#include <numbers>
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace qb::circuits {
+
+using ir::Circuit;
+using ir::Gate;
+using ir::QubitId;
+
+namespace {
+
+/** X-load the bits of @p c into qubits [base, base + n). */
+void
+loadConstant(Circuit &circuit, QubitId base, std::uint32_t n,
+             std::uint64_t c)
+{
+    for (std::uint32_t i = 0; i < n; ++i)
+        if ((c >> i) & 1)
+            circuit.append(Gate::x(base + i));
+}
+
+void
+labelRegister(Circuit &circuit, QubitId base, std::uint32_t n,
+              const char *name)
+{
+    for (std::uint32_t i = 0; i < n; ++i)
+        circuit.setLabel(base + i, format("%s[%u]", name, i));
+}
+
+} // namespace
+
+ir::Circuit
+cuccaroConstantAdder(std::uint32_t n, std::uint64_t c)
+{
+    qbAssert(n >= 1 && n <= 63, "cuccaro adder size out of range");
+    Circuit circuit(2 * n + 1, format("cuccaro-add(n=%u)", n));
+    labelRegister(circuit, 0, n, "x");
+    labelRegister(circuit, n, n, "a");
+    circuit.setLabel(2 * n, "c0");
+    const QubitId carry = 2 * n;
+    auto a = [n](std::uint32_t i) { return n + i; };
+    auto b = [](std::uint32_t i) { return i; };
+
+    loadConstant(circuit, n, n, c);
+
+    // MAJ(c_in, b_i, a_i): after it, a_i holds the majority (the
+    // ripple carry) and b_i holds a_i XOR b_i.
+    auto maj = [&](QubitId x, QubitId y, QubitId z) {
+        circuit.append(Gate::cnot(z, y));
+        circuit.append(Gate::cnot(z, x));
+        circuit.append(Gate::ccnot(x, y, z));
+    };
+    // UMA: undo MAJ and write the sum bit into b_i.
+    auto uma = [&](QubitId x, QubitId y, QubitId z) {
+        circuit.append(Gate::ccnot(x, y, z));
+        circuit.append(Gate::cnot(z, x));
+        circuit.append(Gate::cnot(x, y));
+    };
+
+    maj(carry, b(0), a(0));
+    for (std::uint32_t i = 1; i < n; ++i)
+        maj(a(i - 1), b(i), a(i));
+    // Modular 2^n addition: the final carry in a(n-1) is not copied
+    // out; the UMA ladder undoes it.
+    for (std::uint32_t i = n; i-- > 1;)
+        uma(a(i - 1), b(i), a(i));
+    uma(carry, b(0), a(0));
+
+    loadConstant(circuit, n, n, c);
+    return circuit;
+}
+
+ir::Circuit
+takahashiConstantAdder(std::uint32_t n, std::uint64_t c)
+{
+    qbAssert(n >= 2 && n <= 63, "takahashi adder size out of range");
+    Circuit circuit(2 * n, format("takahashi-add(n=%u)", n));
+    labelRegister(circuit, 0, n, "x");
+    labelRegister(circuit, n, n, "a");
+    auto a = [n](std::uint32_t i) { return n + i; };
+    auto b = [](std::uint32_t i) { return i; };
+
+    loadConstant(circuit, n, n, c);
+
+    // Takahashi-Tani-Kunihiro ripple adder without a carry ancilla:
+    // (a, b) -> (a, a + b mod 2^n), b = x LSB-first.
+    for (std::uint32_t i = 1; i < n; ++i)
+        circuit.append(Gate::cnot(a(i), b(i)));
+    for (std::uint32_t i = n - 1; i-- > 1;)
+        circuit.append(Gate::cnot(a(i), a(i + 1)));
+    for (std::uint32_t i = 0; i + 1 < n; ++i)
+        circuit.append(Gate::ccnot(a(i), b(i), a(i + 1)));
+    for (std::uint32_t i = n - 1; i >= 1; --i) {
+        circuit.append(Gate::cnot(a(i), b(i)));
+        circuit.append(Gate::ccnot(a(i - 1), b(i - 1), a(i)));
+    }
+    for (std::uint32_t i = 1; i + 1 < n; ++i)
+        circuit.append(Gate::cnot(a(i), a(i + 1)));
+    for (std::uint32_t i = 0; i < n; ++i)
+        circuit.append(Gate::cnot(a(i), b(i)));
+
+    loadConstant(circuit, n, n, c);
+    return circuit;
+}
+
+ir::Circuit
+draperConstantAdder(std::uint32_t n, std::uint64_t c)
+{
+    qbAssert(n >= 1 && n <= 63, "draper adder size out of range");
+    Circuit circuit(n, format("draper-add(n=%u)", n));
+    labelRegister(circuit, 0, n, "x");
+    const double two_pi = 2.0 * std::numbers::pi;
+    const double modulus = static_cast<double>(std::uint64_t{1} << n);
+
+    // QFT (no terminal swaps; the phase stage below is written in the
+    // matching bit order, so the swaps cancel).
+    for (std::uint32_t j = n; j-- > 0;) {
+        circuit.append(Gate::h(j));
+        for (std::uint32_t k = j; k-- > 0;) {
+            const double angle =
+                std::numbers::pi / static_cast<double>(
+                    std::uint64_t{1} << (j - k));
+            circuit.append(Gate::cphase(k, j, angle));
+        }
+    }
+    // Fourier-space addition of the constant.  Without the terminal
+    // swaps, qubit j of the no-swap QFT carries the output bit of
+    // weight 2^(n-1-j), so the phase weights are bit-reversed.
+    for (std::uint32_t j = 0; j < n; ++j) {
+        const double angle = two_pi *
+            static_cast<double>(c % (std::uint64_t{1} << n)) *
+            static_cast<double>(std::uint64_t{1} << (n - 1 - j)) /
+            modulus;
+        circuit.append(Gate::phase(j, angle));
+    }
+    // Inverse QFT.
+    for (std::uint32_t j = 0; j < n; ++j) {
+        for (std::uint32_t k = 0; k < j; ++k) {
+            const double angle =
+                -std::numbers::pi / static_cast<double>(
+                    std::uint64_t{1} << (j - k));
+            circuit.append(Gate::cphase(k, j, angle));
+        }
+        circuit.append(Gate::h(j));
+    }
+    return circuit;
+}
+
+ir::Circuit
+hanerCarryCircuit(std::uint32_t n)
+{
+    qbAssert(n >= 3, "hanerCarryCircuit requires n >= 3");
+    Circuit circuit(2 * n - 1, format("haner-carry(n=%u)", n));
+    // 1-based registers, matching adder.qbr: q[i] = i-1, a[i] = n+i-1.
+    for (std::uint32_t i = 1; i <= n; ++i)
+        circuit.setLabel(i - 1, format("q[%u]", i));
+    for (std::uint32_t i = 1; i <= n - 1; ++i)
+        circuit.setLabel(n + i - 1, format("a[%u]", i));
+    auto q = [](std::uint32_t i) { return i - 1; };
+    auto a = [n](std::uint32_t i) { return n + i - 1; };
+
+    circuit.append(Gate::cnot(a(n - 1), q(n)));
+    for (std::uint32_t i = n - 1; i >= 2; --i) {
+        circuit.append(Gate::cnot(q(i), a(i)));
+        circuit.append(Gate::x(q(i)));
+        circuit.append(Gate::ccnot(a(i - 1), q(i), a(i)));
+    }
+    circuit.append(Gate::cnot(q(1), a(1)));
+    for (std::uint32_t i = 2; i <= n - 1; ++i)
+        circuit.append(Gate::ccnot(a(i - 1), q(i), a(i)));
+    circuit.append(Gate::cnot(a(n - 1), q(n)));
+    circuit.append(Gate::x(q(n)));
+
+    // Reverse the carry computation to uncompute the dirty ancillas.
+    for (std::uint32_t i = n - 1; i >= 2; --i)
+        circuit.append(Gate::ccnot(a(i - 1), q(i), a(i)));
+    circuit.append(Gate::cnot(q(1), a(1)));
+    for (std::uint32_t i = 2; i <= n - 1; ++i) {
+        circuit.append(Gate::ccnot(a(i - 1), q(i), a(i)));
+        circuit.append(Gate::x(q(i)));
+        circuit.append(Gate::cnot(q(i), a(i)));
+    }
+    return circuit;
+}
+
+} // namespace qb::circuits

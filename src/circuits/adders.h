@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The adder circuit family behind Figure 1.1 and the paper's adder
+ * benchmark (Figure 10.1 / adder.qbr).
+ *
+ * Qubit layout conventions: each generator documents its own layout;
+ * data registers are LSB-first (x[0] is the least significant bit)
+ * unless stated otherwise.  All generators return plain IR circuits so
+ * they can be fed to the simulators, the verifier and the cost bench.
+ */
+
+#ifndef QB_CIRCUITS_ADDERS_H
+#define QB_CIRCUITS_ADDERS_H
+
+#include <cstdint>
+
+#include "ir/circuit.h"
+
+namespace qb::circuits {
+
+/**
+ * Cuccaro (CDKM) ripple-carry constant adder: |x> -> |x + c mod 2^n>.
+ *
+ * Layout: qubits [0, n) = x (LSB first), [n, 2n) = a clean register
+ * loaded with the constant, qubit 2n = the clean incoming-carry
+ * ancilla.  Total n+1 clean ancillas, Theta(n) size and depth -
+ * the first column of Figure 1.1.
+ */
+ir::Circuit cuccaroConstantAdder(std::uint32_t n, std::uint64_t c);
+
+/**
+ * Takahashi-Tani-Kunihiro constant adder: |x> -> |x + c mod 2^n>.
+ *
+ * Layout: qubits [0, n) = x (LSB first), [n, 2n) = the clean register
+ * holding the constant.  No carry ancilla: n clean ancillas total,
+ * Theta(n) size and depth - the second column of Figure 1.1.
+ */
+ir::Circuit takahashiConstantAdder(std::uint32_t n, std::uint64_t c);
+
+/**
+ * Draper QFT constant adder: |x> -> |x + c mod 2^n>.
+ *
+ * Layout: qubits [0, n) = x (LSB first).  Zero ancillas, Theta(n^2)
+ * gates (from the QFT's controlled rotations), Theta(n) depth - the
+ * third column of Figure 1.1.  Not a classical circuit.
+ */
+ir::Circuit draperConstantAdder(std::uint32_t n, std::uint64_t c);
+
+/**
+ * The paper's Haner-style carry circuit (Figure 10.1 / adder.qbr):
+ * computes the most significant bit of (s_1..s_n)_2 + (11..1)_2 into
+ * q[n], restoring the n-1 dirty ancillas a[1..n-1] and the inputs
+ * q[1..n-1].
+ *
+ * Layout matches the QBorrow program: qubits [0, n) = q[1..n] (the
+ * program's 1-based register, MSB-last), [n, 2n-1) = a[1..n-1].
+ * Requires n >= 3.
+ *
+ * Note: this is the paper's own instantiation of Haner et al.'s
+ * dirty-qubit technique (the carry computation); the full Theta(n log n)
+ * recursive constant adder of Haner et al. is represented by this
+ * circuit in the Figure 1.1 cost bench, as documented in
+ * EXPERIMENTS.md.
+ */
+ir::Circuit hanerCarryCircuit(std::uint32_t n);
+
+} // namespace qb::circuits
+
+#endif // QB_CIRCUITS_ADDERS_H

@@ -1,0 +1,106 @@
+#include "circuits/paper_figures.h"
+
+namespace qb::circuits {
+
+using ir::Circuit;
+using ir::Gate;
+
+ir::Circuit
+cccnotDirty()
+{
+    Circuit c(5, "cccnot-dirty (Fig. 1.3)");
+    c.setLabel(0, "q1");
+    c.setLabel(1, "q2");
+    c.setLabel(2, "a");
+    c.setLabel(3, "q3");
+    c.setLabel(4, "q4");
+    c.append(Gate::ccnot(0, 1, 2)); // Toffoli[q1, q2, a]
+    c.append(Gate::ccnot(2, 3, 4)); // Toffoli[a, q3, q4]
+    c.append(Gate::ccnot(0, 1, 2)); // Toffoli[q1, q2, a]
+    c.append(Gate::ccnot(2, 3, 4)); // Toffoli[a, q3, q4]
+    return c;
+}
+
+ir::Circuit
+fig14Counterexample()
+{
+    Circuit c(2, "clean-safe but dirty-unsafe (Fig. 1.4)");
+    c.setLabel(0, "a");
+    c.setLabel(1, "b");
+    c.append(Gate::cnot(0, 1));
+    return c;
+}
+
+ir::Circuit
+fig31Circuit()
+{
+    Circuit c(7, "two CCCNOT routines with dirty a1, a2 (Fig. 3.1a)");
+    for (ir::QubitId q = 0; q < 5; ++q)
+        c.setLabel(q, "q" + std::to_string(q + 1));
+    c.setLabel(5, "a1");
+    c.setLabel(6, "a2");
+    c.append(Gate::cnot(1, 2));     // CNOT[q2, q3]
+    c.append(Gate::ccnot(0, 1, 5)); // Toffoli[q1, q2, a1]
+    c.append(Gate::ccnot(5, 3, 4)); // Toffoli[a1, q4, q5]
+    c.append(Gate::ccnot(0, 1, 5)); // Toffoli[q1, q2, a1]
+    c.append(Gate::ccnot(5, 3, 4)); // Toffoli[a1, q4, q5]
+    c.append(Gate::ccnot(3, 4, 6)); // Toffoli[q4, q5, a2]
+    c.append(Gate::ccnot(6, 1, 0)); // Toffoli[a2, q2, q1]
+    c.append(Gate::ccnot(3, 4, 6)); // Toffoli[q4, q5, a2]
+    c.append(Gate::ccnot(6, 1, 0)); // Toffoli[a2, q2, q1]
+    return c;
+}
+
+ir::Circuit
+fig31Optimized()
+{
+    Circuit c(5, "Fig. 3.1c: q3 borrowed as a1 and a2");
+    for (ir::QubitId q = 0; q < 5; ++q)
+        c.setLabel(q, "q" + std::to_string(q + 1));
+    c.append(Gate::cnot(1, 2));     // CNOT[q2, q3]
+    c.append(Gate::ccnot(0, 1, 2)); // Toffoli[q1, q2, q3]  (a1 := q3)
+    c.append(Gate::ccnot(2, 3, 4)); // Toffoli[q3, q4, q5]
+    c.append(Gate::ccnot(0, 1, 2)); // Toffoli[q1, q2, q3]
+    c.append(Gate::ccnot(2, 3, 4)); // Toffoli[q3, q4, q5]
+    c.append(Gate::ccnot(3, 4, 2)); // Toffoli[q4, q5, q3]  (a2 := q3)
+    c.append(Gate::ccnot(2, 1, 0)); // Toffoli[q3, q2, q1]
+    c.append(Gate::ccnot(3, 4, 2)); // Toffoli[q4, q5, q3]
+    c.append(Gate::ccnot(2, 1, 0)); // Toffoli[q3, q2, q1]
+    return c;
+}
+
+std::string
+fig44Source()
+{
+    return R"(// Figure 4.4: nested borrow statements
+borrow@ q[5];
+CNOT[q[2], q[3]];
+borrow a1;
+CCNOT[q[1], q[2], a1];
+CCNOT[a1, q[4], q[5]];
+CCNOT[q[1], q[2], a1];
+CCNOT[a1, q[4], q[5]];
+borrow a2;
+CCNOT[q[4], q[5], a2];
+CCNOT[a2, q[2], q[1]];
+CCNOT[q[4], q[5], a2];
+CCNOT[a2, q[2], q[1]];
+release a2;
+release a1;
+)";
+}
+
+std::string
+example52Source()
+{
+    return R"(// Example 5.2
+borrow@ q;
+X[q];
+borrow a;
+X[q];
+X[a];
+release a;
+)";
+}
+
+} // namespace qb::circuits

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The small illustrative circuits and programs from the paper's
+ * figures, used by tests, examples and the width-reduction demo.
+ */
+
+#ifndef QB_CIRCUITS_PAPER_FIGURES_H
+#define QB_CIRCUITS_PAPER_FIGURES_H
+
+#include <string>
+
+#include "ir/circuit.h"
+
+namespace qb::circuits {
+
+/**
+ * Figure 1.3: three-controlled NOT from four Toffolis and one dirty
+ * qubit.  Qubit order matches the figure: q1, q2, a, q3, q4 (ids
+ * 0..4); the circuit implements CCCNOT[q1,q2,q3 -> q4] while safely
+ * uncomputing the dirty qubit a (id 2).
+ */
+ir::Circuit cccnotDirty();
+
+/** Id of the dirty qubit a in cccnotDirty(). */
+constexpr ir::QubitId kCccnotDirtyQubit = 2;
+
+/**
+ * A minimal counterexample in the spirit of Figure 1.4: a circuit that
+ * restores the would-be dirty qubit a (id 0) on every computational
+ * basis state - hence "safe" under the naive clean-qubit criterion -
+ * but fails to restore the superposition |+>, because another qubit's
+ * output depends on a.  Here: a single CNOT[a, b].
+ */
+ir::Circuit fig14Counterexample();
+
+/**
+ * Figure 3.1a / Figure 4.4: the seven-qubit circuit with two instances
+ * of the Figure 1.3 routine and two dirty qubits a1, a2.  Qubit ids:
+ * q1..q5 = 0..4, a1 = 5, a2 = 6.
+ */
+ir::Circuit fig31Circuit();
+
+/** Dirty-qubit ids of fig31Circuit(). */
+constexpr ir::QubitId kFig31DirtyA1 = 5;
+constexpr ir::QubitId kFig31DirtyA2 = 6;
+
+/**
+ * Figure 3.1c: the same functionality after borrowing working qubit
+ * q3 (id 2) as both a1 and a2 - five qubits, no ancillas.
+ */
+ir::Circuit fig31Optimized();
+
+/**
+ * The Figure 4.4 program as QBorrow source text (with explicit
+ * working-qubit declarations, which the figure leaves implicit).
+ */
+std::string fig44Source();
+
+/**
+ * Example 5.2: S = X[q]; borrow a; X[q]; X[a]; release a.  The borrow
+ * of a is unsafe, yet q is safely uncomputed by S.
+ */
+std::string example52Source();
+
+} // namespace qb::circuits
+
+#endif // QB_CIRCUITS_PAPER_FIGURES_H

@@ -1,0 +1,134 @@
+#include "circuits/qbr_text.h"
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace qb::circuits {
+
+std::string
+adderQbrSource(std::uint32_t n)
+{
+    if (n < 3)
+        fatal("adderQbrSource requires n >= 3");
+    std::string out = format("// adder.qbr\nlet n = %u;\n", n);
+    out += R"(borrow@ q[n]; // inputs: no assumptions, skip verification
+borrow a[n - 1]; // dirty qubits
+CNOT[a[n - 1], q[n]];
+for i = (n - 1) to 2 {
+    CNOT[q[i], a[i]];
+    X[q[i]];
+    CCNOT[a[i - 1], q[i], a[i]];
+}
+CNOT[q[1], a[1]];
+for i = 2 to (n - 1) {
+    CCNOT[a[i - 1], q[i], a[i]];
+}
+CNOT[a[n - 1], q[n]];
+X[q[n]];
+
+// reverse the circuit to uncompute
+for i = (n - 1) to 2 {
+    CCNOT[a[i - 1], q[i], a[i]];
+}
+CNOT[q[1], a[1]];
+for i = 2 to (n - 1) {
+    CCNOT[a[i - 1], q[i], a[i]];
+    X[q[i]];
+    CNOT[q[i], a[i]];
+}
+)";
+    return out;
+}
+
+std::string
+mcxQbrSource(std::uint32_t m)
+{
+    if (m < 4)
+        fatal("mcxQbrSource requires m >= 4");
+    std::string out = format("// mcx.qbr\nlet m = %u;\n", m);
+    out += R"(let n = m + (m - 1); // n-controlled NOT gate
+
+borrow@ q[n];
+borrow@ t;
+
+borrow anc;
+
+// first part
+CCNOT[q[n - 1], q[n], anc];
+for i = (m - 2) to 2 {
+    CCNOT[q[2 * i], q[2 * i + 1], q[2 * i + 2]];
+}
+CCNOT[q[1], q[3], q[4]];
+for i = 2 to (m - 2) {
+    CCNOT[q[2 * i], q[2 * i + 1], q[2 * i + 2]];
+}
+CCNOT[q[n - 1], q[n], anc];
+for i = (m - 2) to 2 {
+    CCNOT[q[2 * i], q[2 * i + 1], q[2 * i + 2]];
+}
+CCNOT[q[1], q[3], q[4]];
+for i = 2 to (m - 2) {
+    CCNOT[q[2 * i], q[2 * i + 1], q[2 * i + 2]];
+}
+
+// second part
+CCNOT[q[n], anc, t];
+for i = (m - 1) to 3 {
+    CCNOT[q[2 * i - 1], q[2 * i], q[2 * i + 1]];
+}
+CCNOT[q[2], q[4], q[5]];
+for i = 3 to (m - 1) {
+    CCNOT[q[2 * i - 1], q[2 * i], q[2 * i + 1]];
+}
+CCNOT[q[n], anc, t];
+for i = (m - 1) to 3 {
+    CCNOT[q[2 * i - 1], q[2 * i], q[2 * i + 1]];
+}
+CCNOT[q[2], q[4], q[5]];
+for i = 3 to (m - 1) {
+    CCNOT[q[2 * i - 1], q[2 * i], q[2 * i + 1]];
+}
+
+// third part
+CCNOT[q[n - 1], q[n], anc];
+for i = (m - 2) to 2 {
+    CCNOT[q[2 * i], q[2 * i + 1], q[2 * i + 2]];
+}
+CCNOT[q[1], q[3], q[4]];
+for i = 2 to (m - 2) {
+    CCNOT[q[2 * i], q[2 * i + 1], q[2 * i + 2]];
+}
+CCNOT[q[n - 1], q[n], anc];
+for i = (m - 2) to 2 {
+    CCNOT[q[2 * i], q[2 * i + 1], q[2 * i + 2]];
+}
+CCNOT[q[1], q[3], q[4]];
+for i = 2 to (m - 2) {
+    CCNOT[q[2 * i], q[2 * i + 1], q[2 * i + 2]];
+}
+
+// fourth part
+CCNOT[q[n], anc, t];
+for i = (m - 1) to 3 {
+    CCNOT[q[2 * i - 1], q[2 * i], q[2 * i + 1]];
+}
+CCNOT[q[2], q[4], q[5]];
+for i = 3 to (m - 1) {
+    CCNOT[q[2 * i - 1], q[2 * i], q[2 * i + 1]];
+}
+CCNOT[q[n], anc, t];
+
+release anc;
+
+for i = (m - 1) to 3 {
+    CCNOT[q[2 * i - 1], q[2 * i], q[2 * i + 1]];
+}
+CCNOT[q[2], q[4], q[5]];
+for i = 3 to (m - 1) {
+    CCNOT[q[2 * i - 1], q[2 * i], q[2 * i + 1]];
+}
+)";
+    return out;
+}
+
+} // namespace qb::circuits

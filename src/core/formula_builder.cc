@@ -1,0 +1,63 @@
+#include "core/formula_builder.h"
+
+#include "support/logging.h"
+
+namespace qb::core {
+
+FormulaBuilder::FormulaBuilder(bexp::Arena &arena,
+                               std::uint32_t num_qubits)
+    : arena_(arena)
+{
+    state.reserve(num_qubits);
+    for (std::uint32_t q = 0; q < num_qubits; ++q)
+        state.push_back(arena_.mkVar(q));
+}
+
+void
+FormulaBuilder::applyGate(const ir::Gate &gate)
+{
+    using ir::GateKind;
+    switch (gate.kind()) {
+      case GateKind::X:
+      case GateKind::CNOT:
+      case GateKind::CCNOT:
+      case GateKind::MCX: {
+        const std::uint32_t target = gate.target();
+        qbAssert(target < state.size(), "gate target out of range");
+        if (gate.numControls() == 0) {
+            state[target] = arena_.mkNot(state[target]);
+            return;
+        }
+        std::vector<bexp::NodeRef> controls;
+        controls.reserve(gate.numControls());
+        for (ir::QubitId c : gate.controls())
+            controls.push_back(state[c]);
+        state[target] = arena_.mkXor(
+            {state[target], arena_.mkAnd(std::move(controls))});
+        return;
+      }
+      case GateKind::Swap:
+        std::swap(state[gate.qubits()[0]], state[gate.qubits()[1]]);
+        return;
+      default:
+        fatal("FormulaBuilder: non-classical gate " + gate.toString() +
+              "; the SAT reduction (Theorem 6.2) only applies to "
+              "circuits implementing classical functions");
+    }
+}
+
+void
+FormulaBuilder::applyCircuit(const ir::Circuit &circuit)
+{
+    for (const ir::Gate &g : circuit.gates())
+        applyGate(g);
+}
+
+bexp::NodeRef
+FormulaBuilder::formula(std::uint32_t q) const
+{
+    qbAssert(q < state.size(), "formula index out of range");
+    return state[q];
+}
+
+} // namespace qb::core

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-qubit Boolean formula construction (Section 6.1 of the paper).
+ *
+ * For a circuit implementing a classical function, the value of each
+ * qubit q after the circuit is a Boolean function b_q of the initial
+ * qubit values.  The builder performs the paper's linear scan:
+ *
+ *   - X[q]                        : b_q := NOT b_q
+ *   - CmNOT[q1..qm, t]            : b_t := b_t XOR (b_q1 AND ... AND b_qm)
+ *
+ * Formulas live in a hash-consed Arena, so the algebraic simplification
+ * the paper illustrates in Figure 6.1 (x XOR x = 0) happens during
+ * construction.
+ */
+
+#ifndef QB_CORE_FORMULA_BUILDER_H
+#define QB_CORE_FORMULA_BUILDER_H
+
+#include <vector>
+
+#include "boolexpr/arena.h"
+#include "ir/circuit.h"
+
+namespace qb::core {
+
+/** Tracks the symbolic state b_q of every qubit through a circuit. */
+class FormulaBuilder
+{
+  public:
+    /**
+     * Start with b_q = variable q for every qubit.
+     *
+     * @param arena formula arena; must outlive the builder.
+     */
+    FormulaBuilder(bexp::Arena &arena, std::uint32_t num_qubits);
+
+    /**
+     * Process one classical gate (X family or SWAP).
+     *
+     * @throws FatalError on non-classical gates; Theorem 6.2 only
+     *         covers circuits implementing classical functions.
+     */
+    void applyGate(const ir::Gate &gate);
+
+    /** Process every gate of @p circuit in order. */
+    void applyCircuit(const ir::Circuit &circuit);
+
+    /** Current formula of qubit @p q. */
+    bexp::NodeRef formula(std::uint32_t q) const;
+
+    std::uint32_t numQubits() const
+    {
+        return static_cast<std::uint32_t>(state.size());
+    }
+
+    bexp::Arena &arena() { return arena_; }
+
+  private:
+    bexp::Arena &arena_;
+    std::vector<bexp::NodeRef> state;
+};
+
+} // namespace qb::core
+
+#endif // QB_CORE_FORMULA_BUILDER_H

@@ -1,0 +1,77 @@
+#include "core/reference.h"
+
+#include "boolexpr/anf.h"
+#include "core/formula_builder.h"
+#include "sim/classical.h"
+#include "sim/statevector.h"
+#include "support/logging.h"
+
+namespace qb::core {
+
+Verdict
+bruteForceVerdict(const ir::Circuit &circuit, ir::QubitId q)
+{
+    if (!circuit.isClassical())
+        return Verdict::NotClassical;
+    const sim::TruthTable table(circuit);
+    const bool safe =
+        table.restoresZero(q) && table.othersIndependentOf(q);
+    return safe ? Verdict::Safe : Verdict::Unsafe;
+}
+
+Verdict
+unitaryVerdict(const ir::Circuit &circuit, ir::QubitId q)
+{
+    const sim::Matrix u = sim::circuitUnitary(circuit);
+    return sim::actsAsIdentityOn(u, circuit.numQubits(), q)
+               ? Verdict::Safe
+               : Verdict::Unsafe;
+}
+
+Verdict
+anfVerdict(const ir::Circuit &circuit, ir::QubitId q)
+{
+    if (!circuit.isClassical())
+        return Verdict::NotClassical;
+    const std::uint32_t n = circuit.numQubits();
+    bexp::Arena arena;
+    FormulaBuilder builder(arena, n);
+    builder.applyCircuit(circuit);
+
+    // Condition (6.1): b_q AND NOT q must be the zero polynomial.
+    const bexp::Anf b_q = bexp::Anf::fromExpr(arena, builder.formula(q));
+    const bexp::Anf zero_cond = b_q & ~bexp::Anf::var(q);
+    if (!zero_cond.isZero())
+        return Verdict::Unsafe;
+
+    // Condition (6.2): for every other qubit, the two cofactors of
+    // its ANF w.r.t. q must coincide, i.e. the derivative is zero.
+    for (std::uint32_t other = 0; other < n; ++other) {
+        if (other == q)
+            continue;
+        const bexp::NodeRef f = builder.formula(other);
+        const bexp::Anf cof0 = bexp::Anf::fromExpr(
+            arena, arena.substitute(f, q, bexp::kFalse));
+        const bexp::Anf cof1 = bexp::Anf::fromExpr(
+            arena, arena.substitute(f, q, bexp::kTrue));
+        if (!(cof0 ^ cof1).isZero())
+            return Verdict::Unsafe;
+    }
+    return Verdict::Safe;
+}
+
+bool
+safeAsCleanQubit(const ir::Circuit &circuit, ir::QubitId q)
+{
+    qbAssert(circuit.isClassical(),
+             "safeAsCleanQubit requires a classical circuit");
+    const sim::TruthTable table(circuit);
+    const std::uint64_t num_inputs =
+        std::uint64_t{1} << circuit.numQubits();
+    for (std::uint64_t in = 0; in < num_inputs; ++in)
+        if (table.output(q, in) != table.input(q, in))
+            return false;
+    return true;
+}
+
+} // namespace qb::core

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reference verifiers used to cross-validate the SAT reduction.
+ *
+ * Three independent deciders of "circuit C safely uncomputes qubit q":
+ *
+ *  - bruteForceVerdict: enumerate all 2^n classical inputs with the
+ *    bit-parallel TruthTable and check the two Theorem 6.2 conditions
+ *    directly (classical circuits, n <= ~20).
+ *
+ *  - unitaryVerdict: build the full 2^n x 2^n unitary and test the
+ *    Definition 3.1 factorization U = V (x) I_q (any gate set,
+ *    n <= ~10).  This is the ground truth even for non-classical
+ *    circuits, where Theorem 6.2 does not apply.
+ *
+ *  - cleanQubitVerdict: the *naive* criterion the paper's introduction
+ *    shows to be insufficient for dirty qubits - restoration of the
+ *    computational-basis states only.  Exposed so tests and examples
+ *    can reproduce the Figure 1.4 counterexample.
+ */
+
+#ifndef QB_CORE_REFERENCE_H
+#define QB_CORE_REFERENCE_H
+
+#include "core/verifier.h"
+#include "ir/circuit.h"
+
+namespace qb::core {
+
+/** Truth-table decision of the two Theorem 6.2 conditions. */
+Verdict bruteForceVerdict(const ir::Circuit &circuit, ir::QubitId q);
+
+/** Definition 3.1 decision via explicit unitary factorization. */
+Verdict unitaryVerdict(const ir::Circuit &circuit, ir::QubitId q);
+
+/**
+ * The insufficient clean-qubit criterion: f restores q on all
+ * computational-basis inputs (both |0> and |1> map to themselves).
+ * Safe-as-clean does NOT imply safe-as-dirty; see Figure 1.4.
+ */
+bool safeAsCleanQubit(const ir::Circuit &circuit, ir::QubitId q);
+
+/**
+ * Exact algebraic decision of the Theorem 6.4 conditions via
+ * algebraic normal forms: a Boolean formula is unsatisfiable iff its
+ * canonical ANF is the zero polynomial, so no search is involved.
+ * ANF sizes can blow up exponentially (which is why the production
+ * path uses SAT); intended for moderate circuits and as a third
+ * independent oracle in tests.
+ */
+Verdict anfVerdict(const ir::Circuit &circuit, ir::QubitId q);
+
+} // namespace qb::core
+
+#endif // QB_CORE_REFERENCE_H

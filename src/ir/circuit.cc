@@ -1,0 +1,173 @@
+#include "ir/circuit.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace qb::ir {
+
+Circuit::Circuit(std::uint32_t num_qubits, std::string name)
+    : numQubits_(num_qubits), name_(std::move(name))
+{
+}
+
+void
+Circuit::append(Gate gate)
+{
+    for (QubitId q : gate.qubits())
+        qbAssert(q < numQubits_, "gate operand out of range");
+    gates_.push_back(std::move(gate));
+}
+
+void
+Circuit::appendCircuit(const Circuit &other)
+{
+    qbAssert(other.numQubits() <= numQubits_,
+             "appended circuit is wider than the target");
+    for (const Gate &g : other.gates())
+        append(g);
+}
+
+bool
+Circuit::isClassical() const
+{
+    return std::all_of(gates_.begin(), gates_.end(),
+                       [](const Gate &g) { return g.isClassical(); });
+}
+
+Circuit
+Circuit::inverse() const
+{
+    Circuit out(numQubits_, name_.empty() ? "" : name_ + "^-1");
+    out.labels = labels;
+    for (auto it = gates_.rbegin(); it != gates_.rend(); ++it)
+        out.append(it->inverse());
+    return out;
+}
+
+Circuit
+Circuit::slice(std::size_t begin, std::size_t end) const
+{
+    qbAssert(begin <= end && end <= gates_.size(),
+             "slice range out of bounds");
+    Circuit out(numQubits_, name_);
+    out.labels = labels;
+    for (std::size_t i = begin; i < end; ++i)
+        out.append(gates_[i]);
+    return out;
+}
+
+std::vector<std::uint32_t>
+Circuit::asapLayers() const
+{
+    std::vector<std::uint32_t> qubit_layer(numQubits_, 0);
+    std::vector<std::uint32_t> layers;
+    layers.reserve(gates_.size());
+    for (const Gate &g : gates_) {
+        std::uint32_t at = 0;
+        for (QubitId q : g.qubits())
+            at = std::max(at, qubit_layer[q]);
+        ++at;
+        for (QubitId q : g.qubits())
+            qubit_layer[q] = at;
+        layers.push_back(at);
+    }
+    return layers;
+}
+
+std::uint32_t
+Circuit::depth() const
+{
+    const auto layers = asapLayers();
+    std::uint32_t depth = 0;
+    for (std::uint32_t l : layers)
+        depth = std::max(depth, l);
+    return depth;
+}
+
+std::vector<bool>
+Circuit::usedMask() const
+{
+    std::vector<bool> used(numQubits_, false);
+    for (const Gate &g : gates_)
+        for (QubitId q : g.qubits())
+            used[q] = true;
+    return used;
+}
+
+std::uint32_t
+Circuit::width() const
+{
+    const auto used = usedMask();
+    return static_cast<std::uint32_t>(
+        std::count(used.begin(), used.end(), true));
+}
+
+std::optional<std::pair<std::size_t, std::size_t>>
+Circuit::busyInterval(QubitId q) const
+{
+    std::optional<std::pair<std::size_t, std::size_t>> interval;
+    for (std::size_t i = 0; i < gates_.size(); ++i) {
+        if (!gates_[i].touches(q))
+            continue;
+        if (!interval)
+            interval = {i, i};
+        else
+            interval->second = i;
+    }
+    return interval;
+}
+
+ResourceStats
+Circuit::stats() const
+{
+    ResourceStats s;
+    s.gateCount = gates_.size();
+    s.depth = depth();
+    s.width = width();
+    for (const Gate &g : gates_) {
+        switch (g.kind()) {
+          case GateKind::X:     ++s.notCount;     break;
+          case GateKind::CNOT:  ++s.cnotCount;    break;
+          case GateKind::CCNOT: ++s.toffoliCount; break;
+          case GateKind::MCX:   ++s.mcxCount;     break;
+          default:              ++s.otherCount;   break;
+        }
+    }
+    return s;
+}
+
+void
+Circuit::setLabel(QubitId q, std::string label)
+{
+    qbAssert(q < numQubits_, "label target out of range");
+    labels[q] = std::move(label);
+}
+
+std::string
+Circuit::label(QubitId q) const
+{
+    auto it = labels.find(q);
+    if (it != labels.end())
+        return it->second;
+    return "q" + std::to_string(q);
+}
+
+bool
+Circuit::operator==(const Circuit &other) const
+{
+    return numQubits_ == other.numQubits_ && gates_ == other.gates_;
+}
+
+std::string
+Circuit::toString() const
+{
+    std::string out;
+    if (!name_.empty())
+        out += "// " + name_ + "\n";
+    for (const Gate &g : gates_)
+        out += g.toString() + "\n";
+    return out;
+}
+
+} // namespace qb::ir

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Gate-level intermediate representation: circuits.
+ *
+ * A Circuit is an ordered list of gates over a fixed qubit count, with
+ * optional per-qubit labels (used to echo source-level register names in
+ * reports).  Structural analyses (depth, width, per-kind counts, busy
+ * intervals) live here; semantic analyses (simulation, verification)
+ * live in sim/ and core/.
+ */
+
+#ifndef QB_IR_CIRCUIT_H
+#define QB_IR_CIRCUIT_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/gate.h"
+
+namespace qb::ir {
+
+/** Per-kind gate counts plus headline totals. */
+struct ResourceStats
+{
+    std::size_t gateCount = 0;     ///< total gates ("size")
+    std::uint32_t depth = 0;       ///< ASAP schedule depth
+    std::uint32_t width = 0;       ///< qubits touched by at least 1 gate
+    std::size_t notCount = 0;      ///< plain X gates
+    std::size_t cnotCount = 0;
+    std::size_t toffoliCount = 0;  ///< CCNOT
+    std::size_t mcxCount = 0;      ///< generic MCX
+    std::size_t otherCount = 0;    ///< non-classical gates
+};
+
+/** An ordered gate list over numQubits() qubits. */
+class Circuit
+{
+  public:
+    explicit Circuit(std::uint32_t num_qubits, std::string name = "");
+
+    std::uint32_t numQubits() const { return numQubits_; }
+    const std::string &name() const { return name_; }
+
+    /** Append a gate; operands are bounds-checked. */
+    void append(Gate gate);
+    /** Append every gate of @p other (qubit counts must match). */
+    void appendCircuit(const Circuit &other);
+
+    const std::vector<Gate> &gates() const { return gates_; }
+    std::size_t size() const { return gates_.size(); }
+    bool empty() const { return gates_.empty(); }
+
+    /** True when every gate permutes the computational basis. */
+    bool isClassical() const;
+
+    /** The reversed circuit of inverse gates. */
+    Circuit inverse() const;
+
+    /**
+     * The sub-circuit of gates [begin, end) over the same qubits.
+     * Used to restrict verification to a borrowed qubit's lifetime.
+     */
+    Circuit slice(std::size_t begin, std::size_t end) const;
+
+    /** ASAP (greedy as-soon-as-possible) schedule depth. */
+    std::uint32_t depth() const;
+
+    /**
+     * ASAP layer of every gate (1-based); gates in the same layer act
+     * on disjoint qubits, so stably reordering by layer preserves the
+     * implemented operator.
+     */
+    std::vector<std::uint32_t> asapLayers() const;
+
+    /** Number of qubits touched by at least one gate. */
+    std::uint32_t width() const;
+
+    /** Per-qubit flag: touched by at least one gate. */
+    std::vector<bool> usedMask() const;
+
+    /**
+     * Busy interval of @p q: [first, last] gate indices touching it, or
+     * nullopt when the qubit is idle throughout.
+     */
+    std::optional<std::pair<std::size_t, std::size_t>>
+    busyInterval(QubitId q) const;
+
+    /** Aggregate resource statistics. */
+    ResourceStats stats() const;
+
+    /** @name Qubit labels. @{ */
+    void setLabel(QubitId q, std::string label);
+    /** Label of @p q, or "q<index>" when unset. */
+    std::string label(QubitId q) const;
+    /** @} */
+
+    bool operator==(const Circuit &other) const;
+
+    /** Multi-line listing of all gates. */
+    std::string toString() const;
+
+  private:
+    std::uint32_t numQubits_;
+    std::string name_;
+    std::vector<Gate> gates_;
+    std::map<QubitId, std::string> labels;
+};
+
+} // namespace qb::ir
+
+#endif // QB_IR_CIRCUIT_H

@@ -1,0 +1,202 @@
+#include "ir/gate.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace qb::ir {
+
+Gate::Gate(GateKind kind, std::vector<QubitId> qubits, double angle)
+    : kind_(kind), qubits_(std::move(qubits)), angle_(angle)
+{
+    std::vector<QubitId> sorted = qubits_;
+    std::sort(sorted.begin(), sorted.end());
+    qbAssert(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                 sorted.end(),
+             "gate operands must be distinct qubits");
+}
+
+Gate
+Gate::x(QubitId q)
+{
+    return Gate(GateKind::X, {q});
+}
+
+Gate
+Gate::cnot(QubitId control, QubitId target)
+{
+    return Gate(GateKind::CNOT, {control, target});
+}
+
+Gate
+Gate::ccnot(QubitId c1, QubitId c2, QubitId target)
+{
+    return Gate(GateKind::CCNOT, {c1, c2, target});
+}
+
+Gate
+Gate::mcx(std::vector<QubitId> controls, QubitId target)
+{
+    controls.push_back(target);
+    return Gate(GateKind::MCX, std::move(controls));
+}
+
+Gate
+Gate::h(QubitId q)
+{
+    return Gate(GateKind::H, {q});
+}
+
+Gate
+Gate::s(QubitId q)
+{
+    return Gate(GateKind::S, {q});
+}
+
+Gate
+Gate::sdg(QubitId q)
+{
+    return Gate(GateKind::Sdg, {q});
+}
+
+Gate
+Gate::t(QubitId q)
+{
+    return Gate(GateKind::T, {q});
+}
+
+Gate
+Gate::tdg(QubitId q)
+{
+    return Gate(GateKind::Tdg, {q});
+}
+
+Gate
+Gate::z(QubitId q)
+{
+    return Gate(GateKind::Z, {q});
+}
+
+Gate
+Gate::swap(QubitId a, QubitId b)
+{
+    return Gate(GateKind::Swap, {a, b});
+}
+
+Gate
+Gate::cz(QubitId a, QubitId b)
+{
+    return Gate(GateKind::CZ, {a, b});
+}
+
+Gate
+Gate::cphase(QubitId control, QubitId target, double angle)
+{
+    return Gate(GateKind::CPhase, {control, target}, angle);
+}
+
+Gate
+Gate::phase(QubitId q, double angle)
+{
+    return Gate(GateKind::Phase, {q}, angle);
+}
+
+bool
+Gate::isClassical() const
+{
+    switch (kind_) {
+      case GateKind::X:
+      case GateKind::CNOT:
+      case GateKind::CCNOT:
+      case GateKind::MCX:
+      case GateKind::Swap:
+        return true;
+      default:
+        return false;
+    }
+}
+
+QubitId
+Gate::target() const
+{
+    qbAssert(kind_ == GateKind::X || kind_ == GateKind::CNOT ||
+                 kind_ == GateKind::CCNOT || kind_ == GateKind::MCX,
+             "target() on a non X-family gate");
+    return qubits_.back();
+}
+
+std::span<const QubitId>
+Gate::controls() const
+{
+    qbAssert(kind_ == GateKind::X || kind_ == GateKind::CNOT ||
+                 kind_ == GateKind::CCNOT || kind_ == GateKind::MCX,
+             "controls() on a non X-family gate");
+    return {qubits_.data(), qubits_.size() - 1};
+}
+
+std::size_t
+Gate::numControls() const
+{
+    return controls().size();
+}
+
+bool
+Gate::touches(QubitId q) const
+{
+    return std::find(qubits_.begin(), qubits_.end(), q) != qubits_.end();
+}
+
+Gate
+Gate::inverse() const
+{
+    switch (kind_) {
+      case GateKind::S:
+        return Gate(GateKind::Sdg, qubits_);
+      case GateKind::Sdg:
+        return Gate(GateKind::S, qubits_);
+      case GateKind::T:
+        return Gate(GateKind::Tdg, qubits_);
+      case GateKind::Tdg:
+        return Gate(GateKind::T, qubits_);
+      case GateKind::CPhase:
+        return Gate(GateKind::CPhase, qubits_, -angle_);
+      case GateKind::Phase:
+        return Gate(GateKind::Phase, qubits_, -angle_);
+      default:
+        return *this; // the rest are self-inverse
+    }
+}
+
+std::string
+Gate::toString() const
+{
+    const char *name = nullptr;
+    switch (kind_) {
+      case GateKind::X:      name = "X";      break;
+      case GateKind::CNOT:   name = "CNOT";   break;
+      case GateKind::CCNOT:  name = "CCNOT";  break;
+      case GateKind::MCX:    name = "MCX";    break;
+      case GateKind::H:      name = "H";      break;
+      case GateKind::S:      name = "S";      break;
+      case GateKind::Sdg:    name = "Sdg";    break;
+      case GateKind::T:      name = "T";      break;
+      case GateKind::Tdg:    name = "Tdg";    break;
+      case GateKind::Z:      name = "Z";      break;
+      case GateKind::Swap:   name = "SWAP";   break;
+      case GateKind::CZ:     name = "CZ";     break;
+      case GateKind::CPhase: name = "CPHASE"; break;
+      case GateKind::Phase:  name = "PHASE";  break;
+    }
+    std::string out = std::string(name) + "[";
+    for (std::size_t i = 0; i < qubits_.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += std::to_string(qubits_[i]);
+    }
+    if (kind_ == GateKind::CPhase || kind_ == GateKind::Phase)
+        out += format("; %.6g", angle_);
+    return out + "]";
+}
+
+} // namespace qb::ir

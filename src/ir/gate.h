@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Gate-level intermediate representation: individual gates.
+ *
+ * The gate set covers the paper's needs: the classical-reversible family
+ * {X, CNOT, CCNOT (Toffoli), general MCX} that the SAT-based verifier
+ * handles (Theorem 6.2), plus a small set of non-classical gates
+ * (H, S/Sdg, T/Tdg, Z, SWAP) used by the simulators, the Draper adder of
+ * Figure 1.1, and by tests that exercise the "not a classical circuit"
+ * paths.
+ */
+
+#ifndef QB_IR_GATE_H
+#define QB_IR_GATE_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qb::ir {
+
+/** Qubit index within a circuit. */
+using QubitId = std::uint32_t;
+
+/** Gate discriminator. */
+enum class GateKind : std::uint8_t {
+    X,     ///< NOT
+    CNOT,  ///< controlled NOT
+    CCNOT, ///< Toffoli
+    MCX,   ///< m-controlled NOT, any m >= 0
+    H,     ///< Hadamard
+    S,     ///< phase gate diag(1, i)
+    Sdg,   ///< inverse phase gate
+    T,     ///< pi/8 gate diag(1, e^{i pi/4})
+    Tdg,   ///< inverse T
+    Z,     ///< Pauli Z
+    Swap,  ///< qubit exchange
+    CZ,    ///< controlled Z
+    CPhase, ///< controlled phase rotation by angle (Draper adder)
+    Phase, ///< single-qubit phase rotation diag(1, e^{i angle})
+};
+
+/**
+ * A single gate application.
+ *
+ * For the X family the operand list is [controls..., target]; for Swap
+ * and CZ it is the two operands; single-qubit gates have one operand.
+ * CPhase carries a rotation angle (radians) in addition to its two
+ * operands.
+ */
+class Gate
+{
+  public:
+    /** @name Factory functions (operands validated to be distinct). @{ */
+    static Gate x(QubitId q);
+    static Gate cnot(QubitId control, QubitId target);
+    static Gate ccnot(QubitId c1, QubitId c2, QubitId target);
+    static Gate mcx(std::vector<QubitId> controls, QubitId target);
+    static Gate h(QubitId q);
+    static Gate s(QubitId q);
+    static Gate sdg(QubitId q);
+    static Gate t(QubitId q);
+    static Gate tdg(QubitId q);
+    static Gate z(QubitId q);
+    static Gate swap(QubitId a, QubitId b);
+    static Gate cz(QubitId a, QubitId b);
+    static Gate cphase(QubitId control, QubitId target, double angle);
+    static Gate phase(QubitId q, double angle);
+    /** @} */
+
+    GateKind kind() const { return kind_; }
+    const std::vector<QubitId> &qubits() const { return qubits_; }
+    /** Rotation angle; only meaningful for CPhase. */
+    double angle() const { return angle_; }
+
+    /** Target of an X-family gate (the last operand). */
+    QubitId target() const;
+    /** Controls of an X-family gate (all but the last operand). */
+    std::span<const QubitId> controls() const;
+
+    /** Number of controls for the X family (0 for plain X). */
+    std::size_t numControls() const;
+
+    /** True for gates that permute the computational basis. */
+    bool isClassical() const;
+
+    /** True when @p q is among the operands. */
+    bool touches(QubitId q) const;
+
+    /** The gate implementing the inverse unitary. */
+    Gate inverse() const;
+
+    bool operator==(const Gate &other) const = default;
+
+    std::string toString() const;
+
+  private:
+    Gate(GateKind kind, std::vector<QubitId> qubits, double angle = 0.0);
+
+    GateKind kind_;
+    std::vector<QubitId> qubits_;
+    double angle_ = 0.0;
+};
+
+} // namespace qb::ir
+
+#endif // QB_IR_GATE_H

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Abstract syntax tree for QBorrow programs (grammar of Section 10.3).
+ *
+ * The AST is deliberately close to the concrete grammar: statements for
+ * let / borrow / borrow@ / alloc / release / gate applications / for
+ * loops, and integer expressions over +, -, * and named constants.
+ */
+
+#ifndef QB_LANG_AST_H
+#define QB_LANG_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "lang/token.h"
+
+namespace qb::lang {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** Integer literal. */
+struct NumExpr
+{
+    std::int64_t value;
+};
+
+/** Named constant (let binding or loop variable). */
+struct IdentExpr
+{
+    std::string name;
+};
+
+/** Binary arithmetic: +, -, *. */
+struct BinaryExpr
+{
+    char op; // '+', '-', '*'
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+/** Unary sign: +e or -e. */
+struct UnaryExpr
+{
+    char op; // '+', '-'
+    ExprPtr operand;
+};
+
+/** Arithmetic expression node. */
+struct Expr
+{
+    SourceLoc loc;
+    std::variant<NumExpr, IdentExpr, BinaryExpr, UnaryExpr> node;
+};
+
+/**
+ * A register reference: either a bare identifier (scalar register) or
+ * an indexed element / sized declaration `name[expr]`.  The same
+ * syntactic form serves both declaration sites (where the expression is
+ * a size) and use sites (where it is a 1-based element index), exactly
+ * as in the paper's grammar.
+ */
+struct RegRef
+{
+    SourceLoc loc;
+    std::string name;
+    ExprPtr index; ///< null for scalar references
+};
+
+/** let ID = expr; */
+struct LetStmt
+{
+    std::string name;
+    ExprPtr value;
+};
+
+/** borrow reg; or borrow@ reg; */
+struct BorrowStmt
+{
+    RegRef reg;
+    bool skipVerify; ///< true for borrow@
+};
+
+/** alloc reg; (clean, |0>-initialized qubits) */
+struct AllocStmt
+{
+    RegRef reg;
+};
+
+/** release ID; */
+struct ReleaseStmt
+{
+    std::string name;
+};
+
+/** Gate application; controls first, target last (X family). */
+struct GateStmt
+{
+    enum class Kind { X, Cnot, Ccnot, Mcx, H, S, Z, Swap } kind;
+    std::vector<RegRef> args;
+};
+
+struct Stmt;
+
+/** if M[reg] { then } else { else }  (else block optional). */
+struct IfStmt
+{
+    RegRef guard;
+    std::vector<Stmt> thenBody;
+    std::vector<Stmt> elseBody;
+};
+
+/** while M[reg] { body }. */
+struct WhileStmt
+{
+    RegRef guard;
+    std::vector<Stmt> body;
+};
+
+/** for ID = expr to expr { body } (inclusive, auto direction). */
+struct ForStmt
+{
+    std::string var;
+    ExprPtr from;
+    ExprPtr to;
+    std::vector<Stmt> body;
+};
+
+/** Statement node. */
+struct Stmt
+{
+    SourceLoc loc;
+    std::variant<LetStmt, BorrowStmt, AllocStmt, ReleaseStmt, GateStmt,
+                 ForStmt, IfStmt, WhileStmt>
+        node;
+};
+
+/** A parsed QBorrow compilation unit. */
+struct Program
+{
+    std::vector<Stmt> statements;
+};
+
+} // namespace qb::lang
+
+#endif // QB_LANG_AST_H

@@ -1,0 +1,337 @@
+#include "lang/elaborate.h"
+
+#include <optional>
+#include <unordered_map>
+
+#include "lang/parser.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace qb::lang {
+
+namespace {
+
+/** Cap on total allocated qubits; guards against runaway loops. */
+constexpr std::size_t kMaxQubits = 1u << 20;
+
+struct Register
+{
+    ir::QubitId base = 0;
+    std::int64_t size = 0;
+    QubitRole role = QubitRole::BorrowVerify;
+    bool isArray = false;
+    bool released = false;
+};
+
+class Elaborator
+{
+  public:
+    ElaboratedProgram
+    run(const Program &program)
+    {
+        for (const Stmt &s : program.statements)
+            execStmt(s);
+        // Unreleased registers live until the end of the program, as
+        // in the paper's adder.qbr which has no release statements.
+        const std::size_t end = gates.size();
+        for (QubitInfo &info : result.qubits)
+            if (info.scopeEnd == kOpenScope)
+                info.scopeEnd = end;
+
+        result.circuit =
+            ir::Circuit(static_cast<std::uint32_t>(nextQubit));
+        for (std::size_t q = 0; q < result.qubits.size(); ++q)
+            result.circuit.setLabel(static_cast<ir::QubitId>(q),
+                                    result.qubits[q].name);
+        for (ir::Gate &g : gates)
+            result.circuit.append(std::move(g));
+        return std::move(result);
+    }
+
+  private:
+    static constexpr std::size_t kOpenScope = ~std::size_t{0};
+
+    [[noreturn]] static void
+    fail(const SourceLoc &loc, const std::string &msg)
+    {
+        fatal(loc.toString() + ": " + msg);
+    }
+
+    std::int64_t
+    eval(const Expr &e)
+    {
+        struct Visitor
+        {
+            Elaborator &el;
+            const Expr &expr;
+
+            std::int64_t operator()(const NumExpr &n) const
+            {
+                return n.value;
+            }
+            std::int64_t
+            operator()(const IdentExpr &id) const
+            {
+                auto it = el.consts.find(id.name);
+                if (it == el.consts.end())
+                    fail(expr.loc,
+                         "undefined constant '" + id.name + "'");
+                return it->second;
+            }
+            std::int64_t
+            operator()(const BinaryExpr &b) const
+            {
+                const std::int64_t l = el.eval(*b.lhs);
+                const std::int64_t r = el.eval(*b.rhs);
+                switch (b.op) {
+                  case '+': return l + r;
+                  case '-': return l - r;
+                  default:  return l * r;
+                }
+            }
+            std::int64_t
+            operator()(const UnaryExpr &u) const
+            {
+                const std::int64_t v = el.eval(*u.operand);
+                return u.op == '-' ? -v : v;
+            }
+        };
+        return std::visit(Visitor{*this, e}, e.node);
+    }
+
+    void
+    declareRegister(const RegRef &reg, QubitRole role)
+    {
+        auto it = registers.find(reg.name);
+        if (it != registers.end() && !it->second.released)
+            fail(reg.loc, "register '" + reg.name +
+                          "' is already in scope");
+        if (consts.count(reg.name))
+            fail(reg.loc, "'" + reg.name +
+                          "' already names a constant");
+        std::int64_t size = 1;
+        if (reg.index) {
+            size = eval(*reg.index);
+            if (size < 1)
+                fail(reg.loc,
+                     format("register '%s' must have positive size, "
+                            "got %lld",
+                            reg.name.c_str(),
+                            static_cast<long long>(size)));
+        }
+        if (nextQubit + static_cast<std::size_t>(size) > kMaxQubits)
+            fail(reg.loc, "qubit allocation limit exceeded");
+        Register r;
+        r.base = static_cast<ir::QubitId>(nextQubit);
+        r.size = size;
+        r.role = role;
+        r.isArray = reg.index != nullptr;
+        registers[reg.name] = r;
+        for (std::int64_t i = 0; i < size; ++i) {
+            QubitInfo info;
+            info.name = reg.index
+                ? format("%s[%lld]", reg.name.c_str(),
+                         static_cast<long long>(i + 1))
+                : reg.name;
+            info.role = role;
+            info.scopeBegin = gates.size();
+            info.scopeEnd = kOpenScope;
+            result.qubits.push_back(std::move(info));
+        }
+        nextQubit += static_cast<std::size_t>(size);
+    }
+
+    ir::QubitId
+    resolveQubit(const RegRef &reg)
+    {
+        auto it = registers.find(reg.name);
+        if (it == registers.end())
+            fail(reg.loc, "unknown register '" + reg.name + "'");
+        const Register &r = it->second;
+        if (r.released)
+            fail(reg.loc, "register '" + reg.name +
+                          "' was already released");
+        if (!reg.index) {
+            if (r.isArray)
+                fail(reg.loc, "register '" + reg.name +
+                              "' is an array; an index is required");
+            return r.base;
+        }
+        if (!r.isArray)
+            fail(reg.loc, "register '" + reg.name +
+                          "' is a scalar and cannot be indexed");
+        const std::int64_t idx = eval(*reg.index);
+        if (idx < 1 || idx > r.size)
+            fail(reg.loc,
+                 format("index %lld out of range for register "
+                        "'%s' of size %lld (indices are 1-based)",
+                        static_cast<long long>(idx), reg.name.c_str(),
+                        static_cast<long long>(r.size)));
+        return r.base + static_cast<ir::QubitId>(idx - 1);
+    }
+
+    void
+    execStmt(const Stmt &stmt)
+    {
+        struct Visitor
+        {
+            Elaborator &el;
+            const Stmt &stmt;
+
+            void
+            operator()(const LetStmt &s) const
+            {
+                if (el.registers.count(s.name) &&
+                    !el.registers[s.name].released)
+                    fail(stmt.loc, "'" + s.name +
+                                   "' already names a register");
+                el.consts[s.name] = el.eval(*s.value);
+            }
+            void
+            operator()(const BorrowStmt &s) const
+            {
+                el.declareRegister(s.reg,
+                                   s.skipVerify
+                                       ? QubitRole::BorrowSkip
+                                       : QubitRole::BorrowVerify);
+            }
+            void
+            operator()(const AllocStmt &s) const
+            {
+                el.declareRegister(s.reg, QubitRole::Alloc);
+            }
+            void
+            operator()(const ReleaseStmt &s) const
+            {
+                auto it = el.registers.find(s.name);
+                if (it == el.registers.end())
+                    fail(stmt.loc,
+                         "unknown register '" + s.name + "'");
+                if (it->second.released)
+                    fail(stmt.loc, "register '" + s.name +
+                                   "' was already released");
+                it->second.released = true;
+                const Register &r = it->second;
+                for (std::int64_t i = 0; i < r.size; ++i)
+                    el.result.qubits[r.base + i].scopeEnd =
+                        el.gates.size();
+            }
+            void
+            operator()(const GateStmt &s) const
+            {
+                std::vector<ir::QubitId> qs;
+                qs.reserve(s.args.size());
+                for (const RegRef &arg : s.args)
+                    qs.push_back(el.resolveQubit(arg));
+                for (std::size_t i = 0; i < qs.size(); ++i)
+                    for (std::size_t j = i + 1; j < qs.size(); ++j)
+                        if (qs[i] == qs[j])
+                            fail(stmt.loc,
+                                 "gate operands must be distinct "
+                                 "qubits");
+                switch (s.kind) {
+                  case GateStmt::Kind::X:
+                    el.gates.push_back(ir::Gate::x(qs[0]));
+                    break;
+                  case GateStmt::Kind::Cnot:
+                    el.gates.push_back(ir::Gate::cnot(qs[0], qs[1]));
+                    break;
+                  case GateStmt::Kind::Ccnot:
+                    el.gates.push_back(
+                        ir::Gate::ccnot(qs[0], qs[1], qs[2]));
+                    break;
+                  case GateStmt::Kind::Mcx: {
+                    const ir::QubitId target = qs.back();
+                    qs.pop_back();
+                    el.gates.push_back(
+                        ir::Gate::mcx(std::move(qs), target));
+                    break;
+                  }
+                  case GateStmt::Kind::H:
+                    el.gates.push_back(ir::Gate::h(qs[0]));
+                    break;
+                  case GateStmt::Kind::S:
+                    el.gates.push_back(ir::Gate::s(qs[0]));
+                    break;
+                  case GateStmt::Kind::Z:
+                    el.gates.push_back(ir::Gate::z(qs[0]));
+                    break;
+                  case GateStmt::Kind::Swap:
+                    el.gates.push_back(ir::Gate::swap(qs[0], qs[1]));
+                    break;
+                }
+            }
+            void
+            operator()(const IfStmt &) const
+            {
+                fail(stmt.loc,
+                     "measurement-guarded 'if' cannot be flattened "
+                     "to a circuit; use lang::lowerToSemantics()");
+            }
+            void
+            operator()(const WhileStmt &) const
+            {
+                fail(stmt.loc,
+                     "measurement-guarded 'while' cannot be "
+                     "flattened to a circuit; use "
+                     "lang::lowerToSemantics()");
+            }
+            void
+            operator()(const ForStmt &s) const
+            {
+                const std::int64_t from = el.eval(*s.from);
+                const std::int64_t to = el.eval(*s.to);
+                const std::int64_t step = from <= to ? 1 : -1;
+                // Save any shadowed binding of the loop variable.
+                std::optional<std::int64_t> saved;
+                auto prev = el.consts.find(s.var);
+                if (prev != el.consts.end())
+                    saved = prev->second;
+                for (std::int64_t i = from;; i += step) {
+                    el.consts[s.var] = i;
+                    for (const Stmt &inner : s.body)
+                        el.execStmt(inner);
+                    if (i == to)
+                        break;
+                }
+                if (saved)
+                    el.consts[s.var] = *saved;
+                else
+                    el.consts.erase(s.var);
+            }
+        };
+        std::visit(Visitor{*this, stmt}, stmt.node);
+    }
+
+    std::unordered_map<std::string, std::int64_t> consts;
+    std::unordered_map<std::string, Register> registers;
+    std::vector<ir::Gate> gates;
+    std::size_t nextQubit = 0;
+    ElaboratedProgram result;
+};
+
+} // namespace
+
+std::vector<ir::QubitId>
+ElaboratedProgram::qubitsWithRole(QubitRole role) const
+{
+    std::vector<ir::QubitId> out;
+    for (std::size_t q = 0; q < qubits.size(); ++q)
+        if (qubits[q].role == role)
+            out.push_back(static_cast<ir::QubitId>(q));
+    return out;
+}
+
+ElaboratedProgram
+elaborate(const Program &program)
+{
+    return Elaborator().run(program);
+}
+
+ElaboratedProgram
+elaborateSource(const std::string &source)
+{
+    return elaborate(parse(source));
+}
+
+} // namespace qb::lang

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Elaboration of QBorrow ASTs into flat gate-level circuits.
+ *
+ * Elaboration evaluates constant expressions, unrolls for loops,
+ * resolves register references to dense qubit ids, enforces scoping
+ * (no use before borrow / after release, distinct gate operands) and
+ * records, for each qubit, its *lifetime*: the gate-index range between
+ * its borrow and its release.  The verifier then checks safe
+ * uncomputation of each dirty qubit over exactly the statements inside
+ * its borrow ... release scope, matching Definition 5.1 of the paper.
+ */
+
+#ifndef QB_LANG_ELABORATE_H
+#define QB_LANG_ELABORATE_H
+
+#include <string>
+#include <vector>
+
+#include "ir/circuit.h"
+#include "lang/ast.h"
+
+namespace qb::lang {
+
+/** How a qubit was introduced at the source level. */
+enum class QubitRole {
+    BorrowVerify, ///< borrow: dirty qubit, safe uncomputation required
+    BorrowSkip,   ///< borrow@: dirty qubit, verification waived
+    Alloc,        ///< alloc: clean |0>-initialized ancilla
+};
+
+/** Per-qubit elaboration results. */
+struct QubitInfo
+{
+    std::string name;        ///< source-level name, e.g. "a[3]"
+    QubitRole role;
+    std::size_t scopeBegin;  ///< first gate index of the lifetime
+    std::size_t scopeEnd;    ///< one past the last gate of the lifetime
+};
+
+/** A fully elaborated program: a circuit plus qubit metadata. */
+struct ElaboratedProgram
+{
+    ir::Circuit circuit{0};
+    std::vector<QubitInfo> qubits;
+
+    /** Ids of qubits with the given role. */
+    std::vector<ir::QubitId> qubitsWithRole(QubitRole role) const;
+};
+
+/**
+ * Elaborate a parsed program.
+ *
+ * @throws FatalError with located messages on semantic errors
+ *         (undefined names, out-of-range indices, use after release,
+ *         duplicate gate operands, ...).
+ */
+ElaboratedProgram elaborate(const Program &program);
+
+/** parse() + elaborate() in one step. */
+ElaboratedProgram elaborateSource(const std::string &source);
+
+} // namespace qb::lang
+
+#endif // QB_LANG_ELABORATE_H

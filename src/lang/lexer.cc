@@ -1,0 +1,195 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "support/logging.h"
+
+namespace qb::lang {
+
+const char *
+tokenKindName(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::KwLet:      return "'let'";
+      case TokenKind::KwBorrow:   return "'borrow'";
+      case TokenKind::KwBorrowAt: return "'borrow@'";
+      case TokenKind::KwAlloc:    return "'alloc'";
+      case TokenKind::KwRelease:  return "'release'";
+      case TokenKind::KwFor:      return "'for'";
+      case TokenKind::KwTo:       return "'to'";
+      case TokenKind::KwX:        return "'X'";
+      case TokenKind::KwCnot:     return "'CNOT'";
+      case TokenKind::KwCcnot:    return "'CCNOT'";
+      case TokenKind::KwMcx:      return "'MCX'";
+      case TokenKind::KwIf:       return "'if'";
+      case TokenKind::KwElse:     return "'else'";
+      case TokenKind::KwWhile:    return "'while'";
+      case TokenKind::KwMeasure:  return "'M'";
+      case TokenKind::KwH:        return "'H'";
+      case TokenKind::KwS:        return "'S'";
+      case TokenKind::KwZ:        return "'Z'";
+      case TokenKind::KwSwap:     return "'SWAP'";
+      case TokenKind::Assign:     return "'='";
+      case TokenKind::Semi:       return "';'";
+      case TokenKind::Comma:      return "','";
+      case TokenKind::LBracket:   return "'['";
+      case TokenKind::RBracket:   return "']'";
+      case TokenKind::LBrace:     return "'{'";
+      case TokenKind::RBrace:     return "'}'";
+      case TokenKind::LParen:     return "'('";
+      case TokenKind::RParen:     return "')'";
+      case TokenKind::Plus:       return "'+'";
+      case TokenKind::Minus:      return "'-'";
+      case TokenKind::Star:       return "'*'";
+      case TokenKind::Ident:      return "identifier";
+      case TokenKind::Number:     return "number";
+      case TokenKind::EndOfFile:  return "end of input";
+    }
+    return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, TokenKind> kKeywords = {
+    {"let", TokenKind::KwLet},
+    {"borrow", TokenKind::KwBorrow},
+    {"alloc", TokenKind::KwAlloc},
+    {"release", TokenKind::KwRelease},
+    {"for", TokenKind::KwFor},
+    {"to", TokenKind::KwTo},
+    {"X", TokenKind::KwX},
+    {"CNOT", TokenKind::KwCnot},
+    {"CCNOT", TokenKind::KwCcnot},
+    {"MCX", TokenKind::KwMcx},
+    {"if", TokenKind::KwIf},
+    {"else", TokenKind::KwElse},
+    {"while", TokenKind::KwWhile},
+    {"M", TokenKind::KwMeasure},
+    {"H", TokenKind::KwH},
+    {"S", TokenKind::KwS},
+    {"Z", TokenKind::KwZ},
+    {"SWAP", TokenKind::KwSwap},
+};
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string &source)
+{
+    std::vector<Token> tokens;
+    SourceLoc loc;
+    std::size_t i = 0;
+    const std::size_t n = source.size();
+
+    auto advance = [&](std::size_t count = 1) {
+        for (std::size_t k = 0; k < count && i < n; ++k) {
+            if (source[i] == '\n') {
+                ++loc.line;
+                loc.column = 1;
+            } else {
+                ++loc.column;
+            }
+            ++i;
+        }
+    };
+    auto peek = [&](std::size_t off = 0) -> char {
+        return i + off < n ? source[i + off] : '\0';
+    };
+
+    while (i < n) {
+        const char c = peek();
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+            continue;
+        }
+        if (c == '/' && peek(1) == '/') {
+            while (i < n && peek() != '\n')
+                advance();
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            const SourceLoc start = loc;
+            advance(2);
+            while (i < n && !(peek() == '*' && peek(1) == '/'))
+                advance();
+            if (i >= n)
+                fatal(start.toString() +
+                      ": unterminated block comment");
+            advance(2);
+            continue;
+        }
+
+        Token tok;
+        tok.loc = loc;
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::string num;
+            while (std::isdigit(static_cast<unsigned char>(peek()))) {
+                num += peek();
+                advance();
+            }
+            tok.kind = TokenKind::Number;
+            tok.text = num;
+            try {
+                tok.value = std::stoll(num);
+            } catch (const std::exception &) {
+                fatal(tok.loc.toString() + ": number literal '" + num +
+                      "' out of range");
+            }
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string word;
+            while (std::isalnum(static_cast<unsigned char>(peek())) ||
+                   peek() == '_') {
+                word += peek();
+                advance();
+            }
+            auto kw = kKeywords.find(word);
+            if (kw != kKeywords.end()) {
+                tok.kind = kw->second;
+                // 'borrow@' is a single token in the grammar.
+                if (tok.kind == TokenKind::KwBorrow && peek() == '@') {
+                    advance();
+                    tok.kind = TokenKind::KwBorrowAt;
+                    word += '@';
+                }
+            } else {
+                tok.kind = TokenKind::Ident;
+            }
+            tok.text = std::move(word);
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+
+        switch (c) {
+          case '=': tok.kind = TokenKind::Assign;   break;
+          case ';': tok.kind = TokenKind::Semi;     break;
+          case ',': tok.kind = TokenKind::Comma;    break;
+          case '[': tok.kind = TokenKind::LBracket; break;
+          case ']': tok.kind = TokenKind::RBracket; break;
+          case '{': tok.kind = TokenKind::LBrace;   break;
+          case '}': tok.kind = TokenKind::RBrace;   break;
+          case '(': tok.kind = TokenKind::LParen;   break;
+          case ')': tok.kind = TokenKind::RParen;   break;
+          case '+': tok.kind = TokenKind::Plus;     break;
+          case '-': tok.kind = TokenKind::Minus;    break;
+          case '*': tok.kind = TokenKind::Star;     break;
+          default:
+            fatal(loc.toString() + ": illegal character '" +
+                  std::string(1, c) + "'");
+        }
+        tok.text = std::string(1, c);
+        advance();
+        tokens.push_back(std::move(tok));
+    }
+
+    Token eof;
+    eof.kind = TokenKind::EndOfFile;
+    eof.loc = loc;
+    tokens.push_back(std::move(eof));
+    return tokens;
+}
+
+} // namespace qb::lang

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Hand-written lexer for QBorrow source text.
+ *
+ * Replaces the ANTLR4-generated lexer of the paper's artifact; accepts
+ * the same language: identifiers, decimal numbers, the keyword set, //
+ * line comments and C-style block comments.
+ */
+
+#ifndef QB_LANG_LEXER_H
+#define QB_LANG_LEXER_H
+
+#include <string>
+#include <vector>
+
+#include "lang/token.h"
+
+namespace qb::lang {
+
+/**
+ * Tokenize @p source.
+ *
+ * @throws FatalError with line/column context on illegal characters or
+ *         unterminated block comments.
+ */
+std::vector<Token> tokenize(const std::string &source);
+
+} // namespace qb::lang
+
+#endif // QB_LANG_LEXER_H

@@ -1,0 +1,308 @@
+#include "lang/parser.h"
+
+#include "lang/lexer.h"
+#include "support/logging.h"
+
+namespace qb::lang {
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens)
+        : toks(std::move(tokens))
+    {}
+
+    Program
+    parseProgram()
+    {
+        Program prog;
+        if (peek().kind == TokenKind::EndOfFile)
+            fail("a QBorrow program must contain at least one statement");
+        while (peek().kind != TokenKind::EndOfFile)
+            prog.statements.push_back(parseStatement());
+        return prog;
+    }
+
+  private:
+    const Token &peek(std::size_t off = 0) const
+    {
+        const std::size_t idx = std::min(pos + off, toks.size() - 1);
+        return toks[idx];
+    }
+
+    Token
+    advance()
+    {
+        Token t = toks[pos];
+        if (pos + 1 < toks.size())
+            ++pos;
+        return t;
+    }
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        fatal(peek().loc.toString() + ": " + msg);
+    }
+
+    Token
+    expect(TokenKind kind)
+    {
+        if (peek().kind != kind) {
+            fail(std::string("expected ") + tokenKindName(kind) +
+                 " but found " + tokenKindName(peek().kind) +
+                 (peek().text.empty() ? "" : " '" + peek().text + "'"));
+        }
+        return advance();
+    }
+
+    Stmt
+    parseStatement()
+    {
+        const SourceLoc loc = peek().loc;
+        switch (peek().kind) {
+          case TokenKind::KwLet: {
+            advance();
+            const std::string name = expect(TokenKind::Ident).text;
+            expect(TokenKind::Assign);
+            ExprPtr value = parseExpr();
+            expect(TokenKind::Semi);
+            return {loc, LetStmt{name, std::move(value)}};
+          }
+          case TokenKind::KwBorrow:
+          case TokenKind::KwBorrowAt: {
+            const bool skip = advance().kind == TokenKind::KwBorrowAt;
+            RegRef reg = parseRegRef();
+            expect(TokenKind::Semi);
+            return {loc, BorrowStmt{std::move(reg), skip}};
+          }
+          case TokenKind::KwAlloc: {
+            advance();
+            RegRef reg = parseRegRef();
+            expect(TokenKind::Semi);
+            return {loc, AllocStmt{std::move(reg)}};
+          }
+          case TokenKind::KwRelease: {
+            advance();
+            const std::string name = expect(TokenKind::Ident).text;
+            expect(TokenKind::Semi);
+            return {loc, ReleaseStmt{name}};
+          }
+          case TokenKind::KwX:
+            advance();
+            return {loc, parseGateArgs(GateStmt::Kind::X, 1, 1)};
+          case TokenKind::KwCnot:
+            advance();
+            return {loc, parseGateArgs(GateStmt::Kind::Cnot, 2, 2)};
+          case TokenKind::KwCcnot:
+            advance();
+            return {loc, parseGateArgs(GateStmt::Kind::Ccnot, 3, 3)};
+          case TokenKind::KwMcx:
+            advance();
+            return {loc, parseGateArgs(GateStmt::Kind::Mcx, 2, 0)};
+          case TokenKind::KwH:
+            advance();
+            return {loc, parseGateArgs(GateStmt::Kind::H, 1, 1)};
+          case TokenKind::KwS:
+            advance();
+            return {loc, parseGateArgs(GateStmt::Kind::S, 1, 1)};
+          case TokenKind::KwZ:
+            advance();
+            return {loc, parseGateArgs(GateStmt::Kind::Z, 1, 1)};
+          case TokenKind::KwSwap:
+            advance();
+            return {loc, parseGateArgs(GateStmt::Kind::Swap, 2, 2)};
+          case TokenKind::KwIf: {
+            advance();
+            RegRef guard = parseGuard();
+            std::vector<Stmt> then_body = parseBlock();
+            std::vector<Stmt> else_body;
+            if (peek().kind == TokenKind::KwElse) {
+                advance();
+                else_body = parseBlock();
+            }
+            return {loc, IfStmt{std::move(guard),
+                                std::move(then_body),
+                                std::move(else_body)}};
+          }
+          case TokenKind::KwWhile: {
+            advance();
+            RegRef guard = parseGuard();
+            std::vector<Stmt> body = parseBlock();
+            return {loc, WhileStmt{std::move(guard),
+                                   std::move(body)}};
+          }
+          case TokenKind::KwFor: {
+            advance();
+            const std::string var = expect(TokenKind::Ident).text;
+            expect(TokenKind::Assign);
+            ExprPtr from = parseExpr();
+            expect(TokenKind::KwTo);
+            ExprPtr to = parseExpr();
+            expect(TokenKind::LBrace);
+            std::vector<Stmt> body;
+            while (peek().kind != TokenKind::RBrace) {
+                if (peek().kind == TokenKind::EndOfFile)
+                    fail("unterminated for-loop body ('}' expected)");
+                body.push_back(parseStatement());
+            }
+            expect(TokenKind::RBrace);
+            return {loc, ForStmt{var, std::move(from), std::move(to),
+                                 std::move(body)}};
+          }
+          default:
+            fail(std::string("expected a statement but found ") +
+                 tokenKindName(peek().kind) +
+                 (peek().text.empty() ? "" : " '" + peek().text + "'"));
+        }
+    }
+
+    /** Parse '[' reg (',' reg)* ']' ';' with an arity check. */
+    GateStmt
+    parseGateArgs(GateStmt::Kind kind, std::size_t min_args,
+                  std::size_t exact_args)
+    {
+        expect(TokenKind::LBracket);
+        std::vector<RegRef> args;
+        args.push_back(parseRegRef());
+        while (peek().kind == TokenKind::Comma) {
+            advance();
+            args.push_back(parseRegRef());
+        }
+        expect(TokenKind::RBracket);
+        expect(TokenKind::Semi);
+        if (exact_args != 0 && args.size() != exact_args)
+            fail("gate expects exactly " + std::to_string(exact_args) +
+                 " operands, got " + std::to_string(args.size()));
+        if (args.size() < min_args)
+            fail("gate expects at least " + std::to_string(min_args) +
+                 " operands, got " + std::to_string(args.size()));
+        return GateStmt{kind, std::move(args)};
+    }
+
+    /** Parse the measurement guard M[reg] of if/while. */
+    RegRef
+    parseGuard()
+    {
+        expect(TokenKind::KwMeasure);
+        expect(TokenKind::LBracket);
+        RegRef guard = parseRegRef();
+        expect(TokenKind::RBracket);
+        return guard;
+    }
+
+    /** Parse a brace-delimited statement list. */
+    std::vector<Stmt>
+    parseBlock()
+    {
+        expect(TokenKind::LBrace);
+        std::vector<Stmt> body;
+        while (peek().kind != TokenKind::RBrace) {
+            if (peek().kind == TokenKind::EndOfFile)
+                fail("unterminated block ('}' expected)");
+            body.push_back(parseStatement());
+        }
+        expect(TokenKind::RBrace);
+        return body;
+    }
+
+    RegRef
+    parseRegRef()
+    {
+        const SourceLoc loc = peek().loc;
+        const std::string name = expect(TokenKind::Ident).text;
+        ExprPtr index;
+        if (peek().kind == TokenKind::LBracket) {
+            advance();
+            index = parseExpr();
+            expect(TokenKind::RBracket);
+        }
+        return RegRef{loc, name, std::move(index)};
+    }
+
+    // expr: term (('+'|'-') term)* with leading unary sign
+    ExprPtr
+    parseExpr()
+    {
+        const SourceLoc loc = peek().loc;
+        ExprPtr lhs;
+        if (peek().kind == TokenKind::Plus ||
+            peek().kind == TokenKind::Minus) {
+            const char op =
+                advance().kind == TokenKind::Plus ? '+' : '-';
+            ExprPtr operand = parseTerm();
+            lhs = std::make_unique<Expr>(
+                Expr{loc, UnaryExpr{op, std::move(operand)}});
+        } else {
+            lhs = parseTerm();
+        }
+        while (peek().kind == TokenKind::Plus ||
+               peek().kind == TokenKind::Minus) {
+            const SourceLoc op_loc = peek().loc;
+            const char op =
+                advance().kind == TokenKind::Plus ? '+' : '-';
+            ExprPtr rhs = parseTerm();
+            lhs = std::make_unique<Expr>(Expr{
+                op_loc, BinaryExpr{op, std::move(lhs), std::move(rhs)}});
+        }
+        return lhs;
+    }
+
+    // term: factor ('*' factor)*
+    ExprPtr
+    parseTerm()
+    {
+        ExprPtr lhs = parseFactor();
+        while (peek().kind == TokenKind::Star) {
+            const SourceLoc op_loc = peek().loc;
+            advance();
+            ExprPtr rhs = parseFactor();
+            lhs = std::make_unique<Expr>(Expr{
+                op_loc,
+                BinaryExpr{'*', std::move(lhs), std::move(rhs)}});
+        }
+        return lhs;
+    }
+
+    // factor: NUMBER | ID | '(' expr ')'
+    ExprPtr
+    parseFactor()
+    {
+        const SourceLoc loc = peek().loc;
+        switch (peek().kind) {
+          case TokenKind::Number: {
+            const Token t = advance();
+            return std::make_unique<Expr>(Expr{loc, NumExpr{t.value}});
+          }
+          case TokenKind::Ident: {
+            const Token t = advance();
+            return std::make_unique<Expr>(Expr{loc, IdentExpr{t.text}});
+          }
+          case TokenKind::LParen: {
+            advance();
+            ExprPtr inner = parseExpr();
+            expect(TokenKind::RParen);
+            return inner;
+          }
+          default:
+            fail(std::string(
+                     "expected a number, identifier or '(' but found ") +
+                 tokenKindName(peek().kind));
+        }
+    }
+
+    std::vector<Token> toks;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+Program
+parse(const std::string &source)
+{
+    return Parser(tokenize(source)).parseProgram();
+}
+
+} // namespace qb::lang

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Recursive-descent parser for QBorrow.
+ *
+ * Accepts the grammar of the paper's artifact appendix (Section 10.3)
+ * and produces the AST of ast.h.  Diagnostics carry line:column
+ * positions and name the expected token.
+ */
+
+#ifndef QB_LANG_PARSER_H
+#define QB_LANG_PARSER_H
+
+#include <string>
+
+#include "lang/ast.h"
+
+namespace qb::lang {
+
+/**
+ * Parse QBorrow source text into an AST.
+ *
+ * @throws FatalError with a located message on syntax errors.
+ */
+Program parse(const std::string &source);
+
+} // namespace qb::lang
+
+#endif // QB_LANG_PARSER_H

@@ -1,0 +1,386 @@
+#include "lang/to_semantics.h"
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+
+#include "lang/parser.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace qb::lang {
+
+namespace {
+
+/** A register is either concrete qubits or a borrow placeholder. */
+struct SemRegister
+{
+    bool isPlaceholder = false;
+    std::string placeholder; // unique instance name
+    ir::QubitId base = 0;
+    std::int64_t size = 1;
+    bool isArray = false;
+    bool released = false;
+};
+
+class Lowering
+{
+  public:
+    SemanticsProgram
+    run(const Program &program)
+    {
+        SemanticsProgram out;
+        out.stmt = lowerBlock(program.statements);
+        out.numQubits = static_cast<std::uint32_t>(nextQubit);
+        out.labels = std::move(labels);
+        return out;
+    }
+
+  private:
+    [[noreturn]] static void
+    fail(const SourceLoc &loc, const std::string &msg)
+    {
+        fatal(loc.toString() + ": " + msg);
+    }
+
+    std::int64_t
+    eval(const Expr &e)
+    {
+        struct Visitor
+        {
+            Lowering &lo;
+            const Expr &expr;
+
+            std::int64_t operator()(const NumExpr &n) const
+            {
+                return n.value;
+            }
+            std::int64_t
+            operator()(const IdentExpr &id) const
+            {
+                auto it = lo.consts.find(id.name);
+                if (it == lo.consts.end())
+                    fail(expr.loc,
+                         "undefined constant '" + id.name + "'");
+                return it->second;
+            }
+            std::int64_t
+            operator()(const BinaryExpr &b) const
+            {
+                const std::int64_t l = lo.eval(*b.lhs);
+                const std::int64_t r = lo.eval(*b.rhs);
+                switch (b.op) {
+                  case '+': return l + r;
+                  case '-': return l - r;
+                  default:  return l * r;
+                }
+            }
+            std::int64_t
+            operator()(const UnaryExpr &u) const
+            {
+                const std::int64_t v = lo.eval(*u.operand);
+                return u.op == '-' ? -v : v;
+            }
+        };
+        return std::visit(Visitor{*this, e}, e.node);
+    }
+
+    sem::Operand
+    resolve(const RegRef &reg)
+    {
+        auto it = registers.find(reg.name);
+        if (it == registers.end())
+            fail(reg.loc, "unknown register '" + reg.name + "'");
+        SemRegister &r = it->second;
+        if (r.released)
+            fail(reg.loc, "register '" + reg.name +
+                          "' was already released");
+        if (r.isPlaceholder) {
+            if (reg.index)
+                fail(reg.loc, "borrowed placeholder '" + reg.name +
+                              "' cannot be indexed");
+            return sem::Operand::ph(r.placeholder);
+        }
+        std::int64_t idx = 1;
+        if (reg.index) {
+            if (!r.isArray)
+                fail(reg.loc, "register '" + reg.name +
+                              "' is a scalar and cannot be indexed");
+            idx = eval(*reg.index);
+            if (idx < 1 || idx > r.size)
+                fail(reg.loc,
+                     format("index %lld out of range for '%s'",
+                            static_cast<long long>(idx),
+                            reg.name.c_str()));
+        } else if (r.isArray) {
+            fail(reg.loc, "register '" + reg.name +
+                          "' is an array; an index is required");
+        }
+        return sem::Operand::q(
+            r.base + static_cast<ir::QubitId>(idx - 1));
+    }
+
+    /**
+     * Declare a concrete register (borrow@ or alloc); returns the
+     * init statements for alloc registers.
+     */
+    std::vector<sem::StmtPtr>
+    declareConcrete(const RegRef &reg, bool is_alloc)
+    {
+        checkNameFree(reg);
+        std::int64_t size = 1;
+        if (reg.index) {
+            size = eval(*reg.index);
+            if (size < 1)
+                fail(reg.loc, "register size must be positive");
+        }
+        SemRegister r;
+        r.base = static_cast<ir::QubitId>(nextQubit);
+        r.size = size;
+        r.isArray = reg.index != nullptr;
+        registers[reg.name] = r;
+        std::vector<sem::StmtPtr> inits;
+        for (std::int64_t i = 0; i < size; ++i) {
+            const auto id =
+                static_cast<ir::QubitId>(nextQubit + i);
+            labels[id] = reg.index
+                ? format("%s[%lld]", reg.name.c_str(),
+                         static_cast<long long>(i + 1))
+                : reg.name;
+            if (is_alloc)
+                inits.push_back(sem::init(sem::Operand::q(id)));
+        }
+        nextQubit += static_cast<std::size_t>(size);
+        return inits;
+    }
+
+    void
+    checkNameFree(const RegRef &reg)
+    {
+        auto it = registers.find(reg.name);
+        if (it != registers.end() && !it->second.released)
+            fail(reg.loc, "register '" + reg.name +
+                          "' is already in scope");
+        if (consts.count(reg.name))
+            fail(reg.loc,
+                 "'" + reg.name + "' already names a constant");
+    }
+
+    /** Lower statements [begin, end) of @p stmts. */
+    sem::StmtPtr
+    lowerBlock(std::span<const Stmt> stmts)
+    {
+        std::vector<sem::StmtPtr> parts;
+        for (std::size_t i = 0; i < stmts.size(); ++i)
+            i = lowerStmt(stmts, i, parts);
+        return sem::seqAll(std::move(parts));
+    }
+
+    /**
+     * Lower the statement at @p i, appending to @p parts; returns the
+     * index of the last statement consumed (borrow consumes through
+     * its matching release).
+     */
+    std::size_t
+    lowerStmt(std::span<const Stmt> stmts, std::size_t i,
+              std::vector<sem::StmtPtr> &parts)
+    {
+        const Stmt &stmt = stmts[i];
+        struct Visitor
+        {
+            Lowering &lo;
+            std::span<const Stmt> stmts;
+            std::size_t i;
+            std::vector<sem::StmtPtr> &parts;
+            const Stmt &stmt;
+
+            std::size_t
+            operator()(const LetStmt &s) const
+            {
+                if (lo.registers.count(s.name) &&
+                    !lo.registers[s.name].released)
+                    fail(stmt.loc, "'" + s.name +
+                                   "' already names a register");
+                lo.consts[s.name] = lo.eval(*s.value);
+                return i;
+            }
+            std::size_t
+            operator()(const BorrowStmt &s) const
+            {
+                if (s.skipVerify) {
+                    // borrow@: concrete arbitrary-state qubits.
+                    lo.declareConcrete(s.reg, false);
+                    return i;
+                }
+                if (s.reg.index)
+                    fail(stmt.loc,
+                         "the semantics backend borrows single "
+                         "qubits; arrays require borrow@");
+                lo.checkNameFree(s.reg);
+                // Find the matching release in this block.
+                std::size_t release_at = stmts.size();
+                for (std::size_t j = i + 1; j < stmts.size(); ++j) {
+                    const auto *rel =
+                        std::get_if<ReleaseStmt>(&stmts[j].node);
+                    if (rel && rel->name == s.reg.name) {
+                        release_at = j;
+                        break;
+                    }
+                }
+                const std::string unique = format(
+                    "%s#%zu", s.reg.name.c_str(),
+                    lo.placeholderCounter++);
+                SemRegister r;
+                r.isPlaceholder = true;
+                r.placeholder = unique;
+                lo.registers[s.reg.name] = r;
+                const sem::StmtPtr body = lo.lowerBlock(
+                    stmts.subspan(i + 1, release_at - i - 1));
+                lo.registers[s.reg.name].released = true;
+                parts.push_back(sem::borrow(unique, body));
+                return release_at == stmts.size()
+                           ? release_at - 1
+                           : release_at;
+            }
+            std::size_t
+            operator()(const AllocStmt &s) const
+            {
+                auto inits = lo.declareConcrete(s.reg, true);
+                for (auto &init_stmt : inits)
+                    parts.push_back(std::move(init_stmt));
+                return i;
+            }
+            std::size_t
+            operator()(const ReleaseStmt &s) const
+            {
+                auto it = lo.registers.find(s.name);
+                if (it == lo.registers.end())
+                    fail(stmt.loc,
+                         "unknown register '" + s.name + "'");
+                if (it->second.released)
+                    fail(stmt.loc, "register '" + s.name +
+                                   "' was already released");
+                if (it->second.isPlaceholder)
+                    fail(stmt.loc,
+                         "release of '" + s.name +
+                         "' does not match a borrow in the same "
+                         "block");
+                it->second.released = true;
+                return i;
+            }
+            std::size_t
+            operator()(const GateStmt &s) const
+            {
+                std::vector<sem::Operand> ops;
+                ops.reserve(s.args.size());
+                for (const RegRef &arg : s.args)
+                    ops.push_back(lo.resolve(arg));
+                for (std::size_t a = 0; a < ops.size(); ++a)
+                    for (std::size_t b = a + 1; b < ops.size(); ++b)
+                        if (ops[a] == ops[b])
+                            fail(stmt.loc, "gate operands must be "
+                                           "distinct qubits");
+                ir::GateKind kind = ir::GateKind::X;
+                switch (s.kind) {
+                  case GateStmt::Kind::X:
+                    kind = ir::GateKind::X;
+                    break;
+                  case GateStmt::Kind::Cnot:
+                    kind = ir::GateKind::CNOT;
+                    break;
+                  case GateStmt::Kind::Ccnot:
+                    kind = ir::GateKind::CCNOT;
+                    break;
+                  case GateStmt::Kind::Mcx:
+                    if (ops.size() == 2) {
+                        kind = ir::GateKind::CNOT;
+                    } else if (ops.size() == 3) {
+                        kind = ir::GateKind::CCNOT;
+                    } else {
+                        fail(stmt.loc,
+                             "the semantics backend supports MCX "
+                             "with at most two controls");
+                    }
+                    break;
+                  case GateStmt::Kind::H:
+                    kind = ir::GateKind::H;
+                    break;
+                  case GateStmt::Kind::S:
+                    kind = ir::GateKind::S;
+                    break;
+                  case GateStmt::Kind::Z:
+                    kind = ir::GateKind::Z;
+                    break;
+                  case GateStmt::Kind::Swap:
+                    kind = ir::GateKind::Swap;
+                    break;
+                }
+                parts.push_back(sem::unitary(kind, std::move(ops)));
+                return i;
+            }
+            std::size_t
+            operator()(const ForStmt &s) const
+            {
+                const std::int64_t from = lo.eval(*s.from);
+                const std::int64_t to = lo.eval(*s.to);
+                const std::int64_t step = from <= to ? 1 : -1;
+                std::optional<std::int64_t> saved;
+                auto prev = lo.consts.find(s.var);
+                if (prev != lo.consts.end())
+                    saved = prev->second;
+                for (std::int64_t v = from;; v += step) {
+                    lo.consts[s.var] = v;
+                    parts.push_back(lo.lowerBlock(s.body));
+                    if (v == to)
+                        break;
+                }
+                if (saved)
+                    lo.consts[s.var] = *saved;
+                else
+                    lo.consts.erase(s.var);
+                return i;
+            }
+            std::size_t
+            operator()(const IfStmt &s) const
+            {
+                const sem::Operand guard = lo.resolve(s.guard);
+                parts.push_back(sem::ifM(guard,
+                                         lo.lowerBlock(s.thenBody),
+                                         lo.lowerBlock(s.elseBody)));
+                return i;
+            }
+            std::size_t
+            operator()(const WhileStmt &s) const
+            {
+                const sem::Operand guard = lo.resolve(s.guard);
+                parts.push_back(
+                    sem::whileM(guard, lo.lowerBlock(s.body)));
+                return i;
+            }
+        };
+        return std::visit(Visitor{*this, stmts, i, parts, stmt},
+                          stmt.node);
+    }
+
+    std::unordered_map<std::string, std::int64_t> consts;
+    std::unordered_map<std::string, SemRegister> registers;
+    std::map<ir::QubitId, std::string> labels;
+    std::size_t nextQubit = 0;
+    std::size_t placeholderCounter = 0;
+};
+
+} // namespace
+
+SemanticsProgram
+lowerToSemantics(const Program &program)
+{
+    return Lowering().run(program);
+}
+
+SemanticsProgram
+lowerSourceToSemantics(const std::string &source)
+{
+    return lowerToSemantics(parse(source));
+}
+
+} // namespace qb::lang

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Lowering of full QBorrow programs to the denotational-semantics AST.
+ *
+ * The circuit elaborator (elaborate.h) handles the paper's restricted
+ * tool language: loop-free-after-unrolling, classical, no measurement
+ * control flow, with `borrow` realized as concrete qubit allocation.
+ * This lowering instead targets the *formal* language of Figure 4.1:
+ *
+ *  - `if M[q] {...} else {...}` and `while M[q] {...}` become
+ *    measurement-guarded branching/loops;
+ *  - a scalar (non-@) `borrow a; ...; release a;` becomes a real
+ *    sem::BorrowStmt whose placeholder is instantiated
+ *    *nondeterministically* from the idle set at interpretation time,
+ *    exactly as in the Figure 4.3 semantics;
+ *  - `borrow@` and `alloc` registers become concrete qubits (alloc
+ *    additionally emits ground-state initialization);
+ *  - `let` and `for` are evaluated/unrolled as in the elaborator.
+ *
+ * The result can be fed to sem::interpret / sem::programIsSafe /
+ * sem::terminatesAlmostSurely for exhaustive small-system analysis.
+ */
+
+#ifndef QB_LANG_TO_SEMANTICS_H
+#define QB_LANG_TO_SEMANTICS_H
+
+#include <map>
+#include <string>
+
+#include "lang/ast.h"
+#include "semantics/ast.h"
+
+namespace qb::lang {
+
+/** A lowered program plus its qubit naming. */
+struct SemanticsProgram
+{
+    sem::StmtPtr stmt;
+    /** Number of concrete qubits allocated by borrow@/alloc. */
+    std::uint32_t numQubits = 0;
+    /** Source-level name of each concrete qubit. */
+    std::map<ir::QubitId, std::string> labels;
+};
+
+/**
+ * Lower a parsed program to the semantics AST.
+ *
+ * @throws FatalError on constructs outside the formal language
+ *         (array-shaped non-@ borrows, MCX with more than two
+ *         controls).
+ */
+SemanticsProgram lowerToSemantics(const Program &program);
+
+/** parse() + lowerToSemantics(). */
+SemanticsProgram lowerSourceToSemantics(const std::string &source);
+
+} // namespace qb::lang
+
+#endif // QB_LANG_TO_SEMANTICS_H

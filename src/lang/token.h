@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tokens and source locations for the QBorrow frontend.
+ *
+ * The token set mirrors the ANTLR grammar in the paper's artifact
+ * appendix (Section 10.3) exactly, plus documented extensions: the
+ * MCX keyword for wide controlled gates, the H/S/Z/SWAP gates, and
+ * `if M[q] {...} else {...}` / `while M[q] {...}` statements covering
+ * the full language of Figure 4.1 (lowered to the semantics engine
+ * rather than to a flat circuit).
+ */
+
+#ifndef QB_LANG_TOKEN_H
+#define QB_LANG_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace qb::lang {
+
+/** 1-based line/column position in the source text. */
+struct SourceLoc
+{
+    int line = 1;
+    int column = 1;
+
+    std::string
+    toString() const
+    {
+        return std::to_string(line) + ":" + std::to_string(column);
+    }
+};
+
+/** Lexical token kinds. */
+enum class TokenKind : std::uint8_t {
+    // keywords
+    KwLet, KwBorrow, KwBorrowAt, KwAlloc, KwRelease, KwFor, KwTo,
+    KwX, KwCnot, KwCcnot, KwMcx,
+    // full-language extensions (Figure 4.1): measurement-guarded
+    // control flow and a small non-classical gate set
+    KwIf, KwElse, KwWhile, KwMeasure, KwH, KwS, KwZ, KwSwap,
+    // punctuation
+    Assign, Semi, Comma, LBracket, RBracket, LBrace, RBrace,
+    LParen, RParen,
+    // operators
+    Plus, Minus, Star,
+    // literals
+    Ident, Number,
+    // control
+    EndOfFile,
+};
+
+/** A single lexical token. */
+struct Token
+{
+    TokenKind kind = TokenKind::EndOfFile;
+    std::string text;
+    std::int64_t value = 0; ///< numeric payload for Number
+    SourceLoc loc;
+};
+
+/** Human-readable token-kind name for diagnostics. */
+const char *tokenKindName(TokenKind kind);
+
+} // namespace qb::lang
+
+#endif // QB_LANG_TOKEN_H

@@ -1,0 +1,294 @@
+#include "opt/borrow_opt.h"
+
+#include <algorithm>
+
+#include "core/reference.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace qb::opt {
+
+namespace {
+
+/** Does any gate in [begin, end) touch qubit q? */
+bool
+busyDuring(const ir::Circuit &circuit, ir::QubitId q,
+           std::size_t begin, std::size_t end)
+{
+    for (std::size_t i = begin; i < end; ++i)
+        if (circuit.gates()[i].touches(q))
+            return true;
+    return false;
+}
+
+/** Decide safe uncomputation of @p q over the gate range. */
+std::optional<bool>
+safeOverPeriod(const ir::Circuit &circuit, ir::QubitId q,
+               std::size_t begin, std::size_t end,
+               const core::VerifierOptions &options)
+{
+    const ir::Circuit scope = circuit.slice(begin, end);
+    if (scope.isClassical()) {
+        const core::QubitResult r =
+            core::verifyQubit(scope, q, options);
+        if (r.verdict == core::Verdict::Unknown)
+            return std::nullopt;
+        return r.verdict == core::Verdict::Safe;
+    }
+    if (circuit.numQubits() <= 10)
+        return core::unitaryVerdict(scope, q) == core::Verdict::Safe;
+    return std::nullopt; // cannot decide
+}
+
+} // namespace
+
+std::string
+BorrowPlan::toString(const ir::Circuit &circuit) const
+{
+    std::string out = format("width %u -> %u\n", widthBefore,
+                             widthAfter);
+    for (const BorrowAssignment &a : assignments)
+        out += format("  borrow %s as %s over gates [%zu, %zu)\n",
+                      circuit.label(a.host).c_str(),
+                      circuit.label(a.dirty).c_str(), a.periodBegin,
+                      a.periodEnd);
+    for (const auto &[q, reason] : skipped) {
+        const char *why = "";
+        switch (reason) {
+          case SkipReason::NeverUsed:     why = "never used";   break;
+          case SkipReason::NotSafe:       why = "not safe";     break;
+          case SkipReason::NoIdleHost:    why = "no idle host"; break;
+          case SkipReason::NotVerifiable: why = "unverifiable"; break;
+        }
+        out += format("  kept %s (%s)\n", circuit.label(q).c_str(),
+                      why);
+    }
+    return out;
+}
+
+ir::Circuit
+layerSchedule(const ir::Circuit &circuit)
+{
+    const auto layers = circuit.asapLayers();
+    std::vector<std::size_t> order(circuit.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&layers](std::size_t a, std::size_t b) {
+                         return layers[a] < layers[b];
+                     });
+    ir::Circuit out(circuit.numQubits(), circuit.name());
+    for (ir::QubitId q = 0; q < circuit.numQubits(); ++q)
+        out.setLabel(q, circuit.label(q));
+    for (std::size_t i : order)
+        out.append(circuit.gates()[i]);
+    return out;
+}
+
+BorrowPlan
+planBorrows(const ir::Circuit &circuit_in,
+            const std::vector<ir::QubitId> &dirty,
+            const BorrowOptions &options)
+{
+    // Layered time = plan against the layer-sorted order, where
+    // parallelism-induced idleness is visible as gate-index idleness.
+    const ir::Circuit circuit = options.useLayeredTime
+        ? layerSchedule(circuit_in)
+        : circuit_in;
+    BorrowPlan plan;
+    plan.layered = options.useLayeredTime;
+    plan.widthBefore = circuit.numQubits();
+
+    std::vector<bool> is_dirty(circuit.numQubits(), false);
+    for (ir::QubitId q : dirty) {
+        qbAssert(q < circuit.numQubits(),
+                 "planBorrows: dirty qubit out of range");
+        is_dirty[q] = true;
+    }
+
+    // Periods of all candidates, processed in order of period start so
+    // host reuse mirrors the left-to-right reading of Figure 3.1.
+    struct Candidate
+    {
+        ir::QubitId q;
+        std::size_t begin, end;
+    };
+    std::vector<Candidate> candidates;
+    std::uint32_t unused_dropped = 0;
+    for (ir::QubitId q : dirty) {
+        const auto interval = circuit.busyInterval(q);
+        if (!interval) {
+            plan.skipped.emplace_back(q, SkipReason::NeverUsed);
+            ++unused_dropped;
+            continue;
+        }
+        candidates.push_back({q, interval->first,
+                              interval->second + 1});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  return a.begin < b.begin;
+              });
+
+    // Extra busy intervals a host acquires from earlier assignments.
+    std::vector<std::vector<std::pair<std::size_t, std::size_t>>>
+        host_extra(circuit.numQubits());
+
+    for (const Candidate &cand : candidates) {
+        if (options.verifySafety) {
+            const auto safe = safeOverPeriod(
+                circuit, cand.q, cand.begin, cand.end,
+                options.verifier);
+            if (!safe.has_value()) {
+                plan.skipped.emplace_back(cand.q,
+                                          SkipReason::NotVerifiable);
+                continue;
+            }
+            if (!*safe) {
+                plan.skipped.emplace_back(cand.q, SkipReason::NotSafe);
+                continue;
+            }
+        }
+        std::optional<ir::QubitId> host;
+        for (ir::QubitId h = 0; h < circuit.numQubits(); ++h) {
+            if (is_dirty[h])
+                continue;
+            if (busyDuring(circuit, h, cand.begin, cand.end))
+                continue;
+            bool clash = false;
+            for (const auto &[b, e] : host_extra[h])
+                if (b < cand.end && cand.begin < e)
+                    clash = true;
+            if (clash) {
+                if (!options.allowHostReuse)
+                    continue;
+                continue;
+            }
+            host = h;
+            break;
+        }
+        if (!host) {
+            plan.skipped.emplace_back(cand.q, SkipReason::NoIdleHost);
+            continue;
+        }
+        if (!options.allowHostReuse)
+            is_dirty[*host] = true; // block further use as a host?
+        host_extra[*host].emplace_back(cand.begin, cand.end);
+        plan.assignments.push_back(
+            {cand.q, *host, cand.begin, cand.end});
+    }
+
+    plan.widthAfter = plan.widthBefore -
+        static_cast<std::uint32_t>(plan.assignments.size()) -
+        unused_dropped;
+    return plan;
+}
+
+ir::Circuit
+applyPlan(const ir::Circuit &circuit_in, const BorrowPlan &plan,
+          std::vector<ir::QubitId> *mapping_out)
+{
+    const ir::Circuit circuit =
+        plan.layered ? layerSchedule(circuit_in) : circuit_in;
+    // Qubits to remove: assigned ancillas and never-used ancillas.
+    std::vector<bool> removed(circuit.numQubits(), false);
+    std::vector<ir::QubitId> redirect(circuit.numQubits());
+    for (ir::QubitId q = 0; q < circuit.numQubits(); ++q)
+        redirect[q] = q;
+    for (const BorrowAssignment &a : plan.assignments) {
+        removed[a.dirty] = true;
+        redirect[a.dirty] = a.host;
+    }
+    for (const auto &[q, reason] : plan.skipped)
+        if (reason == SkipReason::NeverUsed)
+            removed[q] = true;
+
+    // Dense renumbering of the surviving qubits.
+    std::vector<ir::QubitId> new_id(circuit.numQubits(), 0);
+    std::uint32_t next = 0;
+    for (ir::QubitId q = 0; q < circuit.numQubits(); ++q)
+        if (!removed[q])
+            new_id[q] = next++;
+
+    ir::Circuit out(next, circuit.name().empty()
+                              ? "width-reduced"
+                              : circuit.name() + " (width-reduced)");
+    for (ir::QubitId q = 0; q < circuit.numQubits(); ++q)
+        if (!removed[q])
+            out.setLabel(new_id[q], circuit.label(q));
+
+    std::vector<ir::QubitId> mapping(circuit.numQubits());
+    for (ir::QubitId q = 0; q < circuit.numQubits(); ++q)
+        mapping[q] = new_id[redirect[q]];
+    for (const ir::Gate &g : circuit.gates()) {
+        std::vector<ir::QubitId> qs;
+        qs.reserve(g.qubits().size());
+        for (ir::QubitId q : g.qubits())
+            qs.push_back(mapping[q]);
+        using ir::GateKind;
+        switch (g.kind()) {
+          case GateKind::X:
+            out.append(ir::Gate::x(qs[0]));
+            break;
+          case GateKind::CNOT:
+            out.append(ir::Gate::cnot(qs[0], qs[1]));
+            break;
+          case GateKind::CCNOT:
+            out.append(ir::Gate::ccnot(qs[0], qs[1], qs[2]));
+            break;
+          case GateKind::MCX: {
+            const ir::QubitId target = qs.back();
+            qs.pop_back();
+            out.append(ir::Gate::mcx(std::move(qs), target));
+            break;
+          }
+          case GateKind::Swap:
+            out.append(ir::Gate::swap(qs[0], qs[1]));
+            break;
+          case GateKind::H:
+            out.append(ir::Gate::h(qs[0]));
+            break;
+          case GateKind::S:
+            out.append(ir::Gate::s(qs[0]));
+            break;
+          case GateKind::Sdg:
+            out.append(ir::Gate::sdg(qs[0]));
+            break;
+          case GateKind::T:
+            out.append(ir::Gate::t(qs[0]));
+            break;
+          case GateKind::Tdg:
+            out.append(ir::Gate::tdg(qs[0]));
+            break;
+          case GateKind::Z:
+            out.append(ir::Gate::z(qs[0]));
+            break;
+          case GateKind::CZ:
+            out.append(ir::Gate::cz(qs[0], qs[1]));
+            break;
+          case GateKind::CPhase:
+            out.append(ir::Gate::cphase(qs[0], qs[1], g.angle()));
+            break;
+          case GateKind::Phase:
+            out.append(ir::Gate::phase(qs[0], g.angle()));
+            break;
+        }
+    }
+    if (mapping_out)
+        *mapping_out = std::move(mapping);
+    return out;
+}
+
+ir::Circuit
+reduceWidth(const ir::Circuit &circuit,
+            const std::vector<ir::QubitId> &dirty,
+            const BorrowOptions &options, BorrowPlan *plan_out)
+{
+    BorrowPlan plan = planBorrows(circuit, dirty, options);
+    ir::Circuit out = applyPlan(circuit, plan);
+    if (plan_out)
+        *plan_out = std::move(plan);
+    return out;
+}
+
+} // namespace qb::opt

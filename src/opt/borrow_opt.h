@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Dirty-qubit borrowing optimizer (Section 3, Figure 3.1; Section 7
+ * "single-program optimization").
+ *
+ * Given a circuit and a list of dirty ancilla qubits, the optimizer
+ * finds, for each ancilla, a working qubit that is idle throughout the
+ * ancilla's busy period and rewires the ancilla onto it, reducing the
+ * circuit width.  A working qubit may host several ancillas whose
+ * periods do not overlap (Figure 3.1c borrows q3 as both a1 and a2).
+ *
+ * Correctness requires that each rewired ancilla is *safely
+ * uncomputed* over its period (Definition 3.1); by default the pass
+ * verifies this with the SAT-based verifier before borrowing and
+ * leaves unverifiable ancillas untouched - the compiler-side safety
+ * story the paper's Section 7 argues for.
+ */
+
+#ifndef QB_OPT_BORROW_OPT_H
+#define QB_OPT_BORROW_OPT_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/verifier.h"
+#include "ir/circuit.h"
+
+namespace qb::opt {
+
+/** One planned borrow: dirty ancilla -> host working qubit. */
+struct BorrowAssignment
+{
+    ir::QubitId dirty;
+    ir::QubitId host;
+    std::size_t periodBegin; ///< first gate index touching dirty
+    std::size_t periodEnd;   ///< one past the last such gate
+};
+
+/** Why an ancilla could not be borrowed. */
+enum class SkipReason {
+    NeverUsed,      ///< ancilla touches no gate (dropped for free)
+    NotSafe,        ///< safe-uncomputation verification failed
+    NoIdleHost,     ///< no working qubit idle over the whole period
+    NotVerifiable,  ///< non-classical circuit too large for the
+                    ///< unitary fallback check
+};
+
+/** A planned but not yet applied width reduction. */
+struct BorrowPlan
+{
+    std::vector<BorrowAssignment> assignments;
+    std::vector<std::pair<ir::QubitId, SkipReason>> skipped;
+    std::uint32_t widthBefore = 0;
+    std::uint32_t widthAfter = 0;
+    /**
+     * True when the plan was computed in layered time: gate indices
+     * in the assignments refer to the layer-sorted gate order, and
+     * applyPlan() re-sorts the circuit accordingly.
+     */
+    bool layered = false;
+
+    std::string toString(const ir::Circuit &circuit) const;
+};
+
+/** Options for planBorrows(). */
+struct BorrowOptions
+{
+    /** Verify safe uncomputation before borrowing (recommended). */
+    bool verifySafety = true;
+    /** Verifier options for the safety check. */
+    core::VerifierOptions verifier;
+    /** Allow several ancillas to share a host when periods are
+     *  disjoint. */
+    bool allowHostReuse = true;
+    /**
+     * Analyze idleness in ASAP-layer time instead of program order.
+     * Gates in one layer act on disjoint qubits, so stably sorting by
+     * layer preserves semantics while exposing qubits that "only
+     * become idle after compilation and gate parallelization"
+     * (Section 7 of the paper).
+     */
+    bool useLayeredTime = false;
+};
+
+/**
+ * Plan a width reduction for @p circuit.
+ *
+ * @param dirty the ancilla qubits eligible for borrowing; all other
+ *        qubits are treated as working qubits (potential hosts).
+ */
+BorrowPlan planBorrows(const ir::Circuit &circuit,
+                       const std::vector<ir::QubitId> &dirty,
+                       const BorrowOptions &options = {});
+
+/**
+ * Apply a plan: rewire each assigned ancilla onto its host and
+ * renumber the remaining qubits densely.  Returns the narrower
+ * circuit; the mapping old-id -> new-id is written to @p mapping_out
+ * if non-null (borrowed ancillas map to their host's new id).
+ */
+ir::Circuit applyPlan(const ir::Circuit &circuit,
+                      const BorrowPlan &plan,
+                      std::vector<ir::QubitId> *mapping_out = nullptr);
+
+/** The layer-sorted, semantics-preserving reordering of a circuit. */
+ir::Circuit layerSchedule(const ir::Circuit &circuit);
+
+/** planBorrows() + applyPlan() in one step. */
+ir::Circuit reduceWidth(const ir::Circuit &circuit,
+                        const std::vector<ir::QubitId> &dirty,
+                        const BorrowOptions &options = {},
+                        BorrowPlan *plan_out = nullptr);
+
+} // namespace qb::opt
+
+#endif // QB_OPT_BORROW_OPT_H

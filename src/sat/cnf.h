@@ -1,0 +1,72 @@
+/**
+ * @file
+ * CNF formula container and DIMACS serialization.
+ *
+ * The Cnf class is the interchange format between the Tseitin encoder,
+ * the preprocessor and the solver.  It deliberately stays a dumb data
+ * holder; all smarts live in the consumers.
+ */
+
+#ifndef QB_SAT_CNF_H
+#define QB_SAT_CNF_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/literal.h"
+
+namespace qb::sat {
+
+/** A CNF formula: a clause list over numVars variables. */
+class Cnf
+{
+  public:
+    /** Allocate a fresh variable and return it. */
+    Var newVar() { return numVars_++; }
+
+    /** Ensure at least @p n variables exist. */
+    void ensureVars(Var n) { if (n > numVars_) numVars_ = n; }
+
+    /**
+     * Add a clause.  Tautologies are dropped and duplicate literals
+     * removed; the empty clause marks the formula trivially UNSAT.
+     */
+    void addClause(LitVec lits);
+
+    /** Convenience single/binary/ternary clause adders. */
+    void addUnit(Lit a) { addClause({a}); }
+    void addBinary(Lit a, Lit b) { addClause({a, b}); }
+    void addTernary(Lit a, Lit b, Lit c) { addClause({a, b, c}); }
+
+    Var numVars() const { return numVars_; }
+    std::size_t numClauses() const { return clauses_.size(); }
+    const std::vector<LitVec> &clauses() const { return clauses_; }
+    /** True when an empty clause was added. */
+    bool trivialConflict() const { return trivialConflict_; }
+
+    /** Total number of literal occurrences. */
+    std::size_t numLiterals() const;
+
+    /** Check a total/partial assignment against all clauses. */
+    bool satisfiedBy(const std::vector<LBool> &assignment) const;
+
+    /** Serialize in DIMACS cnf format. */
+    std::string toDimacs() const;
+
+    /**
+     * Parse DIMACS text.
+     *
+     * @throws FatalError on malformed input.
+     */
+    static Cnf fromDimacs(const std::string &text);
+
+  private:
+    Var numVars_ = 0;
+    std::vector<LitVec> clauses_;
+    bool trivialConflict_ = false;
+};
+
+} // namespace qb::sat
+
+#endif // QB_SAT_CNF_H

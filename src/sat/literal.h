@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Variables, literals and the three-valued logic type for the SAT solver.
+ *
+ * Follows the MiniSat conventions: variables are dense non-negative
+ * integers, a literal packs a variable and a sign into one integer
+ * (2 * var + sign), and lbool is {True, False, Undef}.
+ */
+
+#ifndef QB_SAT_LITERAL_H
+#define QB_SAT_LITERAL_H
+
+#include <cstdint>
+#include <vector>
+
+namespace qb::sat {
+
+/** Dense, 0-based variable index. */
+using Var = std::int32_t;
+
+constexpr Var kUndefVar = -1;
+
+/** Literal: variable plus sign, packed as 2 * var + sign. */
+struct Lit
+{
+    std::int32_t x = -2;
+
+    Lit() = default;
+    Lit(Var v, bool negative) : x(2 * v + (negative ? 1 : 0)) {}
+
+    Var var() const { return x >> 1; }
+    bool sign() const { return x & 1; } ///< true when negated
+    Lit operator~() const { Lit l; l.x = x ^ 1; return l; }
+    bool operator==(const Lit &o) const = default;
+    auto operator<=>(const Lit &o) const = default;
+
+    /** Index usable for watch lists and saved phases. */
+    std::size_t index() const { return static_cast<std::size_t>(x); }
+};
+
+/** The undefined literal sentinel. */
+inline const Lit kUndefLit{};
+
+/** Positive literal of @p v. */
+inline Lit mkLit(Var v) { return Lit(v, false); }
+/** Literal of @p v with explicit sign (true = negated). */
+inline Lit mkLit(Var v, bool negative) { return Lit(v, negative); }
+
+/** Three-valued assignment. */
+enum class LBool : std::uint8_t { False = 0, True = 1, Undef = 2 };
+
+inline LBool
+lboolOf(bool b)
+{
+    return b ? LBool::True : LBool::False;
+}
+
+/** Negate a defined lbool; Undef stays Undef. */
+inline LBool
+lboolNeg(LBool b)
+{
+    switch (b) {
+      case LBool::False:
+        return LBool::True;
+      case LBool::True:
+        return LBool::False;
+      default:
+        return LBool::Undef;
+    }
+}
+
+/** A clause as a plain literal vector (used at API boundaries). */
+using LitVec = std::vector<Lit>;
+
+} // namespace qb::sat
+
+#endif // QB_SAT_LITERAL_H

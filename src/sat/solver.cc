@@ -1,0 +1,846 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace qb::sat {
+
+SolverConfig
+SolverConfig::baseline()
+{
+    SolverConfig cfg;
+    cfg.useVsids = true;
+    cfg.phaseSaving = true;
+    cfg.initialPhaseTrue = false;
+    cfg.lubyRestarts = true;
+    cfg.preprocess = false;
+    return cfg;
+}
+
+SolverConfig
+SolverConfig::simplify()
+{
+    SolverConfig cfg;
+    cfg.useVsids = true;
+    cfg.phaseSaving = true;
+    cfg.initialPhaseTrue = true;
+    cfg.lubyRestarts = true;
+    cfg.restartBase = 2000; // long runs before restarting
+    cfg.varDecay = 0.75;    // aggressive recency bias
+    cfg.preprocess = true;
+    return cfg;
+}
+
+/** Clause with learnt metadata; lits[0..1] are the watched literals. */
+struct Solver::Clause
+{
+    LitVec lits;
+    double activity = 0.0;
+    unsigned lbd = 0;
+    bool learnt = false;
+    bool deleted = false;
+};
+
+/** Watch-list entry; blocker enables the common fast-path check. */
+struct Solver::Watcher
+{
+    Clause *clause;
+    Lit blocker;
+};
+
+/** Binary max-heap over variables ordered by EVSIDS activity. */
+class Solver::VarOrder
+{
+  public:
+    explicit VarOrder(const std::vector<double> &act) : activity(act) {}
+
+    void
+    insert(Var v)
+    {
+        if (v >= static_cast<Var>(position.size()))
+            position.resize(v + 1, -1);
+        if (position[v] >= 0)
+            return;
+        position[v] = static_cast<int>(heap.size());
+        heap.push_back(v);
+        siftUp(position[v]);
+    }
+
+    bool empty() const { return heap.empty(); }
+
+    Var
+    removeMax()
+    {
+        const Var top = heap[0];
+        position[top] = -1;
+        if (heap.size() > 1) {
+            heap[0] = heap.back();
+            position[heap[0]] = 0;
+            heap.pop_back();
+            siftDown(0);
+        } else {
+            heap.pop_back();
+        }
+        return top;
+    }
+
+    void
+    update(Var v)
+    {
+        if (v < static_cast<Var>(position.size()) && position[v] >= 0)
+            siftUp(position[v]);
+    }
+
+  private:
+    bool
+    less(Var a, Var b) const
+    {
+        return activity[a] < activity[b] ||
+               (activity[a] == activity[b] && a > b);
+    }
+
+    void
+    siftUp(int i)
+    {
+        while (i > 0) {
+            const int parent = (i - 1) / 2;
+            if (!less(heap[parent], heap[i]))
+                break;
+            std::swap(heap[parent], heap[i]);
+            position[heap[parent]] = parent;
+            position[heap[i]] = i;
+            i = parent;
+        }
+    }
+
+    void
+    siftDown(int i)
+    {
+        const int n = static_cast<int>(heap.size());
+        while (true) {
+            const int l = 2 * i + 1, r = 2 * i + 2;
+            int best = i;
+            if (l < n && less(heap[best], heap[l]))
+                best = l;
+            if (r < n && less(heap[best], heap[r]))
+                best = r;
+            if (best == i)
+                break;
+            std::swap(heap[best], heap[i]);
+            position[heap[best]] = best;
+            position[heap[i]] = i;
+            i = best;
+        }
+    }
+
+    const std::vector<double> &activity;
+    std::vector<Var> heap;
+    std::vector<int> position;
+};
+
+Solver::Solver(SolverConfig config)
+    : cfg(config), order(std::make_unique<VarOrder>(activity))
+{
+}
+
+Solver::~Solver()
+{
+    for (Clause *c : problemClauses)
+        delete c;
+    for (Clause *c : learntClauses)
+        delete c;
+}
+
+Var
+Solver::newVar()
+{
+    const Var v = numVars();
+    assigns.push_back(LBool::Undef);
+    levels.push_back(0);
+    reasons.push_back(nullptr);
+    polarity.push_back(cfg.initialPhaseTrue);
+    activity.push_back(0.0);
+    seen.push_back(0);
+    watches.emplace_back();
+    watches.emplace_back();
+    order->insert(v);
+    return v;
+}
+
+LBool
+Solver::value(Lit l) const
+{
+    const LBool v = assigns[l.var()];
+    return l.sign() ? lboolNeg(v) : v;
+}
+
+bool
+Solver::addClause(LitVec lits)
+{
+    qbAssert(decisionLevel() == 0, "addClause above root level");
+    if (!okay)
+        return false;
+    for (Lit l : lits) {
+        while (l.var() >= numVars())
+            newVar();
+    }
+    std::sort(lits.begin(), lits.end());
+    LitVec kept;
+    Lit prev = kUndefLit;
+    for (Lit l : lits) {
+        if (value(l) == LBool::True || l == ~prev)
+            return true; // satisfied or tautological
+        if (value(l) != LBool::False && l != prev)
+            kept.push_back(l);
+        prev = l;
+    }
+    if (kept.empty()) {
+        okay = false;
+        return false;
+    }
+    if (kept.size() == 1) {
+        uncheckedEnqueue(kept[0], nullptr);
+        okay = propagate() == nullptr;
+        return okay;
+    }
+    auto *c = new Clause{std::move(kept)};
+    problemClauses.push_back(c);
+    attachClause(c);
+    return true;
+}
+
+void
+Solver::addCnf(const Cnf &cnf)
+{
+    while (numVars() < cnf.numVars())
+        newVar();
+    if (cnf.trivialConflict())
+        okay = false;
+    for (const LitVec &c : cnf.clauses()) {
+        if (!addClause(c))
+            return;
+    }
+}
+
+void
+Solver::attachClause(Clause *c)
+{
+    qbAssert(c->lits.size() >= 2, "attaching short clause");
+    watches[(~c->lits[0]).index()].push_back({c, c->lits[1]});
+    watches[(~c->lits[1]).index()].push_back({c, c->lits[0]});
+}
+
+void
+Solver::detachClause(Clause *c)
+{
+    for (Lit w : {c->lits[0], c->lits[1]}) {
+        auto &list = watches[(~w).index()];
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            if (list[i].clause == c) {
+                list[i] = list.back();
+                list.pop_back();
+                break;
+            }
+        }
+    }
+}
+
+void
+Solver::uncheckedEnqueue(Lit l, Clause *reason_clause)
+{
+    qbAssert(value(l) == LBool::Undef, "enqueue of assigned literal");
+    assigns[l.var()] = lboolOf(!l.sign());
+    levels[l.var()] = decisionLevel();
+    reasons[l.var()] = reason_clause;
+    if (cfg.phaseSaving)
+        polarity[l.var()] = !l.sign();
+    trail.push_back(l);
+}
+
+Solver::Clause *
+Solver::propagate()
+{
+    Clause *conflict = nullptr;
+    while (qhead < trail.size()) {
+        const Lit p = trail[qhead++];
+        ++statistics.propagations;
+        auto &list = watches[p.index()];
+        std::size_t keep = 0;
+        std::size_t i = 0;
+        for (; i < list.size(); ++i) {
+            const Watcher w = list[i];
+            if (value(w.blocker) == LBool::True) {
+                list[keep++] = w;
+                continue;
+            }
+            Clause &c = *w.clause;
+            // Normalize so the false literal ~p sits at lits[1].
+            const Lit not_p = ~p;
+            if (c.lits[0] == not_p)
+                std::swap(c.lits[0], c.lits[1]);
+            const Lit first = c.lits[0];
+            if (first != w.blocker && value(first) == LBool::True) {
+                list[keep++] = {w.clause, first};
+                continue;
+            }
+            // Look for a replacement watch.
+            bool moved = false;
+            for (std::size_t k = 2; k < c.lits.size(); ++k) {
+                if (value(c.lits[k]) != LBool::False) {
+                    std::swap(c.lits[1], c.lits[k]);
+                    watches[(~c.lits[1]).index()].push_back(
+                        {w.clause, first});
+                    moved = true;
+                    break;
+                }
+            }
+            if (moved)
+                continue;
+            // Clause is unit or conflicting.
+            list[keep++] = {w.clause, first};
+            if (value(first) == LBool::False) {
+                conflict = w.clause;
+                qhead = trail.size();
+                ++i;
+                break;
+            }
+            uncheckedEnqueue(first, w.clause);
+        }
+        for (; i < list.size(); ++i)
+            list[keep++] = list[i];
+        list.resize(keep);
+        if (conflict)
+            break;
+    }
+    return conflict;
+}
+
+unsigned
+Solver::computeLbd(const LitVec &lits)
+{
+    // Number of distinct decision levels; small LBD = valuable clause.
+    std::vector<int> lvl;
+    lvl.reserve(lits.size());
+    for (Lit l : lits)
+        lvl.push_back(levels[l.var()]);
+    std::sort(lvl.begin(), lvl.end());
+    return static_cast<unsigned>(
+        std::unique(lvl.begin(), lvl.end()) - lvl.begin());
+}
+
+void
+Solver::analyze(Clause *conflict, LitVec &out_learnt, int &out_btlevel,
+                unsigned &out_lbd)
+{
+    out_learnt.clear();
+    out_learnt.push_back(kUndefLit); // slot for the asserting literal
+    int counter = 0;
+    Lit p = kUndefLit;
+    std::size_t index = trail.size();
+    Clause *reason_clause = conflict;
+    do {
+        qbAssert(reason_clause != nullptr, "analyze without reason");
+        if (reason_clause->learnt)
+            claBumpActivity(reason_clause);
+        const std::size_t start = (p == kUndefLit) ? 0 : 1;
+        for (std::size_t j = start; j < reason_clause->lits.size(); ++j) {
+            const Lit q = reason_clause->lits[j];
+            if (!seen[q.var()] && levels[q.var()] > 0) {
+                seen[q.var()] = 1;
+                varBumpActivity(q.var());
+                if (levels[q.var()] >= decisionLevel())
+                    ++counter;
+                else
+                    out_learnt.push_back(q);
+            }
+        }
+        // Pick the next seen literal from the trail.
+        while (!seen[trail[index - 1].var()])
+            --index;
+        p = trail[--index];
+        reason_clause = reasons[p.var()];
+        seen[p.var()] = 0;
+        --counter;
+    } while (counter > 0);
+    out_learnt[0] = ~p;
+
+    // Recursive minimization: drop literals implied by the rest.  All
+    // seen[] marks set here and in litRedundant() are collected so they
+    // can be cleared before the next analyze() call.
+    analyzeClear.clear();
+    for (std::size_t i = 1; i < out_learnt.size(); ++i)
+        analyzeClear.push_back(out_learnt[i].var());
+    std::uint32_t ab_levels = 0;
+    for (std::size_t i = 1; i < out_learnt.size(); ++i)
+        ab_levels |= 1u << (levels[out_learnt[i].var()] & 31);
+    std::size_t keep = 1;
+    for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+        const Lit l = out_learnt[i];
+        if (reasons[l.var()] == nullptr || !litRedundant(l, ab_levels))
+            out_learnt[keep++] = l;
+    }
+    out_learnt.resize(keep);
+
+    out_btlevel = 0;
+    if (out_learnt.size() > 1) {
+        std::size_t max_i = 1;
+        for (std::size_t i = 2; i < out_learnt.size(); ++i) {
+            if (levels[out_learnt[i].var()] >
+                levels[out_learnt[max_i].var()])
+                max_i = i;
+        }
+        std::swap(out_learnt[1], out_learnt[max_i]);
+        out_btlevel = levels[out_learnt[1].var()];
+    }
+    out_lbd = computeLbd(out_learnt);
+    for (Var v : analyzeClear)
+        seen[v] = 0;
+}
+
+bool
+Solver::litRedundant(Lit l, std::uint32_t ab_levels)
+{
+    // Depth-first check that every antecedent of l is already seen.
+    std::vector<Lit> stack{l};
+    std::vector<Var> cleared;
+    bool redundant = true;
+    while (!stack.empty() && redundant) {
+        const Lit cur = stack.back();
+        stack.pop_back();
+        const Clause *r = reasons[cur.var()];
+        qbAssert(r != nullptr, "litRedundant without reason");
+        for (std::size_t j = 1; j < r->lits.size(); ++j) {
+            const Lit q = r->lits[j];
+            if (seen[q.var()] || levels[q.var()] == 0)
+                continue;
+            if (reasons[q.var()] == nullptr ||
+                !(ab_levels & (1u << (levels[q.var()] & 31)))) {
+                redundant = false;
+                break;
+            }
+            seen[q.var()] = 1;
+            cleared.push_back(q.var());
+            stack.push_back(q);
+        }
+    }
+    if (!redundant) {
+        for (Var v : cleared)
+            seen[v] = 0;
+    } else {
+        // Keep the marks (they short-circuit later redundancy checks)
+        // but register them for clearing at the end of analyze().
+        analyzeClear.insert(analyzeClear.end(), cleared.begin(),
+                            cleared.end());
+    }
+    return redundant;
+}
+
+void
+Solver::cancelUntil(int target_level)
+{
+    if (decisionLevel() <= target_level)
+        return;
+    for (std::size_t i = trail.size();
+         i > static_cast<std::size_t>(trailLim[target_level]); --i) {
+        const Var v = trail[i - 1].var();
+        assigns[v] = LBool::Undef;
+        reasons[v] = nullptr;
+        order->insert(v);
+    }
+    trail.resize(trailLim[target_level]);
+    trailLim.resize(target_level);
+    qhead = trail.size();
+}
+
+Lit
+Solver::pickBranchLit()
+{
+    if (cfg.useVsids) {
+        while (!order->empty()) {
+            // Peek by removing; re-inserted on backtrack.
+            const Var v = order->removeMax();
+            if (assigns[v] == LBool::Undef)
+                return mkLit(v, !polarity[v]);
+        }
+        return kUndefLit;
+    }
+    for (Var v = 0; v < numVars(); ++v) {
+        if (assigns[v] == LBool::Undef)
+            return mkLit(v, !polarity[v]);
+    }
+    return kUndefLit;
+}
+
+void
+Solver::varBumpActivity(Var v)
+{
+    activity[v] += varInc;
+    if (activity[v] > 1e100) {
+        for (double &a : activity)
+            a *= 1e-100;
+        varInc *= 1e-100;
+    }
+    order->update(v);
+}
+
+void
+Solver::varDecayActivity()
+{
+    varInc /= cfg.varDecay;
+}
+
+void
+Solver::claBumpActivity(Clause *c)
+{
+    c->activity += claInc;
+    if (c->activity > 1e20) {
+        for (Clause *lc : learntClauses)
+            lc->activity *= 1e-20;
+        claInc *= 1e-20;
+    }
+}
+
+void
+Solver::claDecayActivity()
+{
+    claInc /= cfg.clauseDecay;
+}
+
+void
+Solver::reduceDb()
+{
+    // Keep the better half, ranked by LBD then activity; always keep
+    // clauses that are reasons for current assignments.
+    std::sort(learntClauses.begin(), learntClauses.end(),
+              [](const Clause *a, const Clause *b) {
+                  if (a->lbd != b->lbd)
+                      return a->lbd < b->lbd;
+                  return a->activity > b->activity;
+              });
+    std::vector<Clause *> kept;
+    kept.reserve(learntClauses.size());
+    const std::size_t limit = learntClauses.size() / 2;
+    for (std::size_t i = 0; i < learntClauses.size(); ++i) {
+        Clause *c = learntClauses[i];
+        const bool locked = reasons[c->lits[0].var()] == c &&
+                            value(c->lits[0]) == LBool::True;
+        if (i < limit || locked || c->lbd <= 2) {
+            kept.push_back(c);
+        } else {
+            detachClause(c);
+            delete c;
+            ++statistics.removedClauses;
+        }
+    }
+    learntClauses = std::move(kept);
+}
+
+std::int64_t
+Solver::luby(std::int64_t i)
+{
+    // Finite-subsequence trick from the MiniSat sources.
+    std::int64_t size = 1, seq = 0;
+    while (size < i + 1) {
+        ++seq;
+        size = 2 * size + 1;
+    }
+    while (size - 1 != i) {
+        size = (size - 1) >> 1;
+        --seq;
+        i = i % size;
+    }
+    return std::int64_t{1} << seq;
+}
+
+SolveResult
+Solver::search(std::int64_t conflict_limit)
+{
+    std::int64_t conflicts_here = 0;
+    LitVec learnt;
+    while (true) {
+        Clause *conflict = propagate();
+        if (conflict != nullptr) {
+            ++statistics.conflicts;
+            ++conflicts_here;
+            if (decisionLevel() == 0)
+                return SolveResult::Unsat;
+            int bt_level;
+            unsigned lbd;
+            analyze(conflict, learnt, bt_level, lbd);
+            cancelUntil(bt_level);
+            if (learnt.size() == 1) {
+                uncheckedEnqueue(learnt[0], nullptr);
+            } else {
+                auto *c = new Clause{learnt, claInc, lbd, true};
+                learntClauses.push_back(c);
+                ++statistics.learntClauses;
+                attachClause(c);
+                uncheckedEnqueue(learnt[0], c);
+            }
+            varDecayActivity();
+            claDecayActivity();
+            if (cfg.conflictBudget >= 0 &&
+                statistics.conflicts >= cfg.conflictBudget)
+                return SolveResult::Unknown;
+        } else {
+            if (conflict_limit >= 0 && conflicts_here >= conflict_limit) {
+                cancelUntil(0);
+                return SolveResult::Unknown;
+            }
+            if (cfg.reduceDb &&
+                learntClauses.size() >
+                    problemClauses.size() / 3 + 3000 + trail.size()) {
+                reduceDb();
+            }
+            const Lit next = pickBranchLit();
+            if (next == kUndefLit) {
+                model.assign(assigns.begin(), assigns.end());
+                return SolveResult::Sat;
+            }
+            ++statistics.decisions;
+            trailLim.push_back(static_cast<int>(trail.size()));
+            uncheckedEnqueue(next, nullptr);
+        }
+    }
+}
+
+SolveResult
+Solver::solve()
+{
+    if (!okay)
+        return SolveResult::Unsat;
+    if (propagate() != nullptr) {
+        okay = false;
+        return SolveResult::Unsat;
+    }
+    if (cfg.preprocess && !preprocessEliminate()) {
+        okay = false;
+        return SolveResult::Unsat;
+    }
+    std::int64_t restart = 0;
+    double geometric = static_cast<double>(cfg.restartBase);
+    while (true) {
+        const std::int64_t limit = cfg.lubyRestarts
+            ? luby(restart) * cfg.restartBase
+            : static_cast<std::int64_t>(geometric);
+        const SolveResult result = search(limit);
+        if (result != SolveResult::Unknown) {
+            if (result == SolveResult::Sat) {
+                // Extend the model over eliminated variables.
+                for (auto it = elimStack.rbegin(); it != elimStack.rend();
+                     ++it) {
+                    const Var v = it->first;
+                    model[v] = LBool::True;
+                    for (const LitVec &c : it->second) {
+                        bool sat = false;
+                        bool v_neg = false;
+                        for (Lit l : c) {
+                            if (l.var() == v) {
+                                v_neg = l.sign();
+                                continue;
+                            }
+                            if (model[l.var()] == lboolOf(!l.sign())) {
+                                sat = true;
+                                break;
+                            }
+                        }
+                        if (!sat)
+                            model[v] = lboolOf(!v_neg);
+                    }
+                }
+            }
+            cancelUntil(0);
+            return result;
+        }
+        if (cfg.conflictBudget >= 0 &&
+            statistics.conflicts >= cfg.conflictBudget) {
+            cancelUntil(0);
+            return SolveResult::Unknown;
+        }
+        ++statistics.restarts;
+        ++restart;
+        geometric *= 1.5;
+    }
+}
+
+LBool
+Solver::modelValue(Var v) const
+{
+    if (v < 0 || v >= static_cast<Var>(model.size()))
+        return LBool::Undef;
+    return model[v];
+}
+
+bool
+Solver::preprocessEliminate()
+{
+    // Bounded variable elimination (NiVER-style): resolve away variables
+    // whenever doing so does not grow the clause count.  Operates on the
+    // root-level problem clauses before any learning has happened.
+    qbAssert(decisionLevel() == 0, "preprocess above root level");
+    std::vector<LitVec> clauses;
+    clauses.reserve(problemClauses.size());
+    for (Clause *c : problemClauses) {
+        LitVec kept;
+        bool satisfied = false;
+        for (Lit l : c->lits) {
+            if (value(l) == LBool::True) {
+                satisfied = true;
+                break;
+            }
+            if (value(l) == LBool::Undef)
+                kept.push_back(l);
+        }
+        if (!satisfied)
+            clauses.push_back(std::move(kept));
+        detachClause(c);
+        delete c;
+    }
+    problemClauses.clear();
+
+    // Incremental occurrence lists over a tombstoned clause vector.
+    constexpr std::size_t occ_limit = 10;
+    std::vector<bool> dead(clauses.size(), false);
+    std::vector<std::vector<std::size_t>> occ_pos(numVars());
+    std::vector<std::vector<std::size_t>> occ_neg(numVars());
+    auto index_clause = [&](std::size_t i) {
+        for (Lit l : clauses[i])
+            (l.sign() ? occ_neg : occ_pos)[l.var()].push_back(i);
+    };
+    for (std::size_t i = 0; i < clauses.size(); ++i)
+        index_clause(i);
+    auto live_occurrences = [&](std::vector<std::size_t> &occ) {
+        occ.erase(std::remove_if(occ.begin(), occ.end(),
+                                 [&](std::size_t i) {
+                                     return dead[i];
+                                 }),
+                  occ.end());
+        return occ.size();
+    };
+
+    std::vector<bool> frozen(numVars(), false);
+    std::vector<Var> queue;
+    for (Var v = 0; v < numVars(); ++v)
+        queue.push_back(v);
+    while (!queue.empty()) {
+        const Var v = queue.back();
+        queue.pop_back();
+        if (frozen[v] || assigns[v] != LBool::Undef)
+            continue;
+        const std::size_t pos_count = live_occurrences(occ_pos[v]);
+        const std::size_t neg_count = live_occurrences(occ_neg[v]);
+        if (pos_count == 0 && neg_count == 0)
+            continue;
+        if (pos_count > occ_limit || neg_count > occ_limit)
+            continue;
+        const auto pos = occ_pos[v];
+        const auto neg = occ_neg[v];
+        // Build all non-tautological resolvents; abort if eliminating
+        // v would grow the clause count (NiVER criterion).
+        std::vector<LitVec> resolvents;
+        bool abort_var = false;
+        for (std::size_t pi : pos) {
+            for (std::size_t ni : neg) {
+                LitVec res;
+                bool taut = false;
+                for (Lit l : clauses[pi])
+                    if (l.var() != v)
+                        res.push_back(l);
+                for (Lit l : clauses[ni])
+                    if (l.var() != v)
+                        res.push_back(l);
+                std::sort(res.begin(), res.end());
+                res.erase(std::unique(res.begin(), res.end()),
+                          res.end());
+                for (std::size_t k = 0; k + 1 < res.size(); ++k) {
+                    if (res[k].var() == res[k + 1].var()) {
+                        taut = true;
+                        break;
+                    }
+                }
+                if (!taut)
+                    resolvents.push_back(std::move(res));
+                if (resolvents.size() > pos.size() + neg.size()) {
+                    abort_var = true;
+                    break;
+                }
+            }
+            if (abort_var)
+                break;
+        }
+        if (abort_var) {
+            frozen[v] = true;
+            continue;
+        }
+        // Commit: remember v's clauses for model reconstruction and
+        // splice in the resolvents.
+        std::vector<LitVec> saved;
+        for (std::size_t i : pos) {
+            saved.push_back(clauses[i]);
+            dead[i] = true;
+        }
+        for (std::size_t i : neg) {
+            saved.push_back(clauses[i]);
+            dead[i] = true;
+        }
+        elimStack.emplace_back(v, std::move(saved));
+        for (LitVec &r : resolvents) {
+            const std::size_t idx = clauses.size();
+            clauses.push_back(std::move(r));
+            dead.push_back(false);
+            index_clause(idx);
+            // Touched variables become candidates again.
+            for (Lit l : clauses[idx])
+                queue.push_back(l.var());
+        }
+        assigns[v] = LBool::True; // block decisions on v
+        levels[v] = 0;
+        ++statistics.eliminatedVars;
+    }
+
+    // Re-add the surviving clauses through the normal path.
+    for (std::size_t i = 0; i < clauses.size(); ++i) {
+        if (dead[i])
+            continue;
+        LitVec &c = clauses[i];
+        if (c.empty())
+            return false;
+        if (c.size() == 1) {
+            if (value(c[0]) == LBool::False)
+                return false;
+            if (value(c[0]) == LBool::Undef)
+                uncheckedEnqueue(c[0], nullptr);
+            continue;
+        }
+        auto *cl = new Clause{std::move(c)};
+        problemClauses.push_back(cl);
+        attachClause(cl);
+    }
+    return propagate() == nullptr;
+}
+
+void
+Solver::rebuildWatches()
+{
+    for (auto &w : watches)
+        w.clear();
+    for (Clause *c : problemClauses)
+        attachClause(c);
+    for (Clause *c : learntClauses)
+        attachClause(c);
+}
+
+SolveResult
+solveCnf(const Cnf &cnf, SolverConfig config, SolverStats *stats_out)
+{
+    Solver solver(config);
+    solver.addCnf(cnf);
+    const SolveResult result = solver.solve();
+    if (stats_out)
+        *stats_out = solver.stats();
+    return result;
+}
+
+} // namespace qb::sat

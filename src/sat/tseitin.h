@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Tseitin transformation from the hash-consed Boolean DAG to CNF.
+ *
+ * The verifier asserts a formula and asks the SAT solver whether it is
+ * satisfiable (safe uncomputation corresponds to UNSAT of formulas (6.1)
+ * and (6.2) in the paper).  Each distinct DAG node gets one CNF variable;
+ * sharing in the DAG therefore translates directly into a compact CNF.
+ *
+ * Two encodings are provided: the full biconditional encoding, and the
+ * Plaisted-Greenbaum polarity-based encoding which emits only the clause
+ * direction needed for satisfiability equivalence (roughly half the
+ * clauses on verifier formulas).
+ */
+
+#ifndef QB_SAT_TSEITIN_H
+#define QB_SAT_TSEITIN_H
+
+#include <unordered_map>
+
+#include "boolexpr/arena.h"
+#include "sat/cnf.h"
+
+namespace qb::sat {
+
+/** Clause-emission strategy. */
+enum class TseitinMode {
+    Full,              ///< both directions of every definition
+    PlaistedGreenbaum, ///< polarity-guided one-sided definitions
+};
+
+/** Result of an encoding: the CNF plus variable maps. */
+struct TseitinResult
+{
+    Cnf cnf;
+    /** CNF variable for each encoded DAG node. */
+    std::unordered_map<bexp::NodeRef, Var> nodeVar;
+    /** CNF variable for each Boolean input variable id. */
+    std::unordered_map<std::uint32_t, Var> inputVar;
+    /**
+     * True when the root reduced to a constant and no solving is
+     * needed; rootConstValue then holds the verdict.
+     */
+    bool rootIsConst = false;
+    bool rootConstValue = false;
+};
+
+/**
+ * Encode the assertion "root is true" into CNF.
+ *
+ * XOR nodes with more than @p xorChunk children are decomposed into a
+ * chain of narrower XOR definitions before direct clausal expansion
+ * (a k-ary XOR expands into 2^(k-1) clauses).
+ */
+TseitinResult encodeAssertTrue(const bexp::Arena &arena,
+                               bexp::NodeRef root,
+                               TseitinMode mode = TseitinMode::Full,
+                               unsigned xorChunk = 4);
+
+} // namespace qb::sat
+
+#endif // QB_SAT_TSEITIN_H

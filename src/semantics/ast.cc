@@ -1,0 +1,295 @@
+#include "semantics/ast.h"
+
+#include "support/logging.h"
+
+namespace qb::sem {
+
+std::string
+Operand::toString() const
+{
+    return concrete ? "q" + std::to_string(qubit) : placeholder;
+}
+
+StmtPtr
+skip()
+{
+    return std::make_shared<const Stmt>(Stmt{SkipStmt{}});
+}
+
+StmtPtr
+init(Operand q)
+{
+    return std::make_shared<const Stmt>(Stmt{InitStmt{q}});
+}
+
+StmtPtr
+unitary(ir::GateKind kind, std::vector<Operand> operands, double angle)
+{
+    return std::make_shared<const Stmt>(
+        Stmt{UnitaryStmt{kind, std::move(operands), angle}});
+}
+
+StmtPtr
+gateX(Operand q)
+{
+    return unitary(ir::GateKind::X, {std::move(q)});
+}
+
+StmtPtr
+gateH(Operand q)
+{
+    return unitary(ir::GateKind::H, {std::move(q)});
+}
+
+StmtPtr
+gateCnot(Operand c, Operand t)
+{
+    return unitary(ir::GateKind::CNOT, {std::move(c), std::move(t)});
+}
+
+StmtPtr
+gateCcnot(Operand c1, Operand c2, Operand t)
+{
+    return unitary(ir::GateKind::CCNOT,
+                   {std::move(c1), std::move(c2), std::move(t)});
+}
+
+StmtPtr
+seq(StmtPtr first, StmtPtr second)
+{
+    return std::make_shared<const Stmt>(
+        Stmt{SeqStmt{std::move(first), std::move(second)}});
+}
+
+StmtPtr
+seqAll(std::vector<StmtPtr> stmts)
+{
+    if (stmts.empty())
+        return skip();
+    StmtPtr acc = stmts[0];
+    for (std::size_t i = 1; i < stmts.size(); ++i)
+        acc = seq(acc, stmts[i]);
+    return acc;
+}
+
+StmtPtr
+ifM(Operand guard, StmtPtr then_branch, StmtPtr else_branch)
+{
+    return std::make_shared<const Stmt>(Stmt{IfStmt{
+        std::move(guard), std::move(then_branch),
+        std::move(else_branch)}});
+}
+
+StmtPtr
+whileM(Operand guard, StmtPtr body)
+{
+    return std::make_shared<const Stmt>(
+        Stmt{WhileStmt{std::move(guard), std::move(body)}});
+}
+
+StmtPtr
+borrow(std::string placeholder, StmtPtr body)
+{
+    return std::make_shared<const Stmt>(
+        Stmt{BorrowStmt{std::move(placeholder), std::move(body)}});
+}
+
+namespace {
+
+Operand
+substOperand(const Operand &op, const std::string &name, ir::QubitId q)
+{
+    if (!op.concrete && op.placeholder == name)
+        return Operand::q(q);
+    return op;
+}
+
+} // namespace
+
+StmtPtr
+substitute(const StmtPtr &stmt, const std::string &name, ir::QubitId q)
+{
+    struct Visitor
+    {
+        const std::string &name;
+        ir::QubitId q;
+        const StmtPtr &self;
+
+        StmtPtr operator()(const SkipStmt &) const { return self; }
+        StmtPtr
+        operator()(const InitStmt &s) const
+        {
+            return init(substOperand(s.target, name, q));
+        }
+        StmtPtr
+        operator()(const UnitaryStmt &s) const
+        {
+            std::vector<Operand> ops;
+            ops.reserve(s.operands.size());
+            for (const Operand &op : s.operands)
+                ops.push_back(substOperand(op, name, q));
+            return unitary(s.kind, std::move(ops), s.angle);
+        }
+        StmtPtr
+        operator()(const SeqStmt &s) const
+        {
+            return seq(substitute(s.first, name, q),
+                       substitute(s.second, name, q));
+        }
+        StmtPtr
+        operator()(const IfStmt &s) const
+        {
+            return ifM(substOperand(s.guard, name, q),
+                       substitute(s.thenBranch, name, q),
+                       substitute(s.elseBranch, name, q));
+        }
+        StmtPtr
+        operator()(const WhileStmt &s) const
+        {
+            return whileM(substOperand(s.guard, name, q),
+                          substitute(s.body, name, q));
+        }
+        StmtPtr
+        operator()(const BorrowStmt &s) const
+        {
+            if (s.placeholder == name)
+                return self; // inner binder shadows the substitution
+            return borrow(s.placeholder, substitute(s.body, name, q));
+        }
+    };
+    return std::visit(Visitor{name, q, stmt}, stmt->node);
+}
+
+namespace {
+
+void
+removeOperand(std::vector<bool> &mask, const Operand &op)
+{
+    if (op.concrete) {
+        qbAssert(op.qubit < mask.size(),
+                 "operand outside the qubit universe");
+        mask[op.qubit] = false;
+    }
+}
+
+std::vector<bool>
+intersect(std::vector<bool> a, const std::vector<bool> &b)
+{
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a[i] = a[i] && b[i];
+    return a;
+}
+
+} // namespace
+
+std::vector<bool>
+idleMask(const StmtPtr &stmt, std::uint32_t num_qubits)
+{
+    struct Visitor
+    {
+        std::uint32_t n;
+
+        std::vector<bool>
+        operator()(const SkipStmt &) const
+        {
+            return std::vector<bool>(n, true);
+        }
+        std::vector<bool>
+        operator()(const InitStmt &s) const
+        {
+            std::vector<bool> mask(n, true);
+            removeOperand(mask, s.target);
+            return mask;
+        }
+        std::vector<bool>
+        operator()(const UnitaryStmt &s) const
+        {
+            std::vector<bool> mask(n, true);
+            for (const Operand &op : s.operands)
+                removeOperand(mask, op);
+            return mask;
+        }
+        std::vector<bool>
+        operator()(const SeqStmt &s) const
+        {
+            return intersect(idleMask(s.first, n),
+                             idleMask(s.second, n));
+        }
+        std::vector<bool>
+        operator()(const IfStmt &s) const
+        {
+            auto mask = intersect(idleMask(s.thenBranch, n),
+                                  idleMask(s.elseBranch, n));
+            removeOperand(mask, s.guard);
+            return mask;
+        }
+        std::vector<bool>
+        operator()(const WhileStmt &s) const
+        {
+            auto mask = idleMask(s.body, n);
+            removeOperand(mask, s.guard);
+            return mask;
+        }
+        std::vector<bool>
+        operator()(const BorrowStmt &s) const
+        {
+            return idleMask(s.body, n);
+        }
+    };
+    return std::visit(Visitor{num_qubits}, stmt->node);
+}
+
+std::string
+toString(const StmtPtr &stmt)
+{
+    struct Visitor
+    {
+        std::string operator()(const SkipStmt &) const { return "skip"; }
+        std::string
+        operator()(const InitStmt &s) const
+        {
+            return "[" + s.target.toString() + "] := |0>";
+        }
+        std::string
+        operator()(const UnitaryStmt &s) const
+        {
+            std::string out = ir::Gate::x(0).toString();
+            // Render via a temporary gate when concrete; otherwise by
+            // hand (placeholders cannot form an ir::Gate).
+            out = "U[";
+            for (std::size_t i = 0; i < s.operands.size(); ++i) {
+                if (i)
+                    out += ", ";
+                out += s.operands[i].toString();
+            }
+            return out + "]";
+        }
+        std::string
+        operator()(const SeqStmt &s) const
+        {
+            return toString(s.first) + "; " + toString(s.second);
+        }
+        std::string
+        operator()(const IfStmt &s) const
+        {
+            return "if M[" + s.guard.toString() + "] then { " +
+                   toString(s.thenBranch) + " } else { " +
+                   toString(s.elseBranch) + " }";
+        }
+        std::string
+        operator()(const WhileStmt &s) const
+        {
+            return "while M[" + s.guard.toString() + "] do { " +
+                   toString(s.body) + " }";
+        }
+        std::string
+        operator()(const BorrowStmt &s) const
+        {
+            return "borrow " + s.placeholder + "; " +
+                   toString(s.body) + "; release " + s.placeholder;
+        }
+    };
+    return std::visit(Visitor{}, stmt->node);
+}
+
+} // namespace qb::sem

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Abstract syntax for full QBorrow programs (Figure 4.1 of the paper).
+ *
+ * Unlike the restricted frontend in lang/ (which matches the paper's
+ * implemented tool), this AST covers the complete language of the
+ * formal development: skip, initialization, unitaries, sequencing,
+ * measurement-guarded branching and loops, and borrow/release blocks
+ * whose placeholder is instantiated nondeterministically from the idle
+ * set at interpretation time (Figure 4.3).
+ */
+
+#ifndef QB_SEMANTICS_AST_H
+#define QB_SEMANTICS_AST_H
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ir/gate.h"
+
+namespace qb::sem {
+
+/**
+ * A qubit operand: either a concrete qubit id or a formal placeholder
+ * introduced by an enclosing borrow statement.
+ */
+struct Operand
+{
+    bool concrete = true;
+    ir::QubitId qubit = 0;   ///< valid when concrete
+    std::string placeholder; ///< valid when !concrete
+
+    static Operand q(ir::QubitId id) { return {true, id, {}}; }
+    static Operand ph(std::string name)
+    {
+        return {false, 0, std::move(name)};
+    }
+
+    bool operator==(const Operand &other) const = default;
+    std::string toString() const;
+};
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+
+/** skip */
+struct SkipStmt
+{};
+
+/** [q] := |0> */
+struct InitStmt
+{
+    Operand target;
+};
+
+/** U[qbar]; the unitary is named by an IR gate kind. */
+struct UnitaryStmt
+{
+    ir::GateKind kind;
+    std::vector<Operand> operands;
+    double angle = 0.0; ///< for Phase/CPhase
+};
+
+/** S1; S2 */
+struct SeqStmt
+{
+    StmtPtr first;
+    StmtPtr second;
+};
+
+/**
+ * if M[q] then S1 else S2: a computational-basis measurement of one
+ * qubit; outcome 1 selects the then branch.
+ */
+struct IfStmt
+{
+    Operand guard;
+    StmtPtr thenBranch;
+    StmtPtr elseBranch;
+};
+
+/**
+ * while M[q] do S end: loop while the measurement of the guard yields
+ * outcome 1 (T).
+ */
+struct WhileStmt
+{
+    Operand guard;
+    StmtPtr body;
+};
+
+/** borrow a; S; release a */
+struct BorrowStmt
+{
+    std::string placeholder;
+    StmtPtr body;
+};
+
+/** A QBorrow statement. */
+struct Stmt
+{
+    std::variant<SkipStmt, InitStmt, UnitaryStmt, SeqStmt, IfStmt,
+                 WhileStmt, BorrowStmt>
+        node;
+};
+
+/** @name Construction helpers. @{ */
+StmtPtr skip();
+StmtPtr init(Operand q);
+StmtPtr unitary(ir::GateKind kind, std::vector<Operand> operands,
+                double angle = 0.0);
+/** Convenience single/two/three-qubit unitaries on mixed operands. */
+StmtPtr gateX(Operand q);
+StmtPtr gateH(Operand q);
+StmtPtr gateCnot(Operand c, Operand t);
+StmtPtr gateCcnot(Operand c1, Operand c2, Operand t);
+StmtPtr seq(StmtPtr first, StmtPtr second);
+/** Fold a statement list into nested SeqStmt (empty list = skip). */
+StmtPtr seqAll(std::vector<StmtPtr> stmts);
+StmtPtr ifM(Operand guard, StmtPtr then_branch, StmtPtr else_branch);
+StmtPtr whileM(Operand guard, StmtPtr body);
+StmtPtr borrow(std::string placeholder, StmtPtr body);
+/** @} */
+
+/**
+ * Substitute concrete qubit @p q for placeholder @p name
+ * (the S[q/a] of the borrow semantics).  Inner borrows that rebind the
+ * same placeholder shadow the substitution.
+ */
+StmtPtr substitute(const StmtPtr &stmt, const std::string &name,
+                   ir::QubitId q);
+
+/**
+ * The idle-qubit set of Figure 4.2: idle(S) as a mask over
+ * @p num_qubits concrete qubits.  Placeholder operands do not remove
+ * any concrete qubit (they are not members of qubits).
+ */
+std::vector<bool> idleMask(const StmtPtr &stmt,
+                           std::uint32_t num_qubits);
+
+/** Pretty-print a statement (single line). */
+std::string toString(const StmtPtr &stmt);
+
+} // namespace qb::sem
+
+#endif // QB_SEMANTICS_AST_H

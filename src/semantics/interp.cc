@@ -1,0 +1,254 @@
+#include "semantics/interp.h"
+
+#include "support/logging.h"
+
+namespace qb::sem {
+
+namespace {
+
+ir::QubitId
+concreteQubit(const Operand &op)
+{
+    if (!op.concrete)
+        fatal("interpret: unbound placeholder '" + op.placeholder +
+              "' (every placeholder must be introduced by borrow)");
+    return op.qubit;
+}
+
+/** Insert op unless an equal map is already present. */
+void
+insertDedup(std::vector<sim::QuantumOp> &set, sim::QuantumOp op,
+            double tol, std::size_t max_size)
+{
+    for (const sim::QuantumOp &existing : set)
+        if (existing.approxEqual(op, tol))
+            return;
+    if (set.size() >= max_size)
+        fatal("interpret: operation set exceeded the configured bound; "
+              "the program is too nondeterministic for exhaustive "
+              "interpretation");
+    set.push_back(std::move(op));
+}
+
+struct Interp
+{
+    const InterpOptions &opts;
+
+    OpSet
+    eval(const StmtPtr &stmt) const
+    {
+        struct Visitor
+        {
+            const Interp &in;
+            const StmtPtr &self;
+
+            OpSet
+            operator()(const SkipStmt &) const
+            {
+                OpSet out;
+                out.ops.push_back(
+                    sim::QuantumOp::identity(in.opts.numQubits));
+                return out;
+            }
+            OpSet
+            operator()(const InitStmt &s) const
+            {
+                OpSet out;
+                out.ops.push_back(sim::QuantumOp::initQubit(
+                    in.opts.numQubits, concreteQubit(s.target)));
+                return out;
+            }
+            OpSet
+            operator()(const UnitaryStmt &s) const
+            {
+                std::vector<ir::QubitId> qs;
+                qs.reserve(s.operands.size());
+                for (const Operand &op : s.operands)
+                    qs.push_back(concreteQubit(op));
+                ir::Circuit c(in.opts.numQubits);
+                switch (s.kind) {
+                  case ir::GateKind::X:
+                    c.append(ir::Gate::x(qs[0]));
+                    break;
+                  case ir::GateKind::H:
+                    c.append(ir::Gate::h(qs[0]));
+                    break;
+                  case ir::GateKind::S:
+                    c.append(ir::Gate::s(qs[0]));
+                    break;
+                  case ir::GateKind::Z:
+                    c.append(ir::Gate::z(qs[0]));
+                    break;
+                  case ir::GateKind::Phase:
+                    c.append(ir::Gate::phase(qs[0], s.angle));
+                    break;
+                  case ir::GateKind::CNOT:
+                    c.append(ir::Gate::cnot(qs[0], qs[1]));
+                    break;
+                  case ir::GateKind::Swap:
+                    c.append(ir::Gate::swap(qs[0], qs[1]));
+                    break;
+                  case ir::GateKind::CCNOT:
+                    c.append(ir::Gate::ccnot(qs[0], qs[1], qs[2]));
+                    break;
+                  default:
+                    fatal("interpret: unsupported unitary kind");
+                }
+                OpSet out;
+                out.ops.push_back(sim::QuantumOp::fromCircuit(c));
+                return out;
+            }
+            OpSet
+            operator()(const SeqStmt &s) const
+            {
+                const OpSet first = in.eval(s.first);
+                const OpSet second = in.eval(s.second);
+                OpSet out;
+                out.truncated = first.truncated || second.truncated;
+                out.stuck = first.stuck || second.stuck;
+                for (const sim::QuantumOp &e1 : first.ops)
+                    for (const sim::QuantumOp &e2 : second.ops)
+                        insertDedup(out.ops, e2.after(e1),
+                                    in.opts.dedupTolerance,
+                                    in.opts.maxSetSize);
+                return out;
+            }
+            OpSet
+            operator()(const IfStmt &s) const
+            {
+                const ir::QubitId g = concreteQubit(s.guard);
+                const auto et = sim::QuantumOp::measureBranch(
+                    in.opts.numQubits, g, true);
+                const auto ef = sim::QuantumOp::measureBranch(
+                    in.opts.numQubits, g, false);
+                const OpSet then_set = in.eval(s.thenBranch);
+                const OpSet else_set = in.eval(s.elseBranch);
+                OpSet out;
+                out.truncated =
+                    then_set.truncated || else_set.truncated;
+                out.stuck = then_set.stuck || else_set.stuck;
+                for (const sim::QuantumOp &e1 : then_set.ops) {
+                    for (const sim::QuantumOp &e2 : else_set.ops) {
+                        sim::QuantumOp branch =
+                            e1.after(et) + e2.after(ef);
+                        branch.prune();
+                        insertDedup(out.ops, std::move(branch),
+                                    in.opts.dedupTolerance,
+                                    in.opts.maxSetSize);
+                    }
+                }
+                return out;
+            }
+            OpSet
+            operator()(const WhileStmt &s) const
+            {
+                return in.evalWhile(s);
+            }
+            OpSet
+            operator()(const BorrowStmt &s) const
+            {
+                const auto mask =
+                    idleMask(s.body, in.opts.numQubits);
+                OpSet out;
+                bool any = false;
+                for (ir::QubitId q = 0; q < in.opts.numQubits; ++q) {
+                    if (!mask[q])
+                        continue;
+                    any = true;
+                    const OpSet inst = in.eval(
+                        substitute(s.body, s.placeholder, q));
+                    out.truncated |= inst.truncated;
+                    out.stuck |= inst.stuck;
+                    for (const sim::QuantumOp &e : inst.ops)
+                        insertDedup(out.ops, e,
+                                    in.opts.dedupTolerance,
+                                    in.opts.maxSetSize);
+                }
+                if (!any)
+                    out.stuck = true; // empty union: the program jams
+                return out;
+            }
+        };
+        return std::visit(Visitor{*this, stmt}, stmt->node);
+    }
+
+    OpSet
+    evalWhile(const WhileStmt &s) const
+    {
+        const ir::QubitId g = concreteQubit(s.guard);
+        const auto et =
+            sim::QuantumOp::measureBranch(opts.numQubits, g, true);
+        const auto ef =
+            sim::QuantumOp::measureBranch(opts.numQubits, g, false);
+        const OpSet body = eval(s.body);
+        OpSet out;
+        out.truncated = body.truncated;
+        out.stuck = body.stuck;
+        if (body.ops.empty()) {
+            // A stuck body still permits the zero-iteration exit.
+            out.ops.push_back(ef);
+            return out;
+        }
+
+        // Each scheduler is an infinite sequence of body choices; we
+        // expand the choice tree breadth-first, accumulating the
+        // series  sum_k  EF o E_k o ET o ... o E_1 o ET  per path.
+        struct Path
+        {
+            sim::QuantumOp prefix; ///< E_k o ET o ... o E_1 o ET
+            sim::QuantumOp acc;    ///< partial sum of exit terms
+        };
+        std::vector<Path> frontier;
+        frontier.push_back(
+            {sim::QuantumOp::identity(opts.numQubits),
+             sim::QuantumOp(opts.numQubits)});
+        bool converged = false;
+        for (int k = 0; k <= opts.maxWhileIterations; ++k) {
+            // Fold the k-th exit term into every path.
+            for (Path &p : frontier) {
+                p.acc = p.acc + ef.after(p.prefix);
+                p.acc.prune();
+            }
+            double max_weight = 0.0;
+            for (const Path &p : frontier) {
+                sim::QuantumOp contin = et.after(p.prefix);
+                max_weight = std::max(max_weight, contin.weight());
+            }
+            if (max_weight < opts.tailTolerance) {
+                converged = true;
+                break;
+            }
+            if (k == opts.maxWhileIterations)
+                break;
+            std::vector<Path> next;
+            for (const Path &p : frontier) {
+                const sim::QuantumOp continued = et.after(p.prefix);
+                for (const sim::QuantumOp &e : body.ops) {
+                    if (next.size() >= opts.maxSetSize)
+                        fatal("interpret: while-loop scheduler tree "
+                              "exceeded the configured bound");
+                    sim::QuantumOp pref = e.after(continued);
+                    pref.prune();
+                    next.push_back({std::move(pref), p.acc});
+                }
+            }
+            frontier = std::move(next);
+        }
+        if (!converged)
+            out.truncated = true;
+        for (Path &p : frontier)
+            insertDedup(out.ops, std::move(p.acc),
+                        opts.dedupTolerance, opts.maxSetSize);
+        return out;
+    }
+};
+
+} // namespace
+
+OpSet
+interpret(const StmtPtr &stmt, const InterpOptions &options)
+{
+    return Interp{options}.eval(stmt);
+}
+
+} // namespace qb::sem

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Denotational semantics of QBorrow (Figure 4.3 of the paper).
+ *
+ * A program denotes a *set* of quantum operations on the 2^n state
+ * space: probabilistic branching (measurement) combines operations by
+ * summation, nondeterministic choice (borrow instantiation) combines
+ * them by set union.  Operation sets are deduplicated up to Choi-matrix
+ * equality, so |interpret(S)| directly realizes the |[[S]]| of
+ * Theorem 5.5.
+ *
+ * While loops are evaluated by accumulating the convergent series of
+ * Figure 4.3 until the remaining branch weight falls below a tolerance
+ * or an iteration cap is hit; the result records whether the tail was
+ * truncated.
+ */
+
+#ifndef QB_SEMANTICS_INTERP_H
+#define QB_SEMANTICS_INTERP_H
+
+#include <vector>
+
+#include "semantics/ast.h"
+#include "sim/kraus.h"
+
+namespace qb::sem {
+
+/** Interpreter controls. */
+struct InterpOptions
+{
+    /** Size of the qubit universe (the paper's `qubits`). */
+    std::uint32_t numQubits = 3;
+    /** Iteration cap for while loops. */
+    int maxWhileIterations = 128;
+    /** Stop a loop once the pending branch weight is below this. */
+    double tailTolerance = 1e-10;
+    /** Abort if the operation set exceeds this many elements. */
+    std::size_t maxSetSize = 256;
+    /** Tolerance for Choi-matrix deduplication. */
+    double dedupTolerance = 1e-8;
+};
+
+/** A set of quantum operations, plus evaluation diagnostics. */
+struct OpSet
+{
+    std::vector<sim::QuantumOp> ops;
+    /**
+     * True when some while loop hit the iteration cap before the tail
+     * weight fell below tolerance; the semantics is then a lower
+     * approximation in the cpo order of Section 4.2.
+     */
+    bool truncated = false;
+    /** True when a borrow statement found no idle qubit: the program
+     *  is stuck and contributes no operations (empty union). */
+    bool stuck = false;
+};
+
+/** Interpret a (placeholder-closed) program per Figure 4.3. */
+OpSet interpret(const StmtPtr &stmt, const InterpOptions &options);
+
+} // namespace qb::sem
+
+#endif // QB_SEMANTICS_INTERP_H

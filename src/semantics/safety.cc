@@ -1,0 +1,304 @@
+#include "semantics/safety.h"
+
+#include <array>
+#include <functional>
+#include <numbers>
+
+#include "sim/matrix.h"
+#include "support/logging.h"
+
+namespace qb::sem {
+
+namespace {
+
+using sim::Complex;
+using sim::Matrix;
+
+/** The five one-qubit probe vectors of Theorem 6.1. */
+std::vector<std::array<Complex, 2>>
+probeVectors()
+{
+    const double s = 1.0 / std::numbers::sqrt2;
+    return {
+        {Complex{1, 0}, Complex{0, 0}},      // |0>
+        {Complex{0, 0}, Complex{1, 0}},      // |1>
+        {Complex{s, 0}, Complex{s, 0}},      // |+>
+        {Complex{s, 0}, Complex{0, s}},      // |+i>
+        {Complex{s, 0}, Complex{-s, 0}},     // |->
+    };
+}
+
+/** The four basis states of the environment set B (all pure). */
+std::vector<std::array<Complex, 2>>
+basisVectors()
+{
+    auto v = probeVectors();
+    v.pop_back(); // B excludes |->
+    return v;
+}
+
+/** Density matrix |v><v| of a one-qubit vector. */
+Matrix
+dyad(const std::array<Complex, 2> &v)
+{
+    Matrix m(2, 2);
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j)
+            m.at(i, j) = v[i] * std::conj(v[j]);
+    return m;
+}
+
+/**
+ * Build the full pure product state over @p n qubits given per-qubit
+ * vectors (qubit 0 is the most significant index bit).
+ */
+std::vector<Complex>
+productState(const std::vector<std::array<Complex, 2>> &factors)
+{
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(factors.size());
+    const std::size_t dim = std::size_t{1} << n;
+    std::vector<Complex> out(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+        Complex amp{1, 0};
+        for (std::uint32_t qk = 0; qk < n; ++qk) {
+            const std::size_t bit = (i >> (n - 1 - qk)) & 1;
+            amp *= factors[qk][bit];
+        }
+        out[i] = amp;
+    }
+    return out;
+}
+
+Matrix
+densityOf(const std::vector<Complex> &vec)
+{
+    const std::size_t dim = vec.size();
+    Matrix rho(dim, dim);
+    for (std::size_t i = 0; i < dim; ++i)
+        for (std::size_t j = 0; j < dim; ++j)
+            rho.at(i, j) = vec[i] * std::conj(vec[j]);
+    return rho;
+}
+
+/** Enumerate assignments of the 4-element basis to n-1 qubits. */
+bool
+forEachEnvironment(
+    std::uint32_t num_qubits, std::uint32_t skip,
+    const std::function<
+        bool(std::vector<std::array<Complex, 2>>)> &visit)
+{
+    const auto basis = basisVectors();
+    const std::uint32_t env_count = num_qubits - 1;
+    std::vector<std::uint32_t> choice(env_count, 0);
+    while (true) {
+        std::vector<std::array<Complex, 2>> factors(num_qubits);
+        std::uint32_t e = 0;
+        for (std::uint32_t qk = 0; qk < num_qubits; ++qk) {
+            if (qk == skip)
+                continue;
+            factors[qk] = basis[choice[e++]];
+        }
+        if (!visit(std::move(factors)))
+            return false;
+        // Odometer increment.
+        std::uint32_t pos = 0;
+        while (pos < env_count) {
+            if (++choice[pos] < basis.size())
+                break;
+            choice[pos] = 0;
+            ++pos;
+        }
+        if (pos == env_count)
+            return true;
+    }
+}
+
+} // namespace
+
+bool
+opActsAsIdentityOn(const sim::QuantumOp &op, std::uint32_t q,
+                   double tol)
+{
+    const std::uint32_t n = op.numQubits();
+    qbAssert(q < n, "opActsAsIdentityOn: qubit out of range");
+    const auto probes = probeVectors();
+    std::vector<std::uint32_t> others;
+    for (std::uint32_t qk = 0; qk < n; ++qk)
+        if (qk != q)
+            others.push_back(qk);
+
+    return forEachEnvironment(n, q, [&](auto factors) {
+        for (const auto &psi : probes) {
+            factors[q] = psi;
+            const Matrix rho = densityOf(productState(factors));
+            Matrix out = op.apply(rho);
+            Matrix reduced = partialTrace(out, n, others);
+            const double weight = reduced.trace().real();
+            if (weight < tol)
+                continue; // measure-zero branch: vacuous
+            reduced = reduced.scaled(1.0 / weight);
+            if (!reduced.approxEqual(dyad(psi), tol))
+                return false;
+        }
+        return true;
+    });
+}
+
+bool
+opPreservesBellPair(const sim::QuantumOp &op, std::uint32_t q,
+                    double tol)
+{
+    const std::uint32_t n = op.numQubits();
+    qbAssert(q < n, "opPreservesBellPair: qubit out of range");
+    const std::uint32_t ext = n; // the hypothetical qubit q'
+    const std::uint32_t n_ext = n + 1;
+    const std::size_t dim_ext = std::size_t{1} << n_ext;
+
+    // Extend every Kraus operator with the identity on q'.
+    std::vector<Matrix> kraus_ext;
+    const Matrix id2 = Matrix::identity(2);
+    for (const Matrix &k : op.kraus())
+        kraus_ext.push_back(k.tensor(id2));
+
+    // Bell density on (q, q') for comparison.
+    Matrix bell(4, 4);
+    bell.at(0, 0) = bell.at(0, 3) = bell.at(3, 0) = bell.at(3, 3) = 0.5;
+
+    std::vector<std::uint32_t> traced;
+    for (std::uint32_t qk = 0; qk < n_ext; ++qk)
+        if (qk != q && qk != ext)
+            traced.push_back(qk);
+
+    return forEachEnvironment(n, q, [&](auto factors) {
+        // Pure state: env factors, with |Phi> entangling q and q'.
+        factors.resize(n_ext);
+        std::vector<Complex> vec(dim_ext);
+        const double s = 1.0 / std::numbers::sqrt2;
+        const std::uint64_t qmask =
+            std::uint64_t{1} << (n_ext - 1 - q);
+        const std::uint64_t emask =
+            std::uint64_t{1} << (n_ext - 1 - ext);
+        for (std::size_t i = 0; i < dim_ext; ++i) {
+            const bool qb = i & qmask;
+            const bool eb = i & emask;
+            if (qb != eb)
+                continue;
+            Complex amp{s, 0};
+            for (std::uint32_t qk = 0; qk < n; ++qk) {
+                if (qk == q)
+                    continue;
+                const std::size_t bit = (i >> (n_ext - 1 - qk)) & 1;
+                amp *= factors[qk][bit];
+            }
+            vec[i] = amp;
+        }
+        Matrix rho = densityOf(vec);
+        Matrix out(dim_ext, dim_ext);
+        for (const Matrix &k : kraus_ext)
+            out = out + k * rho * k.adjoint();
+        Matrix reduced = partialTrace(out, n_ext, traced);
+        const double weight = reduced.trace().real();
+        if (weight < tol)
+            return true;
+        reduced = reduced.scaled(1.0 / weight);
+        return reduced.approxEqual(bell, tol);
+    });
+}
+
+bool
+safelyUncomputes(const StmtPtr &stmt, std::uint32_t q,
+                 const InterpOptions &options)
+{
+    const OpSet set = interpret(stmt, options);
+    for (const sim::QuantumOp &op : set.ops)
+        if (!opActsAsIdentityOn(op, q))
+            return false;
+    return true;
+}
+
+bool
+isDeterministic(const StmtPtr &stmt, const InterpOptions &options)
+{
+    return interpret(stmt, options).ops.size() <= 1;
+}
+
+Termination
+terminatesAlmostSurely(const StmtPtr &stmt,
+                       const InterpOptions &options)
+{
+    const OpSet set = interpret(stmt, options);
+    for (const sim::QuantumOp &op : set.ops) {
+        if (!op.isTracePreserving(1e-6))
+            return set.truncated ? Termination::Unknown
+                                 : Termination::Diverges;
+    }
+    // All observed operations preserve trace; if a loop was cut off
+    // the tail weight was already below tolerance, so this bound is
+    // decisive up to the configured tolerance.
+    return Termination::Terminates;
+}
+
+bool
+programIsSafe(const StmtPtr &stmt, const InterpOptions &options)
+{
+    struct Visitor
+    {
+        const InterpOptions &opts;
+
+        bool
+        walk(const StmtPtr &s) const
+        {
+            struct V
+            {
+                const Visitor &outer;
+
+                bool operator()(const SkipStmt &) const { return true; }
+                bool operator()(const InitStmt &) const { return true; }
+                bool
+                operator()(const UnitaryStmt &) const
+                {
+                    return true;
+                }
+                bool
+                operator()(const SeqStmt &s) const
+                {
+                    return outer.walk(s.first) && outer.walk(s.second);
+                }
+                bool
+                operator()(const IfStmt &s) const
+                {
+                    return outer.walk(s.thenBranch) &&
+                           outer.walk(s.elseBranch);
+                }
+                bool
+                operator()(const WhileStmt &s) const
+                {
+                    return outer.walk(s.body);
+                }
+                bool
+                operator()(const BorrowStmt &s) const
+                {
+                    const auto mask =
+                        idleMask(s.body, outer.opts.numQubits);
+                    for (std::uint32_t q = 0;
+                         q < outer.opts.numQubits; ++q) {
+                        if (!mask[q])
+                            continue;
+                        const StmtPtr inst =
+                            substitute(s.body, s.placeholder, q);
+                        if (!safelyUncomputes(inst, q, outer.opts))
+                            return false;
+                        if (!outer.walk(inst))
+                            return false;
+                    }
+                    return true;
+                }
+            };
+            return std::visit(V{*this}, s->node);
+        }
+    };
+    return Visitor{options}.walk(stmt);
+}
+
+} // namespace qb::sem

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Safe uncomputation at the semantics level (Section 5 of the paper).
+ *
+ * Definition 5.1: program S safely uncomputes qubit q iff every
+ * E in [[S]] factors as I_q (x) E'.  The deciders here realize the
+ * finite refinements of Theorem 6.1:
+ *
+ *  - opActsAsIdentityOn: condition (2), checking restoration of the
+ *    five states {|0>,|1>,|+>,|+i>,|->} against every product of the
+ *    one-qubit basis set B on the remaining qubits;
+ *  - opPreservesBellPair: condition (3), checking preservation of an
+ *    external Bell pair with one hypothetical qubit.
+ *
+ * Program-level notions (Definition of "safe program", Theorem 5.5)
+ * are provided on top of the interpreter.
+ */
+
+#ifndef QB_SEMANTICS_SAFETY_H
+#define QB_SEMANTICS_SAFETY_H
+
+#include "semantics/interp.h"
+
+namespace qb::sem {
+
+/**
+ * Theorem 6.1 condition (2): E acts as the identity on @p q.
+ *
+ * Checks E(rho' (x) |psi><psi|)|_q = |psi><psi| for all rho' in
+ * B^(n-1) and |psi> in {|0>,|1>,|+>,|+i>,|->}; branches of measure
+ * zero are vacuous.
+ */
+bool opActsAsIdentityOn(const sim::QuantumOp &op, std::uint32_t q,
+                        double tol = 1e-8);
+
+/**
+ * Theorem 6.1 condition (3): E (x) I_q' preserves a Bell pair between
+ * @p q and one hypothetical external qubit, for every basis state of
+ * the other qubits.
+ */
+bool opPreservesBellPair(const sim::QuantumOp &op, std::uint32_t q,
+                         double tol = 1e-8);
+
+/** Definition 5.1 over the interpreted operation set. */
+bool safelyUncomputes(const StmtPtr &stmt, std::uint32_t q,
+                      const InterpOptions &options);
+
+/**
+ * Theorem 5.5 right-hand side: |[[S]]| <= 1 under the given universe.
+ * Combine with increasing numQubits to realize "in arbitrarily large
+ * qubits".
+ */
+bool isDeterministic(const StmtPtr &stmt,
+                     const InterpOptions &options);
+
+/**
+ * "S is safe": every borrow statement within S is safe, i.e. for each
+ * borrow a; S'; release a and every admissible instantiation q of a,
+ * S'[q/a] safely uncomputes q (Section 5).
+ */
+bool programIsSafe(const StmtPtr &stmt, const InterpOptions &options);
+
+/** Outcome of the termination analysis. */
+enum class Termination {
+    Terminates, ///< every execution is trace preserving
+    Diverges,   ///< some execution provably loses probability mass
+    Unknown,    ///< loop bound hit before the series converged
+};
+
+/**
+ * Almost-sure termination check (the complementary analysis Section 7
+ * asks for in multi-program scheduling): a program that borrows dirty
+ * qubits but can fail to terminate must not be admitted.  Decided by
+ * interpreting S and testing every operation for trace preservation;
+ * divergence manifests as lost trace in the paper's partial-density-
+ * operator semantics.
+ */
+Termination terminatesAlmostSurely(const StmtPtr &stmt,
+                                   const InterpOptions &options);
+
+} // namespace qb::sem
+
+#endif // QB_SEMANTICS_SAFETY_H

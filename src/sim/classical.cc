@@ -1,0 +1,208 @@
+#include "sim/classical.h"
+
+#include "support/logging.h"
+
+namespace qb::sim {
+
+ClassicalState::ClassicalState(std::uint32_t num_qubits)
+    : numQubits_(num_qubits), words((num_qubits + 63) / 64, 0)
+{
+}
+
+bool
+ClassicalState::get(std::uint32_t q) const
+{
+    qbAssert(q < numQubits_, "ClassicalState::get out of range");
+    return (words[q / 64] >> (q % 64)) & 1;
+}
+
+void
+ClassicalState::set(std::uint32_t q, bool value)
+{
+    qbAssert(q < numQubits_, "ClassicalState::set out of range");
+    const std::uint64_t mask = std::uint64_t{1} << (q % 64);
+    if (value)
+        words[q / 64] |= mask;
+    else
+        words[q / 64] &= ~mask;
+}
+
+void
+ClassicalState::applyGate(const ir::Gate &gate)
+{
+    using ir::GateKind;
+    switch (gate.kind()) {
+      case GateKind::X:
+      case GateKind::CNOT:
+      case GateKind::CCNOT:
+      case GateKind::MCX: {
+        bool all = true;
+        for (ir::QubitId c : gate.controls())
+            all = all && get(c);
+        if (all)
+            set(gate.target(), !get(gate.target()));
+        break;
+      }
+      case GateKind::Swap: {
+        const bool a = get(gate.qubits()[0]);
+        const bool b = get(gate.qubits()[1]);
+        set(gate.qubits()[0], b);
+        set(gate.qubits()[1], a);
+        break;
+      }
+      default:
+        panic("ClassicalState: non-classical gate " + gate.toString());
+    }
+}
+
+void
+ClassicalState::applyCircuit(const ir::Circuit &circuit)
+{
+    qbAssert(circuit.numQubits() == numQubits_,
+             "circuit/state width mismatch");
+    for (const ir::Gate &g : circuit.gates())
+        applyGate(g);
+}
+
+std::uint64_t
+ClassicalState::toIndex() const
+{
+    qbAssert(numQubits_ <= 64, "toIndex: too many qubits");
+    std::uint64_t index = 0;
+    for (std::uint32_t q = 0; q < numQubits_; ++q)
+        if (get(q))
+            index |= std::uint64_t{1} << (numQubits_ - 1 - q);
+    return index;
+}
+
+ClassicalState
+ClassicalState::fromIndex(std::uint32_t num_qubits, std::uint64_t index)
+{
+    ClassicalState s(num_qubits);
+    for (std::uint32_t q = 0; q < num_qubits; ++q)
+        s.set(q, (index >> (num_qubits - 1 - q)) & 1);
+    return s;
+}
+
+TruthTable::TruthTable(const ir::Circuit &circuit)
+    : numQubits_(circuit.numQubits())
+{
+    qbAssert(circuit.isClassical(),
+             "TruthTable requires a classical circuit");
+    qbAssert(numQubits_ <= 24, "TruthTable: too many qubits");
+    const std::uint64_t num_inputs = std::uint64_t{1} << numQubits_;
+    numWords = static_cast<std::size_t>((num_inputs + 63) / 64);
+
+    // Input column of qubit q: bit (n-1-q) of the input index; a
+    // periodic pattern that can be synthesized word by word.
+    inCols.assign(numQubits_, std::vector<std::uint64_t>(numWords, 0));
+    for (std::uint32_t q = 0; q < numQubits_; ++q) {
+        const std::uint32_t p = numQubits_ - 1 - q; // index bit position
+        auto &col = inCols[q];
+        if (p >= 6) {
+            const std::uint64_t stride = std::uint64_t{1} << (p - 6);
+            for (std::size_t w = 0; w < numWords; ++w)
+                if ((w / stride) % 2 == 1)
+                    col[w] = ~std::uint64_t{0};
+        } else {
+            // Within-word period: 2^p zeros then 2^p ones, repeated.
+            std::uint64_t pattern = 0;
+            for (std::uint32_t b = 0; b < 64; ++b)
+                if ((b >> p) & 1)
+                    pattern |= std::uint64_t{1} << b;
+            for (std::size_t w = 0; w < numWords; ++w)
+                col[w] = pattern;
+        }
+    }
+
+    outCols = inCols;
+    std::vector<std::uint64_t> scratch(numWords);
+    for (const ir::Gate &g : circuit.gates()) {
+        using ir::GateKind;
+        switch (g.kind()) {
+          case GateKind::X:
+          case GateKind::CNOT:
+          case GateKind::CCNOT:
+          case GateKind::MCX: {
+            auto &target = outCols[g.target()];
+            if (g.numControls() == 0) {
+                for (std::size_t w = 0; w < numWords; ++w)
+                    target[w] = ~target[w];
+                break;
+            }
+            for (std::size_t w = 0; w < numWords; ++w)
+                scratch[w] = ~std::uint64_t{0};
+            for (ir::QubitId c : g.controls()) {
+                const auto &ctrl = outCols[c];
+                for (std::size_t w = 0; w < numWords; ++w)
+                    scratch[w] &= ctrl[w];
+            }
+            for (std::size_t w = 0; w < numWords; ++w)
+                target[w] ^= scratch[w];
+            break;
+          }
+          case GateKind::Swap:
+            outCols[g.qubits()[0]].swap(outCols[g.qubits()[1]]);
+            break;
+          default:
+            panic("TruthTable: non-classical gate " + g.toString());
+        }
+    }
+}
+
+std::uint64_t
+TruthTable::word(const std::vector<std::uint64_t> &col,
+                 std::uint64_t in) const
+{
+    return (col[in / 64] >> (in % 64)) & 1;
+}
+
+bool
+TruthTable::output(std::uint32_t q, std::uint64_t in) const
+{
+    return word(outCols[q], in) != 0;
+}
+
+bool
+TruthTable::input(std::uint32_t q, std::uint64_t in) const
+{
+    return word(inCols[q], in) != 0;
+}
+
+bool
+TruthTable::restoresZero(std::uint32_t q) const
+{
+    // No input with q = 0 may produce q = 1: out_q AND NOT in_q == 0.
+    const auto &in = inCols[q];
+    const auto &out = outCols[q];
+    const std::uint64_t tail_mask = numQubits_ >= 6
+        ? ~std::uint64_t{0}
+        : (std::uint64_t{1} << (std::uint64_t{1} << numQubits_)) - 1;
+    for (std::size_t w = 0; w < numWords; ++w) {
+        const std::uint64_t bad = out[w] & ~in[w] & tail_mask;
+        if (bad != 0)
+            return false;
+    }
+    return true;
+}
+
+bool
+TruthTable::othersIndependentOf(std::uint32_t q) const
+{
+    const std::uint64_t num_inputs = std::uint64_t{1} << numQubits_;
+    const std::uint64_t qmask =
+        std::uint64_t{1} << (numQubits_ - 1 - q);
+    for (std::uint32_t other = 0; other < numQubits_; ++other) {
+        if (other == q)
+            continue;
+        for (std::uint64_t in = 0; in < num_inputs; ++in) {
+            if (in & qmask)
+                continue;
+            if (output(other, in) != output(other, in | qmask))
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace qb::sim

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Classical reversible simulation.
+ *
+ * Two engines:
+ *
+ *  - ClassicalState: simulate one bit-assignment through a classical
+ *    circuit.  Scales to thousands of qubits (the MCX benchmark circuits)
+ *    and is used for functional checks such as "the adder really adds".
+ *
+ *  - TruthTable: bit-parallel simulation of *all* 2^n inputs at once.
+ *    Each qubit's value column over every input is kept as a packed
+ *    bitmask, and gates become bitwise operations on columns.  This is
+ *    the brute-force oracle behind the verifier cross-checks: conditions
+ *    (6.1)/(6.2) of the paper become two column comparisons.
+ */
+
+#ifndef QB_SIM_CLASSICAL_H
+#define QB_SIM_CLASSICAL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/circuit.h"
+
+namespace qb::sim {
+
+/** One classical bit-assignment evolved through a reversible circuit. */
+class ClassicalState
+{
+  public:
+    /** All-zero state over @p num_qubits bits. */
+    explicit ClassicalState(std::uint32_t num_qubits);
+
+    std::uint32_t numQubits() const { return numQubits_; }
+
+    bool get(std::uint32_t q) const;
+    void set(std::uint32_t q, bool value);
+
+    /** Apply a classical gate (X family or SWAP). */
+    void applyGate(const ir::Gate &gate);
+    void applyCircuit(const ir::Circuit &circuit);
+
+    /** Pack bits q0..q_{n-1} into an integer, q0 most significant. */
+    std::uint64_t toIndex() const;
+    static ClassicalState fromIndex(std::uint32_t num_qubits,
+                                    std::uint64_t index);
+
+  private:
+    std::uint32_t numQubits_;
+    std::vector<std::uint64_t> words;
+};
+
+/** Packed column of 2^n bits, one per circuit input. */
+class TruthTable
+{
+  public:
+    /**
+     * Evaluate @p circuit on all 2^n inputs simultaneously.
+     *
+     * @pre circuit.isClassical() and circuit.numQubits() <= 24.
+     */
+    explicit TruthTable(const ir::Circuit &circuit);
+
+    std::uint32_t numQubits() const { return numQubits_; }
+
+    /**
+     * Output value of qubit @p q on input @p input (the packed basis
+     * index, qubit 0 most significant).
+     */
+    bool output(std::uint32_t q, std::uint64_t input) const;
+
+    /** Input value of qubit @p q on input @p input. */
+    bool input(std::uint32_t q, std::uint64_t input) const;
+
+    /**
+     * Paper condition for |0> restoration (Theorem 6.2, first clause):
+     * every input with q = 0 leaves q = 0 at the output.
+     */
+    bool restoresZero(std::uint32_t q) const;
+
+    /**
+     * Paper condition for |+> restoration (Theorem 6.2, second clause):
+     * the outputs of every other qubit do not depend on the initial
+     * value of q.
+     */
+    bool othersIndependentOf(std::uint32_t q) const;
+
+  private:
+    std::uint64_t word(const std::vector<std::uint64_t> &col,
+                       std::uint64_t input) const;
+
+    std::uint32_t numQubits_;
+    std::size_t numWords;
+    /** outCols[q] = packed output column of qubit q over all inputs. */
+    std::vector<std::vector<std::uint64_t>> outCols;
+    /** inCols[q] = packed input column (the projection pattern). */
+    std::vector<std::vector<std::uint64_t>> inCols;
+};
+
+} // namespace qb::sim
+
+#endif // QB_SIM_CLASSICAL_H

@@ -1,0 +1,196 @@
+#include "sim/kraus.h"
+
+#include "sim/statevector.h"
+#include "support/logging.h"
+
+namespace qb::sim {
+
+Matrix
+gateUnitary(std::uint32_t num_qubits, const ir::Gate &gate)
+{
+    ir::Circuit c(num_qubits);
+    c.append(gate);
+    return circuitUnitary(c);
+}
+
+QuantumOp::QuantumOp(std::uint32_t num_qubits) : numQubits_(num_qubits)
+{
+    qbAssert(num_qubits <= 8, "QuantumOp: system too large");
+}
+
+QuantumOp
+QuantumOp::identity(std::uint32_t num_qubits)
+{
+    QuantumOp op(num_qubits);
+    op.addKraus(Matrix::identity(op.dim()));
+    return op;
+}
+
+QuantumOp
+QuantumOp::fromUnitary(std::uint32_t num_qubits, Matrix unitary)
+{
+    QuantumOp op(num_qubits);
+    qbAssert(unitary.rows() == op.dim() && unitary.cols() == op.dim(),
+             "fromUnitary: dimension mismatch");
+    op.addKraus(std::move(unitary));
+    return op;
+}
+
+QuantumOp
+QuantumOp::fromGate(std::uint32_t num_qubits, const ir::Gate &gate)
+{
+    return fromUnitary(num_qubits, gateUnitary(num_qubits, gate));
+}
+
+QuantumOp
+QuantumOp::fromCircuit(const ir::Circuit &circuit)
+{
+    return fromUnitary(circuit.numQubits(), circuitUnitary(circuit));
+}
+
+QuantumOp
+QuantumOp::initQubit(std::uint32_t num_qubits, std::uint32_t q)
+{
+    QuantumOp op(num_qubits);
+    const std::size_t dim = op.dim();
+    const std::uint64_t mask =
+        std::uint64_t{1} << (num_qubits - 1 - q);
+    // K0 = |0><0|_q (x) I, K1 = |0><1|_q (x) I.
+    Matrix k0(dim, dim), k1(dim, dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+        if ((i & mask) == 0) {
+            k0.at(i, i) = 1.0;
+            k1.at(i, i | mask) = 1.0;
+        }
+    }
+    op.addKraus(std::move(k0));
+    op.addKraus(std::move(k1));
+    return op;
+}
+
+QuantumOp
+QuantumOp::measureBranch(std::uint32_t num_qubits, std::uint32_t q,
+                         bool one)
+{
+    QuantumOp op(num_qubits);
+    const std::size_t dim = op.dim();
+    const std::uint64_t mask =
+        std::uint64_t{1} << (num_qubits - 1 - q);
+    Matrix p(dim, dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+        const bool is_one = (i & mask) != 0;
+        if (is_one == one)
+            p.at(i, i) = 1.0;
+    }
+    op.addKraus(std::move(p));
+    return op;
+}
+
+void
+QuantumOp::addKraus(Matrix k)
+{
+    qbAssert(k.rows() == dim() && k.cols() == dim(),
+             "addKraus: dimension mismatch");
+    ops.push_back(std::move(k));
+}
+
+Matrix
+QuantumOp::apply(const Matrix &rho) const
+{
+    Matrix out(dim(), dim());
+    for (const Matrix &k : ops)
+        out = out + k * rho * k.adjoint();
+    return out;
+}
+
+QuantumOp
+QuantumOp::after(const QuantumOp &other) const
+{
+    qbAssert(numQubits_ == other.numQubits_,
+             "composition width mismatch");
+    QuantumOp out(numQubits_);
+    for (const Matrix &second : ops)
+        for (const Matrix &first : other.ops)
+            out.addKraus(second * first);
+    out.prune();
+    return out;
+}
+
+QuantumOp
+QuantumOp::operator+(const QuantumOp &other) const
+{
+    qbAssert(numQubits_ == other.numQubits_, "sum width mismatch");
+    QuantumOp out(numQubits_);
+    for (const Matrix &k : ops)
+        out.addKraus(k);
+    for (const Matrix &k : other.ops)
+        out.addKraus(k);
+    return out;
+}
+
+Matrix
+QuantumOp::choi() const
+{
+    const std::size_t d = dim();
+    Matrix j(d * d, d * d);
+    for (const Matrix &k : ops) {
+        // vec(K)[(i, out)] = K(out, i); J += vec vec^dagger.
+        for (std::size_t i = 0; i < d; ++i) {
+            for (std::size_t a = 0; a < d; ++a) {
+                const Complex va = k.at(a, i);
+                if (va == Complex{})
+                    continue;
+                for (std::size_t jj = 0; jj < d; ++jj) {
+                    for (std::size_t b = 0; b < d; ++b) {
+                        const Complex vb = k.at(b, jj);
+                        if (vb == Complex{})
+                            continue;
+                        j.at(i * d + a, jj * d + b) +=
+                            va * std::conj(vb);
+                    }
+                }
+            }
+        }
+    }
+    return j;
+}
+
+bool
+QuantumOp::approxEqual(const QuantumOp &other, double tol) const
+{
+    if (numQubits_ != other.numQubits_)
+        return false;
+    return choi().approxEqual(other.choi(), tol);
+}
+
+void
+QuantumOp::prune(double tol)
+{
+    std::vector<Matrix> kept;
+    for (Matrix &k : ops)
+        if (k.norm() > tol)
+            kept.push_back(std::move(k));
+    ops = std::move(kept);
+}
+
+bool
+QuantumOp::isTracePreserving(double tol) const
+{
+    Matrix acc(dim(), dim());
+    for (const Matrix &k : ops)
+        acc = acc + k.adjoint() * k;
+    return acc.approxEqual(Matrix::identity(dim()), tol);
+}
+
+double
+QuantumOp::weight() const
+{
+    double acc = 0.0;
+    for (const Matrix &k : ops) {
+        const double n = k.norm();
+        acc += n * n;
+    }
+    return acc;
+}
+
+} // namespace qb::sim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Quantum operations in Kraus form.
+ *
+ * The denotational semantics of QBorrow (Figure 4.3 of the paper)
+ * interprets programs as *sets* of quantum operations - completely
+ * positive trace-non-increasing maps.  A Kraus list is the natural
+ * closed-form representation: unitaries and initializations have 1-2
+ * Kraus operators, sequential composition multiplies the lists pairwise,
+ * and the probabilistic sum in the if/while rules is list concatenation.
+ */
+
+#ifndef QB_SIM_KRAUS_H
+#define QB_SIM_KRAUS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/circuit.h"
+#include "sim/matrix.h"
+
+namespace qb::sim {
+
+/** Full-space unitary of a single gate over @p num_qubits qubits. */
+Matrix gateUnitary(std::uint32_t num_qubits, const ir::Gate &gate);
+
+/**
+ * A completely positive trace-non-increasing map, stored as a list of
+ * Kraus operators acting on the full 2^n-dimensional space.
+ */
+class QuantumOp
+{
+  public:
+    /** The zero map (used as the sum identity). */
+    explicit QuantumOp(std::uint32_t num_qubits);
+
+    /** @name Factories for the primitive operations of Section 2. @{ */
+    static QuantumOp identity(std::uint32_t num_qubits);
+    static QuantumOp fromUnitary(std::uint32_t num_qubits,
+                                 Matrix unitary);
+    static QuantumOp fromGate(std::uint32_t num_qubits,
+                              const ir::Gate &gate);
+    static QuantumOp fromCircuit(const ir::Circuit &circuit);
+    /** E_init,q: |0><0| rho |0><0| + |0><1| rho |1><0|. */
+    static QuantumOp initQubit(std::uint32_t num_qubits,
+                               std::uint32_t q);
+    /**
+     * One branch of a computational-basis measurement of @p q:
+     * rho -> P rho P with P the projector onto outcome @p one.
+     */
+    static QuantumOp measureBranch(std::uint32_t num_qubits,
+                                   std::uint32_t q, bool one);
+    /** @} */
+
+    std::uint32_t numQubits() const { return numQubits_; }
+    std::size_t dim() const { return std::size_t{1} << numQubits_; }
+    const std::vector<Matrix> &kraus() const { return ops; }
+
+    /** Apply to a (partial) density operator. */
+    Matrix apply(const Matrix &rho) const;
+
+    /** The composite this o other (other runs first). */
+    QuantumOp after(const QuantumOp &other) const;
+
+    /** Probabilistic sum: Kraus union. */
+    QuantumOp operator+(const QuantumOp &other) const;
+
+    /** Choi matrix J(E); basis (input, output) row-major. */
+    Matrix choi() const;
+
+    /**
+     * Equality of the underlying maps (not of the Kraus presentation),
+     * decided by comparing Choi matrices.
+     */
+    bool approxEqual(const QuantumOp &other, double tol = 1e-9) const;
+
+    /** Drop Kraus operators with negligible norm. */
+    void prune(double tol = 1e-12);
+
+    /** Sum over Kraus of ||K||^2 = Tr J(E); 2^n for CPTP maps. */
+    double weight() const;
+
+    /**
+     * True when sum_k K_k^dagger K_k = I within tolerance, i.e. the
+     * map is trace preserving (no probability mass is lost).
+     */
+    bool isTracePreserving(double tol = 1e-9) const;
+
+    /** Append a raw Kraus operator (must be dim x dim). */
+    void addKraus(Matrix k);
+
+  private:
+    std::uint32_t numQubits_;
+    std::vector<Matrix> ops;
+};
+
+} // namespace qb::sim
+
+#endif // QB_SIM_KRAUS_H

@@ -1,0 +1,208 @@
+#include "sim/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace qb::sim {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols)
+{
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m.at(i, i) = 1.0;
+    return m;
+}
+
+Matrix
+Matrix::operator*(const Matrix &other) const
+{
+    qbAssert(cols_ == other.rows_, "matrix product shape mismatch");
+    Matrix out(rows_, other.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const Complex v = at(i, k);
+            if (v == Complex{})
+                continue;
+            for (std::size_t j = 0; j < other.cols_; ++j)
+                out.at(i, j) += v * other.at(k, j);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::operator+(const Matrix &other) const
+{
+    qbAssert(rows_ == other.rows_ && cols_ == other.cols_,
+             "matrix sum shape mismatch");
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] + other.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::operator-(const Matrix &other) const
+{
+    qbAssert(rows_ == other.rows_ && cols_ == other.cols_,
+             "matrix difference shape mismatch");
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] - other.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::scaled(Complex factor) const
+{
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] * factor;
+    return out;
+}
+
+Matrix
+Matrix::adjoint() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j)
+            out.at(j, i) = std::conj(at(i, j));
+    return out;
+}
+
+Complex
+Matrix::trace() const
+{
+    qbAssert(rows_ == cols_, "trace of non-square matrix");
+    Complex t{};
+    for (std::size_t i = 0; i < rows_; ++i)
+        t += at(i, i);
+    return t;
+}
+
+Matrix
+Matrix::tensor(const Matrix &other) const
+{
+    Matrix out(rows_ * other.rows_, cols_ * other.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t j = 0; j < cols_; ++j) {
+            const Complex v = at(i, j);
+            if (v == Complex{})
+                continue;
+            for (std::size_t k = 0; k < other.rows_; ++k)
+                for (std::size_t l = 0; l < other.cols_; ++l)
+                    out.at(i * other.rows_ + k, j * other.cols_ + l) =
+                        v * other.at(k, l);
+        }
+    }
+    return out;
+}
+
+double
+Matrix::norm() const
+{
+    double acc = 0.0;
+    for (const Complex &v : data_)
+        acc += std::norm(v);
+    return std::sqrt(acc);
+}
+
+bool
+Matrix::approxEqual(const Matrix &other, double tol) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        return false;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        if (std::abs(data_[i] - other.data_[i]) > tol)
+            return false;
+    return true;
+}
+
+bool
+Matrix::isUnitary(double tol) const
+{
+    if (rows_ != cols_)
+        return false;
+    return (*this * adjoint()).approxEqual(identity(rows_), tol);
+}
+
+std::string
+Matrix::toString() const
+{
+    std::string out;
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t j = 0; j < cols_; ++j) {
+            const Complex v = at(i, j);
+            out += format("(%+.3f%+.3fi) ", v.real(), v.imag());
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+Matrix
+partialTrace(const Matrix &rho, std::uint32_t num_qubits,
+             const std::vector<std::uint32_t> &traced_out)
+{
+    const std::size_t dim = std::size_t{1} << num_qubits;
+    qbAssert(rho.rows() == dim && rho.cols() == dim,
+             "partialTrace: dimension mismatch");
+    std::vector<bool> traced(num_qubits, false);
+    for (std::uint32_t q : traced_out) {
+        qbAssert(q < num_qubits, "partialTrace: qubit out of range");
+        traced[q] = true;
+    }
+    std::vector<std::uint32_t> kept;
+    for (std::uint32_t q = 0; q < num_qubits; ++q)
+        if (!traced[q])
+            kept.push_back(q);
+
+    // Qubit 0 is the most significant bit of the basis index.
+    auto bit_pos = [num_qubits](std::uint32_t q) {
+        return num_qubits - 1 - q;
+    };
+    auto assemble = [&](std::size_t kept_index,
+                        std::size_t traced_index) {
+        std::size_t full = 0;
+        for (std::size_t i = 0; i < kept.size(); ++i) {
+            const std::size_t bit =
+                (kept_index >> (kept.size() - 1 - i)) & 1;
+            full |= bit << bit_pos(kept[i]);
+        }
+        std::size_t t = 0;
+        for (std::uint32_t q = 0; q < num_qubits; ++q) {
+            if (!traced[q])
+                continue;
+            const std::size_t bit =
+                (traced_index >> (traced_out.size() - 1 - t)) & 1;
+            full |= bit << bit_pos(q);
+            ++t;
+        }
+        return full;
+    };
+
+    const std::size_t kept_dim = std::size_t{1} << kept.size();
+    const std::size_t traced_dim = std::size_t{1} << traced_out.size();
+    Matrix out(kept_dim, kept_dim);
+    for (std::size_t i = 0; i < kept_dim; ++i) {
+        for (std::size_t j = 0; j < kept_dim; ++j) {
+            Complex sum{};
+            for (std::size_t t = 0; t < traced_dim; ++t)
+                sum += rho.at(assemble(i, t), assemble(j, t));
+            out.at(i, j) = sum;
+        }
+    }
+    return out;
+}
+
+} // namespace qb::sim

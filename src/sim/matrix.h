@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Dense complex matrices for the small-system quantum substrate.
+ *
+ * Used by the statevector/unitary extraction, the Kraus-operator algebra
+ * backing the QBorrow denotational semantics, and the Definition 3.1
+ * factorization checks.  Dimensions stay small (2^n for n <= ~10), so a
+ * straightforward row-major dense representation is the right tool.
+ */
+
+#ifndef QB_SIM_MATRIX_H
+#define QB_SIM_MATRIX_H
+
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qb::sim {
+
+using Complex = std::complex<double>;
+
+/** Dense row-major complex matrix. */
+class Matrix
+{
+  public:
+    /** Zero matrix of the given shape. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    static Matrix identity(std::size_t n);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    Complex &at(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+    const Complex &at(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    Matrix operator*(const Matrix &other) const;
+    Matrix operator+(const Matrix &other) const;
+    Matrix operator-(const Matrix &other) const;
+    Matrix scaled(Complex factor) const;
+
+    /** Conjugate transpose. */
+    Matrix adjoint() const;
+
+    Complex trace() const;
+
+    /** Kronecker product this (x) other. */
+    Matrix tensor(const Matrix &other) const;
+
+    /** Frobenius norm. */
+    double norm() const;
+
+    /** Entrywise comparison within absolute tolerance. */
+    bool approxEqual(const Matrix &other, double tol = 1e-9) const;
+
+    /** True when this * this^dagger = I within tolerance. */
+    bool isUnitary(double tol = 1e-9) const;
+
+    std::string toString() const;
+
+  private:
+    std::size_t rows_, cols_;
+    std::vector<Complex> data_;
+};
+
+/**
+ * Partial trace over the qubits listed in @p traced_out.
+ *
+ * @param rho    density operator over @p num_qubits qubits
+ *               (dimension 2^num_qubits).
+ * @param traced_out qubit indices to trace out (qubit 0 is the most
+ *               significant bit of the basis index, matching the
+ *               left-to-right register order used throughout).
+ */
+Matrix partialTrace(const Matrix &rho, std::uint32_t num_qubits,
+                    const std::vector<std::uint32_t> &traced_out);
+
+} // namespace qb::sim
+
+#endif // QB_SIM_MATRIX_H

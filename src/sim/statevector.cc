@@ -1,0 +1,272 @@
+#include "sim/statevector.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/logging.h"
+
+namespace qb::sim {
+
+StateVector::StateVector(std::uint32_t num_qubits)
+    : numQubits_(num_qubits), amps(std::size_t{1} << num_qubits)
+{
+    qbAssert(num_qubits <= 26, "statevector too wide");
+    amps[0] = 1.0;
+}
+
+StateVector
+StateVector::basis(std::uint32_t num_qubits, std::uint64_t index)
+{
+    StateVector sv(num_qubits);
+    sv.amps[0] = 0.0;
+    sv.amps[index] = 1.0;
+    return sv;
+}
+
+void
+StateVector::applyGate(const ir::Gate &gate)
+{
+    using ir::GateKind;
+    const std::size_t dim = amps.size();
+    switch (gate.kind()) {
+      case GateKind::X:
+      case GateKind::CNOT:
+      case GateKind::CCNOT:
+      case GateKind::MCX: {
+        const std::uint64_t target = bitMask(gate.target());
+        std::uint64_t control_mask = 0;
+        for (ir::QubitId c : gate.controls())
+            control_mask |= bitMask(c);
+        for (std::size_t i = 0; i < dim; ++i) {
+            if ((i & target) == 0 &&
+                (i & control_mask) == control_mask) {
+                std::swap(amps[i], amps[i | target]);
+            }
+        }
+        break;
+      }
+      case GateKind::H: {
+        const std::uint64_t mask = bitMask(gate.qubits()[0]);
+        const double inv_sqrt2 = 1.0 / std::numbers::sqrt2;
+        for (std::size_t i = 0; i < dim; ++i) {
+            if (i & mask)
+                continue;
+            const Complex a = amps[i];
+            const Complex b = amps[i | mask];
+            amps[i] = (a + b) * inv_sqrt2;
+            amps[i | mask] = (a - b) * inv_sqrt2;
+        }
+        break;
+      }
+      case GateKind::S:
+      case GateKind::Sdg:
+      case GateKind::T:
+      case GateKind::Tdg:
+      case GateKind::Z: {
+        Complex phase;
+        switch (gate.kind()) {
+          case GateKind::S:   phase = {0.0, 1.0};  break;
+          case GateKind::Sdg: phase = {0.0, -1.0}; break;
+          case GateKind::T:
+            phase = std::polar(1.0, std::numbers::pi / 4);
+            break;
+          case GateKind::Tdg:
+            phase = std::polar(1.0, -std::numbers::pi / 4);
+            break;
+          default:            phase = -1.0;        break;
+        }
+        const std::uint64_t mask = bitMask(gate.qubits()[0]);
+        for (std::size_t i = 0; i < dim; ++i)
+            if (i & mask)
+                amps[i] *= phase;
+        break;
+      }
+      case GateKind::Swap: {
+        const std::uint64_t a = bitMask(gate.qubits()[0]);
+        const std::uint64_t b = bitMask(gate.qubits()[1]);
+        for (std::size_t i = 0; i < dim; ++i) {
+            if ((i & a) && !(i & b))
+                std::swap(amps[i], amps[(i & ~a) | b]);
+        }
+        break;
+      }
+      case GateKind::CZ: {
+        const std::uint64_t mask =
+            bitMask(gate.qubits()[0]) | bitMask(gate.qubits()[1]);
+        for (std::size_t i = 0; i < dim; ++i)
+            if ((i & mask) == mask)
+                amps[i] *= -1.0;
+        break;
+      }
+      case GateKind::CPhase: {
+        const std::uint64_t mask =
+            bitMask(gate.qubits()[0]) | bitMask(gate.qubits()[1]);
+        const Complex phase = std::polar(1.0, gate.angle());
+        for (std::size_t i = 0; i < dim; ++i)
+            if ((i & mask) == mask)
+                amps[i] *= phase;
+        break;
+      }
+      case GateKind::Phase: {
+        const std::uint64_t mask = bitMask(gate.qubits()[0]);
+        const Complex phase = std::polar(1.0, gate.angle());
+        for (std::size_t i = 0; i < dim; ++i)
+            if (i & mask)
+                amps[i] *= phase;
+        break;
+      }
+    }
+}
+
+void
+StateVector::applyCircuit(const ir::Circuit &circuit)
+{
+    qbAssert(circuit.numQubits() == numQubits_,
+             "circuit/state width mismatch");
+    for (const ir::Gate &g : circuit.gates())
+        applyGate(g);
+}
+
+void
+StateVector::hadamard(std::uint32_t q)
+{
+    applyGate(ir::Gate::h(q));
+}
+
+Complex
+StateVector::inner(const StateVector &other) const
+{
+    qbAssert(dim() == other.dim(), "inner product width mismatch");
+    Complex acc{};
+    for (std::size_t i = 0; i < amps.size(); ++i)
+        acc += std::conj(amps[i]) * other.amps[i];
+    return acc;
+}
+
+double
+StateVector::normSquared() const
+{
+    double acc = 0.0;
+    for (const Complex &a : amps)
+        acc += std::norm(a);
+    return acc;
+}
+
+double
+StateVector::probOne(std::uint32_t q) const
+{
+    const std::uint64_t mask = bitMask(q);
+    double p = 0.0;
+    for (std::size_t i = 0; i < amps.size(); ++i)
+        if (i & mask)
+            p += std::norm(amps[i]);
+    return p;
+}
+
+double
+StateVector::project(std::uint32_t q, bool one)
+{
+    const std::uint64_t mask = bitMask(q);
+    double p = 0.0;
+    for (std::size_t i = 0; i < amps.size(); ++i) {
+        const bool is_one = (i & mask) != 0;
+        if (is_one == one) {
+            p += std::norm(amps[i]);
+        } else {
+            amps[i] = 0.0;
+        }
+    }
+    return p;
+}
+
+Matrix
+StateVector::densityMatrix() const
+{
+    Matrix rho(dim(), dim());
+    for (std::size_t i = 0; i < dim(); ++i) {
+        for (std::size_t j = 0; j < dim(); ++j)
+            rho.at(i, j) = amps[i] * std::conj(amps[j]);
+    }
+    return rho;
+}
+
+Matrix
+StateVector::reducedDensity(std::uint32_t q) const
+{
+    std::vector<std::uint32_t> traced;
+    for (std::uint32_t i = 0; i < numQubits_; ++i)
+        if (i != q)
+            traced.push_back(i);
+    return partialTrace(densityMatrix(), numQubits_, traced);
+}
+
+bool
+StateVector::approxEqual(const StateVector &other, double tol) const
+{
+    if (dim() != other.dim())
+        return false;
+    for (std::size_t i = 0; i < amps.size(); ++i)
+        if (std::abs(amps[i] - other.amps[i]) > tol)
+            return false;
+    return true;
+}
+
+bool
+StateVector::equalUpToPhase(const StateVector &other, double tol) const
+{
+    if (dim() != other.dim())
+        return false;
+    // |<a|b>| == |a||b| exactly when the states are parallel.
+    const Complex overlap = inner(other);
+    const double lhs = std::abs(overlap);
+    const double rhs =
+        std::sqrt(normSquared() * other.normSquared());
+    return std::abs(lhs - rhs) <= tol;
+}
+
+Matrix
+circuitUnitary(const ir::Circuit &circuit)
+{
+    const std::uint32_t n = circuit.numQubits();
+    qbAssert(n <= 12, "circuitUnitary: too many qubits");
+    const std::size_t dim = std::size_t{1} << n;
+    Matrix u(dim, dim);
+    for (std::size_t col = 0; col < dim; ++col) {
+        StateVector sv = StateVector::basis(n, col);
+        sv.applyCircuit(circuit);
+        for (std::size_t row = 0; row < dim; ++row)
+            u.at(row, col) = sv.amp(row);
+    }
+    return u;
+}
+
+bool
+actsAsIdentityOn(const Matrix &unitary, std::uint32_t num_qubits,
+                 std::uint32_t q, double tol)
+{
+    const std::size_t dim = std::size_t{1} << num_qubits;
+    qbAssert(unitary.rows() == dim && unitary.cols() == dim,
+             "actsAsIdentityOn: dimension mismatch");
+    const std::uint64_t mask =
+        std::uint64_t{1} << (num_qubits - 1 - q);
+    // U = V (x) I_q iff the cross blocks vanish and the diagonal
+    // blocks coincide, in the basis split on qubit q.
+    for (std::size_t i = 0; i < dim; ++i) {
+        if (i & mask)
+            continue;
+        for (std::size_t j = 0; j < dim; ++j) {
+            if (j & mask)
+                continue;
+            if (std::abs(unitary.at(i, j | mask)) > tol)
+                return false;
+            if (std::abs(unitary.at(i | mask, j)) > tol)
+                return false;
+            if (std::abs(unitary.at(i, j) -
+                         unitary.at(i | mask, j | mask)) > tol)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace qb::sim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Dense statevector simulator.
+ *
+ * Convention used across the repository: qubit 0 is the **most
+ * significant** bit of the basis-state index, so |q0 q1 ... q_{n-1}>
+ * reads left to right like the circuit diagrams in the paper.
+ */
+
+#ifndef QB_SIM_STATEVECTOR_H
+#define QB_SIM_STATEVECTOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/circuit.h"
+#include "sim/matrix.h"
+
+namespace qb::sim {
+
+/** Dense 2^n statevector with gate application and measurement. */
+class StateVector
+{
+  public:
+    /** |0...0> over @p num_qubits qubits. */
+    explicit StateVector(std::uint32_t num_qubits);
+
+    /** Computational basis state |index>. */
+    static StateVector basis(std::uint32_t num_qubits,
+                             std::uint64_t index);
+
+    std::uint32_t numQubits() const { return numQubits_; }
+    std::size_t dim() const { return amps.size(); }
+
+    Complex amp(std::uint64_t index) const { return amps[index]; }
+    Complex &amp(std::uint64_t index) { return amps[index]; }
+
+    void applyGate(const ir::Gate &gate);
+    void applyCircuit(const ir::Circuit &circuit);
+
+    /** Apply H to qubit @p q (convenience for test setup). */
+    void hadamard(std::uint32_t q);
+
+    /** <this|other>. */
+    Complex inner(const StateVector &other) const;
+
+    double normSquared() const;
+
+    /** Probability of measuring qubit @p q as 1. */
+    double probOne(std::uint32_t q) const;
+
+    /**
+     * Project onto outcome @p one of a computational measurement of
+     * @p q without renormalizing; returns the outcome probability.
+     */
+    double project(std::uint32_t q, bool one);
+
+    /** Density operator |psi><psi|. */
+    Matrix densityMatrix() const;
+
+    /** Reduced density operator of qubit @p q. */
+    Matrix reducedDensity(std::uint32_t q) const;
+
+    bool approxEqual(const StateVector &other, double tol = 1e-9) const;
+
+    /**
+     * Equal up to a global phase factor (physical state equality).
+     */
+    bool equalUpToPhase(const StateVector &other,
+                        double tol = 1e-9) const;
+
+  private:
+    std::uint64_t bitMask(std::uint32_t q) const
+    {
+        return std::uint64_t{1} << (numQubits_ - 1 - q);
+    }
+
+    std::uint32_t numQubits_;
+    std::vector<Complex> amps;
+};
+
+/** Build the full 2^n x 2^n unitary implemented by @p circuit. */
+Matrix circuitUnitary(const ir::Circuit &circuit);
+
+/**
+ * Definition 3.1 check: does @p unitary factor as V (x) I on qubit
+ * @p q?  @p num_qubits gives the qubit structure of the matrix.
+ */
+bool actsAsIdentityOn(const Matrix &unitary, std::uint32_t num_qubits,
+                      std::uint32_t q, double tol = 1e-9);
+
+} // namespace qb::sim
+
+#endif // QB_SIM_STATEVECTOR_H

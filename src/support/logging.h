@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Error reporting helpers in the gem5 fatal()/panic() tradition.
+ *
+ * fatal() is for user errors (bad program text, invalid arguments): it
+ * throws qb::FatalError so library embedders can recover.  panic() is for
+ * internal invariant violations (library bugs): it aborts.  warn() and
+ * inform() write status messages to stderr and never stop execution.
+ */
+
+#ifndef QB_SUPPORT_LOGGING_H
+#define QB_SUPPORT_LOGGING_H
+
+#include <stdexcept>
+#include <string>
+
+namespace qb {
+
+/** Exception thrown by fatal(); carries the formatted message. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Report an unrecoverable user error by throwing FatalError. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report an internal invariant violation and abort the process. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Print a warning to stderr; execution continues. */
+void warn(const std::string &msg);
+
+/** Print an informational message to stderr; execution continues. */
+void inform(const std::string &msg);
+
+/**
+ * Assert an internal invariant.  Unlike assert(), this is active in all
+ * build types, since verification results must not silently depend on
+ * NDEBUG.
+ */
+inline void
+qbAssert(bool cond, const char *what)
+{
+    if (!cond)
+        panic(std::string("assertion failed: ") + what);
+}
+
+} // namespace qb
+
+#endif // QB_SUPPORT_LOGGING_H

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Small string-formatting helpers shared across the library.
+ */
+
+#ifndef QB_SUPPORT_STRINGS_H
+#define QB_SUPPORT_STRINGS_H
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace qb {
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Join the elements of @p parts with @p sep. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+} // namespace qb
+
+#endif // QB_SUPPORT_STRINGS_H

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Wall-clock stopwatch used by benchmark harnesses and verifier phase
+ * timing.
+ */
+
+#ifndef QB_SUPPORT_TIMER_H
+#define QB_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace qb {
+
+/** Steady-clock stopwatch; starts running on construction. */
+class Timer
+{
+  public:
+    Timer() : start(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start = Clock::now(); }
+
+    /** Elapsed time in seconds since construction or reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start).count();
+    }
+
+    /** Elapsed time in milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start;
+};
+
+} // namespace qb
+
+#endif // QB_SUPPORT_TIMER_H

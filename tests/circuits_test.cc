@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Functional and resource-count tests for the circuit library: the
+ * four Figure 1.1 adders, the paper's carry circuit, the MCX
+ * constructions and the paper-figure circuits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuits/adders.h"
+#include "circuits/mcx.h"
+#include "circuits/paper_figures.h"
+#include "circuits/qbr_text.h"
+#include "lang/elaborate.h"
+#include "sim/classical.h"
+#include "sim/statevector.h"
+#include "support/logging.h"
+
+namespace qb::circuits {
+namespace {
+
+using ir::Circuit;
+using ir::Gate;
+
+/** Check that the adder maps |x> to |x+c mod 2^n> and cleans up. */
+void
+expectAddsConstant(const Circuit &c, std::uint32_t n, std::uint64_t k)
+{
+    for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x) {
+        sim::ClassicalState s(c.numQubits());
+        for (std::uint32_t i = 0; i < n; ++i)
+            s.set(i, (x >> i) & 1);
+        s.applyCircuit(c);
+        std::uint64_t got = 0;
+        for (std::uint32_t i = 0; i < n; ++i)
+            got |= static_cast<std::uint64_t>(s.get(i)) << i;
+        EXPECT_EQ((x + k) & ((std::uint64_t{1} << n) - 1), got)
+            << "x=" << x << " k=" << k;
+        for (std::uint32_t i = n; i < c.numQubits(); ++i)
+            EXPECT_FALSE(s.get(i)) << "ancilla " << i << " not clean";
+    }
+}
+
+class AdderParam
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(AdderParam, CuccaroAddsCorrectly)
+{
+    const auto [n, k] = GetParam();
+    expectAddsConstant(cuccaroConstantAdder(n, k), n, k);
+}
+
+TEST_P(AdderParam, TakahashiAddsCorrectly)
+{
+    const auto [n, k] = GetParam();
+    if (n < 2)
+        GTEST_SKIP();
+    expectAddsConstant(takahashiConstantAdder(n, k), n, k);
+}
+
+TEST_P(AdderParam, DraperAddsCorrectly)
+{
+    const auto [n, k] = GetParam();
+    const Circuit c = draperConstantAdder(n, k);
+    for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x) {
+        std::uint64_t idx = 0;
+        for (int i = 0; i < n; ++i)
+            if ((x >> i) & 1)
+                idx |= std::uint64_t{1} << (n - 1 - i);
+        auto sv = sim::StateVector::basis(n, idx);
+        sv.applyCircuit(c);
+        const std::uint64_t want =
+            (x + k) & ((std::uint64_t{1} << n) - 1);
+        std::uint64_t widx = 0;
+        for (int i = 0; i < n; ++i)
+            if ((want >> i) & 1)
+                widx |= std::uint64_t{1} << (n - 1 - i);
+        EXPECT_TRUE(sv.equalUpToPhase(
+            sim::StateVector::basis(n, widx), 1e-6))
+            << "x=" << x;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndConstants, AdderParam,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5),
+                       ::testing::Values(0, 1, 3, 7)));
+
+TEST(Adders, CuccaroResourceShape)
+{
+    // Theta(n) size, n+1 clean ancillas.
+    const auto s8 = cuccaroConstantAdder(8, 0xAA).stats();
+    const auto s16 = cuccaroConstantAdder(16, 0xAAAA).stats();
+    EXPECT_EQ(8u * 2 + 1, cuccaroConstantAdder(8, 1).numQubits());
+    EXPECT_LT(s16.gateCount, 2.5 * s8.gateCount);
+    EXPECT_GT(s16.gateCount, 1.5 * s8.gateCount);
+}
+
+TEST(Adders, DraperQuadraticSizeZeroAncillas)
+{
+    const auto s8 = draperConstantAdder(8, 1).stats();
+    const auto s16 = draperConstantAdder(16, 1).stats();
+    EXPECT_EQ(8u, draperConstantAdder(8, 1).numQubits());
+    // Size ratio approaches 4 (quadratic).
+    EXPECT_GT(static_cast<double>(s16.gateCount) / s8.gateCount, 3.0);
+}
+
+TEST(Adders, HanerCarryComputesCarryMsb)
+{
+    // q[n] ^= MSB of (s + (11...1)_2) mod 2^n, where the constant has
+    // n one-bits and s = q[1..n-1] (LSB = q[1]), per Section 6.2.
+    for (std::uint32_t n : {3u, 4u, 6u}) {
+        const Circuit c = hanerCarryCircuit(n);
+        const sim::TruthTable tt(c);
+        const std::uint64_t total = std::uint64_t{1}
+                                    << c.numQubits();
+        for (std::uint64_t in = 0; in < total; ++in) {
+            std::uint64_t s = 0;
+            for (std::uint32_t i = 1; i <= n - 1; ++i)
+                s |= static_cast<std::uint64_t>(tt.input(i - 1, in))
+                     << (i - 1);
+            const std::uint64_t constant =
+                (std::uint64_t{1} << n) - 1;
+            const bool msb =
+                ((s + constant) >> (n - 1)) & 1;
+            EXPECT_EQ(tt.input(n - 1, in) ^ msb,
+                      tt.output(n - 1, in))
+                << "n=" << n << " in=" << in;
+            // Everything else is restored.
+            for (std::uint32_t q = 0; q < c.numQubits(); ++q) {
+                if (q != n - 1) {
+                    EXPECT_EQ(tt.input(q, in), tt.output(q, in));
+                }
+            }
+        }
+    }
+}
+
+TEST(Adders, HanerCarryMatchesElaboratedQbr)
+{
+    for (std::uint32_t n : {3u, 5u, 10u}) {
+        const auto prog = lang::elaborateSource(adderQbrSource(n));
+        EXPECT_TRUE(hanerCarryCircuit(n) == prog.circuit) << n;
+    }
+}
+
+TEST(Adders, HanerCarryLinearSize)
+{
+    const auto s10 = hanerCarryCircuit(10).stats();
+    const auto s20 = hanerCarryCircuit(20).stats();
+    EXPECT_LT(s20.gateCount, 2.4 * s10.gateCount);
+    EXPECT_EQ(2u * 10 - 1, hanerCarryCircuit(10).numQubits());
+}
+
+TEST(Mcx, GidneyImplementsMcxForSmallM)
+{
+    for (std::uint32_t m : {4u, 5u}) {
+        const std::uint32_t n = 2 * m - 1;
+        const Circuit c = gidneyMcx(m);
+        const sim::TruthTable tt(c);
+        const std::uint64_t total = std::uint64_t{1}
+                                    << c.numQubits();
+        for (std::uint64_t in = 0; in < total; ++in) {
+            bool all = true;
+            for (std::uint32_t i = 0; i < n; ++i)
+                all = all && tt.input(i, in);
+            for (std::uint32_t i = 0; i < n; ++i)
+                EXPECT_EQ(tt.input(i, in), tt.output(i, in));
+            EXPECT_EQ(tt.input(n, in) ^ all, tt.output(n, in));
+            EXPECT_EQ(tt.input(n + 1, in), tt.output(n + 1, in));
+        }
+    }
+}
+
+TEST(Mcx, GidneyToffoliCountIs16mMinus32)
+{
+    for (std::uint32_t m : {4u, 10u, 100u}) {
+        const auto stats = gidneyMcx(m).stats();
+        EXPECT_EQ(16u * (m - 2), stats.toffoliCount) << m;
+        EXPECT_EQ(stats.gateCount, stats.toffoliCount);
+    }
+}
+
+TEST(Mcx, GidneyMatchesElaboratedQbr)
+{
+    for (std::uint32_t m : {4u, 6u, 12u}) {
+        const auto prog = lang::elaborateSource(mcxQbrSource(m));
+        EXPECT_TRUE(gidneyMcx(m) == prog.circuit) << m;
+    }
+}
+
+TEST(Mcx, AncillaReleasePointCoversAllAncUses)
+{
+    const std::uint32_t m = 5;
+    const Circuit c = gidneyMcx(m);
+    const std::size_t release = gidneyMcxAncillaRelease(m);
+    const ir::QubitId anc = gidneyMcxAncilla(m);
+    for (std::size_t i = release; i < c.size(); ++i)
+        EXPECT_FALSE(c.gates()[i].touches(anc));
+    EXPECT_TRUE(c.gates()[release - 1].touches(anc));
+}
+
+TEST(Mcx, BarencoImplementsMcx)
+{
+    for (std::uint32_t m : {3u, 4u, 5u, 6u}) {
+        const Circuit c = barencoMcx(m);
+        EXPECT_EQ(4u * (m - 2), c.stats().toffoliCount);
+        const sim::TruthTable tt(c);
+        const std::uint64_t total = std::uint64_t{1}
+                                    << c.numQubits();
+        for (std::uint64_t in = 0; in < total; ++in) {
+            bool all = true;
+            for (std::uint32_t i = 0; i < m; ++i)
+                all = all && tt.input(i, in);
+            EXPECT_EQ(tt.input(m, in) ^ all, tt.output(m, in));
+            for (std::uint32_t q = 0; q < c.numQubits(); ++q) {
+                if (q != m) {
+                    EXPECT_EQ(tt.input(q, in), tt.output(q, in));
+                }
+            }
+        }
+    }
+}
+
+TEST(PaperFigures, CccnotImplementsThreeControlledNot)
+{
+    const Circuit c = cccnotDirty();
+    const sim::TruthTable tt(c);
+    for (std::uint64_t in = 0; in < 32; ++in) {
+        const bool all = tt.input(0, in) && tt.input(1, in) &&
+                         tt.input(3, in);
+        EXPECT_EQ(tt.input(4, in) ^ all, tt.output(4, in));
+        for (std::uint32_t q : {0u, 1u, 2u, 3u})
+            EXPECT_EQ(tt.input(q, in), tt.output(q, in));
+    }
+}
+
+TEST(PaperFigures, Fig31OptimizedMatchesManualRewrite)
+{
+    // Substituting a1 -> q3 and a2 -> q3 in the Fig 3.1a circuit must
+    // reproduce the Fig 3.1c circuit exactly.
+    const Circuit big = fig31Circuit();
+    Circuit rewritten(5);
+    for (const Gate &g : big.gates()) {
+        std::vector<ir::QubitId> qs;
+        for (ir::QubitId q : g.qubits())
+            qs.push_back(q >= 5 ? 2 : q);
+        if (g.kind() == ir::GateKind::CNOT)
+            rewritten.append(Gate::cnot(qs[0], qs[1]));
+        else
+            rewritten.append(Gate::ccnot(qs[0], qs[1], qs[2]));
+    }
+    EXPECT_TRUE(rewritten == fig31Optimized());
+}
+
+TEST(PaperFigures, SourcesElaborate)
+{
+    EXPECT_NO_THROW(lang::elaborateSource(fig44Source()));
+    EXPECT_NO_THROW(lang::elaborateSource(example52Source()));
+}
+
+TEST(QbrText, RequiresMinimumSizes)
+{
+    EXPECT_THROW(adderQbrSource(2), FatalError);
+    EXPECT_THROW(mcxQbrSource(3), FatalError);
+}
+
+} // namespace
+} // namespace qb::circuits

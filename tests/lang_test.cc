@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Tests for the QBorrow frontend: lexer, parser, and elaborator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lang/elaborate.h"
+#include "lang/lexer.h"
+#include "lang/parser.h"
+#include "support/logging.h"
+
+namespace qb::lang {
+namespace {
+
+TEST(Lexer, KeywordsAndIdentifiers)
+{
+    const auto toks = tokenize("let borrow borrow@ alloc release "
+                               "for to X CNOT CCNOT MCX foo q1");
+    ASSERT_EQ(14u, toks.size()); // 13 tokens + EOF
+    EXPECT_EQ(TokenKind::KwLet, toks[0].kind);
+    EXPECT_EQ(TokenKind::KwBorrow, toks[1].kind);
+    EXPECT_EQ(TokenKind::KwBorrowAt, toks[2].kind);
+    EXPECT_EQ(TokenKind::KwAlloc, toks[3].kind);
+    EXPECT_EQ(TokenKind::KwRelease, toks[4].kind);
+    EXPECT_EQ(TokenKind::KwFor, toks[5].kind);
+    EXPECT_EQ(TokenKind::KwTo, toks[6].kind);
+    EXPECT_EQ(TokenKind::KwX, toks[7].kind);
+    EXPECT_EQ(TokenKind::KwCnot, toks[8].kind);
+    EXPECT_EQ(TokenKind::KwCcnot, toks[9].kind);
+    EXPECT_EQ(TokenKind::KwMcx, toks[10].kind);
+    EXPECT_EQ(TokenKind::Ident, toks[11].kind);
+    EXPECT_EQ("foo", toks[11].text);
+    EXPECT_EQ(TokenKind::Ident, toks[12].kind);
+    EXPECT_EQ(TokenKind::EndOfFile, toks[13].kind);
+}
+
+TEST(Lexer, NumbersAndOperators)
+{
+    const auto toks = tokenize("12 + 3 * (45 - 6)");
+    EXPECT_EQ(TokenKind::Number, toks[0].kind);
+    EXPECT_EQ(12, toks[0].value);
+    EXPECT_EQ(TokenKind::Plus, toks[1].kind);
+    EXPECT_EQ(TokenKind::Star, toks[3].kind);
+    EXPECT_EQ(TokenKind::LParen, toks[4].kind);
+    EXPECT_EQ(45, toks[5].value);
+    EXPECT_EQ(TokenKind::Minus, toks[6].kind);
+}
+
+TEST(Lexer, CommentsAreSkipped)
+{
+    const auto toks =
+        tokenize("X // line comment\n/* block\ncomment */ CNOT");
+    EXPECT_EQ(TokenKind::KwX, toks[0].kind);
+    EXPECT_EQ(TokenKind::KwCnot, toks[1].kind);
+    EXPECT_EQ(TokenKind::EndOfFile, toks[2].kind);
+}
+
+TEST(Lexer, TracksLineAndColumn)
+{
+    const auto toks = tokenize("let\n  x = 1;");
+    EXPECT_EQ(1, toks[0].loc.line);
+    EXPECT_EQ(1, toks[0].loc.column);
+    EXPECT_EQ(2, toks[1].loc.line);
+    EXPECT_EQ(3, toks[1].loc.column);
+}
+
+TEST(Lexer, RejectsIllegalCharacter)
+{
+    EXPECT_THROW(tokenize("let x = $;"), FatalError);
+}
+
+TEST(Lexer, RejectsUnterminatedBlockComment)
+{
+    EXPECT_THROW(tokenize("/* never closed"), FatalError);
+}
+
+TEST(Lexer, BorrowAtRequiresAdjacency)
+{
+    // 'borrow @' with a space is not a borrow@ token; '@' is illegal.
+    EXPECT_THROW(tokenize("borrow @ q;"), FatalError);
+}
+
+TEST(Parser, AcceptsMinimalProgram)
+{
+    const Program p = parse("borrow q; X[q];");
+    ASSERT_EQ(2u, p.statements.size());
+    EXPECT_TRUE(
+        std::holds_alternative<BorrowStmt>(p.statements[0].node));
+    EXPECT_TRUE(
+        std::holds_alternative<GateStmt>(p.statements[1].node));
+}
+
+TEST(Parser, ExpressionPrecedence)
+{
+    // 2 + 3 * 4 must evaluate to 14 through the elaborator.
+    const auto prog = elaborateSource(
+        "let n = 2 + 3 * 4; borrow q[n]; X[q[14]];");
+    EXPECT_EQ(14u, prog.circuit.numQubits());
+}
+
+TEST(Parser, ParenthesesAndUnaryMinus)
+{
+    const auto prog = elaborateSource(
+        "let n = -(2 - 4) * 3; borrow q[n]; X[q[6]];");
+    EXPECT_EQ(6u, prog.circuit.numQubits());
+}
+
+TEST(Parser, RejectsEmptyProgram)
+{
+    EXPECT_THROW(parse(""), FatalError);
+}
+
+TEST(Parser, RejectsMissingSemicolon)
+{
+    EXPECT_THROW(parse("borrow q"), FatalError);
+}
+
+TEST(Parser, RejectsWrongGateArity)
+{
+    EXPECT_THROW(parse("borrow q[3]; CNOT[q[1]];"), FatalError);
+    EXPECT_THROW(parse("borrow q[3]; X[q[1], q[2]];"), FatalError);
+    EXPECT_THROW(parse("borrow q[3]; MCX[q[1]];"), FatalError);
+}
+
+TEST(Parser, RejectsUnterminatedForBody)
+{
+    EXPECT_THROW(parse("for i = 1 to 3 { X[q];"), FatalError);
+}
+
+TEST(Parser, ErrorMessagesCarryLocation)
+{
+    try {
+        parse("borrow q;\nX[q]");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("2:"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Elaborate, ScalarAndArrayRegisters)
+{
+    const auto prog = elaborateSource(
+        "borrow a; borrow q[3]; CNOT[a, q[2]];");
+    EXPECT_EQ(4u, prog.circuit.numQubits());
+    ASSERT_EQ(1u, prog.circuit.size());
+    EXPECT_EQ("a", prog.circuit.label(0));
+    EXPECT_EQ("q[2]", prog.circuit.label(2));
+    // a -> 0, q[2] -> 1-based second element = id 2.
+    EXPECT_EQ(ir::Gate::cnot(0, 2), prog.circuit.gates()[0]);
+}
+
+TEST(Elaborate, RolesAreRecorded)
+{
+    const auto prog = elaborateSource(
+        "borrow@ in[2]; borrow d; alloc c;"
+        "CNOT[in[1], d]; CNOT[in[2], c];");
+    EXPECT_EQ(QubitRole::BorrowSkip, prog.qubits[0].role);
+    EXPECT_EQ(QubitRole::BorrowSkip, prog.qubits[1].role);
+    EXPECT_EQ(QubitRole::BorrowVerify, prog.qubits[2].role);
+    EXPECT_EQ(QubitRole::Alloc, prog.qubits[3].role);
+    EXPECT_EQ((std::vector<ir::QubitId>{2}),
+              prog.qubitsWithRole(QubitRole::BorrowVerify));
+}
+
+TEST(Elaborate, ForLoopCountsUpAndDown)
+{
+    const auto up =
+        elaborateSource("borrow q[4]; for i = 1 to 4 { X[q[i]]; }");
+    ASSERT_EQ(4u, up.circuit.size());
+    EXPECT_EQ(0u, up.circuit.gates()[0].target());
+    EXPECT_EQ(3u, up.circuit.gates()[3].target());
+
+    const auto down =
+        elaborateSource("borrow q[4]; for i = 4 to 1 { X[q[i]]; }");
+    ASSERT_EQ(4u, down.circuit.size());
+    EXPECT_EQ(3u, down.circuit.gates()[0].target());
+    EXPECT_EQ(0u, down.circuit.gates()[3].target());
+}
+
+TEST(Elaborate, SingleIterationLoop)
+{
+    const auto prog =
+        elaborateSource("borrow q[2]; for i = 2 to 2 { X[q[i]]; }");
+    ASSERT_EQ(1u, prog.circuit.size());
+    EXPECT_EQ(1u, prog.circuit.gates()[0].target());
+}
+
+TEST(Elaborate, NestedLoopsAndShadowing)
+{
+    const auto prog = elaborateSource(
+        "let i = 9; borrow q[4];"
+        "for i = 1 to 2 { for j = 3 to 4 { CNOT[q[i], q[j]]; } }");
+    ASSERT_EQ(4u, prog.circuit.size()); // (1,3),(1,4),(2,3),(2,4)
+    EXPECT_EQ(ir::Gate::cnot(0, 2), prog.circuit.gates()[0]);
+    EXPECT_EQ(ir::Gate::cnot(1, 3), prog.circuit.gates()[3]);
+}
+
+TEST(Elaborate, LoopVariableRestoredAfterLoop)
+{
+    const auto prog = elaborateSource(
+        "let i = 2; borrow q[3];"
+        "for i = 1 to 3 { X[q[i]]; }"
+        "X[q[i]];"); // i must be 2 again
+    ASSERT_EQ(4u, prog.circuit.size());
+    EXPECT_EQ(1u, prog.circuit.gates()[3].target());
+}
+
+TEST(Elaborate, ScopesRecordLifetimes)
+{
+    const auto prog = elaborateSource(
+        "borrow@ q[2]; X[q[1]];"
+        "borrow a; CNOT[q[1], a]; CNOT[q[1], a]; release a;"
+        "X[q[2]];");
+    const ir::QubitId a = 2;
+    EXPECT_EQ(QubitRole::BorrowVerify, prog.qubits[a].role);
+    EXPECT_EQ(1u, prog.qubits[a].scopeBegin);
+    EXPECT_EQ(3u, prog.qubits[a].scopeEnd);
+    // Unreleased registers extend to the end of the program.
+    EXPECT_EQ(0u, prog.qubits[0].scopeBegin);
+    EXPECT_EQ(4u, prog.qubits[0].scopeEnd);
+}
+
+TEST(Elaborate, UseAfterReleaseIsAnError)
+{
+    EXPECT_THROW(
+        elaborateSource("borrow a; X[a]; release a; X[a];"),
+        FatalError);
+}
+
+TEST(Elaborate, DoubleReleaseIsAnError)
+{
+    EXPECT_THROW(
+        elaborateSource("borrow a; X[a]; release a; release a;"),
+        FatalError);
+}
+
+TEST(Elaborate, ReborrowAfterReleaseMakesFreshQubit)
+{
+    const auto prog = elaborateSource(
+        "borrow a; X[a]; release a; borrow a; X[a];");
+    EXPECT_EQ(2u, prog.circuit.numQubits());
+    EXPECT_EQ(0u, prog.circuit.gates()[0].target());
+    EXPECT_EQ(1u, prog.circuit.gates()[1].target());
+}
+
+TEST(Elaborate, ErrorsOnUnknownNames)
+{
+    EXPECT_THROW(elaborateSource("X[q];"), FatalError);
+    EXPECT_THROW(elaborateSource("release q;"), FatalError);
+    EXPECT_THROW(elaborateSource("let n = m + 1; borrow q[n];"),
+                 FatalError);
+}
+
+TEST(Elaborate, IndexBoundsAreOneBased)
+{
+    EXPECT_THROW(elaborateSource("borrow q[3]; X[q[0]];"),
+                 FatalError);
+    EXPECT_THROW(elaborateSource("borrow q[3]; X[q[4]];"),
+                 FatalError);
+    EXPECT_NO_THROW(elaborateSource("borrow q[3]; X[q[3]];"));
+}
+
+TEST(Elaborate, ScalarRegisterRejectsIndexing)
+{
+    EXPECT_THROW(elaborateSource("borrow a; X[a[1]];"), FatalError);
+}
+
+TEST(Elaborate, ArrayRegisterRequiresIndex)
+{
+    EXPECT_THROW(elaborateSource("borrow q[2]; X[q];"), FatalError);
+}
+
+TEST(Elaborate, DuplicateOperandsRejected)
+{
+    EXPECT_THROW(elaborateSource("borrow q[2]; CNOT[q[1], q[1]];"),
+                 FatalError);
+    EXPECT_THROW(
+        elaborateSource("borrow q[3]; CCNOT[q[1], q[2], q[1]];"),
+        FatalError);
+}
+
+TEST(Elaborate, NonPositiveRegisterSizeRejected)
+{
+    EXPECT_THROW(elaborateSource("borrow q[0];"), FatalError);
+    EXPECT_THROW(elaborateSource("let n = 1 - 2; borrow q[n];"),
+                 FatalError);
+}
+
+TEST(Elaborate, NameConflictsRejected)
+{
+    EXPECT_THROW(elaborateSource("borrow a; borrow a;"), FatalError);
+    EXPECT_THROW(elaborateSource("let a = 1; borrow a;"), FatalError);
+    EXPECT_THROW(elaborateSource("borrow a; let a = 1; X[a];"),
+                 FatalError);
+}
+
+TEST(Elaborate, McxExtension)
+{
+    const auto prog = elaborateSource(
+        "borrow q[5]; MCX[q[1], q[2], q[3], q[4], q[5]];");
+    ASSERT_EQ(1u, prog.circuit.size());
+    const ir::Gate &g = prog.circuit.gates()[0];
+    EXPECT_EQ(ir::GateKind::MCX, g.kind());
+    EXPECT_EQ(4u, g.numControls());
+    EXPECT_EQ(4u, g.target());
+}
+
+} // namespace
+} // namespace qb::lang

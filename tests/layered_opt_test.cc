@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the layered-time optimizer extension and the ANF-based
+ * algebraic verifier.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuits/paper_figures.h"
+#include "core/reference.h"
+#include "opt/borrow_opt.h"
+#include "sim/classical.h"
+#include "support/rng.h"
+
+namespace qb {
+namespace {
+
+using ir::Circuit;
+using ir::Gate;
+
+TEST(LayerSchedule, PreservesSemantics)
+{
+    Rng rng(17);
+    for (int trial = 0; trial < 10; ++trial) {
+        Circuit c(5);
+        for (int g = 0; g < 15; ++g) {
+            auto a = static_cast<ir::QubitId>(rng.nextBelow(5));
+            auto b = static_cast<ir::QubitId>(rng.nextBelow(5));
+            while (b == a)
+                b = static_cast<ir::QubitId>(rng.nextBelow(5));
+            c.append(rng.nextBool() ? Gate::cnot(a, b)
+                                    : Gate::x(a));
+        }
+        const Circuit sorted = opt::layerSchedule(c);
+        ASSERT_EQ(c.size(), sorted.size());
+        const sim::TruthTable before(c), after(sorted);
+        for (std::uint64_t in = 0; in < 32; ++in)
+            for (std::uint32_t q = 0; q < 5; ++q)
+                ASSERT_EQ(before.output(q, in), after.output(q, in));
+    }
+}
+
+TEST(LayerSchedule, LayersAreNonDecreasing)
+{
+    const Circuit c = circuits::fig31Circuit();
+    const Circuit sorted = opt::layerSchedule(c);
+    const auto layers = sorted.asapLayers();
+    for (std::size_t i = 1; i < layers.size(); ++i)
+        EXPECT_LE(layers[i - 1], layers[i]);
+}
+
+/**
+ * The motivating case: a host whose single gate appears *inside* the
+ * ancilla's sequence window but in an earlier ASAP layer.  Sequence
+ * analysis refuses; layered analysis borrows.
+ */
+Circuit
+parallelismCase()
+{
+    Circuit c(6);
+    c.setLabel(4, "h");
+    c.setLabel(5, "d");
+    c.append(Gate::cnot(0, 1));     // layer 1
+    c.append(Gate::ccnot(1, 2, 5)); // layer 2: d period starts
+    c.append(Gate::x(4));           // layer 1, but sequence-inside
+    c.append(Gate::cnot(0, 3));     // layer 2: keeps 0 and 3 busy
+    c.append(Gate::ccnot(1, 2, 5)); // layer 3: d restored
+    return c;
+}
+
+TEST(LayeredBorrow, SequenceModeFindsNoHost)
+{
+    opt::BorrowPlan plan;
+    opt::reduceWidth(parallelismCase(), {5}, {}, &plan);
+    ASSERT_EQ(1u, plan.skipped.size());
+    EXPECT_EQ(opt::SkipReason::NoIdleHost, plan.skipped[0].second);
+}
+
+TEST(LayeredBorrow, LayeredModeBorrowsTheParallelQubit)
+{
+    opt::BorrowOptions options;
+    options.useLayeredTime = true;
+    opt::BorrowPlan plan;
+    const Circuit reduced =
+        opt::reduceWidth(parallelismCase(), {5}, options, &plan);
+    ASSERT_EQ(1u, plan.assignments.size());
+    EXPECT_TRUE(plan.layered);
+    EXPECT_EQ(4u, plan.assignments[0].host); // h
+    EXPECT_EQ(5u, reduced.numQubits());
+
+    // Functional check: every input of the reduced circuit agrees
+    // with the original (in layer order) on the surviving qubits when
+    // the ancilla starts with the host's value.
+    std::vector<ir::QubitId> mapping;
+    const Circuit reduced2 =
+        opt::applyPlan(parallelismCase(), plan, &mapping);
+    ASSERT_TRUE(reduced == reduced2);
+    const Circuit original = opt::layerSchedule(parallelismCase());
+    const sim::TruthTable tt_orig(original);
+    const sim::TruthTable tt_red(reduced);
+    const std::uint32_t n = original.numQubits();
+    const std::uint32_t m = reduced.numQubits();
+    for (std::uint64_t r = 0; r < (std::uint64_t{1} << m); ++r) {
+        std::uint64_t in = 0;
+        for (std::uint32_t q = 0; q < n; ++q)
+            if ((r >> (m - 1 - mapping[q])) & 1)
+                in |= std::uint64_t{1} << (n - 1 - q);
+        for (std::uint32_t q = 0; q < n; ++q) {
+            if (q == 5) // the ancilla restores its own input
+                continue;
+            EXPECT_EQ(tt_orig.output(q, in),
+                      tt_red.output(mapping[q], r))
+                << "r=" << r << " q=" << q;
+        }
+    }
+}
+
+TEST(LayeredBorrow, Fig31StillWorksInLayeredMode)
+{
+    opt::BorrowOptions options;
+    options.useLayeredTime = true;
+    opt::BorrowPlan plan;
+    opt::reduceWidth(circuits::fig31Circuit(),
+                     {circuits::kFig31DirtyA1,
+                      circuits::kFig31DirtyA2},
+                     options, &plan);
+    EXPECT_EQ(2u, plan.assignments.size());
+    EXPECT_EQ(5u, plan.widthAfter);
+}
+
+TEST(AnfVerdict, AgreesOnPaperCircuits)
+{
+    const auto cccnot = circuits::cccnotDirty();
+    EXPECT_EQ(core::Verdict::Safe,
+              core::anfVerdict(cccnot, circuits::kCccnotDirtyQubit));
+    EXPECT_EQ(core::Verdict::Unsafe, core::anfVerdict(cccnot, 4));
+    const auto fig14 = circuits::fig14Counterexample();
+    EXPECT_EQ(core::Verdict::Unsafe, core::anfVerdict(fig14, 0));
+}
+
+TEST(AnfVerdict, RejectsNonClassical)
+{
+    Circuit c(2);
+    c.append(Gate::h(0));
+    EXPECT_EQ(core::Verdict::NotClassical, core::anfVerdict(c, 1));
+}
+
+class AnfProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(AnfProperty, AnfAgreesWithSatAndBruteForce)
+{
+    Rng rng(GetParam() + 4242);
+    constexpr std::uint32_t n = 5;
+    Circuit c(n);
+    for (int g = 0; g < 12; ++g) {
+        auto a = static_cast<ir::QubitId>(rng.nextBelow(n));
+        auto b = static_cast<ir::QubitId>(rng.nextBelow(n));
+        auto t = static_cast<ir::QubitId>(rng.nextBelow(n));
+        while (b == a)
+            b = static_cast<ir::QubitId>(rng.nextBelow(n));
+        while (t == a || t == b)
+            t = static_cast<ir::QubitId>(rng.nextBelow(n));
+        switch (rng.nextBelow(3)) {
+          case 0:  c.append(Gate::x(a));           break;
+          case 1:  c.append(Gate::cnot(a, t));     break;
+          default: c.append(Gate::ccnot(a, b, t)); break;
+        }
+    }
+    for (std::uint32_t q = 0; q < n; ++q) {
+        const auto anf = core::anfVerdict(c, q);
+        EXPECT_EQ(core::bruteForceVerdict(c, q), anf) << q;
+        EXPECT_EQ(core::verifyQubit(c, q).verdict, anf) << q;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnfProperty, ::testing::Range(0, 15));
+
+} // namespace
+} // namespace qb

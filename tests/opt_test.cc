@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the dirty-qubit borrowing optimizer (Figure 3.1 width
+ * reduction), including functional-equivalence checks of the
+ * rewritten circuits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "circuits/mcx.h"
+#include "circuits/paper_figures.h"
+#include "opt/borrow_opt.h"
+#include "sim/classical.h"
+
+namespace qb::opt {
+namespace {
+
+using ir::Circuit;
+using ir::Gate;
+
+/**
+ * Check that the reduced circuit computes the same function as the
+ * original on the surviving qubits, for every input, with borrowed
+ * hosts free to carry arbitrary values.
+ */
+void
+expectEquivalentOnSurvivors(const Circuit &original,
+                            const Circuit &reduced,
+                            const std::vector<ir::QubitId> &mapping,
+                            const std::vector<ir::QubitId> &dirty)
+{
+    ASSERT_TRUE(original.isClassical());
+    ASSERT_TRUE(reduced.isClassical());
+    const std::uint32_t n = original.numQubits();
+    const std::uint32_t m = reduced.numQubits();
+    const sim::TruthTable tt_orig(original);
+    const sim::TruthTable tt_red(reduced);
+    // Enumerate the reduced inputs; lift each to the original circuit
+    // by giving every original qubit its mapped bit (a borrowed
+    // ancilla starts out with its host's value - that is the borrow).
+    for (std::uint64_t r = 0; r < (std::uint64_t{1} << m); ++r) {
+        std::uint64_t in = 0;
+        for (std::uint32_t qk = 0; qk < n; ++qk) {
+            const bool bit = (r >> (m - 1 - mapping[qk])) & 1;
+            if (bit)
+                in |= std::uint64_t{1} << (n - 1 - qk);
+        }
+        for (std::uint32_t qk = 0; qk < n; ++qk) {
+            // Borrowed ancillas are restored to their own input, not
+            // to the host's output; only survivors are compared.
+            if (std::find(dirty.begin(), dirty.end(), qk) !=
+                dirty.end())
+                continue;
+            EXPECT_EQ(tt_orig.output(qk, in),
+                      tt_red.output(mapping[qk], r))
+                << "reduced input " << r << " qubit " << qk;
+        }
+    }
+}
+
+TEST(BorrowOpt, Fig31ReducesSevenToFiveQubits)
+{
+    const Circuit c = circuits::fig31Circuit();
+    BorrowPlan plan;
+    const Circuit reduced = reduceWidth(
+        c, {circuits::kFig31DirtyA1, circuits::kFig31DirtyA2}, {},
+        &plan);
+    EXPECT_EQ(7u, plan.widthBefore);
+    EXPECT_EQ(5u, plan.widthAfter);
+    ASSERT_EQ(2u, plan.assignments.size());
+    // Both ancillas land on q3 (id 2), as in Figure 3.1c.
+    EXPECT_EQ(2u, plan.assignments[0].host);
+    EXPECT_EQ(2u, plan.assignments[1].host);
+    EXPECT_TRUE(reduced == circuits::fig31Optimized());
+    EXPECT_TRUE(plan.skipped.empty());
+}
+
+TEST(BorrowOpt, Fig31PlanToStringMentionsHost)
+{
+    const Circuit c = circuits::fig31Circuit();
+    const BorrowPlan plan = planBorrows(
+        c, {circuits::kFig31DirtyA1, circuits::kFig31DirtyA2});
+    const std::string text = plan.toString(c);
+    EXPECT_NE(std::string::npos, text.find("borrow q3 as a1"));
+    EXPECT_NE(std::string::npos, text.find("width 7 -> 5"));
+}
+
+TEST(BorrowOpt, UnsafeAncillaIsKept)
+{
+    // The ancilla is written once and never uncomputed: the verifier
+    // must block the borrow.
+    Circuit c(3);
+    c.setLabel(2, "a");
+    c.append(Gate::cnot(0, 2));
+    c.append(Gate::x(1)); // keeps qubit 1 busy elsewhere
+    BorrowPlan plan;
+    const Circuit reduced = reduceWidth(c, {2}, {}, &plan);
+    EXPECT_TRUE(plan.assignments.empty());
+    ASSERT_EQ(1u, plan.skipped.size());
+    EXPECT_EQ(SkipReason::NotSafe, plan.skipped[0].second);
+    EXPECT_EQ(3u, reduced.numQubits());
+}
+
+TEST(BorrowOpt, UnsafeAncillaBorrowedWhenVerificationDisabled)
+{
+    Circuit c(4);
+    c.append(Gate::cnot(0, 2));
+    c.append(Gate::x(1));
+    BorrowOptions options;
+    options.verifySafety = false;
+    BorrowPlan plan;
+    reduceWidth(c, {2}, options, &plan);
+    ASSERT_EQ(1u, plan.assignments.size());
+    // Qubit 1 is the first working qubit idle over the period.
+    EXPECT_EQ(1u, plan.assignments[0].host);
+}
+
+TEST(BorrowOpt, NoIdleHostLeavesAncillaAlone)
+{
+    // Both working qubits are busy during the ancilla's period.
+    Circuit c(3);
+    c.append(Gate::cnot(0, 2));
+    c.append(Gate::x(1));
+    c.append(Gate::cnot(0, 2));
+    BorrowPlan plan;
+    reduceWidth(c, {2}, {}, &plan);
+    ASSERT_EQ(1u, plan.skipped.size());
+    EXPECT_EQ(SkipReason::NoIdleHost, plan.skipped[0].second);
+}
+
+TEST(BorrowOpt, NeverUsedAncillaIsDropped)
+{
+    Circuit c(3);
+    c.append(Gate::cnot(0, 1));
+    BorrowPlan plan;
+    const Circuit reduced = reduceWidth(c, {2}, {}, &plan);
+    EXPECT_EQ(2u, reduced.numQubits());
+    ASSERT_EQ(1u, plan.skipped.size());
+    EXPECT_EQ(SkipReason::NeverUsed, plan.skipped[0].second);
+}
+
+TEST(BorrowOpt, HostReuseCanBeDisabled)
+{
+    const Circuit c = circuits::fig31Circuit();
+    BorrowOptions options;
+    options.allowHostReuse = false;
+    BorrowPlan plan;
+    reduceWidth(c, {5, 6}, options, &plan);
+    // Only one ancilla can use q3; the other has no second host.
+    EXPECT_EQ(1u, plan.assignments.size());
+    EXPECT_EQ(1u, plan.skipped.size());
+}
+
+TEST(BorrowOpt, Fig31RewriteIsFunctionallyEquivalent)
+{
+    const Circuit c = circuits::fig31Circuit();
+    std::vector<ir::QubitId> mapping;
+    const BorrowPlan plan = planBorrows(c, {5, 6});
+    const Circuit reduced = applyPlan(c, plan, &mapping);
+    expectEquivalentOnSurvivors(c, reduced, mapping, {5, 6});
+}
+
+TEST(BorrowOpt, BarencoAncillasCannotBeBorrowedWithoutIdleHosts)
+{
+    // Every qubit of barencoMcx is busy, so nothing can be borrowed,
+    // but planning must succeed and verify all ancillas safe.
+    const Circuit c = circuits::barencoMcx(4);
+    std::vector<ir::QubitId> dirty;
+    for (std::uint32_t w = 5; w < 7; ++w)
+        dirty.push_back(w);
+    BorrowPlan plan;
+    reduceWidth(c, dirty, {}, &plan);
+    EXPECT_TRUE(plan.assignments.empty());
+    for (const auto &[q, reason] : plan.skipped)
+        EXPECT_EQ(SkipReason::NoIdleHost, reason);
+}
+
+TEST(BorrowOpt, MappingCoversAllQubits)
+{
+    const Circuit c = circuits::fig31Circuit();
+    std::vector<ir::QubitId> mapping;
+    const BorrowPlan plan = planBorrows(c, {5, 6});
+    const Circuit reduced = applyPlan(c, plan, &mapping);
+    ASSERT_EQ(c.numQubits(), mapping.size());
+    for (ir::QubitId q : mapping)
+        EXPECT_LT(q, reduced.numQubits());
+    // Dirty qubits map to their host's new id.
+    EXPECT_EQ(mapping[5], mapping[2]);
+    EXPECT_EQ(mapping[6], mapping[2]);
+}
+
+} // namespace
+} // namespace qb::opt

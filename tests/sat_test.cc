@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Unit and property tests for the CDCL SAT solver and CNF container.
+ *
+ * The property suites compare solver verdicts against brute-force
+ * enumeration on random small CNFs and check model validity, for both
+ * configuration presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sat/cnf.h"
+#include "sat/solver.h"
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace qb::sat {
+namespace {
+
+/** Brute-force satisfiability over at most 20 variables. */
+bool
+bruteForceSat(const Cnf &cnf)
+{
+    const Var n = cnf.numVars();
+    if (cnf.trivialConflict())
+        return false;
+    for (std::uint32_t bits = 0; bits < (1u << n); ++bits) {
+        std::vector<LBool> assign(n);
+        for (Var v = 0; v < n; ++v)
+            assign[v] = lboolOf((bits >> v) & 1);
+        if (cnf.satisfiedBy(assign))
+            return true;
+    }
+    return false;
+}
+
+TEST(Lit, PackingAndNegation)
+{
+    const Lit l = mkLit(5);
+    EXPECT_EQ(5, l.var());
+    EXPECT_FALSE(l.sign());
+    EXPECT_EQ(5, (~l).var());
+    EXPECT_TRUE((~l).sign());
+    EXPECT_EQ(l, ~~l);
+}
+
+TEST(Cnf, AddClauseDropsDuplicatesAndTautologies)
+{
+    Cnf cnf;
+    cnf.addClause({mkLit(0), mkLit(0), mkLit(1)});
+    ASSERT_EQ(1u, cnf.numClauses());
+    EXPECT_EQ(2u, cnf.clauses()[0].size());
+    cnf.addClause({mkLit(0), ~mkLit(0)}); // tautology: dropped
+    EXPECT_EQ(1u, cnf.numClauses());
+}
+
+TEST(Cnf, EmptyClauseMarksConflict)
+{
+    Cnf cnf;
+    EXPECT_FALSE(cnf.trivialConflict());
+    cnf.addClause({});
+    EXPECT_TRUE(cnf.trivialConflict());
+}
+
+TEST(Cnf, DimacsRoundTrip)
+{
+    Cnf cnf;
+    cnf.addClause({mkLit(0), ~mkLit(1)});
+    cnf.addClause({mkLit(2)});
+    const std::string text = cnf.toDimacs();
+    const Cnf back = Cnf::fromDimacs(text);
+    EXPECT_EQ(cnf.numVars(), back.numVars());
+    ASSERT_EQ(cnf.numClauses(), back.numClauses());
+    EXPECT_EQ(cnf.clauses(), back.clauses());
+}
+
+TEST(Cnf, DimacsRejectsGarbage)
+{
+    EXPECT_THROW(Cnf::fromDimacs("p dnf 2 1\n1 0\n"), FatalError);
+    EXPECT_THROW(Cnf::fromDimacs("1 2 0\n"), FatalError);
+    EXPECT_THROW(Cnf::fromDimacs("p cnf 2 1\n1 2\n"), FatalError);
+    EXPECT_THROW(Cnf::fromDimacs("p cnf 2 1\nfoo 0\n"), FatalError);
+}
+
+TEST(Solver, EmptyFormulaIsSat)
+{
+    Solver s;
+    EXPECT_EQ(SolveResult::Sat, s.solve());
+}
+
+TEST(Solver, UnitPropagationChain)
+{
+    Solver s;
+    // x0; x0 -> x1; x1 -> x2.
+    EXPECT_TRUE(s.addClause({mkLit(0)}));
+    EXPECT_TRUE(s.addClause({~mkLit(0), mkLit(1)}));
+    EXPECT_TRUE(s.addClause({~mkLit(1), mkLit(2)}));
+    EXPECT_EQ(SolveResult::Sat, s.solve());
+    EXPECT_EQ(LBool::True, s.modelValue(0));
+    EXPECT_EQ(LBool::True, s.modelValue(1));
+    EXPECT_EQ(LBool::True, s.modelValue(2));
+}
+
+TEST(Solver, ImmediateContradiction)
+{
+    Solver s;
+    EXPECT_TRUE(s.addClause({mkLit(0)}));
+    EXPECT_FALSE(s.addClause({~mkLit(0)}));
+    EXPECT_EQ(SolveResult::Unsat, s.solve());
+}
+
+TEST(Solver, SimpleUnsatCore)
+{
+    Solver s;
+    // (a | b) & (a | ~b) & (~a | b) & (~a | ~b) is UNSAT.
+    s.addClause({mkLit(0), mkLit(1)});
+    s.addClause({mkLit(0), ~mkLit(1)});
+    s.addClause({~mkLit(0), mkLit(1)});
+    s.addClause({~mkLit(0), ~mkLit(1)});
+    EXPECT_EQ(SolveResult::Unsat, s.solve());
+}
+
+/** Pigeonhole principle: n+1 pigeons, n holes - classically UNSAT. */
+Cnf
+pigeonhole(int holes)
+{
+    Cnf cnf;
+    const int pigeons = holes + 1;
+    auto var = [&](int p, int h) { return p * holes + h; };
+    for (int p = 0; p < pigeons; ++p) {
+        LitVec clause;
+        for (int h = 0; h < holes; ++h)
+            clause.push_back(mkLit(var(p, h)));
+        cnf.addClause(clause);
+    }
+    for (int h = 0; h < holes; ++h)
+        for (int p1 = 0; p1 < pigeons; ++p1)
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+                cnf.addClause({~mkLit(var(p1, h)), ~mkLit(var(p2, h))});
+    return cnf;
+}
+
+TEST(Solver, PigeonholeUnsatBaseline)
+{
+    for (int holes : {2, 3, 4, 5}) {
+        EXPECT_EQ(SolveResult::Unsat,
+                  solveCnf(pigeonhole(holes), SolverConfig::baseline()))
+            << holes;
+    }
+}
+
+TEST(Solver, PigeonholeUnsatSimplify)
+{
+    for (int holes : {2, 3, 4, 5}) {
+        EXPECT_EQ(SolveResult::Unsat,
+                  solveCnf(pigeonhole(holes), SolverConfig::simplify()))
+            << holes;
+    }
+}
+
+TEST(Solver, ConflictBudgetYieldsUnknown)
+{
+    SolverConfig cfg = SolverConfig::baseline();
+    cfg.conflictBudget = 1;
+    EXPECT_EQ(SolveResult::Unknown, solveCnf(pigeonhole(6), cfg));
+}
+
+TEST(Solver, StatsArePopulated)
+{
+    SolverStats stats;
+    solveCnf(pigeonhole(4), SolverConfig::baseline(), &stats);
+    EXPECT_GT(stats.conflicts, 0);
+    EXPECT_GT(stats.decisions, 0);
+    EXPECT_GT(stats.propagations, 0);
+}
+
+TEST(Solver, SatisfiedClausesSkippedAtAdd)
+{
+    Solver s;
+    s.addClause({mkLit(0)});
+    // Contains x0 already true: clause should be absorbed silently.
+    EXPECT_TRUE(s.addClause({mkLit(0), mkLit(1)}));
+    EXPECT_EQ(SolveResult::Sat, s.solve());
+}
+
+/** Random k-SAT generator with fixed clause/variable ratio. */
+Cnf
+randomCnf(Rng &rng, Var num_vars, std::size_t num_clauses,
+          int clause_len)
+{
+    Cnf cnf;
+    cnf.ensureVars(num_vars);
+    for (std::size_t i = 0; i < num_clauses; ++i) {
+        LitVec clause;
+        for (int j = 0; j < clause_len; ++j) {
+            const Var v =
+                static_cast<Var>(rng.nextBelow(num_vars));
+            clause.push_back(mkLit(v, rng.nextBool()));
+        }
+        cnf.addClause(clause);
+    }
+    return cnf;
+}
+
+class SatProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(SatProperty, AgreesWithBruteForceBaseline)
+{
+    Rng rng(GetParam());
+    // Near the 3-SAT threshold (ratio ~4.26) to get both outcomes.
+    const Cnf cnf = randomCnf(rng, 8, 34, 3);
+    const bool expected = bruteForceSat(cnf);
+    SolverStats stats;
+    const SolveResult got =
+        solveCnf(cnf, SolverConfig::baseline(), &stats);
+    EXPECT_EQ(expected ? SolveResult::Sat : SolveResult::Unsat, got);
+}
+
+TEST_P(SatProperty, AgreesWithBruteForceSimplify)
+{
+    Rng rng(GetParam());
+    const Cnf cnf = randomCnf(rng, 8, 34, 3);
+    const bool expected = bruteForceSat(cnf);
+    EXPECT_EQ(expected ? SolveResult::Sat : SolveResult::Unsat,
+              solveCnf(cnf, SolverConfig::simplify()));
+}
+
+TEST_P(SatProperty, ModelsActuallySatisfyBaseline)
+{
+    Rng rng(GetParam() + 5000);
+    const Cnf cnf = randomCnf(rng, 10, 30, 3);
+    Solver solver(SolverConfig::baseline());
+    solver.addCnf(cnf);
+    if (solver.solve() != SolveResult::Sat)
+        return;
+    std::vector<LBool> assign(cnf.numVars());
+    for (Var v = 0; v < cnf.numVars(); ++v)
+        assign[v] = solver.modelValue(v);
+    EXPECT_TRUE(cnf.satisfiedBy(assign));
+}
+
+TEST_P(SatProperty, ModelsActuallySatisfySimplify)
+{
+    Rng rng(GetParam() + 5000);
+    const Cnf cnf = randomCnf(rng, 10, 30, 3);
+    Solver solver(SolverConfig::simplify());
+    solver.addCnf(cnf);
+    if (solver.solve() != SolveResult::Sat)
+        return;
+    std::vector<LBool> assign(cnf.numVars());
+    for (Var v = 0; v < cnf.numVars(); ++v)
+        assign[v] = solver.modelValue(v);
+    EXPECT_TRUE(cnf.satisfiedBy(assign))
+        << "variable elimination must reconstruct a full model";
+}
+
+TEST_P(SatProperty, WideClausesAgree)
+{
+    Rng rng(GetParam() + 9000);
+    const Cnf cnf = randomCnf(rng, 9, 18, 5);
+    const bool expected = bruteForceSat(cnf);
+    EXPECT_EQ(expected ? SolveResult::Sat : SolveResult::Unsat,
+              solveCnf(cnf, SolverConfig::baseline()));
+    EXPECT_EQ(expected ? SolveResult::Sat : SolveResult::Unsat,
+              solveCnf(cnf, SolverConfig::simplify()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatProperty, ::testing::Range(0, 40));
+
+} // namespace
+} // namespace qb::sat

@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Tests for the QBorrow denotational semantics: the idle-scope
+ * function (Figure 4.2), the interpreter (Figure 4.3), the safety
+ * deciders (Definition 5.1, Theorems 5.5 and 6.1) and the paper's
+ * worked examples (Example 5.2, Figure 4.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuits/paper_figures.h"
+#include "semantics/ast.h"
+#include "semantics/interp.h"
+#include "semantics/safety.h"
+#include "sim/statevector.h"
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace qb::sem {
+namespace {
+
+Operand
+q(ir::QubitId id)
+{
+    return Operand::q(id);
+}
+
+InterpOptions
+opts(std::uint32_t n)
+{
+    InterpOptions o;
+    o.numQubits = n;
+    return o;
+}
+
+TEST(IdleMask, PrimitiveStatements)
+{
+    EXPECT_EQ((std::vector<bool>{true, true, true}),
+              idleMask(skip(), 3));
+    EXPECT_EQ((std::vector<bool>{true, false, true}),
+              idleMask(init(q(1)), 3));
+    EXPECT_EQ((std::vector<bool>{false, false, true}),
+              idleMask(gateCnot(q(0), q(1)), 3));
+}
+
+TEST(IdleMask, SequenceIntersects)
+{
+    const auto s = seq(gateX(q(0)), gateX(q(2)));
+    EXPECT_EQ((std::vector<bool>{false, true, false}),
+              idleMask(s, 3));
+}
+
+TEST(IdleMask, IfRemovesGuard)
+{
+    const auto s = ifM(q(1), gateX(q(0)), skip());
+    EXPECT_EQ((std::vector<bool>{false, false, true}),
+              idleMask(s, 3));
+}
+
+TEST(IdleMask, WhileRemovesGuard)
+{
+    const auto s = whileM(q(2), gateX(q(0)));
+    EXPECT_EQ((std::vector<bool>{false, true, false}),
+              idleMask(s, 3));
+}
+
+TEST(IdleMask, BorrowIsTransparent)
+{
+    // idle(borrow a; S; release a) = idle(S); the placeholder itself
+    // removes nothing.
+    const auto body = gateCnot(q(0), Operand::ph("a"));
+    const auto s = borrow("a", body);
+    EXPECT_EQ(idleMask(body, 3), idleMask(s, 3));
+    EXPECT_EQ((std::vector<bool>{false, true, true}),
+              idleMask(s, 3));
+}
+
+TEST(Substitute, ReplacesPlaceholderEverywhere)
+{
+    const auto body = seq(gateX(Operand::ph("a")),
+                          gateCnot(q(0), Operand::ph("a")));
+    const auto inst = substitute(body, "a", 2);
+    EXPECT_EQ((std::vector<bool>{false, true, false}),
+              idleMask(inst, 3));
+}
+
+TEST(Substitute, InnerBinderShadows)
+{
+    // borrow a; X[a] inside substitution of outer a must be left
+    // untouched.
+    const auto inner = borrow("a", gateX(Operand::ph("a")));
+    const auto subst = substitute(inner, "a", 1);
+    // The placeholder inside is still bound by the inner borrow:
+    // interpretation must not fail and must not force qubit 1.
+    const OpSet set = interpret(subst, opts(2));
+    EXPECT_FALSE(set.ops.empty());
+}
+
+TEST(Interp, SkipIsIdentity)
+{
+    const OpSet set = interpret(skip(), opts(2));
+    ASSERT_EQ(1u, set.ops.size());
+    EXPECT_TRUE(set.ops[0].approxEqual(sim::QuantumOp::identity(2)));
+}
+
+TEST(Interp, UnitaryMatchesCircuitSemantics)
+{
+    const OpSet set = interpret(gateCnot(q(0), q(1)), opts(2));
+    ASSERT_EQ(1u, set.ops.size());
+    ir::Circuit c(2);
+    c.append(ir::Gate::cnot(0, 1));
+    EXPECT_TRUE(set.ops[0].approxEqual(sim::QuantumOp::fromCircuit(c)));
+}
+
+TEST(Interp, SequenceComposes)
+{
+    const auto s = seq(gateH(q(0)), gateCnot(q(0), q(1)));
+    const OpSet set = interpret(s, opts(2));
+    ASSERT_EQ(1u, set.ops.size());
+    ir::Circuit c(2);
+    c.append(ir::Gate::h(0));
+    c.append(ir::Gate::cnot(0, 1));
+    EXPECT_TRUE(set.ops[0].approxEqual(sim::QuantumOp::fromCircuit(c)));
+}
+
+TEST(Interp, InitResetsToGround)
+{
+    const OpSet set = interpret(init(q(0)), opts(1));
+    ASSERT_EQ(1u, set.ops.size());
+    EXPECT_TRUE(
+        set.ops[0].approxEqual(sim::QuantumOp::initQubit(1, 0)));
+}
+
+TEST(Interp, IfSumsBranches)
+{
+    // if M[q0] then X[q1] else skip: classical controlled-X with
+    // decoherence on the guard.
+    const auto s = ifM(q(0), gateX(q(1)), skip());
+    const OpSet set = interpret(s, opts(2));
+    ASSERT_EQ(1u, set.ops.size());
+    // On |10><10| the result is |11><11|.
+    sim::Matrix rho(4, 4);
+    rho.at(2, 2) = 1.0;
+    const sim::Matrix out = set.ops[0].apply(rho);
+    EXPECT_NEAR(1.0, out.at(3, 3).real(), 1e-9);
+    // Trace preserved.
+    EXPECT_NEAR(1.0, out.trace().real(), 1e-9);
+}
+
+TEST(Interp, WhileTerminatesOnMeasuredZero)
+{
+    // while M[q0] do X[q0]: from |1>, one iteration flips to |0> and
+    // the loop exits; from |0> it exits immediately.
+    const auto s = whileM(q(0), gateX(q(0)));
+    const OpSet set = interpret(s, opts(1));
+    ASSERT_EQ(1u, set.ops.size());
+    EXPECT_FALSE(set.truncated);
+    sim::Matrix one(2, 2);
+    one.at(1, 1) = 1.0;
+    const sim::Matrix out = set.ops[0].apply(one);
+    EXPECT_NEAR(1.0, out.at(0, 0).real(), 1e-9);
+    EXPECT_NEAR(1.0, out.trace().real(), 1e-9);
+}
+
+TEST(Interp, WhileConvergesGeometrically)
+{
+    // while M[q0] do H[q0]: each iteration halves the remaining
+    // weight; the series must converge without truncation.
+    const auto s = whileM(q(0), gateH(q(0)));
+    const OpSet set = interpret(s, opts(1));
+    ASSERT_EQ(1u, set.ops.size());
+    EXPECT_FALSE(set.truncated);
+    sim::Matrix plus(2, 2);
+    plus.at(0, 0) = plus.at(0, 1) = plus.at(1, 0) = plus.at(1, 1) =
+        0.5;
+    const sim::Matrix out = set.ops[0].apply(plus);
+    // Almost-sure termination: total probability 1, final state |0>.
+    EXPECT_NEAR(1.0, out.at(0, 0).real(), 1e-6);
+}
+
+TEST(Interp, NonTerminatingWhileIsTruncated)
+{
+    // while M[q0] do skip: from |1> the loop never exits.
+    const auto s = whileM(q(0), skip());
+    InterpOptions o = opts(1);
+    o.maxWhileIterations = 16;
+    const OpSet set = interpret(s, o);
+    EXPECT_TRUE(set.truncated);
+    ASSERT_EQ(1u, set.ops.size());
+    // The accumulated operation annihilates |1><1| (divergence shows
+    // up as lost trace, as in the paper's partial density operators).
+    sim::Matrix one(2, 2);
+    one.at(1, 1) = 1.0;
+    EXPECT_NEAR(0.0, set.ops[0].apply(one).trace().real(), 1e-9);
+}
+
+TEST(Interp, BorrowUnionsOverIdleQubits)
+{
+    // borrow a; X[a]: with 2 qubits and nothing else used, both
+    // instantiations are possible and differ.
+    const auto s = borrow("a", gateX(Operand::ph("a")));
+    const OpSet set = interpret(s, opts(2));
+    EXPECT_EQ(2u, set.ops.size());
+    EXPECT_FALSE(set.stuck);
+}
+
+TEST(Interp, BorrowDeduplicatesEqualInstantiations)
+{
+    // borrow a; skip-like body that ignores a: all instantiations
+    // coincide, so the set is a singleton (Theorem 5.5 direction).
+    const auto s = borrow("a", gateX(q(0)));
+    const OpSet set = interpret(s, opts(3));
+    EXPECT_EQ(1u, set.ops.size());
+}
+
+TEST(Interp, BorrowWithNoIdleQubitIsStuck)
+{
+    // Body uses both qubits concretely, leaving nothing to borrow.
+    const auto body = seq(gateCnot(q(0), q(1)),
+                          gateX(Operand::ph("a")));
+    const auto s = borrow("a", body);
+    const OpSet set = interpret(s, opts(2));
+    EXPECT_TRUE(set.stuck);
+    EXPECT_TRUE(set.ops.empty());
+}
+
+TEST(Interp, UnboundPlaceholderFails)
+{
+    EXPECT_THROW(interpret(gateX(Operand::ph("a")), opts(1)),
+                 qb::FatalError);
+}
+
+TEST(Safety, IdentityOpActsAsIdentityEverywhere)
+{
+    const auto id = sim::QuantumOp::identity(3);
+    for (std::uint32_t qk = 0; qk < 3; ++qk)
+        EXPECT_TRUE(opActsAsIdentityOn(id, qk));
+}
+
+TEST(Safety, XGateBreaksIdentityOnItsTarget)
+{
+    const auto x = sim::QuantumOp::fromGate(2, ir::Gate::x(0));
+    EXPECT_FALSE(opActsAsIdentityOn(x, 0));
+    EXPECT_TRUE(opActsAsIdentityOn(x, 1));
+}
+
+TEST(Safety, CnotBreaksIdentityOnBothOperands)
+{
+    const auto cx = sim::QuantumOp::fromGate(3, ir::Gate::cnot(0, 1));
+    EXPECT_FALSE(opActsAsIdentityOn(cx, 0)); // control matters too
+    EXPECT_FALSE(opActsAsIdentityOn(cx, 1));
+    EXPECT_TRUE(opActsAsIdentityOn(cx, 2));
+}
+
+TEST(Safety, MeasurementBreaksIdentity)
+{
+    // Measure-and-forget dephases: not the identity on the qubit.
+    const auto m = sim::QuantumOp::measureBranch(1, 0, false) +
+                   sim::QuantumOp::measureBranch(1, 0, true);
+    EXPECT_FALSE(opActsAsIdentityOn(m, 0));
+}
+
+TEST(Safety, BellPairCheckAgreesWithStateCheck)
+{
+    // Theorem 6.1: conditions (2) and (3) are equivalent.
+    const std::vector<sim::QuantumOp> ops = {
+        sim::QuantumOp::identity(2),
+        sim::QuantumOp::fromGate(2, ir::Gate::x(0)),
+        sim::QuantumOp::fromGate(2, ir::Gate::cnot(0, 1)),
+        sim::QuantumOp::fromGate(2, ir::Gate::h(1)),
+        sim::QuantumOp::initQubit(2, 0),
+        sim::QuantumOp::measureBranch(2, 1, false) +
+            sim::QuantumOp::measureBranch(2, 1, true),
+    };
+    for (const auto &op : ops) {
+        for (std::uint32_t qk = 0; qk < 2; ++qk) {
+            EXPECT_EQ(opActsAsIdentityOn(op, qk),
+                      opPreservesBellPair(op, qk));
+        }
+    }
+}
+
+TEST(Safety, CccnotOpIsIdentityOnDirtyQubit)
+{
+    const auto op =
+        sim::QuantumOp::fromCircuit(circuits::cccnotDirty());
+    EXPECT_TRUE(opActsAsIdentityOn(op, circuits::kCccnotDirtyQubit));
+    EXPECT_TRUE(
+        opPreservesBellPair(op, circuits::kCccnotDirtyQubit));
+    EXPECT_FALSE(opActsAsIdentityOn(op, 4));
+}
+
+TEST(Safety, Example52_QSafeButBorrowUnsafe)
+{
+    // S = X[q]; borrow a; X[q]; X[a]; release a   (Example 5.2).
+    const auto s = seq(
+        gateX(q(0)),
+        borrow("a", seq(gateX(q(0)), gateX(Operand::ph("a")))));
+    const InterpOptions o = opts(3);
+    // q (qubit 0) is safely uncomputed by S: both X[q] cancel...
+    // they do not cancel (X;X = I), so yes: safe.
+    EXPECT_TRUE(safelyUncomputes(s, 0, o));
+    // But the borrow of a is unsafe (a gets a bare X), so the
+    // program as a whole is not safe ...
+    EXPECT_FALSE(programIsSafe(s, o));
+    // ... and correspondingly nondeterminism survives (Theorem 5.5).
+    EXPECT_FALSE(isDeterministic(s, o));
+}
+
+TEST(Safety, SafeBorrowIsDeterministic)
+{
+    // Theorem 5.5, safe direction: the CCCNOT-style body safely
+    // uncomputes its dirty qubit, so all instantiations coincide.
+    const auto a = Operand::ph("a");
+    const auto body =
+        seqAll({gateCcnot(q(0), q(1), a), gateCnot(a, q(2)),
+                gateCcnot(q(0), q(1), a), gateCnot(a, q(2))});
+    const auto s = borrow("a", body);
+    const InterpOptions o = opts(5); // two candidate qubits: 3 and 4
+    EXPECT_TRUE(programIsSafe(s, o));
+    EXPECT_TRUE(isDeterministic(s, o));
+    // And the borrowed qubit is indeed identity in every execution.
+    const OpSet set = interpret(s, o);
+    ASSERT_EQ(1u, set.ops.size());
+    EXPECT_TRUE(opActsAsIdentityOn(set.ops[0], 3));
+    EXPECT_TRUE(opActsAsIdentityOn(set.ops[0], 4));
+}
+
+TEST(Safety, UnsafeBorrowYieldsMultipleOperations)
+{
+    // Theorem 5.5, unsafe direction: with two idle candidates, a bare
+    // X[a] yields two distinct operations.
+    const auto s = borrow("a", gateX(Operand::ph("a")));
+    const InterpOptions o = opts(2);
+    EXPECT_FALSE(programIsSafe(s, o));
+    EXPECT_FALSE(isDeterministic(s, o));
+    EXPECT_EQ(2u, interpret(s, o).ops.size());
+}
+
+TEST(Safety, Fig44ProgramInterpretsToSingleOperation)
+{
+    // The nested-borrow program of Figure 4.4 with five working
+    // qubits: only q3 is idle, so the semantics is the singleton
+    // {E2}, matching the Fig 3.1c circuit.
+    const auto a1 = Operand::ph("a1");
+    const auto a2 = Operand::ph("a2");
+    const auto s2 =
+        seqAll({gateCcnot(q(3), q(4), a2), gateCcnot(a2, q(1), q(0)),
+                gateCcnot(q(3), q(4), a2),
+                gateCcnot(a2, q(1), q(0))});
+    const auto s1 =
+        seqAll({gateCcnot(q(0), q(1), a1), gateCcnot(a1, q(3), q(4)),
+                gateCcnot(q(0), q(1), a1), gateCcnot(a1, q(3), q(4)),
+                borrow("a2", s2)});
+    const auto s = seq(gateCnot(q(1), q(2)), borrow("a1", s1));
+    const InterpOptions o = opts(5);
+    const OpSet set = interpret(s, o);
+    ASSERT_EQ(1u, set.ops.size());
+    EXPECT_FALSE(set.stuck);
+    const auto expected =
+        sim::QuantumOp::fromCircuit(circuits::fig31Optimized());
+    EXPECT_TRUE(set.ops[0].approxEqual(expected));
+}
+
+TEST(Safety, StuckProgramIsVacuouslySafe)
+{
+    const auto body = seq(gateCnot(q(0), q(1)),
+                          gateX(Operand::ph("a")));
+    const auto s = borrow("a", body);
+    const InterpOptions o = opts(2);
+    // Empty semantics: |[[S]]| = 0 <= 1.
+    EXPECT_TRUE(isDeterministic(s, o));
+    EXPECT_TRUE(interpret(s, o).stuck);
+}
+
+class SemanticsProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(SemanticsProperty,
+       UnitaryIdentityCheckMatchesFactorizationOracle)
+{
+    // For random classical+H circuits, the Theorem 6.1(2) decider
+    // must agree with the Definition 3.1 matrix factorization.
+    Rng rng(GetParam());
+    constexpr std::uint32_t n = 3;
+    ir::Circuit c(n);
+    for (int g = 0; g < 6; ++g) {
+        auto a = static_cast<ir::QubitId>(rng.nextBelow(n));
+        auto b = static_cast<ir::QubitId>(rng.nextBelow(n));
+        while (b == a)
+            b = static_cast<ir::QubitId>(rng.nextBelow(n));
+        switch (rng.nextBelow(3)) {
+          case 0:
+            c.append(ir::Gate::x(a));
+            break;
+          case 1:
+            c.append(ir::Gate::h(a));
+            break;
+          default:
+            c.append(ir::Gate::cnot(a, b));
+            break;
+        }
+    }
+    const auto op = sim::QuantumOp::fromCircuit(c);
+    const sim::Matrix u = sim::circuitUnitary(c);
+    for (std::uint32_t qk = 0; qk < n; ++qk) {
+        EXPECT_EQ(sim::actsAsIdentityOn(u, n, qk),
+                  opActsAsIdentityOn(op, qk))
+            << "qubit " << qk;
+        EXPECT_EQ(sim::actsAsIdentityOn(u, n, qk),
+                  opPreservesBellPair(op, qk))
+            << "qubit " << qk;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SemanticsProperty,
+                         ::testing::Range(0, 15));
+
+} // namespace
+} // namespace qb::sem

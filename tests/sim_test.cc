@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Tests for the simulation substrate: matrices, statevector,
+ * classical/truth-table engines and Kraus-form quantum operations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "ir/circuit.h"
+#include "sim/classical.h"
+#include "sim/kraus.h"
+#include "sim/matrix.h"
+#include "sim/statevector.h"
+#include "support/rng.h"
+
+namespace qb::sim {
+namespace {
+
+using ir::Circuit;
+using ir::Gate;
+
+TEST(Matrix, IdentityAndProduct)
+{
+    const Matrix id = Matrix::identity(4);
+    Matrix m(4, 4);
+    m.at(0, 1) = {2, 1};
+    m.at(3, 2) = {0, -1};
+    EXPECT_TRUE((id * m).approxEqual(m));
+    EXPECT_TRUE((m * id).approxEqual(m));
+}
+
+TEST(Matrix, AdjointConjugatesAndTransposes)
+{
+    Matrix m(2, 3);
+    m.at(0, 2) = {1, 2};
+    const Matrix a = m.adjoint();
+    EXPECT_EQ(3u, a.rows());
+    EXPECT_EQ(2u, a.cols());
+    EXPECT_EQ(Complex(1, -2), a.at(2, 0));
+}
+
+TEST(Matrix, TensorShapesAndValues)
+{
+    Matrix x(2, 2);
+    x.at(0, 1) = x.at(1, 0) = 1.0; // Pauli X
+    const Matrix xx = x.tensor(x);
+    EXPECT_EQ(4u, xx.rows());
+    EXPECT_EQ(Complex(1, 0), xx.at(0, 3));
+    EXPECT_EQ(Complex(1, 0), xx.at(3, 0));
+    EXPECT_EQ(Complex(0, 0), xx.at(0, 0));
+}
+
+TEST(Matrix, TraceAndNorm)
+{
+    Matrix m(2, 2);
+    m.at(0, 0) = {1, 0};
+    m.at(1, 1) = {0, 1};
+    EXPECT_EQ(Complex(1, 1), m.trace());
+    EXPECT_NEAR(std::sqrt(2.0), m.norm(), 1e-12);
+}
+
+TEST(Matrix, PartialTraceOfProductState)
+{
+    // rho = |0><0| (x) |1><1| over 2 qubits; tracing out qubit 0
+    // leaves |1><1|.
+    Matrix rho(4, 4);
+    rho.at(1, 1) = 1.0; // |01><01|
+    const Matrix reduced = partialTrace(rho, 2, {0});
+    EXPECT_NEAR(0.0, std::abs(reduced.at(0, 0)), 1e-12);
+    EXPECT_NEAR(1.0, std::abs(reduced.at(1, 1)), 1e-12);
+}
+
+TEST(Matrix, PartialTraceOfBellStateIsMaximallyMixed)
+{
+    Matrix bell(4, 4);
+    bell.at(0, 0) = bell.at(0, 3) = bell.at(3, 0) = bell.at(3, 3) =
+        0.5;
+    for (std::uint32_t q : {0u, 1u}) {
+        const Matrix reduced = partialTrace(bell, 2, {q});
+        EXPECT_NEAR(0.5, reduced.at(0, 0).real(), 1e-12);
+        EXPECT_NEAR(0.5, reduced.at(1, 1).real(), 1e-12);
+        EXPECT_NEAR(0.0, std::abs(reduced.at(0, 1)), 1e-12);
+    }
+}
+
+TEST(StateVector, BasisStatePreparation)
+{
+    const auto sv = StateVector::basis(3, 5);
+    EXPECT_EQ(Complex(1, 0), sv.amp(5));
+    EXPECT_NEAR(1.0, sv.normSquared(), 1e-12);
+}
+
+TEST(StateVector, XFlipsMsbConvention)
+{
+    // Qubit 0 is the most significant index bit.
+    StateVector sv(2);
+    sv.applyGate(Gate::x(0));
+    EXPECT_EQ(Complex(1, 0), sv.amp(0b10));
+}
+
+TEST(StateVector, CnotActsOnlyWhenControlSet)
+{
+    auto sv = StateVector::basis(2, 0b10); // q0 = 1
+    sv.applyGate(Gate::cnot(0, 1));
+    EXPECT_EQ(Complex(1, 0), sv.amp(0b11));
+    auto sv2 = StateVector::basis(2, 0b01); // q0 = 0
+    sv2.applyGate(Gate::cnot(0, 1));
+    EXPECT_EQ(Complex(1, 0), sv2.amp(0b01));
+}
+
+TEST(StateVector, HadamardCreatesUniformSuperposition)
+{
+    StateVector sv(1);
+    sv.hadamard(0);
+    EXPECT_NEAR(1.0 / std::numbers::sqrt2, sv.amp(0).real(), 1e-12);
+    EXPECT_NEAR(1.0 / std::numbers::sqrt2, sv.amp(1).real(), 1e-12);
+    sv.hadamard(0); // H self-inverse
+    EXPECT_NEAR(1.0, sv.amp(0).real(), 1e-12);
+}
+
+TEST(StateVector, PhaseGatesMatchMatrices)
+{
+    for (auto [gate, expected] :
+         std::vector<std::pair<Gate, Complex>>{
+             {Gate::s(0), {0, 1}},
+             {Gate::sdg(0), {0, -1}},
+             {Gate::z(0), {-1, 0}},
+             {Gate::t(0), std::polar(1.0, std::numbers::pi / 4)},
+             {Gate::tdg(0), std::polar(1.0, -std::numbers::pi / 4)},
+             {Gate::phase(0, 0.3), std::polar(1.0, 0.3)}}) {
+        auto sv = StateVector::basis(1, 1);
+        sv.applyGate(gate);
+        EXPECT_NEAR(0.0, std::abs(sv.amp(1) - expected), 1e-12)
+            << gate.toString();
+    }
+}
+
+TEST(StateVector, SwapExchangesQubits)
+{
+    auto sv = StateVector::basis(2, 0b10);
+    sv.applyGate(Gate::swap(0, 1));
+    EXPECT_EQ(Complex(1, 0), sv.amp(0b01));
+}
+
+TEST(StateVector, CzAndCphaseApplyOnBothSet)
+{
+    auto sv = StateVector::basis(2, 0b11);
+    sv.applyGate(Gate::cz(0, 1));
+    EXPECT_NEAR(0.0, std::abs(sv.amp(3) - Complex(-1, 0)), 1e-12);
+    auto sv2 = StateVector::basis(2, 0b01);
+    sv2.applyGate(Gate::cz(0, 1));
+    EXPECT_EQ(Complex(1, 0), sv2.amp(1));
+    auto sv3 = StateVector::basis(2, 0b11);
+    sv3.applyGate(Gate::cphase(0, 1, 0.5));
+    EXPECT_NEAR(0.0,
+                std::abs(sv3.amp(3) - std::polar(1.0, 0.5)), 1e-12);
+}
+
+TEST(StateVector, ProjectAndProbability)
+{
+    StateVector sv(1);
+    sv.hadamard(0);
+    EXPECT_NEAR(0.5, sv.probOne(0), 1e-12);
+    const double p = sv.project(0, true);
+    EXPECT_NEAR(0.5, p, 1e-12);
+    EXPECT_NEAR(0.0, std::abs(sv.amp(0)), 1e-12);
+}
+
+TEST(StateVector, EqualUpToPhase)
+{
+    auto a = StateVector::basis(1, 1);
+    auto b = StateVector::basis(1, 1);
+    b.applyGate(Gate::z(0)); // global phase on this state
+    EXPECT_FALSE(a.approxEqual(b));
+    EXPECT_TRUE(a.equalUpToPhase(b));
+}
+
+TEST(StateVector, ReducedDensityOfEntangledPair)
+{
+    StateVector sv(2);
+    sv.hadamard(0);
+    sv.applyGate(Gate::cnot(0, 1)); // Bell state
+    const Matrix r = sv.reducedDensity(1);
+    EXPECT_NEAR(0.5, r.at(0, 0).real(), 1e-12);
+    EXPECT_NEAR(0.5, r.at(1, 1).real(), 1e-12);
+}
+
+TEST(CircuitUnitary, MatchesKnownGates)
+{
+    Circuit c(1);
+    c.append(Gate::x(0));
+    const Matrix u = circuitUnitary(c);
+    EXPECT_NEAR(1.0, std::abs(u.at(0, 1)), 1e-12);
+    EXPECT_NEAR(1.0, std::abs(u.at(1, 0)), 1e-12);
+    EXPECT_TRUE(u.isUnitary());
+}
+
+TEST(CircuitUnitary, ClassicalCircuitsArePermutations)
+{
+    Circuit c(3);
+    c.append(Gate::ccnot(0, 1, 2));
+    c.append(Gate::cnot(2, 0));
+    const Matrix u = circuitUnitary(c);
+    EXPECT_TRUE(u.isUnitary());
+    for (std::size_t i = 0; i < u.rows(); ++i)
+        for (std::size_t j = 0; j < u.cols(); ++j)
+            EXPECT_TRUE(std::abs(u.at(i, j)) < 1e-12 ||
+                        std::abs(u.at(i, j) - Complex(1, 0)) < 1e-12);
+}
+
+TEST(ActsAsIdentityOn, DetectsFactorization)
+{
+    Circuit c(3);
+    c.append(Gate::cnot(0, 1)); // acts on 0, 1 only
+    const Matrix u = circuitUnitary(c);
+    EXPECT_TRUE(actsAsIdentityOn(u, 3, 2));
+    EXPECT_FALSE(actsAsIdentityOn(u, 3, 0));
+    EXPECT_FALSE(actsAsIdentityOn(u, 3, 1));
+}
+
+TEST(ClassicalState, GateSemantics)
+{
+    ClassicalState s(3);
+    s.applyGate(Gate::x(0));
+    EXPECT_TRUE(s.get(0));
+    s.applyGate(Gate::cnot(0, 1));
+    EXPECT_TRUE(s.get(1));
+    s.applyGate(Gate::ccnot(0, 1, 2));
+    EXPECT_TRUE(s.get(2));
+    s.applyGate(Gate::mcx({0, 1}, 2));
+    EXPECT_FALSE(s.get(2));
+}
+
+TEST(ClassicalState, SwapAndIndexRoundTrip)
+{
+    ClassicalState s = ClassicalState::fromIndex(4, 0b1010);
+    EXPECT_TRUE(s.get(0));
+    EXPECT_FALSE(s.get(1));
+    EXPECT_TRUE(s.get(2));
+    EXPECT_FALSE(s.get(3));
+    s.applyGate(Gate::swap(0, 1));
+    EXPECT_EQ(0b0110u, s.toIndex());
+}
+
+TEST(ClassicalState, WideRegisters)
+{
+    ClassicalState s(1000);
+    s.set(999, true);
+    EXPECT_TRUE(s.get(999));
+    s.applyGate(Gate::cnot(999, 0));
+    EXPECT_TRUE(s.get(0));
+}
+
+TEST(ClassicalState, AgreesWithStateVectorOnClassicalCircuits)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 20; ++trial) {
+        Circuit c(4);
+        for (int g = 0; g < 12; ++g) {
+            const auto a = static_cast<ir::QubitId>(rng.nextBelow(4));
+            auto b = static_cast<ir::QubitId>(rng.nextBelow(4));
+            while (b == a)
+                b = static_cast<ir::QubitId>(rng.nextBelow(4));
+            if (rng.nextBool())
+                c.append(Gate::cnot(a, b));
+            else
+                c.append(Gate::x(a));
+        }
+        const std::uint64_t input = rng.nextBelow(16);
+        ClassicalState s = ClassicalState::fromIndex(4, input);
+        s.applyCircuit(c);
+        auto sv = StateVector::basis(4, input);
+        sv.applyCircuit(c);
+        EXPECT_NEAR(1.0, std::abs(sv.amp(s.toIndex())), 1e-12);
+    }
+}
+
+TEST(TruthTable, MatchesClassicalStateExhaustively)
+{
+    Circuit c(4);
+    c.append(Gate::ccnot(0, 1, 2));
+    c.append(Gate::x(3));
+    c.append(Gate::cnot(3, 0));
+    c.append(Gate::swap(1, 2));
+    const TruthTable tt(c);
+    for (std::uint64_t in = 0; in < 16; ++in) {
+        ClassicalState s = ClassicalState::fromIndex(4, in);
+        s.applyCircuit(c);
+        for (std::uint32_t q = 0; q < 4; ++q)
+            EXPECT_EQ(s.get(q), tt.output(q, in))
+                << "in=" << in << " q=" << q;
+    }
+}
+
+TEST(TruthTable, RestoresZeroAndIndependence)
+{
+    // CNOT[0,1]: qubit 0 unchanged (restores zero); qubit 1's output
+    // depends on qubit 0.
+    Circuit c(2);
+    c.append(Gate::cnot(0, 1));
+    const TruthTable tt(c);
+    EXPECT_TRUE(tt.restoresZero(0));
+    EXPECT_FALSE(tt.othersIndependentOf(0));
+    EXPECT_TRUE(tt.othersIndependentOf(1));
+    // q1's output is q0 XOR q1, so |0> is not restored on q1 either.
+    EXPECT_FALSE(tt.restoresZero(1));
+}
+
+TEST(TruthTable, WideQubitCountsUseWordPath)
+{
+    // 8 qubits exercises the multi-word (stride) input columns.
+    Circuit c(8);
+    c.append(Gate::mcx({0, 1, 2, 3, 4, 5, 6}, 7));
+    const TruthTable tt(c);
+    const std::uint64_t all = 0xFE; // q0..q6 set, q7 clear
+    EXPECT_TRUE(tt.output(7, all));
+    EXPECT_FALSE(tt.output(7, all ^ 0x80));
+    EXPECT_FALSE(tt.restoresZero(7));
+    EXPECT_TRUE(tt.othersIndependentOf(7));
+}
+
+TEST(QuantumOp, IdentityActsTrivially)
+{
+    const auto id = QuantumOp::identity(2);
+    Matrix rho(4, 4);
+    rho.at(2, 2) = 1.0;
+    EXPECT_TRUE(id.apply(rho).approxEqual(rho));
+    EXPECT_NEAR(4.0, id.weight(), 1e-12);
+}
+
+TEST(QuantumOp, InitResetsQubit)
+{
+    const auto init = QuantumOp::initQubit(2, 0);
+    // Start from |10><10|; init of qubit 0 yields |00><00|.
+    Matrix rho(4, 4);
+    rho.at(2, 2) = 1.0;
+    const Matrix out = init.apply(rho);
+    EXPECT_NEAR(1.0, out.at(0, 0).real(), 1e-12);
+    EXPECT_NEAR(1.0, out.trace().real(), 1e-12); // trace preserving
+}
+
+TEST(QuantumOp, MeasureBranchesSumToTracePreserving)
+{
+    const auto m0 = QuantumOp::measureBranch(1, 0, false);
+    const auto m1 = QuantumOp::measureBranch(1, 0, true);
+    StateVector sv(1);
+    sv.hadamard(0);
+    const Matrix rho = sv.densityMatrix();
+    const Matrix out = m0.apply(rho) + m1.apply(rho);
+    EXPECT_NEAR(1.0, out.trace().real(), 1e-12);
+    EXPECT_NEAR(0.5, m1.apply(rho).trace().real(), 1e-12);
+}
+
+TEST(QuantumOp, CompositionMatchesCircuit)
+{
+    Circuit c(2);
+    c.append(Gate::h(0));
+    c.append(Gate::cnot(0, 1));
+    const auto full = QuantumOp::fromCircuit(c);
+    const auto h = QuantumOp::fromGate(2, Gate::h(0));
+    const auto cx = QuantumOp::fromGate(2, Gate::cnot(0, 1));
+    EXPECT_TRUE(cx.after(h).approxEqual(full));
+}
+
+TEST(QuantumOp, ChoiEqualityIsRepresentationIndependent)
+{
+    // X followed by X equals the identity, though the Kraus lists
+    // differ syntactically.
+    const auto x = QuantumOp::fromGate(1, Gate::x(0));
+    const auto xx = x.after(x);
+    EXPECT_TRUE(xx.approxEqual(QuantumOp::identity(1)));
+    EXPECT_FALSE(x.approxEqual(QuantumOp::identity(1)));
+}
+
+TEST(QuantumOp, SumIsKrausUnion)
+{
+    const auto m0 = QuantumOp::measureBranch(1, 0, false);
+    const auto m1 = QuantumOp::measureBranch(1, 0, true);
+    const auto sum = m0 + m1;
+    EXPECT_EQ(2u, sum.kraus().size());
+    // The measure-and-forget channel is the completely dephasing map.
+    StateVector sv(1);
+    sv.hadamard(0);
+    const Matrix out = sum.apply(sv.densityMatrix());
+    EXPECT_NEAR(0.0, std::abs(out.at(0, 1)), 1e-12);
+}
+
+TEST(QuantumOp, PruneDropsZeroKraus)
+{
+    QuantumOp op(1);
+    op.addKraus(Matrix(2, 2)); // zero matrix
+    op.addKraus(Matrix::identity(2));
+    op.prune();
+    EXPECT_EQ(1u, op.kraus().size());
+}
+
+} // namespace
+} // namespace qb::sim

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the support utilities (rng, strings, timer, logging).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/logging.h"
+#include "support/rng.h"
+#include "support/strings.h"
+#include "support/timer.h"
+
+namespace qb {
+namespace {
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("boom"), FatalError);
+    try {
+        fatal("message text");
+    } catch (const FatalError &e) {
+        EXPECT_STREQ("message text", e.what());
+    }
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(qbAssert(true, "fine"));
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowCoversAllResidues)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 200; ++i)
+        seen.insert(rng.nextBelow(5));
+    EXPECT_EQ(5u, seen.size());
+}
+
+TEST(Rng, NextInRangeInclusive)
+{
+    Rng rng(3);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 300; ++i) {
+        const std::int64_t v = rng.nextInRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(5u, seen.size());
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, NextBoolRoughlyFair)
+{
+    Rng rng(13);
+    int trues = 0;
+    for (int i = 0; i < 10000; ++i)
+        trues += rng.nextBool();
+    EXPECT_GT(trues, 4500);
+    EXPECT_LT(trues, 5500);
+}
+
+TEST(Strings, FormatBasics)
+{
+    EXPECT_EQ("x=3 y=hi", format("x=%d y=%s", 3, "hi"));
+    EXPECT_EQ("", format("%s", ""));
+    EXPECT_EQ("3.50", format("%.2f", 3.5));
+}
+
+TEST(Strings, FormatLongOutput)
+{
+    const std::string big(500, 'a');
+    EXPECT_EQ(big, format("%s", big.c_str()));
+}
+
+TEST(Strings, Join)
+{
+    EXPECT_EQ("a,b,c", join({"a", "b", "c"}, ","));
+    EXPECT_EQ("a", join({"a"}, ","));
+    EXPECT_EQ("", join({}, ","));
+}
+
+TEST(Timer, MeasuresNonNegativeMonotonicTime)
+{
+    Timer t;
+    const double t1 = t.seconds();
+    const double t2 = t.seconds();
+    EXPECT_GE(t1, 0.0);
+    EXPECT_GE(t2, t1);
+    EXPECT_EQ(t.milliseconds() >= 0.0, true);
+}
+
+TEST(Timer, ResetRestarts)
+{
+    Timer t;
+    double sink = 0;
+    for (int i = 0; i < 100000; ++i)
+        sink += i;
+    (void)sink;
+    t.reset();
+    EXPECT_LT(t.seconds(), 1.0);
+}
+
+} // namespace
+} // namespace qb

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Tests for the full-language lowering (lang -> semantics): real
+ * nondeterministic borrows, measurement-guarded if/while, and the
+ * extended gate set, end to end from source text.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lang/elaborate.h"
+#include "lang/to_semantics.h"
+#include "semantics/interp.h"
+#include "semantics/safety.h"
+#include "support/logging.h"
+
+namespace qb::lang {
+namespace {
+
+sem::InterpOptions
+opts(std::uint32_t n)
+{
+    sem::InterpOptions o;
+    o.numQubits = n;
+    return o;
+}
+
+TEST(LowerToSemantics, StraightLineProgram)
+{
+    const auto prog = lowerSourceToSemantics(R"(
+        borrow@ q[2];
+        X[q[1]];
+        CNOT[q[1], q[2]];
+    )");
+    EXPECT_EQ(2u, prog.numQubits);
+    EXPECT_EQ("q[1]", prog.labels.at(0));
+    const auto set = sem::interpret(prog.stmt, opts(2));
+    ASSERT_EQ(1u, set.ops.size());
+    ir::Circuit c(2);
+    c.append(ir::Gate::x(0));
+    c.append(ir::Gate::cnot(0, 1));
+    EXPECT_TRUE(set.ops[0].approxEqual(sim::QuantumOp::fromCircuit(c)));
+}
+
+TEST(LowerToSemantics, AllocEmitsInitialization)
+{
+    const auto prog = lowerSourceToSemantics(R"(
+        alloc c;
+        X[c];
+    )");
+    const auto set = sem::interpret(prog.stmt, opts(1));
+    ASSERT_EQ(1u, set.ops.size());
+    // init then X: any input collapses to |1><1|.
+    sim::Matrix rho(2, 2);
+    rho.at(0, 0) = rho.at(1, 1) = 0.5;
+    const auto out = set.ops[0].apply(rho);
+    EXPECT_NEAR(1.0, out.at(1, 1).real(), 1e-9);
+}
+
+TEST(LowerToSemantics, RealBorrowIsNondeterministic)
+{
+    // Example 5.2, straight from source text with a *real* borrow.
+    const auto prog = lowerSourceToSemantics(R"(
+        borrow@ q;
+        X[q];
+        borrow a;
+        X[q];
+        X[a];
+        release a;
+    )");
+    EXPECT_EQ(1u, prog.numQubits); // only q is concrete
+    const auto o = opts(3);        // universe gives a two choices
+    const auto set = sem::interpret(prog.stmt, o);
+    EXPECT_EQ(2u, set.ops.size());
+    EXPECT_TRUE(sem::safelyUncomputes(prog.stmt, 0, o));
+    EXPECT_FALSE(sem::programIsSafe(prog.stmt, o));
+}
+
+TEST(LowerToSemantics, SafeBorrowCollapsesToOneOperation)
+{
+    const auto prog = lowerSourceToSemantics(R"(
+        borrow@ q[3];
+        borrow a;
+        CCNOT[q[1], q[2], a];
+        CNOT[a, q[3]];
+        CCNOT[q[1], q[2], a];
+        CNOT[a, q[3]];
+        release a;
+    )");
+    const auto o = opts(5);
+    EXPECT_TRUE(sem::programIsSafe(prog.stmt, o));
+    EXPECT_TRUE(sem::isDeterministic(prog.stmt, o));
+}
+
+TEST(LowerToSemantics, IfLowersToMeasurementBranching)
+{
+    const auto prog = lowerSourceToSemantics(R"(
+        borrow@ q[2];
+        if M[q[1]] {
+            X[q[2]];
+        }
+    )");
+    const auto set = sem::interpret(prog.stmt, opts(2));
+    ASSERT_EQ(1u, set.ops.size());
+    // |10> -> |11>, |00> -> |00>.
+    sim::Matrix rho(4, 4);
+    rho.at(2, 2) = 1.0;
+    EXPECT_NEAR(1.0, set.ops[0].apply(rho).at(3, 3).real(), 1e-9);
+    sim::Matrix zero(4, 4);
+    zero.at(0, 0) = 1.0;
+    EXPECT_NEAR(1.0, set.ops[0].apply(zero).at(0, 0).real(), 1e-9);
+}
+
+TEST(LowerToSemantics, IfElseBothBranches)
+{
+    const auto prog = lowerSourceToSemantics(R"(
+        borrow@ q[2];
+        if M[q[1]] {
+            X[q[2]];
+        } else {
+            X[q[1]];
+        }
+    )");
+    const auto set = sem::interpret(prog.stmt, opts(2));
+    ASSERT_EQ(1u, set.ops.size());
+    // |00>: else branch flips q1 -> |10>.
+    sim::Matrix zero(4, 4);
+    zero.at(0, 0) = 1.0;
+    EXPECT_NEAR(1.0, set.ops[0].apply(zero).at(2, 2).real(), 1e-9);
+}
+
+TEST(LowerToSemantics, WhileLowersToGuardedLoop)
+{
+    const auto prog = lowerSourceToSemantics(R"(
+        borrow@ q;
+        while M[q] {
+            H[q];
+        }
+    )");
+    const auto set = sem::interpret(prog.stmt, opts(1));
+    ASSERT_EQ(1u, set.ops.size());
+    EXPECT_FALSE(set.truncated);
+    EXPECT_EQ(sem::Termination::Terminates,
+              sem::terminatesAlmostSurely(prog.stmt, opts(1)));
+}
+
+TEST(LowerToSemantics, BorrowInsideLoopBody)
+{
+    // A borrow scoped inside a while body: lowered per-iteration.
+    const auto prog = lowerSourceToSemantics(R"(
+        borrow@ q;
+        while M[q] {
+            borrow a;
+            X[q];
+            X[a];
+            X[a];
+            release a;
+        }
+    )");
+    const auto set = sem::interpret(prog.stmt, opts(2));
+    ASSERT_EQ(1u, set.ops.size()); // X[a];X[a] cancels: borrow safe
+    EXPECT_TRUE(sem::programIsSafe(prog.stmt, opts(2)));
+}
+
+TEST(LowerToSemantics, ExtendedGates)
+{
+    const auto prog = lowerSourceToSemantics(R"(
+        borrow@ q[2];
+        H[q[1]];
+        S[q[1]];
+        Z[q[1]];
+        SWAP[q[1], q[2]];
+    )");
+    const auto set = sem::interpret(prog.stmt, opts(2));
+    ASSERT_EQ(1u, set.ops.size());
+    ir::Circuit c(2);
+    c.append(ir::Gate::h(0));
+    c.append(ir::Gate::s(0));
+    c.append(ir::Gate::z(0));
+    c.append(ir::Gate::swap(0, 1));
+    EXPECT_TRUE(set.ops[0].approxEqual(sim::QuantumOp::fromCircuit(c)));
+}
+
+TEST(LowerToSemantics, McxNarrowingAndRejection)
+{
+    const auto ok = lowerSourceToSemantics(R"(
+        borrow@ q[3];
+        MCX[q[1], q[2], q[3]];
+    )");
+    const auto set = sem::interpret(ok.stmt, opts(3));
+    ASSERT_EQ(1u, set.ops.size());
+    EXPECT_THROW(lowerSourceToSemantics(R"(
+        borrow@ q[5];
+        MCX[q[1], q[2], q[3], q[4], q[5]];
+    )"),
+                 FatalError);
+}
+
+TEST(LowerToSemantics, Errors)
+{
+    // Array-shaped real borrow.
+    EXPECT_THROW(lowerSourceToSemantics("borrow a[3]; X[a[1]];"),
+                 FatalError);
+    // Indexing a placeholder.
+    EXPECT_THROW(
+        lowerSourceToSemantics("borrow a; X[a[1]]; release a;"),
+        FatalError);
+    // Release without borrow.
+    EXPECT_THROW(lowerSourceToSemantics("borrow@ q; release q2;"),
+                 FatalError);
+    // Use after release.
+    EXPECT_THROW(lowerSourceToSemantics(
+                     "borrow a; X[a]; release a; X[a];"),
+                 FatalError);
+}
+
+TEST(LowerToSemantics, NestedBorrowsGetDistinctPlaceholders)
+{
+    const auto prog = lowerSourceToSemantics(R"(
+        borrow@ q;
+        borrow a;
+        X[a];
+        borrow b;
+        X[b];
+        release b;
+        X[a];
+        release a;
+    )");
+    // Universe of 3: a and b draw from the idle qubits; the X[a];X[a]
+    // pair cancels only on the same instantiation, so the set has one
+    // op per distinct (a) choice after dedup... just check it runs
+    // and is nondeterministic.
+    const auto set = sem::interpret(prog.stmt, opts(3));
+    EXPECT_GE(set.ops.size(), 2u);
+}
+
+TEST(Elaborate, ControlFlowRejectedByCircuitPath)
+{
+    EXPECT_THROW(
+        elaborateSource("borrow@ q; if M[q] { X[q] ; }"),
+        FatalError);
+    EXPECT_THROW(
+        elaborateSource("borrow@ q; while M[q] { X[q]; }"),
+        FatalError);
+}
+
+TEST(Elaborate, ExtendedGatesReachTheCircuitPath)
+{
+    const auto prog = elaborateSource(R"(
+        borrow@ q[2];
+        H[q[1]];
+        SWAP[q[1], q[2]];
+        S[q[2]];
+        Z[q[1]];
+    )");
+    ASSERT_EQ(4u, prog.circuit.size());
+    EXPECT_FALSE(prog.circuit.isClassical());
+    EXPECT_EQ(ir::GateKind::H, prog.circuit.gates()[0].kind());
+    EXPECT_EQ(ir::GateKind::Swap, prog.circuit.gates()[1].kind());
+}
+
+} // namespace
+} // namespace qb::lang

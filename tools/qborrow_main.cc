@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The qborrow command-line verifier, mirroring the artifact binary of
+ * the paper (Section 10.2: `./qborrow ../examples/adder.qbr`).
+ *
+ * Reads a QBorrow program, elaborates it, and verifies the safe
+ * uncomputation of every `borrow`-introduced dirty qubit over its
+ * borrow...release lifetime.  Exit status: 0 when all dirty qubits
+ * are safe, 1 when any is unsafe or undecided, 2 on usage or input
+ * errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/verifier.h"
+#include "lang/elaborate.h"
+#include "support/logging.h"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options] program.qbr\n"
+        "\n"
+        "Verify safe uncomputation of every borrowed dirty qubit.\n"
+        "\n"
+        "options:\n"
+        "  --lane A|B        solver lane (default A; see docs)\n"
+        "  --quiet           only print the summary line\n"
+        "  --dump-circuit    print the elaborated gate list\n"
+        "  --no-cex          skip counterexample extraction\n"
+        "  --budget N        conflict budget per SAT call\n",
+        argv0);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        qb::fatal("cannot open '" + path + "'");
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    bool quiet = false;
+    bool dump = false;
+    qb::core::VerifierOptions options =
+        qb::core::VerifierOptions::laneA();
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--dump-circuit") {
+            dump = true;
+        } else if (arg == "--no-cex") {
+            options.wantCounterexample = false;
+        } else if (arg == "--lane" && i + 1 < argc) {
+            const std::string lane = argv[++i];
+            const bool want_cex = options.wantCounterexample;
+            if (lane == "A") {
+                options = qb::core::VerifierOptions::laneA();
+            } else if (lane == "B") {
+                options = qb::core::VerifierOptions::laneB();
+            } else {
+                usage(argv[0]);
+                return 2;
+            }
+            options.wantCounterexample = want_cex;
+        } else if (arg == "--budget" && i + 1 < argc) {
+            options.conflictBudget = std::atoll(argv[++i]);
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage(argv[0]);
+            return 2;
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (path.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    try {
+        const std::string source = readFile(path);
+        const auto program = qb::lang::elaborateSource(source);
+        if (dump)
+            std::printf("%s", program.circuit.toString().c_str());
+        if (!quiet) {
+            std::printf("%s: %u qubits, %zu gates\n", path.c_str(),
+                        program.circuit.numQubits(),
+                        program.circuit.size());
+        }
+        const auto result =
+            qb::core::verifyProgram(program, options);
+        if (!quiet) {
+            for (const auto &r : result.qubits) {
+                std::printf("  %-10s %s", r.name.c_str(),
+                            qb::core::verdictName(r.verdict));
+                if (r.verdict == qb::core::Verdict::Unsafe) {
+                    std::printf(
+                        " (%s restoration violated)",
+                        r.failed ==
+                                qb::core::FailedCondition::
+                                    ZeroRestoration
+                            ? "|0>"
+                            : "|+>");
+                }
+                std::printf("\n");
+                if (r.counterexample) {
+                    std::printf("    counterexample input:");
+                    for (bool b : *r.counterexample)
+                        std::printf(" %d", b ? 1 : 0);
+                    std::printf("\n");
+                }
+            }
+        }
+        std::printf("%s\n", result.summary().c_str());
+        return result.allSafe() ? 0 : 1;
+    } catch (const qb::FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * qbsat: the in-tree CDCL solver as a standalone DIMACS tool.
+ *
+ * Reads a DIMACS CNF file (or stdin with "-"), decides it, and prints
+ * the result in the SAT-competition style ("s SATISFIABLE" plus a
+ * "v" model line, or "s UNSATISFIABLE").  Exit codes follow the
+ * competition convention: 10 = SAT, 20 = UNSAT, 0 = unknown.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "sat/solver.h"
+#include "support/logging.h"
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    qb::sat::SolverConfig config = qb::sat::SolverConfig::baseline();
+    bool stats = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--simplify") {
+            config = qb::sat::SolverConfig::simplify();
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (arg == "--budget" && i + 1 < argc) {
+            config.conflictBudget = std::atoll(argv[++i]);
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--simplify] [--stats] "
+                         "[--budget N] file.cnf\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (path.empty()) {
+        std::fprintf(stderr, "usage: %s file.cnf (or - for stdin)\n",
+                     argv[0]);
+        return 2;
+    }
+
+    std::string text;
+    if (path == "-") {
+        std::ostringstream buf;
+        buf << std::cin.rdbuf();
+        text = buf.str();
+    } else {
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "error: cannot open '%s'\n",
+                         path.c_str());
+            return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+    }
+
+    try {
+        const qb::sat::Cnf cnf = qb::sat::Cnf::fromDimacs(text);
+        qb::sat::Solver solver(config);
+        solver.addCnf(cnf);
+        const qb::sat::SolveResult result = solver.solve();
+        if (stats) {
+            const auto &s = solver.stats();
+            std::printf("c conflicts %lld decisions %lld "
+                        "propagations %lld restarts %lld "
+                        "eliminated %lld\n",
+                        static_cast<long long>(s.conflicts),
+                        static_cast<long long>(s.decisions),
+                        static_cast<long long>(s.propagations),
+                        static_cast<long long>(s.restarts),
+                        static_cast<long long>(s.eliminatedVars));
+        }
+        switch (result) {
+          case qb::sat::SolveResult::Sat: {
+            std::printf("s SATISFIABLE\nv");
+            for (qb::sat::Var v = 0; v < cnf.numVars(); ++v) {
+                const bool value =
+                    solver.modelValue(v) == qb::sat::LBool::True;
+                std::printf(" %d", (value ? 1 : -1) * (v + 1));
+            }
+            std::printf(" 0\n");
+            return 10;
+          }
+          case qb::sat::SolveResult::Unsat:
+            std::printf("s UNSATISFIABLE\n");
+            return 20;
+          case qb::sat::SolveResult::Unknown:
+            std::printf("s UNKNOWN\n");
+            return 0;
+        }
+    } catch (const qb::FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+    return 0;
+}

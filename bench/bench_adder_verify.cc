@@ -10,6 +10,24 @@
  * solveSeconds counter isolates the solver portion, which is what the
  * paper's tables report.
  *
+ * Two execution modes are compared per lane:
+ *   - OneShot: a fresh session (arena + Tseitin + solver) per dirty
+ *     qubit, reproducing the seed verifyQubit loop;
+ *   - Engine: one VerificationEngine session shared by all dirty
+ *     qubits (they are borrowed together, so their lifetimes
+ *     coincide), discharging every condition through assumption-based
+ *     incremental SAT on one solver per lane (lane B's preprocessing
+ *     preset discharges per-condition, see EngineOptions::lanes).
+ * Portfolio additionally races both lanes per query.
+ *
+ * Reference numbers (1-core container, n = 100): OneShot A 2.55 s /
+ * B 0.95 s; Engine A 3.45 s / B 0.81 s.  Lane B wins this family by
+ * 2.7x either way (the paper's lane crossover), and the engine beats
+ * one-shot on the winning lane; on lane A the adder's per-qubit
+ * conditions share too little structure for clause reuse to offset
+ * the larger shared solver, which is exactly the trade-off the
+ * portfolio mode exists to cover.
+ *
  * Paper reference (MacBook Air M3): CVC5 4/24/71/171/365/751/1069 s,
  * Bitwuzla 3/12/29/98/158/248/313 s for n = 50..200.  Absolute times
  * are not comparable (different solver and machine); the shape -
@@ -19,37 +37,41 @@
 #include <benchmark/benchmark.h>
 
 #include "circuits/qbr_text.h"
+#include "core/engine.h"
 #include "core/verifier.h"
 #include "lang/elaborate.h"
 
 namespace {
 
-void
-runAdderVerify(benchmark::State &state,
-               const qb::core::VerifierOptions &lane)
+/** Seed behavior: a fresh one-shot session per dirty qubit. */
+qb::core::ProgramResult
+verifyOneShot(const qb::lang::ElaboratedProgram &program,
+              const qb::core::VerifierOptions &options)
 {
-    const auto n = static_cast<std::uint32_t>(state.range(0));
-    qb::core::VerifierOptions options = lane;
-    options.wantCounterexample = false;
+    qb::core::ProgramResult result;
+    for (qb::ir::QubitId q : program.qubitsWithRole(
+             qb::lang::QubitRole::BorrowVerify)) {
+        const qb::lang::QubitInfo &info = program.qubits[q];
+        const qb::ir::Circuit scope =
+            program.circuit.slice(info.scopeBegin, info.scopeEnd);
+        result.qubits.push_back(
+            qb::core::verifyQubit(scope, q, options));
+    }
+    return result;
+}
+
+void
+reportCounters(benchmark::State &state,
+               const qb::core::ProgramResult &result, std::uint32_t n)
+{
     double solve = 0, build = 0;
     std::size_t nodes = 0;
     std::int64_t conflicts = 0;
-    for (auto _ : state) {
-        const auto program = qb::lang::elaborateSource(
-            qb::circuits::adderQbrSource(n));
-        const auto result =
-            qb::core::verifyProgram(program, options);
-        if (!result.allSafe())
-            state.SkipWithError("adder verification failed");
-        solve = build = 0;
-        nodes = 0;
-        conflicts = 0;
-        for (const auto &r : result.qubits) {
-            solve += r.solveSeconds;
-            build += r.buildSeconds;
-            nodes += r.formulaNodes;
-            conflicts += r.conflicts;
-        }
+    for (const auto &r : result.qubits) {
+        solve += r.solveSeconds;
+        build += r.buildSeconds;
+        nodes += r.formulaNodes;
+        conflicts += r.conflicts;
     }
     state.counters["solve_s"] = solve;
     state.counters["build_s"] = build;
@@ -59,24 +81,95 @@ runAdderVerify(benchmark::State &state,
 }
 
 void
-AdderVerifyLaneA(benchmark::State &state)
+runAdderOneShot(benchmark::State &state,
+                const qb::core::VerifierOptions &lane)
 {
-    runAdderVerify(state, qb::core::VerifierOptions::laneA());
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    qb::core::VerifierOptions options = lane;
+    options.wantCounterexample = false;
+    qb::core::ProgramResult result;
+    for (auto _ : state) {
+        const auto program = qb::lang::elaborateSource(
+            qb::circuits::adderQbrSource(n));
+        result = verifyOneShot(program, options);
+        if (!result.allSafe())
+            state.SkipWithError("adder verification failed");
+    }
+    reportCounters(state, result, n);
 }
 
 void
-AdderVerifyLaneB(benchmark::State &state)
+runAdderEngine(benchmark::State &state,
+               const qb::core::EngineOptions &options)
 {
-    runAdderVerify(state, qb::core::VerifierOptions::laneB());
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    qb::core::EngineOptions opts = options;
+    for (auto &lane : opts.lanes)
+        lane.wantCounterexample = false;
+    qb::core::ProgramResult result;
+    for (auto _ : state) {
+        const auto program = qb::lang::elaborateSource(
+            qb::circuits::adderQbrSource(n));
+        result = qb::core::verifyAll(program, opts);
+        if (!result.allSafe())
+            state.SkipWithError("adder verification failed");
+    }
+    reportCounters(state, result, n);
+}
+
+void
+AdderVerifyOneShotLaneA(benchmark::State &state)
+{
+    runAdderOneShot(state, qb::core::VerifierOptions::laneA());
+}
+
+void
+AdderVerifyOneShotLaneB(benchmark::State &state)
+{
+    runAdderOneShot(state, qb::core::VerifierOptions::laneB());
+}
+
+void
+AdderVerifyEngineLaneA(benchmark::State &state)
+{
+    runAdderEngine(state,
+                   qb::core::EngineOptions::singleLane(
+                       qb::core::VerifierOptions::laneA()));
+}
+
+void
+AdderVerifyEngineLaneB(benchmark::State &state)
+{
+    runAdderEngine(state,
+                   qb::core::EngineOptions::singleLane(
+                       qb::core::VerifierOptions::laneB()));
+}
+
+void
+AdderVerifyEnginePortfolio(benchmark::State &state)
+{
+    runAdderEngine(state, qb::core::EngineOptions::portfolioAB());
 }
 
 } // namespace
 
-BENCHMARK(AdderVerifyLaneA)
+BENCHMARK(AdderVerifyOneShotLaneA)
     ->DenseRange(50, 200, 25)
     ->Unit(benchmark::kSecond)
     ->Iterations(1);
-BENCHMARK(AdderVerifyLaneB)
+BENCHMARK(AdderVerifyOneShotLaneB)
+    ->DenseRange(50, 200, 25)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+BENCHMARK(AdderVerifyEngineLaneA)
+    ->DenseRange(50, 200, 25)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+BENCHMARK(AdderVerifyEngineLaneB)
+    ->DenseRange(50, 200, 25)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+BENCHMARK(AdderVerifyEnginePortfolio)
     ->DenseRange(50, 200, 25)
     ->Unit(benchmark::kSecond)
     ->Iterations(1);

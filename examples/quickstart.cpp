@@ -2,16 +2,18 @@
  * @file
  * Quickstart: the 60-second tour of the qborrow API.
  *
- * Parses an inline QBorrow program, verifies the safe uncomputation
- * of every `borrow`-introduced dirty qubit, and prints the report.
+ * Parses an inline QBorrow program and verifies the safe uncomputation
+ * of every `borrow`-introduced dirty qubit through the session-based
+ * VerificationEngine API, streaming each result as it is produced.
  *
  * Build and run:
- *   cmake -B build -G Ninja && cmake --build build
- *   ./build/examples/quickstart
+ *   cmake -B build -S . && cmake --build build
+ *   ./build/quickstart
  */
 
 #include <cstdio>
 
+#include "core/engine.h"
 #include "core/verifier.h"
 #include "lang/elaborate.h"
 
@@ -40,19 +42,24 @@ main()
     std::printf("program: %u qubits, %zu gates\n",
                 program.circuit.numQubits(), program.circuit.size());
 
-    // Verify every dirty qubit (Theorem 6.4: two UNSAT checks each).
-    const qb::core::ProgramResult result =
-        qb::core::verifyProgram(program);
+    // Verify every dirty qubit (Theorem 6.4: two UNSAT checks each)
+    // through an engine session: qubits sharing a lifetime share one
+    // formula arena and one incremental solver per lane, and the
+    // observer sees each result the moment it is decided.
+    const qb::core::ProgramResult result = qb::core::verifyAll(
+        program, qb::core::EngineOptions{},
+        [](const qb::core::QubitResult &r) {
+            std::printf("  %-6s -> %s%s\n", r.name.c_str(),
+                        qb::core::verdictName(r.verdict),
+                        r.solvedStructurally
+                            ? " (discharged during construction)"
+                            : "");
+        });
     std::printf("%s\n", result.summary().c_str());
-    for (const qb::core::QubitResult &r : result.qubits) {
-        std::printf("  %-6s -> %s%s\n", r.name.c_str(),
-                    qb::core::verdictName(r.verdict),
-                    r.solvedStructurally
-                        ? " (discharged during construction)"
-                        : "");
-    }
 
     // An unsafe variant: forget one of the uncomputation Toffolis.
+    // verifySource() is the one-shot compatibility wrapper - handy
+    // when there is a single program string and nothing to reuse.
     const qb::core::ProgramResult broken =
         qb::core::verifySource(R"(
             borrow@ q[4];

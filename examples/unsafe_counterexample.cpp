@@ -13,7 +13,9 @@
 #include <cstdio>
 
 #include "circuits/paper_figures.h"
+#include "core/engine.h"
 #include "core/reference.h"
+#include "core/report.h"
 #include "core/verifier.h"
 #include "sim/statevector.h"
 
@@ -32,12 +34,17 @@ main()
                 qb::core::safeAsCleanQubit(circuit, a) ? "yes" : "no");
 
     // 2. The paper's verifier: formula (6.1) passes but (6.2) fails.
-    const qb::core::QubitResult r = qb::core::verifyQubit(circuit, a);
+    // An engine session keeps the circuit's formulas and solver warm,
+    // so asking about further qubits of the same circuit is cheap.
+    qb::core::VerificationEngine engine(circuit);
+    const qb::core::QubitResult r = engine.verify(a);
     std::printf("safe as a DIRTY qubit (Theorem 6.4): %s\n",
                 qb::core::verdictName(r.verdict));
     if (r.failed == qb::core::FailedCondition::PlusRestoration)
         std::printf("  violated condition: |+> restoration "
                     "(formula (6.2) satisfiable)\n");
+    std::printf("machine-readable result: %s\n",
+                qb::core::toJson(r).c_str());
 
     // 3. Physical evidence: start a in |+>, the other qubit in |0>.
     qb::sim::StateVector sv(circuit.numQubits());

@@ -5,13 +5,16 @@
  * and verify the safe uncomputation of all n-1 dirty qubits, printing
  * per-phase timings.  Mirrors the artifact's `make adder` target.
  *
- * Usage: verify_adder [n]      (default n = 50, as in adder.qbr)
+ * Usage: verify_adder [n] [--portfolio]
+ *                              (default n = 50, as in adder.qbr)
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "circuits/qbr_text.h"
+#include "core/engine.h"
 #include "core/verifier.h"
 #include "lang/elaborate.h"
 #include "support/timer.h"
@@ -20,15 +23,21 @@ int
 main(int argc, char **argv)
 {
     std::uint32_t n = 50;
-    if (argc > 1)
-        n = static_cast<std::uint32_t>(std::atoi(argv[1]));
+    bool portfolio = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--portfolio") == 0)
+            portfolio = true;
+        else
+            n = static_cast<std::uint32_t>(std::atoi(argv[i]));
+    }
     if (n < 3) {
         std::fprintf(stderr, "n must be >= 3\n");
         return 2;
     }
 
     const std::string source = qb::circuits::adderQbrSource(n);
-    std::printf("== adder.qbr with n = %u ==\n", n);
+    std::printf("== adder.qbr with n = %u%s ==\n", n,
+                portfolio ? " (portfolio)" : "");
 
     qb::Timer frontend;
     const auto program = qb::lang::elaborateSource(source);
@@ -36,9 +45,15 @@ main(int argc, char **argv)
                 program.circuit.numQubits(), program.circuit.size(),
                 frontend.seconds());
 
-    qb::core::VerifierOptions options;
-    options.wantCounterexample = false;
-    const auto result = qb::core::verifyProgram(program, options);
+    // One engine session covers all n-1 dirty qubits: they are
+    // borrowed together, so they share one arena and one incremental
+    // solver per lane.
+    qb::core::EngineOptions options = portfolio
+        ? qb::core::EngineOptions::portfolioAB()
+        : qb::core::EngineOptions{};
+    for (auto &lane : options.lanes)
+        lane.wantCounterexample = false;
+    const auto result = qb::core::verifyAll(program, options);
 
     double build = 0, encode = 0, solve = 0;
     std::size_t structural = 0;

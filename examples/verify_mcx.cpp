@@ -13,6 +13,7 @@
 #include <cstdlib>
 
 #include "circuits/qbr_text.h"
+#include "core/engine.h"
 #include "core/verifier.h"
 #include "lang/elaborate.h"
 #include "support/timer.h"
@@ -43,7 +44,8 @@ main(int argc, char **argv)
             ? qb::sat::SolverConfig::baseline()
             : qb::sat::SolverConfig::simplify();
         options.wantCounterexample = false;
-        const auto result = qb::core::verifyProgram(program, options);
+        const auto result = qb::core::verifyAll(
+            program, qb::core::EngineOptions::singleLane(options));
         const auto &r = result.qubits.at(0);
         std::printf("%-9s: %s -> %s (build %.3f s, solve %.3f s, "
                     "%zu formula nodes)\n",

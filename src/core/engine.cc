@@ -1,0 +1,471 @@
+#include "core/engine.h"
+
+#include <atomic>
+#include <map>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "core/formula_builder.h"
+#include "support/logging.h"
+#include "support/timer.h"
+
+namespace qb::core {
+
+EngineOptions
+EngineOptions::singleLane(const VerifierOptions &options)
+{
+    EngineOptions o;
+    o.lanes = {options};
+    o.portfolio = false;
+    return o;
+}
+
+EngineOptions
+EngineOptions::portfolioAB()
+{
+    EngineOptions o;
+    o.lanes = {VerifierOptions::laneA(), VerifierOptions::laneB()};
+    o.portfolio = true;
+    return o;
+}
+
+namespace {
+
+/**
+ * Solver configuration for a long-lived lane.  Bounded variable
+ * elimination is a whole-database transformation that is unsound once
+ * selector-guarded conditions and learnt clauses accumulate, so it is
+ * disabled regardless of the lane preset; the presets keep their
+ * branching/restart/phase identities.
+ */
+sat::SolverConfig
+incrementalConfig(const VerifierOptions &options)
+{
+    sat::SolverConfig cfg = options.solver;
+    cfg.preprocess = false;
+    cfg.conflictBudget = options.conflictBudget;
+    return cfg;
+}
+
+/** Satisfying input assignment (by qubit id) from a solver model. */
+std::vector<bool>
+extractModel(const std::unordered_map<std::uint32_t, sat::Var> &inputs,
+             const sat::Solver &solver, std::uint32_t num_qubits)
+{
+    std::vector<bool> model(num_qubits, false);
+    for (const auto &[input, solver_var] : inputs)
+        model[input] =
+            solver.modelValue(solver_var) == sat::LBool::True;
+    return model;
+}
+
+} // namespace
+
+/** One lane: a persistent solver plus its incremental encoder. */
+struct VerificationEngine::Lane
+{
+    int index;
+    VerifierOptions options;
+    sat::Solver solver;
+    sat::IncrementalTseitin encoder;
+
+    Lane(int idx, const VerifierOptions &opts, const bexp::Arena &arena)
+        : index(idx), options(opts), solver(incrementalConfig(opts)),
+          encoder(arena, solver, opts.encoding, opts.xorChunk)
+    {
+        // The arena holds exactly the circuit's qubit formulas at lane
+        // construction time: that region sits in every condition's
+        // cone, so its definitions stay unguarded and the conflict
+        // clauses learnt over it transfer between queries.
+        encoder.markSessionShared();
+    }
+};
+
+/** Cached per-qubit verification conditions (6.1) and (6.2). */
+struct VerificationEngine::Conditions
+{
+    bexp::NodeRef zero = bexp::kFalse;
+    bexp::NodeRef plus = bexp::kFalse;
+    std::size_t nodes = 0;
+};
+
+/** Result of deciding one condition in one lane (or structurally). */
+struct VerificationEngine::LaneOutcome
+{
+    sat::SolveResult result = sat::SolveResult::Unknown;
+    std::optional<std::vector<bool>> model;
+    double encodeSeconds = 0.0;
+    double solveSeconds = 0.0;
+    std::int64_t conflicts = 0;
+    std::size_t vars = 0;
+    std::size_t clauses = 0;
+    int lane = -1;
+    bool structural = false;
+};
+
+VerificationEngine::VerificationEngine(const ir::Circuit &circuit,
+                                       EngineOptions options)
+    : options_(std::move(options)), circuit_(circuit)
+{
+    if (options_.lanes.empty())
+        options_.lanes = {VerifierOptions::laneA()};
+    classical = circuit_.isClassical();
+    const std::uint32_t n = circuit_.numQubits();
+    conditionCache.resize(n);
+    cleanCache.assign(n, std::nullopt);
+    if (classical) {
+        Timer build_timer;
+        FormulaBuilder builder(arena, n);
+        builder.applyCircuit(circuit_);
+        finals.reserve(n);
+        for (std::uint32_t q = 0; q < n; ++q)
+            finals.push_back(builder.formula(q));
+        engineStats.formulaBuildSeconds = build_timer.seconds();
+    }
+    int index = 0;
+    for (const VerifierOptions &lane_options : options_.lanes)
+        lanes_.push_back(
+            std::make_unique<Lane>(index++, lane_options, arena));
+}
+
+VerificationEngine::~VerificationEngine() = default;
+
+const VerificationEngine::Conditions &
+VerificationEngine::conditionsFor(ir::QubitId q)
+{
+    if (conditionCache[q]) {
+        ++engineStats.conditionHits;
+        return *conditionCache[q];
+    }
+    auto conds = std::make_unique<Conditions>();
+    const std::uint32_t n = circuit_.numQubits();
+
+    // Formula (6.1): b_q AND NOT q - satisfiable iff some input with
+    // q = 0 ends with q = 1, i.e. |0> is not restored.
+    const bexp::NodeRef b_q = finals[q];
+    conds->zero =
+        arena.mkAnd({b_q, arena.mkNot(arena.mkVar(q))});
+
+    // Formula (6.2): OR over the other qubits of the XOR of the two
+    // cofactors - satisfiable iff some other output depends on q,
+    // i.e. |+> is not restored.
+    std::vector<bexp::NodeRef> disjuncts;
+    for (std::uint32_t other = 0; other < n; ++other) {
+        if (other == q)
+            continue;
+        const bexp::NodeRef b_other = finals[other];
+        const bexp::NodeRef cof0 =
+            arena.substitute(b_other, q, bexp::kFalse);
+        const bexp::NodeRef cof1 =
+            arena.substitute(b_other, q, bexp::kTrue);
+        const bexp::NodeRef diff = arena.mkXor({cof0, cof1});
+        if (diff != bexp::kFalse)
+            disjuncts.push_back(diff);
+    }
+    conds->plus = arena.mkOr(std::move(disjuncts));
+    conds->nodes =
+        arena.dagSize(conds->zero) + arena.dagSize(conds->plus);
+    conditionCache[q] = std::move(conds);
+    return *conditionCache[q];
+}
+
+VerificationEngine::LaneOutcome
+VerificationEngine::scratchDecide(Lane &lane, bexp::NodeRef condition,
+                                  const std::atomic<bool> *stop)
+{
+    // Lanes whose preset asks for preprocessing discharge each
+    // condition in a dedicated solver: bounded variable elimination
+    // is a whole-database transformation that is unsound once
+    // selector-guarded conditions and learnt clauses accumulate, and
+    // for these lanes it is worth far more than clause reuse (the
+    // paper's "formula simplification algorithms" trade-off).
+    LaneOutcome outcome;
+    outcome.lane = lane.index;
+    Timer encode_timer;
+    sat::TseitinResult enc = sat::encodeAssertTrue(
+        arena, condition, lane.options.encoding,
+        lane.options.xorChunk);
+    outcome.encodeSeconds = encode_timer.seconds();
+    qbAssert(!enc.rootIsConst, "constant conditions decide upstream");
+    outcome.vars = static_cast<std::size_t>(enc.cnf.numVars());
+    outcome.clauses = enc.cnf.numClauses();
+
+    sat::SolverConfig config = lane.options.solver;
+    config.conflictBudget = lane.options.conflictBudget;
+    sat::Solver solver(config);
+    solver.setStopFlag(stop);
+    solver.addCnf(enc.cnf);
+    Timer solve_timer;
+    outcome.result = solver.solve();
+    outcome.solveSeconds = solve_timer.seconds();
+    outcome.conflicts = solver.stats().conflicts;
+
+    if (outcome.result == sat::SolveResult::Sat &&
+        lane.options.wantCounterexample)
+        outcome.model =
+            extractModel(enc.inputVar, solver, circuit_.numQubits());
+    return outcome;
+}
+
+VerificationEngine::LaneOutcome
+VerificationEngine::laneDecide(Lane &lane, bexp::NodeRef condition,
+                               const std::atomic<bool> *stop)
+{
+    if (lane.options.solver.preprocess)
+        return scratchDecide(lane, condition, stop);
+    LaneOutcome outcome;
+    outcome.lane = lane.index;
+    Timer encode_timer;
+    const std::size_t vars_before = lane.encoder.varsCreated();
+    const std::size_t clauses_before = lane.encoder.clausesEmitted();
+    const sat::IncrementalTseitin::Selector sel =
+        lane.encoder.assertCondition(condition);
+    outcome.encodeSeconds = encode_timer.seconds();
+    outcome.vars = lane.encoder.varsCreated() - vars_before;
+    outcome.clauses = lane.encoder.clausesEmitted() - clauses_before;
+    // decide() resolves constant conditions before involving a lane.
+    qbAssert(!sel.rootIsConst, "constant conditions decide upstream");
+
+    // Epoch-style retention between queries: carry over only the
+    // high-value (low-LBD) conflict clauses.  They are what makes
+    // repeated or structurally-related queries cheap, while the bulk
+    // of the learnt database would tax every propagation.
+    lane.solver.shrinkLearnts(3);
+    lane.solver.setConflictBudget(lane.options.conflictBudget);
+    lane.solver.setStopFlag(stop);
+    const std::int64_t conflicts_before =
+        lane.solver.stats().conflicts;
+    Timer solve_timer;
+    outcome.result = lane.solver.solve({sel.lit});
+    outcome.solveSeconds = solve_timer.seconds();
+    outcome.conflicts =
+        lane.solver.stats().conflicts - conflicts_before;
+    lane.solver.setStopFlag(nullptr);
+
+    if (outcome.result == sat::SolveResult::Sat &&
+        lane.options.wantCounterexample)
+        outcome.model = extractModel(lane.encoder.inputVars(),
+                                     lane.solver,
+                                     circuit_.numQubits());
+    return outcome;
+}
+
+VerificationEngine::LaneOutcome
+VerificationEngine::decide(bexp::NodeRef condition, QubitResult &out)
+{
+    LaneOutcome outcome;
+    if (arena.isConst(condition)) {
+        // Construction-time simplification discharged the condition
+        // outright (the paper's Figure 6.1 observation).
+        ++engineStats.structural;
+        outcome.structural = true;
+        outcome.result = arena.constValue(condition)
+            ? sat::SolveResult::Sat
+            : sat::SolveResult::Unsat;
+        if (outcome.result == sat::SolveResult::Sat &&
+            lanes_.front()->options.wantCounterexample)
+            outcome.model =
+                std::vector<bool>(circuit_.numQubits(), false);
+    } else if (!options_.portfolio || lanes_.size() == 1) {
+        engineStats.satCalls += 1;
+        outcome = laneDecide(*lanes_.front(), condition, nullptr);
+    } else {
+        engineStats.satCalls += lanes_.size();
+        std::atomic<bool> stop{false};
+        std::vector<LaneOutcome> raced(lanes_.size());
+        std::vector<std::thread> threads;
+        threads.reserve(lanes_.size());
+        for (std::size_t i = 0; i < lanes_.size(); ++i) {
+            threads.emplace_back([this, i, condition, &stop, &raced] {
+                raced[i] = laneDecide(*lanes_[i], condition, &stop);
+                if (raced[i].result != sat::SolveResult::Unknown)
+                    stop.store(true, std::memory_order_relaxed);
+            });
+        }
+        for (std::thread &t : threads)
+            t.join();
+        // Take the first definitive answer (lanes agree whenever more
+        // than one finishes); all Unknown means every budget ran out.
+        outcome = raced.front();
+        for (const LaneOutcome &o : raced) {
+            if (o.result != sat::SolveResult::Unknown) {
+                outcome = o;
+                break;
+            }
+        }
+    }
+    out.encodeSeconds += outcome.encodeSeconds;
+    out.solveSeconds += outcome.solveSeconds;
+    out.cnfVars += outcome.vars;
+    out.cnfClauses += outcome.clauses;
+    out.conflicts += outcome.conflicts;
+    if (outcome.lane >= 0)
+        out.lane = outcome.lane;
+    return outcome;
+}
+
+void
+VerificationEngine::finishUnsafe(QubitResult &out,
+                                 const LaneOutcome &outcome,
+                                 FailedCondition which)
+{
+    out.verdict = Verdict::Unsafe;
+    out.failed = which;
+    out.counterexample = outcome.model;
+}
+
+QubitResult
+VerificationEngine::verify(ir::QubitId q)
+{
+    QubitResult out;
+    out.qubit = q;
+    out.name = circuit_.label(q);
+    qbAssert(q < circuit_.numQubits(), "verify: qubit out of range");
+    if (!classical) {
+        out.verdict = Verdict::NotClassical;
+        return out;
+    }
+    ++engineStats.qubitsVerified;
+
+    Timer build_timer;
+    const Conditions &conds = conditionsFor(q);
+    out.buildSeconds = build_timer.seconds();
+    out.formulaNodes = conds.nodes;
+    out.solvedStructurally =
+        arena.isConst(conds.zero) && arena.isConst(conds.plus);
+
+    const LaneOutcome zero = decide(conds.zero, out);
+    if (zero.result == sat::SolveResult::Sat) {
+        finishUnsafe(out, zero, FailedCondition::ZeroRestoration);
+        return out;
+    }
+    if (zero.result == sat::SolveResult::Unknown) {
+        out.verdict = Verdict::Unknown;
+        return out;
+    }
+
+    const LaneOutcome plus = decide(conds.plus, out);
+    if (plus.result == sat::SolveResult::Sat) {
+        finishUnsafe(out, plus, FailedCondition::PlusRestoration);
+        return out;
+    }
+    if (plus.result == sat::SolveResult::Unknown) {
+        out.verdict = Verdict::Unknown;
+        return out;
+    }
+    out.verdict = Verdict::Safe;
+    return out;
+}
+
+QubitResult
+VerificationEngine::verifyCleanAncilla(ir::QubitId q)
+{
+    QubitResult out;
+    out.qubit = q;
+    out.name = circuit_.label(q);
+    qbAssert(q < circuit_.numQubits(),
+             "verifyCleanAncilla: qubit out of range");
+    if (!classical) {
+        out.verdict = Verdict::NotClassical;
+        return out;
+    }
+    ++engineStats.qubitsVerified;
+
+    Timer build_timer;
+    // The ancilla starts in |0>, so only the q = 0 cofactor of its
+    // final value matters: it must be identically 0.
+    bexp::NodeRef residue;
+    if (cleanCache[q]) {
+        ++engineStats.conditionHits;
+        residue = *cleanCache[q];
+    } else {
+        residue = arena.substitute(finals[q], q, bexp::kFalse);
+        cleanCache[q] = residue;
+    }
+    out.buildSeconds = build_timer.seconds();
+    out.formulaNodes = arena.dagSize(residue);
+    out.solvedStructurally = arena.isConst(residue);
+
+    const LaneOutcome res = decide(residue, out);
+    switch (res.result) {
+      case sat::SolveResult::Unsat:
+        out.verdict = Verdict::Safe;
+        break;
+      case sat::SolveResult::Sat:
+        finishUnsafe(out, res, FailedCondition::ZeroRestoration);
+        break;
+      case sat::SolveResult::Unknown:
+        out.verdict = Verdict::Unknown;
+        break;
+    }
+    return out;
+}
+
+ProgramResult
+VerificationEngine::verifyAllQubits(const ResultObserver &observer)
+{
+    ProgramResult result;
+    Timer timer;
+    for (ir::QubitId q = 0; q < circuit_.numQubits(); ++q) {
+        result.qubits.push_back(verify(q));
+        if (observer)
+            observer(result.qubits.back());
+    }
+    result.totalSeconds = timer.seconds();
+    return result;
+}
+
+ProgramResult
+verifyAll(const lang::ElaboratedProgram &program,
+          const EngineOptions &options, const ResultObserver &observer,
+          bool check_clean_ancillas)
+{
+    ProgramResult result;
+    Timer timer;
+
+    // One session per distinct borrow...release lifetime: qubits whose
+    // scopes coincide (e.g. adder.qbr's a[1..n-1], all borrowed and
+    // released together) share one arena and one solver per lane.
+    std::map<std::pair<std::size_t, std::size_t>,
+             std::unique_ptr<VerificationEngine>>
+        sessions;
+    const auto sessionFor =
+        [&](const lang::QubitInfo &info) -> VerificationEngine & {
+        const auto key = std::make_pair(info.scopeBegin, info.scopeEnd);
+        auto it = sessions.find(key);
+        if (it == sessions.end()) {
+            it = sessions
+                     .emplace(key,
+                              std::make_unique<VerificationEngine>(
+                                  program.circuit.slice(info.scopeBegin,
+                                                        info.scopeEnd),
+                                  options))
+                     .first;
+        }
+        return *it->second;
+    };
+
+    const auto emit = [&](QubitResult qubit_result) {
+        result.qubits.push_back(std::move(qubit_result));
+        if (observer)
+            observer(result.qubits.back());
+    };
+
+    for (ir::QubitId q :
+         program.qubitsWithRole(lang::QubitRole::BorrowVerify)) {
+        // Definition 5.1: verify over the statements inside the
+        // qubit's borrow ... release lifetime.
+        emit(sessionFor(program.qubits[q]).verify(q));
+    }
+    if (check_clean_ancillas) {
+        for (ir::QubitId q :
+             program.qubitsWithRole(lang::QubitRole::Alloc)) {
+            emit(sessionFor(program.qubits[q]).verifyCleanAncilla(q));
+        }
+    }
+    result.totalSeconds = timer.seconds();
+    return result;
+}
+
+} // namespace qb::core

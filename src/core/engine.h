@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Session-based, incremental, portfolio verification engine.
+ *
+ * The one-shot entry points of verifier.h rebuild everything per qubit:
+ * a fresh arena, a fresh Tseitin encoding and a fresh CDCL solver for
+ * every formula of every qubit, even though all qubits of a circuit
+ * share the same gate DAG and most of the same CNF.  A
+ * VerificationEngine is the session object that hoists the shared work:
+ *
+ *   - ONE bexp::Arena and ONE FormulaBuilder pass over the circuit,
+ *     shared by all per-qubit conditions (6.1), (6.2) and the
+ *     clean-ancilla criterion;
+ *   - ONE long-lived solver per configured lane, queried through
+ *     assumption-based incremental SAT (sat::IncrementalTseitin emits
+ *     each condition behind a selector literal), so conflict clauses
+ *     learnt while verifying one qubit speed up the next;
+ *   - an optional PORTFOLIO mode racing all lanes on every query
+ *     across threads with first-finisher cancellation, reproducing the
+ *     paper's CVC5-vs-Bitwuzla complementarity without having to guess
+ *     the winning solver per benchmark family up front.
+ *
+ * The free functions of verifier.h remain as thin compatibility
+ * wrappers over this class.
+ */
+
+#ifndef QB_CORE_ENGINE_H
+#define QB_CORE_ENGINE_H
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "boolexpr/arena.h"
+#include "core/verifier.h"
+
+namespace qb::core {
+
+/** Configuration of a verification session. */
+struct EngineOptions
+{
+    /**
+     * Lane configurations; the engine keeps one incremental solver per
+     * lane for its whole lifetime.  Exception: a lane whose preset
+     * enables preprocessing discharges each condition in a dedicated
+     * solver instead - bounded variable elimination is a
+     * whole-database transformation that cannot survive incremental
+     * clause addition, and for such lanes it outweighs clause reuse.
+     */
+    std::vector<VerifierOptions> lanes{VerifierOptions::laneA()};
+
+    /**
+     * Race every lane on every SAT query across threads; the first
+     * definitive answer wins and cancels the rest.  With a single lane
+     * this is a no-op.
+     */
+    bool portfolio = false;
+
+    /** Session with exactly one lane (the compatibility default). */
+    static EngineOptions singleLane(const VerifierOptions &options);
+    /** Both benchmark lanes racing, like the paper's solver pairing. */
+    static EngineOptions portfolioAB();
+};
+
+/** Streaming consumer of per-qubit results (batch verification). */
+using ResultObserver = std::function<void(const QubitResult &)>;
+
+/**
+ * A verification session over one circuit.
+ *
+ * Construction runs the linear formula-building scan once; every
+ * verify()/verifyCleanAncilla() call afterwards only pays for its own
+ * conditions and SAT queries.  Sessions are single-threaded objects
+ * (portfolio parallelism is internal).
+ */
+class VerificationEngine
+{
+  public:
+    /** Cumulative session counters. */
+    struct Stats
+    {
+        std::size_t satCalls = 0;        ///< solver queries issued
+        std::size_t structural = 0;      ///< conditions folded to const
+        std::size_t conditionHits = 0;   ///< condition cache hits
+        std::size_t qubitsVerified = 0;
+        double formulaBuildSeconds = 0.0; ///< one-time circuit scan
+    };
+
+    explicit VerificationEngine(const ir::Circuit &circuit,
+                                EngineOptions options = {});
+    ~VerificationEngine();
+
+    VerificationEngine(const VerificationEngine &) = delete;
+    VerificationEngine &operator=(const VerificationEngine &) = delete;
+
+    /**
+     * Verify safe uncomputation of dirty qubit @p q (Theorem 6.4),
+     * like verifyQubit() but reusing all session state.
+     */
+    QubitResult verify(ir::QubitId q);
+
+    /**
+     * Verify the clean-ancilla criterion for @p q, like the free
+     * verifyCleanAncilla() but reusing all session state.
+     */
+    QubitResult verifyCleanAncilla(ir::QubitId q);
+
+    /**
+     * Verify every qubit of the circuit in id order, streaming each
+     * result through @p observer (when set) as it is produced.
+     */
+    ProgramResult verifyAllQubits(const ResultObserver &observer = {});
+
+    const ir::Circuit &circuit() const { return circuit_; }
+    const EngineOptions &options() const { return options_; }
+    std::size_t numLanes() const { return lanes_.size(); }
+    const Stats &stats() const { return engineStats; }
+
+  private:
+    struct Lane;
+    struct Conditions;
+    struct LaneOutcome;
+
+    const Conditions &conditionsFor(ir::QubitId q);
+    LaneOutcome decide(bexp::NodeRef condition, QubitResult &out);
+    LaneOutcome laneDecide(Lane &lane, bexp::NodeRef condition,
+                           const std::atomic<bool> *stop);
+    LaneOutcome scratchDecide(Lane &lane, bexp::NodeRef condition,
+                              const std::atomic<bool> *stop);
+    void finishUnsafe(QubitResult &out, const LaneOutcome &outcome,
+                      FailedCondition which);
+
+    EngineOptions options_;
+    ir::Circuit circuit_;
+    bexp::Arena arena;
+    bool classical = false;
+    /** Final formula b_q per qubit (valid when classical). */
+    std::vector<bexp::NodeRef> finals;
+    std::vector<std::unique_ptr<Lane>> lanes_;
+    std::vector<std::unique_ptr<Conditions>> conditionCache;
+    std::vector<std::optional<bexp::NodeRef>> cleanCache;
+    Stats engineStats;
+};
+
+/**
+ * Batch-verify an elaborated program: every `borrow`-introduced qubit
+ * over its borrow...release lifetime and (optionally) every `alloc`
+ * qubit against the clean-ancilla criterion, exactly like
+ * verifyProgram() but through engine sessions.
+ *
+ * Qubits whose lifetimes span the same gate range share one session -
+ * one arena, one solver per lane - which is where the incremental
+ * speedup comes from on programs like adder.qbr whose dirty qubits are
+ * borrowed together.  Results stream through @p observer (when set) as
+ * they are produced.
+ */
+ProgramResult verifyAll(const lang::ElaboratedProgram &program,
+                        const EngineOptions &options = {},
+                        const ResultObserver &observer = {},
+                        bool check_clean_ancillas = false);
+
+} // namespace qb::core
+
+#endif // QB_CORE_ENGINE_H

@@ -1,0 +1,117 @@
+#include "core/report.h"
+
+#include "support/strings.h"
+
+namespace qb::core {
+
+namespace {
+
+/** Minimal JSON string escaping (control chars, quote, backslash). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += format("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+const char *
+failedConditionName(FailedCondition failed)
+{
+    switch (failed) {
+      case FailedCondition::None:            return "none";
+      case FailedCondition::ZeroRestoration: return "zero-restoration";
+      case FailedCondition::PlusRestoration: return "plus-restoration";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+toJson(const QubitResult &r)
+{
+    std::string out = "{";
+    out += format("\"qubit\": %u, ", r.qubit);
+    out += format("\"name\": \"%s\", ", jsonEscape(r.name).c_str());
+    out += format("\"verdict\": \"%s\", ", verdictName(r.verdict));
+    out += format("\"failed_condition\": \"%s\", ",
+                  failedConditionName(r.failed));
+    if (r.lane >= 0)
+        out += format("\"lane\": %d, ", r.lane);
+    else
+        out += "\"lane\": null, ";
+    out += format("\"solved_structurally\": %s, ",
+                  r.solvedStructurally ? "true" : "false");
+    out += format("\"build_seconds\": %.6f, ", r.buildSeconds);
+    out += format("\"encode_seconds\": %.6f, ", r.encodeSeconds);
+    out += format("\"solve_seconds\": %.6f, ", r.solveSeconds);
+    out += format("\"formula_nodes\": %zu, ", r.formulaNodes);
+    out += format("\"cnf_vars\": %zu, ", r.cnfVars);
+    out += format("\"cnf_clauses\": %zu, ", r.cnfClauses);
+    out += format("\"conflicts\": %lld, ",
+                  static_cast<long long>(r.conflicts));
+    if (r.counterexample) {
+        out += "\"counterexample\": [";
+        for (std::size_t i = 0; i < r.counterexample->size(); ++i) {
+            if (i > 0)
+                out += ", ";
+            out += (*r.counterexample)[i] ? "1" : "0";
+        }
+        out += "]";
+    } else {
+        out += "\"counterexample\": null";
+    }
+    out += "}";
+    return out;
+}
+
+std::string
+toJson(const ProgramResult &result, const std::string &program_name)
+{
+    std::size_t safe = 0, unsafe = 0, other = 0;
+    for (const QubitResult &r : result.qubits) {
+        if (r.verdict == Verdict::Safe)
+            ++safe;
+        else if (r.verdict == Verdict::Unsafe)
+            ++unsafe;
+        else
+            ++other;
+    }
+    std::string out = "{\n";
+    if (program_name.empty())
+        out += "  \"program\": null,\n";
+    else
+        out += format("  \"program\": \"%s\",\n",
+                      jsonEscape(program_name).c_str());
+    out += format("  \"all_safe\": %s,\n",
+                  result.allSafe() ? "true" : "false");
+    out += format("  \"total_seconds\": %.6f,\n", result.totalSeconds);
+    out += format("  \"counts\": {\"safe\": %zu, \"unsafe\": %zu, "
+                  "\"undecided\": %zu},\n",
+                  safe, unsafe, other);
+    out += "  \"qubits\": [";
+    for (std::size_t i = 0; i < result.qubits.size(); ++i) {
+        out += i == 0 ? "\n    " : ",\n    ";
+        out += toJson(result.qubits[i]);
+    }
+    out += result.qubits.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+} // namespace qb::core

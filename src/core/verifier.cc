@@ -1,9 +1,7 @@
 #include "core/verifier.h"
 
-#include "core/formula_builder.h"
-#include "support/logging.h"
+#include "core/engine.h"
 #include "support/strings.h"
-#include "support/timer.h"
 
 namespace qb::core {
 
@@ -18,66 +16,6 @@ verdictName(Verdict verdict)
     }
     return "?";
 }
-
-namespace {
-
-/** Outcome of discharging one formula. */
-struct FormulaOutcome
-{
-    sat::SolveResult result = sat::SolveResult::Unknown;
-    std::optional<std::vector<bool>> model; // by circuit qubit id
-};
-
-/**
- * Decide satisfiability of @p root, accumulating statistics into
- * @p out.  A constant root short-circuits the SAT call - the paper's
- * observation that construction-time simplification (Figure 6.1)
- * often discharges conditions outright.
- */
-FormulaOutcome
-dischargeFormula(const bexp::Arena &arena, bexp::NodeRef root,
-                 std::uint32_t num_qubits,
-                 const VerifierOptions &options, QubitResult &out)
-{
-    FormulaOutcome outcome;
-    Timer encode_timer;
-    sat::TseitinResult enc = sat::encodeAssertTrue(
-        arena, root, options.encoding, options.xorChunk);
-    out.encodeSeconds += encode_timer.seconds();
-    if (enc.rootIsConst) {
-        outcome.result = enc.rootConstValue ? sat::SolveResult::Sat
-                                            : sat::SolveResult::Unsat;
-        if (outcome.result == sat::SolveResult::Sat &&
-            options.wantCounterexample) {
-            // Any assignment works; report all-zeros.
-            outcome.model = std::vector<bool>(num_qubits, false);
-        }
-        return outcome;
-    }
-    out.cnfVars += static_cast<std::size_t>(enc.cnf.numVars());
-    out.cnfClauses += enc.cnf.numClauses();
-
-    Timer solve_timer;
-    sat::SolverConfig config = options.solver;
-    config.conflictBudget = options.conflictBudget;
-    sat::Solver solver(config);
-    solver.addCnf(enc.cnf);
-    outcome.result = solver.solve();
-    out.solveSeconds += solve_timer.seconds();
-    out.conflicts += solver.stats().conflicts;
-
-    if (outcome.result == sat::SolveResult::Sat &&
-        options.wantCounterexample) {
-        std::vector<bool> model(num_qubits, false);
-        for (const auto &[qubit_var, solver_var] : enc.inputVar)
-            model[qubit_var] =
-                solver.modelValue(solver_var) == sat::LBool::True;
-        outcome.model = std::move(model);
-    }
-    return outcome;
-}
-
-} // namespace
 
 VerifierOptions
 VerifierOptions::laneA()
@@ -99,82 +37,20 @@ VerifierOptions::laneB()
     return o;
 }
 
+// The free functions below are the original one-shot API, kept as the
+// compatibility surface.  Each one is a thin wrapper that spins up a
+// single-lane VerificationEngine session for exactly one query; code
+// with more than one condition to discharge should hold on to an
+// engine instead and let it reuse the arena, encoding and learnt
+// clauses across queries (see core/engine.h).
+
 QubitResult
 verifyQubit(const ir::Circuit &circuit, ir::QubitId q,
             const VerifierOptions &options)
 {
-    QubitResult out;
-    out.qubit = q;
-    out.name = circuit.label(q);
-    qbAssert(q < circuit.numQubits(), "verifyQubit: qubit out of range");
-    if (!circuit.isClassical()) {
-        out.verdict = Verdict::NotClassical;
-        return out;
-    }
-
-    const std::uint32_t n = circuit.numQubits();
-    Timer build_timer;
-    bexp::Arena arena;
-    FormulaBuilder builder(arena, n);
-    builder.applyCircuit(circuit);
-
-    // Formula (6.1): b_q AND NOT q - satisfiable iff some input with
-    // q = 0 ends with q = 1, i.e. |0> is not restored.
-    const bexp::NodeRef b_q = builder.formula(q);
-    const bexp::NodeRef var_q = arena.mkVar(q);
-    const bexp::NodeRef zero_cond =
-        arena.mkAnd({b_q, arena.mkNot(var_q)});
-
-    // Formula (6.2): OR over the other qubits of the XOR of the two
-    // cofactors - satisfiable iff some other output depends on q,
-    // i.e. |+> is not restored.
-    std::vector<bexp::NodeRef> disjuncts;
-    for (std::uint32_t other = 0; other < n; ++other) {
-        if (other == q)
-            continue;
-        const bexp::NodeRef b_other = builder.formula(other);
-        const bexp::NodeRef cof0 =
-            arena.substitute(b_other, q, bexp::kFalse);
-        const bexp::NodeRef cof1 =
-            arena.substitute(b_other, q, bexp::kTrue);
-        const bexp::NodeRef diff = arena.mkXor({cof0, cof1});
-        if (diff != bexp::kFalse)
-            disjuncts.push_back(diff);
-    }
-    const bexp::NodeRef plus_cond = arena.mkOr(std::move(disjuncts));
-    out.buildSeconds = build_timer.seconds();
-    out.formulaNodes = arena.dagSize(zero_cond) +
-                       arena.dagSize(plus_cond);
-    out.solvedStructurally =
-        arena.isConst(zero_cond) && arena.isConst(plus_cond);
-
-    const FormulaOutcome zero =
-        dischargeFormula(arena, zero_cond, n, options, out);
-    if (zero.result == sat::SolveResult::Sat) {
-        out.verdict = Verdict::Unsafe;
-        out.failed = FailedCondition::ZeroRestoration;
-        out.counterexample = zero.model;
-        return out;
-    }
-    if (zero.result == sat::SolveResult::Unknown) {
-        out.verdict = Verdict::Unknown;
-        return out;
-    }
-
-    const FormulaOutcome plus =
-        dischargeFormula(arena, plus_cond, n, options, out);
-    if (plus.result == sat::SolveResult::Sat) {
-        out.verdict = Verdict::Unsafe;
-        out.failed = FailedCondition::PlusRestoration;
-        out.counterexample = plus.model;
-        return out;
-    }
-    if (plus.result == sat::SolveResult::Unknown) {
-        out.verdict = Verdict::Unknown;
-        return out;
-    }
-    out.verdict = Verdict::Safe;
-    return out;
+    VerificationEngine engine(circuit,
+                              EngineOptions::singleLane(options));
+    return engine.verify(q);
 }
 
 bool
@@ -207,44 +83,9 @@ QubitResult
 verifyCleanAncilla(const ir::Circuit &circuit, ir::QubitId q,
                    const VerifierOptions &options)
 {
-    QubitResult out;
-    out.qubit = q;
-    out.name = circuit.label(q);
-    qbAssert(q < circuit.numQubits(),
-             "verifyCleanAncilla: qubit out of range");
-    if (!circuit.isClassical()) {
-        out.verdict = Verdict::NotClassical;
-        return out;
-    }
-    const std::uint32_t n = circuit.numQubits();
-    Timer build_timer;
-    bexp::Arena arena;
-    FormulaBuilder builder(arena, n);
-    builder.applyCircuit(circuit);
-    // The ancilla starts in |0>, so only the q = 0 cofactor of its
-    // final value matters: it must be identically 0.
-    const bexp::NodeRef residue =
-        arena.substitute(builder.formula(q), q, bexp::kFalse);
-    out.buildSeconds = build_timer.seconds();
-    out.formulaNodes = arena.dagSize(residue);
-    out.solvedStructurally = arena.isConst(residue);
-
-    const FormulaOutcome res =
-        dischargeFormula(arena, residue, n, options, out);
-    switch (res.result) {
-      case sat::SolveResult::Unsat:
-        out.verdict = Verdict::Safe;
-        break;
-      case sat::SolveResult::Sat:
-        out.verdict = Verdict::Unsafe;
-        out.failed = FailedCondition::ZeroRestoration;
-        out.counterexample = res.model;
-        break;
-      case sat::SolveResult::Unknown:
-        out.verdict = Verdict::Unknown;
-        break;
-    }
-    return out;
+    VerificationEngine engine(circuit,
+                              EngineOptions::singleLane(options));
+    return engine.verifyCleanAncilla(q);
 }
 
 ProgramResult
@@ -252,30 +93,8 @@ verifyProgram(const lang::ElaboratedProgram &program,
               const VerifierOptions &options,
               bool check_clean_ancillas)
 {
-    ProgramResult result;
-    Timer timer;
-    for (ir::QubitId q :
-         program.qubitsWithRole(lang::QubitRole::BorrowVerify)) {
-        const lang::QubitInfo &info = program.qubits[q];
-        // Definition 5.1: verify over the statements inside the
-        // qubit's borrow ... release lifetime.
-        const ir::Circuit scope =
-            program.circuit.slice(info.scopeBegin, info.scopeEnd);
-        result.qubits.push_back(verifyQubit(scope, q, options));
-    }
-    if (check_clean_ancillas) {
-        for (ir::QubitId q :
-             program.qubitsWithRole(lang::QubitRole::Alloc)) {
-            const lang::QubitInfo &info = program.qubits[q];
-            const ir::Circuit scope =
-                program.circuit.slice(info.scopeBegin,
-                                      info.scopeEnd);
-            result.qubits.push_back(
-                verifyCleanAncilla(scope, q, options));
-        }
-    }
-    result.totalSeconds = timer.seconds();
-    return result;
+    return verifyAll(program, EngineOptions::singleLane(options), {},
+                     check_clean_ancillas);
 }
 
 ProgramResult

@@ -77,6 +77,10 @@ struct QubitResult
     Verdict verdict = Verdict::Unknown;
     FailedCondition failed = FailedCondition::None;
 
+    /** Index of the engine lane that produced the verdict (first to
+     *  finish in portfolio mode); -1 outside engine sessions. */
+    int lane = -1;
+
     /** Satisfying initial assignment (by qubit id) when Unsafe. */
     std::optional<std::vector<bool>> counterexample;
 

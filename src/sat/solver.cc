@@ -182,6 +182,12 @@ Solver::addClause(LitVec lits)
     qbAssert(decisionLevel() == 0, "addClause above root level");
     if (!okay)
         return false;
+    // New clauses must not be simplified against the placeholder
+    // assignments bounded variable elimination leaves behind; undo
+    // the elimination first (restoreEliminated() re-enters here with
+    // the stack already cleared).
+    if (!elimStack.empty())
+        restoreEliminated();
     for (Lit l : lits) {
         while (l.var() >= numVars())
             newVar();
@@ -399,6 +405,42 @@ Solver::analyze(Clause *conflict, LitVec &out_learnt, int &out_btlevel,
         seen[v] = 0;
 }
 
+void
+Solver::analyzeFinal(Lit failed)
+{
+    // Final-conflict analysis (MiniSat's analyzeFinal): @p failed is an
+    // assumption whose negation is implied by the other assumptions.
+    // Walk the trail backwards from the implication, expanding reasons;
+    // every reason-less (decision) literal reached is an assumption
+    // participating in the conflict.  Expressed directly in assumption
+    // literals rather than as a negated conflict clause.
+    conflictCore.clear();
+    conflictCore.push_back(failed);
+    if (decisionLevel() == 0)
+        return;
+    seen[failed.var()] = 1;
+    for (std::size_t i = trail.size();
+         i > static_cast<std::size_t>(trailLim[0]); --i) {
+        const Var x = trail[i - 1].var();
+        if (!seen[x])
+            continue;
+        const Clause *reason_clause = reasons[x];
+        if (reason_clause == nullptr) {
+            // Decisions below the assumption prefix are assumptions.
+            conflictCore.push_back(trail[i - 1]);
+        } else {
+            for (std::size_t j = 1; j < reason_clause->lits.size();
+                 ++j) {
+                const Var v = reason_clause->lits[j].var();
+                if (levels[v] > 0)
+                    seen[v] = 1;
+            }
+        }
+        seen[x] = 0;
+    }
+    seen[failed.var()] = 0;
+}
+
 bool
 Solver::litRedundant(Lit l, std::uint32_t ab_levels)
 {
@@ -537,6 +579,55 @@ Solver::reduceDb()
     learntClauses = std::move(kept);
 }
 
+void
+Solver::restoreEliminated()
+{
+    // Undo bounded variable elimination: clear the placeholder
+    // assignments, then re-add the original clauses each elimination
+    // saved.  The resolvents stay (they are implied), so nothing that
+    // was learnt since becomes unsound.  Restoration runs newest
+    // elimination first: a variable's saved clauses can mention
+    // variables eliminated later, never earlier (those were already
+    // gone from the live clause set when it was eliminated).
+    qbAssert(decisionLevel() == 0, "restore above root level");
+    // Move the stack aside first: addClause() below re-enters the
+    // elimStack guard, which must already see it empty.
+    const auto saved = std::move(elimStack);
+    elimStack.clear();
+    for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+        const Var v = it->first;
+        assigns[v] = LBool::Undef;
+        order->insert(v);
+    }
+    for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+        for (const LitVec &clause : it->second) {
+            if (!addClause(clause))
+                return;
+        }
+    }
+    statistics.eliminatedVars = 0;
+}
+
+void
+Solver::shrinkLearnts(unsigned max_lbd)
+{
+    qbAssert(decisionLevel() == 0, "shrinkLearnts above root level");
+    std::vector<Clause *> kept;
+    kept.reserve(learntClauses.size());
+    for (Clause *c : learntClauses) {
+        const bool locked = reasons[c->lits[0].var()] == c &&
+                            value(c->lits[0]) == LBool::True;
+        if (locked || c->lbd <= max_lbd) {
+            kept.push_back(c);
+        } else {
+            detachClause(c);
+            delete c;
+            ++statistics.removedClauses;
+        }
+    }
+    learntClauses = std::move(kept);
+}
+
 std::int64_t
 Solver::luby(std::int64_t i)
 {
@@ -560,12 +651,24 @@ Solver::search(std::int64_t conflict_limit)
     std::int64_t conflicts_here = 0;
     LitVec learnt;
     while (true) {
+        if (stopFlag != nullptr &&
+            stopFlag->load(std::memory_order_relaxed)) {
+            cancelUntil(0);
+            return SolveResult::Unknown;
+        }
         Clause *conflict = propagate();
         if (conflict != nullptr) {
             ++statistics.conflicts;
             ++conflicts_here;
-            if (decisionLevel() == 0)
+            if (decisionLevel() == 0) {
+                // A root-level conflict means the clause database
+                // itself is unsatisfiable; latch that for later
+                // incremental calls (the falsified clause has already
+                // been consumed from the propagation queue, so a
+                // fresh search would not rediscover it).
+                okay = false;
                 return SolveResult::Unsat;
+            }
             int bt_level;
             unsigned lbd;
             analyze(conflict, learnt, bt_level, lbd);
@@ -582,22 +685,68 @@ Solver::search(std::int64_t conflict_limit)
             varDecayActivity();
             claDecayActivity();
             if (cfg.conflictBudget >= 0 &&
-                statistics.conflicts >= cfg.conflictBudget)
+                statistics.conflicts - conflictsAtCallStart >=
+                    cfg.conflictBudget)
                 return SolveResult::Unknown;
         } else {
             if (conflict_limit >= 0 && conflicts_here >= conflict_limit) {
-                cancelUntil(0);
+                // Restart: keep the assumption prefix of the trail so
+                // the next search round does not re-propagate the
+                // whole assumption cone (solve() unwinds to the root
+                // before returning to the caller).
+                cancelUntil(static_cast<int>(assumptions.size()));
                 return SolveResult::Unknown;
             }
-            if (cfg.reduceDb &&
-                learntClauses.size() >
-                    problemClauses.size() / 3 + 3000 + trail.size()) {
-                reduceDb();
+            // The legacy one-shot trigger scales with the problem
+            // size, which in a long-lived incremental solver lets the
+            // learnt database grow with session age and tax every
+            // later query.  learntLimitBase selects an absolute limit
+            // instead, rate-limited by conflict count so a floor of
+            // protected (locked / lbd<=2) clauses cannot force a
+            // database sort on every decision.
+            if (cfg.reduceDb) {
+                if (cfg.learntLimitBase >= 0) {
+                    if (learntClauses.size() >
+                            static_cast<std::size_t>(
+                                cfg.learntLimitBase) +
+                                trail.size() &&
+                        statistics.conflicts >= nextReduceConflicts) {
+                        reduceDb();
+                        nextReduceConflicts =
+                            statistics.conflicts + 1000;
+                    }
+                } else if (learntClauses.size() >
+                           problemClauses.size() / 3 + 3000 +
+                               trail.size()) {
+                    reduceDb();
+                }
             }
-            const Lit next = pickBranchLit();
+            // Extend the assumption prefix before free decisions: each
+            // assumption gets its own decision level, so conflict
+            // analysis can attribute an eventual Unsat to the precise
+            // subset of assumptions it used.
+            Lit next = kUndefLit;
+            while (decisionLevel() <
+                   static_cast<int>(assumptions.size())) {
+                const Lit a = assumptions[decisionLevel()];
+                if (value(a) == LBool::True) {
+                    // Already implied: dummy level keeps the
+                    // level <-> assumption-index correspondence.
+                    trailLim.push_back(static_cast<int>(trail.size()));
+                } else if (value(a) == LBool::False) {
+                    analyzeFinal(a);
+                    return SolveResult::Unsat;
+                } else {
+                    next = a;
+                    break;
+                }
+            }
             if (next == kUndefLit) {
-                model.assign(assigns.begin(), assigns.end());
-                return SolveResult::Sat;
+                next = pickBranchLit();
+                if (next == kUndefLit) {
+                    model.assign(assigns.begin(), assigns.end());
+                    return SolveResult::Sat;
+                }
             }
             ++statistics.decisions;
             trailLim.push_back(static_cast<int>(trail.size()));
@@ -609,15 +758,45 @@ Solver::search(std::int64_t conflict_limit)
 SolveResult
 Solver::solve()
 {
+    return solve(LitVec{});
+}
+
+SolveResult
+Solver::solve(const LitVec &assumps)
+{
+    assumptions = assumps;
+    conflictCore.clear();
+    conflictsAtCallStart = statistics.conflicts;
     if (!okay)
         return SolveResult::Unsat;
+    for (Lit a : assumptions) {
+        while (a.var() >= numVars())
+            newVar();
+    }
     if (propagate() != nullptr) {
         okay = false;
         return SolveResult::Unsat;
     }
-    if (cfg.preprocess && !preprocessEliminate()) {
-        okay = false;
-        return SolveResult::Unsat;
+    // Bounded variable elimination is a one-shot, whole-database
+    // transformation: it is unsound to run once clauses have been
+    // learnt or when assumptions may mention eliminated variables, so
+    // it only runs on the first assumption-free call - and if an
+    // assumption-based call arrives after it has run, the eliminated
+    // clauses are restored first (an eliminated variable carries a
+    // placeholder assignment that would silently satisfy or falsify
+    // assumptions on it).
+    if (!assumptions.empty() && !elimStack.empty()) {
+        restoreEliminated();
+        if (!okay)
+            return SolveResult::Unsat;
+    }
+    if (cfg.preprocess && assumptions.empty() && !preprocessed &&
+        learntClauses.empty()) {
+        preprocessed = true;
+        if (!preprocessEliminate()) {
+            okay = false;
+            return SolveResult::Unsat;
+        }
     }
     std::int64_t restart = 0;
     double geometric = static_cast<double>(cfg.restartBase);
@@ -655,7 +834,13 @@ Solver::solve()
             return result;
         }
         if (cfg.conflictBudget >= 0 &&
-            statistics.conflicts >= cfg.conflictBudget) {
+            statistics.conflicts - conflictsAtCallStart >=
+                cfg.conflictBudget) {
+            cancelUntil(0);
+            return SolveResult::Unknown;
+        }
+        if (stopFlag != nullptr &&
+            stopFlag->load(std::memory_order_relaxed)) {
             cancelUntil(0);
             return SolveResult::Unknown;
         }

@@ -19,6 +19,7 @@
 #ifndef QB_SAT_SOLVER_H
 #define QB_SAT_SOLVER_H
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -50,6 +51,14 @@ struct SolverConfig
     bool lubyRestarts = true;
     /** Reduce the learnt clause database periodically. */
     bool reduceDb = true;
+    /**
+     * Learnt-clause count that triggers a database reduction (plus
+     * the current trail size).  -1 selects the legacy one-shot
+     * policy, which additionally scales with the problem size; for
+     * long-lived incremental solvers an absolute base keeps the
+     * propagation cost of old queries from taxing new ones.
+     */
+    std::int64_t learntLimitBase = -1;
     /** Apply bounded variable elimination before solving. */
     bool preprocess = false;
     /** Abort with Unknown after this many conflicts (-1 = unlimited). */
@@ -103,8 +112,56 @@ class Solver
     /** Decide satisfiability of the clauses added so far. */
     SolveResult solve();
 
+    /**
+     * Decide satisfiability under @p assumptions (incremental,
+     * MiniSat-style).  Assumptions are enqueued as decisions, never as
+     * clauses, so everything learnt during the call is a consequence of
+     * the clause database alone and is retained for later calls: the
+     * solver stays usable (and warm) after any answer.
+     *
+     * On Unsat, failedAssumptions() holds the subset of @p assumptions
+     * the conflict actually used.  Bounded variable elimination is
+     * skipped for assumption-based solving (eliminated variables could
+     * appear in later assumptions or clauses).
+     */
+    SolveResult solve(const LitVec &assumptions);
+
+    /**
+     * After solve(assumptions) returned Unsat: the subset of the
+     * assumption literals whose conjunction is already unsatisfiable
+     * with the clause database (the "final conflict").  Empty when the
+     * database is unsatisfiable on its own.
+     */
+    const LitVec &failedAssumptions() const { return conflictCore; }
+
     /** Model value of @p v after a Sat answer. */
     LBool modelValue(Var v) const;
+
+    /**
+     * Cooperative cancellation point for portfolio solving: search()
+     * polls @p flag and returns Unknown once it becomes true.  Pass
+     * nullptr to detach.  The solver remains fully usable afterwards.
+     */
+    void setStopFlag(const std::atomic<bool> *flag) { stopFlag = flag; }
+
+    /**
+     * Replace the conflict budget (counted per solve() call, -1 for
+     * unlimited).  Exists so a session can re-tune an incremental
+     * solver between calls without rebuilding it.
+     */
+    void setConflictBudget(std::int64_t budget)
+    {
+        cfg.conflictBudget = budget;
+    }
+
+    /**
+     * Drop learnt clauses with LBD above @p max_lbd (root-locked
+     * clauses are kept).  Incremental sessions call this between
+     * queries: low-LBD clauses carry the cross-query reuse, while the
+     * bulk of the learnt database only taxes later propagation.
+     * Must be called at decision level 0.
+     */
+    void shrinkLearnts(unsigned max_lbd);
 
     const SolverStats &stats() const { return statistics; }
     const SolverConfig &config() const { return cfg; }
@@ -127,7 +184,9 @@ class Solver
     Clause *propagate();
     void analyze(Clause *conflict, LitVec &out_learnt, int &out_btlevel,
                  unsigned &out_lbd);
+    void analyzeFinal(Lit failed);
     bool litRedundant(Lit l, std::uint32_t ab_levels);
+    void restoreEliminated();
     void cancelUntil(int target_level);
     Lit pickBranchLit();
     SolveResult search(std::int64_t conflict_limit);
@@ -164,6 +223,17 @@ class Solver
     double varInc = 1.0;
     double claInc = 1.0;
     bool okay = true;
+    bool preprocessed = false;
+
+    LitVec assumptions;  ///< active assumptions of the current call
+    LitVec conflictCore; ///< failed assumptions of the last Unsat
+    /** statistics.conflicts at entry of the current solve() call;
+     *  makes the conflict budget per-call for incremental use. */
+    std::int64_t conflictsAtCallStart = 0;
+    /** Conflict count gating the next learnt-database reduction in
+     *  the learntLimitBase >= 0 regime. */
+    std::int64_t nextReduceConflicts = 0;
+    const std::atomic<bool> *stopFlag = nullptr;
 
     std::vector<LBool> model;
     // Eliminated-variable reconstruction stack (var, eliminated clauses).

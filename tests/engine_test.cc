@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Tests for the session-based VerificationEngine: agreement with the
+ * one-shot wrappers and the brute-force oracle, incremental reuse
+ * across qubits, portfolio racing, batch verification with streaming
+ * observers, and the JSON report emitter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "circuits/adders.h"
+#include "circuits/mcx.h"
+#include "circuits/paper_figures.h"
+#include "core/engine.h"
+#include "core/reference.h"
+#include "core/report.h"
+#include "core/verifier.h"
+#include "lang/elaborate.h"
+#include "sim/classical.h"
+#include "support/rng.h"
+
+namespace qb::core {
+namespace {
+
+using ir::Circuit;
+using ir::Gate;
+
+TEST(Engine, AgreesWithOneShotOnAllCccnotQubits)
+{
+    const Circuit c = circuits::cccnotDirty();
+    VerificationEngine engine(c);
+    for (ir::QubitId q = 0; q < c.numQubits(); ++q) {
+        EXPECT_EQ(verifyQubit(c, q).verdict, engine.verify(q).verdict)
+            << "qubit " << q;
+    }
+    // All queries went through one session: formulas were built once.
+    EXPECT_EQ(static_cast<std::size_t>(c.numQubits()),
+              engine.stats().qubitsVerified);
+}
+
+TEST(Engine, MultiQubitCircuitOneSessionManyVerdicts)
+{
+    // The Haner adder: all dirty ancillas safe, inputs unsafe, in one
+    // session with one solver per lane.
+    const std::uint32_t n = 6;
+    const Circuit c = circuits::hanerCarryCircuit(n);
+    VerificationEngine engine(c);
+    EXPECT_EQ(1u, engine.numLanes());
+    for (std::uint32_t i = 1; i <= n - 1; ++i) {
+        EXPECT_EQ(Verdict::Safe, engine.verify(n + i - 1).verdict)
+            << "a[" << i << "]";
+    }
+    for (std::uint32_t i = 1; i <= n - 1; ++i) {
+        EXPECT_EQ(Verdict::Unsafe, engine.verify(i - 1).verdict)
+            << "q[" << i << "]";
+    }
+    EXPECT_GT(engine.stats().satCalls, 0u);
+}
+
+TEST(Engine, RepeatedQueryHitsConditionCache)
+{
+    const Circuit c = circuits::cccnotDirty();
+    VerificationEngine engine(c);
+    const QubitResult first =
+        engine.verify(circuits::kCccnotDirtyQubit);
+    const std::size_t hits_before = engine.stats().conditionHits;
+    const QubitResult again =
+        engine.verify(circuits::kCccnotDirtyQubit);
+    EXPECT_EQ(first.verdict, again.verdict);
+    EXPECT_GT(engine.stats().conditionHits, hits_before);
+}
+
+TEST(Engine, NotClassicalCircuit)
+{
+    Circuit c(2);
+    c.append(Gate::h(0));
+    VerificationEngine engine(c);
+    EXPECT_EQ(Verdict::NotClassical, engine.verify(1).verdict);
+    EXPECT_EQ(Verdict::NotClassical,
+              engine.verifyCleanAncilla(1).verdict);
+}
+
+TEST(Engine, PortfolioAgreesAndRecordsWinningLane)
+{
+    const Circuit c = circuits::hanerCarryCircuit(5);
+    VerificationEngine engine(c, EngineOptions::portfolioAB());
+    EXPECT_EQ(2u, engine.numLanes());
+    for (ir::QubitId q = 0; q < c.numQubits(); ++q) {
+        const QubitResult r = engine.verify(q);
+        EXPECT_EQ(verifyQubit(c, q).verdict, r.verdict)
+            << "qubit " << q;
+        if (!r.solvedStructurally) {
+            EXPECT_GE(r.lane, 0);
+            EXPECT_LT(r.lane, 2);
+        }
+    }
+}
+
+TEST(Engine, PortfolioCounterexamplesAreValid)
+{
+    Rng rng(7);
+    Circuit c(6);
+    for (int g = 0; g < 14; ++g) {
+        auto a = static_cast<ir::QubitId>(rng.nextBelow(6));
+        auto b = static_cast<ir::QubitId>(rng.nextBelow(6));
+        auto t = static_cast<ir::QubitId>(rng.nextBelow(6));
+        while (b == a)
+            b = static_cast<ir::QubitId>(rng.nextBelow(6));
+        while (t == a || t == b)
+            t = static_cast<ir::QubitId>(rng.nextBelow(6));
+        c.append(Gate::ccnot(a, b, t));
+    }
+    VerificationEngine engine(c, EngineOptions::portfolioAB());
+    for (ir::QubitId q = 0; q < c.numQubits(); ++q) {
+        const QubitResult r = engine.verify(q);
+        EXPECT_EQ(bruteForceVerdict(c, q), r.verdict) << "qubit " << q;
+        if (r.verdict != Verdict::Unsafe)
+            continue;
+        ASSERT_TRUE(r.counterexample.has_value());
+        const auto &cex = *r.counterexample;
+        sim::ClassicalState s0(c.numQubits()), s1(c.numQubits());
+        for (std::uint32_t k = 0; k < c.numQubits(); ++k) {
+            s0.set(k, cex[k]);
+            s1.set(k, cex[k]);
+        }
+        if (r.failed == FailedCondition::ZeroRestoration) {
+            ASSERT_FALSE(cex[q]);
+            s0.applyCircuit(c);
+            EXPECT_TRUE(s0.get(q));
+        } else {
+            s1.set(q, !cex[q]);
+            s0.applyCircuit(c);
+            s1.applyCircuit(c);
+            bool differs = false;
+            for (std::uint32_t k = 0; k < c.numQubits(); ++k)
+                if (k != q && s0.get(k) != s1.get(k))
+                    differs = true;
+            EXPECT_TRUE(differs);
+        }
+    }
+}
+
+TEST(Engine, VerifyAllStreamsResultsInOrder)
+{
+    const auto program = lang::elaborateSource(R"(
+        borrow@ q[3];
+        borrow a[2];
+        CNOT[q[1], a[1]];
+        CNOT[q[2], a[2]];
+        CNOT[q[1], a[1]];
+    )");
+    std::vector<std::string> seen;
+    const ProgramResult result = verifyAll(
+        program, EngineOptions{},
+        [&seen](const QubitResult &r) { seen.push_back(r.name); });
+    ASSERT_EQ(2u, result.qubits.size());
+    ASSERT_EQ(2u, seen.size());
+    EXPECT_EQ(result.qubits[0].name, seen[0]);
+    EXPECT_EQ(result.qubits[1].name, seen[1]);
+    // a[1] is uncomputed, a[2] is not.
+    EXPECT_EQ(Verdict::Safe, result.qubits[0].verdict);
+    EXPECT_EQ(Verdict::Unsafe, result.qubits[1].verdict);
+}
+
+TEST(Engine, VerifyAllMatchesVerifyProgram)
+{
+    const auto program = lang::elaborateSource(R"(
+        borrow@ q[4];
+        borrow a;
+        CCNOT[q[1], q[2], a];
+        CCNOT[a, q[3], q[4]];
+        CCNOT[q[1], q[2], a];
+        CCNOT[a, q[3], q[4]];
+        release a;
+    )");
+    const ProgramResult wrapper = verifyProgram(program);
+    const ProgramResult engine = verifyAll(program);
+    ASSERT_EQ(wrapper.qubits.size(), engine.qubits.size());
+    for (std::size_t i = 0; i < wrapper.qubits.size(); ++i)
+        EXPECT_EQ(wrapper.qubits[i].verdict,
+                  engine.qubits[i].verdict);
+}
+
+TEST(Engine, VerifyAllChecksCleanAncillas)
+{
+    const auto program = lang::elaborateSource(R"(
+        borrow@ q[2];
+        alloc c;
+        CNOT[q[1], c];
+        CNOT[q[1], c];
+        alloc d;
+        CNOT[q[2], d];
+    )");
+    const ProgramResult without = verifyAll(program);
+    EXPECT_TRUE(without.qubits.empty());
+    const ProgramResult with =
+        verifyAll(program, EngineOptions{}, {}, true);
+    ASSERT_EQ(2u, with.qubits.size());
+    EXPECT_EQ(Verdict::Safe, with.qubits[0].verdict);
+    EXPECT_EQ(Verdict::Unsafe, with.qubits[1].verdict);
+}
+
+TEST(Engine, JsonReportIsWellFormedish)
+{
+    const ProgramResult result = verifySource(R"(
+        borrow@ q;
+        borrow a;
+        CNOT[a, q];
+        release a;
+    )");
+    const std::string json = toJson(result, "inline.qbr");
+    EXPECT_NE(std::string::npos, json.find("\"program\": \"inline.qbr\""));
+    EXPECT_NE(std::string::npos, json.find("\"all_safe\": false"));
+    EXPECT_NE(std::string::npos, json.find("\"verdict\": \"unsafe\""));
+    EXPECT_NE(std::string::npos, json.find("\"counterexample\": ["));
+    EXPECT_NE(std::string::npos, json.find("\"counts\": {\"safe\": 0, "
+                                           "\"unsafe\": 1"));
+    // Balanced braces and brackets (cheap structural sanity check).
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Engine, JsonEscapesNames)
+{
+    QubitResult r;
+    r.name = "weird\"name\\with\ncontrol";
+    const std::string json = toJson(r);
+    EXPECT_NE(std::string::npos,
+              json.find("weird\\\"name\\\\with\\ncontrol"));
+}
+
+/** Random reversible circuit generator shared by the properties. */
+Circuit
+randomCircuit(Rng &rng, std::uint32_t n, int gates)
+{
+    Circuit c(n);
+    for (int g = 0; g < gates; ++g) {
+        const auto kind = rng.nextBelow(3);
+        auto a = static_cast<ir::QubitId>(rng.nextBelow(n));
+        auto b = static_cast<ir::QubitId>(rng.nextBelow(n));
+        auto t = static_cast<ir::QubitId>(rng.nextBelow(n));
+        while (b == a)
+            b = static_cast<ir::QubitId>(rng.nextBelow(n));
+        while (t == a || t == b)
+            t = static_cast<ir::QubitId>(rng.nextBelow(n));
+        if (kind == 0)
+            c.append(Gate::x(a));
+        else if (kind == 1)
+            c.append(Gate::cnot(a, t));
+        else
+            c.append(Gate::ccnot(a, b, t));
+    }
+    return c;
+}
+
+class EngineProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(EngineProperty, SessionAgreesWithBruteForceOnEveryQubit)
+{
+    Rng rng(GetParam());
+    constexpr std::uint32_t n = 6;
+    const Circuit c = randomCircuit(rng, n, 14);
+    VerificationEngine engine(c);
+    for (std::uint32_t q = 0; q < n; ++q) {
+        EXPECT_EQ(bruteForceVerdict(c, q), engine.verify(q).verdict)
+            << "qubit " << q;
+    }
+}
+
+TEST_P(EngineProperty, LanesAgreeWithinOneSession)
+{
+    Rng rng(GetParam() + 4000);
+    const Circuit c = randomCircuit(rng, 6, 12);
+    VerificationEngine a(
+        c, EngineOptions::singleLane(VerifierOptions::laneA()));
+    VerificationEngine b(
+        c, EngineOptions::singleLane(VerifierOptions::laneB()));
+    for (std::uint32_t q = 0; q < 6; ++q)
+        EXPECT_EQ(a.verify(q).verdict, b.verify(q).verdict)
+            << "qubit " << q;
+}
+
+TEST_P(EngineProperty, CleanAncillaSessionMatchesWrapper)
+{
+    Rng rng(GetParam() + 8000);
+    const Circuit c = randomCircuit(rng, 6, 12);
+    VerificationEngine engine(c);
+    for (std::uint32_t q = 0; q < 6; ++q) {
+        EXPECT_EQ(verifyCleanAncilla(c, q).verdict,
+                  engine.verifyCleanAncilla(q).verdict)
+            << "qubit " << q;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineProperty,
+                         ::testing::Range(0, 25));
+
+} // namespace
+} // namespace qb::core

@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+
 #include "sat/cnf.h"
 #include "sat/solver.h"
 #include "support/logging.h"
@@ -183,6 +186,192 @@ TEST(Solver, SatisfiedClausesSkippedAtAdd)
     EXPECT_EQ(SolveResult::Sat, s.solve());
 }
 
+TEST(SolverAssumptions, SatUnderAssumptionsRespectsThem)
+{
+    Solver s;
+    // (x0 | x1) with free choice; assumptions pin the branch.
+    s.addClause({mkLit(0), mkLit(1)});
+    EXPECT_EQ(SolveResult::Sat, s.solve({~mkLit(0)}));
+    EXPECT_EQ(LBool::False, s.modelValue(0));
+    EXPECT_EQ(LBool::True, s.modelValue(1));
+    EXPECT_EQ(SolveResult::Sat, s.solve({~mkLit(1)}));
+    EXPECT_EQ(LBool::True, s.modelValue(0));
+    EXPECT_EQ(LBool::False, s.modelValue(1));
+}
+
+TEST(SolverAssumptions, UnsatCoreAndReusableAfterwards)
+{
+    Solver s;
+    // a -> b, a -> ~b: assuming a is contradictory, but the clause
+    // database itself is satisfiable.
+    s.addClause({~mkLit(0), mkLit(1)});
+    s.addClause({~mkLit(0), ~mkLit(1)});
+    EXPECT_EQ(SolveResult::Unsat, s.solve({mkLit(0)}));
+    ASSERT_EQ(1u, s.failedAssumptions().size());
+    EXPECT_EQ(mkLit(0), s.failedAssumptions()[0]);
+    // The solver stays usable: without the assumption it is Sat ...
+    EXPECT_EQ(SolveResult::Sat, s.solve());
+    EXPECT_EQ(LBool::False, s.modelValue(0));
+    // ... and under the opposite assumption too.
+    EXPECT_EQ(SolveResult::Sat, s.solve({~mkLit(0)}));
+    // And the same failing call still fails identically.
+    EXPECT_EQ(SolveResult::Unsat, s.solve({mkLit(0)}));
+}
+
+TEST(SolverAssumptions, CoreExcludesIrrelevantAssumptions)
+{
+    Solver s;
+    s.addClause({~mkLit(0), ~mkLit(1)}); // x0 and x1 conflict
+    s.addClause({mkLit(2), mkLit(3)});   // x2/x3 unrelated
+    EXPECT_EQ(SolveResult::Unsat,
+              s.solve({mkLit(0), mkLit(1), mkLit(2)}));
+    const LitVec &core = s.failedAssumptions();
+    EXPECT_FALSE(core.empty());
+    for (Lit l : core) {
+        EXPECT_TRUE(l == mkLit(0) || l == mkLit(1))
+            << "core must only mention the conflicting assumptions";
+    }
+}
+
+TEST(SolverAssumptions, ContradictoryAssumptionPair)
+{
+    Solver s;
+    s.addClause({mkLit(0), mkLit(1)});
+    EXPECT_EQ(SolveResult::Unsat, s.solve({mkLit(2), ~mkLit(2)}));
+    const LitVec &core = s.failedAssumptions();
+    ASSERT_EQ(2u, core.size());
+    EXPECT_TRUE((core[0] == mkLit(2) && core[1] == ~mkLit(2)) ||
+                (core[0] == ~mkLit(2) && core[1] == mkLit(2)));
+}
+
+TEST(SolverAssumptions, RootLevelFalsifiedAssumption)
+{
+    Solver s;
+    s.addClause({mkLit(0)}); // unit: x0 true at the root
+    EXPECT_EQ(SolveResult::Unsat, s.solve({~mkLit(0)}));
+    ASSERT_EQ(1u, s.failedAssumptions().size());
+    EXPECT_EQ(~mkLit(0), s.failedAssumptions()[0]);
+}
+
+TEST(SolverAssumptions, AssumptionOnFreshVariable)
+{
+    Solver s;
+    s.addClause({mkLit(0), mkLit(1)});
+    // Variable 7 is created on demand and is unconstrained.
+    EXPECT_EQ(SolveResult::Sat, s.solve({mkLit(7)}));
+    EXPECT_EQ(LBool::True, s.modelValue(7));
+}
+
+TEST(SolverAssumptions, GloballyUnsatDatabaseGivesEmptyCore)
+{
+    Solver s;
+    s.addClause({mkLit(0), mkLit(1)});
+    s.addClause({mkLit(0), ~mkLit(1)});
+    s.addClause({~mkLit(0), mkLit(1)});
+    s.addClause({~mkLit(0), ~mkLit(1)});
+    EXPECT_EQ(SolveResult::Unsat, s.solve({mkLit(2)}));
+    EXPECT_TRUE(s.failedAssumptions().empty())
+        << "an inherently unsat database implicates no assumption";
+}
+
+TEST(SolverAssumptions, ConflictBudgetIsPerCall)
+{
+    // With a cumulative budget the second call would start exhausted;
+    // a per-call budget gives every query the same allowance.
+    SolverConfig cfg = SolverConfig::baseline();
+    cfg.conflictBudget = 5000;
+    Solver s(cfg);
+    s.addCnf(pigeonhole(5));
+    EXPECT_EQ(SolveResult::Unsat, s.solve());
+    EXPECT_GT(s.stats().conflicts, 0);
+    Solver reference(cfg);
+    reference.addCnf(pigeonhole(5));
+    EXPECT_EQ(SolveResult::Unsat, reference.solve());
+    // Learnt clauses are retained, so re-deciding is not slower.
+    const std::int64_t before = s.stats().conflicts;
+    EXPECT_EQ(SolveResult::Unsat, s.solve());
+    EXPECT_LE(s.stats().conflicts - before, before);
+}
+
+TEST(SolverAssumptions, SelectorStyleIncrementalUse)
+{
+    // The engine's usage pattern: several conditions behind selector
+    // literals in one database, decided independently.
+    Solver s;
+    const Lit s1 = mkLit(0), s2 = mkLit(1);
+    const Lit x = mkLit(2), y = mkLit(3);
+    // Condition 1 (selector s1): x AND ~x - unsatisfiable.
+    s.addClause({~s1, x});
+    s.addClause({~s1, ~x});
+    // Condition 2 (selector s2): y - satisfiable.
+    s.addClause({~s2, y});
+    EXPECT_EQ(SolveResult::Unsat, s.solve({s1}));
+    ASSERT_EQ(1u, s.failedAssumptions().size());
+    EXPECT_EQ(s1, s.failedAssumptions()[0]);
+    EXPECT_EQ(SolveResult::Sat, s.solve({s2}));
+    EXPECT_EQ(LBool::True, s.modelValue(y.var()));
+    EXPECT_EQ(SolveResult::Sat, s.solve());
+}
+
+TEST(SolverAssumptions, SoundAfterPreprocessingEliminatedVars)
+{
+    // Regression: a plain solve() with the preprocessing preset can
+    // eliminate variables; a later assumption-based call must restore
+    // them instead of letting their placeholder assignments silently
+    // satisfy or falsify assumptions.
+    Solver s(SolverConfig::simplify());
+    // x2 <-> (x0 & x1): x2 is a prime elimination candidate.
+    s.addClause({~mkLit(2), mkLit(0)});
+    s.addClause({~mkLit(2), mkLit(1)});
+    s.addClause({mkLit(2), ~mkLit(0), ~mkLit(1)});
+    EXPECT_EQ(SolveResult::Sat, s.solve());
+    // x2 implies x0, so {x2, ~x0} is unsatisfiable.
+    EXPECT_EQ(SolveResult::Unsat, s.solve({mkLit(2), ~mkLit(0)}));
+    EXPECT_FALSE(s.failedAssumptions().empty());
+    // And a satisfiable assumption set gets a model respecting it.
+    EXPECT_EQ(SolveResult::Sat, s.solve({mkLit(0), mkLit(1)}));
+    EXPECT_EQ(LBool::True, s.modelValue(2));
+    EXPECT_EQ(SolveResult::Sat, s.solve({~mkLit(2)}));
+    EXPECT_NE(LBool::True, s.modelValue(2));
+}
+
+TEST(SolverAssumptions, AddClauseAfterPreprocessingRestores)
+{
+    // Regression: adding a clause after a preprocessed solve() must
+    // not simplify it against the placeholder assignments variable
+    // elimination left behind.
+    Solver s(SolverConfig::simplify());
+    s.addClause({mkLit(0), mkLit(1)});  // x | y
+    s.addClause({~mkLit(1), mkLit(2)}); // y -> z
+    EXPECT_EQ(SolveResult::Sat, s.solve());
+    EXPECT_TRUE(s.addClause({~mkLit(1)})); // now force y = 0
+    EXPECT_EQ(SolveResult::Sat, s.solve());
+    EXPECT_EQ(LBool::True, s.modelValue(0));
+    EXPECT_NE(LBool::True, s.modelValue(1));
+}
+
+TEST(SolverAssumptions, StopFlagCancelsSearch)
+{
+    Solver s;
+    s.addCnf(pigeonhole(8)); // hard enough to not finish instantly
+    std::atomic<bool> stop{true};
+    s.setStopFlag(&stop);
+    EXPECT_EQ(SolveResult::Unknown, s.solve());
+    // Detached again, the solver finishes the job.
+    s.setStopFlag(nullptr);
+    EXPECT_EQ(SolveResult::Unsat, s.solve());
+}
+
+/** Brute-force satisfiability with assumptions folded in as units. */
+bool
+bruteForceSatWithAssumptions(const Cnf &cnf, const LitVec &assumptions)
+{
+    Cnf combined = cnf;
+    for (Lit a : assumptions)
+        combined.addClause({a});
+    return bruteForceSat(combined);
+}
+
 /** Random k-SAT generator with fixed clause/variable ratio. */
 Cnf
 randomCnf(Rng &rng, Var num_vars, std::size_t num_clauses,
@@ -253,6 +442,77 @@ TEST_P(SatProperty, ModelsActuallySatisfySimplify)
         assign[v] = solver.modelValue(v);
     EXPECT_TRUE(cnf.satisfiedBy(assign))
         << "variable elimination must reconstruct a full model";
+}
+
+TEST_P(SatProperty, AssumptionsAgreeWithBruteForce)
+{
+    Rng rng(GetParam() + 13000);
+    const Cnf cnf = randomCnf(rng, 8, 30, 3);
+    Solver solver(SolverConfig::baseline());
+    solver.addCnf(cnf);
+    // Several incremental rounds against ONE solver instance.
+    for (int round = 0; round < 4; ++round) {
+        LitVec assumptions;
+        for (Var v = 0; v < 8; ++v) {
+            const auto choice = rng.nextBelow(4);
+            if (choice == 0)
+                assumptions.push_back(mkLit(v));
+            else if (choice == 1)
+                assumptions.push_back(mkLit(v, true));
+        }
+        const bool expected =
+            bruteForceSatWithAssumptions(cnf, assumptions);
+        const SolveResult got = solver.solve(assumptions);
+        EXPECT_EQ(expected ? SolveResult::Sat : SolveResult::Unsat,
+                  got)
+            << "round " << round;
+        if (got == SolveResult::Unsat) {
+            // Every core literal is one of the assumptions, and the
+            // core alone already clashes with the clause database.
+            for (Lit l : solver.failedAssumptions()) {
+                EXPECT_NE(assumptions.end(),
+                          std::find(assumptions.begin(),
+                                    assumptions.end(), l));
+            }
+            EXPECT_FALSE(bruteForceSatWithAssumptions(
+                cnf, solver.failedAssumptions()));
+        } else {
+            std::vector<LBool> assign(cnf.numVars());
+            for (Var v = 0; v < cnf.numVars(); ++v)
+                assign[v] = solver.modelValue(v);
+            EXPECT_TRUE(cnf.satisfiedBy(assign));
+            for (Lit a : assumptions)
+                EXPECT_EQ(lboolOf(!a.sign()),
+                          solver.modelValue(a.var()))
+                    << "model must respect every assumption";
+        }
+    }
+}
+
+TEST_P(SatProperty, PlainSolveAfterAssumptionCallStaysSound)
+{
+    // Regression: an assumption call learns clauses; a later plain
+    // solve() with the preprocessing preset must not run variable
+    // elimination over a database with learnt clauses attached.
+    Rng rng(GetParam() + 21000);
+    const Cnf cnf = randomCnf(rng, 8, 30, 3);
+    Solver solver(SolverConfig::simplify());
+    solver.addCnf(cnf);
+    LitVec assumptions;
+    assumptions.push_back(
+        mkLit(static_cast<Var>(rng.nextBelow(8)), rng.nextBool()));
+    const bool under = bruteForceSatWithAssumptions(cnf, assumptions);
+    EXPECT_EQ(under ? SolveResult::Sat : SolveResult::Unsat,
+              solver.solve(assumptions));
+    const bool plain = bruteForceSat(cnf);
+    EXPECT_EQ(plain ? SolveResult::Sat : SolveResult::Unsat,
+              solver.solve());
+    if (plain) {
+        std::vector<LBool> assign(cnf.numVars());
+        for (Var v = 0; v < cnf.numVars(); ++v)
+            assign[v] = solver.modelValue(v);
+        EXPECT_TRUE(cnf.satisfiedBy(assign));
+    }
 }
 
 TEST_P(SatProperty, WideClausesAgree)

@@ -359,6 +359,110 @@ TEST_P(VerifierProperty, UnsafeCounterexamplesAreValid)
 INSTANTIATE_TEST_SUITE_P(Seeds, VerifierProperty,
                          ::testing::Range(0, 25));
 
+TEST(CleanAncilla, RestoredAncillaIsSafe)
+{
+    // c starts in |0>, is toggled twice by the same control: restored.
+    Circuit c(3);
+    c.append(Gate::cnot(0, 2));
+    c.append(Gate::cnot(0, 2));
+    const QubitResult r = verifyCleanAncilla(c, 2);
+    EXPECT_EQ(Verdict::Safe, r.verdict);
+    EXPECT_EQ(FailedCondition::None, r.failed);
+}
+
+TEST(CleanAncilla, LeakedAncillaIsUnsafeWithValidCounterexample)
+{
+    // c ends holding q0's value: unsafe as a clean ancilla, and the
+    // counterexample must actually drive it out of |0>.
+    Circuit c(3);
+    c.append(Gate::cnot(0, 2));
+    const QubitResult r = verifyCleanAncilla(c, 2);
+    ASSERT_EQ(Verdict::Unsafe, r.verdict);
+    EXPECT_EQ(FailedCondition::ZeroRestoration, r.failed);
+    ASSERT_TRUE(r.counterexample.has_value());
+    sim::ClassicalState s(c.numQubits());
+    for (std::uint32_t k = 0; k < c.numQubits(); ++k)
+        s.set(k, (*r.counterexample)[k]);
+    s.set(2, false); // the ancilla starts clean regardless
+    s.applyCircuit(c);
+    EXPECT_TRUE(s.get(2))
+        << "counterexample must leave the clean ancilla outside |0>";
+}
+
+TEST(CleanAncilla, Fig14IsCleanSafeButDirtyUnsafe)
+{
+    // The paper's Figure 1.4 separation, through the clean-ancilla
+    // entry point: clean-safe, dirty-unsafe.
+    const Circuit c = circuits::fig14Counterexample();
+    EXPECT_EQ(Verdict::Safe, verifyCleanAncilla(c, 0).verdict);
+    EXPECT_EQ(Verdict::Unsafe, verifyQubit(c, 0).verdict);
+}
+
+TEST(CleanAncilla, NonClassicalRejected)
+{
+    Circuit c(2);
+    c.append(Gate::h(0));
+    EXPECT_EQ(Verdict::NotClassical, verifyCleanAncilla(c, 1).verdict);
+}
+
+TEST(CleanAncilla, IdleAncillaSolvedStructurally)
+{
+    Circuit c(3);
+    c.append(Gate::cnot(0, 1));
+    const QubitResult r = verifyCleanAncilla(c, 2);
+    EXPECT_EQ(Verdict::Safe, r.verdict);
+    EXPECT_TRUE(r.solvedStructurally);
+}
+
+TEST_P(VerifierProperty, CleanAncillaCounterexamplesReplay)
+{
+    // Every Unsafe clean-ancilla verdict must come with an input that,
+    // replayed through the classical simulator with the ancilla
+    // zeroed, leaves the ancilla set.
+    Rng rng(GetParam() + 600);
+    constexpr std::uint32_t n = 6;
+    const Circuit c = randomCircuit(rng, n, 14);
+    for (std::uint32_t q = 0; q < n; ++q) {
+        const QubitResult r = verifyCleanAncilla(c, q);
+        if (r.verdict != Verdict::Unsafe)
+            continue;
+        ASSERT_TRUE(r.counterexample.has_value());
+        sim::ClassicalState s(n);
+        for (std::uint32_t k = 0; k < n; ++k)
+            s.set(k, (*r.counterexample)[k]);
+        s.set(q, false);
+        s.applyCircuit(c);
+        EXPECT_TRUE(s.get(q)) << "qubit " << q;
+    }
+}
+
+TEST_P(VerifierProperty, CleanAncillaAgreesWithExhaustiveCheck)
+{
+    Rng rng(GetParam() + 700);
+    constexpr std::uint32_t n = 5;
+    const Circuit c = randomCircuit(rng, n, 12);
+    for (std::uint32_t q = 0; q < n; ++q) {
+        // Exhaustive oracle: over all inputs with q = 0, does the
+        // circuit ever leave q set?
+        bool leaks = false;
+        for (std::uint32_t bits = 0; bits < (1u << n); ++bits) {
+            if ((bits >> q) & 1)
+                continue;
+            sim::ClassicalState s(n);
+            for (std::uint32_t k = 0; k < n; ++k)
+                s.set(k, (bits >> k) & 1);
+            s.applyCircuit(c);
+            if (s.get(q)) {
+                leaks = true;
+                break;
+            }
+        }
+        EXPECT_EQ(leaks ? Verdict::Unsafe : Verdict::Safe,
+                  verifyCleanAncilla(c, q).verdict)
+            << "qubit " << q;
+    }
+}
+
 TEST(VerifyProgram, AdderProgramScopesAndVerdicts)
 {
     const auto prog = lang::elaborateSource(R"(

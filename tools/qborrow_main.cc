@@ -5,9 +5,11 @@
  *
  * Reads a QBorrow program, elaborates it, and verifies the safe
  * uncomputation of every `borrow`-introduced dirty qubit over its
- * borrow...release lifetime.  Exit status: 0 when all dirty qubits
- * are safe, 1 when any is unsafe or undecided, 2 on usage or input
- * errors.
+ * borrow...release lifetime through a VerificationEngine session:
+ * qubits sharing a lifetime share one formula arena and one
+ * incremental solver per lane, and `--portfolio` races both lanes per
+ * SAT query.  Exit status: 0 when all dirty qubits are safe, 1 when
+ * any is unsafe or undecided, 2 on usage or input errors.
  */
 
 #include <cstdio>
@@ -16,6 +18,8 @@
 #include <sstream>
 #include <string>
 
+#include "core/engine.h"
+#include "core/report.h"
 #include "core/verifier.h"
 #include "lang/elaborate.h"
 #include "support/logging.h"
@@ -33,6 +37,9 @@ usage(const char *argv0)
         "\n"
         "options:\n"
         "  --lane A|B        solver lane (default A; see docs)\n"
+        "  --portfolio       race both lanes per query, first wins\n"
+        "  --clean           also check alloc'd clean ancillas\n"
+        "  --json            emit a machine-readable JSON report\n"
         "  --quiet           only print the summary line\n"
         "  --dump-circuit    print the elaborated gate list\n"
         "  --no-cex          skip counterexample extraction\n"
@@ -51,16 +58,43 @@ readFile(const std::string &path)
     return out.str();
 }
 
+void
+printQubitLine(const qb::core::QubitResult &r)
+{
+    std::printf("  %-10s %s", r.name.c_str(),
+                qb::core::verdictName(r.verdict));
+    if (r.verdict == qb::core::Verdict::Unsafe) {
+        std::printf(" (%s restoration violated)",
+                    r.failed == qb::core::FailedCondition::
+                                    ZeroRestoration
+                        ? "|0>"
+                        : "|+>");
+    }
+    if (r.lane >= 0)
+        std::printf(" [lane %c]", 'A' + r.lane);
+    std::printf("\n");
+    if (r.counterexample) {
+        std::printf("    counterexample input:");
+        for (bool b : *r.counterexample)
+            std::printf(" %d", b ? 1 : 0);
+        std::printf("\n");
+    }
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string path;
+    std::string lane = "A";
     bool quiet = false;
     bool dump = false;
-    qb::core::VerifierOptions options =
-        qb::core::VerifierOptions::laneA();
+    bool portfolio = false;
+    bool clean = false;
+    bool json = false;
+    bool want_cex = true;
+    std::int64_t budget = -1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--quiet") {
@@ -68,21 +102,21 @@ main(int argc, char **argv)
         } else if (arg == "--dump-circuit") {
             dump = true;
         } else if (arg == "--no-cex") {
-            options.wantCounterexample = false;
+            want_cex = false;
+        } else if (arg == "--portfolio") {
+            portfolio = true;
+        } else if (arg == "--clean") {
+            clean = true;
+        } else if (arg == "--json") {
+            json = true;
         } else if (arg == "--lane" && i + 1 < argc) {
-            const std::string lane = argv[++i];
-            const bool want_cex = options.wantCounterexample;
-            if (lane == "A") {
-                options = qb::core::VerifierOptions::laneA();
-            } else if (lane == "B") {
-                options = qb::core::VerifierOptions::laneB();
-            } else {
+            lane = argv[++i];
+            if (lane != "A" && lane != "B") {
                 usage(argv[0]);
                 return 2;
             }
-            options.wantCounterexample = want_cex;
         } else if (arg == "--budget" && i + 1 < argc) {
-            options.conflictBudget = std::atoll(argv[++i]);
+            budget = std::atoll(argv[++i]);
         } else if (!arg.empty() && arg[0] == '-') {
             usage(argv[0]);
             return 2;
@@ -98,41 +132,37 @@ main(int argc, char **argv)
         return 2;
     }
 
+    qb::core::EngineOptions options = portfolio
+        ? qb::core::EngineOptions::portfolioAB()
+        : qb::core::EngineOptions::singleLane(
+              lane == "A" ? qb::core::VerifierOptions::laneA()
+                          : qb::core::VerifierOptions::laneB());
+    for (qb::core::VerifierOptions &lane_options : options.lanes) {
+        lane_options.wantCounterexample = want_cex;
+        lane_options.conflictBudget = budget;
+    }
+
     try {
         const std::string source = readFile(path);
         const auto program = qb::lang::elaborateSource(source);
         if (dump)
             std::printf("%s", program.circuit.toString().c_str());
-        if (!quiet) {
+        if (!quiet && !json) {
             std::printf("%s: %u qubits, %zu gates\n", path.c_str(),
                         program.circuit.numQubits(),
                         program.circuit.size());
         }
+        // Stream per-qubit lines as the engine produces them.
+        qb::core::ResultObserver observer;
+        if (!quiet && !json)
+            observer = printQubitLine;
         const auto result =
-            qb::core::verifyProgram(program, options);
-        if (!quiet) {
-            for (const auto &r : result.qubits) {
-                std::printf("  %-10s %s", r.name.c_str(),
-                            qb::core::verdictName(r.verdict));
-                if (r.verdict == qb::core::Verdict::Unsafe) {
-                    std::printf(
-                        " (%s restoration violated)",
-                        r.failed ==
-                                qb::core::FailedCondition::
-                                    ZeroRestoration
-                            ? "|0>"
-                            : "|+>");
-                }
-                std::printf("\n");
-                if (r.counterexample) {
-                    std::printf("    counterexample input:");
-                    for (bool b : *r.counterexample)
-                        std::printf(" %d", b ? 1 : 0);
-                    std::printf("\n");
-                }
-            }
+            qb::core::verifyAll(program, options, observer, clean);
+        if (json) {
+            std::printf("%s", qb::core::toJson(result, path).c_str());
+        } else {
+            std::printf("%s\n", result.summary().c_str());
         }
-        std::printf("%s\n", result.summary().c_str());
         return result.allSafe() ? 0 : 1;
     } catch (const qb::FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());

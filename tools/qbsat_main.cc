@@ -22,16 +22,17 @@ int
 main(int argc, char **argv)
 {
     std::string path;
-    qb::sat::SolverConfig config = qb::sat::SolverConfig::baseline();
+    bool simplify = false;
     bool stats = false;
+    std::int64_t budget = -1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--simplify") {
-            config = qb::sat::SolverConfig::simplify();
+            simplify = true;
         } else if (arg == "--stats") {
             stats = true;
         } else if (arg == "--budget" && i + 1 < argc) {
-            config.conflictBudget = std::atoll(argv[++i]);
+            budget = std::atoll(argv[++i]);
         } else if (path.empty()) {
             path = arg;
         } else {
@@ -47,6 +48,13 @@ main(int argc, char **argv)
                      argv[0]);
         return 2;
     }
+    // Build the config only after the flag scan: presets and tweaks
+    // compose in any order (previously `--budget N --simplify` lost
+    // the budget because the preset replaced the whole config).
+    qb::sat::SolverConfig config = simplify
+        ? qb::sat::SolverConfig::simplify()
+        : qb::sat::SolverConfig::baseline();
+    config.conflictBudget = budget;
 
     std::string text;
     if (path == "-") {

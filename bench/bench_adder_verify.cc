@@ -32,6 +32,14 @@
  * Bitwuzla 3/12/29/98/158/248/313 s for n = 50..200.  Absolute times
  * are not comparable (different solver and machine); the shape -
  * polynomial growth in n - is.
+ *
+ * Portfolio scheduler vs PR 1 thread racing (1-core container,
+ * AdderVerifyEnginePortfolio wall-clock): PR 1 spawned one thread per
+ * lane per condition; the persistent scheduler with conflict-sliced
+ * racing gets n = 50: 0.426 s -> 0.265 s and n = 100: 1.75 s ->
+ * 1.44 s.  Slicing matters most here: lane A loses this family, and
+ * without slices a 1-worker pool would run every losing lane-A solve
+ * to completion (7.1 s at n = 100) before lane B ever started.
  */
 
 #include <benchmark/benchmark.h>
@@ -151,6 +159,14 @@ AdderVerifyEnginePortfolio(benchmark::State &state)
     runAdderEngine(state, qb::core::EngineOptions::portfolioAB());
 }
 
+void
+AdderVerifyEnginePortfolioABC(benchmark::State &state)
+{
+    // Adds lane C: shares lane A's encoding, so A and C exchange
+    // learnt clauses while racing.
+    runAdderEngine(state, qb::core::EngineOptions::portfolioABC());
+}
+
 } // namespace
 
 BENCHMARK(AdderVerifyOneShotLaneA)
@@ -170,6 +186,10 @@ BENCHMARK(AdderVerifyEngineLaneB)
     ->Unit(benchmark::kSecond)
     ->Iterations(1);
 BENCHMARK(AdderVerifyEnginePortfolio)
+    ->DenseRange(50, 200, 25)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+BENCHMARK(AdderVerifyEnginePortfolioABC)
     ->DenseRange(50, 200, 25)
     ->Unit(benchmark::kSecond)
     ->Iterations(1);

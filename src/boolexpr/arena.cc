@@ -34,8 +34,8 @@ Arena::children(NodeRef ref) const
     const Node &n = nodes[ref];
     qbAssert(n.kind == NodeKind::And || n.kind == NodeKind::Xor,
              "children on leaf node");
-    return {childPool.data() + n.childBegin,
-            childPool.data() + n.childEnd};
+    // Child lists are single appendRun() runs: contiguous by contract.
+    return {childPool.at(n.childBegin), n.childEnd - n.childBegin};
 }
 
 NodeRef
@@ -181,7 +181,7 @@ Arena::equalNode(NodeRef ref, NodeKind node_kind, std::uint32_t var,
     if (count != node_children.size())
         return false;
     return std::equal(node_children.begin(), node_children.end(),
-                      childPool.begin() + n.childBegin);
+                      childPool.at(n.childBegin));
 }
 
 NodeRef
@@ -195,10 +195,10 @@ Arena::intern(NodeKind node_kind, std::uint32_t var,
             return it->second;
     }
     const NodeRef ref = static_cast<NodeRef>(nodes.size());
-    const auto begin = static_cast<std::uint32_t>(childPool.size());
-    childPool.insert(childPool.end(), node_children.begin(),
-                     node_children.end());
-    const auto end = static_cast<std::uint32_t>(childPool.size());
+    const auto begin = static_cast<std::uint32_t>(childPool.appendRun(
+        node_children.data(), node_children.size()));
+    const auto end =
+        begin + static_cast<std::uint32_t>(node_children.size());
     nodes.push_back({node_kind, var, begin, end});
     uniqueTable.emplace(h, ref);
     return ref;

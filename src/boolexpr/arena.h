@@ -25,6 +25,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "support/chunked_vector.h"
+
 namespace qb::bexp {
 
 /** Reference to a node inside an Arena; valid for the arena's lifetime. */
@@ -50,6 +52,16 @@ enum class NodeKind : std::uint8_t {
  * in the same arena are equal as canonical DAGs iff their refs are equal.
  * This makes the x XOR x = 0 simplification of Figure 6.1 a constant-time
  * side effect of construction.
+ *
+ * Concurrency: construction (the mk functions, substitute, intern) is
+ * single-writer - only one thread may grow an arena.  The structural readers (kind(),
+ * children(), varId(), constValue(), evaluate(), dagSize()...) may run
+ * concurrently on OTHER threads for any node whose ref was handed to
+ * them through a synchronizing channel, while the writer keeps
+ * interning new nodes: node and child storage is chunked and never
+ * relocates (see support/chunked_vector.h for the exact contract).
+ * The verification engine relies on this to build the conditions of
+ * later qubits while scheduler workers encode earlier ones.
  */
 class Arena
 {
@@ -126,8 +138,8 @@ class Arena
     bool equalNode(NodeRef ref, NodeKind kind, std::uint32_t var,
                    const std::vector<NodeRef> &children) const;
 
-    std::vector<Node> nodes;
-    std::vector<NodeRef> childPool;
+    ChunkedVector<Node> nodes;
+    ChunkedVector<NodeRef> childPool;
     std::unordered_multimap<std::uint64_t, NodeRef> uniqueTable;
     std::unordered_map<std::uint32_t, NodeRef> varTable;
 };

@@ -1,6 +1,7 @@
 #include "circuits/qbr_text.h"
 
-#include "support/logging.h"
+#include <stdexcept>
+
 #include "support/strings.h"
 
 namespace qb::circuits {
@@ -8,8 +9,14 @@ namespace qb::circuits {
 std::string
 adderQbrSource(std::uint32_t n)
 {
+    // Below n = 3 the loop bounds invert and the emitted text indexes
+    // qubits that do not exist: reject here with the standard
+    // bad-argument exception instead of handing a broken program to
+    // the parser (whose error would point at generated text the user
+    // never wrote).
     if (n < 3)
-        fatal("adderQbrSource requires n >= 3");
+        throw std::invalid_argument(
+            format("adderQbrSource requires n >= 3 (got %u)", n));
     std::string out = format("// adder.qbr\nlet n = %u;\n", n);
     out += R"(borrow@ q[n]; // inputs: no assumptions, skip verification
 borrow a[n - 1]; // dirty qubits
@@ -44,7 +51,8 @@ std::string
 mcxQbrSource(std::uint32_t m)
 {
     if (m < 4)
-        fatal("mcxQbrSource requires m >= 4");
+        throw std::invalid_argument(
+            format("mcxQbrSource requires m >= 4 (got %u)", m));
     std::string out = format("// mcx.qbr\nlet m = %u;\n", m);
     out += R"(let n = m + (m - 1); // n-controlled NOT gate
 

@@ -17,10 +17,18 @@
 
 namespace qb::circuits {
 
-/** adder.qbr with `let n = <n>` (requires n >= 3). */
+/**
+ * adder.qbr with `let n = <n>`.
+ * @throws std::invalid_argument when n < 3 (the program is
+ *         ill-formed below that).
+ */
 std::string adderQbrSource(std::uint32_t n);
 
-/** mcx.qbr with `let m = <m>` (requires m >= 4). */
+/**
+ * mcx.qbr with `let m = <m>`.
+ * @throws std::invalid_argument when m < 4 (the program is
+ *         ill-formed below that).
+ */
 std::string mcxQbrSource(std::uint32_t m);
 
 } // namespace qb::circuits

@@ -1,8 +1,7 @@
 #include "core/engine.h"
 
-#include <atomic>
+#include <algorithm>
 #include <map>
-#include <optional>
 #include <thread>
 #include <utility>
 
@@ -26,6 +25,16 @@ EngineOptions::portfolioAB()
 {
     EngineOptions o;
     o.lanes = {VerifierOptions::laneA(), VerifierOptions::laneB()};
+    o.portfolio = true;
+    return o;
+}
+
+EngineOptions
+EngineOptions::portfolioABC()
+{
+    EngineOptions o;
+    o.lanes = {VerifierOptions::laneA(), VerifierOptions::laneB(),
+               VerifierOptions::laneC()};
     o.portfolio = true;
     return o;
 }
@@ -69,11 +78,27 @@ struct VerificationEngine::Lane
     VerifierOptions options;
     sat::Solver solver;
     sat::IncrementalTseitin encoder;
+    /** Preprocessing lanes discharge per-condition in fresh solvers. */
+    bool scratch;
+    /** Serial task queue keeping this lane's condition stream ordered
+     *  (persistent lanes only; scratch work is unordered). */
+    std::shared_ptr<Scheduler::SerialQueue> queue;
+    /**
+     * Lane is in a learnt-clause exchange group: it must assert every
+     * condition even when the race is already decided, so that its
+     * solver-variable numbering stays the group's shared numbering
+     * (the soundness basis of verbatim clause exchange).
+     */
+    bool alwaysEncode = false;
 
-    Lane(int idx, const VerifierOptions &opts, const bexp::Arena &arena)
+    Lane(int idx, const VerifierOptions &opts, const bexp::Arena &arena,
+         Scheduler &sched)
         : index(idx), options(opts), solver(incrementalConfig(opts)),
-          encoder(arena, solver, opts.encoding, opts.xorChunk)
+          encoder(arena, solver, opts.encoding, opts.xorChunk),
+          scratch(opts.solver.preprocess)
     {
+        if (!scratch)
+            queue = sched.makeQueue();
         // The arena holds exactly the circuit's qubit formulas at lane
         // construction time: that region sits in every condition's
         // cone, so its definitions stay unguarded and the conflict
@@ -104,12 +129,85 @@ struct VerificationEngine::LaneOutcome
     bool structural = false;
 };
 
-VerificationEngine::VerificationEngine(const ir::Circuit &circuit,
-                                       EngineOptions options)
-    : options_(std::move(options)), circuit_(circuit)
+/**
+ * One condition raced across the configured lanes: the (qubit,
+ * condition) work item of the scheduler.  Workers fill outcomes[] and
+ * flip stop on the first definitive answer; the producing thread
+ * blocks in collectRace() only when it actually needs the verdict.
+ *
+ * Racing lanes solve in conflict SLICES (sliceBudget, growing
+ * geometrically) and requeue themselves while inconclusive.  With at
+ * least as many workers as lanes a slice boundary is just a cheap
+ * extra restart; with fewer workers - the interesting case on small
+ * machines - slicing is what emulates preemptive racing: no lane can
+ * hog a worker for a whole (possibly losing) solve while a faster
+ * lane's answer waits in the queue.  The per-lane accumulator fields
+ * are owned by that lane's task chain (each continuation is submitted
+ * only after its predecessor ran, so the chain is ordered even on the
+ * unordered pool).
+ */
+struct VerificationEngine::Race
+{
+    bexp::NodeRef condition = bexp::kFalse;
+    /** First-finisher cancellation flag; doubles as the solver stop
+     *  flag of every racing lane. */
+    std::atomic<bool> stop{false};
+    std::mutex mutex;
+    std::condition_variable done;
+    std::vector<LaneOutcome> outcomes; ///< indexed by lane
+    std::size_t pending = 0;           ///< lanes still to report
+
+    /** @name Per-lane slice state (owned by the lane's task chain). @{ */
+    std::vector<LaneOutcome> partial;        ///< accumulates slices
+    std::vector<std::int64_t> sliceBudget;   ///< next slice, conflicts
+    std::vector<std::int64_t> budgetLeft;    ///< user budget remaining
+    /** Scratch lanes keep their per-condition solver across slices. */
+    std::vector<std::unique_ptr<sat::Solver>> scratchSolver;
+    /** @} */
+};
+
+/** First racing slice, in conflicts; slices grow 4x per round. */
+constexpr std::int64_t kInitialSlice = 128;
+
+VerificationEngine::Pending::Pending() = default;
+VerificationEngine::Pending::Pending(Pending &&) noexcept = default;
+VerificationEngine::Pending &
+VerificationEngine::Pending::operator=(Pending &&) noexcept = default;
+
+VerificationEngine::Pending::~Pending()
+{
+    // An unredeemed handle cancels its races; the engine's destruction
+    // fence keeps the lanes alive until the cancelled tasks drain.
+    VerificationEngine::abandon(zero);
+    VerificationEngine::abandon(plus);
+}
+
+VerificationEngine::VerificationEngine(
+    const ir::Circuit &circuit, EngineOptions options,
+    std::shared_ptr<Scheduler> scheduler)
+    : options_(std::move(options)), circuit_(circuit),
+      scheduler_(std::move(scheduler))
 {
     if (options_.lanes.empty())
         options_.lanes = {VerifierOptions::laneA()};
+    if (!scheduler_) {
+        // Auto-sizing (jobs == 0) caps the private pool at what this
+        // session can actually keep busy - racing lanes in portfolio
+        // mode, one worker otherwise - so the one-shot wrappers do not
+        // spin up (and join) a machine-wide pool per single query.  An
+        // explicit jobs count is honored verbatim, and batch drivers
+        // inject one full-width shared scheduler instead.
+        unsigned jobs = options_.jobs;
+        if (jobs == 0) {
+            jobs = std::thread::hardware_concurrency();
+            if (jobs == 0)
+                jobs = 1;
+            const auto need = static_cast<unsigned>(
+                options_.portfolio ? options_.lanes.size() : 1);
+            jobs = std::min(jobs, std::max(1u, need));
+        }
+        scheduler_ = std::make_shared<Scheduler>(jobs);
+    }
     classical = circuit_.isClassical();
     const std::uint32_t n = circuit_.numQubits();
     conditionCache.resize(n);
@@ -125,11 +223,70 @@ VerificationEngine::VerificationEngine(const ir::Circuit &circuit,
     }
     int index = 0;
     for (const VerifierOptions &lane_options : options_.lanes)
-        lanes_.push_back(
-            std::make_unique<Lane>(index++, lane_options, arena));
+        lanes_.push_back(std::make_unique<Lane>(
+            index++, lane_options, arena, *scheduler_));
+
+    // Wire learnt-clause exchange between racing persistent lanes with
+    // identical encoder configuration: same mode, same XOR chunking,
+    // same arena, same condition order (enforced by alwaysEncode)
+    // means identical solver-variable numbering, so clauses travel
+    // verbatim.  Lanes outside such a group (scratch lanes, odd
+    // encodings) race without sharing, as before.
+    if (options_.portfolio) {
+        std::map<std::pair<int, unsigned>, std::vector<Lane *>> groups;
+        for (const auto &lane : lanes_) {
+            if (lane->scratch)
+                continue;
+            groups[{static_cast<int>(lane->options.encoding),
+                    lane->options.xorChunk}]
+                .push_back(lane.get());
+        }
+        for (auto &[key, group] : groups) {
+            if (group.size() < 2)
+                continue;
+            for (Lane *lane : group) {
+                std::vector<sat::Solver *> peers;
+                for (Lane *other : group)
+                    if (other != lane)
+                        peers.push_back(&other->solver);
+                lane->alwaysEncode = true;
+                ++engineStats.shareLanes;
+                lane->solver.setClauseExport(
+                    [peers](const sat::LitVec &clause, unsigned) {
+                        for (sat::Solver *peer : peers)
+                            peer->postImport(clause);
+                    });
+            }
+        }
+    }
 }
 
-VerificationEngine::~VerificationEngine() = default;
+VerificationEngine::~VerificationEngine()
+{
+    {
+        const std::lock_guard<std::mutex> guard(fenceMutex);
+        for (const std::weak_ptr<Race> &weak : liveRaces)
+            if (const std::shared_ptr<Race> race = weak.lock())
+                race->stop.store(true, std::memory_order_release);
+    }
+    waitIdle();
+}
+
+void
+VerificationEngine::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(fenceMutex);
+    fenceIdle.wait(lock, [this] { return tasksInFlight == 0; });
+}
+
+sat::SolverStats
+VerificationEngine::laneSolverStats(std::size_t lane)
+{
+    qbAssert(lane < lanes_.size(),
+             "laneSolverStats: lane out of range");
+    waitIdle();
+    return lanes_[lane]->solver.stats();
+}
 
 const VerificationEngine::Conditions &
 VerificationEngine::conditionsFor(ir::QubitId q)
@@ -170,139 +327,334 @@ VerificationEngine::conditionsFor(ir::QubitId q)
     return *conditionCache[q];
 }
 
-VerificationEngine::LaneOutcome
-VerificationEngine::scratchDecide(Lane &lane, bexp::NodeRef condition,
-                                  const std::atomic<bool> *stop)
+void
+VerificationEngine::abandon(const std::shared_ptr<Race> &race)
+{
+    if (race)
+        race->stop.store(true, std::memory_order_release);
+}
+
+std::shared_ptr<VerificationEngine::Race>
+VerificationEngine::submitRace(bexp::NodeRef condition)
+{
+    auto race = std::make_shared<Race>();
+    race->condition = condition;
+    const std::size_t racers =
+        options_.portfolio ? lanes_.size() : 1;
+    race->outcomes.resize(lanes_.size());
+    race->partial.resize(lanes_.size());
+    race->sliceBudget.assign(lanes_.size(), kInitialSlice);
+    race->budgetLeft.resize(lanes_.size());
+    race->scratchSolver.resize(lanes_.size());
+    for (std::size_t i = 0; i < lanes_.size(); ++i)
+        race->budgetLeft[i] = lanes_[i]->options.conflictBudget;
+    race->pending = racers;
+    engineStats.satCalls += racers;
+    {
+        const std::lock_guard<std::mutex> guard(fenceMutex);
+        if (liveRaces.size() >= 64) {
+            std::erase_if(liveRaces,
+                          [](const std::weak_ptr<Race> &weak) {
+                              return weak.expired();
+                          });
+        }
+        liveRaces.push_back(race);
+    }
+    for (std::size_t i = 0; i < racers; ++i)
+        submitLaneTask(race, i);
+    return race;
+}
+
+void
+VerificationEngine::submitLaneTask(const std::shared_ptr<Race> &race,
+                                   std::size_t lane_index)
+{
+    Lane &lane = *lanes_[lane_index];
+    {
+        const std::lock_guard<std::mutex> guard(fenceMutex);
+        ++tasksInFlight;
+    }
+    auto task = [this, &lane, race] {
+        if (lane.scratch)
+            runScratchTask(lane, race);
+        else
+            runPersistentTask(lane, race);
+        // Notify UNDER the mutex: waitIdle()'s waiter may destroy the
+        // engine (and this condition variable) the instant the count
+        // hits zero, so the notify must complete before the lock is
+        // released.
+        const std::lock_guard<std::mutex> guard(fenceMutex);
+        --tasksInFlight;
+        fenceIdle.notify_all();
+    };
+    if (lane.scratch)
+        scheduler_->submit(std::move(task));
+    else
+        scheduler_->submit(lane.queue, std::move(task));
+}
+
+/**
+ * Conflict budget for the next slice of @p race on lane @p i, honoring
+ * the lane's remaining user budget.  Single-lane (non-racing)
+ * decisions do not slice: there is no competitor to yield to.
+ */
+std::int64_t
+VerificationEngine::sliceBudgetFor(const Race &race, std::size_t i,
+                                   bool racing) const
+{
+    if (!racing)
+        return race.budgetLeft[i];
+    std::int64_t budget = race.sliceBudget[i];
+    if (race.budgetLeft[i] >= 0 && race.budgetLeft[i] < budget)
+        budget = race.budgetLeft[i];
+    return budget;
+}
+
+/** Post-slice bookkeeping shared by both lane kinds: returns true when
+ *  the lane should yield and requeue for another slice. */
+bool
+VerificationEngine::continueSlicing(Race &race, std::size_t i,
+                                    bool racing,
+                                    sat::SolveResult result,
+                                    std::int64_t used)
+{
+    if (race.budgetLeft[i] >= 0)
+        race.budgetLeft[i] = std::max<std::int64_t>(
+            0, race.budgetLeft[i] - used);
+    if (result != sat::SolveResult::Unknown || !racing)
+        return false;
+    if (race.stop.load(std::memory_order_acquire))
+        return false; // cancelled, not inconclusive
+    if (race.budgetLeft[i] == 0)
+        return false; // user budget exhausted: Unknown is final
+    race.sliceBudget[i] *= 4;
+    return true;
+}
+
+void
+VerificationEngine::runPersistentTask(
+    Lane &lane, const std::shared_ptr<Race> &race)
+{
+    const std::size_t i = static_cast<std::size_t>(lane.index);
+    const bool racing = options_.portfolio && lanes_.size() > 1;
+    LaneOutcome &acc = race->partial[i];
+    sat::IncrementalTseitin::Selector sel;
+    if (acc.lane < 0) {
+        // First slice: encode the condition.  Share-group lanes encode
+        // even when the race is already decided - their solver
+        // variable numbering must stay the group's shared numbering.
+        acc.lane = lane.index;
+        const bool resolved =
+            race->stop.load(std::memory_order_acquire);
+        if (resolved && !lane.alwaysEncode) {
+            reportOutcome(*race, lane.index, std::move(acc));
+            return;
+        }
+        Timer encode_timer;
+        const std::size_t vars_before = lane.encoder.varsCreated();
+        const std::size_t clauses_before =
+            lane.encoder.clausesEmitted();
+        sel = lane.encoder.assertCondition(race->condition);
+        acc.encodeSeconds = encode_timer.seconds();
+        acc.vars = lane.encoder.varsCreated() - vars_before;
+        acc.clauses = lane.encoder.clausesEmitted() - clauses_before;
+        // Constant conditions resolve at prepare time, upstream.
+        qbAssert(!sel.rootIsConst,
+                 "constant conditions decide upstream");
+        // Epoch-style retention BETWEEN queries (first slice only -
+        // later slices of the same condition keep everything): carry
+        // over only the high-value (low-LBD and imported) conflict
+        // clauses.  They are what makes repeated or structurally-
+        // related queries cheap, while the bulk of the learnt
+        // database would tax every propagation.
+        lane.solver.shrinkLearnts(3);
+    } else {
+        sel = lane.encoder.assertCondition(race->condition); // cached
+    }
+    if (race->stop.load(std::memory_order_acquire)) {
+        reportOutcome(*race, lane.index, std::move(acc));
+        return;
+    }
+    lane.solver.setConflictBudget(sliceBudgetFor(*race, i, racing));
+    lane.solver.setStopFlag(&race->stop);
+    const std::int64_t conflicts_before =
+        lane.solver.stats().conflicts;
+    Timer solve_timer;
+    const sat::SolveResult result = lane.solver.solve({sel.lit});
+    acc.solveSeconds += solve_timer.seconds();
+    const std::int64_t used =
+        lane.solver.stats().conflicts - conflicts_before;
+    acc.conflicts += used;
+    lane.solver.setStopFlag(nullptr);
+
+    if (continueSlicing(*race, i, racing, result, used)) {
+        submitLaneTask(race, i);
+        return;
+    }
+    acc.result = result;
+    reportOutcome(*race, lane.index, std::move(acc));
+}
+
+void
+VerificationEngine::runScratchTask(Lane &lane,
+                                   const std::shared_ptr<Race> &race)
 {
     // Lanes whose preset asks for preprocessing discharge each
     // condition in a dedicated solver: bounded variable elimination
     // is a whole-database transformation that is unsound once
     // selector-guarded conditions and learnt clauses accumulate, and
     // for these lanes it is worth far more than clause reuse (the
-    // paper's "formula simplification algorithms" trade-off).
-    LaneOutcome outcome;
-    outcome.lane = lane.index;
-    Timer encode_timer;
-    sat::TseitinResult enc = sat::encodeAssertTrue(
-        arena, condition, lane.options.encoding,
-        lane.options.xorChunk);
-    outcome.encodeSeconds = encode_timer.seconds();
-    qbAssert(!enc.rootIsConst, "constant conditions decide upstream");
-    outcome.vars = static_cast<std::size_t>(enc.cnf.numVars());
-    outcome.clauses = enc.cnf.numClauses();
-
-    sat::SolverConfig config = lane.options.solver;
-    config.conflictBudget = lane.options.conflictBudget;
-    sat::Solver solver(config);
-    solver.setStopFlag(stop);
-    solver.addCnf(enc.cnf);
-    Timer solve_timer;
-    outcome.result = solver.solve();
-    outcome.solveSeconds = solve_timer.seconds();
-    outcome.conflicts = solver.stats().conflicts;
-
-    if (outcome.result == sat::SolveResult::Sat &&
-        lane.options.wantCounterexample)
-        outcome.model =
-            extractModel(enc.inputVar, solver, circuit_.numQubits());
-    return outcome;
-}
-
-VerificationEngine::LaneOutcome
-VerificationEngine::laneDecide(Lane &lane, bexp::NodeRef condition,
-                               const std::atomic<bool> *stop)
-{
-    if (lane.options.solver.preprocess)
-        return scratchDecide(lane, condition, stop);
-    LaneOutcome outcome;
-    outcome.lane = lane.index;
-    Timer encode_timer;
-    const std::size_t vars_before = lane.encoder.varsCreated();
-    const std::size_t clauses_before = lane.encoder.clausesEmitted();
-    const sat::IncrementalTseitin::Selector sel =
-        lane.encoder.assertCondition(condition);
-    outcome.encodeSeconds = encode_timer.seconds();
-    outcome.vars = lane.encoder.varsCreated() - vars_before;
-    outcome.clauses = lane.encoder.clausesEmitted() - clauses_before;
-    // decide() resolves constant conditions before involving a lane.
-    qbAssert(!sel.rootIsConst, "constant conditions decide upstream");
-
-    // Epoch-style retention between queries: carry over only the
-    // high-value (low-LBD) conflict clauses.  They are what makes
-    // repeated or structurally-related queries cheap, while the bulk
-    // of the learnt database would tax every propagation.
-    lane.solver.shrinkLearnts(3);
-    lane.solver.setConflictBudget(lane.options.conflictBudget);
-    lane.solver.setStopFlag(stop);
-    const std::int64_t conflicts_before =
-        lane.solver.stats().conflicts;
-    Timer solve_timer;
-    outcome.result = lane.solver.solve({sel.lit});
-    outcome.solveSeconds = solve_timer.seconds();
-    outcome.conflicts =
-        lane.solver.stats().conflicts - conflicts_before;
-    lane.solver.setStopFlag(nullptr);
-
-    if (outcome.result == sat::SolveResult::Sat &&
-        lane.options.wantCounterexample)
-        outcome.model = extractModel(lane.encoder.inputVars(),
-                                     lane.solver,
-                                     circuit_.numQubits());
-    return outcome;
-}
-
-VerificationEngine::LaneOutcome
-VerificationEngine::decide(bexp::NodeRef condition, QubitResult &out)
-{
-    LaneOutcome outcome;
-    if (arena.isConst(condition)) {
-        // Construction-time simplification discharged the condition
-        // outright (the paper's Figure 6.1 observation).
-        ++engineStats.structural;
-        outcome.structural = true;
-        outcome.result = arena.constValue(condition)
-            ? sat::SolveResult::Sat
-            : sat::SolveResult::Unsat;
-        if (outcome.result == sat::SolveResult::Sat &&
-            lanes_.front()->options.wantCounterexample)
-            outcome.model =
-                std::vector<bool>(circuit_.numQubits(), false);
-    } else if (!options_.portfolio || lanes_.size() == 1) {
-        engineStats.satCalls += 1;
-        outcome = laneDecide(*lanes_.front(), condition, nullptr);
-    } else {
-        engineStats.satCalls += lanes_.size();
-        std::atomic<bool> stop{false};
-        std::vector<LaneOutcome> raced(lanes_.size());
-        std::vector<std::thread> threads;
-        threads.reserve(lanes_.size());
-        for (std::size_t i = 0; i < lanes_.size(); ++i) {
-            threads.emplace_back([this, i, condition, &stop, &raced] {
-                raced[i] = laneDecide(*lanes_[i], condition, &stop);
-                if (raced[i].result != sat::SolveResult::Unknown)
-                    stop.store(true, std::memory_order_relaxed);
-            });
-        }
-        for (std::thread &t : threads)
-            t.join();
-        // Take the first definitive answer (lanes agree whenever more
-        // than one finishes); all Unknown means every budget ran out.
-        outcome = raced.front();
-        for (const LaneOutcome &o : raced) {
-            if (o.result != sat::SolveResult::Unknown) {
-                outcome = o;
-                break;
-            }
-        }
+    // paper's "formula simplification algorithms" trade-off).  The
+    // dedicated solver lives in the race so it survives slice
+    // boundaries.
+    const std::size_t i = static_cast<std::size_t>(lane.index);
+    const bool racing = options_.portfolio && lanes_.size() > 1;
+    LaneOutcome &acc = race->partial[i];
+    if (race->stop.load(std::memory_order_acquire)) {
+        if (acc.lane < 0)
+            acc.lane = lane.index;
+        race->scratchSolver[i].reset();
+        reportOutcome(*race, lane.index, std::move(acc));
+        return;
     }
-    out.encodeSeconds += outcome.encodeSeconds;
-    out.solveSeconds += outcome.solveSeconds;
-    out.cnfVars += outcome.vars;
-    out.cnfClauses += outcome.clauses;
-    out.conflicts += outcome.conflicts;
-    if (outcome.lane >= 0)
-        out.lane = outcome.lane;
+    if (acc.lane < 0) {
+        acc.lane = lane.index;
+        Timer encode_timer;
+        sat::TseitinResult enc = sat::encodeAssertTrue(
+            arena, race->condition, lane.options.encoding,
+            lane.options.xorChunk);
+        acc.encodeSeconds = encode_timer.seconds();
+        qbAssert(!enc.rootIsConst,
+                 "constant conditions decide upstream");
+        acc.vars = static_cast<std::size_t>(enc.cnf.numVars());
+        acc.clauses = enc.cnf.numClauses();
+        race->scratchSolver[i] =
+            std::make_unique<sat::Solver>(lane.options.solver);
+        race->scratchSolver[i]->addCnf(enc.cnf);
+    }
+    sat::Solver &solver = *race->scratchSolver[i];
+    solver.setConflictBudget(sliceBudgetFor(*race, i, racing));
+    solver.setStopFlag(&race->stop);
+    const std::int64_t conflicts_before = solver.stats().conflicts;
+    Timer solve_timer;
+    const sat::SolveResult result = solver.solve();
+    acc.solveSeconds += solve_timer.seconds();
+    const std::int64_t used =
+        solver.stats().conflicts - conflicts_before;
+    acc.conflicts += used;
+    solver.setStopFlag(nullptr);
+
+    if (continueSlicing(*race, i, racing, result, used)) {
+        submitLaneTask(race, i);
+        return;
+    }
+    acc.result = result;
+    race->scratchSolver[i].reset();
+    reportOutcome(*race, lane.index, std::move(acc));
+}
+
+void
+VerificationEngine::reportOutcome(Race &race, int lane,
+                                  LaneOutcome outcome)
+{
+    const bool definitive =
+        outcome.result != sat::SolveResult::Unknown;
+    bool last = false;
+    {
+        const std::lock_guard<std::mutex> guard(race.mutex);
+        race.outcomes[lane] = std::move(outcome);
+        if (definitive)
+            race.stop.store(true, std::memory_order_release);
+        last = --race.pending == 0;
+    }
+    if (last)
+        race.done.notify_all();
+}
+
+VerificationEngine::LaneOutcome
+VerificationEngine::collectRace(Race &race, QubitResult &out)
+{
+    {
+        std::unique_lock<std::mutex> lock(race.mutex);
+        race.done.wait(lock, [&race] { return race.pending == 0; });
+    }
+    // All workers have reported; outcomes are immutable from here on.
+    // Charge the work of EVERY raced lane to the result - losing and
+    // budget-exhausted lanes burnt real conflicts and real time, and
+    // reports should reflect it - but take the verdict (and the lane
+    // credit) from the first definitive lane in index order.
+    const LaneOutcome *winner = nullptr;
+    const LaneOutcome *first_run = nullptr;
+    for (const LaneOutcome &o : race.outcomes) {
+        if (o.lane < 0)
+            continue; // lane never raced (non-portfolio tail slots)
+        if (!first_run)
+            first_run = &o;
+        out.encodeSeconds += o.encodeSeconds;
+        out.solveSeconds += o.solveSeconds;
+        out.conflicts += o.conflicts;
+        if (!winner && o.result != sat::SolveResult::Unknown)
+            winner = &o;
+    }
+    const LaneOutcome *primary = winner ? winner : first_run;
+    LaneOutcome result;
+    if (primary) {
+        out.cnfVars += primary->vars;
+        out.cnfClauses += primary->clauses;
+        if (primary->lane >= 0)
+            out.lane = primary->lane;
+        result.lane = primary->lane;
+    }
+    result.result = winner ? winner->result : sat::SolveResult::Unknown;
+    if (result.result == sat::SolveResult::Sat &&
+        lanes_.front()->options.wantCounterexample)
+        result.model = deterministicModel(race.condition);
+    return result;
+}
+
+VerificationEngine::LaneOutcome
+VerificationEngine::structuralOutcome(bexp::NodeRef condition)
+{
+    // Construction-time simplification discharged the condition
+    // outright (the paper's Figure 6.1 observation).
+    ++engineStats.structural;
+    LaneOutcome outcome;
+    outcome.structural = true;
+    outcome.result = arena.constValue(condition)
+        ? sat::SolveResult::Sat
+        : sat::SolveResult::Unsat;
+    if (outcome.result == sat::SolveResult::Sat &&
+        lanes_.front()->options.wantCounterexample)
+        outcome.model =
+            std::vector<bool>(circuit_.numQubits(), false);
     return outcome;
+}
+
+std::optional<std::vector<bool>>
+VerificationEngine::deterministicModel(bexp::NodeRef condition)
+{
+    // Replay the satisfiable condition in a fresh lane-0-configured
+    // solver with no stop flag: the resulting model depends only on
+    // the condition, never on which racing lane won or on the
+    // scheduler's timing, so counterexamples are identical between
+    // --jobs 1 and --jobs N runs.  The replay honors the lane's
+    // per-call conflict budget (it is one more SAT call); if the
+    // budget is too tight to re-find a model, the Unsafe verdict
+    // stands and the counterexample is simply omitted.
+    const VerifierOptions &opts = lanes_.front()->options;
+    sat::TseitinResult enc = sat::encodeAssertTrue(
+        arena, condition, opts.encoding, opts.xorChunk);
+    qbAssert(!enc.rootIsConst, "constant conditions decide upstream");
+    sat::SolverConfig config = opts.solver;
+    config.conflictBudget = opts.conflictBudget;
+    sat::Solver solver(config);
+    solver.addCnf(enc.cnf);
+    const sat::SolveResult res = solver.solve();
+    qbAssert(res != sat::SolveResult::Unsat,
+             "replay of a satisfiable condition cannot be Unsat");
+    if (res != sat::SolveResult::Sat)
+        return std::nullopt;
+    return extractModel(enc.inputVar, solver, circuit_.numQubits());
 }
 
 void
@@ -315,60 +667,60 @@ VerificationEngine::finishUnsafe(QubitResult &out,
     out.counterexample = outcome.model;
 }
 
-QubitResult
-VerificationEngine::verify(ir::QubitId q)
+VerificationEngine::Pending
+VerificationEngine::prepare(ir::QubitId q)
 {
-    QubitResult out;
-    out.qubit = q;
-    out.name = circuit_.label(q);
+    Pending p;
+    p.out.qubit = q;
+    p.out.name = circuit_.label(q);
     qbAssert(q < circuit_.numQubits(), "verify: qubit out of range");
     if (!classical) {
-        out.verdict = Verdict::NotClassical;
-        return out;
+        p.out.verdict = Verdict::NotClassical;
+        p.immediate = true;
+        return p;
     }
     ++engineStats.qubitsVerified;
 
     Timer build_timer;
     const Conditions &conds = conditionsFor(q);
-    out.buildSeconds = build_timer.seconds();
-    out.formulaNodes = conds.nodes;
-    out.solvedStructurally =
+    p.out.buildSeconds = build_timer.seconds();
+    p.out.formulaNodes = conds.nodes;
+    p.out.solvedStructurally =
         arena.isConst(conds.zero) && arena.isConst(conds.plus);
+    p.conds = &conds;
 
-    const LaneOutcome zero = decide(conds.zero, out);
-    if (zero.result == sat::SolveResult::Sat) {
-        finishUnsafe(out, zero, FailedCondition::ZeroRestoration);
-        return out;
+    if (arena.isConst(conds.zero)) {
+        const LaneOutcome zero = structuralOutcome(conds.zero);
+        if (zero.result == sat::SolveResult::Sat) {
+            // Matches the sequential order: (6.2) is never evaluated
+            // once (6.1) already proved the qubit unsafe.
+            finishUnsafe(p.out, zero, FailedCondition::ZeroRestoration);
+            p.immediate = true;
+            return p;
+        }
+    } else {
+        p.zero = submitRace(conds.zero);
     }
-    if (zero.result == sat::SolveResult::Unknown) {
-        out.verdict = Verdict::Unknown;
-        return out;
-    }
-
-    const LaneOutcome plus = decide(conds.plus, out);
-    if (plus.result == sat::SolveResult::Sat) {
-        finishUnsafe(out, plus, FailedCondition::PlusRestoration);
-        return out;
-    }
-    if (plus.result == sat::SolveResult::Unknown) {
-        out.verdict = Verdict::Unknown;
-        return out;
-    }
-    out.verdict = Verdict::Safe;
-    return out;
+    // Queue (6.2) speculatively: safe qubits (the common case) need it
+    // anyway, and an Unsafe (6.1) answer cancels the race.
+    if (!arena.isConst(conds.plus))
+        p.plus = submitRace(conds.plus);
+    return p;
 }
 
-QubitResult
-VerificationEngine::verifyCleanAncilla(ir::QubitId q)
+VerificationEngine::Pending
+VerificationEngine::prepareCleanAncilla(ir::QubitId q)
 {
-    QubitResult out;
-    out.qubit = q;
-    out.name = circuit_.label(q);
+    Pending p;
+    p.clean = true;
+    p.out.qubit = q;
+    p.out.name = circuit_.label(q);
     qbAssert(q < circuit_.numQubits(),
              "verifyCleanAncilla: qubit out of range");
     if (!classical) {
-        out.verdict = Verdict::NotClassical;
-        return out;
+        p.out.verdict = Verdict::NotClassical;
+        p.immediate = true;
+        return p;
     }
     ++engineStats.qubitsVerified;
 
@@ -383,23 +735,88 @@ VerificationEngine::verifyCleanAncilla(ir::QubitId q)
         residue = arena.substitute(finals[q], q, bexp::kFalse);
         cleanCache[q] = residue;
     }
-    out.buildSeconds = build_timer.seconds();
-    out.formulaNodes = arena.dagSize(residue);
-    out.solvedStructurally = arena.isConst(residue);
+    p.out.buildSeconds = build_timer.seconds();
+    p.out.formulaNodes = arena.dagSize(residue);
+    p.out.solvedStructurally = arena.isConst(residue);
 
-    const LaneOutcome res = decide(residue, out);
-    switch (res.result) {
-      case sat::SolveResult::Unsat:
-        out.verdict = Verdict::Safe;
-        break;
-      case sat::SolveResult::Sat:
-        finishUnsafe(out, res, FailedCondition::ZeroRestoration);
-        break;
-      case sat::SolveResult::Unknown:
-        out.verdict = Verdict::Unknown;
-        break;
+    if (arena.isConst(residue)) {
+        const LaneOutcome res = structuralOutcome(residue);
+        if (res.result == sat::SolveResult::Sat)
+            finishUnsafe(p.out, res, FailedCondition::ZeroRestoration);
+        else
+            p.out.verdict = Verdict::Safe;
+        p.immediate = true;
+    } else {
+        p.zero = submitRace(residue);
     }
-    return out;
+    return p;
+}
+
+QubitResult
+VerificationEngine::finish(Pending p)
+{
+    if (p.immediate)
+        return std::move(p.out);
+
+    if (p.clean) {
+        const LaneOutcome res = collectRace(*p.zero, p.out);
+        p.zero.reset();
+        switch (res.result) {
+          case sat::SolveResult::Unsat:
+            p.out.verdict = Verdict::Safe;
+            break;
+          case sat::SolveResult::Sat:
+            finishUnsafe(p.out, res, FailedCondition::ZeroRestoration);
+            break;
+          case sat::SolveResult::Unknown:
+            p.out.verdict = Verdict::Unknown;
+            break;
+        }
+        return std::move(p.out);
+    }
+
+    if (p.zero) {
+        const LaneOutcome zero = collectRace(*p.zero, p.out);
+        p.zero.reset();
+        if (zero.result == sat::SolveResult::Sat) {
+            finishUnsafe(p.out, zero, FailedCondition::ZeroRestoration);
+            return std::move(p.out); // ~Pending cancels the (6.2) race
+        }
+        if (zero.result == sat::SolveResult::Unknown) {
+            p.out.verdict = Verdict::Unknown;
+            return std::move(p.out);
+        }
+    }
+
+    LaneOutcome plus;
+    if (p.plus) {
+        plus = collectRace(*p.plus, p.out);
+        p.plus.reset();
+    } else {
+        plus = structuralOutcome(p.conds->plus);
+    }
+    if (plus.result == sat::SolveResult::Sat) {
+        finishUnsafe(p.out, plus, FailedCondition::PlusRestoration);
+        return std::move(p.out);
+    }
+    if (plus.result == sat::SolveResult::Unknown) {
+        p.out.verdict = Verdict::Unknown;
+        return std::move(p.out);
+    }
+    p.out.verdict = Verdict::Safe;
+    return std::move(p.out);
+}
+
+QubitResult
+VerificationEngine::verify(ir::QubitId q)
+{
+    return finish(prepare(q));
+}
+
+QubitResult
+VerificationEngine::verifyCleanAncilla(ir::QubitId q)
+{
+    return finish(prepareCleanAncilla(q));
 }
 
 ProgramResult
@@ -407,8 +824,15 @@ VerificationEngine::verifyAllQubits(const ResultObserver &observer)
 {
     ProgramResult result;
     Timer timer;
-    for (ir::QubitId q = 0; q < circuit_.numQubits(); ++q) {
-        result.qubits.push_back(verify(q));
+    // Pipeline the whole circuit: queue every qubit's races before
+    // awaiting the first verdict, so the worker pool crosses qubit
+    // boundaries without draining.
+    std::vector<Pending> pendings;
+    pendings.reserve(circuit_.numQubits());
+    for (ir::QubitId q = 0; q < circuit_.numQubits(); ++q)
+        pendings.push_back(prepare(q));
+    for (Pending &pending : pendings) {
+        result.qubits.push_back(finish(std::move(pending)));
         if (observer)
             observer(result.qubits.back());
     }
@@ -423,6 +847,12 @@ verifyAll(const lang::ElaboratedProgram &program,
 {
     ProgramResult result;
     Timer timer;
+
+    // ONE worker pool for the whole program, shared by every session:
+    // the process runs at most options.jobs solver threads no matter
+    // how many lifetimes the program has.  Declared before the
+    // sessions so their destruction fences run while the pool lives.
+    auto scheduler = std::make_shared<Scheduler>(options.jobs);
 
     // One session per distinct borrow...release lifetime: qubits whose
     // scopes coincide (e.g. adder.qbr's a[1..n-1], all borrowed and
@@ -440,29 +870,41 @@ verifyAll(const lang::ElaboratedProgram &program,
                               std::make_unique<VerificationEngine>(
                                   program.circuit.slice(info.scopeBegin,
                                                         info.scopeEnd),
-                                  options))
+                                  options, scheduler))
                      .first;
         }
         return *it->second;
     };
 
-    const auto emit = [&](QubitResult qubit_result) {
-        result.qubits.push_back(std::move(qubit_result));
-        if (observer)
-            observer(result.qubits.back());
+    // Pass 1 - pipeline: build and queue every qubit's races, in
+    // emission order, without waiting on any verdict.
+    struct WorkItem
+    {
+        VerificationEngine *engine;
+        VerificationEngine::Pending pending;
     };
-
+    std::vector<WorkItem> work;
     for (ir::QubitId q :
          program.qubitsWithRole(lang::QubitRole::BorrowVerify)) {
         // Definition 5.1: verify over the statements inside the
         // qubit's borrow ... release lifetime.
-        emit(sessionFor(program.qubits[q]).verify(q));
+        VerificationEngine &session = sessionFor(program.qubits[q]);
+        work.push_back({&session, session.prepare(q)});
     }
     if (check_clean_ancillas) {
         for (ir::QubitId q :
              program.qubitsWithRole(lang::QubitRole::Alloc)) {
-            emit(sessionFor(program.qubits[q]).verifyCleanAncilla(q));
+            VerificationEngine &session = sessionFor(program.qubits[q]);
+            work.push_back({&session, session.prepareCleanAncilla(q)});
         }
+    }
+
+    // Pass 2 - collect and stream, preserving qubit order.
+    for (WorkItem &item : work) {
+        result.qubits.push_back(
+            item.engine->finish(std::move(item.pending)));
+        if (observer)
+            observer(result.qubits.back());
     }
     result.totalSeconds = timer.seconds();
     return result;

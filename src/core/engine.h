@@ -15,10 +15,20 @@
  *     assumption-based incremental SAT (sat::IncrementalTseitin emits
  *     each condition behind a selector literal), so conflict clauses
  *     learnt while verifying one qubit speed up the next;
- *   - an optional PORTFOLIO mode racing all lanes on every query
- *     across threads with first-finisher cancellation, reproducing the
- *     paper's CVC5-vs-Bitwuzla complementarity without having to guess
- *     the winning solver per benchmark family up front.
+ *   - an optional PORTFOLIO mode racing all lanes on every query with
+ *     first-finisher cancellation, reproducing the paper's
+ *     CVC5-vs-Bitwuzla complementarity without having to guess the
+ *     winning solver per benchmark family up front.
+ *
+ * All SAT work runs on a persistent core::Scheduler worker pool sized
+ * to the hardware (or EngineOptions::jobs): lanes are serial queues on
+ * the pool, conditions are (qubit, condition) work items, and batch
+ * verification pipelines whole circuits through the pool instead of
+ * spawning threads per condition and barriering per qubit.  Racing
+ * lanes whose incremental encoders are configured identically
+ * additionally exchange low-LBD learnt clauses through the solver's
+ * import/export hooks, so the "losing" lane's conflicts still prune
+ * the winner's later queries.
  *
  * The free functions of verifier.h remain as thin compatibility
  * wrappers over this class.
@@ -28,12 +38,15 @@
 #define QB_CORE_ENGINE_H
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "boolexpr/arena.h"
+#include "core/scheduler.h"
 #include "core/verifier.h"
 
 namespace qb::core {
@@ -52,16 +65,31 @@ struct EngineOptions
     std::vector<VerifierOptions> lanes{VerifierOptions::laneA()};
 
     /**
-     * Race every lane on every SAT query across threads; the first
-     * definitive answer wins and cancels the rest.  With a single lane
-     * this is a no-op.
+     * Race every lane on every SAT query; the first definitive answer
+     * wins and cancels the rest.  With a single lane this is a no-op.
      */
     bool portfolio = false;
+
+    /**
+     * Worker threads in the scheduler pool backing this session;
+     * 0 sizes the pool to std::thread::hardware_concurrency().  The
+     * pool bounds the engine's parallelism: no thread is ever created
+     * per condition or per query.
+     */
+    unsigned jobs = 0;
 
     /** Session with exactly one lane (the compatibility default). */
     static EngineOptions singleLane(const VerifierOptions &options);
     /** Both benchmark lanes racing, like the paper's solver pairing. */
     static EngineOptions portfolioAB();
+    /**
+     * Three-lane portfolio: the A/B pairing plus lane C, a second
+     * persistent lane that shares lane A's incremental encoding but
+     * branches differently.  A and C exchange learnt clauses (their
+     * identical encoder configuration makes solver variables
+     * interchangeable), so the portfolio keeps the loser's work.
+     */
+    static EngineOptions portfolioABC();
 };
 
 /** Streaming consumer of per-qubit results (batch verification). */
@@ -73,7 +101,15 @@ using ResultObserver = std::function<void(const QubitResult &)>;
  * Construction runs the linear formula-building scan once; every
  * verify()/verifyCleanAncilla() call afterwards only pays for its own
  * conditions and SAT queries.  Sessions are single-threaded objects
- * (portfolio parallelism is internal).
+ * from the caller's point of view (scheduler parallelism is internal):
+ * all prepare/finish/verify calls must come from one thread.
+ *
+ * Counterexamples are extracted by a deterministic replay solve of the
+ * satisfiable condition rather than from whichever racing lane
+ * happened to win, so with the default unlimited conflict budget,
+ * verdicts AND counterexamples are identical across jobs counts and
+ * schedules.  (A finite budget makes "decided vs Unknown" depend on
+ * each lane's learnt-clause state, which is schedule-dependent.)
  */
 class VerificationEngine
 {
@@ -85,11 +121,23 @@ class VerificationEngine
         std::size_t structural = 0;      ///< conditions folded to const
         std::size_t conditionHits = 0;   ///< condition cache hits
         std::size_t qubitsVerified = 0;
+        /** Lanes wired into a learnt-clause exchange group. */
+        std::size_t shareLanes = 0;
         double formulaBuildSeconds = 0.0; ///< one-time circuit scan
     };
 
-    explicit VerificationEngine(const ir::Circuit &circuit,
-                                EngineOptions options = {});
+    /**
+     * In-flight verification of one qubit: conditions built and races
+     * submitted to the scheduler, result not yet collected.  Obtained
+     * from prepare()/prepareCleanAncilla(), redeemed exactly once with
+     * finish().  Move-only; destroying an unredeemed handle cancels
+     * its races.
+     */
+    class Pending;
+
+    explicit VerificationEngine(
+        const ir::Circuit &circuit, EngineOptions options = {},
+        std::shared_ptr<Scheduler> scheduler = nullptr);
     ~VerificationEngine();
 
     VerificationEngine(const VerificationEngine &) = delete;
@@ -108,8 +156,22 @@ class VerificationEngine
     QubitResult verifyCleanAncilla(ir::QubitId q);
 
     /**
+     * Build the conditions of @p q and submit their SAT races to the
+     * scheduler without waiting: the pipelining half of verify().
+     * Preparing several qubits before finishing the first keeps every
+     * worker busy across qubit boundaries.
+     */
+    Pending prepare(ir::QubitId q);
+    /** prepare() for the clean-ancilla criterion. */
+    Pending prepareCleanAncilla(ir::QubitId q);
+    /** Await @p pending's races and assemble its QubitResult. */
+    QubitResult finish(Pending pending);
+
+    /**
      * Verify every qubit of the circuit in id order, streaming each
-     * result through @p observer (when set) as it is produced.
+     * result through @p observer (when set) as it is produced.  The
+     * whole circuit is pipelined: all conditions are prepared and
+     * queued up front, results are collected in order.
      */
     ProgramResult verifyAllQubits(const ResultObserver &observer = {});
 
@@ -118,19 +180,39 @@ class VerificationEngine
     std::size_t numLanes() const { return lanes_.size(); }
     const Stats &stats() const { return engineStats; }
 
+    /**
+     * Counters of lane @p lane's persistent solver (exported/imported
+     * clause counts, conflicts...).  Quiesces the scheduler work of
+     * this session first, so it is safe - but blocking - mid-batch.
+     */
+    sat::SolverStats laneSolverStats(std::size_t lane);
+
   private:
     struct Lane;
     struct Conditions;
     struct LaneOutcome;
+    struct Race;
 
     const Conditions &conditionsFor(ir::QubitId q);
-    LaneOutcome decide(bexp::NodeRef condition, QubitResult &out);
-    LaneOutcome laneDecide(Lane &lane, bexp::NodeRef condition,
-                           const std::atomic<bool> *stop);
-    LaneOutcome scratchDecide(Lane &lane, bexp::NodeRef condition,
-                              const std::atomic<bool> *stop);
+    std::shared_ptr<Race> submitRace(bexp::NodeRef condition);
+    void submitLaneTask(const std::shared_ptr<Race> &race,
+                        std::size_t lane_index);
+    LaneOutcome collectRace(Race &race, QubitResult &out);
+    LaneOutcome structuralOutcome(bexp::NodeRef condition);
+    std::int64_t sliceBudgetFor(const Race &race, std::size_t lane,
+                                bool racing) const;
+    bool continueSlicing(Race &race, std::size_t lane, bool racing,
+                         sat::SolveResult result, std::int64_t used);
+    void runPersistentTask(Lane &lane,
+                           const std::shared_ptr<Race> &race);
+    void runScratchTask(Lane &lane, const std::shared_ptr<Race> &race);
+    std::optional<std::vector<bool>>
+    deterministicModel(bexp::NodeRef condition);
+    void reportOutcome(Race &race, int lane, LaneOutcome outcome);
     void finishUnsafe(QubitResult &out, const LaneOutcome &outcome,
                       FailedCondition which);
+    static void abandon(const std::shared_ptr<Race> &race);
+    void waitIdle();
 
     EngineOptions options_;
     ir::Circuit circuit_;
@@ -138,10 +220,38 @@ class VerificationEngine
     bool classical = false;
     /** Final formula b_q per qubit (valid when classical). */
     std::vector<bexp::NodeRef> finals;
+    std::shared_ptr<Scheduler> scheduler_;
     std::vector<std::unique_ptr<Lane>> lanes_;
     std::vector<std::unique_ptr<Conditions>> conditionCache;
     std::vector<std::optional<bexp::NodeRef>> cleanCache;
     Stats engineStats;
+
+    /** @name Destruction fence over in-flight scheduler tasks. @{ */
+    std::mutex fenceMutex;
+    std::condition_variable fenceIdle;
+    std::size_t tasksInFlight = 0;      ///< guarded by fenceMutex
+    std::vector<std::weak_ptr<Race>> liveRaces; ///< guarded by fenceMutex
+    /** @} */
+};
+
+class VerificationEngine::Pending
+{
+  public:
+    Pending(Pending &&) noexcept;
+    Pending &operator=(Pending &&) noexcept;
+    ~Pending();
+
+  private:
+    friend class VerificationEngine;
+    Pending();
+
+    QubitResult out;
+    /** Conditions backing the races (owned by the engine's cache). */
+    const Conditions *conds = nullptr;
+    std::shared_ptr<Race> zero; ///< (6.1) race, or the clean residue
+    std::shared_ptr<Race> plus; ///< (6.2) race (speculative)
+    bool immediate = false;     ///< verdict settled at prepare time
+    bool clean = false;         ///< clean-ancilla single-condition check
 };
 
 /**
@@ -153,8 +263,11 @@ class VerificationEngine
  * Qubits whose lifetimes span the same gate range share one session -
  * one arena, one solver per lane - which is where the incremental
  * speedup comes from on programs like adder.qbr whose dirty qubits are
- * borrowed together.  Results stream through @p observer (when set) as
- * they are produced.
+ * borrowed together.  All sessions share ONE scheduler pool sized by
+ * @p options.jobs, and the whole program is pipelined through it:
+ * every qubit's races are queued before the first result is awaited.
+ * Results stream through @p observer (when set) in qubit order as they
+ * are produced.
  */
 ProgramResult verifyAll(const lang::ElaboratedProgram &program,
                         const EngineOptions &options = {},

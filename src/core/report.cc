@@ -6,7 +6,8 @@ namespace qb::core {
 
 namespace {
 
-/** Minimal JSON string escaping (control chars, quote, backslash). */
+/** Minimal JSON string escaping (control chars incl. DEL, quote,
+ *  backslash). */
 std::string
 jsonEscape(const std::string &s)
 {
@@ -20,7 +21,8 @@ jsonEscape(const std::string &s)
           case '\r': out += "\\r"; break;
           case '\t': out += "\\t"; break;
           default:
-            if (static_cast<unsigned char>(c) < 0x20)
+            if (static_cast<unsigned char>(c) < 0x20 ||
+                static_cast<unsigned char>(c) == 0x7f)
                 out += format("\\u%04x", c);
             else
                 out += c;
@@ -57,9 +59,14 @@ toJson(const QubitResult &r)
         out += "\"lane\": null, ";
     out += format("\"solved_structurally\": %s, ",
                   r.solvedStructurally ? "true" : "false");
-    out += format("\"build_seconds\": %.6f, ", r.buildSeconds);
-    out += format("\"encode_seconds\": %.6f, ", r.encodeSeconds);
-    out += format("\"solve_seconds\": %.6f, ", r.solveSeconds);
+    // Numbers go through formatFixed(): printf's %f is locale-bound
+    // and writes "0,5" under comma-decimal locales - invalid JSON.
+    out += "\"build_seconds\": " + formatFixed(r.buildSeconds, 6) +
+           ", ";
+    out += "\"encode_seconds\": " + formatFixed(r.encodeSeconds, 6) +
+           ", ";
+    out += "\"solve_seconds\": " + formatFixed(r.solveSeconds, 6) +
+           ", ";
     out += format("\"formula_nodes\": %zu, ", r.formulaNodes);
     out += format("\"cnf_vars\": %zu, ", r.cnfVars);
     out += format("\"cnf_clauses\": %zu, ", r.cnfClauses);
@@ -100,7 +107,8 @@ toJson(const ProgramResult &result, const std::string &program_name)
                       jsonEscape(program_name).c_str());
     out += format("  \"all_safe\": %s,\n",
                   result.allSafe() ? "true" : "false");
-    out += format("  \"total_seconds\": %.6f,\n", result.totalSeconds);
+    out += "  \"total_seconds\": " +
+           formatFixed(result.totalSeconds, 6) + ",\n";
     out += format("  \"counts\": {\"safe\": %zu, \"unsafe\": %zu, "
                   "\"undecided\": %zu},\n",
                   safe, unsafe, other);

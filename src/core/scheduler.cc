@@ -1,0 +1,137 @@
+#include "core/scheduler.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qb::core {
+
+struct Scheduler::Impl
+{
+    std::mutex mutex;
+    std::condition_variable workAvailable;
+    /** Runnable units: either a plain task or a queue-drain thunk. */
+    std::deque<Task> runnable;
+    bool stopping = false;
+    std::vector<std::thread> threads;
+
+    void
+    workerLoop()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        while (true) {
+            workAvailable.wait(lock, [this] {
+                return stopping || !runnable.empty();
+            });
+            if (runnable.empty())
+                return; // stopping and drained
+            Task task = std::move(runnable.front());
+            runnable.pop_front();
+            lock.unlock();
+            task();
+            lock.lock();
+        }
+    }
+};
+
+Scheduler::Scheduler(unsigned jobs) : impl(std::make_unique<Impl>())
+{
+    unsigned count = jobs;
+    if (count == 0)
+        count = std::thread::hardware_concurrency();
+    if (count == 0)
+        count = 1;
+    impl->threads.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        impl->threads.emplace_back([this] { impl->workerLoop(); });
+}
+
+Scheduler::~Scheduler()
+{
+    {
+        const std::lock_guard<std::mutex> guard(impl->mutex);
+        impl->stopping = true;
+    }
+    impl->workAvailable.notify_all();
+    for (std::thread &t : impl->threads)
+        t.join();
+}
+
+unsigned
+Scheduler::workers() const
+{
+    return static_cast<unsigned>(impl->threads.size());
+}
+
+void
+Scheduler::submit(Task task)
+{
+    {
+        const std::lock_guard<std::mutex> guard(impl->mutex);
+        impl->runnable.push_back(std::move(task));
+    }
+    impl->workAvailable.notify_one();
+}
+
+std::shared_ptr<Scheduler::SerialQueue>
+Scheduler::makeQueue()
+{
+    return std::make_shared<SerialQueue>();
+}
+
+void
+Scheduler::submit(const std::shared_ptr<SerialQueue> &queue, Task task)
+{
+    bool activate = false;
+    {
+        const std::lock_guard<std::mutex> guard(impl->mutex);
+        queue->tasks.push_back(std::move(task));
+        if (!queue->active) {
+            queue->active = true;
+            activate = true;
+            impl->runnable.push_back(drainThunk(queue));
+        }
+    }
+    if (activate)
+        impl->workAvailable.notify_one();
+}
+
+Scheduler::Task
+Scheduler::drainThunk(std::shared_ptr<SerialQueue> queue)
+{
+    // One queue task per activation, then the queue goes to the BACK
+    // of the runnable list.  Round-robin fairness is load-bearing:
+    // lanes yield between conflict slices, and with fewer workers
+    // than lanes a re-queued slice must not starve the other lanes'
+    // (possibly much faster) attempts at the same condition.  FIFO
+    // order and mutual exclusion per queue still hold - only this
+    // thunk pops the queue while active is set.
+    return [this, queue = std::move(queue)] {
+        Task next;
+        {
+            const std::lock_guard<std::mutex> guard(impl->mutex);
+            if (queue->tasks.empty()) {
+                queue->active = false;
+                return;
+            }
+            next = std::move(queue->tasks.front());
+            queue->tasks.pop_front();
+        }
+        next();
+        bool more = false;
+        {
+            const std::lock_guard<std::mutex> guard(impl->mutex);
+            if (queue->tasks.empty())
+                queue->active = false;
+            else {
+                impl->runnable.push_back(drainThunk(queue));
+                more = true;
+            }
+        }
+        if (more)
+            impl->workAvailable.notify_one();
+    };
+}
+
+} // namespace qb::core

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Persistent worker pool for batch verification.
+ *
+ * PR 1's portfolio spawned and joined one std::thread per solver lane
+ * for every verification condition: thread churn dominated short
+ * queries and the live thread count was unbounded (lanes x concurrent
+ * batch items, never consulting the hardware).  The Scheduler is the
+ * replacement subsystem: a fixed pool of workers, created once and
+ * sized to the machine (or to EngineOptions::jobs), that pulls
+ * (qubit, condition) work items from queues.  Engines submit every SAT
+ * task here - racing lanes, batch pipelines, single queries - so the
+ * process-wide thread count is the pool size, full stop.
+ *
+ * Two submission flavors cover the engine's needs:
+ *
+ *   - submit(task): independent work, runs on any free worker (the
+ *     scratch-solver lanes, whose per-condition solves share no state);
+ *   - submit(queue, task): ordered work.  Tasks on one SerialQueue run
+ *     strictly one-at-a-time in FIFO order (actor semantics), which is
+ *     how a persistent incremental solver lane - single-threaded by
+ *     nature - processes its condition stream without locks and in a
+ *     deterministic order, while distinct lanes still run in parallel.
+ *
+ * The pool is shareable: verifyAll() hands one Scheduler to every
+ * session of a program so concurrent sessions cannot multiply threads.
+ */
+
+#ifndef QB_CORE_SCHEDULER_H
+#define QB_CORE_SCHEDULER_H
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+namespace qb::core {
+
+class Scheduler
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** Ordered task stream; create via makeQueue().  Tasks submitted
+     *  to one queue never run concurrently with each other and run in
+     *  submission order. */
+    class SerialQueue
+    {
+        friend class Scheduler;
+        std::deque<Task> tasks; ///< guarded by the scheduler mutex
+        bool active = false;    ///< a worker is draining this queue
+    };
+
+    /**
+     * Start the pool.  @p jobs = 0 sizes it to
+     * std::thread::hardware_concurrency() (at least one worker).
+     */
+    explicit Scheduler(unsigned jobs = 0);
+
+    /** Joins the workers; all submitted tasks complete first. */
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /** Number of worker threads (fixed for the pool's lifetime). */
+    unsigned workers() const;
+
+    /** Run @p task on any worker, unordered. */
+    void submit(Task task);
+
+    /** Run @p task after every earlier task of @p queue, exclusively. */
+    void submit(const std::shared_ptr<SerialQueue> &queue, Task task);
+
+    std::shared_ptr<SerialQueue> makeQueue();
+
+  private:
+    struct Impl;
+    Task drainThunk(std::shared_ptr<SerialQueue> queue);
+    std::unique_ptr<Impl> impl;
+};
+
+} // namespace qb::core
+
+#endif // QB_CORE_SCHEDULER_H

@@ -67,6 +67,14 @@ struct VerifierOptions
      */
     static VerifierOptions laneA();
     static VerifierOptions laneB();
+    /**
+     * A third racing lane: lane A's incremental encoding (same
+     * Plaisted-Greenbaum mode and XOR chunking, no preprocessing) with
+     * opposite branching phase and geometric restarts.  Because its
+     * encoder configuration is identical to lane A's, the engine wires
+     * the two into a learnt-clause exchange group in portfolio mode.
+     */
+    static VerifierOptions laneC();
 };
 
 /** Result of verifying one dirty qubit. */

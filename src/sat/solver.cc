@@ -41,6 +41,9 @@ struct Solver::Clause
     unsigned lbd = 0;
     bool learnt = false;
     bool deleted = false;
+    /** Adopted from a portfolio sibling via postImport(); retained by
+     *  shrinkLearnts() like the locally-learnt glue clauses. */
+    bool imported = false;
 };
 
 /** Watch-list entry; blocker enables the common fast-path check. */
@@ -617,7 +620,7 @@ Solver::shrinkLearnts(unsigned max_lbd)
     for (Clause *c : learntClauses) {
         const bool locked = reasons[c->lits[0].var()] == c &&
                             value(c->lits[0]) == LBool::True;
-        if (locked || c->lbd <= max_lbd) {
+        if (locked || c->imported || c->lbd <= max_lbd) {
             kept.push_back(c);
         } else {
             detachClause(c);
@@ -626,6 +629,77 @@ Solver::shrinkLearnts(unsigned max_lbd)
         }
     }
     learntClauses = std::move(kept);
+}
+
+void
+Solver::postImport(LitVec clause)
+{
+    const std::lock_guard<std::mutex> guard(importMutex);
+    importInbox.push_back(std::move(clause));
+    importPending.store(true, std::memory_order_release);
+}
+
+void
+Solver::drainImports()
+{
+    qbAssert(decisionLevel() == 0, "drainImports above root level");
+    std::vector<LitVec> batch;
+    {
+        const std::lock_guard<std::mutex> guard(importMutex);
+        batch.swap(importInbox);
+        importPending.store(false, std::memory_order_release);
+    }
+    for (LitVec &clause : batch) {
+        if (!okay)
+            return;
+        addImported(std::move(clause));
+    }
+}
+
+void
+Solver::addImported(LitVec lits)
+{
+    // Like addClause(), but the result is a marked learnt clause: the
+    // exporter derived it, so it must stay eligible for reduction
+    // bookkeeping rather than count as problem structure.  Imports are
+    // dropped rather than restored against eliminated variables - a
+    // preprocessed solver never participates in exchange anyway.
+    if (!elimStack.empty())
+        return;
+    for (Lit l : lits) {
+        // The exporting sibling can be ahead in the shared clause
+        // stream; a clause about structure this solver has not encoded
+        // yet is simply not useful here.
+        if (l.var() >= numVars())
+            return;
+    }
+    std::sort(lits.begin(), lits.end());
+    LitVec kept;
+    Lit prev = kUndefLit;
+    for (Lit l : lits) {
+        if (value(l) == LBool::True || l == ~prev)
+            return; // satisfied or tautological
+        if (value(l) != LBool::False && l != prev)
+            kept.push_back(l);
+        prev = l;
+    }
+    ++statistics.importedClauses;
+    if (kept.empty()) {
+        okay = false;
+        return;
+    }
+    if (kept.size() == 1) {
+        uncheckedEnqueue(kept[0], nullptr);
+        okay = propagate() == nullptr;
+        return;
+    }
+    auto *c = new Clause{std::move(kept)};
+    c->learnt = true;
+    c->imported = true;
+    c->lbd = static_cast<unsigned>(
+        std::min<std::size_t>(c->lits.size(), cfg.shareMaxLbd));
+    learntClauses.push_back(c);
+    attachClause(c);
 }
 
 std::int64_t
@@ -673,6 +747,13 @@ Solver::search(std::int64_t conflict_limit)
             unsigned lbd;
             analyze(conflict, learnt, bt_level, lbd);
             cancelUntil(bt_level);
+            // Glue clauses travel: a low-LBD consequence of the clause
+            // database is just as valid in a portfolio sibling solving
+            // the identical clause stream.
+            if (exportHook && lbd <= cfg.shareMaxLbd) {
+                exportHook(learnt, lbd);
+                ++statistics.exportedClauses;
+            }
             if (learnt.size() == 1) {
                 uncheckedEnqueue(learnt[0], nullptr);
             } else {
@@ -798,6 +879,11 @@ Solver::solve(const LitVec &assumps)
             return SolveResult::Unsat;
         }
     }
+    if (importPending.load(std::memory_order_acquire)) {
+        drainImports();
+        if (!okay)
+            return SolveResult::Unsat;
+    }
     std::int64_t restart = 0;
     double geometric = static_cast<double>(cfg.restartBase);
     while (true) {
@@ -843,6 +929,17 @@ Solver::solve(const LitVec &assumps)
             stopFlag->load(std::memory_order_relaxed)) {
             cancelUntil(0);
             return SolveResult::Unknown;
+        }
+        // Restart boundary: adopt whatever the portfolio siblings have
+        // shared since the last round.  Imports splice in at the root,
+        // where watch setup against a clean trail is trivial.
+        if (importPending.load(std::memory_order_acquire)) {
+            cancelUntil(0);
+            drainImports();
+            if (!okay) {
+                cancelUntil(0);
+                return SolveResult::Unsat;
+            }
         }
         ++statistics.restarts;
         ++restart;

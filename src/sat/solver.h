@@ -21,7 +21,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "sat/cnf.h"
@@ -63,6 +65,13 @@ struct SolverConfig
     bool preprocess = false;
     /** Abort with Unknown after this many conflicts (-1 = unlimited). */
     std::int64_t conflictBudget = -1;
+    /**
+     * Learnt clauses with LBD at or below this are offered to the
+     * export callback (portfolio clause sharing); higher-LBD clauses
+     * stay private.  2 keeps only glue clauses, the standard portfolio
+     * exchange filter.
+     */
+    unsigned shareMaxLbd = 2;
 
     /** Plain CDCL: the paper's "CVC5 lane". */
     static SolverConfig baseline();
@@ -80,6 +89,8 @@ struct SolverStats
     std::int64_t learntClauses = 0;
     std::int64_t removedClauses = 0;
     std::int64_t eliminatedVars = 0;
+    std::int64_t exportedClauses = 0; ///< offered to the export hook
+    std::int64_t importedClauses = 0; ///< adopted from postImport()
 };
 
 /** CDCL SAT solver over clauses added via addClause()/addCnf(). */
@@ -155,13 +166,50 @@ class Solver
     }
 
     /**
-     * Drop learnt clauses with LBD above @p max_lbd (root-locked
-     * clauses are kept).  Incremental sessions call this between
-     * queries: low-LBD clauses carry the cross-query reuse, while the
-     * bulk of the learnt database only taxes later propagation.
-     * Must be called at decision level 0.
+     * Drop learnt clauses with LBD above @p max_lbd (root-locked and
+     * imported clauses are kept).  Incremental sessions call this
+     * between queries: low-LBD clauses carry the cross-query reuse,
+     * while the bulk of the learnt database only taxes later
+     * propagation.  Must be called at decision level 0.
      */
     void shrinkLearnts(unsigned max_lbd);
+
+    /** @name Cross-solver learnt-clause exchange. @{ */
+
+    /**
+     * Hook receiving every clause this solver learns with LBD at most
+     * SolverConfig::shareMaxLbd, in this solver's variable numbering.
+     * Invoked synchronously from the search loop (keep it cheap: copy
+     * the literals and return).  The intended receiver is a sibling
+     * portfolio solver built over the IDENTICAL clause stream - same
+     * incremental encoder configuration over the same arena, asserting
+     * the same conditions in the same order - whose variables therefore
+     * mean the same thing; the verification engine wires exactly those
+     * pairs.  Pass nullptr to detach.
+     */
+    using ExportHook = std::function<void(const LitVec &, unsigned lbd)>;
+    void setClauseExport(ExportHook hook) { exportHook = std::move(hook); }
+
+    /**
+     * Offer a clause learnt elsewhere to this solver.  Thread-safe and
+     * non-blocking with respect to a concurrently running solve(): the
+     * clause lands in a lock-guarded inbox that the search drains at
+     * restart boundaries (and on solve() entry), at decision level 0.
+     *
+     * The caller guarantees the clause is implied by this solver's
+     * problem clauses (present or future - see setClauseExport); under
+     * that contract imports can never flip a verdict, only prune
+     * search.  Clauses mentioning variables this solver has not
+     * created yet are dropped at drain time (the exporting sibling may
+     * be ahead in the shared clause stream).  Imported clauses are
+     * marked: shrinkLearnts() retains them alongside the low-LBD
+     * clauses, and because they are implied by the clause database
+     * alone, failedAssumptions() cores derived through them remain
+     * genuine.
+     */
+    void postImport(LitVec clause);
+
+    /** @} */
 
     const SolverStats &stats() const { return statistics; }
     const SolverConfig &config() const { return cfg; }
@@ -187,6 +235,8 @@ class Solver
     void analyzeFinal(Lit failed);
     bool litRedundant(Lit l, std::uint32_t ab_levels);
     void restoreEliminated();
+    void drainImports();
+    void addImported(LitVec lits);
     void cancelUntil(int target_level);
     Lit pickBranchLit();
     SolveResult search(std::int64_t conflict_limit);
@@ -234,6 +284,12 @@ class Solver
      *  the learntLimitBase >= 0 regime. */
     std::int64_t nextReduceConflicts = 0;
     const std::atomic<bool> *stopFlag = nullptr;
+
+    ExportHook exportHook;
+    std::mutex importMutex;
+    std::vector<LitVec> importInbox; ///< guarded by importMutex
+    /** Cheap has-mail check so restarts skip the inbox lock. */
+    std::atomic<bool> importPending{false};
 
     std::vector<LBool> model;
     // Eliminated-variable reconstruction stack (var, eliminated clauses).

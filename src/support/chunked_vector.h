@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Append-only chunked storage with stable addresses and single-writer /
+ * multi-reader safety.
+ *
+ * The Boolean-formula arena grows while a verification session runs:
+ * the engine's producer thread keeps interning condition formulas for
+ * later qubits while scheduler workers encode and solve the formulas
+ * of earlier ones.  A std::vector cannot back that access pattern -
+ * push_back relocates the whole buffer under the readers' feet.  A
+ * ChunkedVector never relocates: elements live in fixed-size chunks
+ * that are allocated once and then only read.
+ *
+ * Concurrency contract (exactly the arena's): ONE writer thread may
+ * append; any number of reader threads may access elements whose
+ * indices were published to them through a synchronizing channel (a
+ * mutex-guarded work queue, a condition variable...).  The
+ * happens-before edge of that channel is what orders the writer's
+ * chunk allocation and element stores before the readers' loads; the
+ * container itself adds no synchronization and the writer's size()
+ * must not be polled from reader threads.
+ */
+
+#ifndef QB_SUPPORT_CHUNKED_VECTOR_H
+#define QB_SUPPORT_CHUNKED_VECTOR_H
+
+#include <cstddef>
+#include <memory>
+
+#include "support/logging.h"
+
+namespace qb {
+
+template <typename T>
+class ChunkedVector
+{
+  public:
+    /** 2^14 elements per chunk: large enough that chunk-boundary
+     *  padding waste from appendRun() is negligible, small enough
+     *  that a near-empty arena stays cheap. */
+    static constexpr std::size_t kChunkBits = 14;
+    static constexpr std::size_t kChunkSize = std::size_t{1}
+                                              << kChunkBits;
+    /** 2^13 chunks = 2^27 elements; far above any session's needs,
+     *  and the slot directory stays a single 64 KiB allocation. */
+    static constexpr std::size_t kMaxChunks = std::size_t{1} << 13;
+
+    ChunkedVector()
+        : chunks(std::make_unique<std::unique_ptr<T[]>[]>(kMaxChunks))
+    {
+    }
+
+    ChunkedVector(const ChunkedVector &) = delete;
+    ChunkedVector &operator=(const ChunkedVector &) = delete;
+
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        return chunks[i >> kChunkBits][i & (kChunkSize - 1)];
+    }
+
+    T &
+    operator[](std::size_t i)
+    {
+        return chunks[i >> kChunkBits][i & (kChunkSize - 1)];
+    }
+
+    /** Append one element (writer thread only). */
+    void
+    push_back(T value)
+    {
+        const std::size_t chunk = count >> kChunkBits;
+        ensureChunk(chunk);
+        chunks[chunk][count & (kChunkSize - 1)] = std::move(value);
+        ++count;
+    }
+
+    /**
+     * Append @p n elements from @p src as one contiguous run and
+     * return the index of its first element (writer thread only).
+     * Runs never straddle a chunk boundary, so the pointer returned
+     * by at(start) addresses all n elements; a run therefore must fit
+     * in one chunk.  Boundary padding is plain dead capacity - the
+     * padded indices are never handed out.
+     */
+    std::size_t
+    appendRun(const T *src, std::size_t n)
+    {
+        qbAssert(n <= kChunkSize, "appendRun larger than a chunk");
+        const std::size_t offset = count & (kChunkSize - 1);
+        if (offset + n > kChunkSize)
+            count += kChunkSize - offset; // skip to the next chunk
+        const std::size_t start = count;
+        ensureChunk(start >> kChunkBits);
+        T *dst = &chunks[start >> kChunkBits][start & (kChunkSize - 1)];
+        for (std::size_t i = 0; i < n; ++i)
+            dst[i] = src[i];
+        count += n;
+        return start;
+    }
+
+    /** Address of element @p i; runs from appendRun() are contiguous. */
+    const T *
+    at(std::size_t i) const
+    {
+        return &chunks[i >> kChunkBits][i & (kChunkSize - 1)];
+    }
+
+  private:
+    void
+    ensureChunk(std::size_t chunk)
+    {
+        qbAssert(chunk < kMaxChunks, "ChunkedVector capacity exhausted");
+        if (!chunks[chunk])
+            chunks[chunk] = std::make_unique<T[]>(kChunkSize);
+    }
+
+    /** Fixed-size chunk directory: the directory itself never grows or
+     *  relocates, so readers can follow it without synchronization
+     *  (see the file comment for the publication contract). */
+    std::unique_ptr<std::unique_ptr<T[]>[]> chunks;
+    std::size_t count = 0; // writer-owned
+};
+
+} // namespace qb
+
+#endif // QB_SUPPORT_CHUNKED_VECTOR_H

@@ -1,8 +1,37 @@
 #include "support/strings.h"
 
+#include <charconv>
+#include <clocale>
 #include <cstdio>
 
 namespace qb {
+
+std::string
+formatFixed(double value, int precision)
+{
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+    // std::to_chars is specified to be locale-independent.
+    char buf[64];
+    const auto [end, ec] = std::to_chars(
+        buf, buf + sizeof(buf), value, std::chars_format::fixed,
+        precision);
+    if (ec == std::errc())
+        return std::string(buf, end);
+    // Fall through for values too large for the buffer.
+#endif
+    // Fallback: printf, then normalize whatever decimal separator the
+    // current LC_NUMERIC produced back to '.'.
+    std::string out = format("%.*f", precision, value);
+    const lconv *conv = localeconv();
+    const std::string point =
+        conv && conv->decimal_point ? conv->decimal_point : ".";
+    if (point != ".") {
+        const std::size_t at = out.find(point);
+        if (at != std::string::npos)
+            out.replace(at, point.size(), ".");
+    }
+    return out;
+}
 
 std::string
 format(const char *fmt, ...)

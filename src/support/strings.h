@@ -16,6 +16,16 @@ namespace qb {
 std::string format(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/**
+ * Fixed-point decimal rendering of @p value with @p precision digits,
+ * like "%.Nf" but locale-INDEPENDENT: the decimal separator is always
+ * '.' no matter what LC_NUMERIC says.  Machine-readable emitters (the
+ * JSON reports) must use this instead of format() - under a
+ * comma-decimal locale such as de_DE, printf writes "0,5", which is
+ * not a JSON number.
+ */
+std::string formatFixed(double value, int precision);
+
 /** Join the elements of @p parts with @p sep. */
 std::string join(const std::vector<std::string> &parts,
                  const std::string &sep);

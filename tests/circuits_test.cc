@@ -262,8 +262,33 @@ TEST(PaperFigures, SourcesElaborate)
 
 TEST(QbrText, RequiresMinimumSizes)
 {
-    EXPECT_THROW(adderQbrSource(2), FatalError);
-    EXPECT_THROW(mcxQbrSource(3), FatalError);
+    // Below the documented minimums the generators must reject the
+    // argument outright (std::invalid_argument, the standard
+    // bad-argument exception) instead of emitting an ill-formed
+    // program for the parser to trip over.
+    EXPECT_THROW(adderQbrSource(0), std::invalid_argument);
+    EXPECT_THROW(adderQbrSource(2), std::invalid_argument);
+    EXPECT_THROW(mcxQbrSource(0), std::invalid_argument);
+    EXPECT_THROW(mcxQbrSource(3), std::invalid_argument);
+}
+
+TEST(QbrText, MinimumSizesElaborate)
+{
+    // The documented minimums themselves are valid programs.
+    EXPECT_NO_THROW(lang::elaborateSource(adderQbrSource(3)));
+    EXPECT_NO_THROW(lang::elaborateSource(mcxQbrSource(4)));
+}
+
+TEST(QbrText, PreconditionMessageNamesTheArgument)
+{
+    try {
+        adderQbrSource(2);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("n >= 3"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("2"), std::string::npos);
+    }
 }
 
 } // namespace

@@ -9,10 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <clocale>
 
 #include "circuits/adders.h"
 #include "circuits/mcx.h"
 #include "circuits/paper_figures.h"
+#include "circuits/qbr_text.h"
 #include "core/engine.h"
 #include "core/reference.h"
 #include "core/report.h"
@@ -20,6 +22,7 @@
 #include "lang/elaborate.h"
 #include "sim/classical.h"
 #include "support/rng.h"
+#include "support/strings.h"
 
 namespace qb::core {
 namespace {
@@ -233,6 +236,48 @@ TEST(Engine, JsonEscapesNames)
               json.find("weird\\\"name\\\\with\\ncontrol"));
 }
 
+TEST(Engine, JsonEscapesDelCharacter)
+{
+    // DEL (0x7f) is a control character too; raw, it breaks strict
+    // JSON consumers.
+    QubitResult r;
+    r.name = std::string("del") + '\x7f' + "im";
+    const std::string json = toJson(r);
+    EXPECT_NE(std::string::npos, json.find("del\\u007fim"));
+    EXPECT_EQ(std::string::npos, json.find('\x7f'));
+}
+
+TEST(Engine, JsonNumbersAreLocaleIndependent)
+{
+    // Under a comma-decimal locale, printf("%f") writes "0,5" - not a
+    // JSON number.  toJson must be immune to whatever LC_NUMERIC the
+    // embedding process happens to run with.
+    const char *switched = std::setlocale(LC_NUMERIC, "de_DE.UTF-8");
+    if (!switched)
+        switched = std::setlocale(LC_NUMERIC, "de_DE.utf8");
+    if (!switched)
+        switched = std::setlocale(LC_NUMERIC, "de_DE");
+    if (!switched)
+        GTEST_SKIP() << "no comma-decimal locale installed";
+    const std::string probe = format("%.1f", 0.5);
+
+    QubitResult qubit;
+    qubit.solveSeconds = 0.5;
+    ProgramResult program;
+    program.qubits.push_back(qubit);
+    program.totalSeconds = 1.5;
+    const std::string json = toJson(program, "locale.qbr");
+    std::setlocale(LC_NUMERIC, "C");
+
+    if (probe != "0,5")
+        GTEST_SKIP() << "locale did not use a comma decimal point";
+    EXPECT_NE(std::string::npos,
+              json.find("\"solve_seconds\": 0.500000"));
+    EXPECT_NE(std::string::npos,
+              json.find("\"total_seconds\": 1.500000"));
+    EXPECT_EQ(std::string::npos, json.find("0,5"));
+}
+
 /** Random reversible circuit generator shared by the properties. */
 Circuit
 randomCircuit(Rng &rng, std::uint32_t n, int gates)
@@ -255,6 +300,41 @@ randomCircuit(Rng &rng, std::uint32_t n, int gates)
             c.append(Gate::ccnot(a, b, t));
     }
     return c;
+}
+
+TEST(Engine, PortfolioUnknownChargesEveryRacedLane)
+{
+    // When every lane runs out of budget the verdict is Unknown, and
+    // the report must account the conflicts of ALL raced lanes - the
+    // losers burnt real time; dropping their counters under-reports
+    // the work done (and used to).  The adder conditions are hard
+    // enough that a 1-conflict budget cannot decide them.
+    const auto program =
+        lang::elaborateSource(circuits::adderQbrSource(12));
+    const ir::QubitId first =
+        program.qubitsWithRole(lang::QubitRole::BorrowVerify).front();
+    const lang::QubitInfo &info = program.qubits[first];
+    const Circuit scope =
+        program.circuit.slice(info.scopeBegin, info.scopeEnd);
+    EngineOptions options = EngineOptions::portfolioAB();
+    for (VerifierOptions &lane : options.lanes) {
+        lane.conflictBudget = 1;
+        lane.wantCounterexample = false;
+    }
+    options.jobs = 1;
+    VerificationEngine engine(scope, options);
+    bool saw_unknown = false;
+    for (ir::QubitId q :
+         program.qubitsWithRole(lang::QubitRole::BorrowVerify)) {
+        const QubitResult r = engine.verify(q);
+        if (r.verdict != Verdict::Unknown)
+            continue;
+        saw_unknown = true;
+        // Both lanes hit their 1-conflict budget: at least 2 total.
+        EXPECT_GE(r.conflicts, 2) << "qubit " << q;
+    }
+    EXPECT_TRUE(saw_unknown)
+        << "budget too generous for this circuit; tighten the test";
 }
 
 class EngineProperty : public ::testing::TestWithParam<int>

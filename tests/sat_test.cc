@@ -528,5 +528,90 @@ TEST_P(SatProperty, WideClausesAgree)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SatProperty, ::testing::Range(0, 40));
 
+TEST(SolverShare, ExportedGlueClausesImportAndAgree)
+{
+    // Two solvers over the identical clause database: every clause one
+    // learns is implied in the other.  The exporter solves first and
+    // streams its glue clauses; the importer drains them on solve()
+    // entry and must reach the same verdict.
+    Solver exporter;
+    Solver importer;
+    exporter.addCnf(pigeonhole(5));
+    importer.addCnf(pigeonhole(5));
+    exporter.setClauseExport(
+        [&importer](const LitVec &clause, unsigned) {
+            importer.postImport(clause);
+        });
+    EXPECT_EQ(SolveResult::Unsat, exporter.solve());
+    EXPECT_GT(exporter.stats().exportedClauses, 0);
+    EXPECT_EQ(SolveResult::Unsat, importer.solve());
+    EXPECT_GT(importer.stats().importedClauses, 0);
+}
+
+TEST(SolverShare, ImportedUnitContradictionYieldsUnsat)
+{
+    Solver s;
+    s.addClause({mkLit(0)});
+    s.addClause({mkLit(1), mkLit(2)});
+    s.postImport({~mkLit(0)});
+    EXPECT_EQ(SolveResult::Unsat, s.solve());
+    EXPECT_EQ(1, s.stats().importedClauses);
+}
+
+TEST(SolverShare, ImportsMentioningUnknownVariablesAreDropped)
+{
+    // The exporting sibling may be ahead in the shared clause stream;
+    // clauses about structure this solver has not encoded yet are
+    // silently dropped, never misinterpreted.
+    Solver s;
+    s.addClause({mkLit(0), mkLit(1)});
+    s.postImport({mkLit(9)});
+    EXPECT_EQ(SolveResult::Sat, s.solve());
+    EXPECT_EQ(0, s.stats().importedClauses);
+}
+
+TEST(SolverShare, ImportKeepsSolverIncremental)
+{
+    // Imports splice in as marked learnt clauses: assumption solving,
+    // failed-assumption cores and later solve() calls keep working.
+    Solver s;
+    s.addClause({~mkLit(0), mkLit(1)});
+    s.postImport({~mkLit(0), ~mkLit(1)}); // implied elsewhere, say
+    EXPECT_EQ(SolveResult::Unsat, s.solve({mkLit(0)}));
+    ASSERT_EQ(1u, s.failedAssumptions().size());
+    EXPECT_EQ(mkLit(0), s.failedAssumptions()[0]);
+    EXPECT_EQ(SolveResult::Sat, s.solve());
+    EXPECT_EQ(LBool::False, s.modelValue(0));
+}
+
+TEST_P(SatProperty, ClauseExchangeNeverChangesVerdicts)
+{
+    Rng rng(GetParam() + 13000);
+    const Cnf cnf = randomCnf(rng, 8, 34, 3);
+    const bool expected = bruteForceSat(cnf);
+    SolverConfig second = SolverConfig::baseline();
+    second.initialPhaseTrue = true;
+    Solver a;
+    Solver b(second);
+    a.addCnf(cnf);
+    b.addCnf(cnf);
+    a.setClauseExport([&b](const LitVec &clause, unsigned) {
+        b.postImport(clause);
+    });
+    b.setClauseExport([&a](const LitVec &clause, unsigned) {
+        a.postImport(clause);
+    });
+    EXPECT_EQ(expected ? SolveResult::Sat : SolveResult::Unsat,
+              a.solve());
+    EXPECT_EQ(expected ? SolveResult::Sat : SolveResult::Unsat,
+              b.solve());
+    if (expected) {
+        std::vector<LBool> assign(cnf.numVars());
+        for (Var v = 0; v < cnf.numVars(); ++v)
+            assign[v] = b.modelValue(v);
+        EXPECT_TRUE(cnf.satisfiedBy(assign));
+    }
+}
+
 } // namespace
 } // namespace qb::sat

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Tests for the persistent scheduler and the engine's use of it: pool
+ * mechanics, determinism of verdicts AND counterexamples across jobs
+ * counts, batch pipelining, cross-lane clause sharing, and the
+ * no-thread-per-condition guarantee.  The stress tests double as the
+ * ASan/TSan exercise in CI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "circuits/adders.h"
+#include "circuits/qbr_text.h"
+#include "core/engine.h"
+#include "core/reference.h"
+#include "core/scheduler.h"
+#include "lang/elaborate.h"
+#include "support/rng.h"
+
+namespace qb::core {
+namespace {
+
+using ir::Circuit;
+using ir::Gate;
+
+TEST(Scheduler, RunsEverySubmittedTask)
+{
+    std::atomic<int> done{0};
+    {
+        Scheduler pool(3);
+        EXPECT_EQ(3u, pool.workers());
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&done] { ++done; });
+    } // destructor drains and joins
+    EXPECT_EQ(64, done.load());
+}
+
+TEST(Scheduler, ZeroJobsMeansHardwareSized)
+{
+    Scheduler pool(0);
+    EXPECT_GE(pool.workers(), 1u);
+}
+
+TEST(Scheduler, SerialQueueIsFifoAndExclusive)
+{
+    std::vector<int> order;
+    std::atomic<int> inside{0};
+    {
+        Scheduler pool(4);
+        const auto queue = pool.makeQueue();
+        for (int i = 0; i < 100; ++i) {
+            pool.submit(queue, [&, i] {
+                // Exclusivity: no other task of this queue runs now.
+                EXPECT_EQ(1, inside.fetch_add(1) + 1);
+                order.push_back(i);
+                inside.fetch_sub(1);
+            });
+        }
+    }
+    ASSERT_EQ(100u, order.size());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(i, order[i]);
+}
+
+TEST(Scheduler, IndependentQueuesDoNotSerializeEachOther)
+{
+    // Both queues finish even though one blocks a worker for a while;
+    // with two workers the pool must interleave them.
+    std::atomic<int> done{0};
+    {
+        Scheduler pool(2);
+        const auto a = pool.makeQueue();
+        const auto b = pool.makeQueue();
+        for (int i = 0; i < 10; ++i) {
+            pool.submit(a, [&done] { ++done; });
+            pool.submit(b, [&done] { ++done; });
+        }
+    }
+    EXPECT_EQ(20, done.load());
+}
+
+/** Random reversible circuit generator (mirrors engine_test). */
+Circuit
+randomCircuit(Rng &rng, std::uint32_t n, int gates)
+{
+    Circuit c(n);
+    for (int g = 0; g < gates; ++g) {
+        const auto kind = rng.nextBelow(3);
+        auto a = static_cast<ir::QubitId>(rng.nextBelow(n));
+        auto b = static_cast<ir::QubitId>(rng.nextBelow(n));
+        auto t = static_cast<ir::QubitId>(rng.nextBelow(n));
+        while (b == a)
+            b = static_cast<ir::QubitId>(rng.nextBelow(n));
+        while (t == a || t == b)
+            t = static_cast<ir::QubitId>(rng.nextBelow(n));
+        if (kind == 0)
+            c.append(Gate::x(a));
+        else if (kind == 1)
+            c.append(Gate::cnot(a, t));
+        else
+            c.append(Gate::ccnot(a, b, t));
+    }
+    return c;
+}
+
+class JobsDeterminism : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(JobsDeterminism, OneAndManyJobsIdenticalVerdictsAndCex)
+{
+    // The acceptance contract of the scheduler: --jobs 1 and --jobs N
+    // produce identical verdicts AND identical counterexamples, for
+    // both portfolio shapes.  (Counterexamples come from the
+    // deterministic replay solve, so racing cannot leak in.)
+    Rng rng(GetParam() + 77000);
+    const Circuit c = randomCircuit(rng, 6, 14);
+    for (const bool three_lanes : {false, true}) {
+        EngineOptions serial = three_lanes
+            ? EngineOptions::portfolioABC()
+            : EngineOptions::portfolioAB();
+        EngineOptions parallel = serial;
+        serial.jobs = 1;
+        parallel.jobs = 4;
+        VerificationEngine one(c, serial);
+        VerificationEngine many(c, parallel);
+        const ProgramResult r1 = one.verifyAllQubits();
+        const ProgramResult rn = many.verifyAllQubits();
+        ASSERT_EQ(r1.qubits.size(), rn.qubits.size());
+        for (std::size_t i = 0; i < r1.qubits.size(); ++i) {
+            EXPECT_EQ(r1.qubits[i].verdict, rn.qubits[i].verdict)
+                << "qubit " << i;
+            EXPECT_EQ(r1.qubits[i].failed, rn.qubits[i].failed)
+                << "qubit " << i;
+            EXPECT_EQ(r1.qubits[i].counterexample,
+                      rn.qubits[i].counterexample)
+                << "qubit " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JobsDeterminism,
+                         ::testing::Range(0, 10));
+
+TEST(SchedulerEngine, StressManyQubitsPortfolioSharedClauses)
+{
+    // The deterministic verifyAll stress: many qubits, three racing
+    // lanes (two of them exchanging clauses), a shared 4-worker pool,
+    // speculative (6.2) races and cross-qubit pipelining all at once.
+    // CI runs this under ASan and TSan.
+    const auto program =
+        lang::elaborateSource(circuits::adderQbrSource(12));
+    EngineOptions options = EngineOptions::portfolioABC();
+    options.jobs = 4;
+    const ProgramResult result = verifyAll(program, options);
+    ASSERT_EQ(11u, result.qubits.size());
+    for (const QubitResult &r : result.qubits)
+        EXPECT_EQ(Verdict::Safe, r.verdict) << r.name;
+    // Same verdicts as the sequential single-lane reference.
+    const ProgramResult reference = verifyProgram(program);
+    ASSERT_EQ(reference.qubits.size(), result.qubits.size());
+    for (std::size_t i = 0; i < result.qubits.size(); ++i)
+        EXPECT_EQ(reference.qubits[i].verdict,
+                  result.qubits[i].verdict);
+}
+
+TEST(SchedulerEngine, StressRandomCircuitsAgreeWithBruteForce)
+{
+    Rng rng(4242);
+    for (int round = 0; round < 4; ++round) {
+        const Circuit c = randomCircuit(rng, 7, 16);
+        EngineOptions options = EngineOptions::portfolioABC();
+        options.jobs = 3;
+        VerificationEngine engine(c, options);
+        const ProgramResult result = engine.verifyAllQubits();
+        for (ir::QubitId q = 0; q < c.numQubits(); ++q) {
+            EXPECT_EQ(bruteForceVerdict(c, q),
+                      result.qubits[q].verdict)
+                << "round " << round << " qubit " << q;
+        }
+    }
+}
+
+TEST(SchedulerEngine, ShareGroupsWireOnlyCompatibleLanes)
+{
+    const Circuit c = circuits::hanerCarryCircuit(5);
+    // A and B encode differently (PG/4 vs Full/2, and B preprocesses):
+    // nothing to share.
+    VerificationEngine ab(c, EngineOptions::portfolioAB());
+    EXPECT_EQ(0u, ab.stats().shareLanes);
+    // A and C share one encoder configuration: both join the group.
+    VerificationEngine abc(c, EngineOptions::portfolioABC());
+    EXPECT_EQ(2u, abc.stats().shareLanes);
+    // No portfolio, no exchange - only lane 0 ever races.
+    VerificationEngine single(c, EngineOptions{});
+    EXPECT_EQ(0u, single.stats().shareLanes);
+}
+
+TEST(SchedulerEngine, GlueClausesFlowAcrossLanes)
+{
+    // Force the flow to be observable and deterministic: one worker,
+    // tiny conflict budgets.  Lane A exhausts its budget on the hard
+    // adder conditions (exporting its glue clauses as it goes); lane C
+    // races the same conditions afterwards and drains A's exports on
+    // solve entry.
+    const auto program =
+        lang::elaborateSource(circuits::adderQbrSource(12));
+    const ir::QubitId first =
+        program.qubitsWithRole(lang::QubitRole::BorrowVerify).front();
+    const lang::QubitInfo &info = program.qubits[first];
+    const Circuit scope =
+        program.circuit.slice(info.scopeBegin, info.scopeEnd);
+
+    EngineOptions options;
+    options.portfolio = true;
+    options.lanes = {VerifierOptions::laneA(),
+                     VerifierOptions::laneC()};
+    options.jobs = 1;
+    for (VerifierOptions &lane : options.lanes) {
+        lane.conflictBudget = 20;
+        lane.wantCounterexample = false;
+    }
+    VerificationEngine engine(scope, options);
+    engine.verifyAllQubits();
+    const std::int64_t imported =
+        engine.laneSolverStats(0).importedClauses +
+        engine.laneSolverStats(1).importedClauses;
+    const std::int64_t exported =
+        engine.laneSolverStats(0).exportedClauses +
+        engine.laneSolverStats(1).exportedClauses;
+    EXPECT_GT(exported, 0);
+    EXPECT_GT(imported, 0);
+}
+
+/** Current thread count of this process, 0 if unknowable. */
+std::size_t
+threadCount()
+{
+    std::ifstream in("/proc/self/status");
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("Threads:", 0) == 0)
+            return static_cast<std::size_t>(
+                std::stoul(line.substr(8)));
+    }
+    return 0;
+}
+
+TEST(SchedulerEngine, NoThreadPerCondition)
+{
+    const std::size_t before = threadCount();
+    if (before == 0)
+        GTEST_SKIP() << "/proc/self/status not available";
+    // 11 qubits x 2 conditions x 3 lanes = 66 condition solves; the
+    // PR 1 engine would have spawned a thread for every one of them.
+    // The pool bound must hold at every observation point.
+    const auto program =
+        lang::elaborateSource(circuits::adderQbrSource(12));
+    EngineOptions options = EngineOptions::portfolioABC();
+    options.jobs = 2;
+    std::size_t peak = 0;
+    verifyAll(program, options, [&peak](const QubitResult &) {
+        peak = std::max(peak, threadCount());
+    });
+    EXPECT_GT(peak, 0u);
+    // jobs workers, plus one for a sanitizer's background thread
+    // (TSan spawns one lazily).  66 per-condition threads would blow
+    // straight through this.
+    EXPECT_LE(peak, before + 2 + 1);
+}
+
+TEST(SchedulerEngine, SessionsShareOnePoolAcrossLifetimes)
+{
+    // Two disjoint borrow lifetimes = two sessions; the free verifyAll
+    // must still bound threads by jobs, not jobs x sessions.
+    const std::size_t before = threadCount();
+    if (before == 0)
+        GTEST_SKIP() << "/proc/self/status not available";
+    const auto program = lang::elaborateSource(R"(
+        borrow@ q[4];
+        borrow a;
+        CCNOT[q[1], q[2], a];
+        CCNOT[a, q[3], q[4]];
+        CCNOT[q[1], q[2], a];
+        CCNOT[a, q[3], q[4]];
+        release a;
+        borrow b;
+        CCNOT[q[1], q[3], b];
+        CCNOT[b, q[2], q[4]];
+        CCNOT[q[1], q[3], b];
+        CCNOT[b, q[2], q[4]];
+        release b;
+    )");
+    EngineOptions options = EngineOptions::portfolioAB();
+    options.jobs = 2;
+    std::size_t peak = 0;
+    const ProgramResult result =
+        verifyAll(program, options, [&peak](const QubitResult &) {
+            peak = std::max(peak, threadCount());
+        });
+    ASSERT_EQ(2u, result.qubits.size());
+    EXPECT_EQ(Verdict::Safe, result.qubits[0].verdict);
+    EXPECT_EQ(Verdict::Safe, result.qubits[1].verdict);
+    // jobs workers + sanitizer slack; NOT jobs x sessions.
+    EXPECT_LE(peak, before + 2 + 1);
+}
+
+} // namespace
+} // namespace qb::core

@@ -110,6 +110,17 @@ TEST(Strings, FormatLongOutput)
     EXPECT_EQ(big, format("%s", big.c_str()));
 }
 
+TEST(Strings, FormatFixed)
+{
+    // Locale-independent by construction: '.' regardless of
+    // LC_NUMERIC (the JSON emitter depends on this).
+    EXPECT_EQ("0.500000", formatFixed(0.5, 6));
+    EXPECT_EQ("1.5", formatFixed(1.5, 1));
+    EXPECT_EQ("-2.250", formatFixed(-2.25, 3));
+    EXPECT_EQ("0.000000", formatFixed(0.0, 6));
+    EXPECT_EQ("123456789.0", formatFixed(123456789.0, 1));
+}
+
 TEST(Strings, Join)
 {
     EXPECT_EQ("a,b,c", join({"a", "b", "c"}, ","));

@@ -38,6 +38,10 @@ usage(const char *argv0)
         "options:\n"
         "  --lane A|B        solver lane (default A; see docs)\n"
         "  --portfolio       race both lanes per query, first wins\n"
+        "  --jobs N          scheduler worker threads (default: all\n"
+        "                    hardware threads); without --budget,\n"
+        "                    verdicts and counterexamples are\n"
+        "                    identical for any N\n"
         "  --clean           also check alloc'd clean ancillas\n"
         "  --json            emit a machine-readable JSON report\n"
         "  --quiet           only print the summary line\n"
@@ -95,6 +99,7 @@ main(int argc, char **argv)
     bool json = false;
     bool want_cex = true;
     std::int64_t budget = -1;
+    long jobs = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--quiet") {
@@ -117,6 +122,12 @@ main(int argc, char **argv)
             }
         } else if (arg == "--budget" && i + 1 < argc) {
             budget = std::atoll(argv[++i]);
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            jobs = std::atol(argv[++i]);
+            if (jobs < 1) {
+                usage(argv[0]);
+                return 2;
+            }
         } else if (!arg.empty() && arg[0] == '-') {
             usage(argv[0]);
             return 2;
@@ -137,6 +148,7 @@ main(int argc, char **argv)
         : qb::core::EngineOptions::singleLane(
               lane == "A" ? qb::core::VerifierOptions::laneA()
                           : qb::core::VerifierOptions::laneB());
+    options.jobs = static_cast<unsigned>(jobs);
     for (qb::core::VerifierOptions &lane_options : options.lanes) {
         lane_options.wantCounterexample = want_cex;
         lane_options.conflictBudget = budget;
@@ -165,6 +177,12 @@ main(int argc, char **argv)
         }
         return result.allSafe() ? 0 : 1;
     } catch (const qb::FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    } catch (const std::exception &e) {
+        // Library preconditions (std::invalid_argument from the
+        // generators and friends) surface as clean CLI errors, not
+        // crashes.
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
     }

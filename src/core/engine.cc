@@ -90,6 +90,9 @@ struct VerificationEngine::Lane
      * (the soundness basis of verbatim clause exchange).
      */
     bool alwaysEncode = false;
+    /** Queries since the last inprocessing pass (owned by the lane's
+     *  serial task chain; see EngineOptions::inprocessInterval). */
+    unsigned queriesSinceInprocess = 0;
 
     Lane(int idx, const VerifierOptions &opts, const bexp::Arena &arena,
          Scheduler &sched)
@@ -288,6 +291,16 @@ VerificationEngine::laneSolverStats(std::size_t lane)
     return lanes_[lane]->solver.stats();
 }
 
+sat::SolverStats
+VerificationEngine::aggregateSolverStats()
+{
+    waitIdle();
+    sat::SolverStats total;
+    for (const auto &lane : lanes_)
+        total.accumulate(lane->solver.stats());
+    return total;
+}
+
 const VerificationEngine::Conditions &
 VerificationEngine::conditionsFor(ir::QubitId q)
 {
@@ -468,6 +481,16 @@ VerificationEngine::runPersistentTask(
         // related queries cheap, while the bulk of the learnt
         // database would tax every propagation.
         lane.solver.shrinkLearnts(3);
+        // Slice-boundary inprocessing: every inprocessInterval-th
+        // query, vivify and subsume what the shrink kept, then let
+        // the arena GC compact.  Serialized with all other solver
+        // access by the lane's serial queue.
+        if (options_.inprocessInterval != 0 &&
+            ++lane.queriesSinceInprocess >=
+                options_.inprocessInterval) {
+            lane.queriesSinceInprocess = 0;
+            lane.solver.inprocess();
+        }
     } else {
         sel = lane.encoder.assertCondition(race->condition); // cached
     }
@@ -836,6 +859,7 @@ VerificationEngine::verifyAllQubits(const ResultObserver &observer)
         if (observer)
             observer(result.qubits.back());
     }
+    result.solverTotals = aggregateSolverStats();
     result.totalSeconds = timer.seconds();
     return result;
 }
@@ -906,6 +930,8 @@ verifyAll(const lang::ElaboratedProgram &program,
         if (observer)
             observer(result.qubits.back());
     }
+    for (auto &[key, session] : sessions)
+        result.solverTotals.accumulate(session->aggregateSolverStats());
     result.totalSeconds = timer.seconds();
     return result;
 }

@@ -78,6 +78,17 @@ struct EngineOptions
      */
     unsigned jobs = 0;
 
+    /**
+     * Slice-boundary inprocessing policy: each persistent lane runs
+     * Solver::inprocess() (clause vivification, backward subsumption,
+     * then an arena GC if warranted) after every this-many queries on
+     * that lane, at the query boundary where the epoch shrink already
+     * happens - never inside a slice chain.  0 disables.  The
+     * per-pass effort bounds live in sat::SolverConfig
+     * (vivifyPropBudget, subsumeMaxSize, subsumeOccLimit).
+     */
+    unsigned inprocessInterval = 16;
+
     /** Session with exactly one lane (the compatibility default). */
     static EngineOptions singleLane(const VerifierOptions &options);
     /** Both benchmark lanes racing, like the paper's solver pairing. */
@@ -186,6 +197,15 @@ class VerificationEngine
      * this session first, so it is safe - but blocking - mid-batch.
      */
     sat::SolverStats laneSolverStats(std::size_t lane);
+
+    /**
+     * Sum of every persistent lane's solver counters (peak fields sum
+     * per-lane peaks).  Quiesces this session's scheduler work first,
+     * like laneSolverStats().  The batch drivers copy this into
+     * ProgramResult::solverTotals so reports and benchmarks can show
+     * learnt-DB size, GC and inprocessing activity.
+     */
+    sat::SolverStats aggregateSolverStats();
 
   private:
     struct Lane;

@@ -112,6 +112,32 @@ toJson(const ProgramResult &result, const std::string &program_name)
     out += format("  \"counts\": {\"safe\": %zu, \"unsafe\": %zu, "
                   "\"undecided\": %zu},\n",
                   safe, unsafe, other);
+    // Aggregated persistent-lane solver counters (zero for one-shot
+    // runs): clause-DB health, exchange efficiency and the
+    // inprocessing/GC activity of this run's sessions.
+    const sat::SolverStats &s = result.solverTotals;
+    const auto count = [](std::int64_t v) {
+        return format("%lld", static_cast<long long>(v));
+    };
+    out += "  \"solver\": {";
+    out += "\"conflicts\": " + count(s.conflicts) + ", ";
+    out += "\"learnt_clauses\": " + count(s.learntClauses) + ", ";
+    out += "\"removed_clauses\": " + count(s.removedClauses) + ", ";
+    out += "\"exported_clauses\": " + count(s.exportedClauses) + ", ";
+    out += "\"imported_clauses\": " + count(s.importedClauses) + ", ";
+    out += "\"imported_dropped\": " + count(s.importedDropped) + ", ";
+    out += "\"inprocess_runs\": " + count(s.inprocessRuns) + ", ";
+    out += "\"vivified_clauses\": " + count(s.vivifiedClauses) + ", ";
+    out += "\"vivified_literals\": " + count(s.vivifiedLiterals) + ", ";
+    out += "\"subsumed_clauses\": " + count(s.subsumedClauses) + ", ";
+    out += "\"strengthened_clauses\": " +
+           count(s.strengthenedClauses) + ", ";
+    out += "\"gc_runs\": " + count(s.gcRuns) + ", ";
+    out += "\"gc_words_reclaimed\": " + count(s.gcWordsReclaimed) +
+           ", ";
+    out += "\"arena_peak_words\": " + count(s.arenaPeakWords) + ", ";
+    out += "\"peak_learnts\": " + count(s.peakLearnts);
+    out += "},\n";
     out += "  \"qubits\": [";
     for (std::size_t i = 0; i < result.qubits.size(); ++i) {
         out += i == 0 ? "\n    " : ",\n    ";

@@ -29,6 +29,10 @@ std::string toJson(const QubitResult &result);
  *   "all_safe": <bool>,
  *   "total_seconds": <double>,
  *   "counts": {"safe": n, "unsafe": n, "undecided": n},
+ *   "solver": { aggregated ProgramResult::solverTotals counters:
+ *               conflicts, learnt/removed clauses, clause-exchange
+ *               imported/exported/dropped, inprocessing (vivified,
+ *               subsumed, strengthened), arena GC runs and peaks },
  *   "qubits": [ <QubitResult objects> ]
  * }
  */

@@ -115,6 +115,16 @@ struct ProgramResult
     std::vector<QubitResult> qubits;
     double totalSeconds = 0.0;
 
+    /**
+     * Aggregated persistent-lane solver counters, summed over lanes
+     * and sessions (the peak fields sum per-solver peaks).  Filled by
+     * every batch path - VerificationEngine::verifyAllQubits(),
+     * core::verifyAll() and the verifyProgram()/verifySource()
+     * wrappers over it; scratch (preprocessing) lanes discharge in
+     * per-condition solvers whose counters are not included.
+     */
+    sat::SolverStats solverTotals;
+
     bool allSafe() const;
     std::string summary() const;
 };

@@ -33,23 +33,35 @@ SolverConfig::simplify()
     return cfg;
 }
 
-/** Clause with learnt metadata; lits[0..1] are the watched literals. */
-struct Solver::Clause
+void
+SolverStats::accumulate(const SolverStats &other)
 {
-    LitVec lits;
-    double activity = 0.0;
-    unsigned lbd = 0;
-    bool learnt = false;
-    bool deleted = false;
-    /** Adopted from a portfolio sibling via postImport(); retained by
-     *  shrinkLearnts() like the locally-learnt glue clauses. */
-    bool imported = false;
-};
+    decisions += other.decisions;
+    propagations += other.propagations;
+    conflicts += other.conflicts;
+    restarts += other.restarts;
+    learntClauses += other.learntClauses;
+    removedClauses += other.removedClauses;
+    eliminatedVars += other.eliminatedVars;
+    exportedClauses += other.exportedClauses;
+    importedClauses += other.importedClauses;
+    importedDropped += other.importedDropped;
+    inprocessRuns += other.inprocessRuns;
+    vivifiedClauses += other.vivifiedClauses;
+    vivifiedLiterals += other.vivifiedLiterals;
+    subsumedClauses += other.subsumedClauses;
+    strengthenedClauses += other.strengthenedClauses;
+    gcRuns += other.gcRuns;
+    gcWordsReclaimed += other.gcWordsReclaimed;
+    arenaPeakWords += other.arenaPeakWords;
+    peakLearnts += other.peakLearnts;
+}
 
-/** Watch-list entry; blocker enables the common fast-path check. */
+/** Watch-list entry; blocker enables the common fast-path check that
+ *  decides most visits without ever dereferencing the arena. */
 struct Solver::Watcher
 {
-    Clause *clause;
+    ClauseRef cref;
     Lit blocker;
 };
 
@@ -148,13 +160,7 @@ Solver::Solver(SolverConfig config)
 {
 }
 
-Solver::~Solver()
-{
-    for (Clause *c : problemClauses)
-        delete c;
-    for (Clause *c : learntClauses)
-        delete c;
-}
+Solver::~Solver() = default;
 
 Var
 Solver::newVar()
@@ -162,7 +168,7 @@ Solver::newVar()
     const Var v = numVars();
     assigns.push_back(LBool::Undef);
     levels.push_back(0);
-    reasons.push_back(nullptr);
+    reasons.push_back(kRefUndef);
     polarity.push_back(cfg.initialPhaseTrue);
     activity.push_back(0.0);
     seen.push_back(0);
@@ -179,6 +185,17 @@ Solver::value(Lit l) const
     return l.sign() ? lboolNeg(v) : v;
 }
 
+void
+Solver::notePeaks()
+{
+    statistics.arenaPeakWords =
+        std::max<std::int64_t>(statistics.arenaPeakWords,
+                               static_cast<std::int64_t>(ca.words()));
+    statistics.peakLearnts = std::max<std::int64_t>(
+        statistics.peakLearnts,
+        static_cast<std::int64_t>(learntClauses.size()));
+}
+
 bool
 Solver::addClause(LitVec lits)
 {
@@ -189,8 +206,15 @@ Solver::addClause(LitVec lits)
     // assignments bounded variable elimination leaves behind; undo
     // the elimination first (restoreEliminated() re-enters here with
     // the stack already cleared).
-    if (!elimStack.empty())
+    if (!elimStack.empty()) {
         restoreEliminated();
+        // Restoration re-adds the eliminated clauses through this very
+        // function; if that latched root unsatisfiability, the solver
+        // is broken and the new clause must not be simplified against
+        // or attached to it.
+        if (!okay)
+            return false;
+    }
     for (Lit l : lits) {
         while (l.var() >= numVars())
             newVar();
@@ -210,13 +234,14 @@ Solver::addClause(LitVec lits)
         return false;
     }
     if (kept.size() == 1) {
-        uncheckedEnqueue(kept[0], nullptr);
-        okay = propagate() == nullptr;
+        uncheckedEnqueue(kept[0], kRefUndef);
+        okay = propagate() == kRefUndef;
         return okay;
     }
-    auto *c = new Clause{std::move(kept)};
-    problemClauses.push_back(c);
-    attachClause(c);
+    const ClauseRef cr = ca.alloc(kept, /*learnt=*/false, /*lbd=*/0);
+    problemClauses.push_back(cr);
+    attachClause(cr);
+    notePeaks();
     return true;
 }
 
@@ -234,20 +259,22 @@ Solver::addCnf(const Cnf &cnf)
 }
 
 void
-Solver::attachClause(Clause *c)
+Solver::attachClause(ClauseRef cr)
 {
-    qbAssert(c->lits.size() >= 2, "attaching short clause");
-    watches[(~c->lits[0]).index()].push_back({c, c->lits[1]});
-    watches[(~c->lits[1]).index()].push_back({c, c->lits[0]});
+    const Clause &c = ca[cr];
+    qbAssert(c.size() >= 2, "attaching short clause");
+    watches[(~c[0]).index()].push_back({cr, c[1]});
+    watches[(~c[1]).index()].push_back({cr, c[0]});
 }
 
 void
-Solver::detachClause(Clause *c)
+Solver::detachClause(ClauseRef cr)
 {
-    for (Lit w : {c->lits[0], c->lits[1]}) {
+    const Clause &c = ca[cr];
+    for (Lit w : {c[0], c[1]}) {
         auto &list = watches[(~w).index()];
         for (std::size_t i = 0; i < list.size(); ++i) {
-            if (list[i].clause == c) {
+            if (list[i].cref == cr) {
                 list[i] = list.back();
                 list.pop_back();
                 break;
@@ -257,7 +284,22 @@ Solver::detachClause(Clause *c)
 }
 
 void
-Solver::uncheckedEnqueue(Lit l, Clause *reason_clause)
+Solver::removeClause(ClauseRef cr)
+{
+    detachClause(cr);
+    ca.free(cr);
+    ++statistics.removedClauses;
+}
+
+bool
+Solver::locked(ClauseRef cr) const
+{
+    const Clause &c = ca[cr];
+    return reasons[c[0].var()] == cr && value(c[0]) == LBool::True;
+}
+
+void
+Solver::uncheckedEnqueue(Lit l, ClauseRef reason_clause)
 {
     qbAssert(value(l) == LBool::Undef, "enqueue of assigned literal");
     assigns[l.var()] = lboolOf(!l.sign());
@@ -268,10 +310,10 @@ Solver::uncheckedEnqueue(Lit l, Clause *reason_clause)
     trail.push_back(l);
 }
 
-Solver::Clause *
+ClauseRef
 Solver::propagate()
 {
-    Clause *conflict = nullptr;
+    ClauseRef conflict = kRefUndef;
     while (qhead < trail.size()) {
         const Lit p = trail[qhead++];
         ++statistics.propagations;
@@ -280,27 +322,29 @@ Solver::propagate()
         std::size_t i = 0;
         for (; i < list.size(); ++i) {
             const Watcher w = list[i];
+            // Blocker fast path: one literal probe, no arena access.
             if (value(w.blocker) == LBool::True) {
                 list[keep++] = w;
                 continue;
             }
-            Clause &c = *w.clause;
+            Clause &c = ca[w.cref];
             // Normalize so the false literal ~p sits at lits[1].
             const Lit not_p = ~p;
-            if (c.lits[0] == not_p)
-                std::swap(c.lits[0], c.lits[1]);
-            const Lit first = c.lits[0];
+            if (c[0] == not_p)
+                std::swap(c[0], c[1]);
+            const Lit first = c[0];
             if (first != w.blocker && value(first) == LBool::True) {
-                list[keep++] = {w.clause, first};
+                list[keep++] = {w.cref, first};
                 continue;
             }
             // Look for a replacement watch.
             bool moved = false;
-            for (std::size_t k = 2; k < c.lits.size(); ++k) {
-                if (value(c.lits[k]) != LBool::False) {
-                    std::swap(c.lits[1], c.lits[k]);
-                    watches[(~c.lits[1]).index()].push_back(
-                        {w.clause, first});
+            const unsigned size = c.size();
+            for (unsigned k = 2; k < size; ++k) {
+                if (value(c[k]) != LBool::False) {
+                    std::swap(c[1], c[k]);
+                    watches[(~c[1]).index()].push_back(
+                        {w.cref, first});
                     moved = true;
                     break;
                 }
@@ -308,19 +352,19 @@ Solver::propagate()
             if (moved)
                 continue;
             // Clause is unit or conflicting.
-            list[keep++] = {w.clause, first};
+            list[keep++] = {w.cref, first};
             if (value(first) == LBool::False) {
-                conflict = w.clause;
+                conflict = w.cref;
                 qhead = trail.size();
                 ++i;
                 break;
             }
-            uncheckedEnqueue(first, w.clause);
+            uncheckedEnqueue(first, w.cref);
         }
         for (; i < list.size(); ++i)
             list[keep++] = list[i];
         list.resize(keep);
-        if (conflict)
+        if (conflict != kRefUndef)
             break;
     }
     return conflict;
@@ -340,7 +384,7 @@ Solver::computeLbd(const LitVec &lits)
 }
 
 void
-Solver::analyze(Clause *conflict, LitVec &out_learnt, int &out_btlevel,
+Solver::analyze(ClauseRef conflict, LitVec &out_learnt, int &out_btlevel,
                 unsigned &out_lbd)
 {
     out_learnt.clear();
@@ -348,14 +392,16 @@ Solver::analyze(Clause *conflict, LitVec &out_learnt, int &out_btlevel,
     int counter = 0;
     Lit p = kUndefLit;
     std::size_t index = trail.size();
-    Clause *reason_clause = conflict;
+    ClauseRef reason_cref = conflict;
     do {
-        qbAssert(reason_clause != nullptr, "analyze without reason");
-        if (reason_clause->learnt)
-            claBumpActivity(reason_clause);
+        qbAssert(reason_cref != kRefUndef, "analyze without reason");
+        Clause &rc = ca[reason_cref];
+        if (rc.learnt())
+            claBumpActivity(rc);
         const std::size_t start = (p == kUndefLit) ? 0 : 1;
-        for (std::size_t j = start; j < reason_clause->lits.size(); ++j) {
-            const Lit q = reason_clause->lits[j];
+        const unsigned size = rc.size();
+        for (std::size_t j = start; j < size; ++j) {
+            const Lit q = rc[j];
             if (!seen[q.var()] && levels[q.var()] > 0) {
                 seen[q.var()] = 1;
                 varBumpActivity(q.var());
@@ -369,7 +415,7 @@ Solver::analyze(Clause *conflict, LitVec &out_learnt, int &out_btlevel,
         while (!seen[trail[index - 1].var()])
             --index;
         p = trail[--index];
-        reason_clause = reasons[p.var()];
+        reason_cref = reasons[p.var()];
         seen[p.var()] = 0;
         --counter;
     } while (counter > 0);
@@ -387,7 +433,8 @@ Solver::analyze(Clause *conflict, LitVec &out_learnt, int &out_btlevel,
     std::size_t keep = 1;
     for (std::size_t i = 1; i < out_learnt.size(); ++i) {
         const Lit l = out_learnt[i];
-        if (reasons[l.var()] == nullptr || !litRedundant(l, ab_levels))
+        if (reasons[l.var()] == kRefUndef ||
+            !litRedundant(l, ab_levels))
             out_learnt[keep++] = l;
     }
     out_learnt.resize(keep);
@@ -427,14 +474,15 @@ Solver::analyzeFinal(Lit failed)
         const Var x = trail[i - 1].var();
         if (!seen[x])
             continue;
-        const Clause *reason_clause = reasons[x];
-        if (reason_clause == nullptr) {
+        const ClauseRef reason_cref = reasons[x];
+        if (reason_cref == kRefUndef) {
             // Decisions below the assumption prefix are assumptions.
             conflictCore.push_back(trail[i - 1]);
         } else {
-            for (std::size_t j = 1; j < reason_clause->lits.size();
-                 ++j) {
-                const Var v = reason_clause->lits[j].var();
+            const Clause &rc = ca[reason_cref];
+            const unsigned size = rc.size();
+            for (std::size_t j = 1; j < size; ++j) {
+                const Var v = rc[j].var();
                 if (levels[v] > 0)
                     seen[v] = 1;
             }
@@ -454,13 +502,15 @@ Solver::litRedundant(Lit l, std::uint32_t ab_levels)
     while (!stack.empty() && redundant) {
         const Lit cur = stack.back();
         stack.pop_back();
-        const Clause *r = reasons[cur.var()];
-        qbAssert(r != nullptr, "litRedundant without reason");
-        for (std::size_t j = 1; j < r->lits.size(); ++j) {
-            const Lit q = r->lits[j];
+        const ClauseRef r = reasons[cur.var()];
+        qbAssert(r != kRefUndef, "litRedundant without reason");
+        const Clause &rc = ca[r];
+        const unsigned size = rc.size();
+        for (std::size_t j = 1; j < size; ++j) {
+            const Lit q = rc[j];
             if (seen[q.var()] || levels[q.var()] == 0)
                 continue;
-            if (reasons[q.var()] == nullptr ||
+            if (reasons[q.var()] == kRefUndef ||
                 !(ab_levels & (1u << (levels[q.var()] & 31)))) {
                 redundant = false;
                 break;
@@ -491,7 +541,7 @@ Solver::cancelUntil(int target_level)
          i > static_cast<std::size_t>(trailLim[target_level]); --i) {
         const Var v = trail[i - 1].var();
         assigns[v] = LBool::Undef;
-        reasons[v] = nullptr;
+        reasons[v] = kRefUndef;
         order->insert(v);
     }
     trail.resize(trailLim[target_level]);
@@ -537,12 +587,14 @@ Solver::varDecayActivity()
 }
 
 void
-Solver::claBumpActivity(Clause *c)
+Solver::claBumpActivity(Clause &c)
 {
-    c->activity += claInc;
-    if (c->activity > 1e20) {
-        for (Clause *lc : learntClauses)
-            lc->activity *= 1e-20;
+    c.setActivity(static_cast<float>(c.activity() + claInc));
+    if (c.activity() > 1e20f) {
+        for (ClauseRef lc : learntClauses) {
+            Clause &x = ca[lc];
+            x.setActivity(x.activity() * 1e-20f);
+        }
         claInc *= 1e-20;
     }
 }
@@ -551,6 +603,16 @@ void
 Solver::claDecayActivity()
 {
     claInc /= cfg.clauseDecay;
+    // Activities are float in the arena header: rescale on the
+    // increment itself, not only on a bump, so a long bump-free streak
+    // cannot push claInc past float range.
+    if (claInc > 1e20) {
+        for (ClauseRef lc : learntClauses) {
+            Clause &x = ca[lc];
+            x.setActivity(x.activity() * 1e-20f);
+        }
+        claInc *= 1e-20;
+    }
 }
 
 void
@@ -559,27 +621,25 @@ Solver::reduceDb()
     // Keep the better half, ranked by LBD then activity; always keep
     // clauses that are reasons for current assignments.
     std::sort(learntClauses.begin(), learntClauses.end(),
-              [](const Clause *a, const Clause *b) {
-                  if (a->lbd != b->lbd)
-                      return a->lbd < b->lbd;
-                  return a->activity > b->activity;
+              [this](ClauseRef a, ClauseRef b) {
+                  const Clause &x = ca[a];
+                  const Clause &y = ca[b];
+                  if (x.lbd() != y.lbd())
+                      return x.lbd() < y.lbd();
+                  return x.activity() > y.activity();
               });
-    std::vector<Clause *> kept;
+    std::vector<ClauseRef> kept;
     kept.reserve(learntClauses.size());
     const std::size_t limit = learntClauses.size() / 2;
     for (std::size_t i = 0; i < learntClauses.size(); ++i) {
-        Clause *c = learntClauses[i];
-        const bool locked = reasons[c->lits[0].var()] == c &&
-                            value(c->lits[0]) == LBool::True;
-        if (i < limit || locked || c->lbd <= 2) {
-            kept.push_back(c);
-        } else {
-            detachClause(c);
-            delete c;
-            ++statistics.removedClauses;
-        }
+        const ClauseRef cr = learntClauses[i];
+        if (i < limit || locked(cr) || ca[cr].lbd() <= 2)
+            kept.push_back(cr);
+        else
+            removeClause(cr);
     }
     learntClauses = std::move(kept);
+    maybeGarbageCollect();
 }
 
 void
@@ -615,20 +675,17 @@ void
 Solver::shrinkLearnts(unsigned max_lbd)
 {
     qbAssert(decisionLevel() == 0, "shrinkLearnts above root level");
-    std::vector<Clause *> kept;
+    std::vector<ClauseRef> kept;
     kept.reserve(learntClauses.size());
-    for (Clause *c : learntClauses) {
-        const bool locked = reasons[c->lits[0].var()] == c &&
-                            value(c->lits[0]) == LBool::True;
-        if (locked || c->imported || c->lbd <= max_lbd) {
-            kept.push_back(c);
-        } else {
-            detachClause(c);
-            delete c;
-            ++statistics.removedClauses;
-        }
+    for (const ClauseRef cr : learntClauses) {
+        const Clause &c = ca[cr];
+        if (locked(cr) || c.imported() || c.lbd() <= max_lbd)
+            kept.push_back(cr);
+        else
+            removeClause(cr);
     }
     learntClauses = std::move(kept);
+    maybeGarbageCollect();
 }
 
 void
@@ -649,11 +706,10 @@ Solver::drainImports()
         batch.swap(importInbox);
         importPending.store(false, std::memory_order_release);
     }
-    for (LitVec &clause : batch) {
-        if (!okay)
-            return;
+    // Keep draining after a latched Unsat: addImported() counts the
+    // remaining offers as dropped, keeping the exchange stats honest.
+    for (LitVec &clause : batch)
         addImported(std::move(clause));
-    }
 }
 
 void
@@ -664,42 +720,57 @@ Solver::addImported(LitVec lits)
     // bookkeeping rather than count as problem structure.  Imports are
     // dropped rather than restored against eliminated variables - a
     // preprocessed solver never participates in exchange anyway.
-    if (!elimStack.empty())
+    //
+    // Counting contract: importedClauses counts clauses actually
+    // ADOPTED (attached, or enqueued as a root unit); every other
+    // offer - broken solver, eliminated state, unknown variables,
+    // already satisfied/tautological, or a root falsification that
+    // only latches Unsat - counts as importedDropped.
+    if (!okay || !elimStack.empty()) {
+        ++statistics.importedDropped;
         return;
+    }
     for (Lit l : lits) {
         // The exporting sibling can be ahead in the shared clause
         // stream; a clause about structure this solver has not encoded
         // yet is simply not useful here.
-        if (l.var() >= numVars())
+        if (l.var() >= numVars()) {
+            ++statistics.importedDropped;
             return;
+        }
     }
     std::sort(lits.begin(), lits.end());
     LitVec kept;
     Lit prev = kUndefLit;
     for (Lit l : lits) {
-        if (value(l) == LBool::True || l == ~prev)
+        if (value(l) == LBool::True || l == ~prev) {
+            ++statistics.importedDropped;
             return; // satisfied or tautological
+        }
         if (value(l) != LBool::False && l != prev)
             kept.push_back(l);
         prev = l;
     }
-    ++statistics.importedClauses;
     if (kept.empty()) {
+        // Every literal is false at the root: latch Unsat.  Nothing
+        // was adopted into the database, so this is a drop.
         okay = false;
+        ++statistics.importedDropped;
         return;
     }
+    ++statistics.importedClauses;
     if (kept.size() == 1) {
-        uncheckedEnqueue(kept[0], nullptr);
-        okay = propagate() == nullptr;
+        uncheckedEnqueue(kept[0], kRefUndef);
+        okay = propagate() == kRefUndef;
         return;
     }
-    auto *c = new Clause{std::move(kept)};
-    c->learnt = true;
-    c->imported = true;
-    c->lbd = static_cast<unsigned>(
-        std::min<std::size_t>(c->lits.size(), cfg.shareMaxLbd));
-    learntClauses.push_back(c);
-    attachClause(c);
+    const unsigned lbd = static_cast<unsigned>(
+        std::min<std::size_t>(kept.size(), cfg.shareMaxLbd));
+    const ClauseRef cr =
+        ca.alloc(kept, /*learnt=*/true, lbd, /*imported=*/true);
+    learntClauses.push_back(cr);
+    attachClause(cr);
+    notePeaks();
 }
 
 std::int64_t
@@ -730,8 +801,8 @@ Solver::search(std::int64_t conflict_limit)
             cancelUntil(0);
             return SolveResult::Unknown;
         }
-        Clause *conflict = propagate();
-        if (conflict != nullptr) {
+        const ClauseRef conflict = propagate();
+        if (conflict != kRefUndef) {
             ++statistics.conflicts;
             ++conflicts_here;
             if (decisionLevel() == 0) {
@@ -755,13 +826,17 @@ Solver::search(std::int64_t conflict_limit)
                 ++statistics.exportedClauses;
             }
             if (learnt.size() == 1) {
-                uncheckedEnqueue(learnt[0], nullptr);
+                uncheckedEnqueue(learnt[0], kRefUndef);
             } else {
-                auto *c = new Clause{learnt, claInc, lbd, true};
-                learntClauses.push_back(c);
+                const ClauseRef cr =
+                    ca.alloc(learnt, /*learnt=*/true, lbd,
+                             /*imported=*/false,
+                             static_cast<float>(claInc));
+                learntClauses.push_back(cr);
                 ++statistics.learntClauses;
-                attachClause(c);
-                uncheckedEnqueue(learnt[0], c);
+                attachClause(cr);
+                uncheckedEnqueue(learnt[0], cr);
+                notePeaks();
             }
             varDecayActivity();
             claDecayActivity();
@@ -831,7 +906,7 @@ Solver::search(std::int64_t conflict_limit)
             }
             ++statistics.decisions;
             trailLim.push_back(static_cast<int>(trail.size()));
-            uncheckedEnqueue(next, nullptr);
+            uncheckedEnqueue(next, kRefUndef);
         }
     }
 }
@@ -854,7 +929,7 @@ Solver::solve(const LitVec &assumps)
         while (a.var() >= numVars())
             newVar();
     }
-    if (propagate() != nullptr) {
+    if (propagate() != kRefUndef) {
         okay = false;
         return SolveResult::Unsat;
     }
@@ -964,10 +1039,11 @@ Solver::preprocessEliminate()
     qbAssert(decisionLevel() == 0, "preprocess above root level");
     std::vector<LitVec> clauses;
     clauses.reserve(problemClauses.size());
-    for (Clause *c : problemClauses) {
+    for (const ClauseRef cr : problemClauses) {
+        const Clause &c = ca[cr];
         LitVec kept;
         bool satisfied = false;
-        for (Lit l : c->lits) {
+        for (Lit l : c) {
             if (value(l) == LBool::True) {
                 satisfied = true;
                 break;
@@ -977,8 +1053,8 @@ Solver::preprocessEliminate()
         }
         if (!satisfied)
             clauses.push_back(std::move(kept));
-        detachClause(c);
-        delete c;
+        detachClause(cr);
+        ca.free(cr);
     }
     problemClauses.clear();
 
@@ -1093,25 +1169,327 @@ Solver::preprocessEliminate()
             if (value(c[0]) == LBool::False)
                 return false;
             if (value(c[0]) == LBool::Undef)
-                uncheckedEnqueue(c[0], nullptr);
+                uncheckedEnqueue(c[0], kRefUndef);
             continue;
         }
-        auto *cl = new Clause{std::move(c)};
+        const ClauseRef cl = ca.alloc(c, /*learnt=*/false, /*lbd=*/0);
         problemClauses.push_back(cl);
         attachClause(cl);
     }
-    return propagate() == nullptr;
+    notePeaks();
+    const bool ok = propagate() == kRefUndef;
+    // The whole pre-elimination database is garbage in the arena now.
+    maybeGarbageCollect();
+    return ok;
 }
 
 void
-Solver::rebuildWatches()
+Solver::relocAll(ClauseAllocator &to)
 {
-    for (auto &w : watches)
-        w.clear();
-    for (Clause *c : problemClauses)
-        attachClause(c);
-    for (Clause *c : learntClauses)
-        attachClause(c);
+    // Patch every live reference through the forwarding words: watcher
+    // lists first (order and blockers preserved verbatim), then the
+    // reasons of all assigned variables (root-level assignments keep
+    // their reason clauses forever; reduceDb/shrinkLearnts never free
+    // locked clauses, so every such reference is live), then the
+    // clause lists themselves.
+    for (auto &list : watches)
+        for (Watcher &w : list)
+            w.cref = ca.reloc(w.cref, to);
+    for (Var v = 0; v < numVars(); ++v) {
+        if (assigns[v] != LBool::Undef && reasons[v] != kRefUndef)
+            reasons[v] = ca.reloc(reasons[v], to);
+    }
+    for (ClauseRef &cr : problemClauses)
+        cr = ca.reloc(cr, to);
+    for (ClauseRef &cr : learntClauses)
+        cr = ca.reloc(cr, to);
+}
+
+void
+Solver::garbageCollect()
+{
+    ClauseAllocator to;
+    to.reserveWords(ca.words() - ca.wasted());
+    relocAll(to);
+    ++statistics.gcRuns;
+    statistics.gcWordsReclaimed +=
+        static_cast<std::int64_t>(ca.words() - to.words());
+    ca = std::move(to);
+}
+
+void
+Solver::maybeGarbageCollect()
+{
+    // The MiniSat threshold: compact once a fifth of the arena is
+    // garbage.  Cheaper than malloc/free per clause ever was, and the
+    // copy restores allocation order = traversal order.
+    if (ca.wasted() > ca.words() / 5)
+        garbageCollect();
+}
+
+bool
+Solver::inprocess()
+{
+    qbAssert(decisionLevel() == 0, "inprocess above root level");
+    if (!okay || !cfg.inprocessing)
+        return okay;
+    ++statistics.inprocessRuns;
+    vivifyLearnts();
+    if (okay)
+        backwardSubsume();
+    maybeGarbageCollect();
+    return okay;
+}
+
+void
+Solver::vivifyLearnts()
+{
+    // Clause vivification (distillation): for a learnt clause
+    // l1..lk, enqueue ~l1..~li in turn at a throwaway decision level.
+    // A propagation conflict proves the prefix l1..li is implied (the
+    // clause shrinks to it); an implied lj proves prefix+lj subsumes
+    // the clause; an implied ~lj removes lj by resolution.  The clause
+    // under test is detached first so it cannot justify itself.
+    std::int64_t budget = cfg.vivifyPropBudget;
+    for (std::size_t idx = 0; idx < learntClauses.size(); ++idx) {
+        if (budget <= 0 || !okay)
+            break;
+        const ClauseRef cr = learntClauses[idx];
+        if (locked(cr))
+            continue;
+        const Clause &c = ca[cr];
+        if (c.size() < 3)
+            continue;
+        const LitVec lits(c.begin(), c.end());
+        const bool was_imported = c.imported();
+        const unsigned old_lbd = c.lbd();
+        const float act = c.activity();
+        // Clauses satisfied at the root are pure ballast.
+        bool root_sat = false;
+        for (Lit l : lits) {
+            if (value(l) == LBool::True) {
+                root_sat = true;
+                break;
+            }
+        }
+        if (root_sat) {
+            removeClause(cr);
+            learntClauses[idx--] = learntClauses.back();
+            learntClauses.pop_back();
+            continue;
+        }
+        detachClause(cr);
+        const std::int64_t props_before = statistics.propagations;
+        trailLim.push_back(static_cast<int>(trail.size()));
+        LitVec kept;
+        bool shortened = false;
+        for (Lit l : lits) {
+            const LBool v = value(l);
+            if (v == LBool::True) {
+                // Implied by the negated prefix: prefix + l subsumes.
+                kept.push_back(l);
+                shortened = true;
+                break;
+            }
+            if (v == LBool::False) {
+                // ~l implied: drop l by self-subsuming resolution.
+                shortened = true;
+                continue;
+            }
+            kept.push_back(l);
+            uncheckedEnqueue(~l, kRefUndef);
+            if (propagate() != kRefUndef) {
+                // The negated prefix is contradictory: it suffices.
+                shortened = true;
+                break;
+            }
+        }
+        cancelUntil(0);
+        budget -= statistics.propagations - props_before;
+        if (!shortened || kept.size() >= lits.size()) {
+            attachClause(cr); // unchanged; watch positions intact
+            continue;
+        }
+        ++statistics.vivifiedClauses;
+        statistics.vivifiedLiterals +=
+            static_cast<std::int64_t>(lits.size() - kept.size());
+        ca.free(cr);
+        if (kept.size() >= 2) {
+            // All kept literals are unassigned at the root (false ones
+            // were dropped, a true one ends the root_sat scan), so any
+            // two of them are valid watches.
+            const unsigned lbd = std::min(
+                old_lbd, static_cast<unsigned>(kept.size()));
+            const ClauseRef nr =
+                ca.alloc(kept, /*learnt=*/true, lbd, was_imported, act);
+            learntClauses[idx] = nr;
+            attachClause(nr);
+            notePeaks(); // replacements grow the arena tail
+            continue;
+        }
+        learntClauses[idx--] = learntClauses.back();
+        learntClauses.pop_back();
+        if (kept.empty()) {
+            okay = false; // every literal false at the root
+            return;
+        }
+        if (value(kept[0]) == LBool::False) {
+            okay = false;
+        } else if (value(kept[0]) == LBool::Undef) {
+            uncheckedEnqueue(kept[0], kRefUndef);
+            okay = propagate() == kRefUndef;
+        }
+    }
+}
+
+void
+Solver::backwardSubsume()
+{
+    // Backward subsumption with self-subsuming resolution over the
+    // whole database (krox/dawn-style, bounded): for each clause C up
+    // to subsumeMaxSize literals, scan the occurrence lists of its
+    // least-frequent literal (both polarities) for clauses D with
+    // C subset D (drop D) or C \ {l} + {~l} subset D (remove ~l from
+    // D).  Signatures prune most candidate pairs to one 64-bit test.
+    qbAssert(decisionLevel() == 0, "subsume above root level");
+    struct Entry
+    {
+        ClauseRef cr;
+        std::uint64_t sig;
+        bool learnt;
+        bool dead;
+    };
+    std::vector<Entry> entries;
+    entries.reserve(problemClauses.size() + learntClauses.size());
+    for (const ClauseRef cr : problemClauses)
+        entries.push_back({cr, 0, false, false});
+    for (const ClauseRef cr : learntClauses)
+        entries.push_back({cr, 0, true, false});
+
+    std::vector<std::vector<std::uint32_t>> occ(watches.size());
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(entries.size()); ++i) {
+        const Clause &c = ca[entries[i].cr];
+        std::uint64_t sig = 0;
+        for (Lit l : c) {
+            sig |= std::uint64_t{1} << (l.var() & 63);
+            occ[l.index()].push_back(i);
+        }
+        entries[i].sig = sig;
+    }
+
+    std::vector<char> inSubsumer(watches.size(), 0);
+
+    // Remove @p l from @p d in place (self-subsuming resolution),
+    // re-picking watches among non-false literals: the swapped-in tail
+    // literal may be root-false, and watching a falsified literal
+    // whose negation was already propagated would silence the clause
+    // forever.
+    const auto strengthen = [this, &entries](std::uint32_t j, Lit l) {
+        Entry &d = entries[j];
+        ++statistics.strengthenedClauses;
+        detachClause(d.cr);
+        Clause &c = ca[d.cr];
+        c.removeLiteral(l);
+        ca.noteShrink(1);
+        c.setLbd(std::min(c.lbd(), c.size()));
+        std::size_t nonfalse = 0;
+        for (std::size_t i = 0; i < c.size() && nonfalse < 2; ++i) {
+            if (value(c[i]) != LBool::False)
+                std::swap(c[nonfalse++], c[i]);
+        }
+        if (nonfalse >= 2) {
+            attachClause(d.cr);
+            return;
+        }
+        // Unit (or empty) at the root: dissolve into the trail.
+        d.dead = true;
+        ca.free(d.cr);
+        if (nonfalse == 0) {
+            okay = false;
+            return;
+        }
+        if (value(c[0]) == LBool::Undef) {
+            uncheckedEnqueue(c[0], kRefUndef);
+            okay = propagate() == kRefUndef;
+        }
+    };
+
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(entries.size()) && okay; ++i) {
+        Entry &e = entries[i];
+        if (e.dead)
+            continue;
+        const Clause &c = ca[e.cr];
+        if (c.size() < 2 || c.size() > cfg.subsumeMaxSize)
+            continue;
+        // Least-frequent literal, counting both polarities (the
+        // negated list feeds the strengthening case).
+        const auto pairCount = [&occ](Lit l) {
+            return occ[l.index()].size() + occ[(~l).index()].size();
+        };
+        Lit best = c[0];
+        for (Lit l : c)
+            if (pairCount(l) < pairCount(best))
+                best = l;
+        if (pairCount(best) > cfg.subsumeOccLimit)
+            continue;
+        for (Lit l : c)
+            inSubsumer[l.index()] = 1;
+        const unsigned csize = c.size();
+        for (const Lit probe : {best, ~best}) {
+            for (const std::uint32_t j : occ[probe.index()]) {
+                if (j == i || entries[j].dead)
+                    continue;
+                Entry &d = entries[j];
+                const Clause &cd = ca[d.cr];
+                if (cd.size() < csize || (e.sig & ~d.sig) != 0)
+                    continue;
+                if (locked(d.cr))
+                    continue;
+                unsigned matched = 0, negations = 0;
+                Lit neg = kUndefLit;
+                for (Lit y : cd) {
+                    if (inSubsumer[y.index()]) {
+                        ++matched;
+                    } else if (inSubsumer[(~y).index()]) {
+                        ++negations;
+                        neg = y;
+                    }
+                }
+                if (matched == csize) {
+                    // C subsumes D.  A learnt subsumer standing in for
+                    // a problem clause is promoted to problem status,
+                    // otherwise a later shrinkLearnts() could silently
+                    // lose the constraint.
+                    if (e.learnt && !d.learnt) {
+                        e.learnt = false;
+                        ca[e.cr].clearLearnt();
+                    }
+                    d.dead = true;
+                    detachClause(d.cr);
+                    ca.free(d.cr);
+                    ++statistics.subsumedClauses;
+                } else if (matched + 1 == csize && negations == 1) {
+                    strengthen(j, neg);
+                    if (!okay)
+                        break;
+                }
+            }
+            if (!okay)
+                break;
+        }
+        for (Lit l : c)
+            inSubsumer[l.index()] = 0;
+    }
+
+    problemClauses.clear();
+    learntClauses.clear();
+    for (const Entry &e : entries) {
+        if (e.dead)
+            continue;
+        (e.learnt ? learntClauses : problemClauses).push_back(e.cr);
+    }
 }
 
 SolveResult

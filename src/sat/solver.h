@@ -9,6 +9,16 @@
  * activities, phase saving, Luby restarts and activity/LBD-based learnt
  * clause database reduction.
  *
+ * Clause storage is an arena ClauseAllocator (clause_allocator.h): all
+ * clauses live in one contiguous word array addressed by 32-bit
+ * ClauseRefs, watcher lists carry {ClauseRef, blocker literal} pairs so
+ * the common propagation step never touches the clause itself, and a
+ * relocating garbage collector compacts the arena when database
+ * reductions have left enough garbage behind.  Long-lived incremental
+ * solvers additionally support inprocessing - clause vivification and
+ * backward subsumption - which the verification engine runs at slice
+ * boundaries between queries.
+ *
  * Two configuration presets (see SolverConfig::baseline() and
  * SolverConfig::simplify()) stand in for the two external solvers in the
  * paper's evaluation; they differ in preprocessing, branching and restart
@@ -26,6 +36,7 @@
 #include <mutex>
 #include <vector>
 
+#include "sat/clause_allocator.h"
 #include "sat/cnf.h"
 #include "sat/literal.h"
 
@@ -73,6 +84,17 @@ struct SolverConfig
      */
     unsigned shareMaxLbd = 2;
 
+    /** @name Inprocessing knobs (see Solver::inprocess()). @{ */
+    /** Master switch: inprocess() is a no-op when false. */
+    bool inprocessing = true;
+    /** Propagation budget per vivification pass. */
+    std::int64_t vivifyPropBudget = 100000;
+    /** Clauses longer than this are never used as subsumers. */
+    unsigned subsumeMaxSize = 12;
+    /** Occurrence-list length cap per candidate subsumer literal. */
+    unsigned subsumeOccLimit = 40;
+    /** @} */
+
     /** Plain CDCL: the paper's "CVC5 lane". */
     static SolverConfig baseline();
     /** Preprocessing-heavy CDCL: the paper's "Bitwuzla lane". */
@@ -90,7 +112,31 @@ struct SolverStats
     std::int64_t removedClauses = 0;
     std::int64_t eliminatedVars = 0;
     std::int64_t exportedClauses = 0; ///< offered to the export hook
-    std::int64_t importedClauses = 0; ///< adopted from postImport()
+    /** Clauses actually adopted from postImport() (attached or
+     *  enqueued as root units). */
+    std::int64_t importedClauses = 0;
+    /** postImport() offers NOT adopted: unknown variables, eliminated
+     *  state, already satisfied/tautological, or a root falsification
+     *  that only latched Unsat.  importedClauses + importedDropped is
+     *  the total number of offers drained, so exchange-efficiency
+     *  reports can be truthful. */
+    std::int64_t importedDropped = 0;
+
+    /** @name Inprocessing / arena counters. @{ */
+    std::int64_t inprocessRuns = 0;
+    std::int64_t vivifiedClauses = 0;   ///< clauses shortened
+    std::int64_t vivifiedLiterals = 0;  ///< literals removed
+    std::int64_t subsumedClauses = 0;   ///< removed by subsumption
+    std::int64_t strengthenedClauses = 0; ///< self-subsuming resolution
+    std::int64_t gcRuns = 0;            ///< arena compactions
+    std::int64_t gcWordsReclaimed = 0;  ///< 32-bit words freed by GC
+    std::int64_t arenaPeakWords = 0;    ///< peak clause-arena size
+    std::int64_t peakLearnts = 0;       ///< peak live learnt clauses
+    /** @} */
+
+    /** Add every counter of @p other (lane/session aggregation; the
+     *  peak fields aggregate as sums of per-solver peaks). */
+    void accumulate(const SolverStats &other);
 };
 
 /** CDCL SAT solver over clauses added via addClause()/addCnf(). */
@@ -170,9 +216,36 @@ class Solver
      * imported clauses are kept).  Incremental sessions call this
      * between queries: low-LBD clauses carry the cross-query reuse,
      * while the bulk of the learnt database only taxes later
-     * propagation.  Must be called at decision level 0.
+     * propagation.  Must be called at decision level 0.  Triggers an
+     * arena garbage collection when enough garbage has accumulated.
      */
     void shrinkLearnts(unsigned max_lbd);
+
+    /**
+     * Between-queries inprocessing for long-lived incremental solvers:
+     * clause VIVIFICATION (shorten learnt clauses whose literal prefix
+     * already propagates a conflict or an implied literal) followed by
+     * backward SUBSUMPTION with self-subsuming resolution over the
+     * whole database, then an arena GC if warranted.  Bounded by the
+     * SolverConfig vivify/subsume knobs; a no-op when
+     * SolverConfig::inprocessing is false.  Must be called at decision
+     * level 0, outside solve(); the verification engine runs it at
+     * slice boundaries between queries.
+     *
+     * @return false when inprocessing derived root unsatisfiability
+     *         (subsequent solve() calls return Unsat).
+     */
+    bool inprocess();
+
+    /**
+     * Compact the clause arena NOW, relocating every live clause and
+     * patching all watchers (blockers preserved), reasons and clause
+     * lists.  Runs automatically after database reductions once >20%
+     * of the arena is garbage; public for tests and embedders that
+     * want deterministic compaction points.  Safe at any decision
+     * level.
+     */
+    void garbageCollect();
 
     /** @name Cross-solver learnt-clause exchange. @{ */
 
@@ -185,7 +258,9 @@ class Solver
      * incremental encoder configuration over the same arena, asserting
      * the same conditions in the same order - whose variables therefore
      * mean the same thing; the verification engine wires exactly those
-     * pairs.  Pass nullptr to detach.
+     * pairs.  Clauses cross as plain literal vectors, so the exchange
+     * is independent of either side's arena layout and survives
+     * relocating GCs on both ends.  Pass nullptr to detach.
      */
     using ExportHook = std::function<void(const LitVec &, unsigned lbd)>;
     void setClauseExport(ExportHook hook) { exportHook = std::move(hook); }
@@ -215,7 +290,6 @@ class Solver
     const SolverConfig &config() const { return cfg; }
 
   private:
-    struct Clause;
     struct Watcher;
     class VarOrder;
 
@@ -226,12 +300,14 @@ class Solver
         return static_cast<int>(trailLim.size());
     }
 
-    void attachClause(Clause *c);
-    void detachClause(Clause *c);
-    void uncheckedEnqueue(Lit l, Clause *reason_clause);
-    Clause *propagate();
-    void analyze(Clause *conflict, LitVec &out_learnt, int &out_btlevel,
-                 unsigned &out_lbd);
+    void attachClause(ClauseRef cr);
+    void detachClause(ClauseRef cr);
+    void removeClause(ClauseRef cr);
+    bool locked(ClauseRef cr) const;
+    void uncheckedEnqueue(Lit l, ClauseRef reason_clause);
+    ClauseRef propagate();
+    void analyze(ClauseRef conflict, LitVec &out_learnt,
+                 int &out_btlevel, unsigned &out_lbd);
     void analyzeFinal(Lit failed);
     bool litRedundant(Lit l, std::uint32_t ab_levels);
     void restoreEliminated();
@@ -243,23 +319,28 @@ class Solver
     void reduceDb();
     void varBumpActivity(Var v);
     void varDecayActivity();
-    void claBumpActivity(Clause *c);
+    void claBumpActivity(Clause &c);
     void claDecayActivity();
     unsigned computeLbd(const LitVec &lits);
     bool preprocessEliminate();
-    void rebuildWatches();
+    void vivifyLearnts();
+    void backwardSubsume();
+    void maybeGarbageCollect();
+    void relocAll(ClauseAllocator &to);
+    void notePeaks();
     static std::int64_t luby(std::int64_t i);
 
     SolverConfig cfg;
     SolverStats statistics;
 
-    std::vector<Clause *> problemClauses;
-    std::vector<Clause *> learntClauses;
+    ClauseAllocator ca;
+    std::vector<ClauseRef> problemClauses;
+    std::vector<ClauseRef> learntClauses;
     std::vector<std::vector<Watcher>> watches; // indexed by Lit::index()
 
     std::vector<LBool> assigns;
     std::vector<int> levels;
-    std::vector<Clause *> reasons;
+    std::vector<ClauseRef> reasons;
     std::vector<bool> polarity;
     std::vector<double> activity;
     std::vector<char> seen;

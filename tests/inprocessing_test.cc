@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Tests for the arena clause allocator, the relocating garbage
+ * collector and the slice-boundary inprocessing passes (vivification
+ * and backward subsumption).
+ *
+ * Built as the ctest-labelled `inprocessing` group: the ASan/TSan CI
+ * jobs run it explicitly so GC relocation and the in-place clause
+ * edits are exercised under both sanitizers.  Coverage follows the
+ * reduceDb/GC interaction contract: locked (reason) clauses survive
+ * relocation with valid references, imported clauses survive
+ * shrinkLearnts() + GC, inprocessing never changes verdicts, and a
+ * solver that GCs mid-session returns identical verdicts AND
+ * counterexamples under --jobs 1 and --jobs N.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuits/qbr_text.h"
+#include "core/engine.h"
+#include "core/report.h"
+#include "ir/circuit.h"
+#include "lang/elaborate.h"
+#include "sat/cnf.h"
+#include "sat/solver.h"
+#include "support/rng.h"
+
+namespace qb::sat {
+namespace {
+
+/** Brute-force satisfiability over at most 20 variables. */
+bool
+bruteForceSat(const Cnf &cnf)
+{
+    const Var n = cnf.numVars();
+    if (cnf.trivialConflict())
+        return false;
+    for (std::uint32_t bits = 0; bits < (1u << n); ++bits) {
+        std::vector<LBool> assign(n);
+        for (Var v = 0; v < n; ++v)
+            assign[v] = lboolOf((bits >> v) & 1);
+        if (cnf.satisfiedBy(assign))
+            return true;
+    }
+    return false;
+}
+
+bool
+bruteForceSatWithAssumptions(const Cnf &cnf, const LitVec &assumptions)
+{
+    Cnf with = cnf;
+    for (Lit a : assumptions)
+        with.addClause({a});
+    return bruteForceSat(with);
+}
+
+Cnf
+randomCnf(Rng &rng, Var num_vars, std::size_t num_clauses,
+          int clause_len)
+{
+    Cnf cnf;
+    cnf.ensureVars(num_vars);
+    for (std::size_t i = 0; i < num_clauses; ++i) {
+        LitVec clause;
+        for (int j = 0; j < clause_len; ++j) {
+            const Var v =
+                static_cast<Var>(rng.nextBelow(num_vars));
+            clause.push_back(mkLit(v, rng.nextBool()));
+        }
+        cnf.addClause(clause);
+    }
+    return cnf;
+}
+
+/** Pigeonhole principle PHP(holes+1, holes): hard, UNSAT. */
+Cnf
+pigeonhole(int holes)
+{
+    const int pigeons = holes + 1;
+    Cnf cnf;
+    const auto var = [holes](int p, int h) {
+        return static_cast<Var>(p * holes + h);
+    };
+    for (int p = 0; p < pigeons; ++p) {
+        LitVec clause;
+        for (int h = 0; h < holes; ++h)
+            clause.push_back(mkLit(var(p, h)));
+        cnf.addClause(clause);
+    }
+    for (int h = 0; h < holes; ++h)
+        for (int p1 = 0; p1 < pigeons; ++p1)
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+                cnf.addClause(
+                    {~mkLit(var(p1, h)), ~mkLit(var(p2, h))});
+    return cnf;
+}
+
+TEST(ClauseGc, LockedReasonsSurviveRelocation)
+{
+    // Root-level propagation chains leave clause reasons on the trail
+    // forever; a GC must relocate them and patch reasons[] so later
+    // conflict analysis walks valid references.
+    Solver s;
+    // Extra clauses so relocation moves more than just the chain.
+    EXPECT_TRUE(s.addClause({mkLit(3), mkLit(4), mkLit(5)}));
+    EXPECT_TRUE(s.addClause({mkLit(4), mkLit(5), mkLit(6)}));
+    // Implication chain x0 -> x1 -> x2, then the unit that fires it:
+    // x1 and x2 get clause reasons at the root (locked clauses).
+    EXPECT_TRUE(s.addClause({~mkLit(0), mkLit(1)}));
+    EXPECT_TRUE(s.addClause({~mkLit(1), mkLit(2)}));
+    EXPECT_TRUE(s.addClause({mkLit(0)}));
+    s.garbageCollect();
+    EXPECT_EQ(1, s.stats().gcRuns);
+    // The relocated reasons must still support final-conflict
+    // analysis: assuming ~x2 contradicts the root implication.
+    EXPECT_EQ(SolveResult::Unsat, s.solve({~mkLit(2)}));
+    EXPECT_EQ(SolveResult::Sat, s.solve());
+    EXPECT_EQ(LBool::True, s.modelValue(0));
+    EXPECT_EQ(LBool::True, s.modelValue(1));
+    EXPECT_EQ(LBool::True, s.modelValue(2));
+}
+
+TEST(ClauseGc, ImportedClausesSurviveShrinkAndGc)
+{
+    // shrinkLearnts(0) drops every non-glue learnt clause but must
+    // keep imports; the GC afterwards must carry the imported mark and
+    // the clause itself across relocation.
+    Solver s;
+    EXPECT_TRUE(s.addClause({~mkLit(0), mkLit(1)}));
+    EXPECT_TRUE(s.addClause({mkLit(2), mkLit(3), mkLit(4)}));
+    s.postImport({~mkLit(0), ~mkLit(1)}); // implied elsewhere, say
+    EXPECT_EQ(SolveResult::Sat, s.solve());
+    EXPECT_EQ(1, s.stats().importedClauses);
+    s.shrinkLearnts(0);
+    s.garbageCollect();
+    EXPECT_GE(s.stats().gcRuns, 1);
+    // Only the imported clause rules out x0: it must still be there.
+    EXPECT_EQ(SolveResult::Unsat, s.solve({mkLit(0)}));
+    ASSERT_EQ(1u, s.failedAssumptions().size());
+    EXPECT_EQ(mkLit(0), s.failedAssumptions()[0]);
+    EXPECT_EQ(SolveResult::Sat, s.solve());
+}
+
+TEST(ClauseGc, AutomaticGcTriggersUnderReduction)
+{
+    // A tiny learnt limit forces frequent reduceDb() on a hard
+    // instance; the freed clauses must eventually trip the 20%-waste
+    // GC threshold without help.
+    SolverConfig cfg;
+    cfg.learntLimitBase = 20;
+    Solver s(cfg);
+    s.addCnf(pigeonhole(7));
+    EXPECT_EQ(SolveResult::Unsat, s.solve());
+    EXPECT_GT(s.stats().removedClauses, 0);
+    EXPECT_GT(s.stats().gcRuns, 0);
+    EXPECT_GT(s.stats().gcWordsReclaimed, 0);
+    EXPECT_GT(s.stats().arenaPeakWords, 0);
+}
+
+class InprocessingProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(InprocessingProperty, GcMidSessionKeepsIncrementalVerdicts)
+{
+    // Incremental rounds against one solver with reduction pressure,
+    // an explicit GC and an inprocessing pass between rounds: every
+    // verdict must match brute force, and models must be genuine.
+    Rng rng(GetParam() + 91000);
+    const Cnf cnf = randomCnf(rng, 8, 30, 3);
+    SolverConfig cfg;
+    cfg.learntLimitBase = 10;
+    Solver solver(cfg);
+    solver.addCnf(cnf);
+    for (int round = 0; round < 4; ++round) {
+        LitVec assumptions;
+        for (Var v = 0; v < 8; ++v) {
+            const auto choice = rng.nextBelow(4);
+            if (choice == 0)
+                assumptions.push_back(mkLit(v));
+            else if (choice == 1)
+                assumptions.push_back(mkLit(v, true));
+        }
+        const bool expected =
+            bruteForceSatWithAssumptions(cnf, assumptions);
+        EXPECT_EQ(expected ? SolveResult::Sat : SolveResult::Unsat,
+                  solver.solve(assumptions))
+            << "round " << round;
+        if (solver.solve() != SolveResult::Sat)
+            break; // base formula unsat: solver is done
+        solver.shrinkLearnts(3);
+        if (round % 2 == 0)
+            solver.garbageCollect();
+        else
+            solver.inprocess();
+    }
+}
+
+TEST_P(InprocessingProperty, InprocessNeverChangesVerdicts)
+{
+    // Learn (full solve), inprocess, then re-decide under random
+    // assumptions: vivification and subsumption must only shrink the
+    // database, never change any answer.
+    Rng rng(GetParam() + 17000);
+    const Cnf cnf = randomCnf(rng, 8, 34, 3);
+    Solver solver;
+    solver.addCnf(cnf);
+    const bool base = bruteForceSat(cnf);
+    EXPECT_EQ(base ? SolveResult::Sat : SolveResult::Unsat,
+              solver.solve());
+    if (!base)
+        return;
+    EXPECT_TRUE(solver.inprocess());
+    for (int round = 0; round < 3; ++round) {
+        LitVec assumptions;
+        for (Var v = 0; v < 8; ++v) {
+            const auto choice = rng.nextBelow(4);
+            if (choice == 0)
+                assumptions.push_back(mkLit(v));
+            else if (choice == 1)
+                assumptions.push_back(mkLit(v, true));
+        }
+        const bool expected =
+            bruteForceSatWithAssumptions(cnf, assumptions);
+        EXPECT_EQ(expected ? SolveResult::Sat : SolveResult::Unsat,
+                  solver.solve(assumptions))
+            << "round " << round;
+        solver.inprocess();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InprocessingProperty,
+                         ::testing::Range(0, 25));
+
+TEST(Inprocessing, VivificationShortensPaddedClauses)
+{
+    // x0 is forced at the root AFTER learnt clauses polluted with ~x0
+    // exist; vivification must strip the dead literal.  Construct the
+    // pollution directly through the import path (imports are learnt
+    // clauses).
+    Solver s;
+    EXPECT_TRUE(s.addClause({mkLit(0), mkLit(1), mkLit(2)}));
+    // The import mentions x3/x4: create them first or the offer is
+    // dropped as unknown-variable.
+    EXPECT_TRUE(s.addClause({mkLit(1), mkLit(3), mkLit(4)}));
+    s.postImport({~mkLit(0), mkLit(3), mkLit(4)});
+    EXPECT_EQ(SolveResult::Sat, s.solve());
+    ASSERT_EQ(1, s.stats().importedClauses);
+    // Now force x0 at the root: the imported clause's ~x0 is dead.
+    EXPECT_TRUE(s.addClause({mkLit(0)}));
+    EXPECT_TRUE(s.inprocess());
+    EXPECT_GE(s.stats().vivifiedClauses + s.stats().removedClauses, 1)
+        << "the clause must be shortened or dropped as satisfied";
+    EXPECT_EQ(SolveResult::Sat, s.solve());
+}
+
+TEST(Inprocessing, SubsumptionRemovesAndStrengthens)
+{
+    Solver s;
+    // {x0, x1} subsumes {x0, x1, x2} and self-subsumes
+    // {~x0, x1, x3} down to {x1, x3}.
+    EXPECT_TRUE(s.addClause({mkLit(0), mkLit(1)}));
+    EXPECT_TRUE(s.addClause({mkLit(0), mkLit(1), mkLit(2)}));
+    EXPECT_TRUE(s.addClause({~mkLit(0), mkLit(1), mkLit(3)}));
+    EXPECT_TRUE(s.inprocess());
+    EXPECT_EQ(1, s.stats().subsumedClauses);
+    EXPECT_EQ(1, s.stats().strengthenedClauses);
+    // Semantics unchanged: ~x1 now implies x3 via the strengthened
+    // clause together with {x0, x1} - check the implication holds.
+    EXPECT_EQ(SolveResult::Unsat,
+              s.solve({~mkLit(1), ~mkLit(3)}));
+    EXPECT_EQ(SolveResult::Sat, s.solve());
+}
+
+TEST(Inprocessing, CanBeDisabledByConfig)
+{
+    SolverConfig cfg;
+    cfg.inprocessing = false;
+    Solver s(cfg);
+    EXPECT_TRUE(s.addClause({mkLit(0), mkLit(1)}));
+    EXPECT_TRUE(s.addClause({mkLit(0), mkLit(1), mkLit(2)}));
+    EXPECT_TRUE(s.inprocess());
+    EXPECT_EQ(0, s.stats().inprocessRuns);
+    EXPECT_EQ(0, s.stats().subsumedClauses);
+}
+
+TEST(Inprocessing, AddClauseAfterRestoreChecksOkay)
+{
+    // The re-entrant restoreEliminated() inside addClause() can latch
+    // root unsatisfiability; addClause() must then report failure
+    // instead of attaching to a broken solver.  Preprocess first so
+    // the elimination stack is populated.
+    SolverConfig cfg = SolverConfig::simplify();
+    Solver s(cfg);
+    Rng rng(4711);
+    const Cnf cnf = randomCnf(rng, 10, 28, 3);
+    s.addCnf(cnf);
+    if (s.solve() != SolveResult::Sat)
+        return; // nothing eliminated on unsat latch
+    // Force contradictory units: the second addClause() triggers the
+    // restore + okay audit path regardless of what was eliminated.
+    const bool first = s.addClause({mkLit(0)});
+    const bool second = s.addClause({~mkLit(0)});
+    EXPECT_FALSE(first && second);
+    EXPECT_EQ(SolveResult::Unsat, s.solve());
+    // Anything added after the latch must be refused outright.
+    EXPECT_FALSE(s.addClause({mkLit(1), mkLit(2)}));
+}
+
+} // namespace
+} // namespace qb::sat
+
+namespace qb::core {
+namespace {
+
+TEST(EngineInprocessing, JobsDeterminismWithGcAndInprocessing)
+{
+    // The scheduler acceptance contract must hold with inprocessing
+    // forced on every query and heavy reduction pressure (GC runs
+    // mid-session): --jobs 1 and --jobs N give identical verdicts AND
+    // counterexamples.
+    const auto program =
+        lang::elaborateSource(circuits::adderQbrSource(10));
+    EngineOptions base = EngineOptions::portfolioABC();
+    base.inprocessInterval = 1;
+    for (VerifierOptions &lane : base.lanes)
+        lane.solver.learntLimitBase = 16;
+    EngineOptions serial = base;
+    serial.jobs = 1;
+    EngineOptions parallel = base;
+    parallel.jobs = 4;
+    const ProgramResult r1 = verifyAll(program, serial);
+    const ProgramResult rn = verifyAll(program, parallel);
+    ASSERT_EQ(r1.qubits.size(), rn.qubits.size());
+    for (std::size_t i = 0; i < r1.qubits.size(); ++i) {
+        EXPECT_EQ(r1.qubits[i].verdict, rn.qubits[i].verdict)
+            << "qubit " << i;
+        EXPECT_EQ(r1.qubits[i].failed, rn.qubits[i].failed)
+            << "qubit " << i;
+        EXPECT_EQ(r1.qubits[i].counterexample,
+                  rn.qubits[i].counterexample)
+            << "qubit " << i;
+    }
+    for (const QubitResult &r : r1.qubits)
+        EXPECT_EQ(Verdict::Safe, r.verdict) << r.name;
+}
+
+TEST(EngineInprocessing, SolverTotalsReachJsonReport)
+{
+    // The aggregated lane counters must flow into ProgramResult and
+    // the JSON document (the report side of the new SolverStats).
+    const auto program =
+        lang::elaborateSource(circuits::mcxQbrSource(40));
+    EngineOptions options = EngineOptions::portfolioABC();
+    options.inprocessInterval = 1;
+    options.jobs = 2;
+    const ProgramResult result = verifyAll(program, options);
+    EXPECT_GT(result.solverTotals.propagations, 0);
+    EXPECT_GT(result.solverTotals.arenaPeakWords, 0);
+    const std::string json = toJson(result, "mcx");
+    EXPECT_NE(std::string::npos, json.find("\"solver\": {"));
+    EXPECT_NE(std::string::npos, json.find("\"inprocess_runs\": "));
+    EXPECT_NE(std::string::npos, json.find("\"gc_runs\": "));
+    EXPECT_NE(std::string::npos, json.find("\"arena_peak_words\": "));
+    EXPECT_NE(std::string::npos, json.find("\"imported_dropped\": "));
+}
+
+} // namespace
+} // namespace qb::core

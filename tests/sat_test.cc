@@ -555,19 +555,25 @@ TEST(SolverShare, ImportedUnitContradictionYieldsUnsat)
     s.addClause({mkLit(1), mkLit(2)});
     s.postImport({~mkLit(0)});
     EXPECT_EQ(SolveResult::Unsat, s.solve());
-    EXPECT_EQ(1, s.stats().importedClauses);
+    // The offer latched Unsat but was never adopted into the clause
+    // database: it counts as dropped, not imported, so exchange
+    // efficiency (imported / offered) stays truthful.
+    EXPECT_EQ(0, s.stats().importedClauses);
+    EXPECT_EQ(1, s.stats().importedDropped);
 }
 
 TEST(SolverShare, ImportsMentioningUnknownVariablesAreDropped)
 {
     // The exporting sibling may be ahead in the shared clause stream;
     // clauses about structure this solver has not encoded yet are
-    // silently dropped, never misinterpreted.
+    // silently dropped, never misinterpreted - and the drop is
+    // counted.
     Solver s;
     s.addClause({mkLit(0), mkLit(1)});
     s.postImport({mkLit(9)});
     EXPECT_EQ(SolveResult::Sat, s.solve());
     EXPECT_EQ(0, s.stats().importedClauses);
+    EXPECT_EQ(1, s.stats().importedDropped);
 }
 
 TEST(SolverShare, ImportKeepsSolverIncremental)

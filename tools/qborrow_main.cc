@@ -47,7 +47,10 @@ usage(const char *argv0)
         "  --quiet           only print the summary line\n"
         "  --dump-circuit    print the elaborated gate list\n"
         "  --no-cex          skip counterexample extraction\n"
-        "  --budget N        conflict budget per SAT call\n",
+        "  --budget N        conflict budget per SAT call\n"
+        "  --inprocess N     persistent lanes vivify/subsume their\n"
+        "                    clause DB every N queries (default 16,\n"
+        "                    0 disables)\n",
         argv0);
 }
 
@@ -100,6 +103,7 @@ main(int argc, char **argv)
     bool want_cex = true;
     std::int64_t budget = -1;
     long jobs = 0;
+    long inprocess = 16;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--quiet") {
@@ -128,6 +132,12 @@ main(int argc, char **argv)
                 usage(argv[0]);
                 return 2;
             }
+        } else if (arg == "--inprocess" && i + 1 < argc) {
+            inprocess = std::atol(argv[++i]);
+            if (inprocess < 0) {
+                usage(argv[0]);
+                return 2;
+            }
         } else if (!arg.empty() && arg[0] == '-') {
             usage(argv[0]);
             return 2;
@@ -149,6 +159,7 @@ main(int argc, char **argv)
               lane == "A" ? qb::core::VerifierOptions::laneA()
                           : qb::core::VerifierOptions::laneB());
     options.jobs = static_cast<unsigned>(jobs);
+    options.inprocessInterval = static_cast<unsigned>(inprocess);
     for (qb::core::VerifierOptions &lane_options : options.lanes) {
         lane_options.wantCounterexample = want_cex;
         lane_options.conflictBudget = budget;

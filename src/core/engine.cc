@@ -71,6 +71,33 @@ extractModel(const std::unordered_map<std::uint32_t, sat::Var> &inputs,
 
 } // namespace
 
+void
+CancelSource::requestCancel()
+{
+    flag.store(true, std::memory_order_release);
+    // Holding the mutex across cancelNow() is what makes this safe
+    // against concurrent engine destruction: ~VerificationEngine
+    // detaches FIRST, and detach() blocks until this iteration is
+    // over, so no engine here is mid-destruction.
+    const std::lock_guard<std::mutex> guard(mutex);
+    for (VerificationEngine *engine : engines)
+        engine->cancelNow();
+}
+
+void
+CancelSource::attach(VerificationEngine *engine)
+{
+    const std::lock_guard<std::mutex> guard(mutex);
+    engines.push_back(engine);
+}
+
+void
+CancelSource::detach(VerificationEngine *engine)
+{
+    const std::lock_guard<std::mutex> guard(mutex);
+    std::erase(engines, engine);
+}
+
 /** One lane: a persistent solver plus its incremental encoder. */
 struct VerificationEngine::Lane
 {
@@ -95,13 +122,13 @@ struct VerificationEngine::Lane
     unsigned queriesSinceInprocess = 0;
 
     Lane(int idx, const VerifierOptions &opts, const bexp::Arena &arena,
-         Scheduler &sched)
+         Scheduler &sched, unsigned band)
         : index(idx), options(opts), solver(incrementalConfig(opts)),
           encoder(arena, solver, opts.encoding, opts.xorChunk),
           scratch(opts.solver.preprocess)
     {
         if (!scratch)
-            queue = sched.makeQueue();
+            queue = sched.makeQueue(band);
         // The arena holds exactly the circuit's qubit formulas at lane
         // construction time: that region sits in every condition's
         // cone, so its definitions stay unguarded and the conflict
@@ -187,9 +214,10 @@ VerificationEngine::Pending::~Pending()
 
 VerificationEngine::VerificationEngine(
     const ir::Circuit &circuit, EngineOptions options,
-    std::shared_ptr<Scheduler> scheduler)
+    std::shared_ptr<Scheduler> scheduler,
+    std::shared_ptr<CancelSource> cancel)
     : options_(std::move(options)), circuit_(circuit),
-      scheduler_(std::move(scheduler))
+      scheduler_(std::move(scheduler)), cancel_(std::move(cancel))
 {
     if (options_.lanes.empty())
         options_.lanes = {VerifierOptions::laneA()};
@@ -227,7 +255,16 @@ VerificationEngine::VerificationEngine(
     int index = 0;
     for (const VerifierOptions &lane_options : options_.lanes)
         lanes_.push_back(std::make_unique<Lane>(
-            index++, lane_options, arena, *scheduler_));
+            index++, lane_options, arena, *scheduler_,
+            options_.fairnessBand));
+    if (cancel_) {
+        cancel_->attach(this);
+        // The source may have fired before this session existed:
+        // start out cancelled rather than race the requestCancel()
+        // iteration that may already have passed us by.
+        if (cancel_->cancelRequested())
+            cancelled_.store(true, std::memory_order_release);
+    }
 
     // Wire learnt-clause exchange between racing persistent lanes with
     // identical encoder configuration: same mode, same XOR chunking,
@@ -266,6 +303,10 @@ VerificationEngine::VerificationEngine(
 
 VerificationEngine::~VerificationEngine()
 {
+    // Detach FIRST: after this returns, no CancelSource iteration can
+    // still hold a pointer to this engine.
+    if (cancel_)
+        cancel_->detach(this);
     {
         const std::lock_guard<std::mutex> guard(fenceMutex);
         for (const std::weak_ptr<Race> &weak : liveRaces)
@@ -273,6 +314,16 @@ VerificationEngine::~VerificationEngine()
                 race->stop.store(true, std::memory_order_release);
     }
     waitIdle();
+}
+
+void
+VerificationEngine::cancelNow()
+{
+    cancelled_.store(true, std::memory_order_release);
+    const std::lock_guard<std::mutex> guard(fenceMutex);
+    for (const std::weak_ptr<Race> &weak : liveRaces)
+        if (const std::shared_ptr<Race> race = weak.lock())
+            race->stop.store(true, std::memory_order_release);
 }
 
 void
@@ -365,6 +416,12 @@ VerificationEngine::submitRace(bexp::NodeRef condition)
     engineStats.satCalls += racers;
     {
         const std::lock_guard<std::mutex> guard(fenceMutex);
+        // A cancel that fired while this qubit's conditions were
+        // being built has already swept liveRaces; seed the new
+        // race's stop flag here, under the same mutex, so it cannot
+        // slip through the sweep and run to completion.
+        if (cancelled_.load(std::memory_order_acquire))
+            race->stop.store(true, std::memory_order_release);
         if (liveRaces.size() >= 64) {
             std::erase_if(liveRaces,
                           [](const std::weak_ptr<Race> &weak) {
@@ -401,7 +458,7 @@ VerificationEngine::submitLaneTask(const std::shared_ptr<Race> &race,
         fenceIdle.notify_all();
     };
     if (lane.scratch)
-        scheduler_->submit(std::move(task));
+        scheduler_->submit(options_.fairnessBand, std::move(task));
     else
         scheduler_->submit(lane.queue, std::move(task));
 }
@@ -702,6 +759,13 @@ VerificationEngine::prepare(ir::QubitId q)
         p.immediate = true;
         return p;
     }
+    if (cancelled_.load(std::memory_order_acquire)) {
+        // The request this session serves was cancelled: settle
+        // immediately, build nothing, queue nothing.
+        p.out.verdict = Verdict::Unknown;
+        p.immediate = true;
+        return p;
+    }
     ++engineStats.qubitsVerified;
 
     Timer build_timer;
@@ -742,6 +806,11 @@ VerificationEngine::prepareCleanAncilla(ir::QubitId q)
              "verifyCleanAncilla: qubit out of range");
     if (!classical) {
         p.out.verdict = Verdict::NotClassical;
+        p.immediate = true;
+        return p;
+    }
+    if (cancelled_.load(std::memory_order_acquire)) {
+        p.out.verdict = Verdict::Unknown;
         p.immediate = true;
         return p;
     }
@@ -869,14 +938,26 @@ verifyAll(const lang::ElaboratedProgram &program,
           const EngineOptions &options, const ResultObserver &observer,
           bool check_clean_ancillas)
 {
-    ProgramResult result;
-    Timer timer;
-
     // ONE worker pool for the whole program, shared by every session:
     // the process runs at most options.jobs solver threads no matter
-    // how many lifetimes the program has.  Declared before the
-    // sessions so their destruction fences run while the pool lives.
-    auto scheduler = std::make_shared<Scheduler>(options.jobs);
+    // how many lifetimes the program has.  (The server entry point
+    // below amortizes even this across requests by passing its own
+    // long-lived pool.)
+    return verifyAll(program, options, observer, check_clean_ancillas,
+                     std::make_shared<Scheduler>(options.jobs),
+                     nullptr);
+}
+
+ProgramResult
+verifyAll(const lang::ElaboratedProgram &program,
+          const EngineOptions &options, const ResultObserver &observer,
+          bool check_clean_ancillas,
+          const std::shared_ptr<Scheduler> &scheduler,
+          const std::shared_ptr<CancelSource> &cancel)
+{
+    qbAssert(scheduler != nullptr, "verifyAll: null scheduler");
+    ProgramResult result;
+    Timer timer;
 
     // One session per distinct borrow...release lifetime: qubits whose
     // scopes coincide (e.g. adder.qbr's a[1..n-1], all borrowed and
@@ -894,7 +975,7 @@ verifyAll(const lang::ElaboratedProgram &program,
                               std::make_unique<VerificationEngine>(
                                   program.circuit.slice(info.scopeBegin,
                                                         info.scopeEnd),
-                                  options, scheduler))
+                                  options, scheduler, cancel))
                      .first;
         }
         return *it->second;

@@ -89,6 +89,17 @@ struct EngineOptions
      */
     unsigned inprocessInterval = 16;
 
+    /**
+     * Scheduler fairness band of this session's work (lane queues and
+     * scratch tasks).  Sessions sharing one pool but belonging to
+     * different request streams - distinct programs in qborrow server
+     * mode - should use distinct bands: the pool drains bands
+     * round-robin, so a program with a deep backlog of races cannot
+     * starve a newly-admitted program.  0 (the default) is the shared
+     * band of standalone runs.
+     */
+    unsigned fairnessBand = 0;
+
     /** Session with exactly one lane (the compatibility default). */
     static EngineOptions singleLane(const VerifierOptions &options);
     /** Both benchmark lanes racing, like the paper's solver pairing. */
@@ -105,6 +116,47 @@ struct EngineOptions
 
 /** Streaming consumer of per-qubit results (batch verification). */
 using ResultObserver = std::function<void(const QubitResult &)>;
+
+class VerificationEngine;
+
+/**
+ * Cooperative cancellation handle for an in-flight verification
+ * request (server mode: a client cancels a submitted program while its
+ * races are still running).
+ *
+ * One CancelSource is shared between the submitting side (which calls
+ * requestCancel() from any thread) and the engine sessions doing the
+ * work: every VerificationEngine constructed with this source attaches
+ * itself, and requestCancel() flips the stop flag of each attached
+ * engine's live races - solvers poll that flag and bail within a
+ * propagation round - then marks the engines cancelled so later
+ * prepare() calls settle immediately with Verdict::Unknown.
+ * Cancellation is a VERDICT downgrade, never a data race: races drain
+ * through the normal collect path and report Unknown.
+ *
+ * Thread-safe; requestCancel() is idempotent.
+ */
+class CancelSource
+{
+  public:
+    /** Cancel: stop attached engines' races, mark future work moot. */
+    void requestCancel();
+
+    /** Has requestCancel() been called? */
+    bool cancelRequested() const
+    {
+        return flag.load(std::memory_order_acquire);
+    }
+
+  private:
+    friend class VerificationEngine;
+    void attach(VerificationEngine *engine);
+    void detach(VerificationEngine *engine);
+
+    mutable std::mutex mutex;
+    std::vector<VerificationEngine *> engines; ///< guarded by mutex
+    std::atomic<bool> flag{false};
+};
 
 /**
  * A verification session over one circuit.
@@ -148,7 +200,8 @@ class VerificationEngine
 
     explicit VerificationEngine(
         const ir::Circuit &circuit, EngineOptions options = {},
-        std::shared_ptr<Scheduler> scheduler = nullptr);
+        std::shared_ptr<Scheduler> scheduler = nullptr,
+        std::shared_ptr<CancelSource> cancel = nullptr);
     ~VerificationEngine();
 
     VerificationEngine(const VerificationEngine &) = delete;
@@ -192,6 +245,17 @@ class VerificationEngine
     const Stats &stats() const { return engineStats; }
 
     /**
+     * True once this session's CancelSource fired (or the session was
+     * constructed from an already-cancelled source).  Cancelled
+     * sessions settle every further prepare() immediately with
+     * Verdict::Unknown and abandon their in-flight races.
+     */
+    bool cancelled() const
+    {
+        return cancelled_.load(std::memory_order_acquire);
+    }
+
+    /**
      * Counters of lane @p lane's persistent solver (exported/imported
      * clause counts, conflicts...).  Quiesces the scheduler work of
      * this session first, so it is safe - but blocking - mid-batch.
@@ -208,10 +272,16 @@ class VerificationEngine
     sat::SolverStats aggregateSolverStats();
 
   private:
+    friend class CancelSource;
+
     struct Lane;
     struct Conditions;
     struct LaneOutcome;
     struct Race;
+
+    /** Flip the stop flag of every live race and mark the session
+     *  cancelled (called by CancelSource::requestCancel()). */
+    void cancelNow();
 
     const Conditions &conditionsFor(ir::QubitId q);
     std::shared_ptr<Race> submitRace(bexp::NodeRef condition);
@@ -241,6 +311,8 @@ class VerificationEngine
     /** Final formula b_q per qubit (valid when classical). */
     std::vector<bexp::NodeRef> finals;
     std::shared_ptr<Scheduler> scheduler_;
+    std::shared_ptr<CancelSource> cancel_;
+    std::atomic<bool> cancelled_{false};
     std::vector<std::unique_ptr<Lane>> lanes_;
     std::vector<std::unique_ptr<Conditions>> conditionCache;
     std::vector<std::optional<bexp::NodeRef>> cleanCache;
@@ -293,6 +365,24 @@ ProgramResult verifyAll(const lang::ElaboratedProgram &program,
                         const EngineOptions &options = {},
                         const ResultObserver &observer = {},
                         bool check_clean_ancillas = false);
+
+/**
+ * verifyAll() over an externally-owned scheduler pool, optionally
+ * cancellable: the serving entry point.  The qborrow daemon calls this
+ * with the ONE process-wide pool it created at startup and a
+ * per-request CancelSource, so pool startup is amortized across
+ * requests, concurrent requests' races interleave fairly (give each
+ * request a distinct EngineOptions::fairnessBand), and a cancelled
+ * request's remaining qubits settle as Verdict::Unknown without
+ * blocking the pool.  @p scheduler must be non-null; @p cancel may be
+ * null for uncancellable batch runs.
+ */
+ProgramResult verifyAll(const lang::ElaboratedProgram &program,
+                        const EngineOptions &options,
+                        const ResultObserver &observer,
+                        bool check_clean_ancillas,
+                        const std::shared_ptr<Scheduler> &scheduler,
+                        const std::shared_ptr<CancelSource> &cancel);
 
 } // namespace qb::core
 

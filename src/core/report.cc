@@ -6,31 +6,6 @@ namespace qb::core {
 
 namespace {
 
-/** Minimal JSON string escaping (control chars incl. DEL, quote,
- *  backslash). */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (const char c : s) {
-        switch (c) {
-          case '"':  out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\r': out += "\\r"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20 ||
-                static_cast<unsigned char>(c) == 0x7f)
-                out += format("\\u%04x", c);
-            else
-                out += c;
-        }
-    }
-    return out;
-}
-
 const char *
 failedConditionName(FailedCondition failed)
 {
@@ -40,6 +15,93 @@ failedConditionName(FailedCondition failed)
       case FailedCondition::PlusRestoration: return "plus-restoration";
     }
     return "?";
+}
+
+/**
+ * Shared emitter behind toJson() and toJsonCompact(): identical
+ * fields, ordering and number formatting; @p pretty only controls the
+ * whitespace (indentation + newlines vs one line).
+ */
+std::string
+emitProgram(const ProgramResult &result,
+            const std::string &program_name, bool pretty)
+{
+    const char *const nl = pretty ? "\n" : "";
+    const char *const indent = pretty ? "  " : "";
+    std::size_t safe = 0, unsafe = 0, other = 0;
+    for (const QubitResult &r : result.qubits) {
+        if (r.verdict == Verdict::Safe)
+            ++safe;
+        else if (r.verdict == Verdict::Unsafe)
+            ++unsafe;
+        else
+            ++other;
+    }
+    std::string out = std::string("{") + nl;
+    out += indent;
+    if (program_name.empty())
+        out += "\"program\": null,";
+    else
+        out += format("\"program\": \"%s\",",
+                      jsonEscape(program_name).c_str());
+    out += nl;
+    out += indent;
+    out += format("\"all_safe\": %s,",
+                  result.allSafe() ? "true" : "false");
+    out += nl;
+    out += indent;
+    out += "\"total_seconds\": " +
+           formatFixed(result.totalSeconds, 6) + ",";
+    out += nl;
+    out += indent;
+    out += format("\"counts\": {\"safe\": %zu, \"unsafe\": %zu, "
+                  "\"undecided\": %zu},",
+                  safe, unsafe, other);
+    out += nl;
+    // Aggregated persistent-lane solver counters (zero for one-shot
+    // runs): clause-DB health, exchange efficiency and the
+    // inprocessing/GC activity of this run's sessions.
+    const sat::SolverStats &s = result.solverTotals;
+    const auto count = [](std::int64_t v) {
+        return format("%lld", static_cast<long long>(v));
+    };
+    out += indent;
+    out += "\"solver\": {";
+    out += "\"conflicts\": " + count(s.conflicts) + ", ";
+    out += "\"learnt_clauses\": " + count(s.learntClauses) + ", ";
+    out += "\"removed_clauses\": " + count(s.removedClauses) + ", ";
+    out += "\"exported_clauses\": " + count(s.exportedClauses) + ", ";
+    out += "\"imported_clauses\": " + count(s.importedClauses) + ", ";
+    out += "\"imported_dropped\": " + count(s.importedDropped) + ", ";
+    out += "\"inprocess_runs\": " + count(s.inprocessRuns) + ", ";
+    out += "\"vivified_clauses\": " + count(s.vivifiedClauses) + ", ";
+    out += "\"vivified_literals\": " + count(s.vivifiedLiterals) + ", ";
+    out += "\"subsumed_clauses\": " + count(s.subsumedClauses) + ", ";
+    out += "\"strengthened_clauses\": " +
+           count(s.strengthenedClauses) + ", ";
+    out += "\"gc_runs\": " + count(s.gcRuns) + ", ";
+    out += "\"gc_words_reclaimed\": " + count(s.gcWordsReclaimed) +
+           ", ";
+    out += "\"arena_peak_words\": " + count(s.arenaPeakWords) + ", ";
+    out += "\"peak_learnts\": " + count(s.peakLearnts);
+    out += "},";
+    out += nl;
+    out += indent;
+    out += "\"qubits\": [";
+    for (std::size_t i = 0; i < result.qubits.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        if (pretty)
+            out += "\n    ";
+        out += toJson(result.qubits[i]);
+    }
+    if (pretty && !result.qubits.empty())
+        out += "\n  ";
+    out += "]";
+    out += nl;
+    out += "}";
+    out += nl;
+    return out;
 }
 
 } // namespace
@@ -90,62 +152,14 @@ toJson(const QubitResult &r)
 std::string
 toJson(const ProgramResult &result, const std::string &program_name)
 {
-    std::size_t safe = 0, unsafe = 0, other = 0;
-    for (const QubitResult &r : result.qubits) {
-        if (r.verdict == Verdict::Safe)
-            ++safe;
-        else if (r.verdict == Verdict::Unsafe)
-            ++unsafe;
-        else
-            ++other;
-    }
-    std::string out = "{\n";
-    if (program_name.empty())
-        out += "  \"program\": null,\n";
-    else
-        out += format("  \"program\": \"%s\",\n",
-                      jsonEscape(program_name).c_str());
-    out += format("  \"all_safe\": %s,\n",
-                  result.allSafe() ? "true" : "false");
-    out += "  \"total_seconds\": " +
-           formatFixed(result.totalSeconds, 6) + ",\n";
-    out += format("  \"counts\": {\"safe\": %zu, \"unsafe\": %zu, "
-                  "\"undecided\": %zu},\n",
-                  safe, unsafe, other);
-    // Aggregated persistent-lane solver counters (zero for one-shot
-    // runs): clause-DB health, exchange efficiency and the
-    // inprocessing/GC activity of this run's sessions.
-    const sat::SolverStats &s = result.solverTotals;
-    const auto count = [](std::int64_t v) {
-        return format("%lld", static_cast<long long>(v));
-    };
-    out += "  \"solver\": {";
-    out += "\"conflicts\": " + count(s.conflicts) + ", ";
-    out += "\"learnt_clauses\": " + count(s.learntClauses) + ", ";
-    out += "\"removed_clauses\": " + count(s.removedClauses) + ", ";
-    out += "\"exported_clauses\": " + count(s.exportedClauses) + ", ";
-    out += "\"imported_clauses\": " + count(s.importedClauses) + ", ";
-    out += "\"imported_dropped\": " + count(s.importedDropped) + ", ";
-    out += "\"inprocess_runs\": " + count(s.inprocessRuns) + ", ";
-    out += "\"vivified_clauses\": " + count(s.vivifiedClauses) + ", ";
-    out += "\"vivified_literals\": " + count(s.vivifiedLiterals) + ", ";
-    out += "\"subsumed_clauses\": " + count(s.subsumedClauses) + ", ";
-    out += "\"strengthened_clauses\": " +
-           count(s.strengthenedClauses) + ", ";
-    out += "\"gc_runs\": " + count(s.gcRuns) + ", ";
-    out += "\"gc_words_reclaimed\": " + count(s.gcWordsReclaimed) +
-           ", ";
-    out += "\"arena_peak_words\": " + count(s.arenaPeakWords) + ", ";
-    out += "\"peak_learnts\": " + count(s.peakLearnts);
-    out += "},\n";
-    out += "  \"qubits\": [";
-    for (std::size_t i = 0; i < result.qubits.size(); ++i) {
-        out += i == 0 ? "\n    " : ",\n    ";
-        out += toJson(result.qubits[i]);
-    }
-    out += result.qubits.empty() ? "]\n" : "\n  ]\n";
-    out += "}\n";
-    return out;
+    return emitProgram(result, program_name, true);
+}
+
+std::string
+toJsonCompact(const ProgramResult &result,
+              const std::string &program_name)
+{
+    return emitProgram(result, program_name, false);
 }
 
 } // namespace qb::core

@@ -39,6 +39,17 @@ std::string toJson(const QubitResult &result);
 std::string toJson(const ProgramResult &result,
                    const std::string &program_name = "");
 
+/**
+ * The same program-result document as toJson(), rendered on ONE line
+ * with no trailing newline: the form the qborrow server streams as the
+ * `report` field of its line-delimited `result` responses, where an
+ * embedded newline would end the frame.  Field set, ordering and
+ * number formatting are identical to the pretty form - only the
+ * whitespace differs.
+ */
+std::string toJsonCompact(const ProgramResult &result,
+                          const std::string &program_name = "");
+
 } // namespace qb::core
 
 #endif // QB_CORE_REPORT_H

@@ -1,6 +1,7 @@
 #include "core/scheduler.h"
 
 #include <condition_variable>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -11,10 +12,43 @@ struct Scheduler::Impl
 {
     std::mutex mutex;
     std::condition_variable workAvailable;
-    /** Runnable units: either a plain task or a queue-drain thunk. */
-    std::deque<Task> runnable;
+    /**
+     * Runnable units - plain tasks or queue-drain thunks - keyed by
+     * fairness band.  Bands are erased when drained, so iteration cost
+     * tracks the number of ACTIVE request streams, not of all streams
+     * ever seen.
+     */
+    std::map<unsigned, std::deque<Task>> bands;
+    std::size_t runnableCount = 0;
+    /** Round-robin cursor: the band served last; the next pop takes
+     *  the first non-empty band after it (wrapping). */
+    unsigned lastBand = 0;
     bool stopping = false;
     std::vector<std::thread> threads;
+
+    void
+    push(unsigned band, Task task)
+    {
+        bands[band].push_back(std::move(task));
+        ++runnableCount;
+    }
+
+    /** Pop the next runnable unit, round-robin across bands, FIFO
+     *  within a band.  Caller holds the mutex; runnableCount > 0. */
+    Task
+    popNext()
+    {
+        auto it = bands.upper_bound(lastBand);
+        if (it == bands.end())
+            it = bands.begin();
+        lastBand = it->first;
+        Task task = std::move(it->second.front());
+        it->second.pop_front();
+        if (it->second.empty())
+            bands.erase(it);
+        --runnableCount;
+        return task;
+    }
 
     void
     workerLoop()
@@ -22,12 +56,11 @@ struct Scheduler::Impl
         std::unique_lock<std::mutex> lock(mutex);
         while (true) {
             workAvailable.wait(lock, [this] {
-                return stopping || !runnable.empty();
+                return stopping || runnableCount > 0;
             });
-            if (runnable.empty())
+            if (runnableCount == 0)
                 return; // stopping and drained
-            Task task = std::move(runnable.front());
-            runnable.pop_front();
+            Task task = popNext();
             lock.unlock();
             task();
             lock.lock();
@@ -67,17 +100,25 @@ Scheduler::workers() const
 void
 Scheduler::submit(Task task)
 {
+    submit(0u, std::move(task));
+}
+
+void
+Scheduler::submit(unsigned band, Task task)
+{
     {
         const std::lock_guard<std::mutex> guard(impl->mutex);
-        impl->runnable.push_back(std::move(task));
+        impl->push(band, std::move(task));
     }
     impl->workAvailable.notify_one();
 }
 
 std::shared_ptr<Scheduler::SerialQueue>
-Scheduler::makeQueue()
+Scheduler::makeQueue(unsigned band)
 {
-    return std::make_shared<SerialQueue>();
+    auto queue = std::make_shared<SerialQueue>();
+    queue->band = band;
+    return queue;
 }
 
 void
@@ -90,7 +131,7 @@ Scheduler::submit(const std::shared_ptr<SerialQueue> &queue, Task task)
         if (!queue->active) {
             queue->active = true;
             activate = true;
-            impl->runnable.push_back(drainThunk(queue));
+            impl->push(queue->band, drainThunk(queue));
         }
     }
     if (activate)
@@ -101,11 +142,13 @@ Scheduler::Task
 Scheduler::drainThunk(std::shared_ptr<SerialQueue> queue)
 {
     // One queue task per activation, then the queue goes to the BACK
-    // of the runnable list.  Round-robin fairness is load-bearing:
-    // lanes yield between conflict slices, and with fewer workers
-    // than lanes a re-queued slice must not starve the other lanes'
-    // (possibly much faster) attempts at the same condition.  FIFO
-    // order and mutual exclusion per queue still hold - only this
+    // of its band's runnable list.  Round-robin fairness is
+    // load-bearing twice over: lanes yield between conflict slices,
+    // and with fewer workers than lanes a re-queued slice must not
+    // starve the other lanes' (possibly much faster) attempts at the
+    // same condition; and with many programs sharing the pool (server
+    // mode) the band rotation keeps every program's lanes advancing.
+    // FIFO order and mutual exclusion per queue still hold - only this
     // thunk pops the queue while active is set.
     return [this, queue = std::move(queue)] {
         Task next;
@@ -125,7 +168,7 @@ Scheduler::drainThunk(std::shared_ptr<SerialQueue> queue)
             if (queue->tasks.empty())
                 queue->active = false;
             else {
-                impl->runnable.push_back(drainThunk(queue));
+                impl->push(queue->band, drainThunk(queue));
                 more = true;
             }
         }

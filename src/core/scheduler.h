@@ -22,8 +22,19 @@
  *     nature - processes its condition stream without locks and in a
  *     deterministic order, while distinct lanes still run in parallel.
  *
+ * Every submission additionally belongs to a fairness BAND.  Runnable
+ * units are drained round-robin across non-empty bands and FIFO within
+ * each band, so when independent request streams share one pool (the
+ * qborrow server feeding many programs through one process-wide
+ * scheduler), a program that queued a hundred races cannot starve a
+ * newly-arrived program: the newcomer's band is served on the next
+ * rotation.  Band 0 is the default; with all work in one band the
+ * schedule is plain FIFO, exactly the pre-band behavior.
+ *
  * The pool is shareable: verifyAll() hands one Scheduler to every
- * session of a program so concurrent sessions cannot multiply threads.
+ * session of a program - and the qborrow server hands one Scheduler to
+ * every session of every request - so concurrent sessions cannot
+ * multiply threads.
  */
 
 #ifndef QB_CORE_SCHEDULER_H
@@ -48,6 +59,7 @@ class Scheduler
         friend class Scheduler;
         std::deque<Task> tasks; ///< guarded by the scheduler mutex
         bool active = false;    ///< a worker is draining this queue
+        unsigned band = 0;      ///< fairness band of the drain thunks
     };
 
     /**
@@ -65,13 +77,19 @@ class Scheduler
     /** Number of worker threads (fixed for the pool's lifetime). */
     unsigned workers() const;
 
-    /** Run @p task on any worker, unordered. */
+    /** Run @p task on any worker, unordered, in band 0. */
     void submit(Task task);
+
+    /** Run @p task on any worker, unordered, in fairness band
+     *  @p band. */
+    void submit(unsigned band, Task task);
 
     /** Run @p task after every earlier task of @p queue, exclusively. */
     void submit(const std::shared_ptr<SerialQueue> &queue, Task task);
 
-    std::shared_ptr<SerialQueue> makeQueue();
+    /** New serial queue whose drain turns run in fairness band
+     *  @p band. */
+    std::shared_ptr<SerialQueue> makeQueue(unsigned band = 0);
 
   private:
     struct Impl;

@@ -1,0 +1,497 @@
+#include "server/protocol.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/report.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace qb::server {
+
+// --------------------------------------------------------------- parser
+
+/** Strict RFC 8259 recursive-descent parser over one document. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    document()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (at_ != text_.size())
+            fail("trailing garbage after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        fatal(format("JSON parse error at offset %zu: ", at_) + what);
+    }
+
+    void
+    skipWs()
+    {
+        while (at_ < text_.size() &&
+               (text_[at_] == ' ' || text_[at_] == '\t' ||
+                text_[at_] == '\n' || text_[at_] == '\r'))
+            ++at_;
+    }
+
+    char
+    peek()
+    {
+        if (at_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[at_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(format("expected '%c'", c));
+        ++at_;
+    }
+
+    bool
+    consume(const char *word)
+    {
+        const std::size_t len = std::strlen(word);
+        if (text_.compare(at_, len, word) != 0)
+            return false;
+        at_ += len;
+        return true;
+    }
+
+    JsonValue
+    value()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't':
+            if (consume("true"))
+                return boolean(true);
+            fail("invalid literal");
+          case 'f':
+            if (consume("false"))
+                return boolean(false);
+            fail("invalid literal");
+          case 'n':
+            if (consume("null"))
+                return JsonValue();
+            fail("invalid literal");
+          default:
+            return number();
+        }
+    }
+
+    static JsonValue
+    boolean(bool b)
+    {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Bool;
+        v.bool_ = b;
+        return v;
+    }
+
+    JsonValue
+    object()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Object;
+        skipWs();
+        if (peek() == '}') {
+            ++at_;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            if (peek() != '"')
+                fail("expected object key string");
+            JsonValue key = string();
+            skipWs();
+            expect(':');
+            v.members_.emplace_back(std::move(key.string_), value());
+            skipWs();
+            const char c = peek();
+            ++at_;
+            if (c == '}')
+                return v;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    JsonValue
+    array()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Array;
+        skipWs();
+        if (peek() == ']') {
+            ++at_;
+            return v;
+        }
+        while (true) {
+            v.items_.push_back(value());
+            skipWs();
+            const char c = peek();
+            ++at_;
+            if (c == ']')
+                return v;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    /** Append code point @p cp to @p out as UTF-8. */
+    static void
+    appendUtf8(std::string &out, std::uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    std::uint32_t
+    hex4()
+    {
+        std::uint32_t cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = peek();
+            ++at_;
+            cp <<= 4;
+            if (c >= '0' && c <= '9')
+                cp |= static_cast<std::uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                cp |= static_cast<std::uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                cp |= static_cast<std::uint32_t>(c - 'A' + 10);
+            else
+                fail("invalid \\u escape");
+        }
+        return cp;
+    }
+
+    JsonValue
+    string()
+    {
+        expect('"');
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::String;
+        std::string &out = v.string_;
+        while (true) {
+            if (at_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[at_++];
+            if (c == '"')
+                return v;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            const char esc = peek();
+            ++at_;
+            switch (esc) {
+              case '"':  out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/'; break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u': {
+                std::uint32_t cp = hex4();
+                if (cp >= 0xd800 && cp <= 0xdbff) {
+                    // High surrogate: a low surrogate must follow.
+                    if (!consume("\\u"))
+                        fail("unpaired surrogate");
+                    const std::uint32_t lo = hex4();
+                    if (lo < 0xdc00 || lo > 0xdfff)
+                        fail("unpaired surrogate");
+                    cp = 0x10000 + ((cp - 0xd800) << 10) +
+                         (lo - 0xdc00);
+                } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+                    fail("unpaired surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default: fail("invalid escape");
+            }
+        }
+    }
+
+    JsonValue
+    number()
+    {
+        const std::size_t start = at_;
+        if (peek() == '-')
+            ++at_;
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            fail("invalid number");
+        while (at_ < text_.size() &&
+               (std::isdigit(
+                    static_cast<unsigned char>(text_[at_])) ||
+                text_[at_] == '.' || text_[at_] == 'e' ||
+                text_[at_] == 'E' || text_[at_] == '+' ||
+                text_[at_] == '-'))
+            ++at_;
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Number;
+        // std::from_chars is locale-independent, unlike strtod.
+        const char *first = text_.data() + start;
+        const char *last = text_.data() + at_;
+        const auto [end, ec] =
+            std::from_chars(first, last, v.number_);
+        if (ec != std::errc() || end != last)
+            fail("invalid number");
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t at_ = 0;
+};
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    return JsonParser(text).document();
+}
+
+bool
+JsonValue::asBool(bool dflt) const
+{
+    return kind_ == Kind::Bool ? bool_ : dflt;
+}
+
+double
+JsonValue::asNumber(double dflt) const
+{
+    return kind_ == Kind::Number ? number_ : dflt;
+}
+
+std::int64_t
+JsonValue::asInt(std::int64_t dflt) const
+{
+    if (kind_ != Kind::Number)
+        return dflt;
+    // Guard the float->int conversion: for wire input like 1e300 the
+    // unchecked cast would be undefined behavior.  9.2e18 is the
+    // largest double magnitude safely below INT64_MAX.
+    if (!(number_ >= -9.2e18 && number_ <= 9.2e18))
+        return dflt;
+    return static_cast<std::int64_t>(number_);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    static const std::string empty;
+    return kind_ == Kind::String ? string_ : empty;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    return items_;
+}
+
+// ------------------------------------------------------------- requests
+
+namespace {
+
+RequestOp
+parseOp(const std::string &op)
+{
+    if (op == "verify")
+        return RequestOp::Verify;
+    if (op == "cancel")
+        return RequestOp::Cancel;
+    if (op == "ping")
+        return RequestOp::Ping;
+    if (op == "shutdown")
+        return RequestOp::Shutdown;
+    fatal("unknown op '" + op + "'");
+}
+
+RequestOptions
+parseOptions(const JsonValue *node)
+{
+    RequestOptions options;
+    if (!node)
+        return options;
+    if (node->kind() != JsonValue::Kind::Object)
+        fatal("'options' must be an object");
+    if (const JsonValue *lane = node->find("lane")) {
+        options.lane = lane->asString();
+        if (options.lane != "A" && options.lane != "B" &&
+            options.lane != "portfolio")
+            fatal("options.lane must be \"A\", \"B\" or "
+                  "\"portfolio\"");
+    }
+    if (const JsonValue *clean = node->find("clean")) {
+        options.clean = clean->asBool();
+        options.cleanSet = true;
+    }
+    if (const JsonValue *cex = node->find("counterexample")) {
+        options.counterexample = cex->asBool(true);
+        options.counterexampleSet = true;
+    }
+    if (const JsonValue *budget = node->find("budget")) {
+        options.budget = budget->asInt(-1);
+        options.budgetSet = true;
+    }
+    return options;
+}
+
+} // namespace
+
+Request
+parseRequest(const std::string &line)
+{
+    const JsonValue doc = JsonValue::parse(line);
+    if (doc.kind() != JsonValue::Kind::Object)
+        fatal("request must be a JSON object");
+    const JsonValue *op = doc.find("op");
+    if (!op || op->kind() != JsonValue::Kind::String)
+        fatal("request is missing string field 'op'");
+    Request request;
+    request.op = parseOp(op->asString());
+    if (const JsonValue *id = doc.find("id"))
+        request.id = id->asInt(-1);
+    if (request.id < 0)
+        fatal("request is missing non-negative field 'id'");
+    switch (request.op) {
+      case RequestOp::Verify: {
+        const JsonValue *source = doc.find("source");
+        if (!source || source->kind() != JsonValue::Kind::String)
+            fatal("verify request is missing string field 'source'");
+        request.source = source->asString();
+        if (const JsonValue *name = doc.find("name"))
+            request.name = name->asString();
+        request.options = parseOptions(doc.find("options"));
+        break;
+      }
+      case RequestOp::Cancel: {
+        const JsonValue *target = doc.find("target");
+        if (!target || target->kind() != JsonValue::Kind::Number)
+            fatal("cancel request is missing numeric field 'target'");
+        request.target = target->asInt(-1);
+        break;
+      }
+      case RequestOp::Ping:
+      case RequestOp::Shutdown:
+        break;
+    }
+    return request;
+}
+
+// ------------------------------------------------------------ responses
+
+std::string
+acceptedResponse(std::int64_t id)
+{
+    return format("{\"type\": \"accepted\", \"id\": %lld}",
+                  static_cast<long long>(id));
+}
+
+std::string
+errorResponse(std::int64_t id, const std::string &message)
+{
+    if (id < 0) {
+        return format("{\"type\": \"error\", \"id\": null, "
+                      "\"message\": \"%s\"}",
+                      jsonEscape(message).c_str());
+    }
+    return format("{\"type\": \"error\", \"id\": %lld, "
+                  "\"message\": \"%s\"}",
+                  static_cast<long long>(id),
+                  jsonEscape(message).c_str());
+}
+
+std::string
+qubitResponse(std::int64_t id, const core::QubitResult &result)
+{
+    return format("{\"type\": \"qubit\", \"id\": %lld, "
+                  "\"qubit\": %s}",
+                  static_cast<long long>(id),
+                  core::toJson(result).c_str());
+}
+
+std::string
+resultResponse(std::int64_t id, const std::string &status,
+               const core::ProgramResult &result,
+               const std::string &program_name)
+{
+    return format(
+        "{\"type\": \"result\", \"id\": %lld, \"status\": \"%s\", "
+        "\"report\": %s}",
+        static_cast<long long>(id), jsonEscape(status).c_str(),
+        core::toJsonCompact(result, program_name).c_str());
+}
+
+std::string
+cancelledResponse(std::int64_t id, std::int64_t target, bool found)
+{
+    return format("{\"type\": \"cancel\", \"id\": %lld, "
+                  "\"target\": %lld, \"found\": %s}",
+                  static_cast<long long>(id),
+                  static_cast<long long>(target),
+                  found ? "true" : "false");
+}
+
+std::string
+pongResponse(std::int64_t id)
+{
+    return format("{\"type\": \"pong\", \"id\": %lld}",
+                  static_cast<long long>(id));
+}
+
+std::string
+byeResponse(std::int64_t id)
+{
+    return format("{\"type\": \"bye\", \"id\": %lld}",
+                  static_cast<long long>(id));
+}
+
+} // namespace qb::server

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Wire protocol of the qborrow server: line-delimited JSON.
+ *
+ * Every frame - request or response - is one JSON object on one line,
+ * terminated by '\n'.  Requests carry an `op` and a client-chosen
+ * `id`; every response names the request it answers through the same
+ * `id`, so a client may pipeline requests and match answers out of
+ * order.  The full message catalogue with worked examples lives in
+ * docs/SERVER_PROTOCOL.md.
+ *
+ * This header also hosts the minimal JSON reader the server (and the
+ * `qborrow --connect` client) parse frames with: a strict
+ * recursive-descent parser over an immutable value tree.  It exists
+ * because the wire format needs PARSING, which the report emitter
+ * never did; it covers exactly RFC 8259 - no comments, no trailing
+ * commas - and rejects everything else with a located FatalError.
+ */
+
+#ifndef QB_SERVER_PROTOCOL_H
+#define QB_SERVER_PROTOCOL_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/verifier.h"
+
+namespace qb::server {
+
+/** An immutable parsed JSON value. */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    /**
+     * Parse one JSON document from @p text (trailing whitespace
+     * allowed, trailing garbage rejected).
+     * @throws FatalError with an offset-located message on malformed
+     *         input.
+     */
+    static JsonValue parse(const std::string &text);
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+
+    /** Boolean value, or @p dflt when this is not a Bool. */
+    bool asBool(bool dflt = false) const;
+    /** Numeric value, or @p dflt when this is not a Number. */
+    double asNumber(double dflt = 0.0) const;
+    /** Numeric value truncated to integer, or @p dflt. */
+    std::int64_t asInt(std::int64_t dflt = 0) const;
+    /** String value; empty when this is not a String. */
+    const std::string &asString() const;
+
+    /** Object member @p key, or nullptr when absent / not an
+     *  object. */
+    const JsonValue *find(const std::string &key) const;
+    /** Array elements; empty for non-arrays. */
+    const std::vector<JsonValue> &items() const;
+
+  private:
+    friend class JsonParser;
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    /** Object members in document order ({key, value}). */
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/** Request verbs the server understands. */
+enum class RequestOp {
+    Verify,   ///< submit a program for verification
+    Cancel,   ///< cancel an earlier verify on the same connection
+    Ping,     ///< liveness probe
+    Shutdown, ///< ask the daemon to drain and exit
+};
+
+/**
+ * Per-request verification options: the subset of EngineOptions a
+ * client may choose per program.  Fields left at their defaults defer
+ * to the server's command-line configuration (pool size and
+ * inprocessing interval are server-wide and not per-request).
+ */
+struct RequestOptions
+{
+    /** "A", "B" or "portfolio"; empty = server default. */
+    std::string lane;
+    /** Also check alloc'd clean ancillas; unset = server default. */
+    bool clean = false;
+    bool cleanSet = false;
+    /** Extract counterexamples on Unsafe; unset = server default. */
+    bool counterexample = true;
+    bool counterexampleSet = false;
+    /** Conflict budget per SAT call (-1 = unlimited); unset = server
+     *  default. */
+    std::int64_t budget = -1;
+    bool budgetSet = false;
+};
+
+/** One parsed request frame. */
+struct Request
+{
+    RequestOp op = RequestOp::Ping;
+    /** Client-chosen correlation id (>= 0); echoed in responses. */
+    std::int64_t id = -1;
+    /** Verify: QBorrow program text. */
+    std::string source;
+    /** Verify: program name echoed in the report (optional). */
+    std::string name;
+    /** Cancel: the id of the verify request to cancel. */
+    std::int64_t target = -1;
+    RequestOptions options;
+};
+
+/**
+ * Parse one request line.
+ * @throws FatalError on malformed JSON, unknown `op`, missing or
+ *         ill-typed fields.
+ */
+Request parseRequest(const std::string &line);
+
+/** @name Response frames (each returns one line WITHOUT the trailing
+ *        '\n'; the writer appends it). @{ */
+std::string acceptedResponse(std::int64_t id);
+std::string errorResponse(std::int64_t id, const std::string &message);
+std::string qubitResponse(std::int64_t id,
+                          const core::QubitResult &result);
+std::string resultResponse(std::int64_t id, const std::string &status,
+                           const core::ProgramResult &result,
+                           const std::string &program_name);
+std::string cancelledResponse(std::int64_t id, std::int64_t target,
+                              bool found);
+std::string pongResponse(std::int64_t id);
+std::string byeResponse(std::int64_t id);
+/** @} */
+
+} // namespace qb::server
+
+#endif // QB_SERVER_PROTOCOL_H

@@ -1,0 +1,58 @@
+#include "server/request_queue.h"
+
+namespace qb::server {
+
+RequestQueue::RequestQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{}
+
+bool
+RequestQueue::tryPush(QueuedRequest item)
+{
+    {
+        const std::lock_guard<std::mutex> guard(mutex_);
+        if (closed_ || items_.size() >= capacity_)
+            return false;
+        items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+}
+
+std::optional<QueuedRequest>
+RequestQueue::pop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty())
+        return std::nullopt; // closed and drained
+    QueuedRequest item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+}
+
+void
+RequestQueue::close()
+{
+    {
+        const std::lock_guard<std::mutex> guard(mutex_);
+        closed_ = true;
+    }
+    ready_.notify_all();
+}
+
+std::size_t
+RequestQueue::size() const
+{
+    const std::lock_guard<std::mutex> guard(mutex_);
+    return items_.size();
+}
+
+bool
+RequestQueue::closed() const
+{
+    const std::lock_guard<std::mutex> guard(mutex_);
+    return closed_;
+}
+
+} // namespace qb::server

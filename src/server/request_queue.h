@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Bounded admission queue between the server's connection readers and
+ * its request workers.
+ *
+ * This queue is the server's BACKPRESSURE point: readers admit a
+ * verify request with tryPush(), which refuses (rather than blocks)
+ * when the queue is full, so a flooding client gets an immediate
+ * `queue full` error instead of growing the daemon's memory without
+ * bound - and a slow program cannot wedge the accept loop.  Request
+ * workers block in pop() and drain in FIFO order; close() wakes them
+ * for shutdown after the remaining entries are served (graceful
+ * drain).
+ */
+
+#ifndef QB_SERVER_REQUEST_QUEUE_H
+#define QB_SERVER_REQUEST_QUEUE_H
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "core/engine.h"
+#include "server/protocol.h"
+
+namespace qb::server {
+
+/** The server's per-connection record; defined in server.cc. */
+struct Connection;
+
+/** One admitted verify request, queued for a request worker. */
+struct QueuedRequest
+{
+    Request request;
+    /** Per-request stop flag; cancel ops and disconnects fire it. */
+    std::shared_ptr<core::CancelSource> cancel;
+    /** The submitting connection (response sink). */
+    std::shared_ptr<Connection> connection;
+};
+
+class RequestQueue
+{
+  public:
+    /** @p capacity = maximum pending (admitted, unstarted)
+     *  requests. */
+    explicit RequestQueue(std::size_t capacity);
+
+    /**
+     * Admit @p item.  Returns false - WITHOUT blocking - when the
+     * queue is full or closed; the caller turns that into an error
+     * response (backpressure).
+     */
+    bool tryPush(QueuedRequest item);
+
+    /**
+     * Take the oldest pending request, blocking while the queue is
+     * empty and open.  Returns nullopt once the queue is closed AND
+     * drained: the worker's signal to exit.
+     */
+    std::optional<QueuedRequest> pop();
+
+    /** Refuse new pushes; wake poppers once the backlog drains. */
+    void close();
+
+    std::size_t capacity() const { return capacity_; }
+    /** Pending (admitted, not yet popped) requests. */
+    std::size_t size() const;
+    bool closed() const;
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::deque<QueuedRequest> items_; ///< guarded by mutex_
+    bool closed_ = false;             ///< guarded by mutex_
+};
+
+} // namespace qb::server
+
+#endif // QB_SERVER_REQUEST_QUEUE_H

@@ -1,0 +1,690 @@
+#include "server/server.h"
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "lang/elaborate.h"
+#include "server/protocol.h"
+#include "server/request_queue.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace qb::server {
+
+namespace {
+
+/** A request line longer than this (64 MiB) closes the connection:
+ *  the reader buffers whole lines, and an endless unterminated line
+ *  would otherwise grow the daemon's memory without bound. */
+constexpr std::size_t kMaxLineBytes = 64u << 20;
+
+std::string
+errnoMessage(const std::string &what)
+{
+    return what + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+/**
+ * One accepted client connection.  The fd is written by the reader
+ * thread (acks, errors) and by request workers (streamed results)
+ * concurrently, serialized by writeMutex; it is closed by the
+ * destructor, which runs only when the reader AND every queued
+ * request referencing this connection are done with it.
+ */
+struct Connection
+{
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::mutex writeMutex;
+    std::atomic<bool> open{true};
+
+    ~Connection()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    /** Write one protocol line (appends '\n').  A failed write - the
+     *  peer is gone, or stopped reading for longer than the send
+     *  timeout - marks the connection closed; later sends become
+     *  no-ops rather than errors. */
+    void
+    sendLine(const std::string &line)
+    {
+        const std::lock_guard<std::mutex> guard(writeMutex);
+        sendLineLocked(line);
+    }
+
+    /** sendLine() body; the caller holds writeMutex. */
+    void
+    sendLineLocked(const std::string &line)
+    {
+        if (!open.load(std::memory_order_acquire))
+            return;
+        std::string frame = line;
+        frame += '\n';
+        std::size_t sent = 0;
+        while (sent < frame.size()) {
+            const ssize_t n =
+                ::send(fd, frame.data() + sent, frame.size() - sent,
+                       MSG_NOSIGNAL);
+            if (n <= 0) {
+                if (n < 0 && errno == EINTR)
+                    continue;
+                // EAGAIN here means the SO_SNDTIMEO send timeout
+                // expired with the peer's buffer still full: the
+                // client stopped reading.  Treat it like a
+                // disconnect - a stalled client must not wedge a
+                // request worker (or shutdown) forever.
+                open.store(false, std::memory_order_release);
+                return;
+            }
+            sent += static_cast<std::size_t>(n);
+        }
+    }
+};
+
+struct Server::Impl
+{
+    ServerOptions options;
+    int listenFd = -1;
+    bool socketBound = false;
+
+    /** THE process-wide SAT worker pool, shared by every request. */
+    std::shared_ptr<core::Scheduler> scheduler;
+    RequestQueue queue;
+
+    std::atomic<bool> started{false};
+    std::atomic<bool> stopping{false};
+    std::atomic<bool> stopRequested{false};
+    bool shutdownDone = false; ///< guarded by lifecycleMutex
+    std::mutex lifecycleMutex;
+    std::condition_variable stopCv;
+
+    std::thread acceptThread;
+    std::vector<std::thread> workerThreads;
+
+    std::mutex connectionsMutex;
+    std::vector<std::shared_ptr<Connection>> connections;
+    /** Reader threads by connection id; finished ones are reaped by
+     *  the accept loop (reapFinishedReadersLocked). */
+    std::map<std::uint64_t, std::thread> readerThreads;
+    std::vector<std::uint64_t> finishedReaders;
+    std::uint64_t nextConnectionId = 1;
+
+    /** Admitted (queued or running) requests by (connection, id):
+     *  the lookup table `cancel` ops and disconnects fire into. */
+    std::mutex inflightMutex;
+    std::map<std::pair<std::uint64_t, std::int64_t>,
+             std::shared_ptr<core::CancelSource>>
+        inflight;
+
+    /** Rotating fairness-band allocator (band 0 is never handed
+     *  out: it is the default band of non-server work). */
+    std::atomic<unsigned> bandCounter{0};
+
+    std::atomic<std::uint64_t> statConnections{0};
+    std::atomic<std::uint64_t> statRequests{0};
+    std::atomic<std::uint64_t> statServed{0};
+    std::atomic<std::uint64_t> statCancelled{0};
+    std::atomic<std::uint64_t> statRejected{0};
+    std::atomic<std::uint64_t> statErrors{0};
+
+    explicit Impl(ServerOptions opts)
+        : options(std::move(opts)), queue(options.queueCapacity)
+    {}
+
+    void bindAndListen();
+    void acceptLoop();
+    void reapFinishedReadersLocked();
+    void readerLoop(std::shared_ptr<Connection> connection);
+    void handleLine(const std::shared_ptr<Connection> &connection,
+                    const std::string &line);
+    void workerLoop();
+    void serveRequest(QueuedRequest item);
+    core::EngineOptions engineOptionsFor(const RequestOptions &req);
+    void dropInflight(std::uint64_t connection_id, std::int64_t id);
+    void cancelConnection(std::uint64_t connection_id);
+    void requestStop();
+};
+
+void
+Server::Impl::bindAndListen()
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options.socketPath.empty())
+        fatal("server: empty socket path");
+    if (options.socketPath.size() >= sizeof(addr.sun_path))
+        fatal(format("server: socket path too long (%zu bytes, max "
+                     "%zu): ",
+                     options.socketPath.size(),
+                     sizeof(addr.sun_path) - 1) +
+              options.socketPath);
+    std::memcpy(addr.sun_path, options.socketPath.c_str(),
+                options.socketPath.size() + 1);
+
+    listenFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listenFd < 0)
+        fatal(errnoMessage("server: cannot create socket"));
+
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        if (errno == EADDRINUSE) {
+            // Something exists at the path.  Only a SOCKET may be
+            // taken over (a typo'd path to a regular file must never
+            // be deleted), and only a DEAD one: probe it - if
+            // something accepts, refuse to hijack.
+            struct stat st{};
+            if (::lstat(options.socketPath.c_str(), &st) != 0 ||
+                !S_ISSOCK(st.st_mode)) {
+                ::close(listenFd);
+                listenFd = -1;
+                fatal("server: '" + options.socketPath +
+                      "' exists and is not a socket");
+            }
+            const int probe =
+                ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+            const bool live =
+                probe >= 0 &&
+                ::connect(probe, reinterpret_cast<sockaddr *>(&addr),
+                          sizeof(addr)) == 0;
+            if (probe >= 0)
+                ::close(probe);
+            if (live) {
+                ::close(listenFd);
+                listenFd = -1;
+                fatal("server: socket '" + options.socketPath +
+                      "' is already served by another process");
+            }
+            ::unlink(options.socketPath.c_str());
+            if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr)) == 0) {
+                socketBound = true;
+            }
+        }
+        if (!socketBound) {
+            const std::string msg = errnoMessage(
+                "server: cannot bind '" + options.socketPath + "'");
+            ::close(listenFd);
+            listenFd = -1;
+            fatal(msg);
+        }
+    } else {
+        socketBound = true;
+    }
+
+    if (::listen(listenFd, 64) < 0) {
+        const std::string msg = errnoMessage(
+            "server: cannot listen on '" + options.socketPath + "'");
+        ::close(listenFd);
+        ::unlink(options.socketPath.c_str());
+        listenFd = -1;
+        socketBound = false;
+        fatal(msg);
+    }
+}
+
+void
+Server::Impl::acceptLoop()
+{
+    while (!stopping.load(std::memory_order_acquire)) {
+        pollfd pfd{listenFd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 200);
+        if (ready <= 0)
+            continue; // timeout (re-check stopping) or EINTR
+        const int fd =
+            ::accept4(listenFd, nullptr, nullptr, SOCK_CLOEXEC);
+        if (fd < 0)
+            continue;
+        // Bounded sends: a client that stops reading makes send()
+        // fail with EAGAIN after this long instead of blocking a
+        // request worker indefinitely (see sendLineLocked).
+        timeval send_timeout{};
+        send_timeout.tv_sec = 10;
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                     sizeof(send_timeout));
+        auto connection = std::make_shared<Connection>();
+        connection->fd = fd;
+        ++statConnections;
+        {
+            const std::lock_guard<std::mutex> guard(connectionsMutex);
+            connection->id = nextConnectionId++;
+            reapFinishedReadersLocked();
+            readerThreads.emplace(
+                connection->id,
+                std::thread(
+                    [this, connection] { readerLoop(connection); }));
+            connections.push_back(connection);
+        }
+    }
+}
+
+/** Join reader threads whose connections already ended, so a
+ *  long-lived daemon does not accumulate terminated-but-joinable
+ *  threads (and their stacks) across many short connections.
+ *  Caller holds connectionsMutex. */
+void
+Server::Impl::reapFinishedReadersLocked()
+{
+    for (const std::uint64_t id : finishedReaders) {
+        const auto it = readerThreads.find(id);
+        if (it != readerThreads.end()) {
+            it->second.join(); // at most momentarily still running
+            readerThreads.erase(it);
+        }
+    }
+    finishedReaders.clear();
+}
+
+void
+Server::Impl::readerLoop(std::shared_ptr<Connection> connection)
+{
+    std::string buffer;
+    char chunk[4096];
+    while (true) {
+        const ssize_t n =
+            ::read(connection->fd, chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break; // EOF, error, or shutdown() closed the socket
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        std::size_t eol;
+        while ((eol = buffer.find('\n')) != std::string::npos) {
+            std::string line = buffer.substr(0, eol);
+            buffer.erase(0, eol + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (!line.empty())
+                handleLine(connection, line);
+        }
+        if (buffer.size() > kMaxLineBytes) {
+            connection->sendLine(errorResponse(
+                -1, "request line exceeds 64 MiB; closing"));
+            ++statErrors;
+            break;
+        }
+    }
+    // The peer is gone (or the server is closing): fire the stop flag
+    // of every request this connection still has in flight so the
+    // pool stops burning conflicts on answers nobody will read.
+    connection->open.store(false, std::memory_order_release);
+    cancelConnection(connection->id);
+    const std::lock_guard<std::mutex> guard(connectionsMutex);
+    std::erase(connections, connection);
+    finishedReaders.push_back(connection->id);
+}
+
+void
+Server::Impl::handleLine(
+    const std::shared_ptr<Connection> &connection,
+    const std::string &line)
+{
+    Request request;
+    try {
+        request = parseRequest(line);
+    } catch (const std::exception &e) {
+        ++statErrors;
+        connection->sendLine(errorResponse(-1, e.what()));
+        return; // a bad frame never stops the service
+    }
+    switch (request.op) {
+      case RequestOp::Ping:
+        connection->sendLine(pongResponse(request.id));
+        return;
+      case RequestOp::Shutdown:
+        connection->sendLine(byeResponse(request.id));
+        requestStop();
+        return;
+      case RequestOp::Cancel: {
+        std::shared_ptr<core::CancelSource> cancel;
+        {
+            const std::lock_guard<std::mutex> guard(inflightMutex);
+            const auto it = inflight.find(
+                {connection->id, request.target});
+            if (it != inflight.end())
+                cancel = it->second;
+        }
+        if (cancel)
+            cancel->requestCancel();
+        connection->sendLine(cancelledResponse(
+            request.id, request.target, cancel != nullptr));
+        return;
+      }
+      case RequestOp::Verify:
+        break;
+    }
+
+    QueuedRequest item;
+    item.request = std::move(request);
+    item.cancel = std::make_shared<core::CancelSource>();
+    item.connection = connection;
+    {
+        // Register BEFORE admission so a cancel can hit a request
+        // that is still waiting in the queue.  The inflight map is
+        // daemon-global: never send (which can block on a stalled
+        // peer for the whole send timeout) while holding its lock.
+        bool duplicate;
+        {
+            const std::lock_guard<std::mutex> guard(inflightMutex);
+            const auto key =
+                std::make_pair(connection->id, item.request.id);
+            duplicate =
+                !inflight.emplace(key, item.cancel).second;
+        }
+        if (duplicate) {
+            ++statErrors;
+            connection->sendLine(errorResponse(
+                item.request.id,
+                "a request with this id is already in flight on "
+                "this connection"));
+            return;
+        }
+    }
+    const std::int64_t id = item.request.id;
+    // Admission and its ack happen under the connection's write lock:
+    // a worker can pop the request the instant tryPush returns, and
+    // its first qubit/result frame must not beat the `accepted` ack
+    // onto the wire (SERVER_PROTOCOL.md's ordering guarantee).
+    bool admitted;
+    {
+        const std::lock_guard<std::mutex> guard(
+            connection->writeMutex);
+        admitted = queue.tryPush(std::move(item));
+        if (admitted) {
+            ++statRequests;
+            connection->sendLineLocked(acceptedResponse(id));
+        }
+    }
+    if (!admitted) {
+        dropInflight(connection->id, id);
+        ++statRejected;
+        connection->sendLine(errorResponse(
+            id, queue.closed()
+                    ? "server is shutting down"
+                    : format("queue full (capacity %zu); retry later",
+                             queue.capacity())));
+    }
+}
+
+core::EngineOptions
+Server::Impl::engineOptionsFor(const RequestOptions &request)
+{
+    core::EngineOptions base = options.engine;
+    core::EngineOptions chosen = base;
+    if (request.lane == "A") {
+        chosen = core::EngineOptions::singleLane(
+            core::VerifierOptions::laneA());
+    } else if (request.lane == "B") {
+        chosen = core::EngineOptions::singleLane(
+            core::VerifierOptions::laneB());
+    } else if (request.lane == "portfolio") {
+        chosen = core::EngineOptions::portfolioAB();
+    }
+    // Server-wide policies survive a lane override.
+    chosen.inprocessInterval = base.inprocessInterval;
+    chosen.jobs = options.jobs;
+    const bool want_cex = request.counterexampleSet
+        ? request.counterexample
+        : (!base.lanes.empty() &&
+           base.lanes.front().wantCounterexample);
+    const std::int64_t budget = request.budgetSet
+        ? request.budget
+        : (base.lanes.empty() ? -1
+                              : base.lanes.front().conflictBudget);
+    for (core::VerifierOptions &lane : chosen.lanes) {
+        lane.wantCounterexample = want_cex;
+        lane.conflictBudget = budget;
+    }
+    // Distinct band per request: the pool round-robins bands, so one
+    // program's backlog cannot starve another's first race.
+    chosen.fairnessBand =
+        1 + (bandCounter.fetch_add(1, std::memory_order_relaxed) &
+             0x3ff);
+    return chosen;
+}
+
+void
+Server::Impl::dropInflight(std::uint64_t connection_id,
+                           std::int64_t id)
+{
+    const std::lock_guard<std::mutex> guard(inflightMutex);
+    inflight.erase({connection_id, id});
+}
+
+void
+Server::Impl::cancelConnection(std::uint64_t connection_id)
+{
+    std::vector<std::shared_ptr<core::CancelSource>> to_cancel;
+    {
+        const std::lock_guard<std::mutex> guard(inflightMutex);
+        for (const auto &[key, cancel] : inflight)
+            if (key.first == connection_id)
+                to_cancel.push_back(cancel);
+    }
+    for (const auto &cancel : to_cancel)
+        cancel->requestCancel();
+}
+
+void
+Server::Impl::workerLoop()
+{
+    while (auto item = queue.pop())
+        serveRequest(std::move(*item));
+}
+
+void
+Server::Impl::serveRequest(QueuedRequest item)
+{
+    const std::shared_ptr<Connection> connection = item.connection;
+    const Request &request = item.request;
+    const std::string name =
+        request.name.empty() ? format("request-%lld",
+                                      static_cast<long long>(
+                                          request.id))
+                             : request.name;
+    // A request whose connection already died is moot.
+    if (!connection->open.load(std::memory_order_acquire))
+        item.cancel->requestCancel();
+    if (item.cancel->cancelRequested()) {
+        // Cancelled while still queued: settle without touching the
+        // pool.
+        dropInflight(connection->id, request.id);
+        ++statCancelled;
+        connection->sendLine(resultResponse(
+            request.id, "cancelled", core::ProgramResult{}, name));
+        return;
+    }
+
+    // Parse + elaborate on THIS worker thread, off the SAT pool: a
+    // malformed or huge program never stalls other requests' races.
+    lang::ElaboratedProgram program;
+    try {
+        program = lang::elaborateSource(request.source);
+    } catch (const std::exception &e) {
+        // A bad program fails ITS request; the server keeps serving.
+        dropInflight(connection->id, request.id);
+        ++statErrors;
+        connection->sendLine(errorResponse(request.id, e.what()));
+        return;
+    }
+
+    const core::EngineOptions engine_options =
+        engineOptionsFor(request.options);
+    const bool clean = request.options.cleanSet
+        ? request.options.clean
+        : options.checkCleanAncillas;
+    const std::int64_t id = request.id;
+    const auto &cancel = item.cancel;
+    const core::ResultObserver observer =
+        [&connection, &cancel, id](const core::QubitResult &r) {
+            connection->sendLine(qubitResponse(id, r));
+            // A send that timed out (stalled client) or failed (gone
+            // client) closed the connection: stop burning the pool on
+            // a program whose answers nobody will read.
+            if (!connection->open.load(std::memory_order_acquire))
+                cancel->requestCancel();
+        };
+    core::ProgramResult result;
+    try {
+        result = core::verifyAll(program, engine_options, observer,
+                                 clean, scheduler, item.cancel);
+    } catch (const std::exception &e) {
+        dropInflight(connection->id, request.id);
+        ++statErrors;
+        connection->sendLine(errorResponse(request.id, e.what()));
+        return;
+    }
+    dropInflight(connection->id, request.id);
+    const bool was_cancelled = item.cancel->cancelRequested();
+    if (was_cancelled)
+        ++statCancelled;
+    else
+        ++statServed;
+    connection->sendLine(resultResponse(
+        request.id, was_cancelled ? "cancelled" : "done", result,
+        name));
+}
+
+void
+Server::Impl::requestStop()
+{
+    stopRequested.store(true, std::memory_order_release);
+    stopCv.notify_all();
+}
+
+Server::Server(ServerOptions options)
+    : impl(std::make_unique<Impl>(std::move(options)))
+{
+    impl->bindAndListen();
+}
+
+Server::~Server()
+{
+    shutdown();
+}
+
+void
+Server::start()
+{
+    if (impl->started.exchange(true))
+        return;
+    // The ONE process-wide pool: created before the first request,
+    // alive until shutdown, so every request's sessions reuse warm
+    // workers instead of paying pool startup.
+    impl->scheduler =
+        std::make_shared<core::Scheduler>(impl->options.jobs);
+    unsigned workers = impl->options.concurrency;
+    if (workers == 0)
+        workers = 1;
+    impl->workerThreads.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        impl->workerThreads.emplace_back(
+            [this] { impl->workerLoop(); });
+    impl->acceptThread =
+        std::thread([this] { impl->acceptLoop(); });
+}
+
+void
+Server::run(const std::atomic<bool> *external_stop)
+{
+    start();
+    std::unique_lock<std::mutex> lock(impl->lifecycleMutex);
+    while (!impl->stopRequested.load(std::memory_order_acquire) &&
+           !(external_stop &&
+             external_stop->load(std::memory_order_acquire))) {
+        impl->stopCv.wait_for(
+            lock, std::chrono::milliseconds(100), [&] {
+                return impl->stopRequested.load(
+                    std::memory_order_acquire);
+            });
+    }
+    lock.unlock();
+    shutdown();
+}
+
+void
+Server::shutdown()
+{
+    {
+        const std::lock_guard<std::mutex> guard(impl->lifecycleMutex);
+        if (impl->shutdownDone)
+            return;
+        impl->shutdownDone = true;
+    }
+    impl->requestStop();
+    impl->stopping.store(true, std::memory_order_release);
+    if (impl->acceptThread.joinable())
+        impl->acceptThread.join();
+
+    // Drain: refuse new admissions, let the workers finish every
+    // admitted request and deliver its result, then disconnect.
+    impl->queue.close();
+    for (std::thread &t : impl->workerThreads)
+        t.join();
+    impl->workerThreads.clear();
+
+    std::map<std::uint64_t, std::thread> readers;
+    {
+        const std::lock_guard<std::mutex> guard(
+            impl->connectionsMutex);
+        for (const auto &connection : impl->connections)
+            ::shutdown(connection->fd, SHUT_RDWR);
+        readers.swap(impl->readerThreads);
+        impl->finishedReaders.clear();
+    }
+    for (auto &[id, thread] : readers)
+        thread.join();
+
+    if (impl->listenFd >= 0) {
+        ::close(impl->listenFd);
+        impl->listenFd = -1;
+    }
+    if (impl->socketBound) {
+        ::unlink(impl->options.socketPath.c_str());
+        impl->socketBound = false;
+    }
+}
+
+bool
+Server::stopRequested() const
+{
+    return impl->stopRequested.load(std::memory_order_acquire);
+}
+
+const std::string &
+Server::socketPath() const
+{
+    return impl->options.socketPath;
+}
+
+Server::Counters
+Server::counters() const
+{
+    Counters c;
+    c.connections = impl->statConnections.load();
+    c.requests = impl->statRequests.load();
+    c.served = impl->statServed.load();
+    c.cancelled = impl->statCancelled.load();
+    c.rejected = impl->statRejected.load();
+    c.errors = impl->statErrors.load();
+    return c;
+}
+
+} // namespace qb::server

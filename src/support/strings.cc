@@ -50,6 +50,29 @@ format(const char *fmt, ...)
 }
 
 std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20 ||
+                static_cast<unsigned char>(c) == 0x7f)
+                out += format("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+std::string
 join(const std::vector<std::string> &parts, const std::string &sep)
 {
     std::string out;

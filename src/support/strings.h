@@ -30,6 +30,14 @@ std::string formatFixed(double value, int precision);
 std::string join(const std::vector<std::string> &parts,
                  const std::string &sep);
 
+/**
+ * Escape @p s for inclusion inside a JSON string literal: quote,
+ * backslash and every control character (including DEL) are escaped;
+ * everything else passes through byte-for-byte.  Shared by the report
+ * emitter and the server wire protocol.
+ */
+std::string jsonEscape(const std::string &s);
+
 } // namespace qb
 
 #endif // QB_SUPPORT_STRINGS_H

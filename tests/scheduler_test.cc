@@ -11,7 +11,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -66,6 +68,37 @@ TEST(Scheduler, SerialQueueIsFifoAndExclusive)
     ASSERT_EQ(100u, order.size());
     for (int i = 0; i < 100; ++i)
         EXPECT_EQ(i, order[i]);
+}
+
+TEST(Scheduler, BandsInterleaveRoundRobin)
+{
+    // Two fairness bands on ONE worker: the pool must serve them
+    // round-robin (FIFO within a band), so a band with a deep backlog
+    // cannot starve the other - the server-mode guarantee that one
+    // program's queued races cannot block another program's first.
+    std::vector<int> order;
+    {
+        Scheduler pool(1);
+        std::mutex mutex;
+        std::condition_variable released;
+        bool go = false;
+        // Gate the single worker so both bands fill while it is busy.
+        pool.submit([&] {
+            std::unique_lock<std::mutex> lock(mutex);
+            released.wait(lock, [&] { return go; });
+        });
+        for (int i = 0; i < 3; ++i)
+            pool.submit(1u, [&order, i] { order.push_back(100 + i); });
+        for (int i = 0; i < 3; ++i)
+            pool.submit(2u, [&order, i] { order.push_back(200 + i); });
+        {
+            const std::lock_guard<std::mutex> guard(mutex);
+            go = true;
+        }
+        released.notify_all();
+    } // destructor drains
+    const std::vector<int> expected{100, 200, 101, 201, 102, 202};
+    EXPECT_EQ(expected, order);
 }
 
 TEST(Scheduler, IndependentQueuesDoNotSerializeEachOther)

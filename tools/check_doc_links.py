@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown docs.
+
+Scans README.md and docs/*.md (plus any extra paths given on the
+command line) for markdown links and images, and checks that every
+RELATIVE target resolves to an existing file or directory, relative to
+the file containing the link.  External schemes (http/https/mailto)
+and pure in-page anchors (#...) are not checked.
+
+Run from anywhere inside the repository:
+
+    python3 tools/check_doc_links.py
+
+Exit status: 0 when every relative link resolves, 1 otherwise (each
+dead link is listed as file:line: target).  CI runs this as the
+docs-link-check step.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images: [text](target) / ![alt](target).  Targets with
+# spaces or an optional "title" part are cut at the first whitespace.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)[^)]*\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files(repo_root: Path, extra: list[str]) -> list[Path]:
+    files = []
+    readme = repo_root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    files.extend(sorted((repo_root / "docs").glob("*.md")))
+    files.extend(Path(p) for p in extra)
+    return files
+
+
+def check_file(path: Path) -> list[str]:
+    failures = []
+    in_code_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        # C++ lambdas like [](const X &x) inside fenced code blocks
+        # look exactly like markdown links; skip fenced regions.
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES):
+                continue
+            if target.startswith("#"):
+                continue  # in-page anchor
+            target = target.split("#", 1)[0]  # strip anchors
+            if not target:
+                continue
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                failures.append(f"{path}:{lineno}: dead link "
+                                f"-> {match.group(1)}")
+    return failures
+
+
+def main() -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    files = doc_files(repo_root, sys.argv[1:])
+    if not files:
+        print("check_doc_links: no markdown files found",
+              file=sys.stderr)
+        return 1
+    failures = []
+    checked = 0
+    for path in files:
+        failures.extend(check_file(path))
+        checked += 1
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        print(f"check_doc_links: {len(failures)} dead link(s) in "
+              f"{checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"check_doc_links: OK ({checked} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,26 +3,44 @@
  * The qborrow command-line verifier, mirroring the artifact binary of
  * the paper (Section 10.2: `./qborrow ../examples/adder.qbr`).
  *
- * Reads a QBorrow program, elaborates it, and verifies the safe
- * uncomputation of every `borrow`-introduced dirty qubit over its
- * borrow...release lifetime through a VerificationEngine session:
- * qubits sharing a lifetime share one formula arena and one
- * incremental solver per lane, and `--portfolio` races both lanes per
- * SAT query.  Exit status: 0 when all dirty qubits are safe, 1 when
- * any is unsafe or undecided, 2 on usage or input errors.
+ * Three modes share one flag surface:
+ *
+ *   - LOCAL (default): read a QBorrow program, elaborate it, and
+ *     verify the safe uncomputation of every `borrow`-introduced dirty
+ *     qubit through a VerificationEngine session;
+ *   - SERVER (`--serve <socket>`): run as a long-lived daemon that
+ *     accepts many programs over a Unix domain socket and feeds them
+ *     all through one process-wide scheduler pool (src/server/);
+ *   - CLIENT (`--connect <socket>`): submit one program to a running
+ *     daemon and print the streamed results, with the same text/JSON
+ *     output shapes and exit codes as a local run.
+ *
+ * Exit status: 0 when all checked qubits are safe, 1 when any is
+ * unsafe or undecided (including a cancelled request), 2 on usage,
+ * input, socket or protocol errors.
  */
 
+#include <atomic>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include "core/engine.h"
 #include "core/report.h"
 #include "core/verifier.h"
 #include "lang/elaborate.h"
+#include "server/protocol.h"
+#include "server/server.h"
 #include "support/logging.h"
+#include "support/strings.h"
 
 namespace {
 
@@ -32,6 +50,9 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [options] program.qbr\n"
+        "       %s --serve <socket> [options]\n"
+        "       %s --connect <socket> [options] program.qbr\n"
+        "       %s --connect <socket> --shutdown\n"
         "\n"
         "Verify safe uncomputation of every borrowed dirty qubit.\n"
         "\n"
@@ -50,8 +71,25 @@ usage(const char *argv0)
         "  --budget N        conflict budget per SAT call\n"
         "  --inprocess N     persistent lanes vivify/subsume their\n"
         "                    clause DB every N queries (default 16,\n"
-        "                    0 disables)\n",
-        argv0);
+        "                    0 disables)\n"
+        "\n"
+        "server mode (--serve):\n"
+        "  --serve PATH      run as a daemon on Unix socket PATH;\n"
+        "                    the other options become the server's\n"
+        "                    per-request defaults\n"
+        "  --parallel N      programs verified concurrently\n"
+        "                    (default 2)\n"
+        "  --queue N         admission queue bound; further requests\n"
+        "                    are refused with 'queue full'\n"
+        "                    (default 16)\n"
+        "\n"
+        "client mode (--connect):\n"
+        "  --connect PATH    submit the program to the daemon at\n"
+        "                    PATH instead of verifying locally\n"
+        "  --shutdown        ask the daemon to drain and exit\n"
+        "\n"
+        "See docs/CLI.md and docs/SERVER_PROTOCOL.md.\n",
+        argv0, argv0, argv0, argv0);
 }
 
 std::string
@@ -63,6 +101,44 @@ readFile(const std::string &path)
     std::ostringstream out;
     out << in.rdbuf();
     return out.str();
+}
+
+/** Everything the flag parser can express, for all three modes. */
+struct CliOptions
+{
+    std::string path;
+    std::string lane = "A";
+    std::string servePath;
+    std::string connectPath;
+    bool quiet = false;
+    bool dump = false;
+    bool portfolio = false;
+    bool clean = false;
+    bool json = false;
+    bool want_cex = true;
+    bool shutdown_server = false;
+    std::int64_t budget = -1;
+    long jobs = 0;
+    long inprocess = 16;
+    long parallel = 2;
+    long queue = 16;
+};
+
+qb::core::EngineOptions
+engineOptionsFor(const CliOptions &cli)
+{
+    qb::core::EngineOptions options = cli.portfolio
+        ? qb::core::EngineOptions::portfolioAB()
+        : qb::core::EngineOptions::singleLane(
+              cli.lane == "A" ? qb::core::VerifierOptions::laneA()
+                              : qb::core::VerifierOptions::laneB());
+    options.jobs = static_cast<unsigned>(cli.jobs);
+    options.inprocessInterval = static_cast<unsigned>(cli.inprocess);
+    for (qb::core::VerifierOptions &lane_options : options.lanes) {
+        lane_options.wantCounterexample = cli.want_cex;
+        lane_options.conflictBudget = cli.budget;
+    }
+    return options;
 }
 
 void
@@ -88,106 +164,383 @@ printQubitLine(const qb::core::QubitResult &r)
     }
 }
 
+// ------------------------------------------------------------ local mode
+
+int
+runLocal(const CliOptions &cli)
+{
+    const qb::core::EngineOptions options = engineOptionsFor(cli);
+    const std::string source = readFile(cli.path);
+    const auto program = qb::lang::elaborateSource(source);
+    if (cli.dump)
+        std::printf("%s", program.circuit.toString().c_str());
+    if (!cli.quiet && !cli.json) {
+        std::printf("%s: %u qubits, %zu gates\n", cli.path.c_str(),
+                    program.circuit.numQubits(),
+                    program.circuit.size());
+    }
+    // Stream per-qubit lines as the engine produces them.
+    qb::core::ResultObserver observer;
+    if (!cli.quiet && !cli.json)
+        observer = printQubitLine;
+    const auto result =
+        qb::core::verifyAll(program, options, observer, cli.clean);
+    if (cli.json) {
+        std::printf("%s",
+                    qb::core::toJson(result, cli.path).c_str());
+    } else {
+        std::printf("%s\n", result.summary().c_str());
+    }
+    return result.allSafe() ? 0 : 1;
+}
+
+// ----------------------------------------------------------- server mode
+
+std::atomic<bool> g_stop{false};
+
+void
+onStopSignal(int)
+{
+    g_stop.store(true, std::memory_order_release);
+}
+
+int
+runServer(const CliOptions &cli)
+{
+    qb::server::ServerOptions options;
+    options.socketPath = cli.servePath;
+    options.engine = engineOptionsFor(cli);
+    options.checkCleanAncillas = cli.clean;
+    options.queueCapacity = static_cast<std::size_t>(cli.queue);
+    options.concurrency = static_cast<unsigned>(cli.parallel);
+    options.jobs = static_cast<unsigned>(cli.jobs);
+
+    qb::server::Server server(std::move(options));
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
+    qb::inform(qb::format(
+        "qborrow server listening on %s (parallel %ld, queue %ld)",
+        server.socketPath().c_str(), cli.parallel, cli.queue));
+    server.run(&g_stop); // returns after the graceful drain
+    const auto counters = server.counters();
+    qb::inform(qb::format(
+        "qborrow server exiting: %llu request(s) served, %llu "
+        "cancelled, %llu rejected, %llu error(s)",
+        static_cast<unsigned long long>(counters.served),
+        static_cast<unsigned long long>(counters.cancelled),
+        static_cast<unsigned long long>(counters.rejected),
+        static_cast<unsigned long long>(counters.errors)));
+    return 0;
+}
+
+// ----------------------------------------------------------- client mode
+
+int
+connectTo(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        qb::fatal("socket path too long: " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        qb::fatal(std::string("cannot create socket: ") +
+                  std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        const std::string msg = std::string("cannot connect to '") +
+                                path + "': " + std::strerror(errno);
+        ::close(fd);
+        qb::fatal(msg);
+    }
+    return fd;
+}
+
+void
+sendLine(int fd, std::string line)
+{
+    line += '\n';
+    std::size_t sent = 0;
+    while (sent < line.size()) {
+        const ssize_t n = ::send(fd, line.data() + sent,
+                                 line.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            qb::fatal("connection lost while sending request");
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+/** Read one '\n'-terminated line (without the terminator); false on
+ *  EOF. */
+bool
+readLine(int fd, std::string &buffer, std::string &line)
+{
+    std::size_t eol;
+    while ((eol = buffer.find('\n')) == std::string::npos) {
+        char chunk[4096];
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    line = buffer.substr(0, eol);
+    buffer.erase(0, eol + 1);
+    return true;
+}
+
+/** Rebuild the local per-qubit text line from a `qubit` response. */
+void
+printQubitJson(const qb::server::JsonValue &q)
+{
+    using qb::server::JsonValue;
+    const JsonValue *name = q.find("name");
+    const JsonValue *verdict = q.find("verdict");
+    std::printf("  %-10s %s",
+                name ? name->asString().c_str() : "?",
+                verdict ? verdict->asString().c_str() : "?");
+    if (verdict && verdict->asString() == "unsafe") {
+        const JsonValue *failed = q.find("failed_condition");
+        std::printf(" (%s restoration violated)",
+                    failed &&
+                            failed->asString() == "zero-restoration"
+                        ? "|0>"
+                        : "|+>");
+    }
+    if (const JsonValue *lane = q.find("lane");
+        lane && lane->kind() == JsonValue::Kind::Number)
+        std::printf(" [lane %c]",
+                    static_cast<char>('A' + lane->asInt()));
+    std::printf("\n");
+    if (const JsonValue *cex = q.find("counterexample");
+        cex && cex->kind() == JsonValue::Kind::Array) {
+        std::printf("    counterexample input:");
+        for (const JsonValue &bit : cex->items())
+            std::printf(" %d", bit.asInt() != 0 ? 1 : 0);
+        std::printf("\n");
+    }
+}
+
+int
+runClient(const CliOptions &cli)
+{
+    using qb::server::JsonValue;
+    const int fd = connectTo(cli.connectPath);
+
+    if (cli.shutdown_server) {
+        sendLine(fd, "{\"op\": \"shutdown\", \"id\": 0}");
+        std::string buffer, line;
+        // Wait for the ack; the daemon drains before exiting.
+        while (readLine(fd, buffer, line)) {
+            const JsonValue doc = JsonValue::parse(line);
+            const JsonValue *type = doc.find("type");
+            if (type && type->asString() == "bye") {
+                ::close(fd);
+                return 0;
+            }
+        }
+        ::close(fd);
+        qb::fatal("connection closed before shutdown was "
+                  "acknowledged");
+    }
+
+    // Pool size and inprocessing interval are fixed when the daemon
+    // starts; passing them here would silently do nothing, so say so.
+    if (cli.jobs != 0)
+        qb::warn("--jobs is server-wide; ignored in client mode");
+    if (cli.inprocess != 16)
+        qb::warn("--inprocess is server-wide; ignored in client mode");
+
+    const std::string source = readFile(cli.path);
+    std::string request = "{\"op\": \"verify\", \"id\": 1";
+    request += ", \"name\": \"" + qb::jsonEscape(cli.path) + "\"";
+    request += ", \"source\": \"" + qb::jsonEscape(source) + "\"";
+    request += ", \"options\": {";
+    request += "\"lane\": \"";
+    request += cli.portfolio ? "portfolio" : cli.lane;
+    request += "\"";
+    request += qb::format(", \"clean\": %s",
+                          cli.clean ? "true" : "false");
+    request += qb::format(", \"counterexample\": %s",
+                          cli.want_cex ? "true" : "false");
+    request += qb::format(", \"budget\": %lld",
+                          static_cast<long long>(cli.budget));
+    request += "}}";
+    sendLine(fd, request);
+
+    std::string buffer, line;
+    int exit_code = 2;
+    bool finished = false;
+    while (!finished && readLine(fd, buffer, line)) {
+        JsonValue doc;
+        try {
+            doc = JsonValue::parse(line);
+        } catch (const qb::FatalError &) {
+            continue; // tolerate unknown garbage on the stream
+        }
+        const JsonValue *type = doc.find("type");
+        if (!type)
+            continue;
+        const std::string kind = type->asString();
+        if (kind == "error") {
+            const JsonValue *message = doc.find("message");
+            std::fprintf(stderr, "error: %s\n",
+                         message ? message->asString().c_str()
+                                 : "server error");
+            ::close(fd);
+            return 2;
+        }
+        if (kind == "qubit") {
+            if (!cli.quiet && !cli.json)
+                if (const JsonValue *q = doc.find("qubit"))
+                    printQubitJson(*q);
+            continue;
+        }
+        if (kind != "result")
+            continue; // accepted / pong / unrelated ids
+        finished = true;
+        const JsonValue *status = doc.find("status");
+        const JsonValue *report = doc.find("report");
+        const bool cancelled =
+            status && status->asString() == "cancelled";
+        bool all_safe = false;
+        if (report)
+            if (const JsonValue *safe = report->find("all_safe"))
+                all_safe = safe->asBool(false);
+        if (cli.json) {
+            // The final `result` frame verbatim: one line carrying
+            // the compact report plus the request status.
+            std::printf("%s\n", line.c_str());
+        } else {
+            const JsonValue *counts =
+                report ? report->find("counts") : nullptr;
+            const JsonValue *qubits =
+                report ? report->find("qubits") : nullptr;
+            const JsonValue *seconds =
+                report ? report->find("total_seconds") : nullptr;
+            const auto at = [&](const char *key) -> long long {
+                const JsonValue *v =
+                    counts ? counts->find(key) : nullptr;
+                return v ? static_cast<long long>(v->asInt()) : 0;
+            };
+            std::printf(
+                "%zu dirty qubit(s): %lld safe, %lld unsafe, %lld "
+                "undecided (%.3f s)%s\n",
+                qubits ? qubits->items().size() : 0, at("safe"),
+                at("unsafe"), at("undecided"),
+                seconds ? seconds->asNumber() : 0.0,
+                cancelled ? " [cancelled]" : "");
+        }
+        exit_code = (all_safe && !cancelled) ? 0 : 1;
+    }
+    ::close(fd);
+    if (!finished)
+        qb::fatal("connection closed before a result arrived");
+    return exit_code;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::string path;
-    std::string lane = "A";
-    bool quiet = false;
-    bool dump = false;
-    bool portfolio = false;
-    bool clean = false;
-    bool json = false;
-    bool want_cex = true;
-    std::int64_t budget = -1;
-    long jobs = 0;
-    long inprocess = 16;
+    CliOptions cli;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--quiet") {
-            quiet = true;
+            cli.quiet = true;
         } else if (arg == "--dump-circuit") {
-            dump = true;
+            cli.dump = true;
         } else if (arg == "--no-cex") {
-            want_cex = false;
+            cli.want_cex = false;
         } else if (arg == "--portfolio") {
-            portfolio = true;
+            cli.portfolio = true;
         } else if (arg == "--clean") {
-            clean = true;
+            cli.clean = true;
         } else if (arg == "--json") {
-            json = true;
+            cli.json = true;
+        } else if (arg == "--shutdown") {
+            cli.shutdown_server = true;
+        } else if (arg == "--serve" && i + 1 < argc) {
+            cli.servePath = argv[++i];
+        } else if (arg == "--connect" && i + 1 < argc) {
+            cli.connectPath = argv[++i];
         } else if (arg == "--lane" && i + 1 < argc) {
-            lane = argv[++i];
-            if (lane != "A" && lane != "B") {
+            cli.lane = argv[++i];
+            if (cli.lane != "A" && cli.lane != "B") {
                 usage(argv[0]);
                 return 2;
             }
         } else if (arg == "--budget" && i + 1 < argc) {
-            budget = std::atoll(argv[++i]);
+            cli.budget = std::atoll(argv[++i]);
         } else if (arg == "--jobs" && i + 1 < argc) {
-            jobs = std::atol(argv[++i]);
-            if (jobs < 1) {
+            cli.jobs = std::atol(argv[++i]);
+            if (cli.jobs < 1) {
                 usage(argv[0]);
                 return 2;
             }
         } else if (arg == "--inprocess" && i + 1 < argc) {
-            inprocess = std::atol(argv[++i]);
-            if (inprocess < 0) {
+            cli.inprocess = std::atol(argv[++i]);
+            if (cli.inprocess < 0) {
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (arg == "--parallel" && i + 1 < argc) {
+            cli.parallel = std::atol(argv[++i]);
+            if (cli.parallel < 1) {
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (arg == "--queue" && i + 1 < argc) {
+            cli.queue = std::atol(argv[++i]);
+            if (cli.queue < 1) {
                 usage(argv[0]);
                 return 2;
             }
         } else if (!arg.empty() && arg[0] == '-') {
             usage(argv[0]);
             return 2;
-        } else if (path.empty()) {
-            path = arg;
+        } else if (cli.path.empty()) {
+            cli.path = arg;
         } else {
             usage(argv[0]);
             return 2;
         }
     }
-    if (path.empty()) {
+    const bool serve = !cli.servePath.empty();
+    const bool connect = !cli.connectPath.empty();
+    if (serve && connect) {
+        usage(argv[0]);
+        return 2;
+    }
+    if (serve && !cli.path.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+    if (cli.shutdown_server && !connect) {
+        usage(argv[0]);
+        return 2;
+    }
+    if (!serve && !cli.shutdown_server && cli.path.empty()) {
         usage(argv[0]);
         return 2;
     }
 
-    qb::core::EngineOptions options = portfolio
-        ? qb::core::EngineOptions::portfolioAB()
-        : qb::core::EngineOptions::singleLane(
-              lane == "A" ? qb::core::VerifierOptions::laneA()
-                          : qb::core::VerifierOptions::laneB());
-    options.jobs = static_cast<unsigned>(jobs);
-    options.inprocessInterval = static_cast<unsigned>(inprocess);
-    for (qb::core::VerifierOptions &lane_options : options.lanes) {
-        lane_options.wantCounterexample = want_cex;
-        lane_options.conflictBudget = budget;
-    }
-
     try {
-        const std::string source = readFile(path);
-        const auto program = qb::lang::elaborateSource(source);
-        if (dump)
-            std::printf("%s", program.circuit.toString().c_str());
-        if (!quiet && !json) {
-            std::printf("%s: %u qubits, %zu gates\n", path.c_str(),
-                        program.circuit.numQubits(),
-                        program.circuit.size());
-        }
-        // Stream per-qubit lines as the engine produces them.
-        qb::core::ResultObserver observer;
-        if (!quiet && !json)
-            observer = printQubitLine;
-        const auto result =
-            qb::core::verifyAll(program, options, observer, clean);
-        if (json) {
-            std::printf("%s", qb::core::toJson(result, path).c_str());
-        } else {
-            std::printf("%s\n", result.summary().c_str());
-        }
-        return result.allSafe() ? 0 : 1;
+        if (serve)
+            return runServer(cli);
+        if (connect)
+            return runClient(cli);
+        return runLocal(cli);
     } catch (const qb::FatalError &e) {
+        // User errors - unreadable input, an unwritable/busy socket
+        // path, a program that fails to parse - exit with ONE clean
+        // line on stderr, never an unhandled throw.
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
     } catch (const std::exception &e) {

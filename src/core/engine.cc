@@ -7,6 +7,7 @@
 
 #include "core/formula_builder.h"
 #include "support/logging.h"
+#include "support/strings.h"
 #include "support/timer.h"
 
 namespace qb::core {
@@ -55,6 +56,26 @@ incrementalConfig(const VerifierOptions &options)
     cfg.preprocess = false;
     cfg.conflictBudget = options.conflictBudget;
     return cfg;
+}
+
+/**
+ * Identity of a lane FAMILY for the adaptive win-rate table: the
+ * fields that distinguish the lane presets (encoder configuration
+ * plus the solving-strategy knobs).  Two lanes with equal keys play
+ * the same role in any portfolio, so their wins pool - across
+ * sessions of a program, and across requests in server mode, since
+ * the table lives on the shared Scheduler.
+ */
+std::string
+laneFamilyKey(const VerifierOptions &options)
+{
+    const sat::SolverConfig &s = options.solver;
+    return qb::format(
+        "e%d.x%u.pre%d.luby%d.rb%lld.vd%d.ph%d",
+        static_cast<int>(options.encoding), options.xorChunk,
+        s.preprocess ? 1 : 0, s.lubyRestarts ? 1 : 0,
+        static_cast<long long>(s.restartBase),
+        static_cast<int>(s.varDecay * 1000), s.initialPhaseTrue);
 }
 
 /** Satisfying input assignment (by qubit id) from a solver model. */
@@ -120,12 +141,16 @@ struct VerificationEngine::Lane
     /** Queries since the last inprocessing pass (owned by the lane's
      *  serial task chain; see EngineOptions::inprocessInterval). */
     unsigned queriesSinceInprocess = 0;
+    /** Win-rate table key of this lane's preset family (adaptive
+     *  lane ordering; see EngineOptions::adaptiveLanes). */
+    std::string familyKey;
 
     Lane(int idx, const VerifierOptions &opts, const bexp::Arena &arena,
          Scheduler &sched, unsigned band)
         : index(idx), options(opts), solver(incrementalConfig(opts)),
           encoder(arena, solver, opts.encoding, opts.xorChunk),
-          scratch(opts.solver.preprocess)
+          scratch(opts.solver.preprocess),
+          familyKey(laneFamilyKey(opts))
     {
         if (!scratch)
             queue = sched.makeQueue(band);
@@ -292,9 +317,13 @@ VerificationEngine::VerificationEngine(
                 lane->alwaysEncode = true;
                 ++engineStats.shareLanes;
                 lane->solver.setClauseExport(
-                    [peers](const sat::LitVec &clause, unsigned) {
+                    [peers](const sat::LitVec &clause, unsigned lbd) {
+                        // Forward the exporter's LBD: the importer
+                        // retires imports by it after their grace
+                        // epochs, so genuine glue survives and junk
+                        // ages out (bounded learnt DB).
                         for (sat::Solver *peer : peers)
-                            peer->postImport(clause);
+                            peer->postImport(clause, lbd);
                     });
             }
         }
@@ -430,7 +459,24 @@ VerificationEngine::submitRace(bexp::NodeRef condition)
         }
         liveRaces.push_back(race);
     }
+    // Adaptive lane ordering: submit the first slices in descending
+    // family win rate, so with fewer workers than lanes the probable
+    // winner's slice is popped first.  Ties fall back to index order;
+    // verdicts are unaffected either way (collectRace picks the
+    // winner by index, counterexamples come from the replay solve).
+    std::vector<std::size_t> order(racers);
     for (std::size_t i = 0; i < racers; ++i)
+        order[i] = i;
+    if (options_.adaptiveLanes && racers > 1) {
+        std::vector<double> score(racers);
+        for (std::size_t i = 0; i < racers; ++i)
+            score[i] = scheduler_->laneWinRate(lanes_[i]->familyKey);
+        std::stable_sort(order.begin(), order.end(),
+                         [&score](std::size_t a, std::size_t b) {
+                             return score[a] > score[b];
+                         });
+    }
+    for (const std::size_t i : order)
         submitLaneTask(race, i);
     return race;
 }
@@ -675,6 +721,18 @@ VerificationEngine::collectRace(Race &race, QubitResult &out)
         out.conflicts += o.conflicts;
         if (!winner && o.result != sat::SolveResult::Unknown)
             winner = &o;
+    }
+    // Feed the adaptive table: the deciding lane's family won, every
+    // other lane that actually raced lost.  Undecided races (all
+    // Unknown) teach nothing.
+    if (options_.adaptiveLanes && winner) {
+        for (const LaneOutcome &o : race.outcomes) {
+            if (o.lane < 0)
+                continue;
+            scheduler_->recordLaneOutcome(
+                lanes_[static_cast<std::size_t>(o.lane)]->familyKey,
+                &o == winner);
+        }
     }
     const LaneOutcome *primary = winner ? winner : first_run;
     LaneOutcome result;

@@ -90,6 +90,22 @@ struct EngineOptions
     unsigned inprocessInterval = 16;
 
     /**
+     * Adaptive lane ordering (portfolio mode): seed each race with
+     * the lane whose FAMILY (preset configuration) has the best win
+     * rate so far, instead of always racing in index order.  Win
+     * rates live on the shared Scheduler, so they accumulate across
+     * the whole session - and across requests in server mode - and
+     * what lane A earned on the first qubits orders the races for
+     * the rest.  On hosts with fewer workers than lanes this is the
+     * difference between the probable winner's first slice running
+     * immediately and it waiting behind a probable loser's slice.
+     * Verdicts and counterexamples are unaffected: the winner of a
+     * collected race is chosen by lane index, and counterexamples
+     * come from the deterministic replay solve.
+     */
+    bool adaptiveLanes = false;
+
+    /**
      * Scheduler fairness band of this session's work (lane queues and
      * scratch tasks).  Sessions sharing one pool but belonging to
      * different request streams - distinct programs in qborrow server

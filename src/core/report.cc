@@ -73,6 +73,10 @@ emitProgram(const ProgramResult &result,
     out += "\"exported_clauses\": " + count(s.exportedClauses) + ", ";
     out += "\"imported_clauses\": " + count(s.importedClauses) + ", ";
     out += "\"imported_dropped\": " + count(s.importedDropped) + ", ";
+    out += "\"imported_retired\": " + count(s.importedRetired) + ", ";
+    out += "\"bin_propagations\": " + count(s.binPropagations) + ", ";
+    out += "\"otf_strengthened\": " +
+           count(s.otfStrengthenedClauses) + ", ";
     out += "\"inprocess_runs\": " + count(s.inprocessRuns) + ", ";
     out += "\"vivified_clauses\": " + count(s.vivifiedClauses) + ", ";
     out += "\"vivified_literals\": " + count(s.vivifiedLiterals) + ", ";

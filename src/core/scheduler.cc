@@ -1,8 +1,10 @@
 #include "core/scheduler.h"
 
 #include <condition_variable>
+#include <cstdint>
 #include <map>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -25,6 +27,13 @@ struct Scheduler::Impl
     unsigned lastBand = 0;
     bool stopping = false;
     std::vector<std::thread> threads;
+
+    /** (wins, races) per lane family; guarded by laneMutex (its own
+     *  lock: win bookkeeping must never contend with the hot
+     *  push/pop path). */
+    mutable std::mutex laneMutex;
+    std::map<std::string, std::pair<std::uint64_t, std::uint64_t>>
+        laneStats;
 
     void
     push(unsigned band, Task task)
@@ -111,6 +120,42 @@ Scheduler::submit(unsigned band, Task task)
         impl->push(band, std::move(task));
     }
     impl->workAvailable.notify_one();
+}
+
+std::vector<std::pair<unsigned, std::size_t>>
+Scheduler::bandBacklog() const
+{
+    std::vector<std::pair<unsigned, std::size_t>> out;
+    const std::lock_guard<std::mutex> guard(impl->mutex);
+    out.reserve(impl->bands.size());
+    for (const auto &[band, tasks] : impl->bands)
+        out.emplace_back(band, tasks.size());
+    return out;
+}
+
+void
+Scheduler::recordLaneOutcome(const std::string &family, bool won)
+{
+    const std::lock_guard<std::mutex> guard(impl->laneMutex);
+    auto &[wins, races] = impl->laneStats[family];
+    ++races;
+    if (won)
+        ++wins;
+}
+
+double
+Scheduler::laneWinRate(const std::string &family) const
+{
+    const std::lock_guard<std::mutex> guard(impl->laneMutex);
+    const auto it = impl->laneStats.find(family);
+    // The 0.5 prior (one phantom win in two phantom races) keeps
+    // unseen families neutral and damps early flukes.
+    std::uint64_t wins = 1, races = 2;
+    if (it != impl->laneStats.end()) {
+        wins += it->second.first;
+        races += it->second.second;
+    }
+    return static_cast<double>(wins) / static_cast<double>(races);
 }
 
 std::shared_ptr<Scheduler::SerialQueue>

@@ -40,9 +40,13 @@
 #ifndef QB_CORE_SCHEDULER_H
 #define QB_CORE_SCHEDULER_H
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace qb::core {
 
@@ -90,6 +94,40 @@ class Scheduler
     /** New serial queue whose drain turns run in fairness band
      *  @p band. */
     std::shared_ptr<SerialQueue> makeQueue(unsigned band = 0);
+
+    /**
+     * Snapshot of the queued (runnable, not yet running) units per
+     * fairness band, as (band, backlog) pairs in band order.  Empty
+     * bands are absent.  This is the pool-side half of the server's
+     * `stats` protocol op: with one band per request stream, the
+     * backlog shape shows which programs are waiting on SAT work.
+     */
+    std::vector<std::pair<unsigned, std::size_t>> bandBacklog() const;
+
+    /** @name Cross-session lane-family win statistics. @{ */
+
+    /**
+     * Record that the solver lane of family @p family won (or lost)
+     * a portfolio race.  The table lives on the scheduler - the
+     * object shared across a program's sessions, and across ALL
+     * requests in server mode - so the win rates a family earned on
+     * early queries (or earlier programs) seed later races: the
+     * adaptive engine submits the likely winner's first slice ahead
+     * of its rivals (EngineOptions::adaptiveLanes), which is what
+     * cuts sliced-racing overhead when workers are scarcer than
+     * lanes.  Thread-safe.
+     */
+    void recordLaneOutcome(const std::string &family, bool won);
+
+    /**
+     * Win fraction of @p family in [0, 1], with a neutral 0.5 prior
+     * for families never seen (two phantom races, one won): a family
+     * must earn its head start, and one fluke cannot saturate the
+     * score.  Thread-safe.
+     */
+    double laneWinRate(const std::string &family) const;
+
+    /** @} */
 
   private:
     struct Impl;

@@ -8,9 +8,16 @@
  * by its literals inline:
  *
  *   word 0   size (29 bits) | learnt | imported | relocated
- *   word 1   LBD - or, once relocated, the forwarding ClauseRef
+ *   word 1   import age (8 bits) | LBD (24 bits) - or, once
+ *            relocated, the forwarding ClauseRef
  *   word 2   activity (float bits)
  *   word 3+  literals
+ *
+ * BINARY clauses still live in the arena (conflict analysis, GC and
+ * the clause lists need a ClauseRef to name them by), but the solver
+ * propagates them through specialized watch lists that inline the
+ * implied literal, so binary propagation performs no arena access at
+ * all; derefCount() exists to let tests assert exactly that.
  *
  * Compared with one heap allocation (plus a std::vector of literals)
  * per clause, the arena halves the pointer width in every watcher and
@@ -29,6 +36,7 @@
 #ifndef QB_SAT_CLAUSE_ALLOCATOR_H
 #define QB_SAT_CLAUSE_ALLOCATOR_H
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <vector>
@@ -57,8 +65,28 @@ class Clause
     bool imported() const { return header & kImportedBit; }
     bool relocated() const { return header & kRelocatedBit; }
 
-    unsigned lbd() const { return extra; }
-    void setLbd(unsigned new_lbd) { extra = new_lbd; }
+    unsigned lbd() const { return extra & kLbdMask; }
+    void setLbd(unsigned new_lbd)
+    {
+        extra = (extra & ~kLbdMask) | std::min(new_lbd, kLbdMask);
+    }
+
+    /**
+     * Shrink epochs an IMPORTED clause has survived (see
+     * Solver::shrinkLearnts): imports are exempt from LBD-based
+     * retention only until they age out, after which they are judged
+     * like ordinary learnt clauses - otherwise a long-lived lane's
+     * learnt database grows without bound under heavy exchange.
+     * Shares the extra word with the LBD (high 8 bits); both are
+     * overwritten by the forwarding address while relocated, and both
+     * survive relocation in the copied clause.
+     */
+    unsigned importAge() const { return extra >> kAgeShift; }
+    void bumpImportAge()
+    {
+        if (importAge() < 0xFF)
+            extra += 1u << kAgeShift;
+    }
 
     float activity() const
     {
@@ -111,6 +139,8 @@ class Clause
     static constexpr std::uint32_t kLearntBit = 1u;
     static constexpr std::uint32_t kImportedBit = 2u;
     static constexpr std::uint32_t kRelocatedBit = 4u;
+    static constexpr std::uint32_t kLbdMask = 0x00FFFFFFu;
+    static constexpr unsigned kAgeShift = 24;
 
     Lit *lits() { return reinterpret_cast<Lit *>(this + 1); }
     const Lit *lits() const
@@ -146,7 +176,7 @@ class ClauseAllocator
         c.header = (static_cast<std::uint32_t>(lits.size()) << 3) |
                    (learnt ? Clause::kLearntBit : 0) |
                    (imported ? Clause::kImportedBit : 0);
-        c.extra = lbd;
+        c.extra = std::min(lbd, Clause::kLbdMask); // import age 0
         c.setActivity(activity);
         std::memcpy(c.begin(), lits.data(), lits.size() * sizeof(Lit));
         return ref;
@@ -173,6 +203,18 @@ class ClauseAllocator
 
     std::size_t words() const { return mem.size(); }
     std::size_t wasted() const { return wasted_; }
+
+    /**
+     * Clause dereferences performed through this allocator since
+     * construction.  This is the observable behind the binary-watcher
+     * contract: the solver snapshots it around propagate() (which
+     * never runs a GC, so the delta is well-defined) and accumulates
+     * the deltas into SolverStats::propagationArenaReads, letting
+     * tests assert that propagation over binary clauses reads NOTHING
+     * from the arena.  Cost: one increment on a cache line already
+     * being touched.
+     */
+    std::uint64_t derefCount() const { return derefs_; }
 
     void reserveWords(std::size_t w) { mem.reserve(w); }
 
@@ -201,11 +243,13 @@ class ClauseAllocator
     // dereference, and qbAssert is active in release builds.
     Clause &deref(ClauseRef r)
     {
+        ++derefs_;
         return *reinterpret_cast<Clause *>(&mem[r]);
     }
 
     std::vector<std::uint32_t> mem;
     std::size_t wasted_ = 0;
+    std::uint64_t derefs_ = 0;
 };
 
 } // namespace qb::sat

@@ -38,6 +38,8 @@ SolverStats::accumulate(const SolverStats &other)
 {
     decisions += other.decisions;
     propagations += other.propagations;
+    binPropagations += other.binPropagations;
+    propagationArenaReads += other.propagationArenaReads;
     conflicts += other.conflicts;
     restarts += other.restarts;
     learntClauses += other.learntClauses;
@@ -51,6 +53,9 @@ SolverStats::accumulate(const SolverStats &other)
     vivifiedLiterals += other.vivifiedLiterals;
     subsumedClauses += other.subsumedClauses;
     strengthenedClauses += other.strengthenedClauses;
+    otfStrengthenedClauses += other.otfStrengthenedClauses;
+    otfSkipped += other.otfSkipped;
+    importedRetired += other.importedRetired;
     gcRuns += other.gcRuns;
     gcWordsReclaimed += other.gcWordsReclaimed;
     arenaPeakWords += other.arenaPeakWords;
@@ -63,6 +68,19 @@ struct Solver::Watcher
 {
     ClauseRef cref;
     Lit blocker;
+};
+
+/**
+ * Binary watch-list entry: the OTHER literal of the clause rides in
+ * the watcher, so visiting a binary clause needs one assignment probe
+ * and zero arena reads - implication and conflict alike.  The
+ * ClauseRef is carried only as the reason/conflict name for analyze()
+ * (which may dereference) and for detach/relocation bookkeeping.
+ */
+struct Solver::BinWatcher
+{
+    Lit other;
+    ClauseRef cref;
 };
 
 /** Binary max-heap over variables ordered by EVSIDS activity. */
@@ -174,6 +192,8 @@ Solver::newVar()
     seen.push_back(0);
     watches.emplace_back();
     watches.emplace_back();
+    binWatches.emplace_back();
+    binWatches.emplace_back();
     order->insert(v);
     return v;
 }
@@ -263,6 +283,13 @@ Solver::attachClause(ClauseRef cr)
 {
     const Clause &c = ca[cr];
     qbAssert(c.size() >= 2, "attaching short clause");
+    if (c.size() == 2) {
+        // Both literals watch each other; the watcher carries the
+        // implied literal, so propagation never reads the clause.
+        binWatches[(~c[0]).index()].push_back({c[1], cr});
+        binWatches[(~c[1]).index()].push_back({c[0], cr});
+        return;
+    }
     watches[(~c[0]).index()].push_back({cr, c[1]});
     watches[(~c[1]).index()].push_back({cr, c[0]});
 }
@@ -271,6 +298,19 @@ void
 Solver::detachClause(ClauseRef cr)
 {
     const Clause &c = ca[cr];
+    if (c.size() == 2) {
+        for (Lit w : {c[0], c[1]}) {
+            auto &list = binWatches[(~w).index()];
+            for (std::size_t i = 0; i < list.size(); ++i) {
+                if (list[i].cref == cr) {
+                    list[i] = list.back();
+                    list.pop_back();
+                    break;
+                }
+            }
+        }
+        return;
+    }
     for (Lit w : {c[0], c[1]}) {
         auto &list = watches[(~w).index()];
         for (std::size_t i = 0; i < list.size(); ++i) {
@@ -294,8 +334,15 @@ Solver::removeClause(ClauseRef cr)
 bool
 Solver::locked(ClauseRef cr) const
 {
+    // Long clauses keep the implied literal normalized into slot 0 by
+    // the propagation loop.  Binary reasons are enqueued WITHOUT
+    // touching the arena, so their implied literal may sit in either
+    // slot until conflict analysis normalizes it: check both.
     const Clause &c = ca[cr];
-    return reasons[c[0].var()] == cr && value(c[0]) == LBool::True;
+    if (reasons[c[0].var()] == cr && value(c[0]) == LBool::True)
+        return true;
+    return c.size() == 2 && reasons[c[1].var()] == cr &&
+           value(c[1]) == LBool::True;
 }
 
 void
@@ -314,9 +361,33 @@ ClauseRef
 Solver::propagate()
 {
     ClauseRef conflict = kRefUndef;
+    const std::uint64_t derefs_before = ca.derefCount();
     while (qhead < trail.size()) {
         const Lit p = trail[qhead++];
         ++statistics.propagations;
+        // Binary clauses first: the implied literal is inlined in the
+        // watcher, so this whole loop performs zero arena reads -
+        // every binary is decided from the watcher pair and the
+        // assignment array alone.  Running them before the long
+        // clauses also finds the cheap implications (and conflicts)
+        // before any clause memory is touched.
+        {
+            const auto &bins = binWatches[p.index()];
+            for (const BinWatcher w : bins) {
+                const LBool v = value(w.other);
+                if (v == LBool::True)
+                    continue;
+                if (v == LBool::False) {
+                    conflict = w.cref;
+                    qhead = trail.size();
+                    break;
+                }
+                ++statistics.binPropagations;
+                uncheckedEnqueue(w.other, w.cref);
+            }
+            if (conflict != kRefUndef)
+                break;
+        }
         auto &list = watches[p.index()];
         std::size_t keep = 0;
         std::size_t i = 0;
@@ -367,7 +438,31 @@ Solver::propagate()
         if (conflict != kRefUndef)
             break;
     }
+    statistics.propagationArenaReads += static_cast<std::int64_t>(
+        ca.derefCount() - derefs_before);
     return conflict;
+}
+
+/**
+ * The reason clause of assigned variable @p v, with the implied
+ * literal normalized into slot 0 - the layout conflict analysis
+ * iterates from index 1 under.  Long-clause propagation establishes
+ * the layout itself; binary implications are enqueued without arena
+ * access, so the swap happens here, lazily, only for the binaries an
+ * analysis actually resolves on.
+ */
+Clause &
+Solver::reasonClause(Var v)
+{
+    const ClauseRef cr = reasons[v];
+    qbAssert(cr != kRefUndef, "reasonClause without reason");
+    Clause &c = ca[cr];
+    if (c[0].var() != v) {
+        qbAssert(c.size() == 2 && c[1].var() == v,
+                 "unnormalized non-binary reason");
+        std::swap(c[0], c[1]);
+    }
+    return c;
 }
 
 unsigned
@@ -389,19 +484,27 @@ Solver::analyze(ClauseRef conflict, LitVec &out_learnt, int &out_btlevel,
 {
     out_learnt.clear();
     out_learnt.push_back(kUndefLit); // slot for the asserting literal
+    otfCandidates.clear();
     int counter = 0;
     Lit p = kUndefLit;
     std::size_t index = trail.size();
     ClauseRef reason_cref = conflict;
     do {
         qbAssert(reason_cref != kRefUndef, "analyze without reason");
-        Clause &rc = ca[reason_cref];
+        // reasonClause() normalizes the implied literal into slot 0
+        // (binary reasons are enqueued without arena access, so their
+        // layout is settled here, lazily).
+        Clause &rc = (p == kUndefLit) ? ca[reason_cref]
+                                      : reasonClause(p.var());
         if (rc.learnt())
             claBumpActivity(rc);
         const std::size_t start = (p == kUndefLit) ? 0 : 1;
         const unsigned size = rc.size();
+        unsigned root_lits = 0;
         for (std::size_t j = start; j < size; ++j) {
             const Lit q = rc[j];
+            if (levels[q.var()] == 0)
+                ++root_lits;
             if (!seen[q.var()] && levels[q.var()] > 0) {
                 seen[q.var()] = 1;
                 varBumpActivity(q.var());
@@ -410,6 +513,24 @@ Solver::analyze(ClauseRef conflict, LitVec &out_learnt, int &out_btlevel,
                 else
                     out_learnt.push_back(q);
             }
+        }
+        // On-the-fly self-subsumption (Han/Somenzi-style): the
+        // running resolvent is `counter` conflict-level literals
+        // plus the out_learnt tail.  Right after resolving reason rc
+        // on pivot p, the resolvent contains all of rc except the
+        // pivot and rc's root-false literals (rc's other literals
+        // were assigned before p, so none has been resolved away
+        // yet); if the sizes match it IS exactly that set, i.e. an
+        // implied clause subsuming rc with the pivot removed.
+        // Remember (rc, pivot); search() strengthens the arena in
+        // place once backtracking has unlocked the antecedent.
+        if (cfg.otfSubsume && p != kUndefLit && size >= 3 &&
+            otfCandidates.size() < cfg.otfMaxAntecedents) {
+            const std::size_t resolvent =
+                static_cast<std::size_t>(counter) +
+                out_learnt.size() - 1;
+            if (resolvent + root_lits + 1 == size)
+                otfCandidates.push_back({reason_cref, rc[0]});
         }
         // Pick the next seen literal from the trail.
         while (!seen[trail[index - 1].var()])
@@ -479,7 +600,7 @@ Solver::analyzeFinal(Lit failed)
             // Decisions below the assumption prefix are assumptions.
             conflictCore.push_back(trail[i - 1]);
         } else {
-            const Clause &rc = ca[reason_cref];
+            const Clause &rc = reasonClause(x);
             const unsigned size = rc.size();
             for (std::size_t j = 1; j < size; ++j) {
                 const Var v = rc[j].var();
@@ -504,7 +625,7 @@ Solver::litRedundant(Lit l, std::uint32_t ab_levels)
         stack.pop_back();
         const ClauseRef r = reasons[cur.var()];
         qbAssert(r != kRefUndef, "litRedundant without reason");
-        const Clause &rc = ca[r];
+        const Clause &rc = reasonClause(cur.var());
         const unsigned size = rc.size();
         for (std::size_t j = 1; j < size; ++j) {
             const Lit q = rc[j];
@@ -530,6 +651,76 @@ Solver::litRedundant(Lit l, std::uint32_t ab_levels)
                             cleared.end());
     }
     return redundant;
+}
+
+/**
+ * On-the-fly self-subsumption (learn-time clause improvement): apply
+ * the strengthenings analyze() discovered - during resolution, the
+ * running resolvent turned out to equal an antecedent minus its
+ * pivot, so that antecedent can lose the pivot literal, in the arena,
+ * NOW, instead of waiting for the slice-boundary subsumption pass to
+ * rediscover the pair.
+ *
+ * Called from search() AFTER backtracking to the assertion level:
+ * every candidate was the reason of a conflict-level variable, so
+ * none is locked any more and detaching is safe.  The edit keeps all
+ * watch invariants: the clause is detached, the pivot removed, and
+ * watches are re-picked among literals not false under the current
+ * assignment - a shrink to binary simply re-attaches through the
+ * specialized binary lists.  When fewer than two non-false literals
+ * would remain the clause is left untouched (counted as otfSkipped);
+ * vivification will catch it at the root.
+ */
+void
+Solver::otfStrengthen()
+{
+    for (const auto &[cr, pivot] : otfCandidates) {
+        const Clause &c = ca[cr];
+        if (locked(cr))
+            continue; // defensive: never edit a live reason
+        // Commit only if the remainder still has two watchable
+        // (non-false) literals right now.
+        unsigned nonfalse = 0;
+        for (const Lit y : c)
+            if (y != pivot && value(y) != LBool::False)
+                ++nonfalse;
+        if (nonfalse < 2) {
+            ++statistics.otfSkipped;
+            continue;
+        }
+        strengthenInPlace(cr, pivot);
+        ++statistics.otfStrengthenedClauses;
+    }
+    otfCandidates.clear();
+}
+
+/**
+ * Remove @p l from the clause behind @p cr in place: detach, drop the
+ * literal (accounting the shaved word), tighten the LBD, re-pick
+ * watches among literals not false under the CURRENT assignment and
+ * re-attach - through the binary lists when the clause shrank to two
+ * literals.  Returns the number of non-false literals swapped to the
+ * front; the clause is re-attached only when that is >= 2, otherwise
+ * it is left DETACHED (unit or conflicting under the current
+ * assignment) and the caller decides its fate.  Shared by the
+ * learn-time OTF pass and the slice-boundary subsumption pass.
+ */
+std::size_t
+Solver::strengthenInPlace(ClauseRef cr, Lit l)
+{
+    detachClause(cr);
+    Clause &c = ca[cr];
+    c.removeLiteral(l);
+    ca.noteShrink(1);
+    c.setLbd(std::min(c.lbd(), c.size()));
+    std::size_t nonfalse = 0;
+    for (std::size_t i = 0; i < c.size() && nonfalse < 2; ++i) {
+        if (value(c[i]) != LBool::False)
+            std::swap(c[nonfalse++], c[i]);
+    }
+    if (nonfalse >= 2)
+        attachClause(cr);
+    return nonfalse;
 }
 
 void
@@ -678,21 +869,41 @@ Solver::shrinkLearnts(unsigned max_lbd)
     std::vector<ClauseRef> kept;
     kept.reserve(learntClauses.size());
     for (const ClauseRef cr : learntClauses) {
-        const Clause &c = ca[cr];
-        if (locked(cr) || c.imported() || c.lbd() <= max_lbd)
+        Clause &c = ca[cr];
+        if (locked(cr)) {
             kept.push_back(cr);
-        else
-            removeClause(cr);
+            continue;
+        }
+        // Imported clauses are exempt from the LBD judgement only for
+        // their first importedRetireEpochs shrink calls; after that
+        // they age out like ordinary learnts, so heavy exchange
+        // cannot grow the learnt database without bound.  The age
+        // field saturates at 255, so the config is clamped to keep
+        // retirement reachable for any setting.
+        if (c.imported() &&
+            c.importAge() <
+                std::min(cfg.importedRetireEpochs, 255u)) {
+            c.bumpImportAge();
+            kept.push_back(cr);
+            continue;
+        }
+        if (c.lbd() <= max_lbd) {
+            kept.push_back(cr);
+            continue;
+        }
+        if (c.imported())
+            ++statistics.importedRetired;
+        removeClause(cr);
     }
     learntClauses = std::move(kept);
     maybeGarbageCollect();
 }
 
 void
-Solver::postImport(LitVec clause)
+Solver::postImport(LitVec clause, unsigned lbd)
 {
     const std::lock_guard<std::mutex> guard(importMutex);
-    importInbox.push_back(std::move(clause));
+    importInbox.emplace_back(std::move(clause), lbd);
     importPending.store(true, std::memory_order_release);
 }
 
@@ -700,7 +911,7 @@ void
 Solver::drainImports()
 {
     qbAssert(decisionLevel() == 0, "drainImports above root level");
-    std::vector<LitVec> batch;
+    std::vector<std::pair<LitVec, unsigned>> batch;
     {
         const std::lock_guard<std::mutex> guard(importMutex);
         batch.swap(importInbox);
@@ -708,12 +919,12 @@ Solver::drainImports()
     }
     // Keep draining after a latched Unsat: addImported() counts the
     // remaining offers as dropped, keeping the exchange stats honest.
-    for (LitVec &clause : batch)
-        addImported(std::move(clause));
+    for (auto &[clause, lbd] : batch)
+        addImported(std::move(clause), lbd);
 }
 
 void
-Solver::addImported(LitVec lits)
+Solver::addImported(LitVec lits, unsigned import_lbd)
 {
     // Like addClause(), but the result is a marked learnt clause: the
     // exporter derived it, so it must stay eligible for reduction
@@ -764,8 +975,14 @@ Solver::addImported(LitVec lits)
         okay = propagate() == kRefUndef;
         return;
     }
-    const unsigned lbd = static_cast<unsigned>(
-        std::min<std::size_t>(kept.size(), cfg.shareMaxLbd));
+    // Honest LBD: keep the exporter's value when known, otherwise the
+    // clause size as the conservative bound.  The old min(size,
+    // shareMaxLbd) cap granted every import permanent glue status,
+    // which combined with the imported-clause shrink exemption to
+    // grow the learnt database without bound under heavy exchange.
+    const unsigned lbd = import_lbd != 0
+        ? import_lbd
+        : static_cast<unsigned>(kept.size());
     const ClauseRef cr =
         ca.alloc(kept, /*learnt=*/true, lbd, /*imported=*/true);
     learntClauses.push_back(cr);
@@ -818,6 +1035,11 @@ Solver::search(std::int64_t conflict_limit)
             unsigned lbd;
             analyze(conflict, learnt, bt_level, lbd);
             cancelUntil(bt_level);
+            // Learn-time clause improvement: strengthen antecedents
+            // the fresh clause self-subsumes, now that backtracking
+            // has unlocked them.
+            if (cfg.otfSubsume)
+                otfStrengthen();
             // Glue clauses travel: a low-LBD consequence of the clause
             // database is just as valid in a portfolio sibling solving
             // the identical clause stream.
@@ -1195,6 +1417,9 @@ Solver::relocAll(ClauseAllocator &to)
     for (auto &list : watches)
         for (Watcher &w : list)
             w.cref = ca.reloc(w.cref, to);
+    for (auto &list : binWatches)
+        for (BinWatcher &w : list)
+            w.cref = ca.reloc(w.cref, to);
     for (Var v = 0; v < numVars(); ++v) {
         if (assigns[v] != LBool::Undef && reasons[v] != kRefUndef)
             reasons[v] = ca.reloc(reasons[v], to);
@@ -1380,30 +1605,20 @@ Solver::backwardSubsume()
 
     std::vector<char> inSubsumer(watches.size(), 0);
 
-    // Remove @p l from @p d in place (self-subsuming resolution),
-    // re-picking watches among non-false literals: the swapped-in tail
-    // literal may be root-false, and watching a falsified literal
-    // whose negation was already propagated would silence the clause
-    // forever.
+    // Remove @p l from @p d in place (self-subsuming resolution):
+    // strengthenInPlace() re-picks watches among non-false literals -
+    // the swapped-in tail literal may be root-false, and watching a
+    // falsified literal whose negation was already propagated would
+    // silence the clause forever.
     const auto strengthen = [this, &entries](std::uint32_t j, Lit l) {
         Entry &d = entries[j];
         ++statistics.strengthenedClauses;
-        detachClause(d.cr);
-        Clause &c = ca[d.cr];
-        c.removeLiteral(l);
-        ca.noteShrink(1);
-        c.setLbd(std::min(c.lbd(), c.size()));
-        std::size_t nonfalse = 0;
-        for (std::size_t i = 0; i < c.size() && nonfalse < 2; ++i) {
-            if (value(c[i]) != LBool::False)
-                std::swap(c[nonfalse++], c[i]);
-        }
-        if (nonfalse >= 2) {
-            attachClause(d.cr);
-            return;
-        }
+        const std::size_t nonfalse = strengthenInPlace(d.cr, l);
+        if (nonfalse >= 2)
+            return; // re-attached
         // Unit (or empty) at the root: dissolve into the trail.
         d.dead = true;
+        const Clause &c = ca[d.cr];
         ca.free(d.cr);
         if (nonfalse == 0) {
             okay = false;

@@ -14,10 +14,19 @@
  * ClauseRefs, watcher lists carry {ClauseRef, blocker literal} pairs so
  * the common propagation step never touches the clause itself, and a
  * relocating garbage collector compacts the arena when database
- * reductions have left enough garbage behind.  Long-lived incremental
- * solvers additionally support inprocessing - clause vivification and
- * backward subsumption - which the verification engine runs at slice
- * boundaries between queries.
+ * reductions have left enough garbage behind.  BINARY clauses get
+ * their own watch lists with the implied literal inlined in the
+ * watcher (dawn/MiniSat-style): propagation visits them first and
+ * decides every binary - implication, conflict or no-op - without a
+ * single arena read (SolverStats::propagationArenaReads proves it),
+ * then falls through to the long clauses under the blocker scheme.
+ * Long-lived incremental solvers additionally support inprocessing -
+ * clause vivification and backward subsumption - which the
+ * verification engine runs at slice boundaries between queries, and
+ * ON-THE-FLY self-subsumption during conflict analysis: when the
+ * freshly learnt clause self-subsumes one of its antecedents, the
+ * antecedent is strengthened in place at learn time instead of
+ * waiting for the slice-boundary pass.
  *
  * Two configuration presets (see SolverConfig::baseline() and
  * SolverConfig::simplify()) stand in for the two external solvers in the
@@ -95,6 +104,29 @@ struct SolverConfig
     unsigned subsumeOccLimit = 40;
     /** @} */
 
+    /** @name Learn-time clause improvement. @{ */
+    /**
+     * On-the-fly self-subsumption: during conflict analysis, when
+     * the running resolvent turns out to equal an antecedent minus
+     * its pivot literal (a constant-time size check per resolution
+     * step), that antecedent is strengthened in the arena right
+     * after backtracking (see Solver::otfStrengthen()) instead of
+     * waiting for the slice-boundary subsumption pass.
+     */
+    bool otfSubsume = true;
+    /** Strengthening candidates remembered per conflict. */
+    unsigned otfMaxAntecedents = 32;
+    /** @} */
+
+    /**
+     * Shrink epochs an imported clause survives unconditionally
+     * before shrinkLearnts() starts judging it by LBD like an
+     * ordinary learnt clause.  Without retirement a long-lived lane
+     * under heavy exchange retains every import forever and its
+     * learnt database grows without bound.
+     */
+    unsigned importedRetireEpochs = 5;
+
     /** Plain CDCL: the paper's "CVC5 lane". */
     static SolverConfig baseline();
     /** Preprocessing-heavy CDCL: the paper's "Bitwuzla lane". */
@@ -106,6 +138,15 @@ struct SolverStats
 {
     std::int64_t decisions = 0;
     std::int64_t propagations = 0;
+    /** Implications enqueued from the specialized binary watch
+     *  lists (no arena access on that path). */
+    std::int64_t binPropagations = 0;
+    /**
+     * Arena clause dereferences performed INSIDE propagate(), from
+     * the long-clause path only: the binary path contributes zero by
+     * construction, which the tests assert on binary-only formulas.
+     */
+    std::int64_t propagationArenaReads = 0;
     std::int64_t conflicts = 0;
     std::int64_t restarts = 0;
     std::int64_t learntClauses = 0;
@@ -128,6 +169,16 @@ struct SolverStats
     std::int64_t vivifiedLiterals = 0;  ///< literals removed
     std::int64_t subsumedClauses = 0;   ///< removed by subsumption
     std::int64_t strengthenedClauses = 0; ///< self-subsuming resolution
+    /** Antecedents strengthened at learn time (on-the-fly
+     *  self-subsumption during analyze(); one literal each). */
+    std::int64_t otfStrengthenedClauses = 0;
+    /** OTF candidates that matched but could not be edited safely
+     *  mid-search (fewer than two non-false literals would remain). */
+    std::int64_t otfSkipped = 0;
+    /** Imported clauses dropped by shrinkLearnts() after retiring
+     *  (survived importedRetireEpochs epochs, then aged out by
+     *  LBD like ordinary learnts). */
+    std::int64_t importedRetired = 0;
     std::int64_t gcRuns = 0;            ///< arena compactions
     std::int64_t gcWordsReclaimed = 0;  ///< 32-bit words freed by GC
     std::int64_t arenaPeakWords = 0;    ///< peak clause-arena size
@@ -212,12 +263,17 @@ class Solver
     }
 
     /**
-     * Drop learnt clauses with LBD above @p max_lbd (root-locked and
-     * imported clauses are kept).  Incremental sessions call this
-     * between queries: low-LBD clauses carry the cross-query reuse,
-     * while the bulk of the learnt database only taxes later
-     * propagation.  Must be called at decision level 0.  Triggers an
-     * arena garbage collection when enough garbage has accumulated.
+     * Drop learnt clauses with LBD above @p max_lbd.  Root-locked
+     * clauses are always kept; imported clauses are kept
+     * unconditionally for their first SolverConfig::
+     * importedRetireEpochs calls (each call bumps their age), after
+     * which they are judged by LBD like ordinary learnts - so a lane
+     * under heavy exchange cannot grow its learnt database without
+     * bound.  Incremental sessions call this between queries: low-LBD
+     * clauses carry the cross-query reuse, while the bulk of the
+     * learnt database only taxes later propagation.  Must be called
+     * at decision level 0.  Triggers an arena garbage collection when
+     * enough garbage has accumulated.
      */
     void shrinkLearnts(unsigned max_lbd);
 
@@ -271,6 +327,13 @@ class Solver
      * clause lands in a lock-guarded inbox that the search drains at
      * restart boundaries (and on solve() entry), at decision level 0.
      *
+     * @p lbd is the exporter's LBD for the clause; 0 means unknown,
+     * in which case the clause's size is used as the conservative
+     * bound.  The value decides how long the import outlives its
+     * retirement (see SolverConfig::importedRetireEpochs): a genuine
+     * glue clause keeps its low LBD and is retained like native glue,
+     * an unknown or high-LBD import ages out.
+     *
      * The caller guarantees the clause is implied by this solver's
      * problem clauses (present or future - see setClauseExport); under
      * that contract imports can never flip a verdict, only prune
@@ -278,11 +341,11 @@ class Solver
      * created yet are dropped at drain time (the exporting sibling may
      * be ahead in the shared clause stream).  Imported clauses are
      * marked: shrinkLearnts() retains them alongside the low-LBD
-     * clauses, and because they are implied by the clause database
-     * alone, failedAssumptions() cores derived through them remain
-     * genuine.
+     * clauses until they retire (see importedRetireEpochs), and
+     * because they are implied by the clause database alone,
+     * failedAssumptions() cores derived through them remain genuine.
      */
-    void postImport(LitVec clause);
+    void postImport(LitVec clause, unsigned lbd = 0);
 
     /** @} */
 
@@ -291,6 +354,7 @@ class Solver
 
   private:
     struct Watcher;
+    struct BinWatcher;
     class VarOrder;
 
     LBool value(Lit l) const;
@@ -306,13 +370,16 @@ class Solver
     bool locked(ClauseRef cr) const;
     void uncheckedEnqueue(Lit l, ClauseRef reason_clause);
     ClauseRef propagate();
+    Clause &reasonClause(Var v);
     void analyze(ClauseRef conflict, LitVec &out_learnt,
                  int &out_btlevel, unsigned &out_lbd);
     void analyzeFinal(Lit failed);
     bool litRedundant(Lit l, std::uint32_t ab_levels);
+    void otfStrengthen();
+    std::size_t strengthenInPlace(ClauseRef cr, Lit l);
     void restoreEliminated();
     void drainImports();
-    void addImported(LitVec lits);
+    void addImported(LitVec lits, unsigned lbd);
     void cancelUntil(int target_level);
     Lit pickBranchLit();
     SolveResult search(std::int64_t conflict_limit);
@@ -336,7 +403,11 @@ class Solver
     ClauseAllocator ca;
     std::vector<ClauseRef> problemClauses;
     std::vector<ClauseRef> learntClauses;
-    std::vector<std::vector<Watcher>> watches; // indexed by Lit::index()
+    /** Long-clause (size >= 3) watchers, indexed by Lit::index(). */
+    std::vector<std::vector<Watcher>> watches;
+    /** Binary-clause watchers: the implied literal rides in the
+     *  watcher, so propagating a binary never touches the arena. */
+    std::vector<std::vector<BinWatcher>> binWatches;
 
     std::vector<LBool> assigns;
     std::vector<int> levels;
@@ -348,6 +419,17 @@ class Solver
     std::vector<Lit> trail;
     std::vector<int> trailLim;
     std::vector<Var> analyzeClear;
+    /** An antecedent the current conflict's resolvent was found to
+     *  self-subsume: drop @p pivot from the clause behind @p cref
+     *  (see otfStrengthen()). */
+    struct OtfCandidate
+    {
+        ClauseRef cref;
+        Lit pivot;
+    };
+    /** Candidates of the conflict being analyzed; applied by
+     *  otfStrengthen() after backtracking, cleared every conflict. */
+    std::vector<OtfCandidate> otfCandidates;
     std::size_t qhead = 0;
 
     std::unique_ptr<VarOrder> order;
@@ -368,7 +450,9 @@ class Solver
 
     ExportHook exportHook;
     std::mutex importMutex;
-    std::vector<LitVec> importInbox; ///< guarded by importMutex
+    /** Offered clauses with the exporter's LBD (0 = unknown). */
+    std::vector<std::pair<LitVec, unsigned>>
+        importInbox; ///< guarded by importMutex
     /** Cheap has-mail check so restarts skip the inbox lock. */
     std::atomic<bool> importPending{false};
 

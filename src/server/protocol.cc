@@ -349,6 +349,8 @@ parseOp(const std::string &op)
         return RequestOp::Cancel;
     if (op == "ping")
         return RequestOp::Ping;
+    if (op == "stats")
+        return RequestOp::Stats;
     if (op == "shutdown")
         return RequestOp::Shutdown;
     fatal("unknown op '" + op + "'");
@@ -420,6 +422,7 @@ parseRequest(const std::string &line)
         break;
       }
       case RequestOp::Ping:
+      case RequestOp::Stats:
       case RequestOp::Shutdown:
         break;
     }
@@ -485,6 +488,37 @@ pongResponse(std::int64_t id)
 {
     return format("{\"type\": \"pong\", \"id\": %lld}",
                   static_cast<long long>(id));
+}
+
+std::string
+statsResponse(std::int64_t id, const StatsSnapshot &snapshot)
+{
+    std::string out = format(
+        "{\"type\": \"stats\", \"id\": %lld, \"counters\": "
+        "{\"connections\": %llu, \"requests\": %llu, "
+        "\"served\": %llu, \"cancelled\": %llu, "
+        "\"rejected\": %llu, \"errors\": %llu}",
+        static_cast<long long>(id),
+        static_cast<unsigned long long>(snapshot.connections),
+        static_cast<unsigned long long>(snapshot.requests),
+        static_cast<unsigned long long>(snapshot.served),
+        static_cast<unsigned long long>(snapshot.cancelled),
+        static_cast<unsigned long long>(snapshot.rejected),
+        static_cast<unsigned long long>(snapshot.errors));
+    out += format(", \"queue\": {\"depth\": %zu, \"capacity\": %zu}",
+                  snapshot.queueDepth, snapshot.queueCapacity);
+    out += format(", \"scheduler\": {\"workers\": %u, \"bands\": [",
+                  snapshot.satWorkers);
+    bool first = true;
+    for (const auto &[band, backlog] : snapshot.bands) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += format("{\"band\": %u, \"backlog\": %zu}", band,
+                      backlog);
+    }
+    out += "]}}";
+    return out;
 }
 
 std::string

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/verifier.h"
@@ -77,7 +78,36 @@ enum class RequestOp {
     Verify,   ///< submit a program for verification
     Cancel,   ///< cancel an earlier verify on the same connection
     Ping,     ///< liveness probe
+    Stats,    ///< service counters, queue depth, per-band backlog
     Shutdown, ///< ask the daemon to drain and exit
+};
+
+/**
+ * One observability snapshot for the `stats` op: the service counters
+ * that used to be visible only in the daemon's exit line, plus the
+ * live load shape - admission-queue depth and the scheduler's
+ * per-fairness-band backlog (one band per in-flight request stream,
+ * so the band list shows which programs are waiting on SAT work).
+ */
+struct StatsSnapshot
+{
+    /** @name Monotonic service counters. @{ */
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t served = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t errors = 0;
+    /** @} */
+
+    /** Admitted-but-unstarted requests right now. */
+    std::size_t queueDepth = 0;
+    std::size_t queueCapacity = 0;
+
+    /** SAT worker threads in the shared pool. */
+    unsigned satWorkers = 0;
+    /** Queued runnable units per scheduler fairness band. */
+    std::vector<std::pair<unsigned, std::size_t>> bands;
 };
 
 /**
@@ -136,6 +166,8 @@ std::string resultResponse(std::int64_t id, const std::string &status,
 std::string cancelledResponse(std::int64_t id, std::int64_t target,
                               bool found);
 std::string pongResponse(std::int64_t id);
+std::string statsResponse(std::int64_t id,
+                          const StatsSnapshot &snapshot);
 std::string byeResponse(std::int64_t id);
 /** @} */
 

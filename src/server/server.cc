@@ -348,6 +348,27 @@ Server::Impl::handleLine(
       case RequestOp::Ping:
         connection->sendLine(pongResponse(request.id));
         return;
+      case RequestOp::Stats: {
+        // Live observability (ROADMAP follow-on): the exit-line
+        // counters on demand, plus queue depth and the scheduler's
+        // per-band backlog so clients can see load before submitting.
+        StatsSnapshot snapshot;
+        snapshot.connections = statConnections.load();
+        snapshot.requests = statRequests.load();
+        snapshot.served = statServed.load();
+        snapshot.cancelled = statCancelled.load();
+        snapshot.rejected = statRejected.load();
+        snapshot.errors = statErrors.load();
+        snapshot.queueDepth = queue.size();
+        snapshot.queueCapacity = queue.capacity();
+        // The pool exists from start() on; readers only run after it.
+        if (scheduler) {
+            snapshot.satWorkers = scheduler->workers();
+            snapshot.bands = scheduler->bandBacklog();
+        }
+        connection->sendLine(statsResponse(request.id, snapshot));
+        return;
+      }
       case RequestOp::Shutdown:
         connection->sendLine(byeResponse(request.id));
         requestStop();
@@ -439,6 +460,7 @@ Server::Impl::engineOptionsFor(const RequestOptions &request)
     }
     // Server-wide policies survive a lane override.
     chosen.inprocessInterval = base.inprocessInterval;
+    chosen.adaptiveLanes = base.adaptiveLanes;
     chosen.jobs = options.jobs;
     const bool want_cex = request.counterexampleSet
         ? request.counterexample

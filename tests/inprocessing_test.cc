@@ -283,6 +283,121 @@ TEST(Inprocessing, CanBeDisabledByConfig)
     EXPECT_EQ(0, s.stats().subsumedClauses);
 }
 
+TEST(ClauseGc, BinaryWatchListsSurviveRelocation)
+{
+    // Binary clauses live in the arena but are watched through the
+    // specialized binary lists; a GC must patch those watchers too,
+    // and root-level BINARY reasons must still support final-conflict
+    // analysis afterwards.
+    // Positive initial phase: the all-positive filler clauses are
+    // satisfied by every decision, so propagation stays on the
+    // binary path and the zero-arena-reads assertion below is exact.
+    SolverConfig cfg;
+    cfg.initialPhaseTrue = true;
+    Solver s(cfg);
+    // Binary implication chain x0 -> x1 -> x2 (binary reasons), plus
+    // long clauses so relocation moves a mixed population.
+    EXPECT_TRUE(s.addClause({mkLit(3), mkLit(4), mkLit(5)}));
+    EXPECT_TRUE(s.addClause({~mkLit(0), mkLit(1)}));
+    EXPECT_TRUE(s.addClause({~mkLit(1), mkLit(2)}));
+    EXPECT_TRUE(s.addClause({mkLit(4), mkLit(5), mkLit(6)}));
+    EXPECT_TRUE(s.addClause({mkLit(0)}));
+    s.garbageCollect();
+    EXPECT_EQ(1, s.stats().gcRuns);
+    // Propagation through the RELOCATED binary watchers, still with
+    // zero arena reads.
+    EXPECT_EQ(SolveResult::Unsat, s.solve({~mkLit(2)}));
+    EXPECT_EQ(SolveResult::Sat, s.solve());
+    EXPECT_EQ(LBool::True, s.modelValue(2));
+    EXPECT_EQ(0, s.stats().propagationArenaReads);
+}
+
+TEST_P(InprocessingProperty, GcKeepsBinaryHeavyVerdicts)
+{
+    // Random binary-heavy formulas under reduction pressure,
+    // explicit GCs and inprocessing between incremental rounds: the
+    // non-empty binary watch lists must survive every relocation
+    // with verdicts identical to brute force.
+    Rng rng(GetParam() + 53000);
+    Cnf cnf;
+    cnf.ensureVars(8);
+    for (int i = 0; i < 20; ++i) {
+        const Var a = static_cast<Var>(rng.nextBelow(8));
+        Var b = static_cast<Var>(rng.nextBelow(8));
+        while (b == a)
+            b = static_cast<Var>(rng.nextBelow(8));
+        cnf.addClause(
+            {mkLit(a, rng.nextBool()), mkLit(b, rng.nextBool())});
+    }
+    for (int i = 0; i < 8; ++i) {
+        LitVec c;
+        for (int j = 0; j < 3; ++j)
+            c.push_back(mkLit(static_cast<Var>(rng.nextBelow(8)),
+                              rng.nextBool()));
+        cnf.addClause(c);
+    }
+    SolverConfig cfg;
+    cfg.learntLimitBase = 10;
+    Solver solver(cfg);
+    solver.addCnf(cnf);
+    for (int round = 0; round < 4; ++round) {
+        LitVec assumptions;
+        for (Var v = 0; v < 8; ++v) {
+            const auto choice = rng.nextBelow(4);
+            if (choice == 0)
+                assumptions.push_back(mkLit(v));
+            else if (choice == 1)
+                assumptions.push_back(mkLit(v, true));
+        }
+        const bool expected =
+            bruteForceSatWithAssumptions(cnf, assumptions);
+        EXPECT_EQ(expected ? SolveResult::Sat : SolveResult::Unsat,
+                  solver.solve(assumptions))
+            << "round " << round;
+        if (solver.solve() != SolveResult::Sat)
+            break;
+        solver.shrinkLearnts(3);
+        if (round % 2 == 0)
+            solver.garbageCollect();
+        else
+            solver.inprocess();
+    }
+}
+
+TEST_P(InprocessingProperty, OtfStrengtheningAgreesWithBruteForce)
+{
+    // The learn-time strengthenings must keep the database equivalent
+    // round after round: decide random assumption queries against
+    // brute force on one long-lived solver, interleaved with the
+    // epoch shrink + inprocessing the engine performs - exactly the
+    // environment the in-place arena edits have to survive.  The
+    // seeds collectively exercise the pass (asserted below).
+    Rng rng(GetParam() + 67000);
+    const Cnf cnf = randomCnf(rng, 9, 40, 3);
+    Solver solver;
+    solver.addCnf(cnf);
+    const bool base = bruteForceSat(cnf);
+    EXPECT_EQ(base ? SolveResult::Sat : SolveResult::Unsat,
+              solver.solve());
+    for (int round = 0; round < 3 && base; ++round) {
+        LitVec assumptions;
+        for (Var v = 0; v < 9; ++v) {
+            const auto choice = rng.nextBelow(4);
+            if (choice == 0)
+                assumptions.push_back(mkLit(v));
+            else if (choice == 1)
+                assumptions.push_back(mkLit(v, true));
+        }
+        const bool expected =
+            bruteForceSatWithAssumptions(cnf, assumptions);
+        EXPECT_EQ(expected ? SolveResult::Sat : SolveResult::Unsat,
+                  solver.solve(assumptions))
+            << "round " << round;
+        solver.shrinkLearnts(3);
+        solver.inprocess();
+    }
+}
+
 TEST(Inprocessing, AddClauseAfterRestoreChecksOkay)
 {
     // The re-entrant restoreEliminated() inside addClause() can latch

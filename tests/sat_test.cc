@@ -619,5 +619,275 @@ TEST_P(SatProperty, ClauseExchangeNeverChangesVerdicts)
     }
 }
 
+// ===================================================== binary watchers
+
+TEST(BinaryWatch, PropagationChainTouchesNoArena)
+{
+    // A pure implication chain of binary clauses: every propagation
+    // step must be decided from the specialized binary watchers (the
+    // implied literal is inlined), so the arena is never read inside
+    // propagate() - the ISSUE 5 acceptance contract.
+    Solver s;
+    constexpr Var n = 60;
+    for (Var v = 0; v + 1 < n; ++v)
+        EXPECT_TRUE(s.addClause({~mkLit(v), mkLit(v + 1)}));
+    EXPECT_TRUE(s.addClause({mkLit(0)})); // fires the chain
+    EXPECT_EQ(SolveResult::Sat, s.solve());
+    for (Var v = 0; v < n; ++v)
+        EXPECT_EQ(LBool::True, s.modelValue(v)) << "var " << v;
+    EXPECT_EQ(0, s.stats().propagationArenaReads)
+        << "binary propagation must not dereference the arena";
+    EXPECT_EQ(n - 1, s.stats().binPropagations);
+}
+
+TEST(BinaryWatch, BinaryConflictsStillAvoidTheArena)
+{
+    // Binary-only UNSAT: conflicts are detected on the binary path
+    // too, again with zero arena reads during propagation (conflict
+    // ANALYSIS may dereference; that is not propagation).
+    Solver s;
+    s.addClause({mkLit(0), mkLit(1)});
+    s.addClause({mkLit(0), ~mkLit(1)});
+    s.addClause({~mkLit(0), mkLit(1)});
+    s.addClause({~mkLit(0), ~mkLit(1)});
+    EXPECT_EQ(SolveResult::Unsat, s.solve());
+    EXPECT_EQ(0, s.stats().propagationArenaReads);
+}
+
+TEST(BinaryWatch, LongClausesStillReadTheArena)
+{
+    // Control for the counter itself: a ternary clause that becomes
+    // unit must be visited through the long-clause path, which does
+    // dereference - the zero above is meaningful, not vacuous.
+    Solver s;
+    EXPECT_TRUE(s.addClause({mkLit(0), mkLit(1), mkLit(2)}));
+    EXPECT_TRUE(s.addClause({~mkLit(0)}));
+    EXPECT_TRUE(s.addClause({~mkLit(1)}));
+    EXPECT_EQ(SolveResult::Sat, s.solve());
+    EXPECT_EQ(LBool::True, s.modelValue(2));
+    EXPECT_GT(s.stats().propagationArenaReads, 0);
+}
+
+TEST_P(SatProperty, BinaryHeavyAgreesWithBruteForce)
+{
+    // Random formulas dominated by binary clauses, decided once as
+    // binaries and once rewritten through the long-clause path (each
+    // 2-clause padded with a fresh literal that a later unit forces
+    // false, so the padded clause attaches as a ternary): both
+    // routes must agree with brute force and with each other.
+    Rng rng(GetParam() + 31000);
+    constexpr Var kVars = 8;
+    std::vector<LitVec> clauses;
+    for (int i = 0; i < 24; ++i) {
+        const Var a = static_cast<Var>(rng.nextBelow(kVars));
+        Var b = static_cast<Var>(rng.nextBelow(kVars));
+        while (b == a)
+            b = static_cast<Var>(rng.nextBelow(kVars));
+        clauses.push_back(
+            {mkLit(a, rng.nextBool()), mkLit(b, rng.nextBool())});
+    }
+    for (int i = 0; i < 4; ++i) { // a few long clauses in the mix
+        LitVec c;
+        for (int j = 0; j < 3; ++j)
+            c.push_back(mkLit(static_cast<Var>(rng.nextBelow(kVars)),
+                              rng.nextBool()));
+        clauses.push_back(c);
+    }
+    Cnf cnf;
+    cnf.ensureVars(kVars);
+    for (const LitVec &c : clauses)
+        cnf.addClause(c);
+    const bool expected = bruteForceSat(cnf);
+
+    Solver direct;
+    direct.addCnf(cnf);
+    EXPECT_EQ(expected ? SolveResult::Sat : SolveResult::Unsat,
+              direct.solve());
+
+    // Same formula, binaries forced through the long-clause path.
+    Solver padded;
+    Var pad = kVars;
+    LitVec pad_units;
+    for (const LitVec &c : clauses) {
+        if (c.size() == 2) {
+            LitVec widened = c;
+            widened.push_back(mkLit(pad));
+            pad_units.push_back(~mkLit(pad));
+            ++pad;
+            EXPECT_TRUE(padded.addClause(widened));
+        } else {
+            EXPECT_TRUE(padded.addClause(c));
+        }
+    }
+    bool padded_ok = true;
+    for (const Lit u : pad_units)
+        padded_ok = padded.addClause({u}) && padded_ok;
+    const SolveResult padded_result =
+        padded_ok ? padded.solve() : SolveResult::Unsat;
+    EXPECT_EQ(expected ? SolveResult::Sat : SolveResult::Unsat,
+              padded_result);
+}
+
+// ========================================== on-the-fly subsumption
+
+TEST(SolverOtf, StrengthensAntecedentsAtLearnTime)
+{
+    // Pigeonhole generates dense resolution chains where the learnt
+    // clause regularly self-subsumes an antecedent; the OTF pass
+    // must fire and the verdict must be untouched.
+    Solver s;
+    s.addCnf(pigeonhole(7));
+    EXPECT_EQ(SolveResult::Unsat, s.solve());
+    EXPECT_GT(s.stats().otfStrengthenedClauses, 0)
+        << "expected learn-time strengthening on pigeonhole chains";
+}
+
+TEST(SolverOtf, CanBeDisabledByConfig)
+{
+    SolverConfig cfg;
+    cfg.otfSubsume = false;
+    Solver s(cfg);
+    s.addCnf(pigeonhole(6));
+    EXPECT_EQ(SolveResult::Unsat, s.solve());
+    EXPECT_EQ(0, s.stats().otfStrengthenedClauses);
+    EXPECT_EQ(0, s.stats().otfSkipped);
+}
+
+TEST_P(SatProperty, OtfOnAndOffAgreeWithBruteForce)
+{
+    // The OTF edit only ever applies self-subsuming resolution, so
+    // verdicts and model validity must be identical with the pass on
+    // and off, and both must match brute force.
+    Rng rng(GetParam() + 47000);
+    const Cnf cnf = randomCnf(rng, 9, 38, 3);
+    const bool expected = bruteForceSat(cnf);
+    SolverConfig off;
+    off.otfSubsume = false;
+    for (const bool with_otf : {true, false}) {
+        Solver solver(with_otf ? SolverConfig::baseline() : off);
+        solver.addCnf(cnf);
+        const SolveResult got = solver.solve();
+        EXPECT_EQ(expected ? SolveResult::Sat : SolveResult::Unsat,
+                  got)
+            << "otf=" << with_otf;
+        if (got == SolveResult::Sat) {
+            std::vector<LBool> assign(cnf.numVars());
+            for (Var v = 0; v < cnf.numVars(); ++v)
+                assign[v] = solver.modelValue(v);
+            EXPECT_TRUE(cnf.satisfiedBy(assign));
+        }
+    }
+}
+
+TEST_P(SatProperty, OtfKeepsIncrementalAnswersExact)
+{
+    // Strengthened antecedents stay in the database across calls;
+    // every later assumption query must still agree with brute force
+    // (the strengthened clauses are exercised, not just carried).
+    Rng rng(GetParam() + 53000);
+    const Cnf cnf = randomCnf(rng, 8, 32, 3);
+    Solver solver;
+    solver.addCnf(cnf);
+    for (int round = 0; round < 4; ++round) {
+        LitVec assumptions;
+        for (Var v = 0; v < 8; ++v) {
+            const auto choice = rng.nextBelow(4);
+            if (choice == 0)
+                assumptions.push_back(mkLit(v));
+            else if (choice == 1)
+                assumptions.push_back(mkLit(v, true));
+        }
+        const bool expected =
+            bruteForceSatWithAssumptions(cnf, assumptions);
+        EXPECT_EQ(expected ? SolveResult::Sat : SolveResult::Unsat,
+                  solver.solve(assumptions))
+            << "round " << round;
+    }
+}
+
+// ============================================ imported-clause aging
+
+TEST(SolverShare, ImportsRetireAfterGraceEpochs)
+{
+    // A non-glue import (unknown LBD => clause size) is exempt from
+    // shrinkLearnts for exactly importedRetireEpochs calls, then
+    // judged by LBD like any learnt clause and dropped.
+    SolverConfig cfg;
+    cfg.importedRetireEpochs = 2;
+    Solver s(cfg);
+    EXPECT_TRUE(s.addClause({mkLit(0), mkLit(1)}));
+    for (Var v = 2; v <= 5; ++v)
+        EXPECT_TRUE(s.addClause({mkLit(0), mkLit(v)}));
+    // Implied by {x0, x1}; size 5 => conservative LBD 5.
+    s.postImport({mkLit(0), mkLit(1), mkLit(2), mkLit(3), mkLit(4)});
+    EXPECT_EQ(SolveResult::Sat, s.solve());
+    EXPECT_EQ(1, s.stats().importedClauses);
+    s.shrinkLearnts(3); // epoch 1: exempt, ages to 1
+    s.shrinkLearnts(3); // epoch 2: exempt, ages to 2
+    EXPECT_EQ(0, s.stats().importedRetired);
+    s.shrinkLearnts(3); // retired: LBD 5 > 3, dropped
+    EXPECT_EQ(1, s.stats().importedRetired);
+}
+
+TEST(SolverShare, GlueImportsSurviveRetirement)
+{
+    // An import whose exporter vouched a glue LBD keeps it, so after
+    // retirement it is retained exactly like native glue.
+    SolverConfig cfg;
+    cfg.importedRetireEpochs = 1;
+    Solver s(cfg);
+    EXPECT_TRUE(s.addClause({~mkLit(0), mkLit(1)}));
+    EXPECT_TRUE(s.addClause({mkLit(2), mkLit(3), mkLit(4)}));
+    s.postImport({~mkLit(0), ~mkLit(1)}, /*lbd=*/2);
+    EXPECT_EQ(SolveResult::Sat, s.solve());
+    for (int epoch = 0; epoch < 6; ++epoch)
+        s.shrinkLearnts(3);
+    EXPECT_EQ(0, s.stats().importedRetired);
+    // Only the imported clause rules out x0: it must still be there.
+    EXPECT_EQ(SolveResult::Unsat, s.solve({mkLit(0)}));
+}
+
+TEST(SolverShare, LearntDbStaysBoundedUnderHeavyExchange)
+{
+    // The ISSUE 5 satellite: before aging, shrinkLearnts exempted
+    // imports forever and a lane under heavy exchange grew its learnt
+    // database without bound.  Pump imports for many epochs and
+    // assert the peak stays bounded by the retirement window, far
+    // below the total number of adopted offers.
+    SolverConfig cfg;
+    cfg.importedRetireEpochs = 2;
+    Solver s(cfg);
+    constexpr Var kVars = 20;
+    EXPECT_TRUE(s.addClause({mkLit(0), mkLit(1)}));
+    for (Var v = 2; v < kVars; ++v)
+        EXPECT_TRUE(s.addClause({mkLit(0), mkLit(v)}));
+    Rng rng(20260726);
+    constexpr int kEpochs = 20;
+    constexpr int kPerEpoch = 50;
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+        for (int i = 0; i < kPerEpoch; ++i) {
+            // {x0, x1, 3 random others}: implied by {x0, x1}, never
+            // root-satisfied, size 5 => retires as LBD 5.
+            LitVec clause{mkLit(0), mkLit(1)};
+            while (clause.size() < 5) {
+                const Var v = static_cast<Var>(
+                    2 + rng.nextBelow(kVars - 2));
+                clause.push_back(mkLit(v, rng.nextBool()));
+            }
+            s.postImport(clause);
+        }
+        EXPECT_EQ(SolveResult::Sat, s.solve()); // drains the inbox
+        s.shrinkLearnts(3);
+    }
+    EXPECT_GT(s.stats().importedRetired, 0);
+    // Live window: at most (grace epochs + the current batch) worth
+    // of imports, with slack for duplicates dropped at drain time.
+    EXPECT_LE(s.stats().peakLearnts, 4 * kPerEpoch)
+        << "imported clauses must age out, not accumulate";
+    EXPECT_GE(s.stats().importedClauses +
+                  s.stats().importedDropped,
+              static_cast<std::int64_t>(kEpochs * kPerEpoch));
+}
+
 } // namespace
 } // namespace qb::sat

@@ -15,6 +15,7 @@
 #include <fstream>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "circuits/adders.h"
@@ -101,6 +102,56 @@ TEST(Scheduler, BandsInterleaveRoundRobin)
     EXPECT_EQ(expected, order);
 }
 
+TEST(Scheduler, BandBacklogReportsQueuedWork)
+{
+    std::mutex mutex;
+    std::condition_variable released;
+    std::atomic<bool> gate_running{false};
+    bool go = false;
+    {
+        Scheduler pool(1);
+        // Gate the single worker so the bands fill behind it - and
+        // WAIT until it is actually inside the gate task, or it
+        // would drain some band work first.
+        pool.submit([&] {
+            gate_running.store(true);
+            std::unique_lock<std::mutex> lock(mutex);
+            released.wait(lock, [&] { return go; });
+        });
+        while (!gate_running.load())
+            std::this_thread::yield();
+        for (int i = 0; i < 3; ++i)
+            pool.submit(5u, [] {});
+        for (int i = 0; i < 2; ++i)
+            pool.submit(9u, [] {});
+        const auto backlog = pool.bandBacklog();
+        ASSERT_EQ(2u, backlog.size());
+        EXPECT_EQ(5u, backlog[0].first);
+        EXPECT_EQ(3u, backlog[0].second);
+        EXPECT_EQ(9u, backlog[1].first);
+        EXPECT_EQ(2u, backlog[1].second);
+        {
+            const std::lock_guard<std::mutex> guard(mutex);
+            go = true;
+        }
+        released.notify_all();
+    } // destructor drains
+}
+
+TEST(Scheduler, LaneWinRateStartsNeutralAndLearns)
+{
+    Scheduler pool(1);
+    // Unknown families sit at the 0.5 prior.
+    EXPECT_DOUBLE_EQ(0.5, pool.laneWinRate("laneX"));
+    // Two wins out of two races, damped by the prior: 3/4.
+    pool.recordLaneOutcome("laneX", true);
+    pool.recordLaneOutcome("laneX", true);
+    EXPECT_DOUBLE_EQ(0.75, pool.laneWinRate("laneX"));
+    pool.recordLaneOutcome("laneY", false);
+    EXPECT_DOUBLE_EQ(1.0 / 3.0, pool.laneWinRate("laneY"));
+    EXPECT_GT(pool.laneWinRate("laneX"), pool.laneWinRate("laneY"));
+}
+
 TEST(Scheduler, IndependentQueuesDoNotSerializeEachOther)
 {
     // Both queues finish even though one blocks a worker for a while;
@@ -145,36 +196,70 @@ randomCircuit(Rng &rng, std::uint32_t n, int gates)
 class JobsDeterminism : public ::testing::TestWithParam<int>
 {};
 
+/** --jobs 1 and --jobs N must agree exactly on @p c, for both
+ *  portfolio shapes, with adaptive lane ordering off AND on. */
+void
+expectJobsDeterminism(const Circuit &c)
+{
+    for (const bool three_lanes : {false, true}) {
+        for (const bool adaptive : {false, true}) {
+            EngineOptions serial = three_lanes
+                ? EngineOptions::portfolioABC()
+                : EngineOptions::portfolioAB();
+            serial.adaptiveLanes = adaptive;
+            EngineOptions parallel = serial;
+            serial.jobs = 1;
+            parallel.jobs = 4;
+            VerificationEngine one(c, serial);
+            VerificationEngine many(c, parallel);
+            const ProgramResult r1 = one.verifyAllQubits();
+            const ProgramResult rn = many.verifyAllQubits();
+            ASSERT_EQ(r1.qubits.size(), rn.qubits.size());
+            for (std::size_t i = 0; i < r1.qubits.size(); ++i) {
+                EXPECT_EQ(r1.qubits[i].verdict, rn.qubits[i].verdict)
+                    << "qubit " << i << " adaptive " << adaptive;
+                EXPECT_EQ(r1.qubits[i].failed, rn.qubits[i].failed)
+                    << "qubit " << i << " adaptive " << adaptive;
+                EXPECT_EQ(r1.qubits[i].counterexample,
+                          rn.qubits[i].counterexample)
+                    << "qubit " << i << " adaptive " << adaptive;
+            }
+        }
+    }
+}
+
 TEST_P(JobsDeterminism, OneAndManyJobsIdenticalVerdictsAndCex)
 {
     // The acceptance contract of the scheduler: --jobs 1 and --jobs N
     // produce identical verdicts AND identical counterexamples, for
-    // both portfolio shapes.  (Counterexamples come from the
-    // deterministic replay solve, so racing cannot leak in.)
+    // both portfolio shapes and with adaptive ordering on and off.
+    // (Counterexamples come from the deterministic replay solve, so
+    // racing cannot leak in; adaptive ordering only permutes race
+    // submission, and the race winner is picked by lane index.)
     Rng rng(GetParam() + 77000);
-    const Circuit c = randomCircuit(rng, 6, 14);
-    for (const bool three_lanes : {false, true}) {
-        EngineOptions serial = three_lanes
-            ? EngineOptions::portfolioABC()
-            : EngineOptions::portfolioAB();
-        EngineOptions parallel = serial;
-        serial.jobs = 1;
-        parallel.jobs = 4;
-        VerificationEngine one(c, serial);
-        VerificationEngine many(c, parallel);
-        const ProgramResult r1 = one.verifyAllQubits();
-        const ProgramResult rn = many.verifyAllQubits();
-        ASSERT_EQ(r1.qubits.size(), rn.qubits.size());
-        for (std::size_t i = 0; i < r1.qubits.size(); ++i) {
-            EXPECT_EQ(r1.qubits[i].verdict, rn.qubits[i].verdict)
-                << "qubit " << i;
-            EXPECT_EQ(r1.qubits[i].failed, rn.qubits[i].failed)
-                << "qubit " << i;
-            EXPECT_EQ(r1.qubits[i].counterexample,
-                      rn.qubits[i].counterexample)
-                << "qubit " << i;
-        }
+    expectJobsDeterminism(randomCircuit(rng, 6, 14));
+}
+
+TEST_P(JobsDeterminism, BinaryHeavyCircuitsStayDeterministic)
+{
+    // X/CNOT-only circuits elaborate to XOR-shaped conditions whose
+    // Tseitin encodings are dominated by short clauses: the formulas
+    // that stress the specialized binary watchers.  The determinism
+    // contract must hold there too, adaptive ordering on and off.
+    Rng rng(GetParam() + 88000);
+    const std::uint32_t n = 6;
+    Circuit c(n);
+    for (int g = 0; g < 18; ++g) {
+        const auto a = static_cast<ir::QubitId>(rng.nextBelow(n));
+        auto t = static_cast<ir::QubitId>(rng.nextBelow(n));
+        while (t == a)
+            t = static_cast<ir::QubitId>(rng.nextBelow(n));
+        if (rng.nextBelow(4) == 0)
+            c.append(Gate::x(t));
+        else
+            c.append(Gate::cnot(a, t));
     }
+    expectJobsDeterminism(c);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JobsDeterminism,
@@ -217,6 +302,41 @@ TEST(SchedulerEngine, StressRandomCircuitsAgreeWithBruteForce)
                 << "round " << round << " qubit " << q;
         }
     }
+}
+
+TEST(SchedulerEngine, AdaptiveLanesMatchDefaultOrderExactly)
+{
+    // --adaptive-lanes only permutes which lane's first slice is
+    // queued first; verdicts, failed conditions and counterexamples
+    // must be byte-identical to the default index order, and the
+    // shared win-rate table must actually learn from the races.
+    const auto program =
+        lang::elaborateSource(circuits::adderQbrSource(10));
+    EngineOptions plain = EngineOptions::portfolioAB();
+    plain.jobs = 2;
+    EngineOptions adaptive = plain;
+    adaptive.adaptiveLanes = true;
+    const ProgramResult expected = verifyAll(program, plain);
+    const auto scheduler = std::make_shared<Scheduler>(2u);
+    const ProgramResult got = verifyAll(program, adaptive, {}, false,
+                                        scheduler, nullptr);
+    ASSERT_EQ(expected.qubits.size(), got.qubits.size());
+    for (std::size_t i = 0; i < expected.qubits.size(); ++i) {
+        EXPECT_EQ(expected.qubits[i].verdict, got.qubits[i].verdict);
+        EXPECT_EQ(expected.qubits[i].failed, got.qubits[i].failed);
+        EXPECT_EQ(expected.qubits[i].counterexample,
+                  got.qubits[i].counterexample);
+    }
+    // Second batch over the SAME scheduler: the races now start from
+    // a warmed win-rate table (the family keys are internal, so the
+    // warm path is probed end-to-end), and the answers must still be
+    // identical.
+    const ProgramResult again = verifyAll(program, adaptive, {},
+                                          false, scheduler, nullptr);
+    ASSERT_EQ(expected.qubits.size(), again.qubits.size());
+    for (std::size_t i = 0; i < expected.qubits.size(); ++i)
+        EXPECT_EQ(expected.qubits[i].verdict,
+                  again.qubits[i].verdict);
 }
 
 TEST(SchedulerEngine, ShareGroupsWireOnlyCompatibleLanes)

@@ -146,6 +146,39 @@ TEST(ParseRequest, DefaultsAreUnset)
     EXPECT_FALSE(r.options.counterexampleSet);
 }
 
+TEST(ParseRequest, StatsOpParses)
+{
+    const Request r =
+        parseRequest(R"({"op": "stats", "id": 12})");
+    EXPECT_EQ(RequestOp::Stats, r.op);
+    EXPECT_EQ(12, r.id);
+}
+
+TEST(StatsResponse, SerializesSnapshot)
+{
+    StatsSnapshot snapshot;
+    snapshot.connections = 3;
+    snapshot.served = 2;
+    snapshot.queueDepth = 1;
+    snapshot.queueCapacity = 16;
+    snapshot.satWorkers = 4;
+    snapshot.bands = {{1, 5}, {7, 0}};
+    const JsonValue doc =
+        JsonValue::parse(statsResponse(9, snapshot));
+    EXPECT_EQ("stats", doc.find("type")->asString());
+    EXPECT_EQ(9, doc.find("id")->asInt());
+    EXPECT_EQ(3, doc.find("counters")->find("connections")->asInt());
+    EXPECT_EQ(2, doc.find("counters")->find("served")->asInt());
+    EXPECT_EQ(1, doc.find("queue")->find("depth")->asInt());
+    EXPECT_EQ(16, doc.find("queue")->find("capacity")->asInt());
+    EXPECT_EQ(4, doc.find("scheduler")->find("workers")->asInt());
+    const auto &bands =
+        doc.find("scheduler")->find("bands")->items();
+    ASSERT_EQ(2u, bands.size());
+    EXPECT_EQ(1, bands[0].find("band")->asInt());
+    EXPECT_EQ(5, bands[0].find("backlog")->asInt());
+}
+
 TEST(ParseRequest, RejectsBadFrames)
 {
     const char *bad[] = {
@@ -680,6 +713,51 @@ TEST(Server, CancelOfUnknownTargetReportsNotFound)
     ASSERT_TRUE(frame.has_value());
     EXPECT_EQ("cancel", frame->find("type")->asString());
     EXPECT_FALSE(frame->find("found")->asBool(true));
+    server.shutdown();
+}
+
+TEST(Server, StatsOpReportsCountersQueueAndBands)
+{
+    // ROADMAP follow-on closed by ISSUE 5: the exit-line counters on
+    // demand, plus queue depth and the scheduler's per-band backlog.
+    ServerOptions options;
+    options.socketPath = testSocketPath("stats");
+    options.concurrency = 1;
+    options.jobs = 1;
+    options.queueCapacity = 7;
+    Server server(std::move(options));
+    server.start();
+
+    TestClient client(server.socketPath());
+    // Fresh daemon: zero served, empty queue, the pool idle.
+    client.send(R"({"op": "stats", "id": 1})");
+    auto stats = client.next();
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ("stats", stats->find("type")->asString());
+    EXPECT_EQ(1, stats->find("id")->asInt());
+    EXPECT_EQ(0, stats->find("counters")->find("served")->asInt());
+    EXPECT_EQ(1,
+              stats->find("counters")->find("connections")->asInt());
+    EXPECT_EQ(7, stats->find("queue")->find("capacity")->asInt());
+    EXPECT_EQ(1, stats->find("scheduler")->find("workers")->asInt());
+    ASSERT_NE(nullptr, stats->find("scheduler")->find("bands"));
+
+    // After a served request the counters must move.
+    client.send(verifyRequestLine(2, circuits::adderQbrSource(5)));
+    client.collect(2);
+    client.send(R"({"op": "stats", "id": 3})");
+    // Skip any late frames of request 2 still on the stream.
+    std::optional<JsonValue> after;
+    while ((after = client.next())) {
+        if (after->find("type")->asString() == "stats")
+            break;
+    }
+    ASSERT_TRUE(after.has_value());
+    EXPECT_EQ(3, after->find("id")->asInt());
+    EXPECT_EQ(1, after->find("counters")->find("served")->asInt());
+    EXPECT_EQ(1, after->find("counters")->find("requests")->asInt());
+    EXPECT_EQ(0, after->find("queue")->find("depth")->asInt());
+
     server.shutdown();
 }
 

@@ -59,6 +59,9 @@ usage(const char *argv0)
         "options:\n"
         "  --lane A|B        solver lane (default A; see docs)\n"
         "  --portfolio       race both lanes per query, first wins\n"
+        "  --adaptive-lanes  track per-lane-family win rates and\n"
+        "                    seed each race with the likely winner\n"
+        "                    (portfolio mode; verdicts unchanged)\n"
         "  --jobs N          scheduler worker threads (default: all\n"
         "                    hardware threads); without --budget,\n"
         "                    verdicts and counterexamples are\n"
@@ -113,6 +116,7 @@ struct CliOptions
     bool quiet = false;
     bool dump = false;
     bool portfolio = false;
+    bool adaptive = false;
     bool clean = false;
     bool json = false;
     bool want_cex = true;
@@ -134,6 +138,7 @@ engineOptionsFor(const CliOptions &cli)
                               : qb::core::VerifierOptions::laneB());
     options.jobs = static_cast<unsigned>(cli.jobs);
     options.inprocessInterval = static_cast<unsigned>(cli.inprocess);
+    options.adaptiveLanes = cli.adaptive;
     for (qb::core::VerifierOptions &lane_options : options.lanes) {
         lane_options.wantCounterexample = cli.want_cex;
         lane_options.conflictBudget = cli.budget;
@@ -355,6 +360,9 @@ runClient(const CliOptions &cli)
         qb::warn("--jobs is server-wide; ignored in client mode");
     if (cli.inprocess != 16)
         qb::warn("--inprocess is server-wide; ignored in client mode");
+    if (cli.adaptive)
+        qb::warn("--adaptive-lanes is server-wide; ignored in "
+                 "client mode");
 
     const std::string source = readFile(cli.path);
     std::string request = "{\"op\": \"verify\", \"id\": 1";
@@ -460,6 +468,8 @@ main(int argc, char **argv)
             cli.want_cex = false;
         } else if (arg == "--portfolio") {
             cli.portfolio = true;
+        } else if (arg == "--adaptive-lanes") {
+            cli.adaptive = true;
         } else if (arg == "--clean") {
             cli.clean = true;
         } else if (arg == "--json") {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <thread>
 #include <utility>
 
@@ -362,6 +363,25 @@ VerificationEngine::waitIdle()
     fenceIdle.wait(lock, [this] { return tasksInFlight == 0; });
 }
 
+void
+VerificationEngine::rearm(std::shared_ptr<CancelSource> cancel)
+{
+    // Quiesce stragglers of the previous request first: a task still
+    // in flight could observe the cancelled latch mid-flip.
+    waitIdle();
+    if (cancel_)
+        cancel_->detach(this);
+    cancel_ = std::move(cancel);
+    cancelled_.store(false, std::memory_order_release);
+    if (cancel_) {
+        cancel_->attach(this);
+        // Mirror the constructor: the new source may already have
+        // fired, and its requestCancel() sweep cannot have seen us.
+        if (cancel_->cancelRequested())
+            cancelled_.store(true, std::memory_order_release);
+    }
+}
+
 sat::SolverStats
 VerificationEngine::laneSolverStats(std::size_t lane)
 {
@@ -483,7 +503,8 @@ VerificationEngine::submitRace(bexp::NodeRef condition)
 
 void
 VerificationEngine::submitLaneTask(const std::shared_ptr<Race> &race,
-                                   std::size_t lane_index)
+                                   std::size_t lane_index,
+                                   bool continuation)
 {
     Lane &lane = *lanes_[lane_index];
     {
@@ -503,10 +524,32 @@ VerificationEngine::submitLaneTask(const std::shared_ptr<Race> &race,
         --tasksInFlight;
         fenceIdle.notify_all();
     };
+    // Adaptive requeue priority: when the slice that just yielded
+    // belongs to the current FAVORITE family (best win rate), its
+    // continuation goes to the FRONT of the fairness band, so the
+    // probable winner keeps its head start across slice boundaries of
+    // long races instead of only at the first slice.  Verdicts are
+    // unaffected for the same reason first-slice reordering is safe:
+    // collectRace picks winners by lane index and counterexamples
+    // come from the replay solve.
+    bool front = false;
+    if (continuation && options_.adaptiveLanes && options_.portfolio &&
+        lanes_.size() > 1) {
+        const double mine = scheduler_->laneWinRate(lane.familyKey);
+        front = true;
+        for (const auto &other : lanes_) {
+            if (other.get() != &lane &&
+                scheduler_->laneWinRate(other->familyKey) > mine) {
+                front = false;
+                break;
+            }
+        }
+    }
     if (lane.scratch)
-        scheduler_->submit(options_.fairnessBand, std::move(task));
+        scheduler_->submit(options_.fairnessBand, std::move(task),
+                           front);
     else
-        scheduler_->submit(lane.queue, std::move(task));
+        scheduler_->submit(lane.queue, std::move(task), front);
 }
 
 /**
@@ -614,7 +657,7 @@ VerificationEngine::runPersistentTask(
     lane.solver.setStopFlag(nullptr);
 
     if (continueSlicing(*race, i, racing, result, used)) {
-        submitLaneTask(race, i);
+        submitLaneTask(race, i, /*continuation=*/true);
         return;
     }
     acc.result = result;
@@ -671,7 +714,7 @@ VerificationEngine::runScratchTask(Lane &lane,
     solver.setStopFlag(nullptr);
 
     if (continueSlicing(*race, i, racing, result, used)) {
-        submitLaneTask(race, i);
+        submitLaneTask(race, i, /*continuation=*/true);
         return;
     }
     acc.result = result;
@@ -1013,6 +1056,20 @@ verifyAll(const lang::ElaboratedProgram &program,
           const std::shared_ptr<Scheduler> &scheduler,
           const std::shared_ptr<CancelSource> &cancel)
 {
+    // Sessions are built, used and dropped within this one run.
+    SessionSet sessions;
+    return verifyAll(program, options, observer, check_clean_ancillas,
+                     scheduler, cancel, sessions);
+}
+
+ProgramResult
+verifyAll(const lang::ElaboratedProgram &program,
+          const EngineOptions &options, const ResultObserver &observer,
+          bool check_clean_ancillas,
+          const std::shared_ptr<Scheduler> &scheduler,
+          const std::shared_ptr<CancelSource> &cancel,
+          SessionSet &sessions)
+{
     qbAssert(scheduler != nullptr, "verifyAll: null scheduler");
     ProgramResult result;
     Timer timer;
@@ -1020,21 +1077,27 @@ verifyAll(const lang::ElaboratedProgram &program,
     // One session per distinct borrow...release lifetime: qubits whose
     // scopes coincide (e.g. adder.qbr's a[1..n-1], all borrowed and
     // released together) share one arena and one solver per lane.
-    std::map<std::pair<std::size_t, std::size_t>,
-             std::unique_ptr<VerificationEngine>>
-        sessions;
+    // Sessions already in @p sessions are WARM - built by an earlier
+    // run of the same program with the same options (the serving
+    // tier's warm cache) - and only need re-arming onto this run's
+    // CancelSource; their arenas, incremental encodings and learnt
+    // clauses carry over.
+    std::set<std::pair<std::size_t, std::size_t>> rearmed;
     const auto sessionFor =
         [&](const lang::QubitInfo &info) -> VerificationEngine & {
         const auto key = std::make_pair(info.scopeBegin, info.scopeEnd);
-        auto it = sessions.find(key);
-        if (it == sessions.end()) {
-            it = sessions
+        auto it = sessions.byScope.find(key);
+        if (it == sessions.byScope.end()) {
+            it = sessions.byScope
                      .emplace(key,
                               std::make_unique<VerificationEngine>(
                                   program.circuit.slice(info.scopeBegin,
                                                         info.scopeEnd),
                                   options, scheduler, cancel))
                      .first;
+            rearmed.insert(key);
+        } else if (rearmed.insert(key).second) {
+            it->second->rearm(cancel);
         }
         return *it->second;
     };
@@ -1069,7 +1132,7 @@ verifyAll(const lang::ElaboratedProgram &program,
         if (observer)
             observer(result.qubits.back());
     }
-    for (auto &[key, session] : sessions)
+    for (auto &[key, session] : sessions.byScope)
         result.solverTotals.accumulate(session->aggregateSolverStats());
     result.totalSeconds = timer.seconds();
     return result;

@@ -40,9 +40,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "boolexpr/arena.h"
@@ -287,6 +289,18 @@ class VerificationEngine
      */
     sat::SolverStats aggregateSolverStats();
 
+    /**
+     * Re-arm a WARM session for a new request (serving tier): wait
+     * for any straggler scheduler tasks, detach from the previous
+     * request's CancelSource, attach to @p cancel and reset the
+     * cancelled latch accordingly.  All session state that makes
+     * reuse profitable - the arena, each persistent lane's
+     * incremental encoding and learnt clauses, the condition cache -
+     * survives.  Must be called between verifications, never while a
+     * prepare()/finish() is outstanding.
+     */
+    void rearm(std::shared_ptr<CancelSource> cancel);
+
   private:
     friend class CancelSource;
 
@@ -302,7 +316,8 @@ class VerificationEngine
     const Conditions &conditionsFor(ir::QubitId q);
     std::shared_ptr<Race> submitRace(bexp::NodeRef condition);
     void submitLaneTask(const std::shared_ptr<Race> &race,
-                        std::size_t lane_index);
+                        std::size_t lane_index,
+                        bool continuation = false);
     LaneOutcome collectRace(Race &race, QubitResult &out);
     LaneOutcome structuralOutcome(bexp::NodeRef condition);
     std::int64_t sliceBudgetFor(const Race &race, std::size_t lane,
@@ -399,6 +414,43 @@ ProgramResult verifyAll(const lang::ElaboratedProgram &program,
                         bool check_clean_ancillas,
                         const std::shared_ptr<Scheduler> &scheduler,
                         const std::shared_ptr<CancelSource> &cancel);
+
+/**
+ * The warm sessions of one (program, engine options) pair, keyed by
+ * circuit slice (scopeBegin, scopeEnd): what a verifyAll() run builds
+ * and what a later run of the SAME program with the SAME options can
+ * reuse instead of rebuilding arenas, encodings and solvers (the
+ * serving tier's warm cache stores one SessionSet per cached program
+ * per options key).  Sessions are stateful single-threaded objects:
+ * a SessionSet must never be fed to two concurrent verifyAll() calls.
+ */
+struct SessionSet
+{
+    std::map<std::pair<std::size_t, std::size_t>,
+             std::unique_ptr<VerificationEngine>>
+        byScope;
+
+    bool empty() const { return byScope.empty(); }
+};
+
+/**
+ * verifyAll() with WARM session reuse: like the scheduler+cancel
+ * overload, but sessions are taken from (and returned to) @p sessions.
+ * Existing sessions are rearm()ed onto @p cancel; missing ones are
+ * created and left in the set for the next run.  The caller guarantees
+ * @p options matches the options the set's sessions were created with
+ * (the serving tier keys its session storage by an options fingerprint
+ * for exactly this reason).  Note ProgramResult::solverTotals is
+ * CUMULATIVE over a session's lifetime, so warm runs report counters
+ * that include earlier runs' work.
+ */
+ProgramResult verifyAll(const lang::ElaboratedProgram &program,
+                        const EngineOptions &options,
+                        const ResultObserver &observer,
+                        bool check_clean_ancillas,
+                        const std::shared_ptr<Scheduler> &scheduler,
+                        const std::shared_ptr<CancelSource> &cancel,
+                        SessionSet &sessions);
 
 } // namespace qb::core
 

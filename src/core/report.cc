@@ -77,6 +77,8 @@ emitProgram(const ProgramResult &result,
     out += "\"bin_propagations\": " + count(s.binPropagations) + ", ";
     out += "\"otf_strengthened\": " +
            count(s.otfStrengthenedClauses) + ", ";
+    out += "\"otf_deferred_applied\": " +
+           count(s.otfDeferredApplied) + ", ";
     out += "\"inprocess_runs\": " + count(s.inprocessRuns) + ", ";
     out += "\"vivified_clauses\": " + count(s.vivifiedClauses) + ", ";
     out += "\"vivified_literals\": " + count(s.vivifiedLiterals) + ", ";

@@ -36,9 +36,12 @@ struct Scheduler::Impl
         laneStats;
 
     void
-    push(unsigned band, Task task)
+    push(unsigned band, Task task, bool front = false)
     {
-        bands[band].push_back(std::move(task));
+        if (front)
+            bands[band].push_front(std::move(task));
+        else
+            bands[band].push_back(std::move(task));
         ++runnableCount;
     }
 
@@ -113,11 +116,11 @@ Scheduler::submit(Task task)
 }
 
 void
-Scheduler::submit(unsigned band, Task task)
+Scheduler::submit(unsigned band, Task task, bool front)
 {
     {
         const std::lock_guard<std::mutex> guard(impl->mutex);
-        impl->push(band, std::move(task));
+        impl->push(band, std::move(task), front);
     }
     impl->workAvailable.notify_one();
 }
@@ -167,16 +170,23 @@ Scheduler::makeQueue(unsigned band)
 }
 
 void
-Scheduler::submit(const std::shared_ptr<SerialQueue> &queue, Task task)
+Scheduler::submit(const std::shared_ptr<SerialQueue> &queue, Task task,
+                  bool front)
 {
     bool activate = false;
     {
         const std::lock_guard<std::mutex> guard(impl->mutex);
-        queue->tasks.push_back(std::move(task));
+        if (front) {
+            queue->tasks.push_front(std::move(task));
+            queue->boosted = true;
+        } else {
+            queue->tasks.push_back(std::move(task));
+        }
         if (!queue->active) {
             queue->active = true;
             activate = true;
-            impl->push(queue->band, drainThunk(queue));
+            impl->push(queue->band, drainThunk(queue),
+                       std::exchange(queue->boosted, false));
         }
     }
     if (activate)
@@ -213,7 +223,10 @@ Scheduler::drainThunk(std::shared_ptr<SerialQueue> queue)
             if (queue->tasks.empty())
                 queue->active = false;
             else {
-                impl->push(queue->band, drainThunk(queue));
+                // A boost posted while this task ran sends the next
+                // activation to the band front (consumed here).
+                impl->push(queue->band, drainThunk(queue),
+                           std::exchange(queue->boosted, false));
                 more = true;
             }
         }

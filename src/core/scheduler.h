@@ -63,6 +63,10 @@ class Scheduler
         friend class Scheduler;
         std::deque<Task> tasks; ///< guarded by the scheduler mutex
         bool active = false;    ///< a worker is draining this queue
+        /** A front-priority submission arrived: the next drain-thunk
+         *  (re)activation goes to the FRONT of the band (consumed per
+         *  push).  Guarded by the scheduler mutex. */
+        bool boosted = false;
         unsigned band = 0;      ///< fairness band of the drain thunks
     };
 
@@ -85,11 +89,23 @@ class Scheduler
     void submit(Task task);
 
     /** Run @p task on any worker, unordered, in fairness band
-     *  @p band. */
-    void submit(unsigned band, Task task);
+     *  @p band.  @p front puts it at the FRONT of the band instead of
+     *  the back: the next pop that reaches this band takes it first
+     *  (the adaptive engine boosts the favorite lane's continuation
+     *  slices this way so win-rate ordering helps long races, not
+     *  just the first slice). */
+    void submit(unsigned band, Task task, bool front = false);
 
-    /** Run @p task after every earlier task of @p queue, exclusively. */
-    void submit(const std::shared_ptr<SerialQueue> &queue, Task task);
+    /**
+     * Run @p task after every earlier task of @p queue, exclusively.
+     * @p front additionally (a) places the task ahead of @p queue's
+     * not-yet-started tasks and (b) boosts the queue's next drain
+     * activation to the front of its fairness band.  FIFO order among
+     * normally-submitted tasks and per-queue mutual exclusion still
+     * hold.
+     */
+    void submit(const std::shared_ptr<SerialQueue> &queue, Task task,
+                bool front = false);
 
     /** New serial queue whose drain turns run in fairness band
      *  @p band. */

@@ -55,6 +55,7 @@ SolverStats::accumulate(const SolverStats &other)
     strengthenedClauses += other.strengthenedClauses;
     otfStrengthenedClauses += other.otfStrengthenedClauses;
     otfSkipped += other.otfSkipped;
+    otfDeferredApplied += other.otfDeferredApplied;
     importedRetired += other.importedRetired;
     gcRuns += other.gcRuns;
     gcWordsReclaimed += other.gcWordsReclaimed;
@@ -327,6 +328,7 @@ void
 Solver::removeClause(ClauseRef cr)
 {
     detachClause(cr);
+    purgeDeferredOtf(cr);
     ca.free(cr);
     ++statistics.removedClauses;
 }
@@ -686,12 +688,88 @@ Solver::otfStrengthen()
                 ++nonfalse;
         if (nonfalse < 2) {
             ++statistics.otfSkipped;
+            // Remember the pair for the next root boundary, where the
+            // edit is always safe, instead of waiting for the
+            // slice-boundary vivification pass (see applyDeferredOtf).
+            if (cfg.otfDefer &&
+                otfDeferred.size() < cfg.otfDeferredMax)
+                otfDeferred.push_back({cr, pivot});
             continue;
         }
         strengthenInPlace(cr, pivot);
         ++statistics.otfStrengthenedClauses;
     }
     otfCandidates.clear();
+}
+
+/** Drop queued deferred strengthenings of the clause behind @p cr;
+ *  called from every clause-free site so otfDeferred never holds a
+ *  dangling ClauseRef. */
+void
+Solver::purgeDeferredOtf(ClauseRef cr)
+{
+    if (otfDeferred.empty())
+        return;
+    std::erase_if(otfDeferred, [cr](const OtfCandidate &d) {
+        return d.cref == cr;
+    });
+}
+
+/**
+ * Apply the strengthenings otfStrengthen() had to skip mid-search.
+ * Called at root boundaries only - solve() entry and restarts that
+ * return to decision level 0 - where strengthenInPlace() is
+ * unconditionally safe: a result that goes unit is enqueued on the
+ * root trail, an empty result latches Unsat (mirroring the
+ * backwardSubsume() strengthening path).  Every queued cref is live
+ * (see purgeDeferredOtf), but the clause may have changed since the
+ * skip - the pivot is re-checked before editing.
+ */
+void
+Solver::applyDeferredOtf()
+{
+    qbAssert(decisionLevel() == 0, "deferred OTF above root level");
+    std::vector<OtfCandidate> pending;
+    pending.swap(otfDeferred);
+    for (std::size_t k = 0; k < pending.size() && okay; ++k) {
+        const ClauseRef cr = pending[k].cref;
+        const Lit pivot = pending[k].pivot;
+        if (cr == kRefUndef || locked(cr))
+            continue;
+        const Clause &c = ca[cr];
+        // Vivification/subsumption may have rewritten the clause since
+        // the skip; only edit if the pivot is still present and the
+        // clause can lose a literal.
+        bool has_pivot = false;
+        for (const Lit y : c)
+            has_pivot |= (y == pivot);
+        if (!has_pivot || c.size() < 2)
+            continue;
+        const bool learnt = c.learnt();
+        const std::size_t nonfalse = strengthenInPlace(cr, pivot);
+        ++statistics.otfDeferredApplied;
+        if (nonfalse >= 2)
+            continue;
+        // Unit (or empty) at the root: dissolve into the trail, free
+        // the clause, and invalidate any later queue entries (and the
+        // clause-list slot) that still name it.
+        const Clause &d = ca[cr];
+        const Lit unit = d.size() > 0 ? d[0] : kUndefLit;
+        auto &list = learnt ? learntClauses : problemClauses;
+        std::erase(list, cr);
+        ca.free(cr);
+        for (std::size_t j = k + 1; j < pending.size(); ++j)
+            if (pending[j].cref == cr)
+                pending[j].cref = kRefUndef;
+        if (nonfalse == 0) {
+            okay = false;
+            break;
+        }
+        if (value(unit) == LBool::Undef) {
+            uncheckedEnqueue(unit, kRefUndef);
+            okay = propagate() == kRefUndef;
+        }
+    }
 }
 
 /**
@@ -1181,6 +1259,13 @@ Solver::solve(const LitVec &assumps)
         if (!okay)
             return SolveResult::Unsat;
     }
+    // Root boundary: land the strengthenings the last call's conflict
+    // analysis could not apply mid-search.
+    if (cfg.otfDefer && !otfDeferred.empty()) {
+        applyDeferredOtf();
+        if (!okay)
+            return SolveResult::Unsat;
+    }
     std::int64_t restart = 0;
     double geometric = static_cast<double>(cfg.restartBase);
     while (true) {
@@ -1238,6 +1323,17 @@ Solver::solve(const LitVec &assumps)
                 return SolveResult::Unsat;
             }
         }
+        // A restart that lands at the root is also a safe point for
+        // the deferred strengthenings (assumption-based calls keep
+        // their assumption prefix and defer to the next solve()).
+        if (cfg.otfDefer && !otfDeferred.empty() &&
+            decisionLevel() == 0) {
+            applyDeferredOtf();
+            if (!okay) {
+                cancelUntil(0);
+                return SolveResult::Unsat;
+            }
+        }
         ++statistics.restarts;
         ++restart;
         geometric *= 1.5;
@@ -1279,6 +1375,7 @@ Solver::preprocessEliminate()
         ca.free(cr);
     }
     problemClauses.clear();
+    otfDeferred.clear(); // whole pre-elimination database is gone
 
     // Incremental occurrence lists over a tombstoned clause vector.
     constexpr std::size_t occ_limit = 10;
@@ -1428,6 +1525,8 @@ Solver::relocAll(ClauseAllocator &to)
         cr = ca.reloc(cr, to);
     for (ClauseRef &cr : learntClauses)
         cr = ca.reloc(cr, to);
+    for (OtfCandidate &d : otfDeferred)
+        d.cref = ca.reloc(d.cref, to);
 }
 
 void
@@ -1538,6 +1637,7 @@ Solver::vivifyLearnts()
         ++statistics.vivifiedClauses;
         statistics.vivifiedLiterals +=
             static_cast<std::int64_t>(lits.size() - kept.size());
+        purgeDeferredOtf(cr);
         ca.free(cr);
         if (kept.size() >= 2) {
             // All kept literals are unassigned at the root (false ones
@@ -1619,6 +1719,7 @@ Solver::backwardSubsume()
         // Unit (or empty) at the root: dissolve into the trail.
         d.dead = true;
         const Clause &c = ca[d.cr];
+        purgeDeferredOtf(d.cr);
         ca.free(d.cr);
         if (nonfalse == 0) {
             okay = false;
@@ -1683,6 +1784,7 @@ Solver::backwardSubsume()
                     }
                     d.dead = true;
                     detachClause(d.cr);
+                    purgeDeferredOtf(d.cr);
                     ca.free(d.cr);
                     ++statistics.subsumedClauses;
                 } else if (matched + 1 == csize && negations == 1) {

@@ -116,6 +116,18 @@ struct SolverConfig
     bool otfSubsume = true;
     /** Strengthening candidates remembered per conflict. */
     unsigned otfMaxAntecedents = 32;
+    /**
+     * Candidates otfStrengthen() cannot apply mid-search (fewer than
+     * two non-false literals would remain at the backtrack level) are
+     * QUEUED instead of dropped, and applied at the next root
+     * boundary - solve() entry, or a restart that returns to level 0 -
+     * where the edit is always safe.  Without deferral those
+     * strengthenings wait for the next slice-boundary vivification
+     * pass, which may be many queries away.
+     */
+    bool otfDefer = true;
+    /** Bound on queued deferred strengthenings (oldest kept). */
+    unsigned otfDeferredMax = 64;
     /** @} */
 
     /**
@@ -175,6 +187,9 @@ struct SolverStats
     /** OTF candidates that matched but could not be edited safely
      *  mid-search (fewer than two non-false literals would remain). */
     std::int64_t otfSkipped = 0;
+    /** Skipped OTF candidates applied later at a root boundary (see
+     *  SolverConfig::otfDefer). */
+    std::int64_t otfDeferredApplied = 0;
     /** Imported clauses dropped by shrinkLearnts() after retiring
      *  (survived importedRetireEpochs epochs, then aged out by
      *  LBD like ordinary learnts). */
@@ -376,6 +391,8 @@ class Solver
     void analyzeFinal(Lit failed);
     bool litRedundant(Lit l, std::uint32_t ab_levels);
     void otfStrengthen();
+    void applyDeferredOtf();
+    void purgeDeferredOtf(ClauseRef cr);
     std::size_t strengthenInPlace(ClauseRef cr, Lit l);
     void restoreEliminated();
     void drainImports();
@@ -430,6 +447,11 @@ class Solver
     /** Candidates of the conflict being analyzed; applied by
      *  otfStrengthen() after backtracking, cleared every conflict. */
     std::vector<OtfCandidate> otfCandidates;
+    /** Candidates otfStrengthen() skipped mid-search, waiting for the
+     *  next root boundary (SolverConfig::otfDefer).  Every entry's
+     *  cref is LIVE: all clause-free sites purge matching entries,
+     *  and relocAll() relocates the refs with the arena. */
+    std::vector<OtfCandidate> otfDeferred;
     std::size_t qhead = 0;
 
     std::unique_ptr<VarOrder> order;

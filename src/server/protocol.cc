@@ -353,6 +353,8 @@ parseOp(const std::string &op)
         return RequestOp::Stats;
     if (op == "shutdown")
         return RequestOp::Shutdown;
+    if (op == "auth")
+        return RequestOp::Auth;
     fatal("unknown op '" + op + "'");
 }
 
@@ -419,6 +421,13 @@ parseRequest(const std::string &line)
         if (!target || target->kind() != JsonValue::Kind::Number)
             fatal("cancel request is missing numeric field 'target'");
         request.target = target->asInt(-1);
+        break;
+      }
+      case RequestOp::Auth: {
+        const JsonValue *token = doc.find("token");
+        if (!token || token->kind() != JsonValue::Kind::String)
+            fatal("auth request is missing string field 'token'");
+        request.token = token->asString();
         break;
       }
       case RequestOp::Ping:
@@ -517,7 +526,40 @@ statsResponse(std::int64_t id, const StatsSnapshot &snapshot)
         out += format("{\"band\": %u, \"backlog\": %zu}", band,
                       backlog);
     }
-    out += "]}}";
+    out += "]}";
+    out += format(", \"uptime_seconds\": %.3f",
+                  snapshot.uptimeSeconds);
+    out += format(
+        ", \"ops\": {\"verify\": %llu, \"cancel\": %llu, "
+        "\"ping\": %llu, \"stats\": %llu, \"shutdown\": %llu, "
+        "\"auth\": %llu}",
+        static_cast<unsigned long long>(snapshot.opVerify),
+        static_cast<unsigned long long>(snapshot.opCancel),
+        static_cast<unsigned long long>(snapshot.opPing),
+        static_cast<unsigned long long>(snapshot.opStats),
+        static_cast<unsigned long long>(snapshot.opShutdown),
+        static_cast<unsigned long long>(snapshot.opAuth));
+    const auto cacheJson = [](const StatsSnapshot::Cache &c) {
+        return format("{\"hits\": %llu, \"misses\": %llu, "
+                      "\"evictions\": %llu, \"entries\": %zu}",
+                      static_cast<unsigned long long>(c.hits),
+                      static_cast<unsigned long long>(c.misses),
+                      static_cast<unsigned long long>(c.evictions),
+                      c.entries);
+    };
+    out += ", \"caches\": {\"program\": " +
+           cacheJson(snapshot.programCache) +
+           ", \"result\": " + cacheJson(snapshot.resultCache) +
+           format(", \"warm_verifies\": %llu}",
+                  static_cast<unsigned long long>(
+                      snapshot.warmVerifies));
+    out += format(
+        ", \"connections\": {\"active\": %zu, \"limit\": %zu, "
+        "\"refused\": %llu, \"auth_rejected\": %llu}",
+        snapshot.activeConnections, snapshot.connectionLimit,
+        static_cast<unsigned long long>(snapshot.connectionsRefused),
+        static_cast<unsigned long long>(snapshot.authRejected));
+    out += '}';
     return out;
 }
 
@@ -526,6 +568,13 @@ byeResponse(std::int64_t id)
 {
     return format("{\"type\": \"bye\", \"id\": %lld}",
                   static_cast<long long>(id));
+}
+
+std::string
+authResponse(std::int64_t id, bool ok)
+{
+    return format("{\"type\": \"auth\", \"id\": %lld, \"ok\": %s}",
+                  static_cast<long long>(id), ok ? "true" : "false");
 }
 
 } // namespace qb::server

@@ -80,6 +80,7 @@ enum class RequestOp {
     Ping,     ///< liveness probe
     Stats,    ///< service counters, queue depth, per-band backlog
     Shutdown, ///< ask the daemon to drain and exit
+    Auth,     ///< present the connection token (TCP transport)
 };
 
 /**
@@ -108,6 +109,44 @@ struct StatsSnapshot
     unsigned satWorkers = 0;
     /** Queued runnable units per scheduler fairness band. */
     std::vector<std::pair<unsigned, std::size_t>> bands;
+
+    /** @name Serving-tier additions (each a NEW JSON object in the
+     *  stats frame; every pre-existing field keeps its place, so old
+     *  clients parse new frames unchanged). @{ */
+
+    /** Seconds since the server started. */
+    double uptimeSeconds = 0.0;
+
+    /** Requests seen per op (counted at parse time, whether or not
+     *  they were admitted). */
+    std::uint64_t opVerify = 0;
+    std::uint64_t opCancel = 0;
+    std::uint64_t opPing = 0;
+    std::uint64_t opStats = 0;
+    std::uint64_t opShutdown = 0;
+    std::uint64_t opAuth = 0;
+
+    /** One cache's counters (serving/cache.h mirrors). */
+    struct Cache
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::size_t entries = 0;
+    };
+    Cache programCache;
+    Cache resultCache;
+    /** Verifications answered through reused warm sessions. */
+    std::uint64_t warmVerifies = 0;
+
+    /** Open connections right now / configured cap (0 = unlimited). */
+    std::size_t activeConnections = 0;
+    std::size_t connectionLimit = 0;
+    /** Connections refused at accept time (limit reached). */
+    std::uint64_t connectionsRefused = 0;
+    /** Frames rejected before admission for missing/bad auth. */
+    std::uint64_t authRejected = 0;
+    /** @} */
 };
 
 /**
@@ -144,6 +183,8 @@ struct Request
     std::string name;
     /** Cancel: the id of the verify request to cancel. */
     std::int64_t target = -1;
+    /** Auth: the presented token. */
+    std::string token;
     RequestOptions options;
 };
 
@@ -169,6 +210,9 @@ std::string pongResponse(std::int64_t id);
 std::string statsResponse(std::int64_t id,
                           const StatsSnapshot &snapshot);
 std::string byeResponse(std::int64_t id);
+/** `auth` acknowledgment; ok=false precedes the server closing the
+ *  connection. */
+std::string authResponse(std::int64_t id, bool ok);
 /** @} */
 
 } // namespace qb::server

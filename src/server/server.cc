@@ -3,7 +3,6 @@
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
-#include <cstring>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -11,14 +10,13 @@
 
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/stat.h>
 #include <sys/time.h>
-#include <sys/un.h>
 #include <unistd.h>
 
-#include "lang/elaborate.h"
 #include "server/protocol.h"
 #include "server/request_queue.h"
+#include "serving/serving.h"
+#include "serving/transport.h"
 #include "support/logging.h"
 #include "support/strings.h"
 
@@ -30,12 +28,6 @@ namespace {
  *  the reader buffers whole lines, and an endless unterminated line
  *  would otherwise grow the daemon's memory without bound. */
 constexpr std::size_t kMaxLineBytes = 64u << 20;
-
-std::string
-errnoMessage(const std::string &what)
-{
-    return what + ": " + std::strerror(errno);
-}
 
 } // namespace
 
@@ -52,6 +44,24 @@ struct Connection
     std::uint64_t id = 0;
     std::mutex writeMutex;
     std::atomic<bool> open{true};
+    /** Has this connection presented the server's auth token?  Only
+     *  consulted when a token is configured. */
+    std::atomic<bool> authed{false};
+    /** Admitted verify requests currently queued or running. */
+    std::atomic<std::size_t> inflight{0};
+    /** steady_clock ticks of the last read or successful write; the
+     *  idle sweep compares against it (skipping connections with
+     *  in-flight work). */
+    std::atomic<std::chrono::steady_clock::rep> lastActivity{0};
+
+    void
+    touch()
+    {
+        lastActivity.store(std::chrono::steady_clock::now()
+                               .time_since_epoch()
+                               .count(),
+                           std::memory_order_relaxed);
+    }
 
     ~Connection()
     {
@@ -96,18 +106,26 @@ struct Connection
             }
             sent += static_cast<std::size_t>(n);
         }
+        touch();
     }
 };
 
 struct Server::Impl
 {
     ServerOptions options;
-    int listenFd = -1;
-    bool socketBound = false;
+    /** Bound endpoints the accept loop polls (Unix socket, TCP, or
+     *  both - see serving/transport.h). */
+    std::vector<std::unique_ptr<serving::Listener>> listeners;
+    /** Actual bound TCP "host:port" (empty when TCP is off). */
+    std::string tcpEndpointStr;
 
     /** THE process-wide SAT worker pool, shared by every request. */
     std::shared_ptr<core::Scheduler> scheduler;
     RequestQueue queue;
+    /** Warm-cache layer between the workers and the engine. */
+    serving::ServingTier tier;
+    const std::chrono::steady_clock::time_point startTime =
+        std::chrono::steady_clock::now();
 
     std::atomic<bool> started{false};
     std::atomic<bool> stopping{false};
@@ -144,13 +162,25 @@ struct Server::Impl
     std::atomic<std::uint64_t> statCancelled{0};
     std::atomic<std::uint64_t> statRejected{0};
     std::atomic<std::uint64_t> statErrors{0};
+    std::atomic<std::uint64_t> statConnRefused{0};
+    std::atomic<std::uint64_t> statAuthRejected{0};
+    std::atomic<std::uint64_t> statOpVerify{0};
+    std::atomic<std::uint64_t> statOpCancel{0};
+    std::atomic<std::uint64_t> statOpPing{0};
+    std::atomic<std::uint64_t> statOpStats{0};
+    std::atomic<std::uint64_t> statOpShutdown{0};
+    std::atomic<std::uint64_t> statOpAuth{0};
 
     explicit Impl(ServerOptions opts)
-        : options(std::move(opts)), queue(options.queueCapacity)
+        : options(std::move(opts)), queue(options.queueCapacity),
+          tier(serving::ServingOptions{options.programCacheCapacity,
+                                       options.resultCacheCapacity})
     {}
 
-    void bindAndListen();
+    void createListeners();
     void acceptLoop();
+    void acceptOne(serving::Listener &listener);
+    void sweepIdleConnections();
     void reapFinishedReadersLocked();
     void readerLoop(std::shared_ptr<Connection> connection);
     void handleLine(const std::shared_ptr<Connection> &connection,
@@ -164,113 +194,111 @@ struct Server::Impl
 };
 
 void
-Server::Impl::bindAndListen()
+Server::Impl::createListeners()
 {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (options.socketPath.empty())
-        fatal("server: empty socket path");
-    if (options.socketPath.size() >= sizeof(addr.sun_path))
-        fatal(format("server: socket path too long (%zu bytes, max "
-                     "%zu): ",
-                     options.socketPath.size(),
-                     sizeof(addr.sun_path) - 1) +
-              options.socketPath);
-    std::memcpy(addr.sun_path, options.socketPath.c_str(),
-                options.socketPath.size() + 1);
-
-    listenFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    if (listenFd < 0)
-        fatal(errnoMessage("server: cannot create socket"));
-
-    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
-               sizeof(addr)) < 0) {
-        if (errno == EADDRINUSE) {
-            // Something exists at the path.  Only a SOCKET may be
-            // taken over (a typo'd path to a regular file must never
-            // be deleted), and only a DEAD one: probe it - if
-            // something accepts, refuse to hijack.
-            struct stat st{};
-            if (::lstat(options.socketPath.c_str(), &st) != 0 ||
-                !S_ISSOCK(st.st_mode)) {
-                ::close(listenFd);
-                listenFd = -1;
-                fatal("server: '" + options.socketPath +
-                      "' exists and is not a socket");
-            }
-            const int probe =
-                ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-            const bool live =
-                probe >= 0 &&
-                ::connect(probe, reinterpret_cast<sockaddr *>(&addr),
-                          sizeof(addr)) == 0;
-            if (probe >= 0)
-                ::close(probe);
-            if (live) {
-                ::close(listenFd);
-                listenFd = -1;
-                fatal("server: socket '" + options.socketPath +
-                      "' is already served by another process");
-            }
-            ::unlink(options.socketPath.c_str());
-            if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
-                       sizeof(addr)) == 0) {
-                socketBound = true;
-            }
-        }
-        if (!socketBound) {
-            const std::string msg = errnoMessage(
-                "server: cannot bind '" + options.socketPath + "'");
-            ::close(listenFd);
-            listenFd = -1;
-            fatal(msg);
-        }
-    } else {
-        socketBound = true;
-    }
-
-    if (::listen(listenFd, 64) < 0) {
-        const std::string msg = errnoMessage(
-            "server: cannot listen on '" + options.socketPath + "'");
-        ::close(listenFd);
-        ::unlink(options.socketPath.c_str());
-        listenFd = -1;
-        socketBound = false;
-        fatal(msg);
+    if (options.socketPath.empty() && options.tcpAddress.empty())
+        fatal("server: no endpoint configured (need a socket path "
+              "or a TCP address)");
+    if (!options.socketPath.empty())
+        listeners.push_back(
+            serving::makeUnixListener(options.socketPath));
+    if (!options.tcpAddress.empty()) {
+        listeners.push_back(
+            serving::makeTcpListener(options.tcpAddress));
+        tcpEndpointStr = listeners.back()->boundAddress();
     }
 }
 
 void
 Server::Impl::acceptLoop()
 {
+    std::vector<pollfd> pfds(listeners.size());
     while (!stopping.load(std::memory_order_acquire)) {
-        pollfd pfd{listenFd, POLLIN, 0};
-        const int ready = ::poll(&pfd, 1, 200);
+        for (std::size_t i = 0; i < listeners.size(); ++i)
+            pfds[i] = pollfd{listeners[i]->fd(), POLLIN, 0};
+        const int ready =
+            ::poll(pfds.data(), pfds.size(), 200);
+        sweepIdleConnections();
         if (ready <= 0)
             continue; // timeout (re-check stopping) or EINTR
-        const int fd =
-            ::accept4(listenFd, nullptr, nullptr, SOCK_CLOEXEC);
-        if (fd < 0)
-            continue;
-        // Bounded sends: a client that stops reading makes send()
-        // fail with EAGAIN after this long instead of blocking a
-        // request worker indefinitely (see sendLineLocked).
-        timeval send_timeout{};
-        send_timeout.tv_sec = 10;
-        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
-                     sizeof(send_timeout));
-        auto connection = std::make_shared<Connection>();
-        connection->fd = fd;
-        ++statConnections;
+        for (std::size_t i = 0; i < listeners.size(); ++i)
+            if (pfds[i].revents & POLLIN)
+                acceptOne(*listeners[i]);
+    }
+}
+
+void
+Server::Impl::acceptOne(serving::Listener &listener)
+{
+    const int fd = listener.acceptConnection();
+    if (fd < 0)
+        return;
+    // Global connection limit: refuse with a parseable error line
+    // instead of letting readers (one thread each) pile up.
+    if (options.maxConnections != 0) {
+        std::size_t active;
         {
             const std::lock_guard<std::mutex> guard(connectionsMutex);
-            connection->id = nextConnectionId++;
-            reapFinishedReadersLocked();
-            readerThreads.emplace(
-                connection->id,
-                std::thread(
-                    [this, connection] { readerLoop(connection); }));
-            connections.push_back(connection);
+            active = connections.size();
+        }
+        if (active >= options.maxConnections) {
+            ++statConnRefused;
+            const std::string line =
+                errorResponse(
+                    -1, format("connection limit (%zu) reached; "
+                               "retry later",
+                               options.maxConnections)) +
+                "\n";
+            ::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+            ::close(fd);
+            return;
+        }
+    }
+    // Bounded sends: a client that stops reading makes send()
+    // fail with EAGAIN after this long instead of blocking a
+    // request worker indefinitely (see sendLineLocked).
+    timeval send_timeout{};
+    send_timeout.tv_sec = 10;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof(send_timeout));
+    auto connection = std::make_shared<Connection>();
+    connection->fd = fd;
+    connection->touch();
+    ++statConnections;
+    {
+        const std::lock_guard<std::mutex> guard(connectionsMutex);
+        connection->id = nextConnectionId++;
+        reapFinishedReadersLocked();
+        readerThreads.emplace(
+            connection->id,
+            std::thread(
+                [this, connection] { readerLoop(connection); }));
+        connections.push_back(connection);
+    }
+}
+
+/** Close connections idle past the configured timeout.  A connection
+ *  with in-flight work is never idle, however long its SAT race runs;
+ *  shutting the socket down (not closing the fd) kicks the reader,
+ *  which owns the ordinary teardown path. */
+void
+Server::Impl::sweepIdleConnections()
+{
+    if (options.idleTimeoutSeconds == 0)
+        return;
+    const auto now = std::chrono::steady_clock::now();
+    const std::lock_guard<std::mutex> guard(connectionsMutex);
+    for (const auto &connection : connections) {
+        if (connection->inflight.load(std::memory_order_acquire) != 0)
+            continue;
+        const auto last = std::chrono::steady_clock::time_point(
+            std::chrono::steady_clock::duration(
+                connection->lastActivity.load(
+                    std::memory_order_relaxed)));
+        if (now - last >=
+            std::chrono::seconds(options.idleTimeoutSeconds)) {
+            connection->open.store(false, std::memory_order_release);
+            ::shutdown(connection->fd, SHUT_RDWR);
         }
     }
 }
@@ -304,6 +332,7 @@ Server::Impl::readerLoop(std::shared_ptr<Connection> connection)
             continue;
         if (n <= 0)
             break; // EOF, error, or shutdown() closed the socket
+        connection->touch();
         buffer.append(chunk, static_cast<std::size_t>(n));
         std::size_t eol;
         while ((eol = buffer.find('\n')) != std::string::npos) {
@@ -345,6 +374,42 @@ Server::Impl::handleLine(
         return; // a bad frame never stops the service
     }
     switch (request.op) {
+      case RequestOp::Verify: ++statOpVerify; break;
+      case RequestOp::Cancel: ++statOpCancel; break;
+      case RequestOp::Ping: ++statOpPing; break;
+      case RequestOp::Stats: ++statOpStats; break;
+      case RequestOp::Shutdown: ++statOpShutdown; break;
+      case RequestOp::Auth: ++statOpAuth; break;
+    }
+    if (request.op == RequestOp::Auth) {
+        if (options.authToken.empty() ||
+            request.token == options.authToken) {
+            connection->authed.store(true,
+                                     std::memory_order_release);
+            connection->sendLine(authResponse(request.id, true));
+        } else {
+            // Wrong token: say so, then close.  The reject never
+            // reaches the admission queue.
+            ++statAuthRejected;
+            connection->sendLine(authResponse(request.id, false));
+            connection->open.store(false, std::memory_order_release);
+            ::shutdown(connection->fd, SHUT_RDWR);
+        }
+        return;
+    }
+    if (!options.authToken.empty() &&
+        !connection->authed.load(std::memory_order_acquire)) {
+        // Every other op on an unauthenticated connection is
+        // rejected before admission; the connection stays open so
+        // the client can still send the auth frame.
+        ++statAuthRejected;
+        connection->sendLine(errorResponse(
+            request.id, "authentication required (send "
+                        "{\"op\": \"auth\", \"token\": ...} first)"));
+        return;
+    }
+    switch (request.op) {
+      case RequestOp::Auth: // handled above
       case RequestOp::Ping:
         connection->sendLine(pongResponse(request.id));
         return;
@@ -366,6 +431,33 @@ Server::Impl::handleLine(
             snapshot.satWorkers = scheduler->workers();
             snapshot.bands = scheduler->bandBacklog();
         }
+        snapshot.uptimeSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - startTime)
+                .count();
+        snapshot.opVerify = statOpVerify.load();
+        snapshot.opCancel = statOpCancel.load();
+        snapshot.opPing = statOpPing.load();
+        snapshot.opStats = statOpStats.load();
+        snapshot.opShutdown = statOpShutdown.load();
+        snapshot.opAuth = statOpAuth.load();
+        const auto fill = [](StatsSnapshot::Cache &dst,
+                             const serving::CacheCounters &src) {
+            dst.hits = src.hits;
+            dst.misses = src.misses;
+            dst.evictions = src.evictions;
+            dst.entries = src.entries;
+        };
+        fill(snapshot.programCache, tier.programCounters());
+        fill(snapshot.resultCache, tier.resultCounters());
+        snapshot.warmVerifies = tier.warmVerifies();
+        {
+            const std::lock_guard<std::mutex> guard(connectionsMutex);
+            snapshot.activeConnections = connections.size();
+        }
+        snapshot.connectionLimit = options.maxConnections;
+        snapshot.connectionsRefused = statConnRefused.load();
+        snapshot.authRejected = statAuthRejected.load();
         connection->sendLine(statsResponse(request.id, snapshot));
         return;
       }
@@ -390,6 +482,20 @@ Server::Impl::handleLine(
       }
       case RequestOp::Verify:
         break;
+    }
+
+    // Per-connection in-flight bound: one client cannot fill the
+    // whole admission queue by itself.
+    if (options.maxInflightPerConnection != 0 &&
+        connection->inflight.load(std::memory_order_acquire) >=
+            options.maxInflightPerConnection) {
+        ++statRejected;
+        connection->sendLine(errorResponse(
+            request.id,
+            format("too many in-flight requests on this connection "
+                   "(limit %zu); retry later",
+                   options.maxInflightPerConnection)));
+        return;
     }
 
     QueuedRequest item;
@@ -430,6 +536,8 @@ Server::Impl::handleLine(
         admitted = queue.tryPush(std::move(item));
         if (admitted) {
             ++statRequests;
+            connection->inflight.fetch_add(
+                1, std::memory_order_acq_rel);
             connection->sendLineLocked(acceptedResponse(id));
         }
     }
@@ -521,29 +629,22 @@ Server::Impl::serveRequest(QueuedRequest item)
                                       static_cast<long long>(
                                           request.id))
                              : request.name;
+    const auto finish = [&] {
+        dropInflight(connection->id, request.id);
+        connection->inflight.fetch_sub(1,
+                                       std::memory_order_acq_rel);
+        connection->touch();
+    };
     // A request whose connection already died is moot.
     if (!connection->open.load(std::memory_order_acquire))
         item.cancel->requestCancel();
     if (item.cancel->cancelRequested()) {
         // Cancelled while still queued: settle without touching the
         // pool.
-        dropInflight(connection->id, request.id);
+        finish();
         ++statCancelled;
         connection->sendLine(resultResponse(
             request.id, "cancelled", core::ProgramResult{}, name));
-        return;
-    }
-
-    // Parse + elaborate on THIS worker thread, off the SAT pool: a
-    // malformed or huge program never stalls other requests' races.
-    lang::ElaboratedProgram program;
-    try {
-        program = lang::elaborateSource(request.source);
-    } catch (const std::exception &e) {
-        // A bad program fails ITS request; the server keeps serving.
-        dropInflight(connection->id, request.id);
-        ++statErrors;
-        connection->sendLine(errorResponse(request.id, e.what()));
         return;
     }
 
@@ -563,25 +664,41 @@ Server::Impl::serveRequest(QueuedRequest item)
             if (!connection->open.load(std::memory_order_acquire))
                 cancel->requestCancel();
         };
-    core::ProgramResult result;
+    // The serving tier owns elaboration (hash-consed per source),
+    // memoized verdicts and warm sessions; a result-cache hit replays
+    // the stored qubit frames through the observer and never touches
+    // the pool.  Elaboration of a MISS runs on this worker thread,
+    // off the SAT pool, as before.
+    serving::ServingTier::Outcome outcome;
     try {
-        result = core::verifyAll(program, engine_options, observer,
-                                 clean, scheduler, item.cancel);
+        outcome = tier.verify(
+            request.source, engine_options, clean,
+            serving::ServingTier::optionsFingerprint(engine_options,
+                                                     clean),
+            observer, scheduler, item.cancel);
     } catch (const std::exception &e) {
-        dropInflight(connection->id, request.id);
+        finish();
         ++statErrors;
         connection->sendLine(errorResponse(request.id, e.what()));
         return;
     }
-    dropInflight(connection->id, request.id);
+    if (outcome.failed) {
+        // A bad program fails ITS request; the server keeps serving.
+        finish();
+        ++statErrors;
+        connection->sendLine(
+            errorResponse(request.id, outcome.error));
+        return;
+    }
+    finish();
     const bool was_cancelled = item.cancel->cancelRequested();
     if (was_cancelled)
         ++statCancelled;
     else
         ++statServed;
     connection->sendLine(resultResponse(
-        request.id, was_cancelled ? "cancelled" : "done", result,
-        name));
+        request.id, was_cancelled ? "cancelled" : "done",
+        outcome.result, name));
 }
 
 void
@@ -594,7 +711,7 @@ Server::Impl::requestStop()
 Server::Server(ServerOptions options)
     : impl(std::make_unique<Impl>(std::move(options)))
 {
-    impl->bindAndListen();
+    impl->createListeners();
 }
 
 Server::~Server()
@@ -674,14 +791,8 @@ Server::shutdown()
     for (auto &[id, thread] : readers)
         thread.join();
 
-    if (impl->listenFd >= 0) {
-        ::close(impl->listenFd);
-        impl->listenFd = -1;
-    }
-    if (impl->socketBound) {
-        ::unlink(impl->options.socketPath.c_str());
-        impl->socketBound = false;
-    }
+    for (const auto &listener : impl->listeners)
+        listener->close();
 }
 
 bool
@@ -694,6 +805,12 @@ const std::string &
 Server::socketPath() const
 {
     return impl->options.socketPath;
+}
+
+std::string
+Server::tcpEndpoint() const
+{
+    return impl->tcpEndpointStr;
 }
 
 Server::Counters

@@ -51,8 +51,42 @@ namespace qb::server {
 /** Daemon configuration (fixed for the server's lifetime). */
 struct ServerOptions
 {
-    /** Filesystem path of the Unix domain socket to listen on. */
+    /** Filesystem path of the Unix domain socket to listen on
+     *  (empty = no Unix listener; at least one of socketPath /
+     *  tcpAddress must be set). */
     std::string socketPath;
+
+    /** TCP "host:port" to also listen on (empty = no TCP listener;
+     *  port 0 binds an ephemeral port - see Server::tcpEndpoint()). */
+    std::string tcpAddress;
+
+    /**
+     * Shared secret for the `auth` op.  When non-empty, the FIRST
+     * frame on every connection (either transport) must be
+     * `{"op":"auth","token":...}` with this token; any other frame -
+     * or a wrong token - is rejected before it can reach the
+     * admission queue, and a wrong token closes the connection.
+     * Empty = no authentication (the `auth` op still answers ok).
+     */
+    std::string authToken;
+
+    /** Open connections allowed at once (0 = unlimited).  Excess
+     *  accepts are answered with an error line and closed. */
+    std::size_t maxConnections = 0;
+
+    /** Admitted verify requests allowed per connection at once
+     *  (0 = unlimited). */
+    std::size_t maxInflightPerConnection = 0;
+
+    /** Close a connection with no traffic and no in-flight work for
+     *  this long (0 = never). */
+    unsigned idleTimeoutSeconds = 0;
+
+    /** Serving-tier program cache capacity (0 disables). */
+    std::size_t programCacheCapacity = 64;
+
+    /** Serving-tier result cache capacity (0 disables). */
+    std::size_t resultCacheCapacity = 256;
 
     /**
      * Per-request verification defaults (lanes, portfolio, budget,
@@ -90,10 +124,14 @@ class Server
     };
 
     /**
-     * Bind and listen on options.socketPath.  A stale socket file
-     * (nothing accepting on it) is replaced; a LIVE one is an error.
-     * @throws FatalError when the path is unwritable, too long for
-     *         sockaddr_un, or already served by another process.
+     * Bind and listen on every configured endpoint: a Unix domain
+     * socket at options.socketPath (a stale socket file - nothing
+     * accepting on it - is replaced; a LIVE one is an error), a TCP
+     * socket at options.tcpAddress, or both.
+     * @throws FatalError when no endpoint is configured, the socket
+     *         path is unwritable / too long for sockaddr_un / already
+     *         served by another process, or the TCP address cannot be
+     *         resolved or bound.
      */
     explicit Server(ServerOptions options);
 
@@ -125,6 +163,9 @@ class Server
     bool stopRequested() const;
 
     const std::string &socketPath() const;
+    /** Actual bound TCP endpoint ("host:port", with the kernel-chosen
+     *  port when 0 was configured); empty when TCP is off. */
+    std::string tcpEndpoint() const;
     Counters counters() const;
 
   private:

@@ -1,0 +1,169 @@
+#include "serving/serving.h"
+
+#include <chrono>
+#include <utility>
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace qb::serving {
+
+ServingTier::ServingTier(ServingOptions options)
+    : programs_(options.programCacheCapacity),
+      results_(options.resultCacheCapacity)
+{
+}
+
+std::string
+ServingTier::optionsFingerprint(const core::EngineOptions &engine_opts,
+                                bool check_clean)
+{
+    // Everything that can change a VERDICT or a report field other
+    // than timing goes in; scheduling-only knobs (fairnessBand, jobs,
+    // adaptiveLanes, inprocessInterval) stay out so they do not
+    // splinter the cache.  Lane order matters (reports name lanes by
+    // index), so lanes are fingerprinted in order.
+    std::string key = check_clean ? "clean;" : "dirty;";
+    key += engine_opts.portfolio ? "pf;" : "sl;";
+    for (const core::VerifierOptions &lane : engine_opts.lanes) {
+        const sat::SolverConfig &s = lane.solver;
+        key += format(
+            "enc%d.x%u.cb%lld.cex%d.vs%d.ph%d.p0%d.pre%d.luby%d."
+            "rb%lld.vd%g;",
+            static_cast<int>(lane.encoding), lane.xorChunk,
+            static_cast<long long>(lane.conflictBudget),
+            lane.wantCounterexample ? 1 : 0, s.useVsids ? 1 : 0,
+            s.phaseSaving ? 1 : 0, s.initialPhaseTrue ? 1 : 0,
+            s.preprocess ? 1 : 0, s.lubyRestarts ? 1 : 0,
+            static_cast<long long>(s.restartBase), s.varDecay);
+    }
+    return key;
+}
+
+ServingTier::Outcome
+ServingTier::verify(const std::string &source,
+                    core::EngineOptions engine_opts, bool check_clean,
+                    const std::string &options_key,
+                    const core::ResultObserver &observer,
+                    const std::shared_ptr<core::Scheduler> &scheduler,
+                    const std::shared_ptr<core::CancelSource> &cancel)
+{
+    const std::uint64_t hash = hashSource(source);
+    const auto replay =
+        [&observer](const core::ProgramResult &stored) -> Outcome {
+        Outcome out;
+        out.fromResultCache = true;
+        // Stream the memoized per-qubit frames exactly as the cold
+        // run did, then hand back the stored struct verbatim - the
+        // serialized report is byte-identical to the run that
+        // produced it.
+        if (observer)
+            for (const core::QubitResult &q : stored.qubits)
+                observer(q);
+        out.result = stored;
+        return out;
+    };
+
+    if (const auto stored = results_.lookup(hash, source, options_key))
+        return replay(*stored);
+
+    // Hash-cons the program; a fresh entry elaborates here and gets
+    // the next fairness band.  Same 1..1024 rotation the server used
+    // per request, now pinned per PROGRAM (warm sessions bake their
+    // band in at construction).
+    const unsigned band =
+        1 + (bandCounter_.fetch_add(1, std::memory_order_relaxed) &
+             0x3ffu);
+    const std::shared_ptr<ProgramEntry> entry =
+        programs_.acquire(source, band);
+    if (!entry->elaborationError.empty()) {
+        Outcome out;
+        out.failed = true;
+        out.error = entry->elaborationError;
+        return out;
+    }
+
+    // Single-flight per (program, options fingerprint), and warm
+    // session checkout.
+    core::SessionSet sessions;
+    bool warm = false;
+    {
+        std::unique_lock<std::mutex> lock(entry->mutex);
+        while (entry->computing.count(options_key) != 0) {
+            // An identical submission is computing right now: wait
+            // for it to publish instead of duplicating the SAT work.
+            entry->cv.wait_for(lock,
+                               std::chrono::milliseconds(50));
+            if (cancel && cancel->cancelRequested())
+                break;
+        }
+        if (cancel && cancel->cancelRequested()) {
+            // Cancelled while waiting on the computing twin: settle
+            // with an empty result; the server layer reports
+            // "cancelled" from the CancelSource state.
+            return Outcome{};
+        }
+        // The computer publishes to the result cache BEFORE clearing
+        // its computing mark, so a woken waiter hits here.
+        if (const auto stored =
+                results_.lookup(hash, source, options_key))
+            return replay(*stored);
+        entry->computing.insert(options_key);
+        core::SessionSet &slot = entry->sessions[options_key];
+        warm = !slot.empty();
+        sessions = std::move(slot);
+    }
+    if (warm)
+        warmVerifies_.fetch_add(1, std::memory_order_relaxed);
+
+    // Warm sessions were built in (and must keep racing in) the
+    // entry's pinned band.
+    engine_opts.fairnessBand = entry->band;
+    Outcome out;
+    out.warmSessions = warm;
+    bool threw = false;
+    try {
+        out.result = core::verifyAll(*entry->program, engine_opts,
+                                     observer, check_clean, scheduler,
+                                     cancel, sessions);
+    } catch (const FatalError &e) {
+        threw = true;
+        out.failed = true;
+        out.error = e.what();
+    }
+
+    {
+        const std::lock_guard<std::mutex> guard(entry->mutex);
+        // Return the sessions (warm for the next request) and clear
+        // the single-flight mark even on failure, so waiters can take
+        // over.
+        entry->sessions[options_key] = std::move(sessions);
+        entry->computing.erase(options_key);
+        const bool cancelled = cancel && cancel->cancelRequested();
+        if (!threw && !cancelled)
+            results_.insert(hash, entry->source, options_key,
+                            out.result);
+    }
+    entry->cv.notify_all();
+    return out;
+}
+
+CacheCounters
+ServingTier::programCounters() const
+{
+    return programs_.counters();
+}
+
+CacheCounters
+ServingTier::resultCounters() const
+{
+    return results_.counters();
+}
+
+std::uint64_t
+ServingTier::warmVerifies() const
+{
+    return warmVerifies_.load(std::memory_order_relaxed);
+}
+
+} // namespace qb::serving

@@ -398,6 +398,73 @@ TEST_P(InprocessingProperty, OtfStrengtheningAgreesWithBruteForce)
     }
 }
 
+TEST_P(InprocessingProperty, DeferredOtfAgreesWithBruteForce)
+{
+    // PR 6: candidates the mid-search pass must skip (deep assertion
+    // levels, locked antecedents) are queued and applied at the next
+    // root boundary.  A solver with deferral on and one with it off
+    // must agree with brute force on every incremental query - the
+    // deferred in-place shrink edits live arena clauses at level 0.
+    Rng rng(GetParam() + 91000);
+    const Cnf cnf = randomCnf(rng, 9, 38, 3);
+    SolverConfig deferred;
+    deferred.otfDefer = true;
+    SolverConfig immediate;
+    immediate.otfDefer = false;
+    Solver with(deferred);
+    Solver without(immediate);
+    with.addCnf(cnf);
+    without.addCnf(cnf);
+    const bool base = bruteForceSat(cnf);
+    EXPECT_EQ(base ? SolveResult::Sat : SolveResult::Unsat,
+              with.solve());
+    EXPECT_EQ(base ? SolveResult::Sat : SolveResult::Unsat,
+              without.solve());
+    for (int round = 0; round < 3 && base; ++round) {
+        LitVec assumptions;
+        for (Var v = 0; v < 9; ++v) {
+            const auto choice = rng.nextBelow(4);
+            if (choice == 0)
+                assumptions.push_back(mkLit(v));
+            else if (choice == 1)
+                assumptions.push_back(mkLit(v, true));
+        }
+        const bool expected =
+            bruteForceSatWithAssumptions(cnf, assumptions);
+        const auto verdict =
+            expected ? SolveResult::Sat : SolveResult::Unsat;
+        EXPECT_EQ(verdict, with.solve(assumptions))
+            << "deferred, round " << round;
+        EXPECT_EQ(verdict, without.solve(assumptions))
+            << "immediate, round " << round;
+        // Same epoch maintenance the engine performs: deferred
+        // candidates must survive (or be purged across) both.
+        with.shrinkLearnts(3);
+        with.inprocess();
+        without.shrinkLearnts(3);
+        without.inprocess();
+    }
+}
+
+TEST(Inprocessing, DeferredOtfAppliesAtRootBoundaries)
+{
+    // On a conflict-heavy instance the mid-search pass skips real
+    // candidates and the root-boundary drain applies them: both
+    // counters must move, and the verdict is unaffected.
+    Solver deferred; // otfDefer defaults on
+    deferred.addCnf(pigeonhole(7));
+    EXPECT_EQ(SolveResult::Unsat, deferred.solve());
+    EXPECT_GT(deferred.stats().otfSkipped, 0);
+    EXPECT_GT(deferred.stats().otfDeferredApplied, 0);
+    // With deferral off the skip path stays a pure skip.
+    SolverConfig config;
+    config.otfDefer = false;
+    Solver immediate(config);
+    immediate.addCnf(pigeonhole(7));
+    EXPECT_EQ(SolveResult::Unsat, immediate.solve());
+    EXPECT_EQ(0, immediate.stats().otfDeferredApplied);
+}
+
 TEST(Inprocessing, AddClauseAfterRestoreChecksOkay)
 {
     // The re-entrant restoreEliminated() inside addClause() can latch

@@ -102,6 +102,73 @@ TEST(Scheduler, BandsInterleaveRoundRobin)
     EXPECT_EQ(expected, order);
 }
 
+TEST(Scheduler, FrontSubmissionJumpsItsBandBacklog)
+{
+    // The adaptive engine boosts the likely winner's next slice with
+    // front=true: it must run before the band's queued backlog, while
+    // normally-submitted tasks keep FIFO order among themselves.
+    std::vector<int> order;
+    {
+        Scheduler pool(1);
+        std::mutex mutex;
+        std::condition_variable released;
+        bool go = false;
+        pool.submit([&] {
+            std::unique_lock<std::mutex> lock(mutex);
+            released.wait(lock, [&] { return go; });
+        });
+        for (int i = 0; i < 3; ++i)
+            pool.submit(1u, [&order, i] { order.push_back(i); });
+        pool.submit(1u, [&order] { order.push_back(99); },
+                    /*front=*/true);
+        {
+            const std::lock_guard<std::mutex> guard(mutex);
+            go = true;
+        }
+        released.notify_all();
+    } // destructor drains
+    const std::vector<int> expected{99, 0, 1, 2};
+    EXPECT_EQ(expected, order);
+}
+
+TEST(Scheduler, FrontSubmissionBoostsItsSerialQueue)
+{
+    // Queue-level boost: a front submission puts the task ahead of
+    // its queue's pending tasks AND lifts the queue's next activation
+    // ahead of its band - without breaking per-queue exclusivity.
+    std::vector<int> order;
+    {
+        Scheduler pool(1);
+        std::mutex mutex;
+        std::condition_variable released;
+        bool go = false;
+        pool.submit([&] {
+            std::unique_lock<std::mutex> lock(mutex);
+            released.wait(lock, [&] { return go; });
+        });
+        const auto slow = pool.makeQueue(1u);
+        const auto hot = pool.makeQueue(1u);
+        for (int i = 0; i < 2; ++i)
+            pool.submit(slow, [&order, i] { order.push_back(i); });
+        pool.submit(hot, [&order] { order.push_back(10); });
+        pool.submit(hot, [&order] { order.push_back(42); },
+                    /*front=*/true);
+        {
+            const std::lock_guard<std::mutex> guard(mutex);
+            go = true;
+        }
+        released.notify_all();
+    } // destructor drains
+    // Both queues were already activated (at the band's back, in
+    // submission order) when the boost arrived, so slow's first task
+    // still runs first; the boost latches and applies at hot's NEXT
+    // activation push.  From there hot runs the boosted task ahead of
+    // its own FIFO backlog AND re-activates ahead of slow's pending
+    // turn - the requeued-slice scenario the adaptive engine hits.
+    const std::vector<int> expected{0, 42, 10, 1};
+    EXPECT_EQ(expected, order);
+}
+
 TEST(Scheduler, BandBacklogReportsQueuedWork)
 {
     std::mutex mutex;

@@ -12,12 +12,14 @@
 #include <gtest/gtest.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <netdb.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -29,6 +31,8 @@
 #include "server/protocol.h"
 #include "server/request_queue.h"
 #include "server/server.h"
+#include "serving/cache.h"
+#include "serving/serving.h"
 #include "support/logging.h"
 #include "support/strings.h"
 
@@ -256,6 +260,9 @@ TEST(RequestQueue, PopBlocksUntilPush)
 class TestClient
 {
   public:
+    /** Tag selecting the TCP constructor. */
+    struct Tcp {};
+
     explicit TestClient(const std::string &path)
     {
         sockaddr_un addr{};
@@ -269,6 +276,37 @@ class TestClient
                            reinterpret_cast<sockaddr *>(&addr),
                            sizeof(addr)) == 0,
                  "test client: connect() failed");
+    }
+
+    /** Connect over TCP to "host:port" (Server::tcpEndpoint()). */
+    TestClient(Tcp, const std::string &endpoint)
+    {
+        const std::size_t colon = endpoint.rfind(':');
+        qbAssert(colon != std::string::npos,
+                 "test client: endpoint is not host:port");
+        const std::string host = endpoint.substr(0, colon);
+        const std::string port = endpoint.substr(colon + 1);
+        addrinfo hints{};
+        hints.ai_family = AF_UNSPEC;
+        hints.ai_socktype = SOCK_STREAM;
+        addrinfo *results = nullptr;
+        qbAssert(::getaddrinfo(host.c_str(), port.c_str(), &hints,
+                               &results) == 0,
+                 "test client: cannot resolve endpoint");
+        for (addrinfo *ai = results; ai != nullptr;
+             ai = ai->ai_next) {
+            fd_ = ::socket(ai->ai_family,
+                           ai->ai_socktype | SOCK_CLOEXEC,
+                           ai->ai_protocol);
+            if (fd_ < 0)
+                continue;
+            if (::connect(fd_, ai->ai_addr, ai->ai_addrlen) == 0)
+                break;
+            ::close(fd_);
+            fd_ = -1;
+        }
+        ::freeaddrinfo(results);
+        qbAssert(fd_ >= 0, "test client: TCP connect() failed");
     }
 
     ~TestClient()
@@ -294,9 +332,9 @@ class TestClient
         }
     }
 
-    /** Next response line, parsed; nullopt on EOF. */
-    std::optional<JsonValue>
-    next()
+    /** Next raw response line (without '\n'); nullopt on EOF. */
+    std::optional<std::string>
+    nextRaw()
     {
         std::size_t eol;
         while ((eol = buffer_.find('\n')) == std::string::npos) {
@@ -308,9 +346,37 @@ class TestClient
                 return std::nullopt;
             buffer_.append(chunk, static_cast<std::size_t>(n));
         }
-        const std::string line = buffer_.substr(0, eol);
+        std::string line = buffer_.substr(0, eol);
         buffer_.erase(0, eol + 1);
-        return JsonValue::parse(line);
+        return line;
+    }
+
+    /** Next response line, parsed; nullopt on EOF. */
+    std::optional<JsonValue>
+    next()
+    {
+        const auto line = nextRaw();
+        if (!line)
+            return std::nullopt;
+        return JsonValue::parse(*line);
+    }
+
+    /** Raw line of the terminal `result`/`error` frame of @p id
+     *  (frames of other ids and non-terminal frames are skipped). */
+    std::string
+    terminalRawLine(std::int64_t id)
+    {
+        while (auto line = nextRaw()) {
+            const JsonValue frame = JsonValue::parse(*line);
+            const JsonValue *fid = frame.find("id");
+            if (!fid || fid->asInt(-1) != id)
+                continue;
+            const std::string type = frame.find("type")->asString();
+            if (type == "result" || type == "error")
+                return *line;
+        }
+        ADD_FAILURE() << "stream ended before result of id " << id;
+        return "";
     }
 
     /** Read frames for request @p id until its terminal frame
@@ -890,6 +956,509 @@ TEST(Server, RefusesToReplaceANonSocketFile)
     std::getline(back, content);
     EXPECT_EQ("precious user data", content) << "file was clobbered";
     ::unlink(path.c_str());
+}
+
+// ================================================== auth protocol units
+
+TEST(ParseRequest, AuthOpRequiresStringToken)
+{
+    const Request r = parseRequest(
+        R"({"op": "auth", "id": 2, "token": "s3cret"})");
+    EXPECT_EQ(RequestOp::Auth, r.op);
+    EXPECT_EQ(2, r.id);
+    EXPECT_EQ("s3cret", r.token);
+    EXPECT_THROW(parseRequest(R"({"op": "auth", "id": 2})"),
+                 FatalError);
+    EXPECT_THROW(
+        parseRequest(R"({"op": "auth", "id": 2, "token": 7})"),
+        FatalError);
+}
+
+TEST(AuthResponse, Serializes)
+{
+    const JsonValue ok = JsonValue::parse(authResponse(4, true));
+    EXPECT_EQ("auth", ok.find("type")->asString());
+    EXPECT_EQ(4, ok.find("id")->asInt());
+    EXPECT_TRUE(ok.find("ok")->asBool(false));
+    const JsonValue bad = JsonValue::parse(authResponse(5, false));
+    EXPECT_FALSE(bad.find("ok")->asBool(true));
+}
+
+TEST(StatsResponse, ServingFieldsAreBackwardCompatibleAdditions)
+{
+    StatsSnapshot snapshot;
+    snapshot.served = 2;
+    snapshot.uptimeSeconds = 12.5;
+    snapshot.opVerify = 3;
+    snapshot.opAuth = 1;
+    snapshot.resultCache.hits = 4;
+    snapshot.resultCache.evictions = 1;
+    snapshot.programCache.entries = 2;
+    snapshot.warmVerifies = 5;
+    snapshot.activeConnections = 1;
+    snapshot.connectionLimit = 8;
+    snapshot.authRejected = 6;
+    const JsonValue doc =
+        JsonValue::parse(statsResponse(3, snapshot));
+    // Pre-PR 6 fields keep their exact shape...
+    EXPECT_EQ(2, doc.find("counters")->find("served")->asInt());
+    ASSERT_NE(nullptr, doc.find("queue"));
+    ASSERT_NE(nullptr, doc.find("scheduler")->find("bands"));
+    // ...and the serving tier adds NEW top-level objects.
+    EXPECT_DOUBLE_EQ(12.5, doc.find("uptime_seconds")->asNumber());
+    EXPECT_EQ(3, doc.find("ops")->find("verify")->asInt());
+    EXPECT_EQ(1, doc.find("ops")->find("auth")->asInt());
+    const JsonValue *caches = doc.find("caches");
+    ASSERT_NE(nullptr, caches);
+    EXPECT_EQ(4, caches->find("result")->find("hits")->asInt());
+    EXPECT_EQ(1, caches->find("result")->find("evictions")->asInt());
+    EXPECT_EQ(2, caches->find("program")->find("entries")->asInt());
+    EXPECT_EQ(5, caches->find("warm_verifies")->asInt());
+    EXPECT_EQ(1, doc.find("connections")->find("active")->asInt());
+    EXPECT_EQ(8, doc.find("connections")->find("limit")->asInt());
+    EXPECT_EQ(6,
+              doc.find("connections")->find("auth_rejected")->asInt());
+}
+
+// ==================================================== serving-tier units
+
+TEST(ServingCache, ProgramCacheHashConsesAndEvictsLru)
+{
+    serving::ProgramCache cache(2);
+    const std::string program_a = "borrow@ q;\n";
+    const auto a = cache.acquire(program_a, 1);
+    const auto a_again = cache.acquire(program_a, 2);
+    EXPECT_EQ(a.get(), a_again.get()) << "hash-consed";
+    EXPECT_EQ(1u, a->band) << "band pinned at creation";
+    const auto b = cache.acquire("borrow@ r;\n", 3);
+    EXPECT_TRUE(b->elaborationError.empty());
+    cache.acquire("borrow@ s;\n", 4); // capacity 2: evicts a (LRU)
+    const auto a_fresh = cache.acquire(program_a, 5);
+    EXPECT_NE(a.get(), a_fresh.get()) << "was evicted";
+    const auto counters = cache.counters();
+    EXPECT_EQ(1u, counters.hits);
+    EXPECT_EQ(4u, counters.misses);
+    EXPECT_EQ(2u, counters.evictions);
+    EXPECT_EQ(2u, counters.entries);
+}
+
+TEST(ServingCache, ProgramCacheCachesElaborationErrors)
+{
+    serving::ProgramCache cache(4);
+    const auto bad = cache.acquire("this is not a program", 1);
+    EXPECT_FALSE(bad->elaborationError.empty());
+    EXPECT_EQ(nullptr, bad->program.get());
+    // Negative entries are cached too: resubmission fails fast.
+    const auto again = cache.acquire("this is not a program", 2);
+    EXPECT_EQ(bad.get(), again.get());
+}
+
+TEST(ServingCache, ResultCacheKeysOnSourceHashAndOptions)
+{
+    serving::ResultCache cache(2);
+    const std::string source = "borrow@ q;\n";
+    const auto hash = serving::hashSource(source);
+    core::ProgramResult result;
+    result.totalSeconds = 1.5;
+    cache.insert(hash,
+                 std::make_shared<const std::string>(source),
+                 "optA", result);
+    const auto hit = cache.lookup(hash, source, "optA");
+    ASSERT_NE(nullptr, hit.get());
+    EXPECT_DOUBLE_EQ(1.5, hit->totalSeconds);
+    EXPECT_EQ(nullptr,
+              cache.lookup(hash, source, "optB").get())
+        << "different options fingerprint";
+    EXPECT_EQ(nullptr,
+              cache.lookup(hash, "other source", "optA").get())
+        << "source byte-compare guards hash collisions";
+}
+
+TEST(ServingTier, OptionsFingerprintSeparatesResultAffectingKnobs)
+{
+    const core::EngineOptions base =
+        core::EngineOptions::portfolioAB();
+    const std::string key =
+        serving::ServingTier::optionsFingerprint(base, false);
+    EXPECT_EQ(key,
+              serving::ServingTier::optionsFingerprint(base, false));
+    EXPECT_NE(key,
+              serving::ServingTier::optionsFingerprint(base, true));
+    core::EngineOptions budgeted = base;
+    for (auto &lane : budgeted.lanes)
+        lane.conflictBudget = 100;
+    EXPECT_NE(key, serving::ServingTier::optionsFingerprint(
+                       budgeted, false));
+    // Scheduling-only knobs must NOT splinter the cache.
+    core::EngineOptions scheduling = base;
+    scheduling.fairnessBand = 77;
+    scheduling.jobs = 9;
+    scheduling.adaptiveLanes = true;
+    EXPECT_EQ(key, serving::ServingTier::optionsFingerprint(
+                       scheduling, false));
+}
+
+// =================================================== warm cache, e2e
+
+/** The stats frame for @p id, skipping unrelated frames. */
+JsonValue
+fetchStats(TestClient &client, std::int64_t id)
+{
+    client.send(format("{\"op\": \"stats\", \"id\": %lld}",
+                       static_cast<long long>(id)));
+    while (auto frame = client.next()) {
+        const JsonValue *fid = frame->find("id");
+        if (frame->find("type")->asString() == "stats" && fid &&
+            fid->asInt(-1) == id)
+            return std::move(*frame);
+    }
+    ADD_FAILURE() << "stream ended before the stats frame";
+    return JsonValue{};
+}
+
+TEST(Server, ResultCacheHitIsByteIdenticalAndCounted)
+{
+    ServerOptions options;
+    options.socketPath = testSocketPath("resultcache");
+    options.concurrency = 1;
+    options.jobs = 2;
+    Server server(std::move(options));
+    server.start();
+
+    TestClient client(server.socketPath());
+    const std::string source = circuits::adderQbrSource(5);
+    client.send(verifyRequestLine(1, source));
+    const std::string cold = client.terminalRawLine(1);
+    // Same id, same source, same options: the repeat may answer from
+    // the result cache, and its final frame must be BYTE-identical -
+    // including the timing fields, which are replayed, not re-earned.
+    client.send(verifyRequestLine(1, source));
+    const std::string warm = client.terminalRawLine(1);
+    EXPECT_EQ(cold, warm);
+
+    const JsonValue stats = fetchStats(client, 50);
+    EXPECT_GE(stats.find("caches")->find("result")->find("hits")
+                  ->asInt(),
+              1);
+    EXPECT_EQ(2, stats.find("ops")->find("verify")->asInt());
+    EXPECT_GT(stats.find("uptime_seconds")->asNumber(-1.0), 0.0);
+    server.shutdown();
+    EXPECT_EQ(2u, server.counters().served);
+}
+
+TEST(Server, ResultCacheEvictsUnderItsBound)
+{
+    ServerOptions options;
+    options.socketPath = testSocketPath("eviction");
+    options.concurrency = 1;
+    options.jobs = 1;
+    options.resultCacheCapacity = 1; // one memoized verdict at a time
+    Server server(std::move(options));
+    server.start();
+
+    TestClient client(server.socketPath());
+    client.send(verifyRequestLine(1, circuits::adderQbrSource(4)));
+    client.collect(1);
+    client.send(verifyRequestLine(2, circuits::mcxQbrSource(4)));
+    client.collect(2);
+    // The mcx result evicted the adder result; resubmitting the adder
+    // recomputes (and evicts mcx in turn).
+    client.send(verifyRequestLine(3, circuits::adderQbrSource(4)));
+    const auto frames = client.collect(3);
+    EXPECT_EQ("done", frames.back().find("status")->asString());
+
+    const JsonValue stats = fetchStats(client, 50);
+    const JsonValue *result_cache =
+        stats.find("caches")->find("result");
+    EXPECT_GE(result_cache->find("evictions")->asInt(), 2);
+    EXPECT_EQ(0, result_cache->find("hits")->asInt());
+    EXPECT_LE(result_cache->find("entries")->asInt(), 1);
+    server.shutdown();
+}
+
+TEST(Server, WarmSessionsServeRepeatsWhenResultCacheIsOff)
+{
+    ServerOptions options;
+    options.socketPath = testSocketPath("warmsessions");
+    options.concurrency = 1;
+    options.jobs = 2;
+    options.resultCacheCapacity = 0; // force re-verification...
+    Server server(std::move(options));
+    server.start();
+
+    TestClient client(server.socketPath());
+    const std::string source = circuits::adderQbrSource(5);
+    client.send(verifyRequestLine(1, source));
+    const auto cold = client.collect(1);
+    client.send(verifyRequestLine(2, source));
+    const auto warm = client.collect(2); // ...through warm sessions
+    EXPECT_EQ("done", warm.back().find("status")->asString());
+    EXPECT_EQ(comparableQubits(cold), comparableQubits(warm));
+
+    const JsonValue stats = fetchStats(client, 50);
+    EXPECT_GE(stats.find("caches")->find("warm_verifies")->asInt(),
+              1);
+    EXPECT_GE(stats.find("caches")->find("program")->find("hits")
+                  ->asInt(),
+              1);
+    server.shutdown();
+    EXPECT_EQ(2u, server.counters().served);
+}
+
+TEST(Server, CancelledProgramResubmitsCleanlyThroughWarmSessions)
+{
+    ServerOptions options;
+    options.socketPath = testSocketPath("cancelwarm");
+    options.concurrency = 1;
+    options.jobs = 1;
+    Server server(std::move(options));
+    server.start();
+
+    TestClient client(server.socketPath());
+    const std::string source = circuits::adderQbrSource(32);
+    client.send(verifyRequestLine(1, source));
+    // Wait until the request is running, then cancel mid-program: the
+    // warm sessions absorb a cancellation.
+    while (true) {
+        auto frame = client.next();
+        ASSERT_TRUE(frame.has_value());
+        if (frame->find("type")->asString() == "qubit")
+            break;
+    }
+    client.send(R"({"op": "cancel", "id": 2, "target": 1})");
+    bool cancelled = false;
+    while (!cancelled) {
+        auto frame = client.next();
+        ASSERT_TRUE(frame.has_value());
+        if (frame->find("type")->asString() == "result" &&
+            frame->find("id")->asInt() == 1) {
+            EXPECT_EQ("cancelled",
+                      frame->find("status")->asString());
+            cancelled = true;
+        }
+    }
+    // A cancelled run is never memoized; the resubmission re-verifies
+    // through the SAME warm sessions (rearmed with a fresh cancel
+    // source) and completes.
+    client.send(verifyRequestLine(3, source));
+    const auto frames = client.collect(3);
+    EXPECT_EQ("done", frames.back().find("status")->asString());
+    EXPECT_TRUE(frames.back()
+                    .find("report")
+                    ->find("all_safe")
+                    ->asBool(false));
+    server.shutdown();
+}
+
+TEST(Server, ConcurrentIdenticalSubmissionsComputeOnceAnswerAll)
+{
+    ServerOptions options;
+    options.socketPath = testSocketPath("singleflight");
+    options.concurrency = 3; // all three requests in flight together
+    options.jobs = 2;
+    Server server(std::move(options));
+    server.start();
+
+    const std::string source = circuits::adderQbrSource(8);
+    TestClient client_a(server.socketPath());
+    TestClient client_b(server.socketPath());
+    TestClient client_c(server.socketPath());
+    client_a.send(verifyRequestLine(1, source));
+    client_b.send(verifyRequestLine(2, source));
+    client_c.send(verifyRequestLine(3, source));
+    const auto frames_a = client_a.collect(1);
+    const auto frames_b = client_b.collect(2);
+    const auto frames_c = client_c.collect(3);
+    for (const auto *frames : {&frames_a, &frames_b, &frames_c}) {
+        EXPECT_EQ("result",
+                  frames->back().find("type")->asString());
+        EXPECT_EQ("done", frames->back().find("status")->asString());
+    }
+    // Every client saw the same verdicts...
+    EXPECT_EQ(comparableQubits(frames_a), comparableQubits(frames_b));
+    EXPECT_EQ(comparableQubits(frames_a), comparableQubits(frames_c));
+    // ...and single-flight + the result cache ensured one compute: the
+    // other two answered from the memoized result, whichever order the
+    // three were admitted in.
+    const JsonValue stats = fetchStats(client_a, 50);
+    EXPECT_GE(stats.find("caches")->find("result")->find("hits")
+                  ->asInt(),
+              2);
+    server.shutdown();
+    EXPECT_EQ(3u, server.counters().served);
+}
+
+// ======================================================== TCP transport
+
+TEST(Server, TcpTokenAuthRejectsBeforeAdmissionAndAcceptsWithToken)
+{
+    const auto unsafe_local =
+        core::verifyAll(lang::elaborateSource(kUnsafeSource));
+
+    ServerOptions options;
+    options.tcpAddress = "127.0.0.1:0"; // TCP only, ephemeral port
+    options.authToken = "s3cret";
+    options.jobs = 1;
+    Server server(std::move(options));
+    server.start();
+    ASSERT_FALSE(server.tcpEndpoint().empty());
+
+    {
+        // Unauthenticated ops are refused before the queue...
+        TestClient intruder(TestClient::Tcp{}, server.tcpEndpoint());
+        intruder.send(verifyRequestLine(1, kUnsafeSource));
+        auto refused = intruder.next();
+        ASSERT_TRUE(refused.has_value());
+        EXPECT_EQ("error", refused->find("type")->asString());
+        EXPECT_NE(std::string::npos,
+                  refused->find("message")->asString().find(
+                      "authentication required"));
+        // ...and a wrong token is answered then disconnected.
+        intruder.send(
+            R"({"op": "auth", "id": 2, "token": "wrong"})");
+        auto denied = intruder.next();
+        ASSERT_TRUE(denied.has_value());
+        EXPECT_EQ("auth", denied->find("type")->asString());
+        EXPECT_FALSE(denied->find("ok")->asBool(true));
+        EXPECT_FALSE(intruder.next().has_value())
+            << "connection must close after a bad token";
+    }
+
+    // The right token unlocks the full protocol, with the same
+    // verdicts the Unix transport (and a local run) produces.
+    TestClient client(TestClient::Tcp{}, server.tcpEndpoint());
+    client.send(R"({"op": "auth", "id": 1, "token": "s3cret"})");
+    auto granted = client.next();
+    ASSERT_TRUE(granted.has_value());
+    EXPECT_EQ("auth", granted->find("type")->asString());
+    EXPECT_TRUE(granted->find("ok")->asBool(false));
+    client.send(R"({"op": "ping", "id": 2})");
+    auto pong = client.next();
+    ASSERT_TRUE(pong.has_value());
+    EXPECT_EQ("pong", pong->find("type")->asString());
+    client.send(verifyRequestLine(3, kUnsafeSource));
+    const auto frames = client.collect(3);
+    EXPECT_EQ("done", frames.back().find("status")->asString());
+    EXPECT_EQ(comparableQubits(unsafe_local),
+              comparableQubits(frames));
+
+    const JsonValue stats = fetchStats(client, 50);
+    EXPECT_GE(stats.find("connections")->find("auth_rejected")
+                  ->asInt(),
+              2);
+    server.shutdown();
+    // The rejected frames never became admitted requests.
+    EXPECT_EQ(1u, server.counters().requests);
+}
+
+TEST(Server, TcpConnectionLimitRefusesTheExcessConnection)
+{
+    ServerOptions options;
+    options.tcpAddress = "127.0.0.1:0";
+    options.maxConnections = 1;
+    options.jobs = 1;
+    Server server(std::move(options));
+    server.start();
+
+    TestClient first(TestClient::Tcp{}, server.tcpEndpoint());
+    first.send(R"({"op": "ping", "id": 1})");
+    ASSERT_TRUE(first.next().has_value())
+        << "first connection must be registered and serving";
+
+    TestClient second(TestClient::Tcp{}, server.tcpEndpoint());
+    auto refused = second.next();
+    ASSERT_TRUE(refused.has_value());
+    EXPECT_EQ("error", refused->find("type")->asString());
+    EXPECT_NE(std::string::npos,
+              refused->find("message")->asString().find(
+                  "connection limit"));
+    EXPECT_FALSE(second.next().has_value()) << "then disconnected";
+
+    // The first connection is unaffected.
+    first.send(R"({"op": "ping", "id": 2})");
+    auto pong = first.next();
+    ASSERT_TRUE(pong.has_value());
+    EXPECT_EQ("pong", pong->find("type")->asString());
+    server.shutdown();
+}
+
+TEST(Server, TcpDrainDeliversResultsOnShutdown)
+{
+    ServerOptions options;
+    options.tcpAddress = "127.0.0.1:0";
+    options.concurrency = 1;
+    options.jobs = 1;
+    Server server(std::move(options));
+    server.start();
+
+    TestClient client(TestClient::Tcp{}, server.tcpEndpoint());
+    client.send(verifyRequestLine(1, circuits::adderQbrSource(5)));
+    client.send(R"({"op": "shutdown", "id": 2})");
+    while (!server.stopRequested())
+        std::this_thread::yield();
+    server.shutdown();
+
+    bool saw_result = false;
+    bool saw_bye = false;
+    while (auto frame = client.next()) {
+        const std::string type = frame->find("type")->asString();
+        if (type == "result" && frame->find("id")->asInt() == 1) {
+            saw_result = true;
+            EXPECT_EQ("done", frame->find("status")->asString());
+        }
+        if (type == "bye")
+            saw_bye = true;
+    }
+    EXPECT_TRUE(saw_result)
+        << "drain dropped an admitted TCP request";
+    EXPECT_TRUE(saw_bye);
+}
+
+TEST(Server, IdleTimeoutClosesQuietConnections)
+{
+    ServerOptions options;
+    options.socketPath = testSocketPath("idle");
+    options.idleTimeoutSeconds = 1;
+    options.jobs = 1;
+    Server server(std::move(options));
+    server.start();
+
+    TestClient client(server.socketPath());
+    client.send(R"({"op": "ping", "id": 1})");
+    ASSERT_TRUE(client.next().has_value());
+    // Go quiet: the sweep must close the connection (EOF on read)
+    // without any client action.  Bounded wait, generous for CI.
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_FALSE(client.next().has_value());
+    const auto waited = std::chrono::duration_cast<
+        std::chrono::seconds>(std::chrono::steady_clock::now() -
+                              start);
+    EXPECT_LT(waited.count(), 30);
+    server.shutdown();
+}
+
+TEST(Server, UnixAndTcpListenersServeTogether)
+{
+    ServerOptions options;
+    options.socketPath = testSocketPath("dual");
+    options.tcpAddress = "127.0.0.1:0";
+    options.jobs = 1;
+    Server server(std::move(options));
+    server.start();
+
+    TestClient unix_client(server.socketPath());
+    TestClient tcp_client(TestClient::Tcp{}, server.tcpEndpoint());
+    unix_client.send(verifyRequestLine(1, kUnsafeSource));
+    tcp_client.send(verifyRequestLine(2, kUnsafeSource));
+    const auto unix_frames = unix_client.collect(1);
+    const auto tcp_frames = tcp_client.collect(2);
+    EXPECT_EQ("done",
+              unix_frames.back().find("status")->asString());
+    EXPECT_EQ("done", tcp_frames.back().find("status")->asString());
+    EXPECT_EQ(comparableQubits(unix_frames),
+              comparableQubits(tcp_frames));
+    server.shutdown();
+    EXPECT_EQ(2u, server.counters().connections);
 }
 
 // ============================================ engine-level cancellation

@@ -24,11 +24,14 @@
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include <netdb.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -50,9 +53,10 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [options] program.qbr\n"
-        "       %s --serve <socket> [options]\n"
+        "       %s --serve <socket> [--serve-tcp host:port] "
+        "[options]\n"
         "       %s --connect <socket> [options] program.qbr\n"
-        "       %s --connect <socket> --shutdown\n"
+        "       %s --connect <socket> --shutdown | --stats\n"
         "\n"
         "Verify safe uncomputation of every borrowed dirty qubit.\n"
         "\n"
@@ -76,19 +80,39 @@ usage(const char *argv0)
         "                    clause DB every N queries (default 16,\n"
         "                    0 disables)\n"
         "\n"
-        "server mode (--serve):\n"
+        "server mode (--serve / --serve-tcp):\n"
         "  --serve PATH      run as a daemon on Unix socket PATH;\n"
         "                    the other options become the server's\n"
         "                    per-request defaults\n"
+        "  --serve-tcp H:P   also (or only) listen on TCP host:port\n"
+        "                    (port 0 binds an ephemeral port and\n"
+        "                    prints it)\n"
+        "  --auth-token T    require clients to authenticate with\n"
+        "                    token T before any other op (default:\n"
+        "                    $QB_AUTH_TOKEN; empty = no auth)\n"
         "  --parallel N      programs verified concurrently\n"
         "                    (default 2)\n"
         "  --queue N         admission queue bound; further requests\n"
         "                    are refused with 'queue full'\n"
         "                    (default 16)\n"
+        "  --max-connections N   open connections allowed at once\n"
+        "                    (default 0 = unlimited)\n"
+        "  --max-inflight N  verify requests in flight per\n"
+        "                    connection (default 0 = unlimited)\n"
+        "  --idle-timeout S  close connections idle for S seconds\n"
+        "                    (default 0 = never)\n"
+        "  --program-cache N hash-consed programs kept warm\n"
+        "                    (default 64, 0 disables)\n"
+        "  --result-cache N  memoized verdicts kept (default 256,\n"
+        "                    0 disables)\n"
         "\n"
-        "client mode (--connect):\n"
+        "client mode (--connect / --connect-tcp):\n"
         "  --connect PATH    submit the program to the daemon at\n"
         "                    PATH instead of verifying locally\n"
+        "  --connect-tcp H:P connect to a TCP daemon at host:port\n"
+        "  --token T         authenticate with token T (default:\n"
+        "                    $QB_AUTH_TOKEN)\n"
+        "  --stats           print the daemon's stats frame and exit\n"
         "  --shutdown        ask the daemon to drain and exit\n"
         "\n"
         "See docs/CLI.md and docs/SERVER_PROTOCOL.md.\n",
@@ -112,7 +136,11 @@ struct CliOptions
     std::string path;
     std::string lane = "A";
     std::string servePath;
+    std::string serveTcp;
     std::string connectPath;
+    std::string connectTcp;
+    std::string token;
+    bool tokenSet = false;
     bool quiet = false;
     bool dump = false;
     bool portfolio = false;
@@ -121,12 +149,29 @@ struct CliOptions
     bool json = false;
     bool want_cex = true;
     bool shutdown_server = false;
+    bool stats = false;
     std::int64_t budget = -1;
     long jobs = 0;
     long inprocess = 16;
     long parallel = 2;
     long queue = 16;
+    long maxConnections = 0;
+    long maxInflight = 0;
+    long idleTimeout = 0;
+    long programCache = 64;
+    long resultCache = 256;
 };
+
+/** --auth-token / --token when given, else $QB_AUTH_TOKEN, else
+ *  empty. */
+std::string
+resolveToken(const CliOptions &cli)
+{
+    if (cli.tokenSet)
+        return cli.token;
+    const char *env = std::getenv("QB_AUTH_TOKEN");
+    return env ? env : "";
+}
 
 qb::core::EngineOptions
 engineOptionsFor(const CliOptions &cli)
@@ -214,18 +259,40 @@ runServer(const CliOptions &cli)
 {
     qb::server::ServerOptions options;
     options.socketPath = cli.servePath;
+    options.tcpAddress = cli.serveTcp;
+    options.authToken = resolveToken(cli);
     options.engine = engineOptionsFor(cli);
     options.checkCleanAncillas = cli.clean;
     options.queueCapacity = static_cast<std::size_t>(cli.queue);
     options.concurrency = static_cast<unsigned>(cli.parallel);
     options.jobs = static_cast<unsigned>(cli.jobs);
+    options.maxConnections =
+        static_cast<std::size_t>(cli.maxConnections);
+    options.maxInflightPerConnection =
+        static_cast<std::size_t>(cli.maxInflight);
+    options.idleTimeoutSeconds =
+        static_cast<unsigned>(cli.idleTimeout);
+    options.programCacheCapacity =
+        static_cast<std::size_t>(cli.programCache);
+    options.resultCacheCapacity =
+        static_cast<std::size_t>(cli.resultCache);
+    const bool authed = !options.authToken.empty();
 
     qb::server::Server server(std::move(options));
     std::signal(SIGINT, onStopSignal);
     std::signal(SIGTERM, onStopSignal);
+    std::string endpoints;
+    if (!server.socketPath().empty())
+        endpoints = server.socketPath();
+    if (!server.tcpEndpoint().empty()) {
+        if (!endpoints.empty())
+            endpoints += " and ";
+        endpoints += "tcp:" + server.tcpEndpoint();
+    }
     qb::inform(qb::format(
-        "qborrow server listening on %s (parallel %ld, queue %ld)",
-        server.socketPath().c_str(), cli.parallel, cli.queue));
+        "qborrow server listening on %s (parallel %ld, queue %ld%s)",
+        endpoints.c_str(), cli.parallel, cli.queue,
+        authed ? ", auth required" : ""));
     server.run(&g_stop); // returns after the graceful drain
     const auto counters = server.counters();
     qb::inform(qb::format(
@@ -259,6 +326,51 @@ connectTo(const std::string &path)
         ::close(fd);
         qb::fatal(msg);
     }
+    return fd;
+}
+
+int
+connectTcp(const std::string &host_port)
+{
+    const std::size_t colon = host_port.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= host_port.size())
+        qb::fatal("TCP address must be host:port, got '" +
+                  host_port + "'");
+    std::string host = host_port.substr(0, colon);
+    const std::string port = host_port.substr(colon + 1);
+    if (host.size() >= 2 && host.front() == '[' && host.back() == ']')
+        host = host.substr(1, host.size() - 2);
+    if (host.empty())
+        host = "127.0.0.1";
+
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *results = nullptr;
+    const int rc =
+        ::getaddrinfo(host.c_str(), port.c_str(), &hints, &results);
+    if (rc != 0)
+        qb::fatal("cannot resolve '" + host_port +
+                  "': " + ::gai_strerror(rc));
+    int fd = -1;
+    std::string last_error = "no usable address";
+    for (addrinfo *ai = results; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                      ai->ai_protocol);
+        if (fd < 0) {
+            last_error = std::strerror(errno);
+            continue;
+        }
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        last_error = std::strerror(errno);
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(results);
+    if (fd < 0)
+        qb::fatal("cannot connect to '" + host_port +
+                  "': " + last_error);
     return fd;
 }
 
@@ -335,7 +447,61 @@ int
 runClient(const CliOptions &cli)
 {
     using qb::server::JsonValue;
-    const int fd = connectTo(cli.connectPath);
+    const int fd = cli.connectTcp.empty()
+        ? connectTo(cli.connectPath)
+        : connectTcp(cli.connectTcp);
+
+    // When a token is available, authenticate before anything else -
+    // a token-protected daemon rejects every other op first.
+    const std::string token = resolveToken(cli);
+    if (!token.empty()) {
+        sendLine(fd, "{\"op\": \"auth\", \"id\": 0, \"token\": \"" +
+                         qb::jsonEscape(token) + "\"}");
+        std::string buffer, line;
+        bool acknowledged = false;
+        while (!acknowledged && readLine(fd, buffer, line)) {
+            const JsonValue doc = JsonValue::parse(line);
+            const JsonValue *type = doc.find("type");
+            if (!type || type->asString() != "auth")
+                continue;
+            acknowledged = true;
+            if (const JsonValue *ok = doc.find("ok");
+                !ok || !ok->asBool(false)) {
+                ::close(fd);
+                qb::fatal("server rejected the auth token");
+            }
+        }
+        if (!acknowledged) {
+            ::close(fd);
+            qb::fatal("connection closed during authentication");
+        }
+        if (!buffer.empty())
+            qb::warn("unexpected data before the auth ack");
+    }
+
+    if (cli.stats) {
+        sendLine(fd, "{\"op\": \"stats\", \"id\": 0}");
+        std::string buffer, line;
+        while (readLine(fd, buffer, line)) {
+            const JsonValue doc = JsonValue::parse(line);
+            const JsonValue *type = doc.find("type");
+            if (type && type->asString() == "error") {
+                const JsonValue *message = doc.find("message");
+                std::fprintf(stderr, "error: %s\n",
+                             message ? message->asString().c_str()
+                                     : "server error");
+                ::close(fd);
+                return 2;
+            }
+            if (type && type->asString() == "stats") {
+                std::printf("%s\n", line.c_str());
+                ::close(fd);
+                return 0;
+            }
+        }
+        ::close(fd);
+        qb::fatal("connection closed before stats arrived");
+    }
 
     if (cli.shutdown_server) {
         sendLine(fd, "{\"op\": \"shutdown\", \"id\": 0}");
@@ -476,10 +642,50 @@ main(int argc, char **argv)
             cli.json = true;
         } else if (arg == "--shutdown") {
             cli.shutdown_server = true;
+        } else if (arg == "--stats") {
+            cli.stats = true;
         } else if (arg == "--serve" && i + 1 < argc) {
             cli.servePath = argv[++i];
+        } else if (arg == "--serve-tcp" && i + 1 < argc) {
+            cli.serveTcp = argv[++i];
         } else if (arg == "--connect" && i + 1 < argc) {
             cli.connectPath = argv[++i];
+        } else if (arg == "--connect-tcp" && i + 1 < argc) {
+            cli.connectTcp = argv[++i];
+        } else if ((arg == "--auth-token" || arg == "--token") &&
+                   i + 1 < argc) {
+            cli.token = argv[++i];
+            cli.tokenSet = true;
+        } else if (arg == "--max-connections" && i + 1 < argc) {
+            cli.maxConnections = std::atol(argv[++i]);
+            if (cli.maxConnections < 0) {
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (arg == "--max-inflight" && i + 1 < argc) {
+            cli.maxInflight = std::atol(argv[++i]);
+            if (cli.maxInflight < 0) {
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (arg == "--idle-timeout" && i + 1 < argc) {
+            cli.idleTimeout = std::atol(argv[++i]);
+            if (cli.idleTimeout < 0) {
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (arg == "--program-cache" && i + 1 < argc) {
+            cli.programCache = std::atol(argv[++i]);
+            if (cli.programCache < 0) {
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (arg == "--result-cache" && i + 1 < argc) {
+            cli.resultCache = std::atol(argv[++i]);
+            if (cli.resultCache < 0) {
+                usage(argv[0]);
+                return 2;
+            }
         } else if (arg == "--lane" && i + 1 < argc) {
             cli.lane = argv[++i];
             if (cli.lane != "A" && cli.lane != "B") {
@@ -522,9 +728,15 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    const bool serve = !cli.servePath.empty();
-    const bool connect = !cli.connectPath.empty();
+    const bool serve =
+        !cli.servePath.empty() || !cli.serveTcp.empty();
+    const bool connect =
+        !cli.connectPath.empty() || !cli.connectTcp.empty();
     if (serve && connect) {
+        usage(argv[0]);
+        return 2;
+    }
+    if (!cli.connectPath.empty() && !cli.connectTcp.empty()) {
         usage(argv[0]);
         return 2;
     }
@@ -532,11 +744,12 @@ main(int argc, char **argv)
         usage(argv[0]);
         return 2;
     }
-    if (cli.shutdown_server && !connect) {
+    if ((cli.shutdown_server || cli.stats) && !connect) {
         usage(argv[0]);
         return 2;
     }
-    if (!serve && !cli.shutdown_server && cli.path.empty()) {
+    if (!serve && !cli.shutdown_server && !cli.stats &&
+        cli.path.empty()) {
         usage(argv[0]);
         return 2;
     }

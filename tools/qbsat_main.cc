@@ -88,6 +88,13 @@ main(int argc, char **argv)
                         static_cast<long long>(s.propagations),
                         static_cast<long long>(s.restarts),
                         static_cast<long long>(s.eliminatedVars));
+            std::printf("c otf-strengthened %lld otf-skipped %lld "
+                        "otf-deferred-applied %lld\n",
+                        static_cast<long long>(
+                            s.otfStrengthenedClauses),
+                        static_cast<long long>(s.otfSkipped),
+                        static_cast<long long>(
+                            s.otfDeferredApplied));
         }
         switch (result) {
           case qb::sat::SolveResult::Sat: {

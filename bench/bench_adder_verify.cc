@@ -125,6 +125,8 @@ reportCounters(benchmark::State &state,
         1024.0;
     state.counters["gc_runs"] =
         static_cast<double>(result.solverTotals.gcRuns);
+    state.counters["analysis_discharged"] =
+        static_cast<double>(result.analysisTotals.discharged);
 }
 
 void
@@ -219,6 +221,19 @@ AdderVerifyEnginePortfolioAdaptive(benchmark::State &state)
     runAdderEngine(state, options);
 }
 
+void
+AdderVerifyEnginePortfolioNoAnalysis(benchmark::State &state)
+{
+    // SAT-only baseline of the portfolio variant.  The adder's
+    // conditions are genuinely non-trivial (no mirror, wide cones),
+    // so analysis_discharged is 0 either way and the pair measures
+    // the pure overhead of consulting the dischargers before SAT.
+    qb::core::EngineOptions options =
+        qb::core::EngineOptions::portfolioAB();
+    options.analysis = qb::analysis::AnalysisOptions::none();
+    runAdderEngine(state, options);
+}
+
 } // namespace
 
 BENCHMARK(AdderVerifyOneShotLaneA)
@@ -246,6 +261,10 @@ BENCHMARK(AdderVerifyEnginePortfolioABC)
     ->Unit(benchmark::kSecond)
     ->Iterations(1);
 BENCHMARK(AdderVerifyEnginePortfolioAdaptive)
+    ->DenseRange(50, 200, 25)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+BENCHMARK(AdderVerifyEnginePortfolioNoAnalysis)
     ->DenseRange(50, 200, 25)
     ->Unit(benchmark::kSecond)
     ->Iterations(1);

@@ -39,6 +39,16 @@
  * within noise of PR 4, as expected for a frontend-dominated family
  * (solve_s stays sub-millisecond); the win shows up on the adder
  * bench, whose solve phase dominates.
+ *
+ * Static condition dischargers (PR 7): every variant now reports an
+ * analysis_discharged counter, a NoAnalysis twin pins the SAT-only
+ * baseline, and the McxMirrorVerifyEngine family runs the
+ * mirrored-construction program (circuits::mirrorMcxQbrSource),
+ * whose single dirty qubit the permutation discharger settles over a
+ * 3-wire cone without building a formula or touching a solver at any
+ * m.  The plain mcx family keeps analysis_discharged = 0: its ancilla
+ * conditions constant-fold in the formula arena before the analyzer
+ * is ever consulted, which is the intended division of labor.
  */
 
 #include <benchmark/benchmark.h>
@@ -83,11 +93,14 @@ reportCounters(benchmark::State &state,
         1024.0;
     state.counters["gc_runs"] =
         static_cast<double>(result.solverTotals.gcRuns);
+    state.counters["analysis_discharged"] =
+        static_cast<double>(result.analysisTotals.discharged);
 }
 
 void
 runMcxVerify(benchmark::State &state,
-             const qb::core::EngineOptions &options, bool one_shot)
+             const qb::core::EngineOptions &options, bool one_shot,
+             bool mirror = false)
 {
     // state.range(0) is the paper's control count n = 2m - 1.
     const auto n = static_cast<std::uint32_t>(state.range(0));
@@ -98,7 +111,8 @@ runMcxVerify(benchmark::State &state,
     qb::core::ProgramResult result;
     for (auto _ : state) {
         const auto program = qb::lang::elaborateSource(
-            qb::circuits::mcxQbrSource(m));
+            mirror ? qb::circuits::mirrorMcxQbrSource(m)
+                   : qb::circuits::mcxQbrSource(m));
         if (one_shot) {
             // Seed behavior: fresh one-shot session per dirty qubit.
             result.qubits.clear();
@@ -182,6 +196,38 @@ McxVerifyEnginePortfolioAdaptive(benchmark::State &state)
     runMcxVerify(state, options, false);
 }
 
+void
+McxVerifyEnginePortfolioNoAnalysis(benchmark::State &state)
+{
+    // SAT-only baseline of the portfolio variant: the on/off pair
+    // bounds what the dischargers buy (or cost) on this family.
+    qb::core::EngineOptions options =
+        qb::core::EngineOptions::portfolioAB();
+    options.analysis = qb::analysis::AnalysisOptions::none();
+    runMcxVerify(state, options, false);
+}
+
+void
+McxMirrorVerifyEngine(benchmark::State &state)
+{
+    // Mirrored construction: the permutation discharger settles the
+    // dirty qubit statically - analysis_discharged must be >= 1 here
+    // (CI bench-smoke asserts it), and solve_s stays exactly zero.
+    runMcxVerify(state, qb::core::EngineOptions::portfolioAB(), false,
+                 true);
+}
+
+void
+McxMirrorVerifyEngineNoAnalysis(benchmark::State &state)
+{
+    // The same program with the analyzer off: what the SAT path pays
+    // for a condition the static pass gets for free.
+    qb::core::EngineOptions options =
+        qb::core::EngineOptions::portfolioAB();
+    options.analysis = qb::analysis::AnalysisOptions::none();
+    runMcxVerify(state, options, false, true);
+}
+
 } // namespace
 
 BENCHMARK(McxVerifyOneShotLaneA)
@@ -209,6 +255,18 @@ BENCHMARK(McxVerifyEnginePortfolioABC)
     ->Unit(benchmark::kSecond)
     ->Iterations(1);
 BENCHMARK(McxVerifyEnginePortfolioAdaptive)
+    ->DenseRange(499, 3499, 500)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+BENCHMARK(McxVerifyEnginePortfolioNoAnalysis)
+    ->DenseRange(499, 3499, 500)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+BENCHMARK(McxMirrorVerifyEngine)
+    ->DenseRange(499, 3499, 500)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+BENCHMARK(McxMirrorVerifyEngineNoAnalysis)
     ->DenseRange(499, 3499, 500)
     ->Unit(benchmark::kSecond)
     ->Iterations(1);

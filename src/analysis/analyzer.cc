@@ -1,0 +1,77 @@
+#include "analysis/analyzer.h"
+
+#include "support/logging.h"
+
+namespace qb::analysis {
+
+const char *
+passName(Pass pass)
+{
+    switch (pass) {
+      case Pass::None:        return "none";
+      case Pass::Support:     return "support";
+      case Pass::Mirror:      return "mirror";
+      case Pass::Permutation: return "permutation";
+    }
+    return "?";
+}
+
+Analyzer::Analyzer(const ir::Circuit &circuit, AnalysisOptions options)
+    : circuit_(circuit), options_(options),
+      factsCache_(circuit.numQubits())
+{
+}
+
+const QubitFacts &
+Analyzer::qubitFacts(ir::QubitId q)
+{
+    qbAssert(q < circuit_.numQubits(),
+             "Analyzer::qubitFacts: qubit out of range");
+    if (factsCache_[q])
+        return *factsCache_[q];
+
+    QubitFacts facts;
+    if (circuit_.isClassical() && options_.anyPass()) {
+        if (options_.support) {
+            if (supportDischargesZero(circuit_, q))
+                facts.zeroDischargedBy = Pass::Support;
+            if (!supports_)
+                supports_ = supportsOf(circuit_);
+            if (!supports_->poisoned()) {
+                bool independent = true;
+                for (ir::QubitId other = 0;
+                     other < circuit_.numQubits(); ++other) {
+                    if (other != q &&
+                        supports_->mayDependOn(other, q)) {
+                        independent = false;
+                        break;
+                    }
+                }
+                if (independent)
+                    facts.plusDischargedBy = Pass::Support;
+            }
+        }
+        if (options_.mirror &&
+            (facts.zeroDischargedBy == Pass::None ||
+             facts.plusDischargedBy == Pass::None)) {
+            const MirrorFacts mirror = mirrorFacts(circuit_, q);
+            if (mirror.zeroUnsat &&
+                facts.zeroDischargedBy == Pass::None)
+                facts.zeroDischargedBy = Pass::Mirror;
+            if (mirror.plusUnsat &&
+                facts.plusDischargedBy == Pass::None)
+                facts.plusDischargedBy = Pass::Mirror;
+        }
+        if (options_.permutation &&
+            facts.zeroDischargedBy == Pass::None &&
+            permutationCheck(circuit_, q,
+                             options_.permutationWindow) ==
+                PermutationVerdict::Restored) {
+            facts.zeroDischargedBy = Pass::Permutation;
+        }
+    }
+    factsCache_[q] = facts;
+    return *factsCache_[q];
+}
+
+} // namespace qb::analysis

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Facade over the static dischargers (support.h, mirror.h,
+ * permutation.h) as consumed by core::VerificationEngine.
+ *
+ * The engine asks, per qubit, whether the zero-restoration condition
+ * (6.1) and/or the plus-restoration condition (6.2) are provably
+ * UNSAT from circuit structure alone.  Every answer here is an
+ * UNSAT-ONLY discharge: the analyzer never claims a condition
+ * satisfiable, so enabling it can skip encode+SAT work but can never
+ * change a verdict or a counterexample relative to a SAT-only run.
+ *
+ * Pass order is support, mirror, permutation - cheapest first - and
+ * the first pass to discharge a condition is credited in the
+ * per-pass counters.
+ */
+
+#ifndef QB_ANALYSIS_ANALYZER_H
+#define QB_ANALYSIS_ANALYZER_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/mirror.h"
+#include "analysis/permutation.h"
+#include "analysis/support.h"
+
+namespace qb::analysis {
+
+/** Which dischargers run, and the permutation pass's window bound. */
+struct AnalysisOptions
+{
+    bool support = true;
+    bool mirror = true;
+    bool permutation = true;
+    unsigned permutationWindow = kDefaultPermutationWindow;
+
+    bool anyPass() const { return support || mirror || permutation; }
+
+    /** Everything off: SAT-only verification. */
+    static AnalysisOptions none()
+    {
+        AnalysisOptions opts;
+        opts.support = opts.mirror = opts.permutation = false;
+        return opts;
+    }
+};
+
+/** Discharging pass, for attribution in stats and reports. */
+enum class Pass : std::uint8_t { None, Support, Mirror, Permutation };
+
+/** Name of @p pass ("support", "mirror", "permutation", "none"). */
+const char *passName(Pass pass);
+
+/** Static verdicts for one qubit's two conditions. */
+struct QubitFacts
+{
+    Pass zeroDischargedBy = Pass::None; ///< (6.1) proven UNSAT by
+    Pass plusDischargedBy = Pass::None; ///< (6.2) proven UNSAT by
+};
+
+/**
+ * Per-circuit analyzer: caches the work shared between qubits (the
+ * forward support sets and the mirror split) and answers qubitFacts()
+ * queries.  Analysis is lazy - nothing is computed until the first
+ * query - so sessions that never consult the analyzer pay nothing.
+ */
+class Analyzer
+{
+  public:
+    Analyzer(const ir::Circuit &circuit, AnalysisOptions options);
+
+    /** Static discharges for @p q's conditions (cached per qubit). */
+    const QubitFacts &qubitFacts(ir::QubitId q);
+
+    const AnalysisOptions &options() const { return options_; }
+
+  private:
+    const ir::Circuit &circuit_;
+    AnalysisOptions options_;
+    std::optional<SupportSets> supports_;
+    std::vector<std::optional<QubitFacts>> factsCache_;
+};
+
+} // namespace qb::analysis
+
+#endif // QB_ANALYSIS_ANALYZER_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Source-located lint diagnostics shared by the lint passes
+ * (analysis/lint.h) and the CLI driver.
+ *
+ * Severity policy: Error is reserved for findings that are PROVABLY
+ * wrong (e.g. a borrowed qubit whose lifetime demonstrably changes
+ * some initial value - unsafe by Theorem 6.4, see lint.cc).  Warnings
+ * flag code that is suspicious but may be intended; notes carry
+ * context.  `qborrow --lint` exits nonzero iff any Error was emitted.
+ */
+
+#ifndef QB_ANALYSIS_DIAGNOSTICS_H
+#define QB_ANALYSIS_DIAGNOSTICS_H
+
+#include <string>
+
+#include "lang/token.h"
+
+namespace qb::analysis {
+
+enum class Severity { Note, Warning, Error };
+
+inline const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note:    return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error:   return "error";
+    }
+    return "?";
+}
+
+/** One finding, anchored to a 1-based line:column source position. */
+struct Diagnostic
+{
+    Severity severity = Severity::Warning;
+    /** Kebab-case rule id, e.g. "unused-borrow". */
+    std::string rule;
+    lang::SourceLoc loc;
+    std::string message;
+
+    /** "line:col: severity: [rule] message" (no file prefix; the
+     *  driver prepends the path). */
+    std::string
+    toString() const
+    {
+        return loc.toString() + ": " + severityName(severity) +
+               ": [" + rule + "] " + message;
+    }
+};
+
+} // namespace qb::analysis
+
+#endif // QB_ANALYSIS_DIAGNOSTICS_H

@@ -1,0 +1,407 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/mirror.h"
+#include "analysis/permutation.h"
+#include "lang/parser.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace qb::analysis {
+
+namespace {
+
+/** Collect every register name released anywhere under @p body. */
+void
+collectReleases(const std::vector<lang::Stmt> &body,
+                std::set<std::string> &out)
+{
+    for (const lang::Stmt &stmt : body) {
+        if (const auto *rel =
+                std::get_if<lang::ReleaseStmt>(&stmt.node)) {
+            out.insert(rel->name);
+        } else if (const auto *loop =
+                       std::get_if<lang::ForStmt>(&stmt.node)) {
+            collectReleases(loop->body, out);
+        } else if (const auto *cond =
+                       std::get_if<lang::IfStmt>(&stmt.node)) {
+            collectReleases(cond->thenBody, out);
+            collectReleases(cond->elseBody, out);
+        } else if (const auto *loop =
+                       std::get_if<lang::WhileStmt>(&stmt.node)) {
+            collectReleases(loop->body, out);
+        }
+    }
+}
+
+/** path-divergent-release over every `if` under @p body. */
+void
+lintPathDivergentRelease(const std::vector<lang::Stmt> &body,
+                         std::vector<Diagnostic> &out)
+{
+    for (const lang::Stmt &stmt : body) {
+        if (const auto *cond =
+                std::get_if<lang::IfStmt>(&stmt.node)) {
+            std::set<std::string> then_released, else_released;
+            collectReleases(cond->thenBody, then_released);
+            collectReleases(cond->elseBody, else_released);
+            const auto report = [&](const std::string &name,
+                                    const char *path,
+                                    const char *other) {
+                Diagnostic d;
+                d.severity = Severity::Warning;
+                d.rule = "path-divergent-release";
+                d.loc = stmt.loc;
+                d.message = format(
+                    "register '%s' is released in the %s branch but "
+                    "stays live on the %s path; writes made there "
+                    "are never restored by a release",
+                    name.c_str(), path, other);
+                out.push_back(std::move(d));
+            };
+            for (const std::string &name : then_released)
+                if (!else_released.count(name))
+                    report(name, "then", "else");
+            for (const std::string &name : else_released)
+                if (!then_released.count(name))
+                    report(name, "else", "then");
+            lintPathDivergentRelease(cond->thenBody, out);
+            lintPathDivergentRelease(cond->elseBody, out);
+        } else if (const auto *loop =
+                       std::get_if<lang::ForStmt>(&stmt.node)) {
+            lintPathDivergentRelease(loop->body, out);
+        } else if (const auto *loop =
+                       std::get_if<lang::WhileStmt>(&stmt.node)) {
+            lintPathDivergentRelease(loop->body, out);
+        }
+    }
+}
+
+bool
+isBorrowRole(lang::QubitRole role)
+{
+    return role == lang::QubitRole::BorrowVerify ||
+           role == lang::QubitRole::BorrowSkip;
+}
+
+/** Source location of gate @p i, default when locations are absent
+ *  (programmatically built ElaboratedPrograms). */
+lang::SourceLoc
+gateLoc(const lang::ElaboratedProgram &program, std::size_t i)
+{
+    return i < program.gateLocs.size() ? program.gateLocs[i]
+                                       : lang::SourceLoc{};
+}
+
+void
+lintUnusedBorrows(const lang::ElaboratedProgram &program,
+                  std::vector<Diagnostic> &out)
+{
+    const auto &gates = program.circuit.gates();
+    for (std::size_t q = 0; q < program.qubits.size(); ++q) {
+        const lang::QubitInfo &info = program.qubits[q];
+        if (!isBorrowRole(info.role))
+            continue;
+        bool used = false;
+        for (std::size_t i = info.scopeBegin;
+             i < info.scopeEnd && !used; ++i)
+            used = gates[i].touches(static_cast<ir::QubitId>(q));
+        if (!used) {
+            Diagnostic d;
+            d.severity = Severity::Warning;
+            d.rule = "unused-borrow";
+            d.loc = info.loc;
+            d.message = format(
+                "borrowed qubit '%s' is never used; drop the borrow "
+                "or narrow the register",
+                info.name.c_str());
+            out.push_back(std::move(d));
+        }
+    }
+}
+
+void
+lintDeadGates(const lang::ElaboratedProgram &program,
+              std::vector<Diagnostic> &out)
+{
+    const auto &gates = program.circuit.gates();
+    std::vector<bool> dead(gates.size(), false);
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        if (dead[i] || !selfInverseClassical(gates[i]))
+            continue;
+        // The next gate touching ANY of i's wires: if it is an exact
+        // copy of i, nothing between read or wrote those wires, so
+        // the pair composes to the identity.
+        std::size_t next = gates.size();
+        for (std::size_t j = i + 1; j < gates.size() &&
+                                    next == gates.size(); ++j)
+            for (const ir::QubitId w : gates[i].qubits())
+                if (gates[j].touches(w)) {
+                    next = j;
+                    break;
+                }
+        if (next == gates.size() || !(gates[next] == gates[i]))
+            continue;
+        dead[i] = dead[next] = true;
+        Diagnostic d;
+        d.severity = Severity::Warning;
+        d.rule = "dead-gate";
+        d.loc = gateLoc(program, i);
+        d.message = format(
+            "gate cancels with the identical gate at %s; both are "
+            "no-ops",
+            gateLoc(program, next).toString().c_str());
+        out.push_back(std::move(d));
+    }
+}
+
+void
+lintReadBeforeInit(const lang::ElaboratedProgram &program,
+                   std::vector<Diagnostic> &out)
+{
+    const auto &gates = program.circuit.gates();
+    const std::size_t n = program.circuit.numQubits();
+    std::vector<bool> written(n, false), reported(n, false);
+    const auto flagRead = [&](ir::QubitId q, std::size_t gate_index) {
+        if (written[q] || reported[q] ||
+            q >= program.qubits.size() ||
+            program.qubits[q].role != lang::QubitRole::Alloc)
+            return;
+        reported[q] = true;
+        Diagnostic d;
+        d.severity = Severity::Warning;
+        d.rule = "read-before-init";
+        d.loc = gateLoc(program, gate_index);
+        d.message = format(
+            "clean qubit '%s' is read before its first write; a "
+            "control on |0> never fires",
+            program.qubits[q].name.c_str());
+        out.push_back(std::move(d));
+    };
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        const ir::Gate &gate = gates[i];
+        if (gate.kind() == ir::GateKind::Swap) {
+            // Swap both reads and writes its two operands.
+            flagRead(gate.qubits()[0], i);
+            flagRead(gate.qubits()[1], i);
+            written[gate.qubits()[0]] = true;
+            written[gate.qubits()[1]] = true;
+            continue;
+        }
+        for (const ir::QubitId c : gate.controls())
+            flagRead(c, i);
+        written[gate.target()] = true;
+    }
+}
+
+void
+lintBorrowNotRestored(const lang::ElaboratedProgram &program,
+                      const LintOptions &options,
+                      std::vector<Diagnostic> &out)
+{
+    for (std::size_t q = 0; q < program.qubits.size(); ++q) {
+        const lang::QubitInfo &info = program.qubits[q];
+        if (!isBorrowRole(info.role) ||
+            info.scopeBegin >= info.scopeEnd)
+            continue;
+        const ir::Circuit lifetime =
+            program.circuit.slice(info.scopeBegin, info.scopeEnd);
+        if (!lifetime.isClassical())
+            continue;
+        if (permutationCheck(lifetime, static_cast<ir::QubitId>(q),
+                             options.permutationWindow) !=
+            PermutationVerdict::NotRestored)
+            continue;
+        // Exact, not heuristic: the lifetime circuit is a reversible
+        // classical map F with b_q != q as functions, so either some
+        // input with q=0 ends with q=1 ((6.1) satisfiable) or - when
+        // b_q ignores q yet differs from it - flipping q flips which
+        // inputs collide, forcing another output to depend on q
+        // ((6.2) satisfiable).  Unsafe by Theorem 6.4 either way.
+        Diagnostic d;
+        d.severity = info.role == lang::QubitRole::BorrowVerify
+            ? Severity::Error
+            : Severity::Warning;
+        d.rule = "borrow-not-restored";
+        d.loc = info.loc;
+        d.message = format(
+            "borrowed qubit '%s' is written without restoration: "
+            "some initial value is provably changed by its lifetime "
+            "circuit%s",
+            info.name.c_str(),
+            info.role == lang::QubitRole::BorrowSkip
+                ? " (verification waived by borrow@)"
+                : "");
+        out.push_back(std::move(d));
+    }
+}
+
+ProgramMetrics
+computeMetrics(const lang::ElaboratedProgram &program)
+{
+    ProgramMetrics m;
+    m.gateCount = program.circuit.size();
+    m.depth = program.circuit.depth();
+    m.qubits = program.circuit.numQubits();
+    // Peak borrow liveness: sweep lifetime begin/end events in gate
+    // order, ends before begins at equal positions.
+    std::vector<std::pair<std::size_t, int>> events;
+    for (const lang::QubitInfo &info : program.qubits) {
+        if (!isBorrowRole(info.role) ||
+            info.scopeBegin >= info.scopeEnd)
+            continue;
+        events.emplace_back(info.scopeBegin, +1);
+        events.emplace_back(info.scopeEnd, -1);
+    }
+    std::sort(events.begin(), events.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first != b.first ? a.first < b.first
+                                            : a.second < b.second;
+              });
+    std::size_t live = 0;
+    for (const auto &[pos, delta] : events) {
+        (void)pos;
+        if (delta > 0)
+            m.borrowPressure = std::max(m.borrowPressure, ++live);
+        else
+            --live;
+    }
+    return m;
+}
+
+} // namespace
+
+std::size_t
+LintResult::errorCount() const
+{
+    std::size_t n = 0;
+    for (const Diagnostic &d : diagnostics)
+        if (d.severity == Severity::Error)
+            ++n;
+    return n;
+}
+
+std::size_t
+LintResult::warningCount() const
+{
+    std::size_t n = 0;
+    for (const Diagnostic &d : diagnostics)
+        if (d.severity == Severity::Warning)
+            ++n;
+    return n;
+}
+
+void
+lintAst(const lang::Program &program, std::vector<Diagnostic> &out)
+{
+    lintPathDivergentRelease(program.statements, out);
+}
+
+void
+lintElaborated(const lang::ElaboratedProgram &program,
+               const LintOptions &options, LintResult &out)
+{
+    lintUnusedBorrows(program, out.diagnostics);
+    lintDeadGates(program, out.diagnostics);
+    lintReadBeforeInit(program, out.diagnostics);
+    lintBorrowNotRestored(program, options, out.diagnostics);
+    out.metrics = computeMetrics(program);
+    out.elaborated = true;
+}
+
+LintResult
+lintSource(const std::string &source, const LintOptions &options)
+{
+    const lang::Program ast = lang::parse(source);
+    LintResult result;
+    lintAst(ast, result.diagnostics);
+    try {
+        const lang::ElaboratedProgram program = lang::elaborate(ast);
+        lintElaborated(program, options, result);
+    } catch (const FatalError &e) {
+        // Measurement-guarded (and otherwise unelaborable) programs
+        // keep their AST diagnostics; record why the IR layer is
+        // missing.
+        result.elaborated = false;
+        result.elaborationError = e.what();
+    }
+    std::stable_sort(result.diagnostics.begin(),
+                     result.diagnostics.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         if (a.loc.line != b.loc.line)
+                             return a.loc.line < b.loc.line;
+                         return a.loc.column < b.loc.column;
+                     });
+    return result;
+}
+
+std::string
+renderLintText(const LintResult &result,
+               const std::string &program_name)
+{
+    std::string out;
+    for (const Diagnostic &d : result.diagnostics)
+        out += program_name + ":" + d.toString() + "\n";
+    if (result.elaborated) {
+        out += format(
+            "%s: %zu gate(s), depth %zu, %zu qubit(s), borrow "
+            "pressure %zu; %zu error(s), %zu warning(s)\n",
+            program_name.c_str(), result.metrics.gateCount,
+            result.metrics.depth, result.metrics.qubits,
+            result.metrics.borrowPressure, result.errorCount(),
+            result.warningCount());
+    } else {
+        out += format(
+            "%s: AST rules only (not elaborable: %s); %zu error(s), "
+            "%zu warning(s)\n",
+            program_name.c_str(), result.elaborationError.c_str(),
+            result.errorCount(), result.warningCount());
+    }
+    return out;
+}
+
+std::string
+lintToJson(const LintResult &result, const std::string &program_name)
+{
+    std::string out = "{\n";
+    if (program_name.empty())
+        out += "  \"program\": null,\n";
+    else
+        out += format("  \"program\": \"%s\",\n",
+                      jsonEscape(program_name).c_str());
+    out += format("  \"elaborated\": %s,\n",
+                  result.elaborated ? "true" : "false");
+    if (!result.elaborated)
+        out += format("  \"elaboration_error\": \"%s\",\n",
+                      jsonEscape(result.elaborationError).c_str());
+    out += format("  \"errors\": %zu,\n", result.errorCount());
+    out += format("  \"warnings\": %zu,\n", result.warningCount());
+    if (result.elaborated) {
+        out += format(
+            "  \"metrics\": {\"gates\": %zu, \"depth\": %zu, "
+            "\"qubits\": %zu, \"borrow_pressure\": %zu},\n",
+            result.metrics.gateCount, result.metrics.depth,
+            result.metrics.qubits, result.metrics.borrowPressure);
+    } else {
+        out += "  \"metrics\": null,\n";
+    }
+    out += "  \"diagnostics\": [";
+    for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
+        const Diagnostic &d = result.diagnostics[i];
+        out += i > 0 ? ",\n    " : "\n    ";
+        out += format("{\"severity\": \"%s\", \"rule\": \"%s\", "
+                      "\"line\": %d, \"column\": %d, "
+                      "\"message\": \"%s\"}",
+                      severityName(d.severity), d.rule.c_str(),
+                      d.loc.line, d.loc.column,
+                      jsonEscape(d.message).c_str());
+    }
+    if (!result.diagnostics.empty())
+        out += "\n  ";
+    out += "]\n}\n";
+    return out;
+}
+
+} // namespace qb::analysis

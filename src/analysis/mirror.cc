@@ -1,0 +1,121 @@
+#include "analysis/mirror.h"
+
+#include <utility>
+#include <vector>
+
+namespace qb::analysis {
+
+bool
+selfInverseClassical(const ir::Gate &gate)
+{
+    switch (gate.kind()) {
+      case ir::GateKind::X:
+      case ir::GateKind::CNOT:
+      case ir::GateKind::CCNOT:
+      case ir::GateKind::MCX:
+      case ir::GateKind::Swap:
+        return true;
+      default:
+        return false;
+    }
+}
+
+namespace {
+
+/** Mark every wire @p gate writes in @p written. */
+void
+markWrites(const ir::Gate &gate, std::vector<bool> &written)
+{
+    if (gate.kind() == ir::GateKind::Swap) {
+        written[gate.qubits()[0]] = true;
+        written[gate.qubits()[1]] = true;
+    } else {
+        written[gate.target()] = true;
+    }
+}
+
+} // namespace
+
+std::size_t
+mirrorPrefix(const ir::Circuit &circuit)
+{
+    const std::vector<ir::Gate> &gates = circuit.gates();
+    const std::size_t n = gates.size();
+    std::size_t k = 0;
+    while (2 * (k + 1) <= n && gates[k] == gates[n - 1 - k] &&
+           selfInverseClassical(gates[k]))
+        ++k;
+    return k;
+}
+
+MirrorFacts
+mirrorFacts(const ir::Circuit &circuit, ir::QubitId q)
+{
+    MirrorFacts facts;
+    if (!circuit.isClassical())
+        return facts;
+    const std::vector<ir::Gate> &gates = circuit.gates();
+    const std::size_t n = gates.size();
+    const std::size_t k = mirrorPrefix(circuit);
+    if (k == 0)
+        return facts;
+
+    std::vector<bool> touched_by_g(circuit.numQubits(), false);
+    for (std::size_t i = 0; i < k; ++i)
+        for (const ir::QubitId w : gates[i].qubits())
+            touched_by_g[w] = true;
+    std::vector<bool> written_by_b(circuit.numQubits(), false);
+    for (std::size_t i = k; i < n - k; ++i)
+        markWrites(gates[i], written_by_b);
+
+    // The middle block must write only wires G never touches (so G⁻¹
+    // rewinds exactly the values G produced), and must not write q.
+    if (written_by_b[q])
+        return facts;
+    for (ir::QubitId w = 0; w < circuit.numQubits(); ++w)
+        if (written_by_b[w] && touched_by_g[w])
+            return facts;
+    facts.zeroUnsat = true;
+
+    // PLUS needs more: no B gate may read a value that can depend on
+    // input q.  Taint-fold dependence-on-q through G, then require
+    // every B read untainted (B writes stay untainted as a result, so
+    // the fold is stable through B).
+    std::vector<bool> taint(circuit.numQubits(), false);
+    taint[q] = true;
+    const auto fold = [&taint](const ir::Gate &gate) {
+        if (gate.kind() == ir::GateKind::Swap) {
+            const ir::QubitId a = gate.qubits()[0];
+            const ir::QubitId b = gate.qubits()[1];
+            const bool ta = taint[a];
+            taint[a] = taint[b];
+            taint[b] = ta;
+            return;
+        }
+        for (const ir::QubitId c : gate.controls())
+            if (taint[c]) {
+                taint[gate.target()] = true;
+                return;
+            }
+    };
+    for (std::size_t i = 0; i < k; ++i)
+        fold(gates[i]);
+    bool plus_ok = true;
+    for (std::size_t i = k; i < n - k && plus_ok; ++i) {
+        const ir::Gate &gate = gates[i];
+        if (gate.kind() == ir::GateKind::Swap) {
+            plus_ok = !taint[gate.qubits()[0]] &&
+                      !taint[gate.qubits()[1]];
+        } else {
+            if (taint[gate.target()])
+                plus_ok = false;
+            for (const ir::QubitId c : gate.controls())
+                if (taint[c])
+                    plus_ok = false;
+        }
+    }
+    facts.plusUnsat = plus_ok;
+    return facts;
+}
+
+} // namespace qb::analysis

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Compute-uncompute mirror detection: discharging restoration
+ * conditions of circuits shaped `G ; B ; G⁻¹` without SAT.
+ *
+ * The pass finds the longest prefix G of the gate list that is
+ * mirrored gate-for-gate by the suffix (self-inverse classical gates
+ * only, so reading the suffix backwards IS G⁻¹), leaving a middle
+ * block B.  Writing T(B) for the set of wires B writes and Op(G) for
+ * the set of wires G touches at all, two soundness facts follow for a
+ * qubit q with T(B) ∩ Op(G) = ∅ and q ∉ T(B):
+ *
+ *   ZERO (6.1): every wire outside T(B) is restored exactly.  After G
+ *   the wires hold G(x); B rewrites only wires G never touches, so
+ *   G⁻¹ sees precisely the values G produced and rewinds them to x.
+ *   Hence b_q = q and `b_q AND NOT q` is unsatisfiable.
+ *
+ *   PLUS (6.2): if additionally no B gate READS (through its
+ *   controls) a value whose support contains q - checked with the
+ *   taint fold of support.h, seeded with {q} and run through G and
+ *   then B - then no final wire value depends on input q at all:
+ *   wires outside T(B) equal their own inputs, and wires in T(B)
+ *   equal their input XOR a function of q-independent mid-values.
+ *   The plus-restoration disjunction is unsatisfiable.
+ *
+ * Both facts are UNSAT-only discharges: the pass never claims a
+ * condition satisfiable, so it can skip SAT work but never change a
+ * verdict or a counterexample.
+ */
+
+#ifndef QB_ANALYSIS_MIRROR_H
+#define QB_ANALYSIS_MIRROR_H
+
+#include <cstddef>
+
+#include "ir/circuit.h"
+
+namespace qb::analysis {
+
+/**
+ * True for gates that are their own inverse AND permute the
+ * computational basis (X family and Swap), so a mirrored occurrence
+ * read backwards is exactly the inverse.  Shared with the dead-gate
+ * lint rule, where an adjacent identical pair cancels to identity.
+ */
+bool selfInverseClassical(const ir::Gate &gate);
+
+/**
+ * Length of the longest mirrored prefix: the largest k with
+ * 2k <= size such that gate[i] == gate[size-1-i] for all i < k and
+ * every such gate is a self-inverse classical gate (X family or
+ * Swap).  0 when the circuit has no mirror structure.
+ */
+std::size_t mirrorPrefix(const ir::Circuit &circuit);
+
+/** Which of qubit q's conditions the mirror shape discharges. */
+struct MirrorFacts
+{
+    bool zeroUnsat = false; ///< (6.1) b_q AND NOT q proven UNSAT
+    bool plusUnsat = false; ///< (6.2) disjunction proven UNSAT
+};
+
+/**
+ * Analyze the mirror structure of @p circuit for qubit @p q.  Answers
+ * conservatively ({false, false}) whenever the shape requirements
+ * above do not hold; never unsound.
+ */
+MirrorFacts mirrorFacts(const ir::Circuit &circuit, ir::QubitId q);
+
+} // namespace qb::analysis
+
+#endif // QB_ANALYSIS_MIRROR_H

@@ -1,0 +1,103 @@
+#include "analysis/permutation.h"
+
+#include <vector>
+
+#include "support/logging.h"
+
+namespace qb::analysis {
+
+namespace {
+
+/** Does @p gate write a wire currently in the cone? */
+bool
+writesCone(const ir::Gate &gate, const std::vector<int> &cone_index)
+{
+    if (gate.kind() == ir::GateKind::Swap)
+        return cone_index[gate.qubits()[0]] >= 0 ||
+               cone_index[gate.qubits()[1]] >= 0;
+    return cone_index[gate.target()] >= 0;
+}
+
+} // namespace
+
+PermutationVerdict
+permutationCheck(const ir::Circuit &circuit, ir::QubitId q,
+                 unsigned window)
+{
+    qbAssert(q < circuit.numQubits(),
+             "permutationCheck: qubit out of range");
+    // 2^window assignments are enumerated below; keep that sane even
+    // if a caller passes a huge window.
+    if (window > 20)
+        window = 20;
+
+    // Backward cone: walk last-to-first; a gate writing a cone wire
+    // is relevant and every operand joins the cone.
+    const std::vector<ir::Gate> &gates = circuit.gates();
+    std::vector<int> cone_index(circuit.numQubits(), -1);
+    std::vector<ir::QubitId> cone;
+    const auto join = [&](ir::QubitId w) {
+        if (cone_index[w] < 0) {
+            cone_index[w] = static_cast<int>(cone.size());
+            cone.push_back(w);
+        }
+    };
+    join(q);
+    std::vector<std::size_t> relevant; // gate indices, reversed order
+    for (std::size_t i = gates.size(); i-- > 0;) {
+        const ir::Gate &gate = gates[i];
+        if (!gate.isClassical()) {
+            // writesCone() below asks for the target, which only the
+            // X family has.  A non-classical gate touching ANY cone
+            // wire voids the analysis (phases are invisible to a
+            // truth-table sweep); one touching none is irrelevant.
+            for (const ir::QubitId w : gate.qubits())
+                if (cone_index[w] >= 0)
+                    return PermutationVerdict::TooWide;
+            continue;
+        }
+        if (!writesCone(gate, cone_index))
+            continue;
+        for (const ir::QubitId w : gate.qubits())
+            join(w);
+        if (cone.size() > window)
+            return PermutationVerdict::TooWide;
+        relevant.push_back(i);
+    }
+
+    // Forward-simulate the relevant gates over every assignment of
+    // the cone; wires outside the cone cannot reach q's output (that
+    // is what the backward walk established), so they need no values.
+    const std::uint32_t k = static_cast<std::uint32_t>(cone.size());
+    const std::uint64_t count = std::uint64_t{1} << k;
+    const int qi = cone_index[q];
+    for (std::uint64_t input = 0; input < count; ++input) {
+        std::uint64_t state = input; // bit j = value of wire cone[j]
+        for (std::size_t r = relevant.size(); r-- > 0;) {
+            const ir::Gate &gate = gates[relevant[r]];
+            if (gate.kind() == ir::GateKind::Swap) {
+                const int a = cone_index[gate.qubits()[0]];
+                const int b = cone_index[gate.qubits()[1]];
+                const std::uint64_t bit_a = (state >> a) & 1;
+                const std::uint64_t bit_b = (state >> b) & 1;
+                if (bit_a != bit_b)
+                    state ^= (std::uint64_t{1} << a) |
+                             (std::uint64_t{1} << b);
+                continue;
+            }
+            bool fire = true;
+            for (const ir::QubitId c : gate.controls())
+                if (!((state >> cone_index[c]) & 1)) {
+                    fire = false;
+                    break;
+                }
+            if (fire)
+                state ^= std::uint64_t{1} << cone_index[gate.target()];
+        }
+        if (((state >> qi) & 1) != ((input >> qi) & 1))
+            return PermutationVerdict::NotRestored;
+    }
+    return PermutationVerdict::Restored;
+}
+
+} // namespace qb::analysis

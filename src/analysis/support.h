@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Cone-of-influence (syntactic support) analysis over ir::Circuit.
+ *
+ * For every wire of a classical-reversible circuit, the analysis
+ * tracks the set of INPUT qubits the wire's current value can depend
+ * on, as a bitset folded forward over the gate list:
+ *
+ *   X-family gate (X/CNOT/CCNOT/MCX) targeting t with controls C:
+ *       support[t] |= U_{c in C} support[c]
+ *   Swap(a, b): support[a] and support[b] exchange.
+ *
+ * The result OVER-approximates the true (semantic) dependence: a wire
+ * whose support does not contain input q provably cannot depend on q,
+ * while containment proves nothing.  That one-sided guarantee is
+ * exactly what the verification engine needs - support facts may only
+ * ever discharge a condition as UNSAT (the safe direction), never as
+ * SAT - and what the mirror pass (mirror.h) uses to certify that a
+ * middle block never reads a value tainted by the qubit under
+ * verification.
+ *
+ * Only classical gates are interpreted; a circuit containing any
+ * non-classical gate yields no facts (every query answers
+ * conservatively).
+ */
+
+#ifndef QB_ANALYSIS_SUPPORT_H
+#define QB_ANALYSIS_SUPPORT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/circuit.h"
+
+namespace qb::analysis {
+
+/** Per-wire input-support bitsets, folded forward over gates. */
+class SupportSets
+{
+  public:
+    /** Identity state: wire w depends on input w only. */
+    explicit SupportSets(std::uint32_t num_qubits);
+
+    /**
+     * Fold one gate's dependence transfer.  Non-classical gates
+     * poison the whole state (see poisoned()): every later query
+     * answers conservatively.
+     */
+    void applyGate(const ir::Gate &gate);
+
+    /** May wire @p wire's current value depend on input @p q? */
+    bool mayDependOn(ir::QubitId wire, ir::QubitId q) const;
+
+    /** A non-classical gate was folded; all facts are void. */
+    bool poisoned() const { return poisoned_; }
+
+    std::uint32_t numQubits() const { return numQubits_; }
+
+  private:
+    std::size_t words() const
+    {
+        return (static_cast<std::size_t>(numQubits_) + 63) / 64;
+    }
+    std::uint64_t *row(ir::QubitId wire)
+    {
+        return bits_.data() + static_cast<std::size_t>(wire) * words();
+    }
+    const std::uint64_t *row(ir::QubitId wire) const
+    {
+        return bits_.data() + static_cast<std::size_t>(wire) * words();
+    }
+
+    std::uint32_t numQubits_;
+    bool poisoned_ = false;
+    /** numQubits rows of words() words each. */
+    std::vector<std::uint64_t> bits_;
+};
+
+/** Support sets at the END of @p circuit (all gates folded). */
+SupportSets supportsOf(const ir::Circuit &circuit);
+
+/**
+ * Does the support pass discharge condition (6.1) for @p q: no gate of
+ * the circuit writes q, so b_q = q syntactically and `b_q AND NOT q`
+ * is unsatisfiable.  (The engine's constant folding usually catches
+ * this first; the pass keeps the fact available standalone.)
+ */
+bool supportDischargesZero(const ir::Circuit &circuit, ir::QubitId q);
+
+/**
+ * Does the support pass discharge condition (6.2) for @p q: no OTHER
+ * wire's final value may depend on input q (q is outside every other
+ * output's cone of influence), so every cofactor pair coincides and
+ * the plus-restoration disjunction is unsatisfiable.
+ */
+bool supportDischargesPlus(const ir::Circuit &circuit, ir::QubitId q);
+
+} // namespace qb::analysis
+
+#endif // QB_ANALYSIS_SUPPORT_H

@@ -139,4 +139,36 @@ for i = 3 to (m - 1) {
     return out;
 }
 
+std::string
+mirrorMcxQbrSource(std::uint32_t m)
+{
+    if (m < 3)
+        throw std::invalid_argument(
+            format("mirrorMcxQbrSource requires m >= 3 (got %u)", m));
+    std::string out = format("// mirror_mcx.qbr\nlet m = %u;\n", m);
+    out += R"(borrow@ q[m]; // inputs: no assumptions, skip verification
+borrow w; // dirty qubit, restored by the cell below
+
+// compute: a CCNOT ladder over the inputs (scale knob)
+for i = 1 to (m - 2) {
+    CCNOT[q[i], q[i + 1], q[i + 2]];
+}
+
+// restore cell: w ^= (q1 & q2) ^ (q1 & ~q2) ^ q1 = 0
+CCNOT[q[1], q[2], w];
+X[q[2]];
+CCNOT[q[1], q[2], w];
+X[q[2]];
+CNOT[q[1], w];
+
+// uncompute: the ladder, mirrored
+for i = (m - 2) to 1 {
+    CCNOT[q[i], q[i + 1], q[i + 2]];
+}
+
+release w;
+)";
+    return out;
+}
+
 } // namespace qb::circuits

@@ -31,6 +31,25 @@ std::string adderQbrSource(std::uint32_t n);
  */
 std::string mcxQbrSource(std::uint32_t m);
 
+/**
+ * Mirrored-construction benchmark program: a CCNOT ladder over m
+ * skip-verified inputs, undone gate-for-gate, around a restore cell
+ * on the one dirty qubit.
+ *
+ * The cell applies `(a AND b) XOR (a AND NOT b) XOR a = 0` to the
+ * dirty wire - an identity the formula arena cannot constant-fold
+ * (it has no distributivity rule), so condition (6.1) reaches the
+ * static analyzer as a non-constant formula and is discharged by the
+ * permutation pass over a 3-wire cone, independent of m.  Exact
+ * textual mirrors are useless for this purpose: XOR flattening and
+ * hash-consing fold them to a constant before any solver or analyzer
+ * ever runs.
+ *
+ * @throws std::invalid_argument when m < 3 (the ladder needs three
+ *         wires).
+ */
+std::string mirrorMcxQbrSource(std::uint32_t m);
+
 } // namespace qb::circuits
 
 #endif // QB_CIRCUITS_QBR_TEXT_H

@@ -169,6 +169,13 @@ struct VerificationEngine::Conditions
     bexp::NodeRef zero = bexp::kFalse;
     bexp::NodeRef plus = bexp::kFalse;
     std::size_t nodes = 0;
+    /** @name Static analyzer verdicts (UNSAT-only; Pass::None means
+     *  the condition must go to SAT).  Only ever set for NON-constant
+     *  conditions - constants decide through structuralOutcome(),
+     *  which must never be bypassed (it also settles Sat). @{ */
+    analysis::Pass zeroDischargedBy = analysis::Pass::None;
+    analysis::Pass plusDischargedBy = analysis::Pass::None;
+    /** @} */
 };
 
 /** Result of deciding one condition in one lane (or structurally). */
@@ -401,6 +408,20 @@ VerificationEngine::aggregateSolverStats()
     return total;
 }
 
+/** Static-discharge counters of @p stats as report-ready totals. */
+static AnalysisTotals
+analysisTotalsOf(const VerificationEngine::Stats &stats)
+{
+    AnalysisTotals totals;
+    totals.discharged =
+        static_cast<std::int64_t>(stats.analysisDischarged);
+    totals.support = static_cast<std::int64_t>(stats.analysisSupport);
+    totals.mirror = static_cast<std::int64_t>(stats.analysisMirror);
+    totals.permutation =
+        static_cast<std::int64_t>(stats.analysisPermutation);
+    return totals;
+}
+
 const VerificationEngine::Conditions &
 VerificationEngine::conditionsFor(ir::QubitId q)
 {
@@ -436,8 +457,44 @@ VerificationEngine::conditionsFor(ir::QubitId q)
     conds->plus = arena.mkOr(std::move(disjuncts));
     conds->nodes =
         arena.dagSize(conds->zero) + arena.dagSize(conds->plus);
+
+    // Static dischargers: whatever the analyzer proves UNSAT from
+    // circuit structure skips its SAT race in prepare().  Constant
+    // conditions are left to structuralOutcome() - it is both cheaper
+    // and the only path that may also settle Sat.
+    if (options_.analysis.anyPass() &&
+        (!arena.isConst(conds->zero) || !arena.isConst(conds->plus))) {
+        if (!analyzer_)
+            analyzer_ = std::make_unique<analysis::Analyzer>(
+                circuit_, options_.analysis);
+        const analysis::QubitFacts &facts = analyzer_->qubitFacts(q);
+        if (!arena.isConst(conds->zero))
+            conds->zeroDischargedBy = facts.zeroDischargedBy;
+        if (!arena.isConst(conds->plus))
+            conds->plusDischargedBy = facts.plusDischargedBy;
+    }
     conditionCache[q] = std::move(conds);
     return *conditionCache[q];
+}
+
+void
+VerificationEngine::noteDischarge(analysis::Pass pass)
+{
+    ++engineStats.analysisDischarged;
+    switch (pass) {
+      case analysis::Pass::Support:
+        ++engineStats.analysisSupport;
+        break;
+      case analysis::Pass::Mirror:
+        ++engineStats.analysisMirror;
+        break;
+      case analysis::Pass::Permutation:
+        ++engineStats.analysisPermutation;
+        break;
+      case analysis::Pass::None:
+        qbAssert(false, "noteDischarge: no pass");
+        break;
+    }
 }
 
 void
@@ -655,6 +712,12 @@ VerificationEngine::runPersistentTask(
         lane.solver.stats().conflicts - conflicts_before;
     acc.conflicts += used;
     lane.solver.setStopFlag(nullptr);
+#ifdef QB_DEBUG_CHECKS
+    // Slice boundary: the solver is quiesced between budgeted solve()
+    // calls - the exact point where watcher, reason and arena-waste
+    // invariants must all hold, whatever the decision level.
+    lane.solver.checkInvariants();
+#endif
 
     if (continueSlicing(*race, i, racing, result, used)) {
         submitLaneTask(race, i, /*continuation=*/true);
@@ -712,6 +775,9 @@ VerificationEngine::runScratchTask(Lane &lane,
         solver.stats().conflicts - conflicts_before;
     acc.conflicts += used;
     solver.setStopFlag(nullptr);
+#ifdef QB_DEBUG_CHECKS
+    solver.checkInvariants();
+#endif
 
     if (continueSlicing(*race, i, racing, result, used)) {
         submitLaneTask(race, i, /*continuation=*/true);
@@ -886,13 +952,21 @@ VerificationEngine::prepare(ir::QubitId q)
             p.immediate = true;
             return p;
         }
+    } else if (conds.zeroDischargedBy != analysis::Pass::None) {
+        // Statically proven UNSAT: no race.  finish() treats a null
+        // zero handle as a settled Unsat, exactly as for a constant.
+        noteDischarge(conds.zeroDischargedBy);
     } else {
         p.zero = submitRace(conds.zero);
     }
     // Queue (6.2) speculatively: safe qubits (the common case) need it
     // anyway, and an Unsafe (6.1) answer cancels the race.
-    if (!arena.isConst(conds.plus))
-        p.plus = submitRace(conds.plus);
+    if (!arena.isConst(conds.plus)) {
+        if (conds.plusDischargedBy != analysis::Pass::None)
+            noteDischarge(conds.plusDischargedBy);
+        else
+            p.plus = submitRace(conds.plus);
+    }
     return p;
 }
 
@@ -985,6 +1059,11 @@ VerificationEngine::finish(Pending p)
     if (p.plus) {
         plus = collectRace(*p.plus, p.out);
         p.plus.reset();
+    } else if (p.conds->plusDischargedBy != analysis::Pass::None) {
+        // Statically discharged in prepare(): settled Unsat with no
+        // lane attribution.  (structuralOutcome() would read a
+        // constant value this non-constant condition does not have.)
+        plus.result = sat::SolveResult::Unsat;
     } else {
         plus = structuralOutcome(p.conds->plus);
     }
@@ -1017,6 +1096,7 @@ VerificationEngine::verifyAllQubits(const ResultObserver &observer)
 {
     ProgramResult result;
     Timer timer;
+    const AnalysisTotals analysisBefore = analysisTotalsOf(engineStats);
     // Pipeline the whole circuit: queue every qubit's races before
     // awaiting the first verdict, so the worker pool crosses qubit
     // boundaries without draining.
@@ -1030,6 +1110,8 @@ VerificationEngine::verifyAllQubits(const ResultObserver &observer)
             observer(result.qubits.back());
     }
     result.solverTotals = aggregateSolverStats();
+    result.analysisTotals = analysisTotalsOf(engineStats);
+    result.analysisTotals.subtract(analysisBefore);
     result.totalSeconds = timer.seconds();
     return result;
 }
@@ -1073,6 +1155,15 @@ verifyAll(const lang::ElaboratedProgram &program,
     qbAssert(scheduler != nullptr, "verifyAll: null scheduler");
     ProgramResult result;
     Timer timer;
+
+    // Warm sessions carry cumulative analysis counters from earlier
+    // runs; snapshot them so this run reports only its own discharges
+    // (ProgramResult::analysisTotals is per-run).
+    std::map<std::pair<std::size_t, std::size_t>, AnalysisTotals>
+        analysisBaseline;
+    for (const auto &[key, session] : sessions.byScope)
+        analysisBaseline.emplace(key,
+                                 analysisTotalsOf(session->stats()));
 
     // One session per distinct borrow...release lifetime: qubits whose
     // scopes coincide (e.g. adder.qbr's a[1..n-1], all borrowed and
@@ -1132,8 +1223,14 @@ verifyAll(const lang::ElaboratedProgram &program,
         if (observer)
             observer(result.qubits.back());
     }
-    for (auto &[key, session] : sessions.byScope)
+    for (auto &[key, session] : sessions.byScope) {
         result.solverTotals.accumulate(session->aggregateSolverStats());
+        AnalysisTotals delta = analysisTotalsOf(session->stats());
+        const auto baseline = analysisBaseline.find(key);
+        if (baseline != analysisBaseline.end())
+            delta.subtract(baseline->second);
+        result.analysisTotals.accumulate(delta);
+    }
     result.totalSeconds = timer.seconds();
     return result;
 }

@@ -47,6 +47,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "boolexpr/arena.h"
 #include "core/scheduler.h"
 #include "core/verifier.h"
@@ -117,6 +118,19 @@ struct EngineOptions
      * band of standalone runs.
      */
     unsigned fairnessBand = 0;
+
+    /**
+     * Static condition dischargers (analysis/analyzer.h) consulted
+     * before any SAT race is queued: a condition the analyzer proves
+     * UNSAT from circuit structure skips encoding and solving
+     * entirely.  Discharges are UNSAT-only, so verdicts and
+     * counterexamples are identical to a SAT-only run; only the
+     * skipped work (and the analysis counters) differ.  On by
+     * default; analysis::AnalysisOptions::none() restores pure-SAT
+     * behavior.  Result-affecting for caching purposes - the serving
+     * tier folds these knobs into its options fingerprint.
+     */
+    analysis::AnalysisOptions analysis;
 
     /** Session with exactly one lane (the compatibility default). */
     static EngineOptions singleLane(const VerifierOptions &options);
@@ -202,6 +216,13 @@ class VerificationEngine
         std::size_t structural = 0;      ///< conditions folded to const
         std::size_t conditionHits = 0;   ///< condition cache hits
         std::size_t qubitsVerified = 0;
+        /** @name Conditions proven UNSAT statically (no SAT race
+         *  queued), total and per discharging pass. @{ */
+        std::size_t analysisDischarged = 0;
+        std::size_t analysisSupport = 0;
+        std::size_t analysisMirror = 0;
+        std::size_t analysisPermutation = 0;
+        /** @} */
         /** Lanes wired into a learnt-clause exchange group. */
         std::size_t shareLanes = 0;
         double formulaBuildSeconds = 0.0; ///< one-time circuit scan
@@ -314,6 +335,7 @@ class VerificationEngine
     void cancelNow();
 
     const Conditions &conditionsFor(ir::QubitId q);
+    void noteDischarge(analysis::Pass pass);
     std::shared_ptr<Race> submitRace(bexp::NodeRef condition);
     void submitLaneTask(const std::shared_ptr<Race> &race,
                         std::size_t lane_index,
@@ -345,6 +367,8 @@ class VerificationEngine
     std::shared_ptr<CancelSource> cancel_;
     std::atomic<bool> cancelled_{false};
     std::vector<std::unique_ptr<Lane>> lanes_;
+    /** Static dischargers over circuit_; created on first use. */
+    std::unique_ptr<analysis::Analyzer> analyzer_;
     std::vector<std::unique_ptr<Conditions>> conditionCache;
     std::vector<std::optional<bexp::NodeRef>> cleanCache;
     Stats engineStats;

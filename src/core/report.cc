@@ -92,6 +92,17 @@ emitProgram(const ProgramResult &result,
     out += "\"peak_learnts\": " + count(s.peakLearnts);
     out += "},";
     out += nl;
+    // Static-analysis dischargers: conditions proven UNSAT without a
+    // SAT call, attributed to the pass that proved them.
+    const AnalysisTotals &a = result.analysisTotals;
+    out += indent;
+    out += "\"analysis\": {";
+    out += "\"analysis_discharged\": " + count(a.discharged) + ", ";
+    out += "\"support\": " + count(a.support) + ", ";
+    out += "\"mirror\": " + count(a.mirror) + ", ";
+    out += "\"permutation\": " + count(a.permutation);
+    out += "},";
+    out += nl;
     out += indent;
     out += "\"qubits\": [";
     for (std::size_t i = 0; i < result.qubits.size(); ++i) {

@@ -33,6 +33,8 @@ std::string toJson(const QubitResult &result);
  *               conflicts, learnt/removed clauses, clause-exchange
  *               imported/exported/dropped, inprocessing (vivified,
  *               subsumed, strengthened), arena GC runs and peaks },
+ *   "analysis": { "analysis_discharged": n, "support": n,
+ *                 "mirror": n, "permutation": n },
  *   "qubits": [ <QubitResult objects> ]
  * }
  */

@@ -109,6 +109,38 @@ struct QubitResult
     /** @} */
 };
 
+/**
+ * Conditions the static analyzer (analysis/analyzer.h) proved UNSAT
+ * without a SAT call, total and per discharging pass.  Unlike
+ * ProgramResult::solverTotals (cumulative over each session's
+ * lifetime) these counters are PER RUN: a warm (serving-tier) rerun
+ * reports only its own discharges, so summing reports never counts a
+ * discharge twice.
+ */
+struct AnalysisTotals
+{
+    std::int64_t discharged = 0; ///< conditions skipped entirely
+    std::int64_t support = 0;
+    std::int64_t mirror = 0;
+    std::int64_t permutation = 0;
+
+    void accumulate(const AnalysisTotals &other)
+    {
+        discharged += other.discharged;
+        support += other.support;
+        mirror += other.mirror;
+        permutation += other.permutation;
+    }
+
+    void subtract(const AnalysisTotals &other)
+    {
+        discharged -= other.discharged;
+        support -= other.support;
+        mirror -= other.mirror;
+        permutation -= other.permutation;
+    }
+};
+
 /** Result of verifying a whole program. */
 struct ProgramResult
 {
@@ -124,6 +156,13 @@ struct ProgramResult
      * per-condition solvers whose counters are not included.
      */
     sat::SolverStats solverTotals;
+
+    /**
+     * Static-discharge counters of THIS run, aggregated over its
+     * sessions.  All zero when analysis is disabled
+     * (analysis::AnalysisOptions::none()).
+     */
+    AnalysisTotals analysisTotals;
 
     bool allSafe() const;
     std::string summary() const;

@@ -136,6 +136,7 @@ class Elaborator
             info.role = role;
             info.scopeBegin = gates.size();
             info.scopeEnd = kOpenScope;
+            info.loc = reg.loc;
             result.qubits.push_back(std::move(info));
         }
         nextQubit += static_cast<std::size_t>(size);
@@ -260,6 +261,7 @@ class Elaborator
                     el.gates.push_back(ir::Gate::swap(qs[0], qs[1]));
                     break;
                 }
+                el.result.gateLocs.push_back(stmt.loc);
             }
             void
             operator()(const IfStmt &) const

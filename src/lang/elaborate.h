@@ -36,6 +36,8 @@ struct QubitInfo
     QubitRole role;
     std::size_t scopeBegin;  ///< first gate index of the lifetime
     std::size_t scopeEnd;    ///< one past the last gate of the lifetime
+    /** Declaration site (the borrow/alloc statement's register). */
+    SourceLoc loc;
 };
 
 /** A fully elaborated program: a circuit plus qubit metadata. */
@@ -43,6 +45,13 @@ struct ElaboratedProgram
 {
     ir::Circuit circuit{0};
     std::vector<QubitInfo> qubits;
+    /**
+     * Source location of each gate, parallel to circuit.gates(): a
+     * for-loop body emits its statement's location once per
+     * iteration.  Consumed by the lint driver (analysis/lint.h) for
+     * located diagnostics.
+     */
+    std::vector<SourceLoc> gateLocs;
 
     /** Ids of qubits with the given role. */
     std::vector<ir::QubitId> qubitsWithRole(QubitRole role) const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "support/logging.h"
 
@@ -321,6 +323,99 @@ Solver::detachClause(ClauseRef cr)
                 break;
             }
         }
+    }
+}
+
+void
+Solver::checkInvariants() const
+{
+    // Live set + exact arena accounting: everything problemClauses
+    // and learntClauses reference, and nothing else, occupies the
+    // non-wasted part of the arena.
+    std::unordered_set<ClauseRef> live;
+    std::size_t live_words = 0;
+    for (const auto *list : {&problemClauses, &learntClauses}) {
+        for (const ClauseRef cr : *list) {
+            qbAssert(live.insert(cr).second,
+                     "invariant: clause listed twice");
+            const Clause &c = ca[cr];
+            qbAssert(c.size() >= 2, "invariant: live clause size < 2");
+            live_words += ClauseAllocator::kHeaderWords + c.size();
+        }
+    }
+    qbAssert(live_words + ca.wasted() == ca.words(),
+             "invariant: arena waste accounting drifted");
+
+    // Every watcher points at a live clause and is filed under one of
+    // its two watched slots, with a blocker/implied literal drawn
+    // from the clause.  Counting per (clause, slot) makes the
+    // exactly-twice property of attachClause() checkable in one scan.
+    std::unordered_map<ClauseRef, unsigned> seen_watch;
+    std::size_t long_clauses = 0, bin_clauses = 0;
+    for (const ClauseRef cr : live) {
+        (ca[cr].size() == 2 ? bin_clauses : long_clauses) += 1;
+    }
+    std::size_t long_watchers = 0, bin_watchers = 0;
+    for (std::size_t idx = 0; idx < watches.size(); ++idx) {
+        for (const Watcher &w : watches[idx]) {
+            ++long_watchers;
+            qbAssert(live.count(w.cref),
+                     "invariant: watcher on freed clause");
+            const Clause &c = ca[w.cref];
+            qbAssert(c.size() >= 3,
+                     "invariant: binary clause in long watch list");
+            qbAssert((~c[0]).index() == idx || (~c[1]).index() == idx,
+                     "invariant: watcher filed under an unwatched "
+                     "literal");
+            bool blocker_in_clause = false;
+            for (unsigned i = 0; i < c.size() && !blocker_in_clause;
+                 ++i)
+                blocker_in_clause = c[i] == w.blocker;
+            qbAssert(blocker_in_clause,
+                     "invariant: blocker not in its clause");
+            ++seen_watch[w.cref];
+        }
+    }
+    for (std::size_t idx = 0; idx < binWatches.size(); ++idx) {
+        for (const BinWatcher &w : binWatches[idx]) {
+            ++bin_watchers;
+            qbAssert(live.count(w.cref),
+                     "invariant: binary watcher on freed clause");
+            const Clause &c = ca[w.cref];
+            qbAssert(c.size() == 2,
+                     "invariant: long clause in binary watch list");
+            // The watcher under (~c[s]) must imply the OTHER literal.
+            qbAssert(((~c[0]).index() == idx && c[1] == w.other) ||
+                         ((~c[1]).index() == idx && c[0] == w.other),
+                     "invariant: binary watcher implies a literal "
+                     "outside its clause");
+            ++seen_watch[w.cref];
+        }
+    }
+    qbAssert(long_watchers == 2 * long_clauses,
+             "invariant: long watcher count != 2 * live clauses");
+    qbAssert(bin_watchers == 2 * bin_clauses,
+             "invariant: binary watcher count != 2 * live clauses");
+    for (const ClauseRef cr : live)
+        qbAssert(seen_watch[cr] == 2,
+                 "invariant: live clause not watched exactly twice");
+
+    // Trail/reason consistency: an assigned variable's reason clause
+    // must contain the implied literal - normalized into slot 0 for
+    // long clauses by the propagation loop; binary implications are
+    // enqueued without arena access, so either slot (see locked()).
+    for (const Lit l : trail) {
+        qbAssert(value(l) == LBool::True,
+                 "invariant: false literal on the trail");
+        const ClauseRef r = reasons[l.var()];
+        if (r == kRefUndef)
+            continue;
+        qbAssert(live.count(r),
+                 "invariant: reason clause was freed");
+        const Clause &c = ca[r];
+        qbAssert(c[0] == l || (c.size() == 2 && c[1] == l),
+                 "invariant: reason clause does not imply its "
+                 "literal");
     }
 }
 
@@ -1355,6 +1450,13 @@ Solver::preprocessEliminate()
     // whenever doing so does not grow the clause count.  Operates on the
     // root-level problem clauses before any learning has happened.
     qbAssert(decisionLevel() == 0, "preprocess above root level");
+    // Every assignment is a root-level fact here and none of their
+    // reason clauses survive the rebuild below.  Drop the references
+    // NOW: conflict analysis never expands level-0 reasons, but a kept
+    // reference would make relocAll() resurrect the freed clause into
+    // every future arena - an unbounded, unaccounted leak.
+    for (const Lit l : trail)
+        reasons[l.var()] = kRefUndef;
     std::vector<LitVec> clauses;
     clauses.reserve(problemClauses.size());
     for (const ClauseRef cr : problemClauses) {

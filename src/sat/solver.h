@@ -367,6 +367,25 @@ class Solver
     const SolverStats &stats() const { return statistics; }
     const SolverConfig &config() const { return cfg; }
 
+    /**
+     * Walk the whole solver state and qbAssert its structural
+     * invariants: every live clause (problem or learnt) of size >= 3
+     * is watched exactly twice under its first two literals with a
+     * blocker drawn from the clause, every binary clause sits exactly
+     * twice in the specialized binary watch lists with the correct
+     * implied literal, every watcher points at a live clause, every
+     * assigned variable's reason clause contains the implied literal
+     * (slot 0 for long clauses, either slot for binaries), and the
+     * arena's waste accounting is exact (live words + wasted ==
+     * arena words).
+     *
+     * O(database size) - debug tooling, not a hot-path check.  The
+     * verification engine calls it at slice boundaries when built
+     * with QB_DEBUG_CHECKS; it is valid at any quiesced point, at any
+     * decision level.
+     */
+    void checkInvariants() const;
+
   private:
     struct Watcher;
     struct BinWatcher;

@@ -559,6 +559,9 @@ statsResponse(std::int64_t id, const StatsSnapshot &snapshot)
         snapshot.activeConnections, snapshot.connectionLimit,
         static_cast<unsigned long long>(snapshot.connectionsRefused),
         static_cast<unsigned long long>(snapshot.authRejected));
+    out += format(
+        ", \"analysis\": {\"discharged\": %llu}",
+        static_cast<unsigned long long>(snapshot.analysisDischarged));
     out += '}';
     return out;
 }

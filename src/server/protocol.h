@@ -146,6 +146,10 @@ struct StatsSnapshot
     std::uint64_t connectionsRefused = 0;
     /** Frames rejected before admission for missing/bad auth. */
     std::uint64_t authRejected = 0;
+    /** Conditions discharged by the static analyzer across every
+     *  non-cache-hit verify served (cache hits replay a stored
+     *  report and add nothing). */
+    std::uint64_t analysisDischarged = 0;
     /** @} */
 };
 

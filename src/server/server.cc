@@ -170,6 +170,10 @@ struct Server::Impl
     std::atomic<std::uint64_t> statOpStats{0};
     std::atomic<std::uint64_t> statOpShutdown{0};
     std::atomic<std::uint64_t> statOpAuth{0};
+    /** Conditions the static analyzer discharged, summed over every
+     *  verify the SAT tier actually ran (result-cache hits replay a
+     *  stored report whose discharges were counted when stored). */
+    std::atomic<std::uint64_t> statAnalysisDischarged{0};
 
     explicit Impl(ServerOptions opts)
         : options(std::move(opts)), queue(options.queueCapacity),
@@ -458,6 +462,7 @@ Server::Impl::handleLine(
         snapshot.connectionLimit = options.maxConnections;
         snapshot.connectionsRefused = statConnRefused.load();
         snapshot.authRejected = statAuthRejected.load();
+        snapshot.analysisDischarged = statAnalysisDischarged.load();
         connection->sendLine(statsResponse(request.id, snapshot));
         return;
       }
@@ -691,6 +696,12 @@ Server::Impl::serveRequest(QueuedRequest item)
         return;
     }
     finish();
+    // Result-cache hits replay a stored report whose discharges were
+    // counted when the report was produced; only fresh runs add.
+    if (!outcome.fromResultCache &&
+        outcome.result.analysisTotals.discharged > 0)
+        statAnalysisDischarged += static_cast<std::uint64_t>(
+            outcome.result.analysisTotals.discharged);
     const bool was_cancelled = item.cancel->cancelRequested();
     if (was_cancelled)
         ++statCancelled;

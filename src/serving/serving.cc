@@ -25,6 +25,13 @@ ServingTier::optionsFingerprint(const core::EngineOptions &engine_opts,
     // index), so lanes are fingerprinted in order.
     std::string key = check_clean ? "clean;" : "dirty;";
     key += engine_opts.portfolio ? "pf;" : "sl;";
+    // Static-analysis options change report fields (the "analysis"
+    // discharge counters) even though verdicts are unaffected, so they
+    // key the cache too.
+    const analysis::AnalysisOptions &an = engine_opts.analysis;
+    key += format("an%d%d%d.w%u;", an.support ? 1 : 0,
+                  an.mirror ? 1 : 0, an.permutation ? 1 : 0,
+                  an.permutationWindow);
     for (const core::VerifierOptions &lane : engine_opts.lanes) {
         const sat::SolverConfig &s = lane.solver;
         key += format(

@@ -95,8 +95,10 @@ class ServingTier
     /**
      * Fingerprint of the options that affect a verification RESULT:
      * lane configuration, portfolio flag, clean-ancilla checking,
-     * counterexample extraction and conflict budget.  Deliberately
-     * excludes fairnessBand (scheduling only) and pool sizing.
+     * counterexample extraction, conflict budget and the static
+     * analysis options (which decide the report's discharge
+     * counters).  Deliberately excludes fairnessBand (scheduling
+     * only) and pool sizing.
      */
     static std::string
     optionsFingerprint(const core::EngineOptions &engine_opts,

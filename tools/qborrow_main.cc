@@ -36,6 +36,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "analysis/lint.h"
 #include "core/engine.h"
 #include "core/report.h"
 #include "core/verifier.h"
@@ -71,6 +72,16 @@ usage(const char *argv0)
         "                    verdicts and counterexamples are\n"
         "                    identical for any N\n"
         "  --clean           also check alloc'd clean ancillas\n"
+        "  --lint            lint only: print source-located\n"
+        "                    diagnostics and metrics, skip\n"
+        "                    verification; exit 1 iff any error\n"
+        "  --no-lint         skip the lint pass that otherwise runs\n"
+        "                    before local verification\n"
+        "  --analysis SPEC   static condition dischargers: 'all'\n"
+        "                    (default), 'off', or a comma list of\n"
+        "                    support,mirror,permutation\n"
+        "  --analysis-window N   qubit-window bound of the\n"
+        "                    permutation discharger (default 10)\n"
         "  --json            emit a machine-readable JSON report\n"
         "  --quiet           only print the summary line\n"
         "  --dump-circuit    print the elaborated gate list\n"
@@ -143,6 +154,10 @@ struct CliOptions
     bool tokenSet = false;
     bool quiet = false;
     bool dump = false;
+    bool lint = false;
+    bool noLint = false;
+    std::string analysisSpec;
+    long analysisWindow = -1;
     bool portfolio = false;
     bool adaptive = false;
     bool clean = false;
@@ -173,6 +188,41 @@ resolveToken(const CliOptions &cli)
     return env ? env : "";
 }
 
+qb::analysis::AnalysisOptions
+analysisOptionsFor(const CliOptions &cli)
+{
+    qb::analysis::AnalysisOptions analysis;
+    if (cli.analysisSpec == "off") {
+        analysis = qb::analysis::AnalysisOptions::none();
+    } else if (!cli.analysisSpec.empty() &&
+               cli.analysisSpec != "all") {
+        analysis = qb::analysis::AnalysisOptions::none();
+        std::size_t start = 0;
+        while (start <= cli.analysisSpec.size()) {
+            std::size_t comma = cli.analysisSpec.find(',', start);
+            if (comma == std::string::npos)
+                comma = cli.analysisSpec.size();
+            const std::string pass =
+                cli.analysisSpec.substr(start, comma - start);
+            if (pass == "support")
+                analysis.support = true;
+            else if (pass == "mirror")
+                analysis.mirror = true;
+            else if (pass == "permutation")
+                analysis.permutation = true;
+            else
+                qb::fatal("unknown analysis pass '" + pass +
+                          "' (expected support, mirror or "
+                          "permutation)");
+            start = comma + 1;
+        }
+    }
+    if (cli.analysisWindow >= 0)
+        analysis.permutationWindow =
+            static_cast<unsigned>(cli.analysisWindow);
+    return analysis;
+}
+
 qb::core::EngineOptions
 engineOptionsFor(const CliOptions &cli)
 {
@@ -184,6 +234,7 @@ engineOptionsFor(const CliOptions &cli)
     options.jobs = static_cast<unsigned>(cli.jobs);
     options.inprocessInterval = static_cast<unsigned>(cli.inprocess);
     options.adaptiveLanes = cli.adaptive;
+    options.analysis = analysisOptionsFor(cli);
     for (qb::core::VerifierOptions &lane_options : options.lanes) {
         lane_options.wantCounterexample = cli.want_cex;
         lane_options.conflictBudget = cli.budget;
@@ -214,6 +265,31 @@ printQubitLine(const qb::core::QubitResult &r)
     }
 }
 
+// ------------------------------------------------------------- lint mode
+
+qb::analysis::LintOptions
+lintOptionsFor(const CliOptions &cli)
+{
+    qb::analysis::LintOptions options;
+    options.permutationWindow =
+        analysisOptionsFor(cli).permutationWindow;
+    return options;
+}
+
+int
+runLint(const CliOptions &cli)
+{
+    const auto result = qb::analysis::lintSource(readFile(cli.path),
+                                                 lintOptionsFor(cli));
+    std::printf("%s",
+                cli.json
+                    ? qb::analysis::lintToJson(result, cli.path)
+                          .c_str()
+                    : qb::analysis::renderLintText(result, cli.path)
+                          .c_str());
+    return result.hasErrors() ? 1 : 0;
+}
+
 // ------------------------------------------------------------ local mode
 
 int
@@ -221,6 +297,15 @@ runLocal(const CliOptions &cli)
 {
     const qb::core::EngineOptions options = engineOptionsFor(cli);
     const std::string source = readFile(cli.path);
+    // Lint-before-verify (opt out with --no-lint): diagnostics go to
+    // stderr so stdout stays the verification report.
+    if (!cli.noLint && !cli.quiet && !cli.json) {
+        const auto lint =
+            qb::analysis::lintSource(source, lintOptionsFor(cli));
+        for (const auto &d : lint.diagnostics)
+            std::fprintf(stderr, "%s:%s\n", cli.path.c_str(),
+                         d.toString().c_str());
+    }
     const auto program = qb::lang::elaborateSource(source);
     if (cli.dump)
         std::printf("%s", program.circuit.toString().c_str());
@@ -638,6 +723,20 @@ main(int argc, char **argv)
             cli.adaptive = true;
         } else if (arg == "--clean") {
             cli.clean = true;
+        } else if (arg == "--lint") {
+            cli.lint = true;
+        } else if (arg == "--no-lint") {
+            cli.noLint = true;
+        } else if (arg.rfind("--analysis=", 0) == 0) {
+            cli.analysisSpec = arg.substr(std::strlen("--analysis="));
+        } else if (arg == "--analysis" && i + 1 < argc) {
+            cli.analysisSpec = argv[++i];
+        } else if (arg == "--analysis-window" && i + 1 < argc) {
+            cli.analysisWindow = std::atol(argv[++i]);
+            if (cli.analysisWindow < 0) {
+                usage(argv[0]);
+                return 2;
+            }
         } else if (arg == "--json") {
             cli.json = true;
         } else if (arg == "--shutdown") {
@@ -753,12 +852,19 @@ main(int argc, char **argv)
         usage(argv[0]);
         return 2;
     }
+    // Lint is a local, frontend-only mode.
+    if (cli.lint && (serve || connect)) {
+        usage(argv[0]);
+        return 2;
+    }
 
     try {
         if (serve)
             return runServer(cli);
         if (connect)
             return runClient(cli);
+        if (cli.lint)
+            return runLint(cli);
         return runLocal(cli);
     } catch (const qb::FatalError &e) {
         // User errors - unreadable input, an unwritable/busy socket

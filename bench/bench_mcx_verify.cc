@@ -95,12 +95,25 @@ reportCounters(benchmark::State &state,
         static_cast<double>(result.solverTotals.gcRuns);
     state.counters["analysis_discharged"] =
         static_cast<double>(result.analysisTotals.discharged);
+    // Binary implication graph passes (--binary-analysis): what the
+    // slice-boundary SCC/probing/reduction sweeps actually did.
+    state.counters["scc_merged_vars"] =
+        static_cast<double>(result.solverTotals.sccMergedVars);
+    state.counters["probed_failed"] =
+        static_cast<double>(result.solverTotals.probedFailed);
+    state.counters["hyper_binaries"] =
+        static_cast<double>(result.solverTotals.hyperBinaries);
+    state.counters["transitive_reduced"] =
+        static_cast<double>(result.solverTotals.transitiveReduced);
 }
+
+/** Which benchmark program a family runs. */
+enum class McxProgram { Plain, Mirror, BinaryHeavy };
 
 void
 runMcxVerify(benchmark::State &state,
              const qb::core::EngineOptions &options, bool one_shot,
-             bool mirror = false)
+             McxProgram which = McxProgram::Plain)
 {
     // state.range(0) is the paper's control count n = 2m - 1.
     const auto n = static_cast<std::uint32_t>(state.range(0));
@@ -111,8 +124,11 @@ runMcxVerify(benchmark::State &state,
     qb::core::ProgramResult result;
     for (auto _ : state) {
         const auto program = qb::lang::elaborateSource(
-            mirror ? qb::circuits::mirrorMcxQbrSource(m)
-                   : qb::circuits::mcxQbrSource(m));
+            which == McxProgram::Mirror
+                ? qb::circuits::mirrorMcxQbrSource(m)
+                : which == McxProgram::BinaryHeavy
+                      ? qb::circuits::binaryHeavyMcxQbrSource(m)
+                      : qb::circuits::mcxQbrSource(m));
         if (one_shot) {
             // Seed behavior: fresh one-shot session per dirty qubit.
             result.qubits.clear();
@@ -208,13 +224,75 @@ McxVerifyEnginePortfolioNoAnalysis(benchmark::State &state)
 }
 
 void
+McxVerifyEnginePortfolioNoBinaryAnalysis(benchmark::State &state)
+{
+    // Binary-graph passes off: the on/off pair bounds what SCC
+    // merging, probing and transitive reduction buy on this family,
+    // and pins the arena_peak_kw comparison (verdicts are identical
+    // by construction).
+    qb::core::EngineOptions options =
+        qb::core::EngineOptions::portfolioAB();
+    options.binaryAnalysis = false;
+    // An inprocessing pass every query boundary, so the graph passes
+    // (when on) actually run at every engine size in this family's
+    // range - the default interval of 16 fires only on programs with
+    // more queries than mcx's single qubit issues.
+    options.inprocessInterval = 1;
+    runMcxVerify(state, options, false);
+}
+
+void
+McxVerifyEnginePortfolioBinaryAnalysis(benchmark::State &state)
+{
+    // The matching analysis-ON twin of the NoBinaryAnalysis variant
+    // (inprocessInterval = 1 likewise): the pair bounds cost and
+    // arena_peak_kw with the graph passes on vs off.  The plain
+    // ladder's implication graph is a tree, so the SCC / reduction
+    // counters legitimately stay 0 here - the counter smoke test
+    // lives on the BinaryHeavy family below.
+    qb::core::EngineOptions options =
+        qb::core::EngineOptions::portfolioAB();
+    options.inprocessInterval = 1;
+    runMcxVerify(state, options, false);
+}
+
+void
+McxVerifyEngineBinaryHeavy(benchmark::State &state)
+{
+    // The dressed mcx program (circuits::binaryHeavyMcxQbrSource) on
+    // the preprocessing lane, whose per-condition scratch solver runs
+    // the root binary-graph pass on every solve: CI bench-smoke
+    // asserts scc_merged_vars >= 1 and transitive_reduced >= 1 here.
+    // Lane B rather than the portfolio on purpose - in a race the
+    // scratch lane is cancelled whenever lane A answers first, which
+    // would make the counters depend on worker-pool timing.
+    runMcxVerify(state,
+                 qb::core::EngineOptions::singleLane(
+                     qb::core::VerifierOptions::laneB()),
+                 false, McxProgram::BinaryHeavy);
+}
+
+void
+McxVerifyEngineBinaryHeavyNoBinaryAnalysis(benchmark::State &state)
+{
+    // Passes-off twin of McxVerifyEngineBinaryHeavy: all four
+    // binary-graph counters must read 0, and the solve-time /
+    // arena_peak_kw deltas show what the passes buy on a formula
+    // shape they actually fire on.
+    qb::core::EngineOptions options = qb::core::EngineOptions::
+        singleLane(qb::core::VerifierOptions::laneB());
+    options.binaryAnalysis = false;
+    runMcxVerify(state, options, false, McxProgram::BinaryHeavy);
+}
+
+void
 McxMirrorVerifyEngine(benchmark::State &state)
 {
     // Mirrored construction: the permutation discharger settles the
     // dirty qubit statically - analysis_discharged must be >= 1 here
     // (CI bench-smoke asserts it), and solve_s stays exactly zero.
     runMcxVerify(state, qb::core::EngineOptions::portfolioAB(), false,
-                 true);
+                 McxProgram::Mirror);
 }
 
 void
@@ -225,7 +303,7 @@ McxMirrorVerifyEngineNoAnalysis(benchmark::State &state)
     qb::core::EngineOptions options =
         qb::core::EngineOptions::portfolioAB();
     options.analysis = qb::analysis::AnalysisOptions::none();
-    runMcxVerify(state, options, false, true);
+    runMcxVerify(state, options, false, McxProgram::Mirror);
 }
 
 } // namespace
@@ -259,6 +337,22 @@ BENCHMARK(McxVerifyEnginePortfolioAdaptive)
     ->Unit(benchmark::kSecond)
     ->Iterations(1);
 BENCHMARK(McxVerifyEnginePortfolioNoAnalysis)
+    ->DenseRange(499, 3499, 500)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+BENCHMARK(McxVerifyEnginePortfolioNoBinaryAnalysis)
+    ->DenseRange(499, 3499, 500)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+BENCHMARK(McxVerifyEnginePortfolioBinaryAnalysis)
+    ->DenseRange(499, 3499, 500)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+BENCHMARK(McxVerifyEngineBinaryHeavy)
+    ->DenseRange(499, 3499, 500)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+BENCHMARK(McxVerifyEngineBinaryHeavyNoBinaryAnalysis)
     ->DenseRange(499, 3499, 500)
     ->Unit(benchmark::kSecond)
     ->Iterations(1);

@@ -140,6 +140,38 @@ for i = 3 to (m - 1) {
 }
 
 std::string
+binaryHeavyMcxQbrSource(std::uint32_t m)
+{
+    // Reuse the real benchmark program and wrap the dirty wire in a
+    // self-inverse dressing borrowed from the adder's carry motif:
+    // CNOT; X; CCNOT mixes the dirty wire into the AND arguments of
+    // the ladder, which is exactly what gives the Tseitin encoding
+    // nested conjunction sharing - the shape whose binary implication
+    // graph carries equivalence cycles and transitively redundant
+    // edges.  The plain ladder's graph is a tree: SCC and transitive
+    // reduction provably find nothing there.
+    std::string out = mcxQbrSource(m);
+    const std::string decl = "borrow anc;\n";
+    const std::string dress = R"(
+// binary-heavy dressing (adder carry motif on the dirty wire)
+CNOT[q[2], anc];
+X[q[2]];
+CCNOT[q[1], q[2], anc];
+)";
+    const std::string rel = "release anc;";
+    const std::string undress =
+        R"(// undo the dressing before the wire is released
+CCNOT[q[1], q[2], anc];
+X[q[2]];
+CNOT[q[2], anc];
+
+release anc;)";
+    out.replace(out.find(decl), decl.size(), decl + dress);
+    out.replace(out.find(rel), rel.size(), undress);
+    return out;
+}
+
+std::string
 mirrorMcxQbrSource(std::uint32_t m)
 {
     if (m < 3)

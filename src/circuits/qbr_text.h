@@ -32,6 +32,20 @@ std::string adderQbrSource(std::uint32_t n);
 std::string mcxQbrSource(std::uint32_t m);
 
 /**
+ * mcx.qbr wrapped in a self-inverse CNOT/X/CCNOT dressing of the
+ * dirty wire (the adder's carry motif).  Verdicts are identical to
+ * mcxQbrSource(m) - the dressing undoes itself - but the Tseitin
+ * encoding of the dressed conditions gains nested, argument-sharing
+ * conjunctions, so its binary implication graph carries equivalence
+ * cycles and transitively redundant edges: the shapes the
+ * binary-graph inprocessing passes exist for.  The bench-smoke CI
+ * step asserts nonzero scc_merged_vars/transitive_reduced on this
+ * program.
+ * @throws std::invalid_argument when m < 4 (see mcxQbrSource()).
+ */
+std::string binaryHeavyMcxQbrSource(std::uint32_t m);
+
+/**
  * Mirrored-construction benchmark program: a CCNOT ladder over m
  * skip-verified inputs, undone gate-for-gate, around a restore cell
  * on the one dirty qubit.

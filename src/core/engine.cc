@@ -51,11 +51,12 @@ namespace {
  * branching/restart/phase identities.
  */
 sat::SolverConfig
-incrementalConfig(const VerifierOptions &options)
+incrementalConfig(const VerifierOptions &options, bool binary_analysis)
 {
     sat::SolverConfig cfg = options.solver;
     cfg.preprocess = false;
     cfg.conflictBudget = options.conflictBudget;
+    cfg.binaryAnalysis = cfg.binaryAnalysis && binary_analysis;
     return cfg;
 }
 
@@ -147,14 +148,20 @@ struct VerificationEngine::Lane
     std::string familyKey;
 
     Lane(int idx, const VerifierOptions &opts, const bexp::Arena &arena,
-         Scheduler &sched, unsigned band)
-        : index(idx), options(opts), solver(incrementalConfig(opts)),
+         Scheduler &sched, unsigned band, bool binary_analysis)
+        : index(idx), options(opts),
+          solver(incrementalConfig(opts, binary_analysis)),
           encoder(arena, solver, opts.encoding, opts.xorChunk),
           scratch(opts.solver.preprocess),
           familyKey(laneFamilyKey(opts))
     {
         if (!scratch)
             queue = sched.makeQueue(band);
+        // Scratch lanes build their per-condition solvers straight
+        // from the stored preset, bypassing incrementalConfig(): the
+        // engine-level binary-analysis switch must reach them here.
+        options.solver.binaryAnalysis =
+            options.solver.binaryAnalysis && binary_analysis;
         // The arena holds exactly the circuit's qubit formulas at lane
         // construction time: that region sits in every condition's
         // cone, so its definitions stay unguarded and the conflict
@@ -289,7 +296,7 @@ VerificationEngine::VerificationEngine(
     for (const VerifierOptions &lane_options : options_.lanes)
         lanes_.push_back(std::make_unique<Lane>(
             index++, lane_options, arena, *scheduler_,
-            options_.fairnessBand));
+            options_.fairnessBand, options_.binaryAnalysis));
     if (cancel_) {
         cancel_->attach(this);
         // The source may have fired before this session existed:
@@ -405,7 +412,20 @@ VerificationEngine::aggregateSolverStats()
     sat::SolverStats total;
     for (const auto &lane : lanes_)
         total.accumulate(lane->solver.stats());
+    {
+        const std::lock_guard<std::mutex> guard(scratchStatsMutex);
+        total.accumulate(scratchTotals_);
+    }
     return total;
+}
+
+void
+VerificationEngine::harvestScratchStats(const sat::Solver *solver)
+{
+    if (!solver)
+        return;
+    const std::lock_guard<std::mutex> guard(scratchStatsMutex);
+    scratchTotals_.accumulate(solver->stats());
 }
 
 /** Static-discharge counters of @p stats as report-ready totals. */
@@ -745,6 +765,7 @@ VerificationEngine::runScratchTask(Lane &lane,
     if (race->stop.load(std::memory_order_acquire)) {
         if (acc.lane < 0)
             acc.lane = lane.index;
+        harvestScratchStats(race->scratchSolver[i].get());
         race->scratchSolver[i].reset();
         reportOutcome(*race, lane.index, std::move(acc));
         return;
@@ -784,6 +805,7 @@ VerificationEngine::runScratchTask(Lane &lane,
         return;
     }
     acc.result = result;
+    harvestScratchStats(race->scratchSolver[i].get());
     race->scratchSolver[i].reset();
     reportOutcome(*race, lane.index, std::move(acc));
 }

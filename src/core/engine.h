@@ -93,6 +93,19 @@ struct EngineOptions
     unsigned inprocessInterval = 16;
 
     /**
+     * Binary implication graph analysis inside each inprocessing
+     * pass (sat::SolverConfig::binaryAnalysis): SCC equivalence
+     * reduction, failed-literal probing with hyper-binary resolution,
+     * and transitive reduction over the binary clauses.  Every pass
+     * preserves the model set over the original variables, so
+     * verdicts and counterexamples are bit-identical with the switch
+     * on or off; only the solving work (and the binary-graph
+     * counters) differ.  On by default; --no-binary-analysis
+     * restores the PR 5 behavior.
+     */
+    bool binaryAnalysis = true;
+
+    /**
      * Adaptive lane ordering (portfolio mode): seed each race with
      * the lane whose FAMILY (preset configuration) has the best win
      * rate so far, instead of always racing in index order.  Win
@@ -303,8 +316,12 @@ class VerificationEngine
 
     /**
      * Sum of every persistent lane's solver counters (peak fields sum
-     * per-lane peaks).  Quiesces this session's scheduler work first,
-     * like laneSolverStats().  The batch drivers copy this into
+     * per-lane peaks) plus the harvested totals of every retired
+     * scratch-lane solver - preprocessing lanes discharge each
+     * condition in a throwaway solver, and without the harvest their
+     * preprocessing and binary-graph work would vanish with it.
+     * Quiesces this session's scheduler work first, like
+     * laneSolverStats().  The batch drivers copy this into
      * ProgramResult::solverTotals so reports and benchmarks can show
      * learnt-DB size, GC and inprocessing activity.
      */
@@ -372,6 +389,14 @@ class VerificationEngine
     std::vector<std::unique_ptr<Conditions>> conditionCache;
     std::vector<std::optional<bexp::NodeRef>> cleanCache;
     Stats engineStats;
+
+    /** Fold a retiring scratch solver's counters into
+     *  scratchTotals_ (no-op on nullptr). */
+    void harvestScratchStats(const sat::Solver *solver);
+    /** Solver counters of every scratch solver retired so far;
+     *  guarded by scratchStatsMutex (harvests run on pool workers). */
+    sat::SolverStats scratchTotals_;
+    std::mutex scratchStatsMutex;
 
     /** @name Destruction fence over in-flight scheduler tasks. @{ */
     std::mutex fenceMutex;

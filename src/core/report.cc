@@ -58,8 +58,8 @@ emitProgram(const ProgramResult &result,
                   "\"undecided\": %zu},",
                   safe, unsafe, other);
     out += nl;
-    // Aggregated persistent-lane solver counters (zero for one-shot
-    // runs): clause-DB health, exchange efficiency and the
+    // Aggregated solver counters - persistent lanes plus retired
+    // scratch solvers: clause-DB health, exchange efficiency and the
     // inprocessing/GC activity of this run's sessions.
     const sat::SolverStats &s = result.solverTotals;
     const auto count = [](std::int64_t v) {
@@ -89,7 +89,13 @@ emitProgram(const ProgramResult &result,
     out += "\"gc_words_reclaimed\": " + count(s.gcWordsReclaimed) +
            ", ";
     out += "\"arena_peak_words\": " + count(s.arenaPeakWords) + ", ";
-    out += "\"peak_learnts\": " + count(s.peakLearnts);
+    out += "\"peak_learnts\": " + count(s.peakLearnts) + ", ";
+    // Binary implication graph passes (--binary-analysis).
+    out += "\"scc_merged_vars\": " + count(s.sccMergedVars) + ", ";
+    out += "\"probed_failed\": " + count(s.probedFailed) + ", ";
+    out += "\"hyper_binaries\": " + count(s.hyperBinaries) + ", ";
+    out += "\"transitive_reduced\": " +
+           count(s.transitiveReduced);
     out += "},";
     out += nl;
     // Static-analysis dischargers: conditions proven UNSAT without a

@@ -32,7 +32,9 @@ std::string toJson(const QubitResult &result);
  *   "solver": { aggregated ProgramResult::solverTotals counters:
  *               conflicts, learnt/removed clauses, clause-exchange
  *               imported/exported/dropped, inprocessing (vivified,
- *               subsumed, strengthened), arena GC runs and peaks },
+ *               subsumed, strengthened), arena GC runs and peaks,
+ *               binary-graph passes (scc_merged_vars, probed_failed,
+ *               hyper_binaries, transitive_reduced) },
  *   "analysis": { "analysis_discharged": n, "support": n,
  *                 "mirror": n, "permutation": n },
  *   "qubits": [ <QubitResult objects> ]

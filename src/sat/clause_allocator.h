@@ -13,11 +13,13 @@
  *   word 2   activity (float bits)
  *   word 3+  literals
  *
- * BINARY clauses still live in the arena (conflict analysis, GC and
- * the clause lists need a ClauseRef to name them by), but the solver
- * propagates them through specialized watch lists that inline the
- * implied literal, so binary propagation performs no arena access at
- * all; derefCount() exists to let tests assert exactly that.
+ * BINARY clauses do not live in the arena at all: the solver keeps
+ * them exclusively as mirrored watch-list pairs that inline the other
+ * literal, and conflict analysis names a binary antecedent through a
+ * tagged Reason word (the implied literal's partner) instead of a
+ * ClauseRef.  Binary propagation therefore performs no arena access -
+ * derefCount() exists to let tests assert exactly that - and a
+ * binary-heavy formula contributes nothing to arena_peak_kw.
  *
  * Compared with one heap allocation (plus a std::vector of literals)
  * per clause, the arena halves the pointer width in every watcher and

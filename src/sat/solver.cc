@@ -58,12 +58,36 @@ SolverStats::accumulate(const SolverStats &other)
     otfStrengthenedClauses += other.otfStrengthenedClauses;
     otfSkipped += other.otfSkipped;
     otfDeferredApplied += other.otfDeferredApplied;
+    sccMergedVars += other.sccMergedVars;
+    probedFailed += other.probedFailed;
+    hyperBinaries += other.hyperBinaries;
+    transitiveReduced += other.transitiveReduced;
     importedRetired += other.importedRetired;
     gcRuns += other.gcRuns;
     gcWordsReclaimed += other.gcWordsReclaimed;
     arenaPeakWords += other.arenaPeakWords;
     peakLearnts += other.peakLearnts;
 }
+
+namespace {
+
+/** Inverse of Lit::index(). */
+inline Lit
+litFromIndex(std::size_t idx)
+{
+    return mkLit(static_cast<Var>(idx >> 1), (idx & 1) != 0);
+}
+
+/**
+ * Conflict "reference" propagate() reports for a falsified binary
+ * clause, which has no arena clause to name: the two conflict
+ * literals are parked in Solver::binConflict instead.  Distinct from
+ * kRefUndef (so every `conflict != kRefUndef` check still works) and
+ * unreachable as a real allocation in any practical arena.
+ */
+constexpr ClauseRef kBinConflictRef = kRefUndef - 1;
+
+} // namespace
 
 /** Watch-list entry; blocker enables the common fast-path check that
  *  decides most visits without ever dereferencing the arena. */
@@ -76,14 +100,17 @@ struct Solver::Watcher
 /**
  * Binary watch-list entry: the OTHER literal of the clause rides in
  * the watcher, so visiting a binary clause needs one assignment probe
- * and zero arena reads - implication and conflict alike.  The
- * ClauseRef is carried only as the reason/conflict name for analyze()
- * (which may dereference) and for detach/relocation bookkeeping.
+ * and zero arena reads - implication and conflict alike.  Binary
+ * clauses exist ONLY as their two mirrored entries (no arena clause at
+ * all): an implication carries the other literal in the Reason word,
+ * a conflict is reported through Solver::binConflict, and the learnt
+ * flag rides here so shrink-style passes can tell redundant binaries
+ * from problem structure.
  */
 struct Solver::BinWatcher
 {
     Lit other;
-    ClauseRef cref;
+    bool learnt;
 };
 
 /** Binary max-heap over variables ordered by EVSIDS activity. */
@@ -189,10 +216,12 @@ Solver::newVar()
     const Var v = numVars();
     assigns.push_back(LBool::Undef);
     levels.push_back(0);
-    reasons.push_back(kRefUndef);
+    reasons.push_back(Reason());
     polarity.push_back(cfg.initialPhaseTrue);
     activity.push_back(0.0);
     seen.push_back(0);
+    substituted.push_back(0);
+    subst.push_back(mkLit(v, false));
     watches.emplace_back();
     watches.emplace_back();
     binWatches.emplace_back();
@@ -242,6 +271,12 @@ Solver::addClause(LitVec lits)
         while (l.var() >= numVars())
             newVar();
     }
+    // Merged variables are fully retired: route every literal to its
+    // equivalence-class representative before simplification.
+    if (!eqStack.empty()) {
+        for (Lit &l : lits)
+            l = representativeOf(l);
+    }
     std::sort(lits.begin(), lits.end());
     LitVec kept;
     Lit prev = kUndefLit;
@@ -256,10 +291,17 @@ Solver::addClause(LitVec lits)
         okay = false;
         return false;
     }
+    binaryAnalysisPending = true;
     if (kept.size() == 1) {
-        uncheckedEnqueue(kept[0], kRefUndef);
+        uncheckedEnqueue(kept[0], Reason());
         okay = propagate() == kRefUndef;
         return okay;
+    }
+    if (kept.size() == 2) {
+        // Binary clauses never touch the arena: the mirrored watcher
+        // pair IS the clause.
+        attachBinary(kept[0], kept[1], /*learnt=*/false);
+        return true;
     }
     const ClauseRef cr = ca.alloc(kept, /*learnt=*/false, /*lbd=*/0);
     problemClauses.push_back(cr);
@@ -285,14 +327,7 @@ void
 Solver::attachClause(ClauseRef cr)
 {
     const Clause &c = ca[cr];
-    qbAssert(c.size() >= 2, "attaching short clause");
-    if (c.size() == 2) {
-        // Both literals watch each other; the watcher carries the
-        // implied literal, so propagation never reads the clause.
-        binWatches[(~c[0]).index()].push_back({c[1], cr});
-        binWatches[(~c[1]).index()].push_back({c[0], cr});
-        return;
-    }
+    qbAssert(c.size() >= 3, "attaching short clause");
     watches[(~c[0]).index()].push_back({cr, c[1]});
     watches[(~c[1]).index()].push_back({cr, c[0]});
 }
@@ -301,19 +336,6 @@ void
 Solver::detachClause(ClauseRef cr)
 {
     const Clause &c = ca[cr];
-    if (c.size() == 2) {
-        for (Lit w : {c[0], c[1]}) {
-            auto &list = binWatches[(~w).index()];
-            for (std::size_t i = 0; i < list.size(); ++i) {
-                if (list[i].cref == cr) {
-                    list[i] = list.back();
-                    list.pop_back();
-                    break;
-                }
-            }
-        }
-        return;
-    }
     for (Lit w : {c[0], c[1]}) {
         auto &list = watches[(~w).index()];
         for (std::size_t i = 0; i < list.size(); ++i) {
@@ -326,12 +348,42 @@ Solver::detachClause(ClauseRef cr)
     }
 }
 
+bool
+Solver::attachBinary(Lit a, Lit b, bool learnt)
+{
+    qbAssert(a.var() != b.var(), "degenerate binary clause");
+    // Duplicate-aware: the graph passes keep the lists set-like, so a
+    // re-derived binary (hyper-binary resolution, equivalence
+    // rewriting, subsumption shrinks) must not file a second edge
+    // pair.  A problem-status duplicate of a learnt binary upgrades
+    // both existing entries instead, so no pass can ever retire what
+    // is really problem structure.
+    auto &fwd = binWatches[(~a).index()];
+    for (BinWatcher &w : fwd) {
+        if (w.other != b)
+            continue;
+        if (!learnt && w.learnt) {
+            w.learnt = false;
+            for (BinWatcher &m : binWatches[(~b).index()]) {
+                if (m.other == a)
+                    m.learnt = false;
+            }
+        }
+        return false;
+    }
+    fwd.push_back({b, learnt});
+    binWatches[(~b).index()].push_back({a, learnt});
+    return true;
+}
+
 void
 Solver::checkInvariants() const
 {
     // Live set + exact arena accounting: everything problemClauses
     // and learntClauses reference, and nothing else, occupies the
-    // non-wasted part of the arena.
+    // non-wasted part of the arena.  Binary clauses live only in the
+    // binary watch lists, so every arena clause has size >= 3, and no
+    // clause may name a variable the SCC pass retired.
     std::unordered_set<ClauseRef> live;
     std::size_t live_words = 0;
     for (const auto *list : {&problemClauses, &learntClauses}) {
@@ -339,7 +391,12 @@ Solver::checkInvariants() const
             qbAssert(live.insert(cr).second,
                      "invariant: clause listed twice");
             const Clause &c = ca[cr];
-            qbAssert(c.size() >= 2, "invariant: live clause size < 2");
+            qbAssert(c.size() >= 3,
+                     "invariant: short clause in the arena");
+            for (const Lit l : c)
+                qbAssert(!substituted[l.var()],
+                         "invariant: substituted variable in an "
+                         "arena clause");
             live_words += ClauseAllocator::kHeaderWords + c.size();
         }
     }
@@ -347,23 +404,17 @@ Solver::checkInvariants() const
              "invariant: arena waste accounting drifted");
 
     // Every watcher points at a live clause and is filed under one of
-    // its two watched slots, with a blocker/implied literal drawn
-    // from the clause.  Counting per (clause, slot) makes the
-    // exactly-twice property of attachClause() checkable in one scan.
+    // its two watched slots, with a blocker drawn from the clause.
+    // Counting per (clause, slot) makes the exactly-twice property of
+    // attachClause() checkable in one scan.
     std::unordered_map<ClauseRef, unsigned> seen_watch;
-    std::size_t long_clauses = 0, bin_clauses = 0;
-    for (const ClauseRef cr : live) {
-        (ca[cr].size() == 2 ? bin_clauses : long_clauses) += 1;
-    }
-    std::size_t long_watchers = 0, bin_watchers = 0;
+    std::size_t long_watchers = 0;
     for (std::size_t idx = 0; idx < watches.size(); ++idx) {
         for (const Watcher &w : watches[idx]) {
             ++long_watchers;
             qbAssert(live.count(w.cref),
                      "invariant: watcher on freed clause");
             const Clause &c = ca[w.cref];
-            qbAssert(c.size() >= 3,
-                     "invariant: binary clause in long watch list");
             qbAssert((~c[0]).index() == idx || (~c[1]).index() == idx,
                      "invariant: watcher filed under an unwatched "
                      "literal");
@@ -376,46 +427,93 @@ Solver::checkInvariants() const
             ++seen_watch[w.cref];
         }
     }
-    for (std::size_t idx = 0; idx < binWatches.size(); ++idx) {
-        for (const BinWatcher &w : binWatches[idx]) {
-            ++bin_watchers;
-            qbAssert(live.count(w.cref),
-                     "invariant: binary watcher on freed clause");
-            const Clause &c = ca[w.cref];
-            qbAssert(c.size() == 2,
-                     "invariant: long clause in binary watch list");
-            // The watcher under (~c[s]) must imply the OTHER literal.
-            qbAssert(((~c[0]).index() == idx && c[1] == w.other) ||
-                         ((~c[1]).index() == idx && c[0] == w.other),
-                     "invariant: binary watcher implies a literal "
-                     "outside its clause");
-            ++seen_watch[w.cref];
-        }
-    }
-    qbAssert(long_watchers == 2 * long_clauses,
+    qbAssert(long_watchers == 2 * live.size(),
              "invariant: long watcher count != 2 * live clauses");
-    qbAssert(bin_watchers == 2 * bin_clauses,
-             "invariant: binary watcher count != 2 * live clauses");
     for (const ClauseRef cr : live)
         qbAssert(seen_watch[cr] == 2,
                  "invariant: live clause not watched exactly twice");
 
-    // Trail/reason consistency: an assigned variable's reason clause
-    // must contain the implied literal - normalized into slot 0 for
-    // long clauses by the propagation loop; binary implications are
-    // enqueued without arena access, so either slot (see locked()).
+    // The binary implication graph: every directed edge a→b (filed
+    // under a's index with b inlined) appears once, never self-loops,
+    // never touches a substituted variable, and has its mirror edge
+    // ¬b→¬a filed with the SAME learnt flag - the two entries of one
+    // clause must agree on everything.
+    std::unordered_map<std::uint64_t, bool> edges;
+    for (std::size_t idx = 0; idx < binWatches.size(); ++idx) {
+        const Lit trigger = litFromIndex(idx);
+        for (const BinWatcher &w : binWatches[idx]) {
+            qbAssert(w.other.var() != trigger.var(),
+                     "invariant: self or tautological binary");
+            qbAssert(!substituted[trigger.var()] &&
+                         !substituted[w.other.var()],
+                     "invariant: substituted variable in a binary "
+                     "watch list");
+            const std::uint64_t key =
+                (static_cast<std::uint64_t>(idx) << 32) |
+                static_cast<std::uint64_t>(w.other.index());
+            qbAssert(edges.emplace(key, w.learnt).second,
+                     "invariant: duplicate binary edge");
+        }
+    }
+    for (const auto &[key, learnt] : edges) {
+        // Edge idx→other mirrors as (other^1)→(idx^1): negating a
+        // literal flips the low bit of its index.
+        const std::uint64_t mirror =
+            (((key & 0xFFFFFFFFULL) ^ 1ULL) << 32) |
+            ((key >> 32) ^ 1ULL);
+        const auto it = edges.find(mirror);
+        qbAssert(it != edges.end(),
+                 "invariant: binary edge missing its mirror");
+        qbAssert(it->second == learnt,
+                 "invariant: binary mirror learnt-flag mismatch");
+    }
+
+    // Trail/reason consistency.  Long reasons keep the implied
+    // literal normalized into slot 0; a binary reason is
+    // self-contained - its word holds the OTHER literal of the
+    // clause, which must be false for as long as the implication
+    // stands (the other literal was falsified at or below the
+    // implied literal's level).
     for (const Lit l : trail) {
         qbAssert(value(l) == LBool::True,
                  "invariant: false literal on the trail");
-        const ClauseRef r = reasons[l.var()];
-        if (r == kRefUndef)
+        qbAssert(!substituted[l.var()],
+                 "invariant: substituted variable on the trail");
+        const Reason r = reasons[l.var()];
+        if (r.isUndef())
             continue;
-        qbAssert(live.count(r),
+        if (r.isBinary()) {
+            qbAssert(value(r.otherLit()) == LBool::False,
+                     "invariant: binary reason's other literal not "
+                     "false");
+            continue;
+        }
+        qbAssert(live.count(r.clauseRef()),
                  "invariant: reason clause was freed");
-        const Clause &c = ca[r];
-        qbAssert(c[0] == l || (c.size() == 2 && c[1] == l),
+        const Clause &c = ca[r.clauseRef()];
+        qbAssert(c[0] == l,
                  "invariant: reason clause does not imply its "
                  "literal");
+    }
+
+    // Substituted variables are fully retired: unassigned,
+    // reason-less, and absent from every watch list (their clauses
+    // were rewritten onto the representatives).
+    for (Var v = 0; v < numVars(); ++v) {
+        if (!substituted[v])
+            continue;
+        qbAssert(assigns[v] == LBool::Undef,
+                 "invariant: substituted variable is assigned");
+        qbAssert(reasons[v].isUndef(),
+                 "invariant: substituted variable has a reason");
+        for (const bool s : {false, true}) {
+            const Lit l = mkLit(v, s);
+            qbAssert(watches[l.index()].empty(),
+                     "invariant: substituted variable still watched");
+            qbAssert(binWatches[l.index()].empty(),
+                     "invariant: substituted variable still in the "
+                     "binary graph");
+        }
     }
 }
 
@@ -431,24 +529,21 @@ Solver::removeClause(ClauseRef cr)
 bool
 Solver::locked(ClauseRef cr) const
 {
-    // Long clauses keep the implied literal normalized into slot 0 by
-    // the propagation loop.  Binary reasons are enqueued WITHOUT
-    // touching the arena, so their implied literal may sit in either
-    // slot until conflict analysis normalizes it: check both.
+    // Only long clauses live in the arena, and long-clause
+    // propagation normalizes the implied literal into slot 0.
     const Clause &c = ca[cr];
-    if (reasons[c[0].var()] == cr && value(c[0]) == LBool::True)
-        return true;
-    return c.size() == 2 && reasons[c[1].var()] == cr &&
-           value(c[1]) == LBool::True;
+    const Reason r = reasons[c[0].var()];
+    return r.isClause() && r.clauseRef() == cr &&
+           value(c[0]) == LBool::True;
 }
 
 void
-Solver::uncheckedEnqueue(Lit l, ClauseRef reason_clause)
+Solver::uncheckedEnqueue(Lit l, Reason reason)
 {
     qbAssert(value(l) == LBool::Undef, "enqueue of assigned literal");
     assigns[l.var()] = lboolOf(!l.sign());
     levels[l.var()] = decisionLevel();
-    reasons[l.var()] = reason_clause;
+    reasons[l.var()] = reason;
     if (cfg.phaseSaving)
         polarity[l.var()] = !l.sign();
     trail.push_back(l);
@@ -475,12 +570,16 @@ Solver::propagate()
                 if (v == LBool::True)
                     continue;
                 if (v == LBool::False) {
-                    conflict = w.cref;
+                    // No arena clause to name: report the sentinel
+                    // and park the two literals for analyze().
+                    binConflict[0] = ~p;
+                    binConflict[1] = w.other;
+                    conflict = kBinConflictRef;
                     qhead = trail.size();
                     break;
                 }
                 ++statistics.binPropagations;
-                uncheckedEnqueue(w.other, w.cref);
+                uncheckedEnqueue(w.other, Reason::binary(~p));
             }
             if (conflict != kRefUndef)
                 break;
@@ -527,7 +626,7 @@ Solver::propagate()
                 ++i;
                 break;
             }
-            uncheckedEnqueue(first, w.cref);
+            uncheckedEnqueue(first, Reason::clause(w.cref));
         }
         for (; i < list.size(); ++i)
             list[keep++] = list[i];
@@ -541,24 +640,19 @@ Solver::propagate()
 }
 
 /**
- * The reason clause of assigned variable @p v, with the implied
- * literal normalized into slot 0 - the layout conflict analysis
- * iterates from index 1 under.  Long-clause propagation establishes
- * the layout itself; binary implications are enqueued without arena
- * access, so the swap happens here, lazily, only for the binaries an
- * analysis actually resolves on.
+ * The LONG reason clause of assigned variable @p v, with the implied
+ * literal in slot 0 - the layout conflict analysis iterates from
+ * index 1 under, established by the propagation loop itself.  Binary
+ * reasons never reach here: their single antecedent literal is read
+ * straight out of the Reason word.
  */
 Clause &
 Solver::reasonClause(Var v)
 {
-    const ClauseRef cr = reasons[v];
-    qbAssert(cr != kRefUndef, "reasonClause without reason");
-    Clause &c = ca[cr];
-    if (c[0].var() != v) {
-        qbAssert(c.size() == 2 && c[1].var() == v,
-                 "unnormalized non-binary reason");
-        std::swap(c[0], c[1]);
-    }
+    const Reason r = reasons[v];
+    qbAssert(r.isClause(), "reasonClause without long reason");
+    Clause &c = ca[r.clauseRef()];
+    qbAssert(c[0].var() == v, "unnormalized long reason");
     return c;
 }
 
@@ -585,21 +679,48 @@ Solver::analyze(ClauseRef conflict, LitVec &out_learnt, int &out_btlevel,
     int counter = 0;
     Lit p = kUndefLit;
     std::size_t index = trail.size();
-    ClauseRef reason_cref = conflict;
     do {
-        qbAssert(reason_cref != kRefUndef, "analyze without reason");
-        // reasonClause() normalizes the implied literal into slot 0
-        // (binary reasons are enqueued without arena access, so their
-        // layout is settled here, lazily).
-        Clause &rc = (p == kUndefLit) ? ca[reason_cref]
-                                      : reasonClause(p.var());
-        if (rc.learnt())
-            claBumpActivity(rc);
-        const std::size_t start = (p == kUndefLit) ? 0 : 1;
-        const unsigned size = rc.size();
+        // Resolution source: the conflict first, then each pivot's
+        // reason.  A binary source has no arena clause - its
+        // antecedent literals come from binConflict (both literals)
+        // or the pivot's Reason word (the single other literal).
+        Lit bin_tail[2];
+        const Lit *tail = nullptr;
+        std::size_t tail_size = 0;
+        Clause *rc = nullptr;
+        ClauseRef rc_ref = kRefUndef;
+        if (p == kUndefLit) {
+            if (conflict == kBinConflictRef) {
+                bin_tail[0] = binConflict[0];
+                bin_tail[1] = binConflict[1];
+                tail = bin_tail;
+                tail_size = 2;
+            } else {
+                rc = &ca[conflict];
+                rc_ref = conflict;
+            }
+        } else {
+            const Reason r = reasons[p.var()];
+            qbAssert(!r.isUndef(), "analyze without reason");
+            if (r.isBinary()) {
+                bin_tail[0] = r.otherLit();
+                tail = bin_tail;
+                tail_size = 1;
+            } else {
+                rc = &reasonClause(p.var());
+                rc_ref = r.clauseRef();
+            }
+        }
+        if (rc != nullptr) {
+            if (rc->learnt())
+                claBumpActivity(*rc);
+            const std::size_t start = (p == kUndefLit) ? 0 : 1;
+            tail = rc->begin() + start;
+            tail_size = rc->size() - start;
+        }
         unsigned root_lits = 0;
-        for (std::size_t j = start; j < size; ++j) {
-            const Lit q = rc[j];
+        for (std::size_t j = 0; j < tail_size; ++j) {
+            const Lit q = tail[j];
             if (levels[q.var()] == 0)
                 ++root_lits;
             if (!seen[q.var()] && levels[q.var()] > 0) {
@@ -621,19 +742,20 @@ Solver::analyze(ClauseRef conflict, LitVec &out_learnt, int &out_btlevel,
         // implied clause subsuming rc with the pivot removed.
         // Remember (rc, pivot); search() strengthens the arena in
         // place once backtracking has unlocked the antecedent.
-        if (cfg.otfSubsume && p != kUndefLit && size >= 3 &&
+        // Binary reasons have nothing to strengthen.
+        if (cfg.otfSubsume && p != kUndefLit && rc != nullptr &&
+            rc->size() >= 3 &&
             otfCandidates.size() < cfg.otfMaxAntecedents) {
             const std::size_t resolvent =
                 static_cast<std::size_t>(counter) +
                 out_learnt.size() - 1;
-            if (resolvent + root_lits + 1 == size)
-                otfCandidates.push_back({reason_cref, rc[0]});
+            if (resolvent + root_lits + 1 == rc->size())
+                otfCandidates.push_back({rc_ref, (*rc)[0]});
         }
         // Pick the next seen literal from the trail.
         while (!seen[trail[index - 1].var()])
             --index;
         p = trail[--index];
-        reason_cref = reasons[p.var()];
         seen[p.var()] = 0;
         --counter;
     } while (counter > 0);
@@ -651,7 +773,7 @@ Solver::analyze(ClauseRef conflict, LitVec &out_learnt, int &out_btlevel,
     std::size_t keep = 1;
     for (std::size_t i = 1; i < out_learnt.size(); ++i) {
         const Lit l = out_learnt[i];
-        if (reasons[l.var()] == kRefUndef ||
+        if (reasons[l.var()].isUndef() ||
             !litRedundant(l, ab_levels))
             out_learnt[keep++] = l;
     }
@@ -684,30 +806,53 @@ Solver::analyzeFinal(Lit failed)
     // literals rather than as a negated conflict clause.
     conflictCore.clear();
     conflictCore.push_back(failed);
-    if (decisionLevel() == 0)
-        return;
-    seen[failed.var()] = 1;
-    for (std::size_t i = trail.size();
-         i > static_cast<std::size_t>(trailLim[0]); --i) {
-        const Var x = trail[i - 1].var();
-        if (!seen[x])
-            continue;
-        const ClauseRef reason_cref = reasons[x];
-        if (reason_cref == kRefUndef) {
-            // Decisions below the assumption prefix are assumptions.
-            conflictCore.push_back(trail[i - 1]);
-        } else {
-            const Clause &rc = reasonClause(x);
-            const unsigned size = rc.size();
-            for (std::size_t j = 1; j < size; ++j) {
-                const Var v = rc[j].var();
+    if (decisionLevel() > 0) {
+        seen[failed.var()] = 1;
+        for (std::size_t i = trail.size();
+             i > static_cast<std::size_t>(trailLim[0]); --i) {
+            const Var x = trail[i - 1].var();
+            if (!seen[x])
+                continue;
+            const Reason r = reasons[x];
+            if (r.isUndef()) {
+                // Decisions below the assumption prefix are
+                // assumptions.
+                conflictCore.push_back(trail[i - 1]);
+            } else if (r.isBinary()) {
+                const Var v = r.otherLit().var();
                 if (levels[v] > 0)
                     seen[v] = 1;
+            } else {
+                const Clause &rc = reasonClause(x);
+                const unsigned size = rc.size();
+                for (std::size_t j = 1; j < size; ++j) {
+                    const Var v = rc[j].var();
+                    if (levels[v] > 0)
+                        seen[v] = 1;
+                }
             }
+            seen[x] = 0;
         }
-        seen[x] = 0;
+        seen[failed.var()] = 0;
     }
-    seen[failed.var()] = 0;
+    // The search runs over class representatives; the caller reasons
+    // in its own (original) literals.  Translate the core back: an
+    // original assumption belongs whenever its representative is in
+    // the representative-level core.  This can only widen the core
+    // (several originals may share a representative), never miss -
+    // every core literal was an assumption, and every assumption is
+    // some original's image.
+    if (!eqStack.empty() && !originalAssumptions.empty()) {
+        std::unordered_set<std::int32_t> core;
+        for (const Lit l : conflictCore)
+            core.insert(l.x);
+        LitVec translated;
+        for (const Lit orig : originalAssumptions) {
+            if (core.count(representativeOf(orig).x) != 0)
+                translated.push_back(orig);
+        }
+        conflictCore = std::move(translated);
+    }
 }
 
 bool
@@ -717,26 +862,34 @@ Solver::litRedundant(Lit l, std::uint32_t ab_levels)
     std::vector<Lit> stack{l};
     std::vector<Var> cleared;
     bool redundant = true;
+    // One antecedent literal: already-seen/root literals pass, a
+    // decision or level outside the learnt clause's level set fails,
+    // anything else is explored in turn.
+    const auto visit = [this, &ab_levels, &cleared,
+                        &stack](const Lit q) {
+        if (seen[q.var()] || levels[q.var()] == 0)
+            return true;
+        if (reasons[q.var()].isUndef() ||
+            !(ab_levels & (1U << (levels[q.var()] & 31))))
+            return false;
+        seen[q.var()] = 1;
+        cleared.push_back(q.var());
+        stack.push_back(q);
+        return true;
+    };
     while (!stack.empty() && redundant) {
         const Lit cur = stack.back();
         stack.pop_back();
-        const ClauseRef r = reasons[cur.var()];
-        qbAssert(r != kRefUndef, "litRedundant without reason");
+        const Reason r = reasons[cur.var()];
+        qbAssert(!r.isUndef(), "litRedundant without reason");
+        if (r.isBinary()) {
+            redundant = visit(r.otherLit());
+            continue;
+        }
         const Clause &rc = reasonClause(cur.var());
         const unsigned size = rc.size();
-        for (std::size_t j = 1; j < size; ++j) {
-            const Lit q = rc[j];
-            if (seen[q.var()] || levels[q.var()] == 0)
-                continue;
-            if (reasons[q.var()] == kRefUndef ||
-                !(ab_levels & (1u << (levels[q.var()] & 31)))) {
-                redundant = false;
-                break;
-            }
-            seen[q.var()] = 1;
-            cleared.push_back(q.var());
-            stack.push_back(q);
-        }
+        for (std::size_t j = 1; j < size && redundant; ++j)
+            redundant = visit(rc[j]);
     }
     if (!redundant) {
         for (Var v : cleared)
@@ -841,9 +994,18 @@ Solver::applyDeferredOtf()
         if (!has_pivot || c.size() < 2)
             continue;
         const bool learnt = c.learnt();
-        const std::size_t nonfalse = strengthenInPlace(cr, pivot);
+        const Strengthened s = strengthenInPlace(cr, pivot);
         ++statistics.otfDeferredApplied;
-        if (nonfalse >= 2)
+        if (s.becameBinary) {
+            // The clause dissolved into the binary watch lists
+            // (strengthenInPlace freed the ref and unlisted it);
+            // invalidate later queue entries that still name it.
+            for (std::size_t j = k + 1; j < pending.size(); ++j)
+                if (pending[j].cref == cr)
+                    pending[j].cref = kRefUndef;
+            continue;
+        }
+        if (s.nonfalse >= 2)
             continue;
         // Unit (or empty) at the root: dissolve into the trail, free
         // the clause, and invalidate any later queue entries (and the
@@ -856,12 +1018,12 @@ Solver::applyDeferredOtf()
         for (std::size_t j = k + 1; j < pending.size(); ++j)
             if (pending[j].cref == cr)
                 pending[j].cref = kRefUndef;
-        if (nonfalse == 0) {
+        if (s.nonfalse == 0) {
             okay = false;
             break;
         }
         if (value(unit) == LBool::Undef) {
-            uncheckedEnqueue(unit, kRefUndef);
+            uncheckedEnqueue(unit, Reason());
             okay = propagate() == kRefUndef;
         }
     }
@@ -871,14 +1033,15 @@ Solver::applyDeferredOtf()
  * Remove @p l from the clause behind @p cr in place: detach, drop the
  * literal (accounting the shaved word), tighten the LBD, re-pick
  * watches among literals not false under the CURRENT assignment and
- * re-attach - through the binary lists when the clause shrank to two
- * literals.  Returns the number of non-false literals swapped to the
- * front; the clause is re-attached only when that is >= 2, otherwise
- * it is left DETACHED (unit or conflicting under the current
+ * re-attach.  A shrink to TWO literals dissolves the clause out of
+ * the arena entirely - it is freed, unlisted and re-filed as a
+ * mirrored pair in the binary watch lists (becameBinary reports the
+ * dead cref to the caller).  With fewer than two non-false literals
+ * the clause is left DETACHED (unit or conflicting under the current
  * assignment) and the caller decides its fate.  Shared by the
  * learn-time OTF pass and the slice-boundary subsumption pass.
  */
-std::size_t
+Solver::Strengthened
 Solver::strengthenInPlace(ClauseRef cr, Lit l)
 {
     detachClause(cr);
@@ -891,9 +1054,21 @@ Solver::strengthenInPlace(ClauseRef cr, Lit l)
         if (value(c[i]) != LBool::False)
             std::swap(c[nonfalse++], c[i]);
     }
-    if (nonfalse >= 2)
-        attachClause(cr);
-    return nonfalse;
+    if (nonfalse < 2)
+        return {nonfalse, false};
+    if (c.size() == 2) {
+        const Lit a = c[0];
+        const Lit b = c[1];
+        const bool learnt = c.learnt();
+        auto &list = learnt ? learntClauses : problemClauses;
+        std::erase(list, cr);
+        purgeDeferredOtf(cr);
+        ca.free(cr);
+        attachBinary(a, b, learnt);
+        return {nonfalse, true};
+    }
+    attachClause(cr);
+    return {nonfalse, false};
 }
 
 void
@@ -905,7 +1080,7 @@ Solver::cancelUntil(int target_level)
          i > static_cast<std::size_t>(trailLim[target_level]); --i) {
         const Var v = trail[i - 1].var();
         assigns[v] = LBool::Undef;
-        reasons[v] = kRefUndef;
+        reasons[v] = Reason();
         order->insert(v);
     }
     trail.resize(trailLim[target_level]);
@@ -916,17 +1091,20 @@ Solver::cancelUntil(int target_level)
 Lit
 Solver::pickBranchLit()
 {
+    // Substituted variables are retired from the search space: their
+    // value is a function of their representative's, reconstructed
+    // only for the model.
     if (cfg.useVsids) {
         while (!order->empty()) {
             // Peek by removing; re-inserted on backtrack.
             const Var v = order->removeMax();
-            if (assigns[v] == LBool::Undef)
+            if (assigns[v] == LBool::Undef && !substituted[v])
                 return mkLit(v, !polarity[v]);
         }
         return kUndefLit;
     }
     for (Var v = 0; v < numVars(); ++v) {
-        if (assigns[v] == LBool::Undef)
+        if (assigns[v] == LBool::Undef && !substituted[v])
             return mkLit(v, !polarity[v]);
     }
     return kUndefLit;
@@ -1114,7 +1292,7 @@ Solver::addImported(LitVec lits, unsigned import_lbd)
         ++statistics.importedDropped;
         return;
     }
-    for (Lit l : lits) {
+    for (Lit &l : lits) {
         // The exporting sibling can be ahead in the shared clause
         // stream; a clause about structure this solver has not encoded
         // yet is simply not useful here.
@@ -1122,6 +1300,11 @@ Solver::addImported(LitVec lits, unsigned import_lbd)
             ++statistics.importedDropped;
             return;
         }
+        // The exporter may not have merged the equivalence classes
+        // this solver has: route to local representatives (a correct
+        // translation - v and its representative are equivalent under
+        // the shared problem clauses).
+        l = representativeOf(l);
     }
     std::sort(lits.begin(), lits.end());
     LitVec kept;
@@ -1144,8 +1327,14 @@ Solver::addImported(LitVec lits, unsigned import_lbd)
     }
     ++statistics.importedClauses;
     if (kept.size() == 1) {
-        uncheckedEnqueue(kept[0], kRefUndef);
+        uncheckedEnqueue(kept[0], Reason());
         okay = propagate() == kRefUndef;
+        return;
+    }
+    if (kept.size() == 2) {
+        // Imported binaries cost no arena words; the learnt flag
+        // keeps them eligible for the graph passes' bookkeeping.
+        attachBinary(kept[0], kept[1], /*learnt=*/true);
         return;
     }
     // Honest LBD: keep the exporter's value when known, otherwise the
@@ -1217,11 +1406,28 @@ Solver::search(std::int64_t conflict_limit)
             // database is just as valid in a portfolio sibling solving
             // the identical clause stream.
             if (exportHook && lbd <= cfg.shareMaxLbd) {
+#ifdef QB_DEBUG_CHECKS
+                // Substituted variables are never assigned, so no
+                // learnt clause can name one - and exported clauses
+                // must not leak them to siblings either.
+                for (const Lit l : learnt)
+                    qbAssert(!substituted[l.var()],
+                             "exported clause names a substituted "
+                             "variable");
+#endif
                 exportHook(learnt, lbd);
                 ++statistics.exportedClauses;
             }
             if (learnt.size() == 1) {
-                uncheckedEnqueue(learnt[0], kRefUndef);
+                uncheckedEnqueue(learnt[0], Reason());
+            } else if (learnt.size() == 2) {
+                // Learnt binaries never touch the arena: the watcher
+                // pair is the clause and the Reason word carries the
+                // antecedent literal.
+                attachBinary(learnt[0], learnt[1], /*learnt=*/true);
+                ++statistics.learntClauses;
+                uncheckedEnqueue(learnt[0],
+                                 Reason::binary(learnt[1]));
             } else {
                 const ClauseRef cr =
                     ca.alloc(learnt, /*learnt=*/true, lbd,
@@ -1230,7 +1436,7 @@ Solver::search(std::int64_t conflict_limit)
                 learntClauses.push_back(cr);
                 ++statistics.learntClauses;
                 attachClause(cr);
-                uncheckedEnqueue(learnt[0], cr);
+                uncheckedEnqueue(learnt[0], Reason::clause(cr));
                 notePeaks();
             }
             varDecayActivity();
@@ -1301,7 +1507,7 @@ Solver::search(std::int64_t conflict_limit)
             }
             ++statistics.decisions;
             trailLim.push_back(static_cast<int>(trail.size()));
-            uncheckedEnqueue(next, kRefUndef);
+            uncheckedEnqueue(next, Reason());
         }
     }
 }
@@ -1315,6 +1521,7 @@ Solver::solve()
 SolveResult
 Solver::solve(const LitVec &assumps)
 {
+    originalAssumptions = assumps;
     assumptions = assumps;
     conflictCore.clear();
     conflictsAtCallStart = statistics.conflicts;
@@ -1323,6 +1530,13 @@ Solver::solve(const LitVec &assumps)
     for (Lit a : assumptions) {
         while (a.var() >= numVars())
             newVar();
+    }
+    // Assumptions over merged variables are redirected to their class
+    // representative; analyzeFinal() translates any core back to the
+    // caller's original literals.
+    if (!eqStack.empty()) {
+        for (Lit &a : assumptions)
+            a = representativeOf(a);
     }
     if (propagate() != kRefUndef) {
         okay = false;
@@ -1338,6 +1552,25 @@ Solver::solve(const LitVec &assumps)
     // assumptions on it).
     if (!assumptions.empty() && !elimStack.empty()) {
         restoreEliminated();
+        if (!okay)
+            return SolveResult::Unsat;
+    }
+    // Root-level binary-graph pass.  One-shot (assumption-free)
+    // solves rarely live long enough to reach the periodic
+    // inprocessing boundary, so the analysis also runs here - and it
+    // runs BEFORE bounded variable elimination: the equivalence
+    // cycles it merges (an XOR output fixed at root leaves its
+    // arguments binary-equivalent) are exactly the structures
+    // resolution would otherwise dissolve variable by variable.
+    // Assumption-based calls skip it - the passes assume a level-0
+    // trail that only contains facts.  The pending flag keeps sliced
+    // racing honest: a budget-exhausted lane re-enters solve() with
+    // the same problem formula, and re-probing it every slice costs
+    // more than the whole search.
+    if (cfg.binaryAnalysis && assumptions.empty() &&
+        binaryAnalysisPending) {
+        binaryAnalysisPending = false;
+        analyzeBinaryGraph();
         if (!okay)
             return SolveResult::Unsat;
     }
@@ -1370,6 +1603,21 @@ Solver::solve(const LitVec &assumps)
         const SolveResult result = search(limit);
         if (result != SolveResult::Unknown) {
             if (result == SolveResult::Sat) {
+                // Extend the model over merged variables first: each
+                // one copies (or negates) its representative's value.
+                // Newest-first resolves cross-pass chains (v merged
+                // into u, u merged later still), and runs BEFORE the
+                // eliminated-variable reconstruction because clauses
+                // saved by an elimination that predates a merge can
+                // mention merged variables - whose values must exist
+                // by then.
+                for (auto it = eqStack.rbegin(); it != eqStack.rend();
+                     ++it) {
+                    const Lit rep = it->second;
+                    model[it->first] = rep.sign()
+                        ? lboolNeg(model[rep.var()])
+                        : model[rep.var()];
+                }
                 // Extend the model over eliminated variables.
                 for (auto it = elimStack.rbegin(); it != elimStack.rend();
                      ++it) {
@@ -1456,7 +1704,7 @@ Solver::preprocessEliminate()
     // reference would make relocAll() resurrect the freed clause into
     // every future arena - an unbounded, unaccounted leak.
     for (const Lit l : trail)
-        reasons[l.var()] = kRefUndef;
+        reasons[l.var()] = Reason();
     std::vector<LitVec> clauses;
     clauses.reserve(problemClauses.size());
     for (const ClauseRef cr : problemClauses) {
@@ -1478,6 +1726,30 @@ Solver::preprocessEliminate()
     }
     problemClauses.clear();
     otfDeferred.clear(); // whole pre-elimination database is gone
+    // Binary clauses live only in the watch lists: fold the canonical
+    // direction of every pair into the working set and clear the
+    // lists (survivors are re-filed by the re-add loop below).
+    for (std::size_t idx = 0; idx < binWatches.size(); ++idx) {
+        const Lit a = ~litFromIndex(idx);
+        for (const BinWatcher &w : binWatches[idx]) {
+            if (!(a < w.other))
+                continue;
+            LitVec kept;
+            bool satisfied = false;
+            for (const Lit l : {a, w.other}) {
+                if (value(l) == LBool::True) {
+                    satisfied = true;
+                    break;
+                }
+                if (value(l) == LBool::Undef)
+                    kept.push_back(l);
+            }
+            if (!satisfied)
+                clauses.push_back(std::move(kept));
+        }
+    }
+    for (auto &list : binWatches)
+        list.clear();
 
     // Incremental occurrence lists over a tombstoned clause vector.
     constexpr std::size_t occ_limit = 10;
@@ -1500,6 +1772,15 @@ Solver::preprocessEliminate()
     };
 
     std::vector<bool> frozen(numVars(), false);
+    // An SCC representative must survive elimination: the model
+    // reconstruction in solve() extends each merged variable from its
+    // representative's value BEFORE replaying eliminated variables,
+    // so a representative eliminated here would be read while still
+    // unset.  (Merged variables themselves need no freezing - they
+    // no longer occur in any clause, so the zero-occurrence skip
+    // below never touches them.)
+    for (const auto &entry : eqStack)
+        frozen[entry.second.var()] = true;
     std::vector<Var> queue;
     for (Var v = 0; v < numVars(); ++v)
         queue.push_back(v);
@@ -1590,7 +1871,11 @@ Solver::preprocessEliminate()
             if (value(c[0]) == LBool::False)
                 return false;
             if (value(c[0]) == LBool::Undef)
-                uncheckedEnqueue(c[0], kRefUndef);
+                uncheckedEnqueue(c[0], Reason());
+            continue;
+        }
+        if (c.size() == 2) {
+            attachBinary(c[0], c[1], /*learnt=*/false);
             continue;
         }
         const ClauseRef cl = ca.alloc(c, /*learnt=*/false, /*lbd=*/0);
@@ -1616,12 +1901,12 @@ Solver::relocAll(ClauseAllocator &to)
     for (auto &list : watches)
         for (Watcher &w : list)
             w.cref = ca.reloc(w.cref, to);
-    for (auto &list : binWatches)
-        for (BinWatcher &w : list)
-            w.cref = ca.reloc(w.cref, to);
+    // Binary watchers carry literals, not arena references - nothing
+    // to patch there, and binary reason words survive GC untouched.
     for (Var v = 0; v < numVars(); ++v) {
-        if (assigns[v] != LBool::Undef && reasons[v] != kRefUndef)
-            reasons[v] = ca.reloc(reasons[v], to);
+        if (assigns[v] != LBool::Undef && reasons[v].isClause())
+            reasons[v] = Reason::clause(
+                ca.reloc(reasons[v].clauseRef(), to));
     }
     for (ClauseRef &cr : problemClauses)
         cr = ca.reloc(cr, to);
@@ -1660,7 +1945,10 @@ Solver::inprocess()
     if (!okay || !cfg.inprocessing)
         return okay;
     ++statistics.inprocessRuns;
-    vivifyLearnts();
+    if (cfg.binaryAnalysis)
+        analyzeBinaryGraph();
+    if (okay)
+        vivifyLearnts();
     if (okay)
         backwardSubsume();
     maybeGarbageCollect();
@@ -1723,7 +2011,7 @@ Solver::vivifyLearnts()
                 continue;
             }
             kept.push_back(l);
-            uncheckedEnqueue(~l, kRefUndef);
+            uncheckedEnqueue(~l, Reason());
             if (propagate() != kRefUndef) {
                 // The negated prefix is contradictory: it suffices.
                 shortened = true;
@@ -1741,7 +2029,7 @@ Solver::vivifyLearnts()
             static_cast<std::int64_t>(lits.size() - kept.size());
         purgeDeferredOtf(cr);
         ca.free(cr);
-        if (kept.size() >= 2) {
+        if (kept.size() >= 3) {
             // All kept literals are unassigned at the root (false ones
             // were dropped, a true one ends the root_sat scan), so any
             // two of them are valid watches.
@@ -1756,6 +2044,12 @@ Solver::vivifyLearnts()
         }
         learntClauses[idx--] = learntClauses.back();
         learntClauses.pop_back();
+        if (kept.size() == 2) {
+            // Shrank to a binary: it moves out of the arena into the
+            // mirrored watch-list pair.
+            attachBinary(kept[0], kept[1], /*learnt=*/true);
+            continue;
+        }
         if (kept.empty()) {
             okay = false; // every literal false at the root
             return;
@@ -1763,7 +2057,7 @@ Solver::vivifyLearnts()
         if (value(kept[0]) == LBool::False) {
             okay = false;
         } else if (value(kept[0]) == LBool::Undef) {
-            uncheckedEnqueue(kept[0], kRefUndef);
+            uncheckedEnqueue(kept[0], Reason());
             okay = propagate() == kRefUndef;
         }
     }
@@ -1815,23 +2109,103 @@ Solver::backwardSubsume()
     const auto strengthen = [this, &entries](std::uint32_t j, Lit l) {
         Entry &d = entries[j];
         ++statistics.strengthenedClauses;
-        const std::size_t nonfalse = strengthenInPlace(d.cr, l);
-        if (nonfalse >= 2)
+        const Strengthened s = strengthenInPlace(d.cr, l);
+        if (s.becameBinary) {
+            // Dissolved into the binary watch lists; the ref is
+            // already freed and unlisted.
+            d.dead = true;
+            return;
+        }
+        if (s.nonfalse >= 2)
             return; // re-attached
         // Unit (or empty) at the root: dissolve into the trail.
         d.dead = true;
         const Clause &c = ca[d.cr];
         purgeDeferredOtf(d.cr);
         ca.free(d.cr);
-        if (nonfalse == 0) {
+        if (s.nonfalse == 0) {
             okay = false;
             return;
         }
         if (value(c[0]) == LBool::Undef) {
-            uncheckedEnqueue(c[0], kRefUndef);
+            uncheckedEnqueue(c[0], Reason());
             okay = propagate() == kRefUndef;
         }
     };
+
+    // Least-frequent literal, counting both polarities (the negated
+    // list feeds the strengthening case).
+    const auto pairCount = [&occ](Lit l) {
+        return occ[l.index()].size() + occ[(~l).index()].size();
+    };
+
+    // Binary clauses live outside the arena and therefore outside
+    // `entries`; run them as SUBSUMERS in a prepass.  Index-based
+    // loops: strengthen() can append to binary watch lists (a long
+    // clause shrinking to two literals), which may reallocate them,
+    // but never appends to `occ`.
+    for (std::size_t idx = 0; idx < binWatches.size() && okay; ++idx) {
+        for (std::size_t k = 0; k < binWatches[idx].size() && okay;
+             ++k) {
+            const BinWatcher w = binWatches[idx][k]; // value copy
+            const Lit a = ~litFromIndex(idx);
+            if (!(a < w.other))
+                continue; // visit each pair once, canonically
+            const Lit b = w.other;
+            const Lit best = pairCount(a) <= pairCount(b) ? a : b;
+            if (pairCount(best) > cfg.subsumeOccLimit)
+                continue;
+            inSubsumer[a.index()] = 1;
+            inSubsumer[b.index()] = 1;
+            const std::uint64_t sig =
+                (std::uint64_t{1} << (a.var() & 63)) |
+                (std::uint64_t{1} << (b.var() & 63));
+            for (const Lit probe : {best, ~best}) {
+                for (const std::uint32_t j : occ[probe.index()]) {
+                    Entry &d = entries[j];
+                    if (d.dead || (sig & ~d.sig) != 0 || locked(d.cr))
+                        continue;
+                    const Clause &cd = ca[d.cr];
+                    unsigned matched = 0, negations = 0;
+                    Lit neg = kUndefLit;
+                    for (Lit y : cd) {
+                        if (inSubsumer[y.index()]) {
+                            ++matched;
+                        } else if (inSubsumer[(~y).index()]) {
+                            ++negations;
+                            neg = y;
+                        }
+                    }
+                    if (matched == 2) {
+                        // (a | b) subsumes D.  A learnt binary
+                        // standing in for a problem clause is promoted
+                        // (both mirrored entries), same rationale as
+                        // the long-clause case below.
+                        if (w.learnt && !d.learnt) {
+                            binWatches[idx][k].learnt = false;
+                            for (BinWatcher &m :
+                                 binWatches[(~b).index()])
+                                if (m.other == a)
+                                    m.learnt = false;
+                        }
+                        d.dead = true;
+                        detachClause(d.cr);
+                        purgeDeferredOtf(d.cr);
+                        ca.free(d.cr);
+                        ++statistics.subsumedClauses;
+                    } else if (matched == 1 && negations == 1) {
+                        strengthen(j, neg);
+                        if (!okay)
+                            break;
+                    }
+                }
+                if (!okay)
+                    break;
+            }
+            inSubsumer[a.index()] = 0;
+            inSubsumer[b.index()] = 0;
+        }
+    }
 
     for (std::uint32_t i = 0;
          i < static_cast<std::uint32_t>(entries.size()) && okay; ++i) {
@@ -1841,11 +2215,6 @@ Solver::backwardSubsume()
         const Clause &c = ca[e.cr];
         if (c.size() < 2 || c.size() > cfg.subsumeMaxSize)
             continue;
-        // Least-frequent literal, counting both polarities (the
-        // negated list feeds the strengthening case).
-        const auto pairCount = [&occ](Lit l) {
-            return occ[l.index()].size() + occ[(~l).index()].size();
-        };
         Lit best = c[0];
         for (Lit l : c)
             if (pairCount(l) < pairCount(best))
@@ -1908,6 +2277,589 @@ Solver::backwardSubsume()
         if (e.dead)
             continue;
         (e.learnt ? learntClauses : problemClauses).push_back(e.cr);
+    }
+}
+
+Lit
+Solver::representativeOf(Lit l) const
+{
+    // Chase the substitution chain (SCC merges from successive
+    // inprocessing rounds may stack) to the un-substituted class
+    // representative, flipping polarity along negated links.
+    while (substituted[l.var()] != 0) {
+        const Lit rep = subst[l.var()];
+        l = l.sign() ? ~rep : rep;
+    }
+    return l;
+}
+
+/**
+ * Slice-boundary analysis of the binary implication graph, run from
+ * inprocess() under cfg.binaryAnalysis.  Order matters: the sweep
+ * clears satisfied edges so the graph passes see only live 2-clauses;
+ * SCC merging shrinks the variable space before probing spends its
+ * budget; probing's new units and hyper-binaries are swept/fed into
+ * transitive reduction last.  Every pass preserves satisfiability AND
+ * the model set over the original variables (substitution is undone
+ * in solve()'s model reconstruction), so verdicts and counterexamples
+ * are bit-identical with the analysis on or off.
+ */
+/**
+ * Rewrite the long-clause database against the root trail before the
+ * graph passes run: a root-satisfied clause drops, a root-false
+ * literal drops from its clause, and a clause left with exactly two
+ * free literals re-files as a REAL binary in the watch lists.  This
+ * is what connects root units to the binary graph - an XOR gate whose
+ * output is a root fact leaves its two ternaries as the equivalence
+ * pair (x | y), (~x | ~y), but SCC reduction can only see that pair
+ * once it lives in the binary lists.
+ */
+void
+Solver::cleanRootClauses()
+{
+    qbAssert(decisionLevel() == 0, "root cleaning above root level");
+    // Reason references into the long-clause arena may be freed
+    // below; root facts need no justification (see
+    // preprocessEliminate()).
+    for (const Lit l : trail)
+        reasons[l.var()] = Reason();
+    for (auto *list : {&problemClauses, &learntClauses}) {
+        for (std::size_t i = 0; i < list->size();) {
+            const ClauseRef cr = (*list)[i];
+            Clause &c = ca[cr];
+            bool satisfied = false;
+            bool touched = false;
+            for (const Lit l : c) {
+                if (value(l) == LBool::True) {
+                    satisfied = true;
+                    break;
+                }
+                touched |= value(l) == LBool::False;
+            }
+            if (!satisfied && !touched) {
+                ++i;
+                continue;
+            }
+            LitVec kept;
+            if (!satisfied) {
+                for (const Lit l : c)
+                    if (value(l) == LBool::Undef)
+                        kept.push_back(l);
+                ++statistics.strengthenedClauses;
+            }
+            const bool learnt = c.learnt();
+            const bool imported = c.imported();
+            const unsigned lbd = c.lbd();
+            const float act = c.activity();
+            detachClause(cr);
+            purgeDeferredOtf(cr);
+            ca.free(cr);
+            if (!satisfied && kept.size() >= 3) {
+                const ClauseRef nr = ca.alloc(
+                    kept, learnt,
+                    std::min(lbd,
+                             static_cast<unsigned>(kept.size())),
+                    imported, act);
+                (*list)[i] = nr;
+                attachClause(nr);
+                ++i;
+                continue;
+            }
+            std::swap((*list)[i], list->back());
+            list->pop_back();
+            if (satisfied)
+                continue;
+            // At the root propagation fixpoint a live clause keeps at
+            // least two free literals: one survivor would have been
+            // propagated (satisfying the clause), zero would have
+            // conflicted in the propagate() call just above.
+            qbAssert(kept.size() == 2,
+                     "root fixpoint leaves >= 2 free literals");
+            attachBinary(kept[0], kept[1], learnt);
+        }
+    }
+}
+
+void
+Solver::analyzeBinaryGraph()
+{
+    qbAssert(decisionLevel() == 0, "binary analysis above root level");
+    if (propagate() != kRefUndef) {
+        okay = false;
+        return;
+    }
+    cleanRootClauses();
+    sweepSatisfiedBinaries();
+    if (sccEquivalenceReduce()) {
+        if (!okay)
+            return;
+        applyEquivalences();
+        if (!okay)
+            return;
+        sweepSatisfiedBinaries();
+    }
+    if (!okay)
+        return;
+    probeFailedLiterals();
+    if (!okay)
+        return;
+    sweepSatisfiedBinaries();
+    transitiveReduce();
+}
+
+void
+Solver::sweepSatisfiedBinaries()
+{
+    // At the root propagation fixpoint every binary with an assigned
+    // endpoint is satisfied (a false endpoint would have propagated
+    // the other literal true), so dropping the edge loses nothing.
+    // Not counted as clause removals: the constraint is absorbed by
+    // the trail, exactly like the root-satisfied long-clause sweeps.
+    for (std::size_t idx = 0; idx < binWatches.size(); ++idx) {
+        auto &list = binWatches[idx];
+        if (list.empty())
+            continue;
+        if (assigns[litFromIndex(idx).var()] != LBool::Undef) {
+            list.clear();
+            continue;
+        }
+        std::erase_if(list, [this](const BinWatcher &w) {
+            return assigns[w.other.var()] != LBool::Undef;
+        });
+    }
+}
+
+/**
+ * Tarjan SCC over the binary implication graph.  A strongly connected
+ * component is a class of pairwise-equivalent literals: the
+ * lowest-index member becomes the representative and the others are
+ * substituted away (committed to substituted/subst/eqStack; the
+ * clause database is rewritten by applyEquivalences()).  The graph is
+ * skew-symmetric (u->v iff ~v->~u), so the complement of a component
+ * is a component and min(~C) == ~min(C): both polarities of a merged
+ * variable agree on their representative, and a variable is merged at
+ * most once.  A component holding both polarities of one variable is
+ * a root contradiction: latch Unsat and commit nothing.  Returns true
+ * when at least one variable was merged.
+ */
+bool
+Solver::sccEquivalenceReduce()
+{
+    const std::size_t n = binWatches.size();
+    std::vector<std::uint32_t> index(n, 0);
+    std::vector<std::uint32_t> low(n, 0);
+    std::vector<char> onStack(n, 0);
+    std::vector<std::uint32_t> sccStack;
+    std::uint32_t nextIndex = 0;
+    struct Frame
+    {
+        std::uint32_t node;
+        std::uint32_t child;
+    };
+    std::vector<Frame> dfs;
+    std::vector<char> memberSeen(numVars(), 0);
+    std::vector<char> mergedNow(numVars(), 0);
+    std::vector<std::uint32_t> comp;
+    std::vector<std::pair<Var, Lit>> pending;
+
+    for (std::size_t root = 0; root < n; ++root) {
+        if (index[root] != 0 || binWatches[root].empty())
+            continue;
+        if (assigns[litFromIndex(root).var()] != LBool::Undef)
+            continue;
+        index[root] = low[root] = ++nextIndex;
+        onStack[root] = 1;
+        sccStack.push_back(static_cast<std::uint32_t>(root));
+        dfs.push_back({static_cast<std::uint32_t>(root), 0});
+        while (!dfs.empty()) {
+            Frame &f = dfs.back();
+            if (f.child < binWatches[f.node].size()) {
+                const auto v = static_cast<std::uint32_t>(
+                    binWatches[f.node][f.child++].other.index());
+                if (index[v] == 0) {
+                    index[v] = low[v] = ++nextIndex;
+                    onStack[v] = 1;
+                    sccStack.push_back(v);
+                    dfs.push_back({v, 0});
+                } else if (onStack[v] != 0) {
+                    low[f.node] = std::min(low[f.node], index[v]);
+                }
+                continue;
+            }
+            const std::uint32_t u = f.node;
+            dfs.pop_back();
+            if (!dfs.empty())
+                low[dfs.back().node] =
+                    std::min(low[dfs.back().node], low[u]);
+            if (low[u] != index[u])
+                continue;
+            comp.clear();
+            for (;;) {
+                const std::uint32_t m = sccStack.back();
+                sccStack.pop_back();
+                onStack[m] = 0;
+                comp.push_back(m);
+                if (m == u)
+                    break;
+            }
+            if (comp.size() < 2)
+                continue;
+            bool contradiction = false;
+            for (const std::uint32_t mi : comp) {
+                const Var mv = litFromIndex(mi).var();
+                if (memberSeen[mv] != 0) {
+                    contradiction = true;
+                    break;
+                }
+                memberSeen[mv] = 1;
+            }
+            for (const std::uint32_t mi : comp)
+                memberSeen[litFromIndex(mi).var()] = 0;
+            if (contradiction) {
+                okay = false;
+                return false;
+            }
+            std::uint32_t minIdx = comp[0];
+            for (const std::uint32_t mi : comp)
+                minIdx = std::min(minIdx, mi);
+            const Lit rep = litFromIndex(minIdx);
+            for (const std::uint32_t mi : comp) {
+                if (mi == minIdx)
+                    continue;
+                const Lit ml = litFromIndex(mi);
+                if (mergedNow[ml.var()] != 0)
+                    continue; // complement class already merged it
+                mergedNow[ml.var()] = 1;
+                pending.emplace_back(ml.var(),
+                                     ml.sign() ? ~rep : rep);
+            }
+        }
+    }
+    if (pending.empty())
+        return false;
+    for (const auto &[v, repLit] : pending) {
+        substituted[v] = 1;
+        subst[v] = repLit;
+        eqStack.emplace_back(v, repLit);
+    }
+    statistics.sccMergedVars +=
+        static_cast<std::int64_t>(pending.size());
+    return true;
+}
+
+/**
+ * Rewrite the whole clause database through the substitution just
+ * committed by sccEquivalenceReduce(): every literal is replaced by
+ * its representative, then each clause is re-normalized exactly like
+ * addClause() (satisfied/tautological clauses drop, duplicate and
+ * root-false literals drop, units go to the root trail).  Long
+ * clauses are re-allocated only when touched; the binary lists are
+ * rebuilt wholesale, which also restores watcher-pair symmetry.
+ * Afterwards no substituted variable appears anywhere in the solver -
+ * the extended checkInvariants() asserts exactly that.
+ */
+void
+Solver::applyEquivalences()
+{
+    qbAssert(decisionLevel() == 0, "substitution above root level");
+    // Root assignments keep their values, but their reason clauses
+    // may be rewritten or dissolved below - drop the references (root
+    // facts need no justification; see preprocessEliminate()).
+    for (const Lit l : trail)
+        reasons[l.var()] = Reason();
+    for (auto *list : {&problemClauses, &learntClauses}) {
+        for (std::size_t i = 0; i < list->size();) {
+            const ClauseRef cr = (*list)[i];
+            Clause &c = ca[cr];
+            bool touched = false;
+            for (const Lit l : c)
+                touched |= substituted[l.var()] != 0;
+            if (!touched) {
+                ++i;
+                continue;
+            }
+            LitVec lits;
+            lits.reserve(c.size());
+            for (const Lit l : c)
+                lits.push_back(representativeOf(l));
+            const bool learnt = c.learnt();
+            const bool imported = c.imported();
+            const unsigned lbd = c.lbd();
+            const float act = c.activity();
+            std::sort(lits.begin(), lits.end());
+            LitVec kept;
+            bool dropClause = false;
+            Lit prev = kUndefLit;
+            for (const Lit l : lits) {
+                if (value(l) == LBool::True ||
+                    (prev != kUndefLit && l == ~prev)) {
+                    dropClause = true; // satisfied or tautological
+                    break;
+                }
+                if (value(l) == LBool::False || l == prev)
+                    continue;
+                kept.push_back(l);
+                prev = l;
+            }
+            detachClause(cr);
+            purgeDeferredOtf(cr);
+            ca.free(cr);
+            if (!dropClause && kept.size() >= 3) {
+                const ClauseRef nr = ca.alloc(
+                    kept, learnt,
+                    std::min(lbd,
+                             static_cast<unsigned>(kept.size())),
+                    imported, act);
+                (*list)[i] = nr;
+                attachClause(nr);
+                ++i;
+                continue;
+            }
+            (*list)[i] = list->back();
+            list->pop_back();
+            if (dropClause)
+                continue;
+            if (kept.size() == 2) {
+                attachBinary(kept[0], kept[1], learnt);
+                continue;
+            }
+            if (kept.size() == 1) {
+                // kept holds only root-unassigned literals.
+                uncheckedEnqueue(kept[0], Reason());
+                continue;
+            }
+            okay = false; // every literal false at the root
+            return;
+        }
+    }
+    // Rebuild the binary lists through the substitution.
+    struct BinClause
+    {
+        Lit a, b;
+        bool learnt;
+    };
+    std::vector<BinClause> bins;
+    for (std::size_t idx = 0; idx < binWatches.size(); ++idx) {
+        const Lit a = ~litFromIndex(idx);
+        for (const BinWatcher &w : binWatches[idx])
+            if (a < w.other)
+                bins.push_back({a, w.other, w.learnt});
+    }
+    for (auto &list : binWatches)
+        list.clear();
+    for (const BinClause &bc : bins) {
+        const Lit a = representativeOf(bc.a);
+        const Lit b = representativeOf(bc.b);
+        if (a == ~b)
+            continue; // tautology
+        if (value(a) == LBool::True || value(b) == LBool::True)
+            continue;
+        Lit unit = kUndefLit;
+        if (a == b || value(b) == LBool::False)
+            unit = a;
+        else if (value(a) == LBool::False)
+            unit = b;
+        if (unit != kUndefLit) {
+            if (value(unit) == LBool::False) {
+                okay = false;
+                return;
+            }
+            if (value(unit) == LBool::Undef)
+                uncheckedEnqueue(unit, Reason());
+            continue;
+        }
+        attachBinary(a, b, bc.learnt);
+    }
+    notePeaks();
+    okay = propagate() == kRefUndef;
+}
+
+/**
+ * Failed-literal probing at the roots of the binary implication
+ * graph: literals with binary successors but no binary predecessor
+ * (anything a non-root implies is probed transitively for free when
+ * its root fails, so roots give the best coverage per propagation).
+ * A probe that conflicts proves the negation as a root unit, learnt
+ * through the regular first-UIP analysis; a quiet probe is mined for
+ * lazy hyper-binary resolvents: every trail literal x justified by a
+ * LONG clause gains the edge probe -> x (binary-justified literals
+ * already have a graph path, the new edge would only feed transitive
+ * reduction).  Budgeted in propagations like vivification.
+ */
+void
+Solver::probeFailedLiterals()
+{
+    std::int64_t budget = cfg.probePropBudget;
+    LitVec learnt;
+    int btlevel = 0;
+    unsigned lbd = 0;
+    // Probing assigns and retracts whole propagation cones, and
+    // uncheckedEnqueue records each assignment as the variable's
+    // saved phase.  Left alone that would replace the configured
+    // initial polarity of every probed cone with probe-derived
+    // values and measurably degrade the subsequent search (the probe
+    // order has nothing to do with good phases).  Restore the saved
+    // phases when the pass is done.
+    const std::vector<bool> savedPolarity = polarity;
+    struct PhaseGuard
+    {
+        std::vector<bool> &live;
+        const std::vector<bool> &saved;
+        ~PhaseGuard() { live = saved; }
+    } phaseGuard{polarity, savedPolarity};
+    for (std::size_t idx = 0;
+         idx < binWatches.size() && okay && budget > 0; ++idx) {
+        if (binWatches[idx].empty())
+            continue;
+        const Lit l = litFromIndex(idx);
+        if (assigns[l.var()] != LBool::Undef)
+            continue;
+        if (!binWatches[(~l).index()].empty())
+            continue; // not a root: something implies l
+        trailLim.push_back(static_cast<int>(trail.size()));
+        uncheckedEnqueue(l, Reason());
+        const std::int64_t before = statistics.propagations;
+        const ClauseRef confl = propagate();
+        budget -= statistics.propagations - before;
+        if (confl != kRefUndef) {
+            ++statistics.probedFailed;
+            analyze(confl, learnt, btlevel, lbd);
+            otfCandidates.clear(); // no search() to apply them
+            cancelUntil(0);
+            // All other literals in a level-1 conflict sit at level 0
+            // and analyze() excludes those: the learnt clause is the
+            // asserting unit ~(failed prefix) alone.
+            qbAssert(learnt.size() == 1,
+                     "probe conflict must yield a unit");
+            const Lit unit = learnt[0];
+            if (value(unit) == LBool::False) {
+                okay = false;
+                return;
+            }
+            if (value(unit) == LBool::Undef) {
+                uncheckedEnqueue(unit, Reason());
+                if (propagate() != kRefUndef) {
+                    okay = false;
+                    return;
+                }
+            }
+            continue;
+        }
+        const auto base = static_cast<std::size_t>(trailLim.back());
+        for (std::size_t t = base + 1; t < trail.size(); ++t) {
+            const Lit x = trail[t];
+            if (reasons[x.var()].isClause() &&
+                attachBinary(~l, x, /*learnt=*/true))
+                ++statistics.hyperBinaries;
+        }
+        cancelUntil(0);
+    }
+}
+
+/**
+ * Transitive reduction of the binary implication graph.  One DFS
+ * forest assigns discovery/finish stamps; its tree edges are the
+ * WITNESS set, keyed per CLAUSE (unordered literal pair) so a clause
+ * that is a tree edge in either direction is never removed - every
+ * removal below is therefore justified by a path of permanently-kept
+ * clauses, with no circular "A covered by B, B covered by A" risk.
+ * Within each watch list, sorted by successor discovery stamp, a
+ * running cover horizon (max finish stamp over witness successors
+ * seen so far) identifies covered edges in one pass: disc[s] <
+ * disc[v] < fin[s] puts v inside witness-successor s's DFS subtree,
+ * i.e. reachable from s through tree edges alone.  The stamp order
+ * and the sort are deterministic, so reduction is identical across
+ * --jobs configurations.
+ */
+void
+Solver::transitiveReduce()
+{
+    const std::size_t n = binWatches.size();
+    std::vector<std::uint32_t> disc(n, 0);
+    std::vector<std::uint32_t> fin(n, 0);
+    std::uint32_t stamp = 0;
+    std::unordered_set<std::uint64_t> witness;
+    const auto clauseKey = [](Lit x, Lit y) {
+        auto xi = static_cast<std::uint64_t>(x.index());
+        auto yi = static_cast<std::uint64_t>(y.index());
+        if (xi > yi)
+            std::swap(xi, yi);
+        return (xi << 32) | yi;
+    };
+    struct Frame
+    {
+        std::uint32_t node;
+        std::uint32_t child;
+    };
+    std::vector<Frame> dfs;
+    for (std::size_t root = 0; root < n; ++root) {
+        if (disc[root] != 0 || binWatches[root].empty())
+            continue;
+        if (assigns[litFromIndex(root).var()] != LBool::Undef)
+            continue;
+        disc[root] = ++stamp;
+        dfs.push_back({static_cast<std::uint32_t>(root), 0});
+        while (!dfs.empty()) {
+            Frame &f = dfs.back();
+            if (f.child < binWatches[f.node].size()) {
+                const Lit to = binWatches[f.node][f.child++].other;
+                const auto v =
+                    static_cast<std::uint32_t>(to.index());
+                if (disc[v] == 0) {
+                    disc[v] = ++stamp;
+                    witness.insert(
+                        clauseKey(~litFromIndex(f.node), to));
+                    dfs.push_back({v, 0});
+                }
+                continue;
+            }
+            fin[f.node] = ++stamp;
+            dfs.pop_back();
+        }
+    }
+    for (std::size_t u = 0; u < n; ++u) {
+        auto &list = binWatches[u];
+        if (list.size() < 2)
+            continue;
+        if (assigns[litFromIndex(u).var()] != LBool::Undef)
+            continue;
+        const Lit back = ~litFromIndex(u);
+        std::sort(list.begin(), list.end(),
+                  [&disc](const BinWatcher &x, const BinWatcher &y) {
+                      return disc[x.other.index()] <
+                             disc[y.other.index()];
+                  });
+        std::uint32_t coverEnd = 0;
+        std::vector<BinWatcher> keptList;
+        keptList.reserve(list.size());
+        for (const BinWatcher &w : list) {
+            const auto v =
+                static_cast<std::uint32_t>(w.other.index());
+            if (witness.count(clauseKey(back, w.other)) != 0) {
+                keptList.push_back(w);
+                coverEnd = std::max(coverEnd, fin[v]);
+                continue;
+            }
+            if (disc[v] < coverEnd) {
+                // Covered: drop the clause - this entry plus its
+                // mirror (never in this same list: a self-mirroring
+                // entry would be the degenerate clause (l | l),
+                // which attachBinary() rejects).
+                auto &mirror = binWatches[(~w.other).index()];
+                for (std::size_t k = 0; k < mirror.size(); ++k) {
+                    if (mirror[k].other == back) {
+                        mirror[k] = mirror.back();
+                        mirror.pop_back();
+                        break;
+                    }
+                }
+                ++statistics.transitiveReduced;
+                ++statistics.removedClauses;
+                continue;
+            }
+            keptList.push_back(w);
+        }
+        list.swap(keptList);
     }
 }
 

@@ -9,24 +9,31 @@
  * activities, phase saving, Luby restarts and activity/LBD-based learnt
  * clause database reduction.
  *
- * Clause storage is an arena ClauseAllocator (clause_allocator.h): all
- * clauses live in one contiguous word array addressed by 32-bit
- * ClauseRefs, watcher lists carry {ClauseRef, blocker literal} pairs so
- * the common propagation step never touches the clause itself, and a
- * relocating garbage collector compacts the arena when database
- * reductions have left enough garbage behind.  BINARY clauses get
- * their own watch lists with the implied literal inlined in the
- * watcher (dawn/MiniSat-style): propagation visits them first and
- * decides every binary - implication, conflict or no-op - without a
- * single arena read (SolverStats::propagationArenaReads proves it),
- * then falls through to the long clauses under the blocker scheme.
+ * Clause storage is an arena ClauseAllocator (clause_allocator.h):
+ * clauses of size >= 3 live in one contiguous word array addressed by
+ * 32-bit ClauseRefs, watcher lists carry {ClauseRef, blocker literal}
+ * pairs so the common propagation step never touches the clause
+ * itself, and a relocating garbage collector compacts the arena when
+ * database reductions have left enough garbage behind.  BINARY
+ * clauses never enter the arena at all: they exist only as mirrored
+ * entries in the specialized binary watch lists, with the implied
+ * literal inlined in the watcher (dawn/kissat-style), and a binary
+ * implication carries the OTHER literal in the variable's Reason word
+ * instead of a clause reference.  Propagation visits the binary lists
+ * first and decides every binary - implication, conflict or no-op -
+ * without a single arena read (SolverStats::propagationArenaReads
+ * proves it), then falls through to the long clauses under the
+ * blocker scheme.
  * Long-lived incremental solvers additionally support inprocessing -
- * clause vivification and backward subsumption - which the
- * verification engine runs at slice boundaries between queries, and
- * ON-THE-FLY self-subsumption during conflict analysis: when the
- * freshly learnt clause self-subsumes one of its antecedents, the
- * antecedent is strengthened in place at learn time instead of
- * waiting for the slice-boundary pass.
+ * binary-implication-graph analysis (Tarjan SCC equivalence
+ * reduction, failed-literal probing with hyper-binary resolution,
+ * stamp-based transitive reduction; see analyzeBinaryGraph()), clause
+ * vivification and backward subsumption - which the verification
+ * engine runs at slice boundaries between queries, and ON-THE-FLY
+ * self-subsumption during conflict analysis: when the freshly learnt
+ * clause self-subsumes one of its antecedents, the antecedent is
+ * strengthened in place at learn time instead of waiting for the
+ * slice-boundary pass.
  *
  * Two configuration presets (see SolverConfig::baseline() and
  * SolverConfig::simplify()) stand in for the two external solvers in the
@@ -53,6 +60,57 @@ namespace qb::sat {
 
 /** Outcome of a solve() call. */
 enum class SolveResult { Sat, Unsat, Unknown };
+
+/**
+ * Why a variable is assigned: nothing (decision / root unit), a long
+ * clause in the arena, or - kissat-style - the OTHER literal of a
+ * binary clause, inlined so a binary implication never needs an arena
+ * clause at all.  One tagged 32-bit word: the top bit distinguishes
+ * "binary, low bits are the other literal's index" from "arena
+ * ClauseRef".  kRefUndef has the tag bit set, so isClause() is false
+ * for the undef state without a separate check.
+ */
+class Reason
+{
+  public:
+    Reason() = default;
+
+    static Reason clause(ClauseRef cr)
+    {
+        // Arena refs must stay below the tag bit (an 8 GiB arena);
+        // kRefUndef is the one tagged value allowed through.
+        qbAssert(cr == kRefUndef || (cr & kBinTag) == 0,
+                 "arena ref collides with the binary reason tag");
+        Reason r;
+        r.word = cr;
+        return r;
+    }
+    /** Reason "binary clause (implied ∨ other)": store @p other. */
+    static Reason binary(Lit other)
+    {
+        Reason r;
+        r.word = kBinTag | static_cast<std::uint32_t>(other.index());
+        return r;
+    }
+
+    bool isUndef() const { return word == kRefUndef; }
+    bool isBinary() const
+    {
+        return word != kRefUndef && (word & kBinTag) != 0;
+    }
+    bool isClause() const { return (word & kBinTag) == 0; }
+
+    ClauseRef clauseRef() const { return word; }
+    Lit otherLit() const
+    {
+        const auto idx = word & ~kBinTag;
+        return mkLit(static_cast<Var>(idx >> 1), (idx & 1) != 0);
+    }
+
+  private:
+    static constexpr std::uint32_t kBinTag = 0x80000000U;
+    std::uint32_t word = kRefUndef;
+};
 
 /** Tunable solver parameters; see the preset factories. */
 struct SolverConfig
@@ -96,8 +154,20 @@ struct SolverConfig
     /** @name Inprocessing knobs (see Solver::inprocess()). @{ */
     /** Master switch: inprocess() is a no-op when false. */
     bool inprocessing = true;
+    /**
+     * Binary-implication-graph analysis at inprocess() time: Tarjan
+     * SCC equivalence reduction, failed-literal probing with
+     * hyper-binary resolution, and stamp-based transitive reduction
+     * (see Solver::analyzeBinaryGraph()).  Every transformation is
+     * satisfiability- and model-preserving (models are reconstructed
+     * over merged variables), so verdicts and counterexamples are
+     * identical with the pass on or off.
+     */
+    bool binaryAnalysis = true;
     /** Propagation budget per vivification pass. */
     std::int64_t vivifyPropBudget = 100000;
+    /** Propagation budget per failed-literal probing pass. */
+    std::int64_t probePropBudget = 20000;
     /** Clauses longer than this are never used as subsumers. */
     unsigned subsumeMaxSize = 12;
     /** Occurrence-list length cap per candidate subsumer literal. */
@@ -190,6 +260,18 @@ struct SolverStats
     /** Skipped OTF candidates applied later at a root boundary (see
      *  SolverConfig::otfDefer). */
     std::int64_t otfDeferredApplied = 0;
+    /** Variables merged into an equivalence-class representative by
+     *  the SCC pass (each one permanently leaves the search space). */
+    std::int64_t sccMergedVars = 0;
+    /** Probed literals that propagated a conflict, each learning its
+     *  negation as a root unit. */
+    std::int64_t probedFailed = 0;
+    /** Hyper-binary resolvents harvested during probing: binaries
+     *  (~probe ∨ implied) recorded for implications that only existed
+     *  through long clauses. */
+    std::int64_t hyperBinaries = 0;
+    /** Redundant binary clauses dropped by transitive reduction. */
+    std::int64_t transitiveReduced = 0;
     /** Imported clauses dropped by shrinkLearnts() after retiring
      *  (survived importedRetireEpochs epochs, then aged out by
      *  LBD like ordinary learnts). */
@@ -369,15 +451,18 @@ class Solver
 
     /**
      * Walk the whole solver state and qbAssert its structural
-     * invariants: every live clause (problem or learnt) of size >= 3
-     * is watched exactly twice under its first two literals with a
-     * blocker drawn from the clause, every binary clause sits exactly
-     * twice in the specialized binary watch lists with the correct
-     * implied literal, every watcher points at a live clause, every
-     * assigned variable's reason clause contains the implied literal
-     * (slot 0 for long clauses, either slot for binaries), and the
-     * arena's waste accounting is exact (live words + wasted ==
-     * arena words).
+     * invariants: every live arena clause has size >= 3 and is
+     * watched exactly twice under its first two literals with a
+     * blocker drawn from the clause, every watcher points at a live
+     * clause, the binary implication graph is well formed (each edge
+     * a→b has its mirror ¬b→¬a filed with the same learnt flag, no
+     * self- or duplicate binaries, no substituted or assigned-at-root
+     * endpoints at a quiesced root), substituted variables are absent
+     * from the trail and every watch list, every assigned variable's
+     * reason is consistent (long reasons live with the implied
+     * literal in slot 0, binary reasons with a false other literal),
+     * and the arena's waste accounting is exact (live words + wasted
+     * == arena words).
      *
      * O(database size) - debug tooling, not a hot-path check.  The
      * verification engine calls it at slice boundaries when built
@@ -400,9 +485,17 @@ class Solver
 
     void attachClause(ClauseRef cr);
     void detachClause(ClauseRef cr);
+    /**
+     * File the binary clause (@p a ∨ @p b) in both binary watch
+     * lists.  Duplicate-aware: re-adding an existing binary is a
+     * no-op (a problem-status duplicate upgrades a learnt entry to
+     * problem status in both lists).  @return true when a new edge
+     * pair was actually filed.
+     */
+    bool attachBinary(Lit a, Lit b, bool learnt);
     void removeClause(ClauseRef cr);
     bool locked(ClauseRef cr) const;
-    void uncheckedEnqueue(Lit l, ClauseRef reason_clause);
+    void uncheckedEnqueue(Lit l, Reason reason);
     ClauseRef propagate();
     Clause &reasonClause(Var v);
     void analyze(ClauseRef conflict, LitVec &out_learnt,
@@ -412,7 +505,42 @@ class Solver
     void otfStrengthen();
     void applyDeferredOtf();
     void purgeDeferredOtf(ClauseRef cr);
-    std::size_t strengthenInPlace(ClauseRef cr, Lit l);
+    /** Outcome of strengthenInPlace(). */
+    struct Strengthened
+    {
+        /** Literals of the clause not false at the current level
+         *  after removal. */
+        std::size_t nonfalse = 0;
+        /** The shrink reached size 2: the clause was FREED from the
+         *  arena and re-filed in the binary watch lists; the caller's
+         *  cref is dead. */
+        bool becameBinary = false;
+    };
+    Strengthened strengthenInPlace(ClauseRef cr, Lit l);
+    /** Resolve @p l through the accumulated equivalence
+     *  substitutions to its class representative (identity for
+     *  unmerged variables). */
+    Lit representativeOf(Lit l) const;
+    /**
+     * The slice-boundary binary-implication-graph analysis
+     * (SolverConfig::binaryAnalysis): sweep satisfied binaries, then
+     * Tarjan SCC equivalence reduction with representative
+     * substitution through the whole solver, then failed-literal
+     * probing at graph roots with hyper-binary resolution, then
+     * stamp-based transitive reduction.  Root level only.  Sets
+     * okay = false when the analysis derives unsatisfiability.
+     */
+    void analyzeBinaryGraph();
+    /** Rewrite the long-clause database against the root trail:
+     *  satisfied clauses drop, root-false literals drop, and a
+     *  clause left with two literals re-files as a true binary -
+     *  exactly the edges the graph passes below consume. */
+    void cleanRootClauses();
+    void sweepSatisfiedBinaries();
+    bool sccEquivalenceReduce();
+    void applyEquivalences();
+    void probeFailedLiterals();
+    void transitiveReduce();
     void restoreEliminated();
     void drainImports();
     void addImported(LitVec lits, unsigned lbd);
@@ -447,7 +575,7 @@ class Solver
 
     std::vector<LBool> assigns;
     std::vector<int> levels;
-    std::vector<ClauseRef> reasons;
+    std::vector<Reason> reasons;
     std::vector<bool> polarity;
     std::vector<double> activity;
     std::vector<char> seen;
@@ -478,6 +606,37 @@ class Solver
     double claInc = 1.0;
     bool okay = true;
     bool preprocessed = false;
+    /** The solve-entry binary-graph pass is due: set whenever new
+     *  problem clauses arrive, cleared after a pass.  Keeps budgeted
+     *  slice resumptions (racing lanes re-enter solve() with only new
+     *  LEARNT clauses) from re-running SCC/probing/reduction on an
+     *  unchanged formula. */
+    bool binaryAnalysisPending = true;
+
+    /** The two literals of a conflicting binary clause found by
+     *  propagate(), which has no arena clause to return: propagate()
+     *  reports the sentinel kBinConflictRef and analyze()/solve()
+     *  read the conflict literals from here. */
+    Lit binConflict[2] = {kUndefLit, kUndefLit};
+
+    /** @name Equivalence-literal substitution (SCC pass). @{ */
+    /** Per-variable: merged into another class representative by
+     *  sccEquivalenceReduce()?  Substituted variables are fully
+     *  retired: no watches, no assignments, never branched on. */
+    std::vector<char> substituted;
+    /** For substituted v: the literal mkLit(v, false) maps to (one
+     *  hop; chains only arise across separate passes and are
+     *  resolved by representativeOf()). */
+    std::vector<Lit> subst;
+    /** Merge log, oldest first: (variable, literal it was merged
+     *  into), replayed newest-first by solve() to extend a model
+     *  over substituted variables before elimStack reconstruction. */
+    std::vector<std::pair<Var, Lit>> eqStack;
+    /** The caller's literals for the current solve(assumptions)
+     *  call, pre-substitution: failedAssumptions() cores are
+     *  translated back to these. */
+    LitVec originalAssumptions;
+    /** @} */
 
     LitVec assumptions;  ///< active assumptions of the current call
     LitVec conflictCore; ///< failed assumptions of the last Unsat

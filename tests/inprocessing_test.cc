@@ -246,9 +246,14 @@ TEST(Inprocessing, VivificationShortensPaddedClauses)
     EXPECT_EQ(SolveResult::Sat, s.solve());
     ASSERT_EQ(1, s.stats().importedClauses);
     // Now force x0 at the root: the imported clause's ~x0 is dead.
+    // Either the binary-graph root cleaning strips it (counted as a
+    // strengthening; the remainder re-files as a real binary) or,
+    // with that pass off, vivification strips it.
     EXPECT_TRUE(s.addClause({mkLit(0)}));
     EXPECT_TRUE(s.inprocess());
-    EXPECT_GE(s.stats().vivifiedClauses + s.stats().removedClauses, 1)
+    EXPECT_GE(s.stats().vivifiedClauses + s.stats().removedClauses +
+                  s.stats().strengthenedClauses,
+              1)
         << "the clause must be shortened or dropped as satisfied";
     EXPECT_EQ(SolveResult::Sat, s.solve());
 }
@@ -488,6 +493,273 @@ TEST(Inprocessing, AddClauseAfterRestoreChecksOkay)
     EXPECT_FALSE(s.addClause({mkLit(1), mkLit(2)}));
 }
 
+TEST(BinaryGraph, GadgetsFireEveryPass)
+{
+    // One formula with a disjoint gadget per binary-graph pass, so a
+    // single assumption-free solve must move all four counters:
+    //   SCC cycle      a -> b -> c -> a        (merges b and c into a)
+    //   transitive     d -> e -> f  plus d -> f (one redundant edge)
+    //   failed literal g -> h, g -> ~h          (probing learns ~g)
+    //   hyper-binary   p -> q, p -> r, (~q|~r|x) (resolvent ~p | x)
+    const Lit a = mkLit(0), b = mkLit(1), c = mkLit(2);
+    const Lit d = mkLit(3), e = mkLit(4), f = mkLit(5);
+    const Lit g = mkLit(6), h = mkLit(7);
+    const Lit p = mkLit(8), q = mkLit(9), r = mkLit(10),
+              x = mkLit(11);
+    Cnf cnf;
+    cnf.ensureVars(12);
+    cnf.addClause({~a, b});
+    cnf.addClause({~b, c});
+    cnf.addClause({~c, a});
+    cnf.addClause({~d, e});
+    cnf.addClause({~e, f});
+    cnf.addClause({~d, f});
+    cnf.addClause({~g, h});
+    cnf.addClause({~g, ~h});
+    cnf.addClause({~p, q});
+    cnf.addClause({~p, r});
+    cnf.addClause({~q, ~r, x});
+    Solver solver;
+    solver.addCnf(cnf);
+    ASSERT_EQ(SolveResult::Sat, solver.solve());
+    EXPECT_EQ(2, solver.stats().sccMergedVars);
+    EXPECT_GE(solver.stats().probedFailed, 1);
+    EXPECT_GE(solver.stats().hyperBinaries, 1);
+    EXPECT_GE(solver.stats().transitiveReduced, 1);
+    // The model must be reported over the ORIGINAL variables: the
+    // merged b and c were substituted away inside the solver, yet the
+    // reconstructed model still has to satisfy every input clause.
+    std::vector<LBool> model(12);
+    for (Var v = 0; v < 12; ++v)
+        model[static_cast<std::size_t>(v)] = solver.modelValue(v);
+    EXPECT_TRUE(cnf.satisfiedBy(model));
+    EXPECT_EQ(solver.modelValue(0), solver.modelValue(1));
+    EXPECT_EQ(solver.modelValue(0), solver.modelValue(2));
+    EXPECT_EQ(LBool::False, solver.modelValue(6)); // the failed g
+}
+
+TEST_P(InprocessingProperty, BinaryAnalysisAgreesWithBruteForce)
+{
+    // Random binary-heavy formulas with the graph passes on: verdicts
+    // must match brute force round for round, and every Sat round's
+    // reconstructed model must satisfy the ORIGINAL clauses - the
+    // strongest observable statement of substitution soundness.
+    Rng rng(GetParam() + 91000);
+    Cnf cnf;
+    cnf.ensureVars(9);
+    for (int i = 0; i < 26; ++i) {
+        const Var u = static_cast<Var>(rng.nextBelow(9));
+        Var w = static_cast<Var>(rng.nextBelow(9));
+        while (w == u)
+            w = static_cast<Var>(rng.nextBelow(9));
+        cnf.addClause(
+            {mkLit(u, rng.nextBool()), mkLit(w, rng.nextBool())});
+    }
+    for (int i = 0; i < 6; ++i) {
+        LitVec clause;
+        for (int j = 0; j < 3; ++j)
+            clause.push_back(mkLit(
+                static_cast<Var>(rng.nextBelow(9)), rng.nextBool()));
+        cnf.addClause(clause);
+    }
+    Solver solver;
+    solver.addCnf(cnf);
+    for (int round = 0; round < 4; ++round) {
+        LitVec assumptions;
+        for (Var v = 0; v < 9; ++v) {
+            const auto choice = rng.nextBelow(5);
+            if (choice == 0)
+                assumptions.push_back(mkLit(v));
+            else if (choice == 1)
+                assumptions.push_back(mkLit(v, true));
+        }
+        const bool expected =
+            bruteForceSatWithAssumptions(cnf, assumptions);
+        const SolveResult got = solver.solve(assumptions);
+        ASSERT_EQ(expected ? SolveResult::Sat : SolveResult::Unsat,
+                  got)
+            << "round " << round;
+        if (got == SolveResult::Sat) {
+            std::vector<LBool> model(9);
+            for (Var v = 0; v < 9; ++v)
+                model[static_cast<std::size_t>(v)] =
+                    solver.modelValue(v);
+            EXPECT_TRUE(cnf.satisfiedBy(model))
+                << "round " << round;
+            for (const Lit l : assumptions)
+                EXPECT_NE(LBool::False,
+                          l.sign() ? lboolNeg(model[l.var()])
+                                   : model[l.var()])
+                    << "assumption violated in round " << round;
+        }
+        // The assumption-free solve between rounds is what runs the
+        // root binary-graph pass (assumption calls skip it).
+        if (solver.solve() != SolveResult::Sat)
+            break;
+        solver.inprocess();
+    }
+}
+
+TEST_P(InprocessingProperty, BinaryAnalysisComposesWithImportsAndGc)
+{
+    // Equivalence substitution against clause import and relocating
+    // GC: imported clauses may name variables this solver has merged
+    // away (addImported() routes them through representativeOf), and
+    // the relocation sweep must keep binary reasons - which carry
+    // literals, not arena refs - intact across rounds.
+    Rng rng(GetParam() + 97000);
+    Cnf cnf;
+    cnf.ensureVars(10);
+    std::vector<LitVec> pool;
+    for (int i = 0; i < 24; ++i) {
+        const Var u = static_cast<Var>(rng.nextBelow(10));
+        Var w = static_cast<Var>(rng.nextBelow(10));
+        while (w == u)
+            w = static_cast<Var>(rng.nextBelow(10));
+        pool.push_back(
+            {mkLit(u, rng.nextBool()), mkLit(w, rng.nextBool())});
+    }
+    for (int i = 0; i < 8; ++i) {
+        LitVec clause;
+        for (int j = 0; j < 3; ++j)
+            clause.push_back(mkLit(
+                static_cast<Var>(rng.nextBelow(10)), rng.nextBool()));
+        pool.push_back(clause);
+    }
+    for (const LitVec &clause : pool)
+        cnf.addClause(clause);
+    SolverConfig cfg;
+    cfg.learntLimitBase = 10;
+    Solver solver(cfg);
+    solver.addCnf(cnf);
+    for (int round = 0; round < 4; ++round) {
+        // The assumption-free solve runs the root graph pass (merging
+        // variables on binary-heavy formulas); skip out once Unsat.
+        if (solver.solve() != SolveResult::Sat)
+            break;
+        // Offer an import the exchange contract allows: a widened
+        // copy of a real clause is subsumed by it, hence a
+        // consequence - deletable by reduction at any time, and its
+        // literals may name variables this solver has merged away.
+        LitVec offer =
+            pool[rng.nextBelow(static_cast<std::uint32_t>(
+                pool.size()))];
+        offer.push_back(mkLit(
+            static_cast<Var>(rng.nextBelow(10)), rng.nextBool()));
+        solver.postImport(offer);
+        LitVec assumptions;
+        for (Var v = 0; v < 10; ++v) {
+            const auto choice = rng.nextBelow(4);
+            if (choice == 0)
+                assumptions.push_back(mkLit(v));
+            else if (choice == 1)
+                assumptions.push_back(mkLit(v, true));
+        }
+        const bool expected =
+            bruteForceSatWithAssumptions(cnf, assumptions);
+        EXPECT_EQ(expected ? SolveResult::Sat : SolveResult::Unsat,
+                  solver.solve(assumptions))
+            << "round " << round;
+        solver.shrinkLearnts(3);
+        if (round % 2 == 0)
+            solver.garbageCollect();
+        else
+            solver.inprocess();
+    }
+}
+
+TEST_P(InprocessingProperty, BinaryAnalysisComposesWithElimination)
+{
+    // The full preprocessing stack: root binary-graph pass, then
+    // bounded variable elimination, then assumption rounds (which
+    // restore eliminated variables).  Model reconstruction has to
+    // unwind BOTH stacks - merges from eqStack, eliminations from
+    // elimStack - and verdicts must still match brute force.
+    Rng rng(GetParam() + 101000);
+    Cnf cnf;
+    cnf.ensureVars(10);
+    for (int i = 0; i < 22; ++i) {
+        const Var u = static_cast<Var>(rng.nextBelow(10));
+        Var w = static_cast<Var>(rng.nextBelow(10));
+        while (w == u)
+            w = static_cast<Var>(rng.nextBelow(10));
+        cnf.addClause(
+            {mkLit(u, rng.nextBool()), mkLit(w, rng.nextBool())});
+    }
+    for (int i = 0; i < 6; ++i) {
+        LitVec clause;
+        for (int j = 0; j < 3; ++j)
+            clause.push_back(mkLit(
+                static_cast<Var>(rng.nextBelow(10)), rng.nextBool()));
+        cnf.addClause(clause);
+    }
+    SolverConfig cfg = SolverConfig::simplify();
+    Solver solver(cfg);
+    solver.addCnf(cnf);
+    const bool sat0 = bruteForceSat(cnf);
+    ASSERT_EQ(sat0 ? SolveResult::Sat : SolveResult::Unsat,
+              solver.solve());
+    if (!sat0)
+        return;
+    std::vector<LBool> model(10);
+    for (Var v = 0; v < 10; ++v)
+        model[static_cast<std::size_t>(v)] = solver.modelValue(v);
+    EXPECT_TRUE(cnf.satisfiedBy(model));
+    for (int round = 0; round < 3; ++round) {
+        LitVec assumptions;
+        for (Var v = 0; v < 10; ++v) {
+            const auto choice = rng.nextBelow(4);
+            if (choice == 0)
+                assumptions.push_back(mkLit(v));
+            else if (choice == 1)
+                assumptions.push_back(mkLit(v, true));
+        }
+        const bool expected =
+            bruteForceSatWithAssumptions(cnf, assumptions);
+        EXPECT_EQ(expected ? SolveResult::Sat : SolveResult::Unsat,
+                  solver.solve(assumptions))
+            << "round " << round;
+    }
+}
+
+TEST_P(InprocessingProperty, BinaryAnalysisOnOffVerdictsIdentical)
+{
+    // The acceptance contract at the solver level: the graph passes
+    // are pure simplification, so an analysis-on solver and an
+    // analysis-off solver walk the same formula to the same verdict
+    // in every round.
+    Rng rng(GetParam() + 103000);
+    const Cnf cnf = randomCnf(rng, 9, 30, 2);
+    SolverConfig off;
+    off.binaryAnalysis = false;
+    Solver with;
+    Solver without(off);
+    with.addCnf(cnf);
+    without.addCnf(cnf);
+    for (int round = 0; round < 4; ++round) {
+        LitVec assumptions;
+        for (Var v = 0; v < 9; ++v) {
+            const auto choice = rng.nextBelow(4);
+            if (choice == 0)
+                assumptions.push_back(mkLit(v));
+            else if (choice == 1)
+                assumptions.push_back(mkLit(v, true));
+        }
+        EXPECT_EQ(without.solve(assumptions),
+                  with.solve(assumptions))
+            << "round " << round;
+        with.solve();
+        without.solve();
+        with.inprocess();
+        without.inprocess();
+    }
+    EXPECT_EQ(0, without.stats().sccMergedVars +
+                     without.stats().probedFailed +
+                     without.stats().hyperBinaries +
+                     without.stats().transitiveReduced)
+        << "analysis-off solver must not run any graph pass";
+}
+
 } // namespace
 } // namespace qb::sat
 
@@ -524,6 +796,72 @@ TEST(EngineInprocessing, JobsDeterminismWithGcAndInprocessing)
     }
     for (const QubitResult &r : r1.qubits)
         EXPECT_EQ(Verdict::Safe, r.verdict) << r.name;
+}
+
+TEST(EngineInprocessing, BinaryAnalysisOnOffIdenticalAcrossJobs)
+{
+    // The headline acceptance contract: with the binary-graph passes
+    // on, verdicts AND counterexamples are bit-identical to the
+    // passes-off run, at --jobs 1 and --jobs N alike.  The adder
+    // program exercises the passes for real (its carry chain is where
+    // SCC merging and transitive reduction actually fire).
+    const auto program =
+        lang::elaborateSource(circuits::adderQbrSource(8));
+    EngineOptions base = EngineOptions::portfolioAB();
+    base.inprocessInterval = 1;
+    std::vector<ProgramResult> results;
+    for (const bool analysis : {true, false}) {
+        for (const int jobs : {1, 4}) {
+            EngineOptions options = base;
+            options.binaryAnalysis = analysis;
+            options.jobs = jobs;
+            results.push_back(verifyAll(program, options));
+        }
+    }
+    const ProgramResult &reference = results.front();
+    for (std::size_t k = 1; k < results.size(); ++k) {
+        ASSERT_EQ(reference.qubits.size(), results[k].qubits.size());
+        for (std::size_t i = 0; i < reference.qubits.size(); ++i) {
+            EXPECT_EQ(reference.qubits[i].verdict,
+                      results[k].qubits[i].verdict)
+                << "config " << k << " qubit " << i;
+            EXPECT_EQ(reference.qubits[i].failed,
+                      results[k].qubits[i].failed)
+                << "config " << k << " qubit " << i;
+            EXPECT_EQ(reference.qubits[i].counterexample,
+                      results[k].qubits[i].counterexample)
+                << "config " << k << " qubit " << i;
+        }
+    }
+    // The off runs must leave all four counters at zero, and the
+    // engine-level switch must reach scratch lanes too.
+    EXPECT_EQ(0, results[2].solverTotals.sccMergedVars +
+                     results[2].solverTotals.probedFailed +
+                     results[2].solverTotals.hyperBinaries +
+                     results[2].solverTotals.transitiveReduced);
+}
+
+TEST(EngineInprocessing, BinaryHeavyMcxCountersReachReport)
+{
+    // The CI bench-smoke contract in unit-test form: the dressed mcx
+    // program on the preprocessing lane must move the SCC and
+    // transitive-reduction counters, and they must flow through
+    // ProgramResult into the JSON report.
+    const auto program = lang::elaborateSource(
+        circuits::binaryHeavyMcxQbrSource(20));
+    EngineOptions options =
+        EngineOptions::singleLane(VerifierOptions::laneB());
+    const ProgramResult result = verifyAll(program, options);
+    for (const QubitResult &r : result.qubits)
+        EXPECT_EQ(Verdict::Safe, r.verdict) << r.name;
+    EXPECT_GE(result.solverTotals.sccMergedVars, 1);
+    EXPECT_GE(result.solverTotals.transitiveReduced, 1);
+    const std::string json = toJson(result, "binary-heavy-mcx");
+    EXPECT_NE(std::string::npos, json.find("\"scc_merged_vars\": "));
+    EXPECT_NE(std::string::npos, json.find("\"probed_failed\": "));
+    EXPECT_NE(std::string::npos, json.find("\"hyper_binaries\": "));
+    EXPECT_NE(std::string::npos,
+              json.find("\"transitive_reduced\": "));
 }
 
 TEST(EngineInprocessing, SolverTotalsReachJsonReport)

@@ -668,6 +668,29 @@ TEST(BinaryWatch, LongClausesStillReadTheArena)
     EXPECT_GT(s.stats().propagationArenaReads, 0);
 }
 
+TEST(BinaryWatch, BinaryOnlyFormulaAllocatesNoArena)
+{
+    // The binary-free-arena contract: a formula of nothing but binary
+    // clauses lives entirely in the watcher lists, so the clause
+    // arena never grows at all - arena_peak_kw genuinely measures
+    // long clauses only.  The equivalence ladder below also drives
+    // the SCC pass through full-circle merging, so the model
+    // reconstruction in original variables is exercised on a formula
+    // where every variable but the representative is substituted.
+    Solver s;
+    constexpr Var n = 24;
+    for (Var v = 0; v + 1 < n; ++v) {
+        EXPECT_TRUE(s.addClause({~mkLit(v), mkLit(v + 1)}));
+        EXPECT_TRUE(s.addClause({mkLit(v), ~mkLit(v + 1)}));
+    }
+    EXPECT_EQ(SolveResult::Sat, s.solve());
+    EXPECT_EQ(0, s.stats().arenaPeakWords)
+        << "binary clauses must never touch the clause arena";
+    EXPECT_EQ(0, s.stats().propagationArenaReads);
+    for (Var v = 1; v < n; ++v)
+        EXPECT_EQ(s.modelValue(0), s.modelValue(v)) << "var " << v;
+}
+
 TEST_P(SatProperty, BinaryHeavyAgreesWithBruteForce)
 {
     // Random formulas dominated by binary clauses, decided once as

@@ -90,6 +90,13 @@ usage(const char *argv0)
         "  --inprocess N     persistent lanes vivify/subsume their\n"
         "                    clause DB every N queries (default 16,\n"
         "                    0 disables)\n"
+        "  --binary-analysis / --no-binary-analysis\n"
+        "                    binary implication graph passes inside\n"
+        "                    inprocessing: SCC equivalence merging,\n"
+        "                    failed-literal probing, transitive\n"
+        "                    reduction (default on; verdicts and\n"
+        "                    counterexamples are unchanged either\n"
+        "                    way)\n"
         "\n"
         "server mode (--serve / --serve-tcp):\n"
         "  --serve PATH      run as a daemon on Unix socket PATH;\n"
@@ -168,6 +175,7 @@ struct CliOptions
     std::int64_t budget = -1;
     long jobs = 0;
     long inprocess = 16;
+    bool binaryAnalysis = true;
     long parallel = 2;
     long queue = 16;
     long maxConnections = 0;
@@ -233,6 +241,7 @@ engineOptionsFor(const CliOptions &cli)
                               : qb::core::VerifierOptions::laneB());
     options.jobs = static_cast<unsigned>(cli.jobs);
     options.inprocessInterval = static_cast<unsigned>(cli.inprocess);
+    options.binaryAnalysis = cli.binaryAnalysis;
     options.adaptiveLanes = cli.adaptive;
     options.analysis = analysisOptionsFor(cli);
     for (qb::core::VerifierOptions &lane_options : options.lanes) {
@@ -614,6 +623,9 @@ runClient(const CliOptions &cli)
     if (cli.adaptive)
         qb::warn("--adaptive-lanes is server-wide; ignored in "
                  "client mode");
+    if (!cli.binaryAnalysis)
+        qb::warn("--no-binary-analysis is server-wide; ignored in "
+                 "client mode");
 
     const std::string source = readFile(cli.path);
     std::string request = "{\"op\": \"verify\", \"id\": 1";
@@ -645,7 +657,7 @@ runClient(const CliOptions &cli)
         const JsonValue *type = doc.find("type");
         if (!type)
             continue;
-        const std::string kind = type->asString();
+        const std::string &kind = type->asString();
         if (kind == "error") {
             const JsonValue *message = doc.find("message");
             std::fprintf(stderr, "error: %s\n",
@@ -703,10 +715,10 @@ runClient(const CliOptions &cli)
     return exit_code;
 }
 
-} // namespace
-
+/** Flag scan and mode dispatch.  Throws (qb::FatalError, library
+ *  preconditions) instead of exiting; main() owns the catch. */
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     CliOptions cli;
     for (int i = 1; i < argc; ++i) {
@@ -721,6 +733,10 @@ main(int argc, char **argv)
             cli.portfolio = true;
         } else if (arg == "--adaptive-lanes") {
             cli.adaptive = true;
+        } else if (arg == "--binary-analysis") {
+            cli.binaryAnalysis = true;
+        } else if (arg == "--no-binary-analysis") {
+            cli.binaryAnalysis = false;
         } else if (arg == "--clean") {
             cli.clean = true;
         } else if (arg == "--lint") {
@@ -858,14 +874,24 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (serve)
+        return runServer(cli);
+    if (connect)
+        return runClient(cli);
+    if (cli.lint)
+        return runLint(cli);
+    return runLocal(cli);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Exceptions never escape main - including from the argument
+    // scan, not just the mode dispatch.
     try {
-        if (serve)
-            return runServer(cli);
-        if (connect)
-            return runClient(cli);
-        if (cli.lint)
-            return runLint(cli);
-        return runLocal(cli);
+        return run(argc, argv);
     } catch (const qb::FatalError &e) {
         // User errors - unreadable input, an unwritable/busy socket
         // path, a program that fails to parse - exit with ONE clean

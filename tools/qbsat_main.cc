@@ -18,8 +18,12 @@
 #include "sat/solver.h"
 #include "support/logging.h"
 
+namespace {
+
+/** Flag scan, DIMACS read, solve, print.  Throws (qb::FatalError
+ *  from a malformed CNF) instead of exiting; main() owns the catch. */
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     std::string path;
     bool simplify = false;
@@ -73,7 +77,7 @@ main(int argc, char **argv)
         text = buf.str();
     }
 
-    try {
+    {
         const qb::sat::Cnf cnf = qb::sat::Cnf::fromDimacs(text);
         qb::sat::Solver solver(config);
         solver.addCnf(cnf);
@@ -95,6 +99,14 @@ main(int argc, char **argv)
                         static_cast<long long>(s.otfSkipped),
                         static_cast<long long>(
                             s.otfDeferredApplied));
+            std::printf("c scc-merged %lld probed-failed %lld "
+                        "hyper-binaries %lld "
+                        "transitive-reduced %lld\n",
+                        static_cast<long long>(s.sccMergedVars),
+                        static_cast<long long>(s.probedFailed),
+                        static_cast<long long>(s.hyperBinaries),
+                        static_cast<long long>(
+                            s.transitiveReduced));
         }
         switch (result) {
           case qb::sat::SolveResult::Sat: {
@@ -114,9 +126,24 @@ main(int argc, char **argv)
             std::printf("s UNKNOWN\n");
             return 0;
         }
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Exceptions never escape main: a malformed DIMACS file is a
+    // clean one-line error and exit 2, not an unhandled throw.
+    try {
+        return run(argc, argv);
     } catch (const qb::FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
     }
-    return 0;
 }

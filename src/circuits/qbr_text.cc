@@ -172,6 +172,63 @@ release anc;)";
 }
 
 std::string
+randomQbrSource(Rng &rng, const RandomQbrOptions &options)
+{
+    if (options.minQubits < 3 || options.maxQubits < options.minQubits)
+        throw std::invalid_argument(
+            "randomQbrSource requires 3 <= minQubits <= maxQubits");
+    if (options.maxBodyGates < options.minBodyGates)
+        throw std::invalid_argument(
+            "randomQbrSource requires minBodyGates <= maxBodyGates");
+    const auto nq = static_cast<std::uint32_t>(
+        options.minQubits +
+        rng.nextBelow(options.maxQubits - options.minQubits + 1));
+    std::string src = format("borrow@ q[%u];\n", nq);
+    // One weighted-random gate over a shuffled operand pool; when
+    // @p extra is non-empty it joins the pool (the borrowed wire).
+    auto random_gate = [&](const std::string &extra) {
+        std::vector<std::string> operands;
+        operands.reserve(nq + 1);
+        for (std::uint32_t i = 1; i <= nq; ++i)
+            operands.push_back(format("q[%u]", i));
+        if (!extra.empty())
+            operands.push_back(extra);
+        // Fisher-Yates via repeated swaps (deterministic in rng).
+        for (std::size_t i = operands.size(); i > 1; --i)
+            std::swap(operands[i - 1], operands[rng.nextBelow(i)]);
+        const double total = options.xWeight + options.cnotWeight +
+                             options.ccnotWeight;
+        const double draw = rng.nextDouble() * total;
+        if (draw < options.xWeight)
+            return "X[" + operands[0] + "];\n";
+        if (draw < options.xWeight + options.cnotWeight)
+            return "CNOT[" + operands[0] + ", " + operands[1] +
+                   "];\n";
+        return "CCNOT[" + operands[0] + ", " + operands[1] + ", " +
+               operands[2] + "];\n";
+    };
+    const auto prefix = static_cast<std::uint32_t>(
+        rng.nextBelow(options.maxPrefixGates + 1));
+    for (std::uint32_t i = 0; i < prefix; ++i)
+        src += random_gate("");
+    src += "borrow a;\n";
+    const auto body = static_cast<std::uint32_t>(
+        options.minBodyGates +
+        rng.nextBelow(options.maxBodyGates - options.minBodyGates +
+                      1));
+    for (std::uint32_t i = 0; i < body; ++i)
+        src += random_gate(rng.nextBool(options.borrowTouchProb)
+                               ? "a"
+                               : "");
+    src += "release a;\n";
+    const auto suffix = static_cast<std::uint32_t>(
+        rng.nextBelow(options.maxSuffixGates + 1));
+    for (std::uint32_t i = 0; i < suffix; ++i)
+        src += random_gate("");
+    return src;
+}
+
+std::string
 mirrorMcxQbrSource(std::uint32_t m)
 {
     if (m < 3)

@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <string>
 
+#include "support/rng.h"
+
 namespace qb::circuits {
 
 /**
@@ -63,6 +65,46 @@ std::string binaryHeavyMcxQbrSource(std::uint32_t m);
  *         wires).
  */
 std::string mirrorMcxQbrSource(std::uint32_t m);
+
+/**
+ * Knobs for randomQbrSource().  The defaults reproduce the
+ * distribution the random-pipeline property tests have always used:
+ * 3-5 skip-verified inputs, a 0-2 gate prefix, one verified borrow
+ * with a 2-7 gate body that touches the borrowed wire 60% of the
+ * time, and a 0-2 gate suffix, gate kinds drawn uniformly.  The fuzz
+ * harness (support/fuzz.h) raises cnotWeight to push the generated
+ * programs into the binary-implication-heavy region the solver's
+ * graph passes (SCC, probing, transitive reduction) exist for.
+ */
+struct RandomQbrOptions
+{
+    std::uint32_t minQubits = 3;     ///< skip-verified input wires, low
+    std::uint32_t maxQubits = 5;     ///< skip-verified input wires, high
+    std::uint32_t maxPrefixGates = 2;
+    std::uint32_t minBodyGates = 2;
+    std::uint32_t maxBodyGates = 7;
+    std::uint32_t maxSuffixGates = 2;
+    /** Probability a body gate's operand set includes the borrow. */
+    double borrowTouchProb = 0.6;
+    /** @name Relative gate-kind weights (need not sum to 1). @{ */
+    double xWeight = 1.0;
+    double cnotWeight = 1.0;
+    double ccnotWeight = 1.0;
+    /** @} */
+};
+
+/**
+ * Random QBorrow source with one verified `borrow a` block between a
+ * gate prefix and suffix over skip-verified inputs.  Every emitted
+ * program parses and elaborates; whether the borrow safely
+ * uncomputes is up to chance - which is the point: the text feeds
+ * the full parse -> elaborate -> verify pipeline in the property
+ * tests and the differential fuzz harness, with verdicts
+ * cross-checked against brute force.  Deterministic in @p rng: the
+ * same seed and options yield byte-identical text on every platform.
+ */
+std::string randomQbrSource(Rng &rng,
+                            const RandomQbrOptions &options = {});
 
 } // namespace qb::circuits
 

@@ -3,8 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
-#include "support/logging.h"
-#include "support/strings.h"
+#include "sat/dimacs.h"
 
 namespace qb::sat {
 
@@ -38,79 +37,43 @@ Cnf::satisfiedBy(const std::vector<LBool> &assignment) const
 {
     if (trivialConflict_)
         return false;
-    for (const LitVec &c : clauses_) {
-        bool sat = false;
-        for (Lit l : c) {
-            if (l.var() < static_cast<Var>(assignment.size()) &&
-                assignment[l.var()] == lboolOf(!l.sign())) {
-                sat = true;
-                break;
-            }
-        }
-        if (!sat)
-            return false;
-    }
-    return true;
+    return validateModel(clauses_, assignment);
 }
 
 std::string
 Cnf::toDimacs() const
 {
-    std::string out =
-        format("p cnf %d %zu\n", numVars_, clauses_.size());
-    for (const LitVec &c : clauses_) {
-        for (Lit l : c)
-            out += format("%d ", (l.sign() ? -1 : 1) * (l.var() + 1));
-        out += "0\n";
-    }
-    return out;
+    return writeDimacsString(*this);
 }
 
 Cnf
 Cnf::fromDimacs(const std::string &text)
 {
-    Cnf cnf;
     std::istringstream in(text);
-    std::string tok;
-    bool saw_header = false;
-    Var declared_vars = 0;
-    long declared_clauses = 0;
-    LitVec current;
-    while (in >> tok) {
-        if (tok == "c") {
-            std::string rest;
-            std::getline(in, rest);
-            continue;
+    return readDimacsOrThrow(in);
+}
+
+bool
+validateModel(const std::vector<LitVec> &clauses,
+              const std::vector<LBool> &model,
+              std::size_t *failed_clause)
+{
+    for (std::size_t i = 0; i < clauses.size(); ++i) {
+        bool sat = false;
+        for (Lit l : clauses[i]) {
+            if (l.var() < static_cast<Var>(model.size()) &&
+                model[l.var()] == lboolOf(!l.sign())) {
+                sat = true;
+                break;
+            }
         }
-        if (tok == "p") {
-            std::string kind;
-            in >> kind >> declared_vars >> declared_clauses;
-            if (kind != "cnf")
-                fatal("DIMACS: expected 'p cnf' header, got 'p " +
-                      kind + "'");
-            cnf.ensureVars(declared_vars);
-            saw_header = true;
-            continue;
-        }
-        long v;
-        try {
-            v = std::stol(tok);
-        } catch (const std::exception &) {
-            fatal("DIMACS: unexpected token '" + tok + "'");
-        }
-        if (!saw_header)
-            fatal("DIMACS: literal before 'p cnf' header");
-        if (v == 0) {
-            cnf.addClause(current);
-            current.clear();
-        } else {
-            const Var var = static_cast<Var>(std::labs(v)) - 1;
-            current.push_back(mkLit(var, v < 0));
+        if (!sat) {
+            if (failed_clause != nullptr)
+                *failed_clause = i;
+            return false;
         }
     }
-    if (!current.empty())
-        fatal("DIMACS: clause not terminated by 0");
-    return cnf;
+    return true;
 }
 
 } // namespace qb::sat

@@ -51,13 +51,14 @@ class Cnf
     /** Check a total/partial assignment against all clauses. */
     bool satisfiedBy(const std::vector<LBool> &assignment) const;
 
-    /** Serialize in DIMACS cnf format. */
+    /** Serialize in DIMACS cnf format (see sat/dimacs.h). */
     std::string toDimacs() const;
 
     /**
-     * Parse DIMACS text.
+     * Parse DIMACS text with the strict located reader of
+     * sat/dimacs.h.
      *
-     * @throws FatalError on malformed input.
+     * @throws FatalError("DIMACS: line:col: ...") on malformed input.
      */
     static Cnf fromDimacs(const std::string &text);
 
@@ -66,6 +67,25 @@ class Cnf
     std::vector<LitVec> clauses_;
     bool trivialConflict_ = false;
 };
+
+/**
+ * Model-validation checker: true iff every clause of @p clauses
+ * contains at least one literal assigned true by @p model.  A
+ * variable that is Undef or beyond @p model never satisfies a
+ * clause, so a partial "model" only validates when the assigned
+ * prefix already covers everything - exactly the conservative
+ * direction a soundness check wants.  On failure, the index of the
+ * first unsatisfied clause is stored through @p failed_clause (when
+ * non-null) for diagnostics.
+ *
+ * This is the independent Sat-verdict cross-check: the fuzz harness
+ * (support/fuzz.h) runs it after every Sat answer, qbsat runs it
+ * before printing a model, and the sat_test property suites assert
+ * it over random formulas for both solver presets.
+ */
+bool validateModel(const std::vector<LitVec> &clauses,
+                   const std::vector<LBool> &model,
+                   std::size_t *failed_clause = nullptr);
 
 } // namespace qb::sat
 

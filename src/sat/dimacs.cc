@@ -1,0 +1,349 @@
+#include "sat/dimacs.h"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace qb::sat {
+
+std::string
+DimacsError::str() const
+{
+    return format("%zu:%zu: %s", line, column, message.c_str());
+}
+
+namespace {
+
+/**
+ * Character source with 1-based line/column tracking and one-token
+ * pushback.  Reads through the streambuf directly: one virtual call
+ * per character in the worst case, no istream sentry or locale
+ * machinery per token.
+ */
+class Scanner
+{
+  public:
+    explicit Scanner(std::istream &in) : buf(in.rdbuf()) {}
+
+    static constexpr int kEof = -1;
+
+    int get()
+    {
+        if (pending != kEof) {
+            const int ch = pending;
+            pending = kEof;
+            return ch;
+        }
+        if (buf == nullptr)
+            return kEof;
+        const int ch = buf->sbumpc();
+        if (ch == std::char_traits<char>::eof())
+            return kEof;
+        if (ch == '\n') {
+            ++line_;
+            col_ = 0;
+        } else {
+            ++col_;
+        }
+        return ch;
+    }
+
+    /** Push @p ch back; the next get() returns it with the line and
+     *  column it was consumed at (only ever used within a line). */
+    void unget(int ch) { pending = ch; }
+
+    std::size_t line() const { return line_; }
+    std::size_t col() const { return col_ == 0 ? 1 : col_; }
+
+  private:
+    std::streambuf *buf;
+    int pending = kEof;
+    std::size_t line_ = 1;
+    std::size_t col_ = 0;
+};
+
+/** Parser state threaded through the helpers below. */
+struct Parser
+{
+    Scanner scan;
+    DimacsResult result;
+
+    explicit Parser(std::istream &in) : scan(in) {}
+
+    /** Record a located error; parsing stops at the first one. */
+    bool fail(std::size_t line, std::size_t col, std::string message)
+    {
+        result.ok = false;
+        result.error = {line, col, std::move(message)};
+        return false;
+    }
+
+    bool failHere(std::string message)
+    {
+        return fail(scan.line(), scan.col(), std::move(message));
+    }
+};
+
+/** Human-readable rendering of a byte for error messages. */
+std::string
+charName(int ch)
+{
+    if (std::isprint(ch))
+        return format("'%c'", static_cast<char>(ch));
+    return format("byte 0x%02x", static_cast<unsigned>(ch) & 0xff);
+}
+
+/**
+ * Parse the digits of a number whose first character @p first has
+ * already been consumed at (@p line, @p col); '-' must be followed
+ * directly by a digit.  On success stores the signed value in
+ * @p value_out.  Overflow past kMaxDimacsClauses is an error: no
+ * well-formed field fits outside that range, and saturating silently
+ * would misparse "99999999999999999999" as a real literal.
+ */
+bool
+parseNumber(Parser &p, int first, std::size_t line, std::size_t col,
+            long *value_out)
+{
+    bool negative = false;
+    int ch = first;
+    if (ch == '-') {
+        negative = true;
+        ch = p.scan.get();
+        if (!std::isdigit(ch))
+            return p.fail(line, col, "expected a digit after '-'");
+    }
+    long value = 0;
+    while (std::isdigit(ch)) {
+        const int digit = ch - '0';
+        if (value > (kMaxDimacsClauses - digit) / 10)
+            return p.fail(line, col,
+                          "number too large (limit " +
+                              format("%ld", kMaxDimacsClauses) + ")");
+        value = value * 10 + digit;
+        ch = p.scan.get();
+    }
+    if (ch != Scanner::kEof)
+        p.scan.unget(ch);
+    if (negative && value == 0)
+        return p.fail(line, col, "'-0' is not a valid literal");
+    *value_out = negative ? -value : value;
+    return true;
+}
+
+/** Skip to the end of the current line (comment bodies). */
+void
+skipLine(Parser &p)
+{
+    int ch = p.scan.get();
+    while (ch != Scanner::kEof && ch != '\n')
+        ch = p.scan.get();
+}
+
+/**
+ * Parse the `p cnf <vars> <clauses>` header; the 'p' has been
+ * consumed at (@p line, @p col).
+ */
+bool
+parseHeader(Parser &p, std::size_t line, std::size_t col,
+            Var *vars_out, long *clauses_out)
+{
+    int ch = p.scan.get();
+    if (!std::isspace(ch) || ch == '\n')
+        return p.fail(line, col, "expected 'p cnf <vars> <clauses>'");
+    while (ch != Scanner::kEof && std::isspace(ch) && ch != '\n')
+        ch = p.scan.get();
+    std::string kind;
+    const std::size_t kind_line = p.scan.line();
+    const std::size_t kind_col = p.scan.col();
+    while (std::isalpha(ch)) {
+        kind.push_back(static_cast<char>(ch));
+        ch = p.scan.get();
+    }
+    if (ch != Scanner::kEof)
+        p.scan.unget(ch);
+    if (kind != "cnf")
+        return p.fail(kind_line, kind_col,
+                      "expected 'p cnf' header, got 'p " + kind + "'");
+
+    long fields[2] = {0, 0};
+    for (long &field : fields) {
+        ch = p.scan.get();
+        while (ch != Scanner::kEof && std::isspace(ch) && ch != '\n')
+            ch = p.scan.get();
+        const std::size_t num_line = p.scan.line();
+        const std::size_t num_col = p.scan.col();
+        if (ch == Scanner::kEof || ch == '\n')
+            return p.fail(num_line, num_col,
+                          "truncated 'p cnf' header: expected "
+                          "<vars> <clauses>");
+        if (ch != '-' && !std::isdigit(ch))
+            return p.fail(num_line, num_col,
+                          "expected a number in the 'p cnf' header, "
+                          "got " + charName(ch));
+        if (!parseNumber(p, ch, num_line, num_col, &field))
+            return false;
+        if (field < 0)
+            return p.fail(num_line, num_col,
+                          "'p cnf' header fields must be "
+                          "non-negative");
+    }
+    if (fields[0] > kMaxDimacsVars)
+        return p.fail(line, col,
+                      format("header declares %ld variables "
+                             "(limit %d)",
+                             fields[0], kMaxDimacsVars));
+    *vars_out = static_cast<Var>(fields[0]);
+    *clauses_out = fields[1];
+    return true;
+}
+
+} // namespace
+
+DimacsResult
+readDimacs(std::istream &in)
+{
+    Parser p(in);
+    p.result.ok = true;
+
+    bool saw_header = false;
+    Var declared_vars = 0;
+    long declared_clauses = 0;
+    long parsed_clauses = 0;
+    LitVec current;
+    bool in_clause = false;
+    // Location of the first literal of the clause being read, for
+    // the unterminated-clause diagnosis.
+    std::size_t clause_line = 0, clause_col = 0;
+
+    for (;;) {
+        int ch = p.scan.get();
+        if (ch == Scanner::kEof)
+            break;
+        if (std::isspace(ch))
+            continue;
+        const std::size_t tok_line = p.scan.line();
+        const std::size_t tok_col = p.scan.col();
+        if (ch == 'c') {
+            skipLine(p);
+            continue;
+        }
+        if (ch == '%') {
+            // SATLIB trailer: the rest of the stream is padding.
+            break;
+        }
+        if (ch == 'p') {
+            if (saw_header) {
+                p.fail(tok_line, tok_col,
+                       "duplicate 'p cnf' header");
+                return p.result;
+            }
+            if (!parseHeader(p, tok_line, tok_col, &declared_vars,
+                             &declared_clauses))
+                return p.result;
+            p.result.cnf.ensureVars(declared_vars);
+            saw_header = true;
+            continue;
+        }
+        if (ch == '-' || std::isdigit(ch)) {
+            if (!saw_header) {
+                p.fail(tok_line, tok_col,
+                       "literal before the 'p cnf' header");
+                return p.result;
+            }
+            long value = 0;
+            if (!parseNumber(p, ch, tok_line, tok_col, &value))
+                return p.result;
+            if (parsed_clauses == declared_clauses) {
+                p.fail(tok_line, tok_col,
+                       format("more clauses than the header "
+                              "declared (%ld)",
+                              declared_clauses));
+                return p.result;
+            }
+            if (value == 0) {
+                p.result.cnf.addClause(std::move(current));
+                current = {};
+                in_clause = false;
+                ++parsed_clauses;
+                continue;
+            }
+            const long magnitude = value < 0 ? -value : value;
+            if (magnitude > declared_vars) {
+                p.fail(tok_line, tok_col,
+                       format("literal %ld out of range: the header "
+                              "declared %d variables",
+                              value, declared_vars));
+                return p.result;
+            }
+            if (!in_clause) {
+                in_clause = true;
+                clause_line = tok_line;
+                clause_col = tok_col;
+            }
+            current.push_back(
+                mkLit(static_cast<Var>(magnitude - 1), value < 0));
+            continue;
+        }
+        p.fail(tok_line, tok_col,
+               "unexpected " + charName(ch) +
+                   " (expected a literal, 'c', 'p' or '%')");
+        return p.result;
+    }
+
+    if (in_clause) {
+        p.fail(clause_line, clause_col,
+               "unterminated clause (missing the 0 terminator "
+               "before end of input)");
+        return p.result;
+    }
+    if (!saw_header) {
+        p.failHere("missing 'p cnf' header");
+        return p.result;
+    }
+    if (parsed_clauses != declared_clauses) {
+        p.failHere(format("header declared %ld clauses, found %ld",
+                          declared_clauses, parsed_clauses));
+        return p.result;
+    }
+    return p.result;
+}
+
+Cnf
+readDimacsOrThrow(std::istream &in)
+{
+    DimacsResult result = readDimacs(in);
+    if (!result.ok)
+        fatal("DIMACS: " + result.error.str());
+    return std::move(result.cnf);
+}
+
+void
+writeDimacs(const Cnf &cnf, std::ostream &out,
+            const std::vector<std::string> &comments)
+{
+    for (const std::string &comment : comments)
+        out << "c " << comment << '\n';
+    out << "p cnf " << cnf.numVars() << ' ' << cnf.numClauses()
+        << '\n';
+    for (const LitVec &clause : cnf.clauses()) {
+        for (Lit l : clause)
+            out << ((l.sign() ? -1 : 1) * (l.var() + 1)) << ' ';
+        out << "0\n";
+    }
+}
+
+std::string
+writeDimacsString(const Cnf &cnf,
+                  const std::vector<std::string> &comments)
+{
+    std::ostringstream out;
+    writeDimacs(cnf, out, comments);
+    return out.str();
+}
+
+} // namespace qb::sat

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Strict, streaming DIMACS CNF reader and writer.
+ *
+ * The reader consumes a std::istream character by character - no
+ * whole-file buffering, so gigabyte benchmark files stream straight
+ * from disk - and enforces the format STRICTLY: exactly one
+ * `p cnf <vars> <clauses>` header before any literal, every literal
+ * within the declared variable range, every clause terminated by 0,
+ * and the clause count matching the header.  Anything else - garbage
+ * bytes, truncated clauses, overflowing numbers, duplicate headers -
+ * produces a LOCATED error (1-based line:column of the offending
+ * token) instead of a crash, a silent misparse, or an assertion.
+ * Accepted extensions, both common in circulated benchmark suites:
+ * `c` comment lines anywhere, and a lone `%` line as an end-of-file
+ * marker (the SATLIB trailer; everything after it is ignored).
+ *
+ * The writer is the exact inverse and is shared by Cnf::toDimacs()
+ * and the fuzz harness's reproducer files; reading back what it wrote
+ * always succeeds and yields an equal formula (the round-trip
+ * property tests/dimacs_test.cc pins, file by file, over the golden
+ * corpus in tests/data/dimacs/).
+ */
+
+#ifndef QB_SAT_DIMACS_H
+#define QB_SAT_DIMACS_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/cnf.h"
+
+namespace qb::sat {
+
+/**
+ * Largest variable index a DIMACS header may declare.  Lit packs
+ * 2 * var + sign into 31 bits; this cap keeps every literal of a
+ * well-formed file representable with room to spare, and turns a
+ * nonsense header ("p cnf 99999999999 1") into a located error
+ * instead of a multi-gigabyte allocation.
+ */
+constexpr Var kMaxDimacsVars = 1 << 28;
+
+/** Clause-count cap mirroring kMaxDimacsVars. */
+constexpr long kMaxDimacsClauses = 1L << 30;
+
+/** Located description of a malformed-DIMACS diagnosis. */
+struct DimacsError
+{
+    std::size_t line = 0;   ///< 1-based line of the offending token
+    std::size_t column = 0; ///< 1-based column of the offending token
+    std::string message;
+
+    /** "line:col: message" - callers prefix the file name. */
+    std::string str() const;
+};
+
+/** Outcome of readDimacs(): a formula or a located error. */
+struct DimacsResult
+{
+    bool ok = false;
+    Cnf cnf;
+    DimacsError error;
+};
+
+/**
+ * Parse a DIMACS CNF stream under the strictness rules in the file
+ * header.  Never throws on malformed input: every failure mode is a
+ * located DimacsResult::error.  Tautologies and duplicate literals
+ * are legal DIMACS and are canonicalized away by Cnf::addClause (the
+ * clause-count check runs against the clauses PARSED, not stored).
+ */
+DimacsResult readDimacs(std::istream &in);
+
+/**
+ * readDimacs() for callers on the exception path: returns the
+ * formula or throws FatalError("DIMACS: line:col: ...").
+ */
+Cnf readDimacsOrThrow(std::istream &in);
+
+/**
+ * Serialize @p cnf in DIMACS format to @p out: one `c` line per
+ * comment string, the `p cnf` header, then one line per clause.
+ * The byte format is exactly what Cnf::toDimacs() has always
+ * emitted, so existing golden outputs are unchanged.
+ */
+void writeDimacs(const Cnf &cnf, std::ostream &out,
+                 const std::vector<std::string> &comments = {});
+
+/** writeDimacs() into a string. */
+std::string writeDimacsString(const Cnf &cnf,
+                              const std::vector<std::string> &comments = {});
+
+} // namespace qb::sat
+
+#endif // QB_SAT_DIMACS_H

@@ -12,65 +12,27 @@
 
 #include <gtest/gtest.h>
 
+#include "circuits/qbr_text.h"
 #include "core/reference.h"
 #include "core/verifier.h"
 #include "lang/elaborate.h"
 #include "semantics/interp.h"
 #include "semantics/safety.h"
 #include "support/rng.h"
-#include "support/strings.h"
 
 namespace qb {
 namespace {
-
-/** Generate random QBorrow source with one verified borrow block. */
-std::string
-randomQbrSource(Rng &rng)
-{
-    const int nq = 3 + static_cast<int>(rng.nextBelow(3)); // 3..5
-    std::string src = format("borrow@ q[%d];\n", nq);
-    auto random_gate = [&](const std::string &extra) {
-        std::vector<std::string> operands;
-        for (int i = 1; i <= nq; ++i)
-            operands.push_back(format("q[%d]", i));
-        if (!extra.empty())
-            operands.push_back(extra);
-        // Shuffle by repeated swaps.
-        for (std::size_t i = operands.size(); i > 1; --i)
-            std::swap(operands[i - 1],
-                      operands[rng.nextBelow(i)]);
-        switch (rng.nextBelow(3)) {
-          case 0:
-            return "X[" + operands[0] + "];\n";
-          case 1:
-            return "CNOT[" + operands[0] + ", " + operands[1] +
-                   "];\n";
-          default:
-            return "CCNOT[" + operands[0] + ", " + operands[1] +
-                   ", " + operands[2] + "];\n";
-        }
-    };
-    const int prefix = static_cast<int>(rng.nextBelow(3));
-    for (int i = 0; i < prefix; ++i)
-        src += random_gate("");
-    src += "borrow a;\n";
-    const int body = 2 + static_cast<int>(rng.nextBelow(6));
-    for (int i = 0; i < body; ++i)
-        src += random_gate(rng.nextBool(0.6) ? "a" : "");
-    src += "release a;\n";
-    const int suffix = static_cast<int>(rng.nextBelow(3));
-    for (int i = 0; i < suffix; ++i)
-        src += random_gate("");
-    return src;
-}
 
 class RandomPipeline : public ::testing::TestWithParam<int>
 {};
 
 TEST_P(RandomPipeline, VerdictMatchesBruteForceOnLifetimeSlice)
 {
+    // The default RandomQbrOptions reproduce the distribution this
+    // suite has always used; the generator itself now lives in
+    // circuits/qbr_text.h, shared with the differential fuzz harness.
     Rng rng(GetParam() * 7919 + 13);
-    const std::string src = randomQbrSource(rng);
+    const std::string src = circuits::randomQbrSource(rng);
     const auto prog = lang::elaborateSource(src);
     const auto result = core::verifyProgram(prog);
     for (const auto &r : result.qubits) {

@@ -14,6 +14,7 @@
 
 #include "sat/cnf.h"
 #include "sat/solver.h"
+#include "support/fuzz.h"
 #include "support/logging.h"
 #include "support/rng.h"
 
@@ -910,6 +911,69 @@ TEST(SolverShare, LearntDbStaysBoundedUnderHeavyExchange)
     EXPECT_GE(s.stats().importedClauses +
                   s.stats().importedDropped,
               static_cast<std::int64_t>(kEpochs * kPerEpoch));
+}
+
+// ======================================================= validateModel
+
+TEST(ValidateModel, EmptyClauseListAlwaysValidates)
+{
+    EXPECT_TRUE(validateModel({}, {}));
+    EXPECT_TRUE(validateModel({}, {LBool::Undef}));
+}
+
+TEST(ValidateModel, UndefAndOutOfRangeNeverSatisfy)
+{
+    const std::vector<LitVec> clauses{{mkLit(0)}, {mkLit(1)}};
+    std::size_t failed = 99;
+    // x0 Undef: clause 0 unsatisfied.
+    EXPECT_FALSE(validateModel(clauses,
+                               {LBool::Undef, LBool::True}, &failed));
+    EXPECT_EQ(0u, failed);
+    // Model shorter than the variable range: clause 1 unsatisfied.
+    EXPECT_FALSE(validateModel(clauses, {LBool::True}, &failed));
+    EXPECT_EQ(1u, failed);
+    EXPECT_TRUE(validateModel(clauses, {LBool::True, LBool::True}));
+}
+
+TEST(ValidateModel, ReportsFirstUnsatisfiedClause)
+{
+    const std::vector<LitVec> clauses{
+        {mkLit(0), mkLit(1)}, {~mkLit(0)}, {mkLit(1)}};
+    std::size_t failed = 99;
+    EXPECT_FALSE(validateModel(
+        clauses, {LBool::True, LBool::False}, &failed));
+    EXPECT_EQ(1u, failed);
+}
+
+TEST_P(SatProperty, ValidatedModelsBothPresets)
+{
+    // The fuzz generator's binary-heavy near-threshold distribution,
+    // decided by both presets; every Sat verdict must produce a model
+    // that passes the public validateModel checker - the same check
+    // the fuzz harness and qbsat run after every Sat answer.
+    Rng rng(GetParam() + 61000);
+    fuzz::CnfKnobs knobs;
+    knobs.maxVars = 10;
+    const Cnf cnf = fuzz::generateCnf(rng, knobs);
+    const bool expected = bruteForceSat(cnf);
+    for (const bool simplify : {false, true}) {
+        Solver solver(simplify ? SolverConfig::simplify()
+                               : SolverConfig::baseline());
+        solver.addCnf(cnf);
+        const SolveResult got = solver.solve();
+        EXPECT_EQ(expected ? SolveResult::Sat : SolveResult::Unsat,
+                  got)
+            << "simplify=" << simplify;
+        if (got != SolveResult::Sat)
+            continue;
+        std::vector<LBool> model(cnf.numVars());
+        for (Var v = 0; v < cnf.numVars(); ++v)
+            model[v] = solver.modelValue(v);
+        std::size_t failed = 0;
+        EXPECT_TRUE(validateModel(cnf.clauses(), model, &failed))
+            << "simplify=" << simplify << " failed clause "
+            << failed;
+    }
 }
 
 } // namespace

@@ -127,6 +127,8 @@ reportCounters(benchmark::State &state,
         static_cast<double>(result.solverTotals.gcRuns);
     state.counters["analysis_discharged"] =
         static_cast<double>(result.analysisTotals.discharged);
+    state.counters["analysis_discharged_affine"] =
+        static_cast<double>(result.analysisTotals.affine);
     // Binary implication graph passes (--binary-analysis): what the
     // slice-boundary SCC/probing/reduction sweeps actually did.
     state.counters["scc_merged_vars"] =

@@ -49,6 +49,16 @@
  * m.  The plain mcx family keeps analysis_discharged = 0: its ancilla
  * conditions constant-fold in the formula arena before the analyzer
  * is ever consulted, which is the intended division of labor.
+ *
+ * GF(2)-affine dataflow pass (PR 10): the WideLinearMirror family
+ * runs circuits::wideLinearMirrorQbrSource, whose dirty-qubit cone
+ * spans ALL n+1 wires - past any permutation window - so only the
+ * window-free affine pass discharges it (analysis_discharged_affine
+ * >= 1, asserted by CI bench-smoke; its NoAnalysis twin must still
+ * verify, pinning bit-identical verdicts).  Because the affine
+ * consult happens BEFORE formula construction, the analysis-on
+ * variant also skips the per-wire (6.2) cofactor build that grows
+ * quadratically with n.
  */
 
 #include <benchmark/benchmark.h>
@@ -95,6 +105,8 @@ reportCounters(benchmark::State &state,
         static_cast<double>(result.solverTotals.gcRuns);
     state.counters["analysis_discharged"] =
         static_cast<double>(result.analysisTotals.discharged);
+    state.counters["analysis_discharged_affine"] =
+        static_cast<double>(result.analysisTotals.affine);
     // Binary implication graph passes (--binary-analysis): what the
     // slice-boundary SCC/probing/reduction sweeps actually did.
     state.counters["scc_merged_vars"] =
@@ -108,14 +120,15 @@ reportCounters(benchmark::State &state,
 }
 
 /** Which benchmark program a family runs. */
-enum class McxProgram { Plain, Mirror, BinaryHeavy };
+enum class McxProgram { Plain, Mirror, BinaryHeavy, WideLinear };
 
 void
 runMcxVerify(benchmark::State &state,
              const qb::core::EngineOptions &options, bool one_shot,
              McxProgram which = McxProgram::Plain)
 {
-    // state.range(0) is the paper's control count n = 2m - 1.
+    // state.range(0) is the paper's control count n = 2m - 1 for the
+    // mcx families, or the input width for WideLinear.
     const auto n = static_cast<std::uint32_t>(state.range(0));
     const std::uint32_t m = (n + 1) / 2;
     qb::core::EngineOptions opts = options;
@@ -128,7 +141,10 @@ runMcxVerify(benchmark::State &state,
                 ? qb::circuits::mirrorMcxQbrSource(m)
                 : which == McxProgram::BinaryHeavy
                       ? qb::circuits::binaryHeavyMcxQbrSource(m)
-                      : qb::circuits::mcxQbrSource(m));
+                      : which == McxProgram::WideLinear
+                            ? qb::circuits::wideLinearMirrorQbrSource(
+                                  n)
+                            : qb::circuits::mcxQbrSource(m));
         if (one_shot) {
             // Seed behavior: fresh one-shot session per dirty qubit.
             result.qubits.clear();
@@ -306,6 +322,29 @@ McxMirrorVerifyEngineNoAnalysis(benchmark::State &state)
     runMcxVerify(state, options, false, McxProgram::Mirror);
 }
 
+void
+WideLinearMirrorVerifyEngine(benchmark::State &state)
+{
+    // Cone wider than any permutation window: only the window-free
+    // affine pass discharges, before the conditions are even built -
+    // analysis_discharged_affine must be >= 1 here (CI asserts it)
+    // and solve_s stays exactly zero.
+    runMcxVerify(state, qb::core::EngineOptions::portfolioAB(), false,
+                 McxProgram::WideLinear);
+}
+
+void
+WideLinearMirrorVerifyEngineNoAnalysis(benchmark::State &state)
+{
+    // The SAT-only twin: pays the full per-wire (6.2) cofactor build
+    // before the arena folds both conditions to constants.  Verdicts
+    // are bit-identical to the analysis-on family.
+    qb::core::EngineOptions options =
+        qb::core::EngineOptions::portfolioAB();
+    options.analysis = qb::analysis::AnalysisOptions::none();
+    runMcxVerify(state, options, false, McxProgram::WideLinear);
+}
+
 } // namespace
 
 BENCHMARK(McxVerifyOneShotLaneA)
@@ -362,5 +401,15 @@ BENCHMARK(McxMirrorVerifyEngine)
     ->Iterations(1);
 BENCHMARK(McxMirrorVerifyEngineNoAnalysis)
     ->DenseRange(499, 3499, 500)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+BENCHMARK(WideLinearMirrorVerifyEngine)
+    ->RangeMultiplier(4)
+    ->Range(64, 1024)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+BENCHMARK(WideLinearMirrorVerifyEngineNoAnalysis)
+    ->RangeMultiplier(4)
+    ->Range(64, 1024)
     ->Unit(benchmark::kSecond)
     ->Iterations(1);

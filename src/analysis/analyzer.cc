@@ -11,6 +11,7 @@ passName(Pass pass)
       case Pass::None:        return "none";
       case Pass::Support:     return "support";
       case Pass::Mirror:      return "mirror";
+      case Pass::Affine:      return "affine";
       case Pass::Permutation: return "permutation";
     }
     return "?";
@@ -62,6 +63,17 @@ Analyzer::qubitFacts(ir::QubitId q)
                 facts.plusDischargedBy == Pass::None)
                 facts.plusDischargedBy = Pass::Mirror;
         }
+        if (options_.affine &&
+            (facts.zeroDischargedBy == Pass::None ||
+             facts.plusDischargedBy == Pass::None)) {
+            const AffineFacts affine = affineFacts(q);
+            if (affine.zeroUnsat &&
+                facts.zeroDischargedBy == Pass::None)
+                facts.zeroDischargedBy = Pass::Affine;
+            if (affine.plusUnsat &&
+                facts.plusDischargedBy == Pass::None)
+                facts.plusDischargedBy = Pass::Affine;
+        }
         if (options_.permutation &&
             facts.zeroDischargedBy == Pass::None &&
             permutationCheck(circuit_, q,
@@ -72,6 +84,45 @@ Analyzer::qubitFacts(ir::QubitId q)
     }
     factsCache_[q] = facts;
     return *factsCache_[q];
+}
+
+const AffineState *
+Analyzer::affineFinal()
+{
+    if (!affineTried_) {
+        affineTried_ = true;
+        if (options_.affine && circuit_.isClassical())
+            affineFinal_ = runForward<AffineDomain>(
+                circuit_, AffineDomain::initial(circuit_));
+    }
+    return affineFinal_ ? &*affineFinal_ : nullptr;
+}
+
+AffineFacts
+Analyzer::affineFacts(ir::QubitId q)
+{
+    qbAssert(q < circuit_.numQubits(),
+             "Analyzer::affineFacts: qubit out of range");
+    AffineFacts facts;
+    const AffineState *final = affineFinal();
+    if (!final)
+        return facts;
+    // (6.1): b_q AND NOT q is UNSAT when b_q = q as functions, or
+    // when b_q is identically 0 (then the conjunction is false).
+    facts.zeroUnsat = final->isIdentity(q) ||
+                      final->constantOf(q) == std::optional(false);
+    // (6.2): the cofactor disjunction is UNSAT when no OTHER wire's
+    // final value may depend on initial q.  Exact rows make this
+    // strictly stronger than the support pass: cancelled
+    // contributions (w ^= q; w ^= q) do not count as dependence.
+    facts.plusUnsat = true;
+    for (ir::QubitId other = 0; other < circuit_.numQubits(); ++other) {
+        if (other != q && final->mayDependOn(other, q)) {
+            facts.plusUnsat = false;
+            break;
+        }
+    }
+    return facts;
 }
 
 } // namespace qb::analysis

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_map>
 
+#include "analysis/dataflow.h"
 #include "analysis/mirror.h"
 #include "analysis/permutation.h"
 #include "lang/parser.h"
@@ -122,18 +124,77 @@ lintUnusedBorrows(const lang::ElaboratedProgram &program,
     }
 }
 
+/** Wire name for diagnostics; gate operands always map to declared
+ *  qubits in elaborated programs, but stay defensive. */
+std::string
+wireName(const lang::ElaboratedProgram &program, ir::QubitId q)
+{
+    return q < program.qubits.size() ? program.qubits[q].name
+                                     : format("q%u", q);
+}
+
 void
-lintDeadGates(const lang::ElaboratedProgram &program,
-              std::vector<Diagnostic> &out)
+lintRedundantGates(const lang::ElaboratedProgram &program,
+                   std::vector<Diagnostic> &out)
 {
     const auto &gates = program.circuit.gates();
-    std::vector<bool> dead(gates.size(), false);
+    const std::uint32_t n = program.circuit.numQubits();
+    std::vector<bool> covered(gates.size(), false);
+
+    // Pass 1: GF(2)-affine boundary scan.  The UNSEEDED affine state
+    // (no alloc constants) with no ⊤ wire describes an invertible
+    // affine map of ALL wires; two equal ⊤-free boundary states
+    // therefore certify that the gates between them compose to the
+    // identity on EVERY input - the generalization of the old
+    // adjacent-cancelling-pair rule to arbitrary linear blocks.
+    // Candidate matches come from the incremental state hash and are
+    // confirmed by recomputing the earlier boundary (rare).
+    AffineState state(n);
+    std::unordered_map<std::uint64_t, std::size_t> earliest;
+    earliest.emplace(state.hash(), 0);
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        state.applyGate(gates[i]);
+        if (state.anyTop())
+            break; // ⊤ is sticky: no later boundary can certify
+        const std::size_t boundary = i + 1;
+        bool matched = false;
+        const auto it = earliest.find(state.hash());
+        if (it != earliest.end()) {
+            AffineState probe(n);
+            for (std::size_t g = 0; g < it->second; ++g)
+                probe.applyGate(gates[g]);
+            matched = probe == state;
+            if (matched) {
+                const std::size_t begin = it->second;
+                for (std::size_t g = begin; g < boundary; ++g)
+                    covered[g] = true;
+                Diagnostic d;
+                d.severity = Severity::Warning;
+                d.rule = "redundant-gate";
+                d.loc = gateLoc(program, begin);
+                d.message = format(
+                    "gates through %s compose to the identity on "
+                    "every input; the %zu-gate block is a no-op",
+                    gateLoc(program, boundary - 1)
+                        .toString()
+                        .c_str(),
+                    boundary - begin);
+                out.push_back(std::move(d));
+                earliest.clear();
+            }
+        }
+        if (!matched || earliest.empty())
+            earliest.emplace(state.hash(), boundary);
+    }
+
+    // Pass 2: the exact-pair rule for the nonlinear gates the affine
+    // certificate cannot reach (CCNOT/MCX drive their target to ⊤).
+    // A self-inverse classical gate whose NEXT wire-touching gate is
+    // an identical copy composes with it to the identity.
+    std::vector<bool> dead = covered;
     for (std::size_t i = 0; i < gates.size(); ++i) {
         if (dead[i] || !selfInverseClassical(gates[i]))
             continue;
-        // The next gate touching ANY of i's wires: if it is an exact
-        // copy of i, nothing between read or wrote those wires, so
-        // the pair composes to the identity.
         std::size_t next = gates.size();
         for (std::size_t j = i + 1; j < gates.size() &&
                                     next == gates.size(); ++j)
@@ -142,12 +203,13 @@ lintDeadGates(const lang::ElaboratedProgram &program,
                     next = j;
                     break;
                 }
-        if (next == gates.size() || !(gates[next] == gates[i]))
+        if (next == gates.size() || dead[next] ||
+            !(gates[next] == gates[i]))
             continue;
         dead[i] = dead[next] = true;
         Diagnostic d;
         d.severity = Severity::Warning;
-        d.rule = "dead-gate";
+        d.rule = "redundant-gate";
         d.loc = gateLoc(program, i);
         d.message = format(
             "gate cancels with the identical gate at %s; both are "
@@ -158,41 +220,94 @@ lintDeadGates(const lang::ElaboratedProgram &program,
 }
 
 void
-lintReadBeforeInit(const lang::ElaboratedProgram &program,
-                   std::vector<Diagnostic> &out)
+lintControlAlwaysConstant(const lang::ElaboratedProgram &program,
+                          std::vector<Diagnostic> &out)
 {
     const auto &gates = program.circuit.gates();
     const std::size_t n = program.circuit.numQubits();
-    std::vector<bool> written(n, false), reported(n, false);
-    const auto flagRead = [&](ir::QubitId q, std::size_t gate_index) {
-        if (written[q] || reported[q] ||
-            q >= program.qubits.size() ||
-            program.qubits[q].role != lang::QubitRole::Alloc)
-            return;
-        reported[q] = true;
+    // Constants domain SEEDED with |0> at each alloc's scope entry:
+    // catches both reads-before-first-write (the old read-before-init
+    // shape) and constants re-derived mid-circuit by linear
+    // cancellation, on any wire role.
+    ConstantState state(static_cast<std::uint32_t>(n));
+    std::vector<std::vector<ir::QubitId>> seed_at(gates.size() + 1);
+    for (std::size_t q = 0; q < program.qubits.size(); ++q) {
+        const lang::QubitInfo &info = program.qubits[q];
+        if (info.role == lang::QubitRole::Alloc &&
+            info.scopeBegin <= gates.size())
+            seed_at[info.scopeBegin].push_back(
+                static_cast<ir::QubitId>(q));
+    }
+    std::vector<bool> reported(n, false);
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        for (const ir::QubitId q : seed_at[i])
+            state.setKnown(q, false);
+        const ir::Gate &gate = gates[i];
+        const bool x_family = gate.kind() == ir::GateKind::X ||
+                              gate.kind() == ir::GateKind::CNOT ||
+                              gate.kind() == ir::GateKind::CCNOT ||
+                              gate.kind() == ir::GateKind::MCX;
+        for (const ir::QubitId c :
+             x_family ? gate.controls()
+                      : std::span<const ir::QubitId>{}) {
+            const std::optional<bool> v = state.value(c);
+            if (!v || reported[c])
+                continue;
+            reported[c] = true;
+            Diagnostic d;
+            d.severity = Severity::Warning;
+            d.rule = "control-always-constant";
+            d.loc = gateLoc(program, i);
+            d.message = *v
+                ? format("control '%s' is provably |1> here on every "
+                         "input; it is always satisfied - drop the "
+                         "control",
+                         wireName(program, c).c_str())
+                : format("control '%s' is provably |0> here on every "
+                         "input; the gate never fires",
+                         wireName(program, c).c_str());
+            out.push_back(std::move(d));
+        }
+        state.applyGate(gate);
+    }
+}
+
+void
+lintQubitNeverRead(const lang::ElaboratedProgram &program,
+                   std::vector<Diagnostic> &out)
+{
+    const auto &gates = program.circuit.gates();
+    // Backward liveness seeded with every borrowed wire (their final
+    // values escape to the owner).  An alloc'd qubit dead at EVERY
+    // boundary of its scope is never observed - not by a control, not
+    // by a non-classical gate, and never (even via Swaps) flowing
+    // into an escaping wire - so all writes into it are wasted work.
+    LivenessState boundary(program.circuit.numQubits());
+    for (std::size_t q = 0; q < program.qubits.size(); ++q)
+        if (isBorrowRole(program.qubits[q].role))
+            boundary.setLive(static_cast<ir::QubitId>(q));
+    const std::vector<LivenessState> trace =
+        backwardTrace<LivenessDomain>(program.circuit, boundary);
+    for (std::size_t q = 0; q < program.qubits.size(); ++q) {
+        const lang::QubitInfo &info = program.qubits[q];
+        if (info.role != lang::QubitRole::Alloc)
+            continue;
+        const std::size_t last =
+            std::min(info.scopeEnd, gates.size());
+        bool live = false;
+        for (std::size_t i = info.scopeBegin; i <= last && !live; ++i)
+            live = trace[i].isLive(static_cast<ir::QubitId>(q));
+        if (live)
+            continue;
         Diagnostic d;
         d.severity = Severity::Warning;
-        d.rule = "read-before-init";
-        d.loc = gateLoc(program, gate_index);
+        d.rule = "qubit-never-read";
+        d.loc = info.loc;
         d.message = format(
-            "clean qubit '%s' is read before its first write; a "
-            "control on |0> never fires",
-            program.qubits[q].name.c_str());
+            "clean qubit '%s' is never read: no gate observes its "
+            "value and it never flows into an escaping wire",
+            info.name.c_str());
         out.push_back(std::move(d));
-    };
-    for (std::size_t i = 0; i < gates.size(); ++i) {
-        const ir::Gate &gate = gates[i];
-        if (gate.kind() == ir::GateKind::Swap) {
-            // Swap both reads and writes its two operands.
-            flagRead(gate.qubits()[0], i);
-            flagRead(gate.qubits()[1], i);
-            written[gate.qubits()[0]] = true;
-            written[gate.qubits()[1]] = true;
-            continue;
-        }
-        for (const ir::QubitId c : gate.controls())
-            flagRead(c, i);
-        written[gate.target()] = true;
     }
 }
 
@@ -210,9 +325,25 @@ lintBorrowNotRestored(const lang::ElaboratedProgram &program,
             program.circuit.slice(info.scopeBegin, info.scopeEnd);
         if (!lifetime.isClassical())
             continue;
-        if (permutationCheck(lifetime, static_cast<ir::QubitId>(q),
-                             options.permutationWindow) !=
-            PermutationVerdict::NotRestored)
+        const PermutationVerdict verdict =
+            permutationCheck(lifetime, static_cast<ir::QubitId>(q),
+                             options.permutationWindow);
+        bool not_restored =
+            verdict == PermutationVerdict::NotRestored;
+        if (verdict == PermutationVerdict::TooWide) {
+            // Cone wider than the window: fall back to the
+            // window-free affine proof.  An UNSEEDED ⊤-free final row
+            // for q that is neither q itself nor poisoned is an exact
+            // function description differing from q, so some initial
+            // assignment is provably changed - the same certificate
+            // the 2^k sweep gives, without the width bound.
+            const AffineState final = runForward<AffineDomain>(
+                lifetime, AffineState(lifetime.numQubits()));
+            const ir::QubitId wire = static_cast<ir::QubitId>(q);
+            not_restored =
+                !final.isTop(wire) && !final.isIdentity(wire);
+        }
+        if (!not_restored)
             continue;
         // Exact, not heuristic: the lifetime circuit is a reversible
         // classical map F with b_q != q as functions, so either some
@@ -304,8 +435,9 @@ lintElaborated(const lang::ElaboratedProgram &program,
                const LintOptions &options, LintResult &out)
 {
     lintUnusedBorrows(program, out.diagnostics);
-    lintDeadGates(program, out.diagnostics);
-    lintReadBeforeInit(program, out.diagnostics);
+    lintRedundantGates(program, out.diagnostics);
+    lintControlAlwaysConstant(program, out.diagnostics);
+    lintQubitNeverRead(program, out.diagnostics);
     lintBorrowNotRestored(program, options, out.diagnostics);
     out.metrics = computeMetrics(program);
     out.elaborated = true;

@@ -20,24 +20,41 @@
  *   unused-borrow (IR, warning)
  *     A borrowed qubit no gate of its lifetime touches.
  *
- *   dead-gate (IR, warning)
- *     A self-inverse classical gate immediately cancelled by an
- *     identical gate, with no intervening gate touching any of its
- *     wires: both gates are no-ops.
+ *   redundant-gate (IR, warning)
+ *     A gate block that provably composes to the identity on every
+ *     input.  Two detectors share the rule id: the GF(2)-affine
+ *     boundary scan (dataflow.h) certifies arbitrary linear blocks -
+ *     an unseeded ⊤-free affine state is an invertible map, so equal
+ *     boundary states bracket an identity subcircuit - and the
+ *     exact-pair scan catches a self-inverse nonlinear gate cancelled
+ *     by an identical copy with no intervening touch of its wires.
+ *     Generalizes the old dead-gate rule.
  *
- *   read-before-init (IR, warning)
- *     An alloc'd (clean, |0>) qubit read - used as a control or a
- *     swap operand - before its first write: the control can never
- *     fire.
+ *   control-always-constant (IR, warning)
+ *     A control wire whose value at that gate is a provable constant
+ *     under the seeded constants domain (allocs enter |0>): constant
+ *     0 means the gate never fires, constant 1 means the control is
+ *     always satisfied and should be dropped.  Catches constants
+ *     re-derived by linear cancellation on any wire role, subsuming
+ *     the old read-before-init rule.
+ *
+ *   qubit-never-read (IR, warning)
+ *     An alloc'd qubit dead at every boundary of its scope under
+ *     backward liveness seeded with the borrowed wires (whose values
+ *     escape to their owners): nothing ever observes it, so every
+ *     write into it is wasted work.
  *
  *   borrow-not-restored (IR, error / warning for borrow@)
  *     The permutation pass (permutation.h) proved the qubit's
  *     lifetime circuit maps some initial assignment to a DIFFERENT
- *     value of that qubit.  For a reversible classical lifetime this
- *     is exact, not heuristic: b_q != q as functions forces formula
- *     (6.1) or (6.2) of Theorem 6.4 satisfiable, so the qubit is
- *     provably unsafe.  Emitted as a warning (not error) for borrow@
- *     qubits, whose verification the author explicitly waived.
+ *     value of that qubit; on cones wider than the window the
+ *     GF(2)-affine pass proves the same window-free for linear
+ *     lifetimes (an exact non-identity row differs from q on some
+ *     input).  For a reversible classical lifetime this is exact,
+ *     not heuristic: b_q != q as functions forces formula (6.1) or
+ *     (6.2) of Theorem 6.4 satisfiable, so the qubit is provably
+ *     unsafe.  Emitted as a warning (not error) for borrow@ qubits,
+ *     whose verification the author explicitly waived.
  */
 
 #ifndef QB_ANALYSIS_LINT_H

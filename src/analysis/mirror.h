@@ -40,8 +40,9 @@ namespace qb::analysis {
 /**
  * True for gates that are their own inverse AND permute the
  * computational basis (X family and Swap), so a mirrored occurrence
- * read backwards is exactly the inverse.  Shared with the dead-gate
- * lint rule, where an adjacent identical pair cancels to identity.
+ * read backwards is exactly the inverse.  Shared with the
+ * redundant-gate lint rule, where an adjacent identical pair cancels
+ * to identity.
  */
 bool selfInverseClassical(const ir::Gate &gate);
 

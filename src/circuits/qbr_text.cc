@@ -260,4 +260,38 @@ release w;
     return out;
 }
 
+std::string
+wideLinearMirrorQbrSource(std::uint32_t n)
+{
+    if (n < 4)
+        throw std::invalid_argument(format(
+            "wideLinearMirrorQbrSource requires n >= 4 (got %u)", n));
+    std::string out =
+        format("// wide_linear_mirror.qbr\nlet n = %u;\n", n);
+    out += R"(borrow@ q[n]; // inputs: no assumptions, skip verification
+borrow w; // dirty qubit: its cone spans all n+1 wires
+
+// mixing: pull every input into the cone of w
+for i = 1 to (n - 1) {
+    CNOT[q[i], q[i + 1]];
+}
+
+// fold every mixed input into w ...
+for i = 1 to n {
+    CNOT[q[i], w];
+}
+X[w];
+
+// ... and undo the fold in rotated order (not a textual mirror)
+for i = 2 to n {
+    CNOT[q[i], w];
+}
+CNOT[q[1], w];
+X[w];
+
+release w;
+)";
+    return out;
+}
+
 } // namespace qb::circuits

@@ -67,6 +67,30 @@ std::string binaryHeavyMcxQbrSource(std::uint32_t m);
 std::string mirrorMcxQbrSource(std::uint32_t m);
 
 /**
+ * Wide-linear-mirror benchmark program: the dirty qubit's restore
+ * cone spans ALL n+1 wires, so the windowed permutation pass answers
+ * TooWide at any n past the window - only the GF(2)-affine dataflow
+ * pass (dataflow.h), which has no width bound, discharges it
+ * statically.
+ *
+ * Shape: a triangular CNOT mixing pass over n skip-verified inputs
+ * (pulling every input into the cone), the dirty qubit w folded with
+ * every mixed input, an X, the fold undone in a ROTATED gate order
+ * (defeating the mirror pass's suffix scan; the formula arena would
+ * fold an exact textual mirror by itself), and the X undone.  Every
+ * gate is linear, so the affine pass proves both conditions of
+ * Theorem 6.4 UNSAT - and, because it is consulted BEFORE formula
+ * construction, the engine also skips the O(wires x circuit) (6.2)
+ * cofactor build that dominates at large n.  With `--analysis off`
+ * the program still verifies (the arena folds the built conditions),
+ * so verdicts are bit-identical either way.
+ *
+ * @throws std::invalid_argument when n < 4 (the mixing pass needs
+ *         enough wires to be meaningful).
+ */
+std::string wideLinearMirrorQbrSource(std::uint32_t n);
+
+/**
  * Knobs for randomQbrSource().  The defaults reproduce the
  * distribution the random-pipeline property tests have always used:
  * 3-5 skip-verified inputs, a 0-2 gate prefix, one verified borrow

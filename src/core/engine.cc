@@ -437,6 +437,7 @@ analysisTotalsOf(const VerificationEngine::Stats &stats)
         static_cast<std::int64_t>(stats.analysisDischarged);
     totals.support = static_cast<std::int64_t>(stats.analysisSupport);
     totals.mirror = static_cast<std::int64_t>(stats.analysisMirror);
+    totals.affine = static_cast<std::int64_t>(stats.analysisAffine);
     totals.permutation =
         static_cast<std::int64_t>(stats.analysisPermutation);
     return totals;
@@ -452,29 +453,56 @@ VerificationEngine::conditionsFor(ir::QubitId q)
     auto conds = std::make_unique<Conditions>();
     const std::uint32_t n = circuit_.numQubits();
 
+    // GF(2)-affine pre-build consult (window-free): for a purely
+    // linear cone the arena's own XOR canonicalization would fold
+    // both conditions to constants during construction, so a
+    // POST-build affine discharge can never fire - the pass pays off
+    // only by proving UNSAT first and skipping the build, notably the
+    // O(wires * dagSize) cofactor sweep of (6.2).  Gated on q being
+    // written: unwritten qubits fold in O(1) anyway, and skipping
+    // them keeps their results attributed as structural.
+    analysis::AffineFacts affine;
+    if (options_.analysis.affine && classical &&
+        analysis::writesWire(circuit_, q)) {
+        if (!analyzer_)
+            analyzer_ = std::make_unique<analysis::Analyzer>(
+                circuit_, options_.analysis);
+        affine = analyzer_->affineFacts(q);
+    }
+
     // Formula (6.1): b_q AND NOT q - satisfiable iff some input with
     // q = 0 ends with q = 1, i.e. |0> is not restored.
-    const bexp::NodeRef b_q = finals[q];
-    conds->zero =
-        arena.mkAnd({b_q, arena.mkNot(arena.mkVar(q))});
+    if (affine.zeroUnsat) {
+        conds->zero = bexp::kFalse;
+        conds->zeroDischargedBy = analysis::Pass::Affine;
+    } else {
+        const bexp::NodeRef b_q = finals[q];
+        conds->zero =
+            arena.mkAnd({b_q, arena.mkNot(arena.mkVar(q))});
+    }
 
     // Formula (6.2): OR over the other qubits of the XOR of the two
     // cofactors - satisfiable iff some other output depends on q,
     // i.e. |+> is not restored.
-    std::vector<bexp::NodeRef> disjuncts;
-    for (std::uint32_t other = 0; other < n; ++other) {
-        if (other == q)
-            continue;
-        const bexp::NodeRef b_other = finals[other];
-        const bexp::NodeRef cof0 =
-            arena.substitute(b_other, q, bexp::kFalse);
-        const bexp::NodeRef cof1 =
-            arena.substitute(b_other, q, bexp::kTrue);
-        const bexp::NodeRef diff = arena.mkXor({cof0, cof1});
-        if (diff != bexp::kFalse)
-            disjuncts.push_back(diff);
+    if (affine.plusUnsat) {
+        conds->plus = bexp::kFalse;
+        conds->plusDischargedBy = analysis::Pass::Affine;
+    } else {
+        std::vector<bexp::NodeRef> disjuncts;
+        for (std::uint32_t other = 0; other < n; ++other) {
+            if (other == q)
+                continue;
+            const bexp::NodeRef b_other = finals[other];
+            const bexp::NodeRef cof0 =
+                arena.substitute(b_other, q, bexp::kFalse);
+            const bexp::NodeRef cof1 =
+                arena.substitute(b_other, q, bexp::kTrue);
+            const bexp::NodeRef diff = arena.mkXor({cof0, cof1});
+            if (diff != bexp::kFalse)
+                disjuncts.push_back(diff);
+        }
+        conds->plus = arena.mkOr(std::move(disjuncts));
     }
-    conds->plus = arena.mkOr(std::move(disjuncts));
     conds->nodes =
         arena.dagSize(conds->zero) + arena.dagSize(conds->plus);
 
@@ -507,6 +535,9 @@ VerificationEngine::noteDischarge(analysis::Pass pass)
         break;
       case analysis::Pass::Mirror:
         ++engineStats.analysisMirror;
+        break;
+      case analysis::Pass::Affine:
+        ++engineStats.analysisAffine;
         break;
       case analysis::Pass::Permutation:
         ++engineStats.analysisPermutation;
@@ -961,11 +992,23 @@ VerificationEngine::prepare(ir::QubitId q)
     const Conditions &conds = conditionsFor(q);
     p.out.buildSeconds = build_timer.seconds();
     p.out.formulaNodes = conds.nodes;
+    // "Structural" means the arena's constant folding alone settled
+    // both formulas; a condition the affine pass pre-discharged (its
+    // stored formula is a kFalse placeholder, never built) counts as
+    // an analysis discharge instead.
     p.out.solvedStructurally =
+        conds.zeroDischargedBy == analysis::Pass::None &&
+        conds.plusDischargedBy == analysis::Pass::None &&
         arena.isConst(conds.zero) && arena.isConst(conds.plus);
     p.conds = &conds;
 
-    if (arena.isConst(conds.zero)) {
+    if (conds.zeroDischargedBy != analysis::Pass::None) {
+        // Statically proven UNSAT: no race.  finish() treats a null
+        // zero handle as a settled Unsat, exactly as for a constant.
+        // Checked BEFORE the constant test so affine placeholders
+        // route here, not through structuralOutcome().
+        noteDischarge(conds.zeroDischargedBy);
+    } else if (arena.isConst(conds.zero)) {
         const LaneOutcome zero = structuralOutcome(conds.zero);
         if (zero.result == sat::SolveResult::Sat) {
             // Matches the sequential order: (6.2) is never evaluated
@@ -974,21 +1017,15 @@ VerificationEngine::prepare(ir::QubitId q)
             p.immediate = true;
             return p;
         }
-    } else if (conds.zeroDischargedBy != analysis::Pass::None) {
-        // Statically proven UNSAT: no race.  finish() treats a null
-        // zero handle as a settled Unsat, exactly as for a constant.
-        noteDischarge(conds.zeroDischargedBy);
     } else {
         p.zero = submitRace(conds.zero);
     }
     // Queue (6.2) speculatively: safe qubits (the common case) need it
     // anyway, and an Unsafe (6.1) answer cancels the race.
-    if (!arena.isConst(conds.plus)) {
-        if (conds.plusDischargedBy != analysis::Pass::None)
-            noteDischarge(conds.plusDischargedBy);
-        else
-            p.plus = submitRace(conds.plus);
-    }
+    if (conds.plusDischargedBy != analysis::Pass::None)
+        noteDischarge(conds.plusDischargedBy);
+    else if (!arena.isConst(conds.plus))
+        p.plus = submitRace(conds.plus);
     return p;
 }
 

@@ -230,10 +230,15 @@ class VerificationEngine
         std::size_t conditionHits = 0;   ///< condition cache hits
         std::size_t qubitsVerified = 0;
         /** @name Conditions proven UNSAT statically (no SAT race
-         *  queued), total and per discharging pass. @{ */
+         *  queued), total and per discharging pass.  Affine
+         *  discharges additionally skip BUILDING the condition: the
+         *  GF(2)-affine pass is consulted before the formula
+         *  construction, window-free, so wide linear cones pay
+         *  neither the (6.2) cofactor sweep nor any encoding. @{ */
         std::size_t analysisDischarged = 0;
         std::size_t analysisSupport = 0;
         std::size_t analysisMirror = 0;
+        std::size_t analysisAffine = 0;
         std::size_t analysisPermutation = 0;
         /** @} */
         /** Lanes wired into a learnt-clause exchange group. */

@@ -106,6 +106,7 @@ emitProgram(const ProgramResult &result,
     out += "\"analysis_discharged\": " + count(a.discharged) + ", ";
     out += "\"support\": " + count(a.support) + ", ";
     out += "\"mirror\": " + count(a.mirror) + ", ";
+    out += "\"affine\": " + count(a.affine) + ", ";
     out += "\"permutation\": " + count(a.permutation);
     out += "},";
     out += nl;

@@ -36,7 +36,7 @@ std::string toJson(const QubitResult &result);
  *               binary-graph passes (scc_merged_vars, probed_failed,
  *               hyper_binaries, transitive_reduced) },
  *   "analysis": { "analysis_discharged": n, "support": n,
- *                 "mirror": n, "permutation": n },
+ *                 "mirror": n, "affine": n, "permutation": n },
  *   "qubits": [ <QubitResult objects> ]
  * }
  */

@@ -104,7 +104,8 @@ struct QubitResult
     std::size_t cnfClauses = 0;
     std::int64_t conflicts = 0;
     /** True when both formulas folded to constants during
-     *  construction and no SAT call was needed. */
+     *  construction, no static discharge intervened, and no SAT call
+     *  was needed. */
     bool solvedStructurally = false;
     /** @} */
 };
@@ -122,6 +123,7 @@ struct AnalysisTotals
     std::int64_t discharged = 0; ///< conditions skipped entirely
     std::int64_t support = 0;
     std::int64_t mirror = 0;
+    std::int64_t affine = 0;
     std::int64_t permutation = 0;
 
     void accumulate(const AnalysisTotals &other)
@@ -129,6 +131,7 @@ struct AnalysisTotals
         discharged += other.discharged;
         support += other.support;
         mirror += other.mirror;
+        affine += other.affine;
         permutation += other.permutation;
     }
 
@@ -137,6 +140,7 @@ struct AnalysisTotals
         discharged -= other.discharged;
         support -= other.support;
         mirror -= other.mirror;
+        affine -= other.affine;
         permutation -= other.permutation;
     }
 };

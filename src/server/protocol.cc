@@ -560,8 +560,9 @@ statsResponse(std::int64_t id, const StatsSnapshot &snapshot)
         static_cast<unsigned long long>(snapshot.connectionsRefused),
         static_cast<unsigned long long>(snapshot.authRejected));
     out += format(
-        ", \"analysis\": {\"discharged\": %llu}",
-        static_cast<unsigned long long>(snapshot.analysisDischarged));
+        ", \"analysis\": {\"discharged\": %llu, \"affine\": %llu}",
+        static_cast<unsigned long long>(snapshot.analysisDischarged),
+        static_cast<unsigned long long>(snapshot.analysisAffine));
     out += format(
         ", \"binary_graph\": {\"scc_merged_vars\": %llu, "
         "\"probed_failed\": %llu, \"hyper_binaries\": %llu, "

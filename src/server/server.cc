@@ -174,6 +174,9 @@ struct Server::Impl
      *  verify the SAT tier actually ran (result-cache hits replay a
      *  stored report whose discharges were counted when stored). */
     std::atomic<std::uint64_t> statAnalysisDischarged{0};
+    /** Of those, discharges the GF(2)-affine dataflow pass proved
+     *  (the only pass that also skips building the condition). */
+    std::atomic<std::uint64_t> statAnalysisAffine{0};
     /** Binary implication graph pass totals, same accumulation
      *  contract as statAnalysisDischarged (fresh runs only). */
     std::atomic<std::uint64_t> statSccMergedVars{0};
@@ -469,6 +472,7 @@ Server::Impl::handleLine(
         snapshot.connectionsRefused = statConnRefused.load();
         snapshot.authRejected = statAuthRejected.load();
         snapshot.analysisDischarged = statAnalysisDischarged.load();
+        snapshot.analysisAffine = statAnalysisAffine.load();
         snapshot.sccMergedVars = statSccMergedVars.load();
         snapshot.probedFailed = statProbedFailed.load();
         snapshot.hyperBinaries = statHyperBinaries.load();
@@ -712,6 +716,10 @@ Server::Impl::serveRequest(QueuedRequest item)
         outcome.result.analysisTotals.discharged > 0)
         statAnalysisDischarged += static_cast<std::uint64_t>(
             outcome.result.analysisTotals.discharged);
+    if (!outcome.fromResultCache &&
+        outcome.result.analysisTotals.affine > 0)
+        statAnalysisAffine += static_cast<std::uint64_t>(
+            outcome.result.analysisTotals.affine);
     if (!outcome.fromResultCache) {
         const sat::SolverStats &st = outcome.result.solverTotals;
         statSccMergedVars +=

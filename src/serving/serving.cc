@@ -29,9 +29,9 @@ ServingTier::optionsFingerprint(const core::EngineOptions &engine_opts,
     // discharge counters) even though verdicts are unaffected, so they
     // key the cache too.
     const analysis::AnalysisOptions &an = engine_opts.analysis;
-    key += format("an%d%d%d.w%u;", an.support ? 1 : 0,
-                  an.mirror ? 1 : 0, an.permutation ? 1 : 0,
-                  an.permutationWindow);
+    key += format("an%d%d%d%d.w%u;", an.support ? 1 : 0,
+                  an.mirror ? 1 : 0, an.affine ? 1 : 0,
+                  an.permutation ? 1 : 0, an.permutationWindow);
     for (const core::VerifierOptions &lane : engine_opts.lanes) {
         const sat::SolverConfig &s = lane.solver;
         key += format(

@@ -19,7 +19,12 @@ namespace qb::fuzz {
 const char *
 caseKindName(CaseKind kind)
 {
-    return kind == CaseKind::Qbr ? "qbr" : "cnf";
+    switch (kind) {
+      case CaseKind::Qbr:      return "qbr";
+      case CaseKind::Cnf:      return "cnf";
+      case CaseKind::Analysis: return "analysis";
+    }
+    return "?";
 }
 
 namespace {
@@ -39,10 +44,35 @@ mix64(std::uint64_t x)
 std::uint64_t
 caseSeedOf(std::uint64_t seed, CaseKind kind, std::size_t index)
 {
-    const std::uint64_t salt =
-        kind == CaseKind::Qbr ? 0x71b2ull : 0xc2f7ull;
+    const std::uint64_t salt = kind == CaseKind::Qbr ? 0x71b2ull
+                               : kind == CaseKind::Cnf
+                                   ? 0xc2f7ull
+                                   : 0x5a3dull;
     return mix64(seed ^ mix64(salt) ^
                  mix64(static_cast<std::uint64_t>(index) + 1));
+}
+
+/** Slot layout: [qbr cases][cnf cases][analysis cases]. */
+CaseKind
+kindOfSlot(const FuzzOptions &options, std::size_t slot)
+{
+    if (slot < options.qbrCases)
+        return CaseKind::Qbr;
+    if (slot < options.qbrCases + options.cnfCases)
+        return CaseKind::Cnf;
+    return CaseKind::Analysis;
+}
+
+std::size_t
+indexOfSlot(const FuzzOptions &options, std::size_t slot)
+{
+    switch (kindOfSlot(options, slot)) {
+      case CaseKind::Qbr: return slot;
+      case CaseKind::Cnf: return slot - options.qbrCases;
+      case CaseKind::Analysis:
+        return slot - options.qbrCases - options.cnfCases;
+    }
+    return slot;
 }
 
 /** FNV-1a over a byte string. */
@@ -218,6 +248,67 @@ crossCheckQbr(const std::string &src, std::size_t *safe_out,
                 "qubit %s: brute force says %s, engine says %s",
                 ra.name.c_str(), core::verdictName(oracle),
                 core::verdictName(ra.verdict));
+        if (safe_out != nullptr &&
+            ra.verdict == core::Verdict::Safe)
+            ++*safe_out;
+        if (unsafe_out != nullptr &&
+            ra.verdict == core::Verdict::Unsafe)
+            ++*unsafe_out;
+    }
+    return {};
+}
+
+/**
+ * Cross-check one qbr program with the static dischargers on vs off;
+ * empty string means agreement.  The dischargers are UNSAT-only
+ * proofs, so verdict, failed condition and counterexample must all be
+ * bit-identical - formulaNodes / solvedStructurally / analysisTotals
+ * legitimately differ (that is the point of the passes) and are not
+ * compared.  Throws what the pipeline throws (callers wrap).
+ */
+std::string
+crossCheckAnalysis(const std::string &src, std::size_t *safe_out,
+                   std::size_t *unsafe_out)
+{
+    const lang::ElaboratedProgram prog = lang::elaborateSource(src);
+    auto engine_options = [](bool with_analysis) {
+        core::EngineOptions o = core::EngineOptions::singleLane(
+            core::VerifierOptions::laneA());
+        o.jobs = 1;
+        if (!with_analysis)
+            o.analysis = analysis::AnalysisOptions::none();
+        return o;
+    };
+    const core::ProgramResult on =
+        core::verifyAll(prog, engine_options(true));
+    const core::ProgramResult off =
+        core::verifyAll(prog, engine_options(false));
+    if (on.qubits.size() != off.qubits.size())
+        return format(
+            "analysis-on reported %zu qubits, analysis-off %zu",
+            on.qubits.size(), off.qubits.size());
+    for (std::size_t i = 0; i < on.qubits.size(); ++i) {
+        const core::QubitResult &ra = on.qubits[i];
+        const core::QubitResult &rb = off.qubits[i];
+        if (ra.verdict != rb.verdict)
+            return format("qubit %s: analysis-on says %s, "
+                          "analysis-off says %s",
+                          ra.name.c_str(),
+                          core::verdictName(ra.verdict),
+                          core::verdictName(rb.verdict));
+        if (ra.failed != rb.failed)
+            return format("qubit %s: failed-condition mismatch "
+                          "(analysis-on %d, analysis-off %d)",
+                          ra.name.c_str(),
+                          static_cast<int>(ra.failed),
+                          static_cast<int>(rb.failed));
+        if (ra.counterexample != rb.counterexample)
+            return format(
+                "qubit %s: counterexample mismatch "
+                "(analysis-on has%s one, analysis-off has%s one)",
+                ra.name.c_str(),
+                ra.counterexample.has_value() ? "" : " not",
+                rb.counterexample.has_value() ? "" : " not");
         if (safe_out != nullptr &&
             ra.verdict == core::Verdict::Safe)
             ++*safe_out;
@@ -407,17 +498,14 @@ shrinkQbr(const std::string &failing,
 FuzzReport
 runFuzz(const FuzzOptions &options)
 {
-    const std::size_t total = options.qbrCases + options.cnfCases;
+    const std::size_t total =
+        options.qbrCases + options.cnfCases + options.analysisCases;
     std::vector<CaseOutcome> outcomes(total);
 
     const auto run_case = [&options](std::size_t slot) {
         CaseOutcome out;
-        const CaseKind kind = slot < options.qbrCases
-                                  ? CaseKind::Qbr
-                                  : CaseKind::Cnf;
-        const std::size_t index = kind == CaseKind::Qbr
-                                      ? slot
-                                      : slot - options.qbrCases;
+        const CaseKind kind = kindOfSlot(options, slot);
+        const std::size_t index = indexOfSlot(options, slot);
         const std::uint64_t case_seed =
             caseSeedOf(options.seed, kind, index);
         Rng rng(case_seed);
@@ -426,6 +514,12 @@ runFuzz(const FuzzOptions &options)
                 out.artifact =
                     circuits::randomQbrSource(rng, options.qbr);
                 out.detail = crossCheckQbr(
+                    out.artifact, &out.safeQubits,
+                    &out.unsafeQubits);
+            } else if (kind == CaseKind::Analysis) {
+                out.artifact = circuits::randomQbrSource(
+                    rng, options.analysisQbr);
+                out.detail = crossCheckAnalysis(
                     out.artifact, &out.safeQubits,
                     &out.unsafeQubits);
             } else {
@@ -479,6 +573,7 @@ runFuzz(const FuzzOptions &options)
     FuzzReport report;
     report.qbrCases = options.qbrCases;
     report.cnfCases = options.cnfCases;
+    report.analysisCases = options.analysisCases;
     for (std::size_t slot = 0; slot < total; ++slot) {
         const CaseOutcome &out = outcomes[slot];
         report.corpusDigest += out.digest; // commutative fold
@@ -491,10 +586,8 @@ runFuzz(const FuzzOptions &options)
             continue;
 
         Disagreement d;
-        d.kind = slot < options.qbrCases ? CaseKind::Qbr
-                                         : CaseKind::Cnf;
-        d.index = d.kind == CaseKind::Qbr ? slot
-                                          : slot - options.qbrCases;
+        d.kind = kindOfSlot(options, slot);
+        d.index = indexOfSlot(options, slot);
         d.caseSeed = caseSeedOf(options.seed, d.kind, d.index);
         d.detail = out.detail;
 
@@ -527,19 +620,25 @@ runFuzz(const FuzzOptions &options)
                             d.caseSeed)),
                  "mismatch: " + d.detail});
         } else {
+            const bool analysis = d.kind == CaseKind::Analysis;
             const std::string shrunk = shrinkQbr(
-                out.artifact, [](const std::string &candidate) {
-                    return !crossCheckQbr(candidate, nullptr,
-                                          nullptr)
+                out.artifact,
+                [analysis](const std::string &candidate) {
+                    return !(analysis
+                                 ? crossCheckAnalysis(candidate,
+                                                      nullptr,
+                                                      nullptr)
+                                 : crossCheckQbr(candidate, nullptr,
+                                                 nullptr))
                                 .empty();
                 });
             d.artifact =
                 format("// qbfuzz reproducer (shrunk)\n"
-                       "// campaign seed=%llu qbr case %zu "
+                       "// campaign seed=%llu %s case %zu "
                        "(case seed 0x%llx)\n"
                        "// mismatch: %s\n",
                        static_cast<unsigned long long>(options.seed),
-                       d.index,
+                       caseKindName(d.kind), d.index,
                        static_cast<unsigned long long>(d.caseSeed),
                        d.detail.c_str()) +
                 shrunk;

@@ -23,6 +23,15 @@
  *    per-qubit verdict is cross-checked against the classical
  *    brute-force oracle on the lifetime slice.
  *
+ *  - analysis cases: the same random-program pipeline run twice,
+ *    once with the static dischargers on (the default
+ *    analysis::AnalysisOptions) and once fully off (SAT-only).  The
+ *    dischargers are UNSAT-only proofs, so every per-qubit verdict,
+ *    failed condition and counterexample must be bit-identical; any
+ *    difference is an unsound discharge.  The corpus tilts toward
+ *    CNOT/X-heavy (linear) programs, where the GF(2)-affine pass
+ *    actually fires.
+ *
  * Every case derives its own RNG from (seed, kind, index), so the
  * generated corpus is byte-identical no matter how many worker
  * threads run it - the determinism the --jobs tests pin.  A
@@ -89,17 +98,35 @@ binaryHeavyQbrOptions()
     return o;
 }
 
+/** RandomQbrOptions tilted toward linear (X/CNOT) programs: the
+ *  region where the GF(2)-affine discharger actually fires, so the
+ *  analysis-on/off differential lane exercises it instead of only
+ *  ⊤-poisoned states. */
+inline circuits::RandomQbrOptions
+linearHeavyQbrOptions()
+{
+    circuits::RandomQbrOptions o;
+    o.xWeight = 1.5;
+    o.cnotWeight = 3.0;
+    o.ccnotWeight = 0.5;
+    return o;
+}
+
 /** Everything one runFuzz() campaign needs. */
 struct FuzzOptions
 {
     std::uint64_t seed = 1;
     std::size_t qbrCases = 250;
     std::size_t cnfCases = 250;
+    /** analysis-on vs analysis-off differential cases. */
+    std::size_t analysisCases = 250;
     /** Worker threads; results and reproducers are byte-identical
      *  for any value (each case derives its RNG from its index). */
     unsigned jobs = 1;
     CnfKnobs cnf;
     circuits::RandomQbrOptions qbr = binaryHeavyQbrOptions();
+    /** Program shape for the analysis differential lane. */
+    circuits::RandomQbrOptions analysisQbr = linearHeavyQbrOptions();
     /** CNFs with at most this many variables are also settled by
      *  brute-force enumeration (2^n assignments - keep it small). */
     sat::Var bruteForceMaxVars = 12;
@@ -120,7 +147,7 @@ struct FuzzOptions
 };
 
 /** Which generator produced a case. */
-enum class CaseKind { Qbr, Cnf };
+enum class CaseKind { Qbr, Cnf, Analysis };
 
 const char *caseKindName(CaseKind kind);
 
@@ -142,6 +169,7 @@ struct FuzzReport
 {
     std::size_t qbrCases = 0;
     std::size_t cnfCases = 0;
+    std::size_t analysisCases = 0;
     /** Order-independent FNV-1a fold over every generated artifact's
      *  bytes: equal digests mean byte-identical corpora, which is
      *  how the --jobs determinism tests compare runs. */

@@ -2,15 +2,18 @@
  * @file
  * Tests for the static analysis subsystem (src/analysis/):
  *
- *  - unit tests for the three dischargers (support, mirror,
+ *  - unit tests for the dataflow engine and its three lattice domains
+ *    (GF(2)-affine, constants, backward liveness), gate by gate;
+ *  - unit tests for the four dischargers (support, mirror, affine,
  *    permutation), including near-miss circuits that must NOT
  *    discharge;
  *  - soundness cross-checks: verdicts with analysis enabled must be
  *    identical to SAT-only verdicts, on hand-built circuits and on
- *    randomly generated programs;
+ *    randomly generated programs up to width 64;
  *  - golden-diagnostic tests for the lint driver, asserting exact
  *    line/column/rule/severity;
- *  - the serving-tier options fingerprint covering analysis knobs.
+ *  - the serving-tier options fingerprint covering every
+ *    AnalysisOptions field (with a compile-time size witness).
  */
 
 #include <gtest/gtest.h>
@@ -18,6 +21,7 @@
 #include <stdexcept>
 
 #include "analysis/analyzer.h"
+#include "analysis/dataflow.h"
 #include "analysis/lint.h"
 #include "analysis/mirror.h"
 #include "analysis/permutation.h"
@@ -90,6 +94,244 @@ TEST(Support, DischargesZeroOnlyWhenNeverWritten)
     c.append(Gate::cnot(0, 1));
     EXPECT_TRUE(supportDischargesZero(c, 0));
     EXPECT_FALSE(supportDischargesZero(c, 1));
+}
+
+// ------------------------------------------- dataflow: affine domain
+
+TEST(AffineDataflow, XTogglesTheConstantBit)
+{
+    AffineState s(2);
+    EXPECT_TRUE(s.isIdentity(0));
+    s.applyGate(Gate::x(0));
+    EXPECT_FALSE(s.isIdentity(0));
+    EXPECT_FALSE(s.isTop(0));
+    EXPECT_FALSE(s.constantOf(0).has_value()); // q0 ^ 1, not const
+    EXPECT_TRUE(s.mayDependOn(0, 0));
+    s.applyGate(Gate::x(0));
+    EXPECT_TRUE(s.isIdentity(0)); // X is self-inverse in the domain
+}
+
+TEST(AffineDataflow, CnotXorCancelsExactly)
+{
+    AffineState s(2);
+    s.applyGate(Gate::cnot(0, 1));
+    EXPECT_TRUE(s.mayDependOn(1, 0));
+    EXPECT_TRUE(s.mayDependOn(1, 1));
+    EXPECT_FALSE(s.mayDependOn(0, 1)); // control untouched
+    // Unlike the support over-approximation, the second application
+    // CANCELS the contribution: rows are exact.
+    s.applyGate(Gate::cnot(0, 1));
+    EXPECT_TRUE(s.isIdentity(1));
+    EXPECT_FALSE(s.mayDependOn(1, 0));
+}
+
+TEST(AffineDataflow, SeededConstantControlsSimplifyToffoli)
+{
+    // Control seeded |0>: the gate provably never fires.
+    AffineState dead(3);
+    dead.seedConstant(0, false);
+    ASSERT_EQ(std::optional<bool>(false), dead.constantOf(0));
+    dead.applyGate(Gate::ccnot(0, 1, 2));
+    EXPECT_TRUE(dead.isIdentity(2));
+    EXPECT_FALSE(dead.anyTop());
+
+    // Control seeded |1>: drops out, CCNOT degenerates to CNOT.
+    AffineState one(3);
+    one.seedConstant(0, true);
+    one.applyGate(Gate::ccnot(0, 1, 2));
+    EXPECT_FALSE(one.isTop(2));
+    EXPECT_TRUE(one.mayDependOn(2, 1));
+
+    // Both controls |1>: degenerates all the way to X.
+    AffineState both(3);
+    both.seedConstant(0, true);
+    both.seedConstant(1, true);
+    both.applyGate(Gate::ccnot(0, 1, 2));
+    EXPECT_FALSE(both.isTop(2));
+    EXPECT_FALSE(both.isIdentity(2)); // q2 ^ 1
+    both.applyGate(Gate::x(2));
+    EXPECT_TRUE(both.isIdentity(2));
+}
+
+TEST(AffineDataflow, SymbolicToffoliPoisonsOnlyItsTarget)
+{
+    AffineState s(3);
+    s.applyGate(Gate::ccnot(0, 1, 2));
+    EXPECT_TRUE(s.isTop(2));
+    EXPECT_FALSE(s.isTop(0));
+    EXPECT_FALSE(s.isTop(1));
+    EXPECT_TRUE(s.anyTop());
+    EXPECT_TRUE(s.mayDependOn(2, 0)); // ⊤ answers conservatively
+
+    // ⊤ is sticky: no later linear gate can un-poison the wire...
+    s.applyGate(Gate::x(2));
+    s.applyGate(Gate::cnot(0, 2));
+    EXPECT_TRUE(s.isTop(2));
+    // ...and reading a ⊤ wire spreads ⊤ to the reader's target.
+    s.applyGate(Gate::cnot(2, 0));
+    EXPECT_TRUE(s.isTop(0));
+}
+
+TEST(AffineDataflow, McxFollowsTheSameControlRules)
+{
+    AffineState s(4);
+    s.seedConstant(0, true);
+    s.seedConstant(1, true);
+    // Two constant-1 controls drop; one symbolic control remains:
+    // the 3-control MCX is provably just CNOT[2, 3].
+    s.applyGate(Gate::mcx({0, 1, 2}, 3));
+    EXPECT_FALSE(s.isTop(3));
+    EXPECT_TRUE(s.mayDependOn(3, 2));
+    EXPECT_TRUE(s.mayDependOn(3, 3));
+}
+
+TEST(AffineDataflow, SwapExchangesDescriptions)
+{
+    AffineState s(2);
+    s.applyGate(Gate::x(0)); // wire 0 holds q0 ^ 1
+    s.applyGate(Gate::swap(0, 1));
+    EXPECT_TRUE(s.mayDependOn(1, 0));
+    EXPECT_FALSE(s.mayDependOn(1, 1)); // wire 1 now holds q0 ^ 1
+    EXPECT_TRUE(s.mayDependOn(0, 1));  // wire 0 now holds q1
+    EXPECT_FALSE(s.isIdentity(0));
+    s.applyGate(Gate::swap(0, 1));
+    s.applyGate(Gate::x(0));
+    EXPECT_TRUE(s.isIdentity(0));
+    EXPECT_TRUE(s.isIdentity(1));
+}
+
+TEST(AffineDataflow, NonClassicalGatePoisonsEverything)
+{
+    AffineState s(2);
+    s.applyGate(Gate::h(0));
+    EXPECT_TRUE(s.isTop(0));
+    EXPECT_TRUE(s.isTop(1));
+}
+
+TEST(AffineDataflow, JoinKeepsAgreementAndTopsDisagreement)
+{
+    AffineState a(2), b(2);
+    a.applyGate(Gate::x(0));
+    b.applyGate(Gate::x(0));
+    AffineState same = a;
+    same.join(b);
+    EXPECT_TRUE(same == a); // equal descriptions survive the join
+
+    b.applyGate(Gate::x(1)); // now wire 1 differs between a and b
+    a.join(b);
+    EXPECT_FALSE(a.isTop(0)); // still q0 ^ 1 on both sides
+    EXPECT_TRUE(a.isTop(1));
+}
+
+TEST(AffineDataflow, HashTracksStateEquality)
+{
+    Circuit cancel(3);
+    cancel.append(Gate::cnot(0, 1));
+    cancel.append(Gate::cnot(0, 1));
+    const AffineState round =
+        runForward<AffineDomain>(cancel, AffineState(3));
+    const AffineState fresh(3);
+    EXPECT_TRUE(round == fresh);
+    EXPECT_EQ(fresh.hash(), round.hash());
+
+    AffineState half(3);
+    half.applyGate(Gate::cnot(0, 1));
+    EXPECT_FALSE(half == fresh);
+    EXPECT_NE(fresh.hash(), half.hash());
+}
+
+// ---------------------------------------- dataflow: constants domain
+
+TEST(ConstantDataflow, CancellationRederivesConstants)
+{
+    // alloc c; CNOT[w, c]; CNOT[c, w]: w ^= c == w ^ w cancels, so w
+    // is provably |0> - the fact plain constant folding cannot see
+    // (c is symbolic in between).
+    ConstantState s(2); // 0 = w, 1 = c
+    s.setKnown(1, false);
+    s.applyGate(Gate::cnot(0, 1));
+    EXPECT_FALSE(s.value(1).has_value()); // c = w, not constant
+    s.applyGate(Gate::cnot(1, 0));
+    ASSERT_TRUE(s.value(0).has_value());
+    EXPECT_FALSE(*s.value(0)); // w is provably |0> again
+}
+
+// ----------------------------------------- dataflow: liveness domain
+
+TEST(LivenessDataflow, ControlsOfLiveTargetsBecomeLive)
+{
+    LivenessState s(3);
+    s.setLive(1);
+    s.applyGateBackward(Gate::cnot(0, 1));
+    EXPECT_TRUE(s.isLive(0)); // control feeds the live target
+    EXPECT_TRUE(s.isLive(1)); // t ^= c reads the old t: stays live
+    EXPECT_FALSE(s.isLive(2));
+
+    // A dead target leaves its controls dead.
+    LivenessState dead(3);
+    dead.setLive(2);
+    dead.applyGateBackward(Gate::cnot(0, 1));
+    EXPECT_FALSE(dead.isLive(0));
+    EXPECT_FALSE(dead.isLive(1));
+}
+
+TEST(LivenessDataflow, SwapMovesLivenessExactly)
+{
+    LivenessState s(2);
+    s.setLive(1);
+    s.applyGateBackward(Gate::swap(0, 1));
+    EXPECT_TRUE(s.isLive(0));
+    EXPECT_FALSE(s.isLive(1)); // the only "kill" reversibility admits
+}
+
+TEST(LivenessDataflow, NonClassicalGateReadsAllOperands)
+{
+    LivenessState s(2);
+    s.applyGateBackward(Gate::h(0));
+    EXPECT_TRUE(s.isLive(0));
+    EXPECT_FALSE(s.isLive(1));
+}
+
+// --------------------------------------------- dataflow: the engine
+
+TEST(DataflowEngine, ForwardTraceKeepsEveryBoundary)
+{
+    Circuit c(2);
+    c.append(Gate::x(0));
+    c.append(Gate::cnot(0, 1));
+    const auto trace = forwardTrace<AffineDomain>(c, AffineState(2));
+    ASSERT_EQ(3u, trace.size());
+    EXPECT_TRUE(trace[0].isIdentity(0));  // before gate 0
+    EXPECT_FALSE(trace[1].isIdentity(0)); // after X
+    EXPECT_TRUE(trace[1].isIdentity(1));
+    EXPECT_TRUE(trace[2].mayDependOn(1, 0));
+    EXPECT_TRUE(runForward<AffineDomain>(c, AffineState(2)) ==
+                trace.back());
+}
+
+TEST(DataflowEngine, BackwardTraceSeedsAtTheFinalBoundary)
+{
+    Circuit c(2);
+    c.append(Gate::cnot(0, 1));
+    LivenessState boundary(2);
+    boundary.setLive(1);
+    const auto trace = backwardTrace<LivenessDomain>(c, boundary);
+    ASSERT_EQ(2u, trace.size());
+    EXPECT_TRUE(trace[1].isLive(1)); // the seed itself
+    EXPECT_FALSE(trace[1].isLive(0));
+    EXPECT_TRUE(trace[0].isLive(0)); // before the gate: control live
+}
+
+TEST(DataflowEngine, WritesWireSeesTargetsAndSwapOperands)
+{
+    Circuit c(3);
+    c.append(Gate::cnot(0, 1));
+    EXPECT_FALSE(writesWire(c, 0)); // control only: never written
+    EXPECT_TRUE(writesWire(c, 1));
+    EXPECT_FALSE(writesWire(c, 2));
+    c.append(Gate::swap(0, 2));
+    EXPECT_TRUE(writesWire(c, 0));
+    EXPECT_TRUE(writesWire(c, 2));
 }
 
 // ------------------------------------------------------------- mirror
@@ -269,6 +511,110 @@ TEST(Analyzer, NonClassicalCircuitDischargesNothing)
     EXPECT_EQ(Pass::None, f.plusDischargedBy);
 }
 
+// ----------------------------------------------------- affine pass
+
+TEST(AffinePass, ExactRowsBeatTheSupportApproximation)
+{
+    // CNOT[0,1]; CNOT[0,1]: wire 1 provably forgets input 0.  The
+    // support sets cannot see the cancellation - supportDischargesPlus
+    // stays false - but the affine rows are exact and discharge (6.2).
+    Circuit c(2);
+    c.append(Gate::cnot(0, 1));
+    c.append(Gate::cnot(0, 1));
+    EXPECT_FALSE(supportDischargesPlus(c, 0));
+    Analyzer analyzer(c, AnalysisOptions{});
+    const AffineFacts f = analyzer.affineFacts(0);
+    EXPECT_TRUE(f.zeroUnsat);
+    EXPECT_TRUE(f.plusUnsat);
+}
+
+TEST(AffinePass, LeakingWireKeepsPlusUndischarged)
+{
+    // Wire 0 is restored (identity) but wire 1 genuinely depends on
+    // it: (6.1) discharges, (6.2) must NOT.
+    Circuit c(2);
+    c.append(Gate::cnot(0, 1));
+    Analyzer analyzer(c, AnalysisOptions{});
+    const AffineFacts f = analyzer.affineFacts(0);
+    EXPECT_TRUE(f.zeroUnsat);
+    EXPECT_FALSE(f.plusUnsat);
+    // And the skipped proof was genuinely needed: SAT says Unsafe.
+    EXPECT_EQ(core::Verdict::Unsafe, core::verifyQubit(c, 0).verdict);
+}
+
+TEST(AffinePass, NearMissNonlinearRestorationDoesNotDischarge)
+{
+    // CCNOT; CCNOT restores wire 2 on every input, but the
+    // restoration is nonlinear: the affine domain holds wire 2 at ⊤
+    // and must NOT claim (6.1) - that discharge belongs to other
+    // passes (here the SAT run settles it; the qubit is Safe).  The
+    // plus side is different: (6.2) asks about the OTHER wires, whose
+    // rows are exactly identity, so it discharges regardless of the
+    // target's ⊤.
+    Circuit c(3);
+    c.append(Gate::ccnot(0, 1, 2));
+    c.append(Gate::ccnot(0, 1, 2));
+    Analyzer analyzer(c, AnalysisOptions{});
+    const AffineFacts f2 = analyzer.affineFacts(2);
+    EXPECT_FALSE(f2.zeroUnsat);
+    EXPECT_TRUE(f2.plusUnsat);
+    EXPECT_EQ(core::Verdict::Safe, core::verifyQubit(c, 2).verdict);
+
+    // For the untouched controls the roles flip: (6.1) discharges
+    // (identity row), but wire 2's ⊤ row MAY depend on them, so
+    // (6.2) must stay undischarged.
+    const AffineFacts f0 = analyzer.affineFacts(0);
+    EXPECT_TRUE(f0.zeroUnsat);
+    EXPECT_FALSE(f0.plusUnsat);
+}
+
+TEST(AffinePass, OffOptionAndNonClassicalCircuitsClaimNothing)
+{
+    Circuit linear(2);
+    linear.append(Gate::cnot(0, 1));
+    linear.append(Gate::cnot(0, 1));
+    AnalysisOptions off;
+    off.affine = false;
+    Analyzer disabled(linear, off);
+    const AffineFacts f = disabled.affineFacts(0);
+    EXPECT_FALSE(f.zeroUnsat);
+    EXPECT_FALSE(f.plusUnsat);
+
+    Circuit quantum(2);
+    quantum.append(Gate::h(0));
+    quantum.append(Gate::cnot(0, 1));
+    Analyzer nonclassical(quantum, AnalysisOptions{});
+    const AffineFacts g = nonclassical.affineFacts(1);
+    EXPECT_FALSE(g.zeroUnsat);
+    EXPECT_FALSE(g.plusUnsat);
+}
+
+TEST(AffinePass, DischargesWideLinearConeBeyondPermutationWindow)
+{
+    // The acceptance circuit: a 65-wire cone the permutation pass
+    // must refuse (TooWide) and the mirror pass cannot match (the
+    // unfold is rotated), proved restored by the affine sweep with no
+    // window bound at all.
+    const auto prog = lang::elaborateSource(
+        circuits::wideLinearMirrorQbrSource(64));
+    const auto verify =
+        prog.qubitsWithRole(lang::QubitRole::BorrowVerify);
+    ASSERT_EQ(1u, verify.size());
+    const ir::QubitId w = verify[0];
+    const auto &info = prog.qubits[w];
+    const Circuit scope =
+        prog.circuit.slice(info.scopeBegin, info.scopeEnd);
+    EXPECT_EQ(65u, scope.numQubits());
+    EXPECT_EQ(PermutationVerdict::TooWide,
+              permutationCheck(scope, w, kDefaultPermutationWindow));
+    EXPECT_EQ(0u, mirrorPrefix(scope));
+
+    Analyzer analyzer(scope, AnalysisOptions{});
+    const AffineFacts f = analyzer.affineFacts(w);
+    EXPECT_TRUE(f.zeroUnsat);
+    EXPECT_TRUE(f.plusUnsat);
+}
+
 // ------------------------------------------- engine discharge wiring
 
 /**
@@ -335,6 +681,7 @@ TEST(EngineAnalysis, TotalsAndReportJsonCarryDischarges)
     EXPECT_EQ(result.analysisTotals.discharged,
               result.analysisTotals.support +
                   result.analysisTotals.mirror +
+                  result.analysisTotals.affine +
                   result.analysisTotals.permutation);
     const std::string json = core::toJson(result, "mirror.qbr");
     EXPECT_NE(std::string::npos, json.find("\"analysis\":"));
@@ -357,6 +704,116 @@ TEST(EngineAnalysis, MirrorMcxGeneratorDischargesAtAnyScale)
     }
     EXPECT_THROW(circuits::mirrorMcxQbrSource(2),
                  std::invalid_argument);
+}
+
+TEST(EngineAnalysis, WideLinearMirrorDischargesByAffineWithZeroSatWork)
+{
+    // The PR's acceptance property: a >= 64-wire linear mirror whose
+    // cone exceeds the permutation window is discharged entirely by
+    // the affine pass - both conditions, before any formula is built
+    // - and the SAT-only twin reaches the bit-identical verdict
+    // through structural folding, also with zero SAT work.
+    const auto prog = lang::elaborateSource(
+        circuits::wideLinearMirrorQbrSource(64));
+    for (const unsigned jobs : {1u, 4u}) {
+        core::EngineOptions with;
+        with.jobs = jobs;
+        core::EngineOptions without;
+        without.jobs = jobs;
+        without.analysis = AnalysisOptions::none();
+        const auto r_on = core::verifyAll(prog, with);
+        const auto r_off = core::verifyAll(prog, without);
+
+        ASSERT_EQ(1u, r_on.qubits.size()) << "jobs=" << jobs;
+        ASSERT_EQ(1u, r_off.qubits.size()) << "jobs=" << jobs;
+        EXPECT_EQ(core::Verdict::Safe, r_on.qubits[0].verdict);
+        EXPECT_EQ(r_off.qubits[0].verdict, r_on.qubits[0].verdict);
+        EXPECT_EQ(r_off.qubits[0].failed, r_on.qubits[0].failed);
+
+        // Analysis on: both conditions credited to the affine pass...
+        EXPECT_EQ(2, r_on.analysisTotals.affine) << "jobs=" << jobs;
+        EXPECT_EQ(2, r_on.analysisTotals.discharged);
+        EXPECT_FALSE(r_on.qubits[0].solvedStructurally);
+        // ...with zero SAT work on either side.
+        for (const auto *r : {&r_on.qubits[0], &r_off.qubits[0]}) {
+            EXPECT_EQ(0u, r->cnfVars) << "jobs=" << jobs;
+            EXPECT_EQ(0u, r->cnfClauses);
+            EXPECT_EQ(0, r->conflicts);
+        }
+        // Analysis off: the arena's GF(2) folding settles both
+        // conditions structurally; nothing is (or could be) credited.
+        EXPECT_EQ(0, r_off.analysisTotals.discharged);
+        EXPECT_TRUE(r_off.qubits[0].solvedStructurally);
+    }
+    EXPECT_THROW(circuits::wideLinearMirrorQbrSource(3),
+                 std::invalid_argument);
+}
+
+TEST(EngineAnalysis, Width64RandomLinearProgramsAgreeWithSatOnly)
+{
+    // The width-64 slice of the analyzer-vs-SAT property: purely
+    // linear random programs over 64 wires plus one borrowed wire,
+    // where the affine pass (not the window-bounded permutation pass)
+    // is the discharger that can fire.  Verdict and failed condition
+    // must match the SAT-only twin on every qubit, and across the
+    // seeds the affine pass must actually have fired.
+    std::int64_t affine_total = 0;
+    for (const std::uint64_t seed : {11u, 12u, 13u, 14u, 15u, 16u}) {
+        Rng rng(seed);
+        // Random GF(2)-linear program over 64 input wires that folds
+        // a random subset of them into the borrowed wire; even seeds
+        // replay the folds (XOR is order-free) so the borrow
+        // restores, odd seeds leave it dirty.
+        std::string src = "borrow@ q[64];\nborrow w;\n";
+        std::vector<std::string> folds;
+        folds.push_back("CNOT[q[1], w];\n"); // w is always written
+        for (int i = 0; i < 30; ++i) {
+            const auto a = static_cast<unsigned>(
+                1 + rng.nextBelow(64));
+            auto b = static_cast<unsigned>(1 + rng.nextBelow(64));
+            while (b == a)
+                b = static_cast<unsigned>(1 + rng.nextBelow(64));
+            switch (rng.nextBelow(3)) {
+              case 0:
+                src += format("X[q[%u]];\n", a);
+                break;
+              case 1:
+                src += format("CNOT[q[%u], q[%u]];\n", a, b);
+                break;
+              default:
+                folds.push_back(format("CNOT[q[%u], w];\n", a));
+                break;
+            }
+        }
+        for (const std::string &fold : folds)
+            src += fold;
+        if (seed % 2 == 0)
+            for (const std::string &fold : folds)
+                src += fold;
+        src += "release w;\n";
+        const auto prog = lang::elaborateSource(src);
+
+        core::EngineOptions with;
+        core::EngineOptions without;
+        without.analysis = AnalysisOptions::none();
+        const auto r_on = core::verifyAll(prog, with);
+        const auto r_off = core::verifyAll(prog, without);
+
+        ASSERT_EQ(r_off.qubits.size(), r_on.qubits.size());
+        for (std::size_t i = 0; i < r_on.qubits.size(); ++i) {
+            EXPECT_EQ(r_off.qubits[i].verdict, r_on.qubits[i].verdict)
+                << "seed " << seed << "\n"
+                << src;
+            EXPECT_EQ(r_off.qubits[i].failed, r_on.qubits[i].failed)
+                << "seed " << seed << "\n"
+                << src;
+        }
+        affine_total += r_on.analysisTotals.affine;
+        EXPECT_EQ(0, r_off.analysisTotals.discharged);
+    }
+    // w is only ever a fold TARGET, so (6.2) is affine-dischargeable
+    // in every seed; the even (restoring) seeds discharge (6.1) too.
+    EXPECT_GE(affine_total, 6);
 }
 
 TEST(EngineAnalysis, RandomProgramsVerdictsAgreeWithSatOnly)
@@ -451,7 +908,7 @@ TEST(Lint, SkipMarkedBorrowDowngradesToWarning)
     EXPECT_FALSE(r.hasErrors());
 }
 
-TEST(Lint, UnusedBorrowDeadGateAndReadBeforeInit)
+TEST(Lint, UnusedBorrowRedundantBlockAndConstantControl)
 {
     const LintResult r = lintSource("borrow w;\n"
                                     "borrow unused;\n"
@@ -461,22 +918,104 @@ TEST(Lint, UnusedBorrowDeadGateAndReadBeforeInit)
                                     "release w;\n");
     ASSERT_TRUE(r.elaborated);
     ASSERT_EQ(3u, r.diagnostics.size());
-    // Sorted by source position.
+    // Sorted by source position (stable at equal positions).
     EXPECT_EQ("unused-borrow", r.diagnostics[0].rule);
     EXPECT_EQ(2, r.diagnostics[0].loc.line);
     EXPECT_EQ(8, r.diagnostics[0].loc.column);
 
-    EXPECT_EQ("dead-gate", r.diagnostics[1].rule);
+    // The affine boundary scan proves the two CNOTs compose to the
+    // identity map on every input: one diagnostic for the block,
+    // anchored at its first gate and naming its last.
+    EXPECT_EQ("redundant-gate", r.diagnostics[1].rule);
     EXPECT_EQ(4, r.diagnostics[1].loc.line);
     EXPECT_EQ(1, r.diagnostics[1].loc.column);
     EXPECT_NE(std::string::npos,
               r.diagnostics[1].message.find("5:1"));
+    EXPECT_NE(std::string::npos,
+              r.diagnostics[1].message.find("2-gate block"));
 
-    EXPECT_EQ("read-before-init", r.diagnostics[2].rule);
+    // The constants domain knows alloc c starts |0>: the CNOT's
+    // control can never fire.  Latched per wire - one diagnostic at
+    // the first offending gate, not one per gate.
+    EXPECT_EQ("control-always-constant", r.diagnostics[2].rule);
     EXPECT_EQ(4, r.diagnostics[2].loc.line);
+    EXPECT_EQ(1, r.diagnostics[2].loc.column);
+    EXPECT_NE(std::string::npos,
+              r.diagnostics[2].message.find("never fires"));
     for (const Diagnostic &d : r.diagnostics)
         EXPECT_EQ(Severity::Warning, d.severity);
     EXPECT_FALSE(r.hasErrors());
+}
+
+TEST(Lint, QubitNeverReadFlagsWriteOnlyAlloc)
+{
+    // scratch only ever ABSORBS parity; no control, gate, or escaping
+    // wire observes its value, so the alloc (and every gate into it)
+    // is dead weight.  The borrowed wire itself restores, so this is
+    // the only diagnostic.
+    const LintResult r = lintSource("borrow w;\n"
+                                    "alloc scratch;\n"
+                                    "X[w];\n"
+                                    "CNOT[w, scratch];\n"
+                                    "X[w];\n"
+                                    "release w;\n");
+    ASSERT_TRUE(r.elaborated);
+    const Diagnostic &d = only(r);
+    EXPECT_EQ("qubit-never-read", d.rule);
+    EXPECT_EQ(Severity::Warning, d.severity);
+    EXPECT_EQ(2, d.loc.line);
+    EXPECT_EQ(7, d.loc.column); // the 'scratch' of "alloc scratch"
+    EXPECT_NE(std::string::npos, d.message.find("never read"));
+}
+
+TEST(Lint, DerivedConstantControlAndNotRestoredViaAlloc)
+{
+    // After CNOT[w,c]; CNOT[c,w] the borrowed wire is provably |0> -
+    // a constant DERIVED by linear cancellation, not declared - so
+    // the third gate's control never fires.  And w's final value is
+    // c's initial value: the permutation pass (cone {w, c}, well
+    // within the window) proves it not restored.
+    const LintResult r = lintSource("borrow w;\n"
+                                    "alloc c;\n"
+                                    "CNOT[w, c];\n"
+                                    "CNOT[c, w];\n"
+                                    "CNOT[w, c];\n"
+                                    "release w;\n");
+    ASSERT_TRUE(r.elaborated);
+    ASSERT_EQ(2u, r.diagnostics.size());
+    EXPECT_EQ("borrow-not-restored", r.diagnostics[0].rule);
+    EXPECT_EQ(Severity::Error, r.diagnostics[0].severity);
+    EXPECT_EQ(1, r.diagnostics[0].loc.line);
+    EXPECT_EQ(8, r.diagnostics[0].loc.column);
+
+    EXPECT_EQ("control-always-constant", r.diagnostics[1].rule);
+    EXPECT_EQ(Severity::Warning, r.diagnostics[1].severity);
+    EXPECT_EQ(5, r.diagnostics[1].loc.line);
+    EXPECT_EQ(1, r.diagnostics[1].loc.column);
+    EXPECT_NE(std::string::npos,
+              r.diagnostics[1].message.find("never fires"));
+    EXPECT_TRUE(r.hasErrors());
+}
+
+TEST(Lint, NotRestoredProvedByAffineBeyondPermutationWindow)
+{
+    // Thirteen wires in the cone: the permutation pass answers
+    // TooWide at its default window of 10, and before the affine
+    // fallback this genuinely unrestored borrow went UNREPORTED.  The
+    // affine sweep has no window: w ends at w ^ q1 ^ ... ^ q12 ^ 1,
+    // provably not identity.
+    const LintResult r = lintSource(
+        "borrow q[12];\n"
+        "borrow w;\n"
+        "for i = 1 to 12 { CNOT[q[i], w]; }\n"
+        "X[w];\n"
+        "release w;\n");
+    ASSERT_TRUE(r.elaborated);
+    const Diagnostic &d = only(r);
+    EXPECT_EQ("borrow-not-restored", d.rule);
+    EXPECT_EQ(Severity::Error, d.severity);
+    EXPECT_EQ(2, d.loc.line);
+    EXPECT_EQ(8, d.loc.column); // the 'w' of "borrow w"
 }
 
 TEST(Lint, PathDivergentReleaseSurvivesElaborationFailure)
@@ -499,18 +1038,30 @@ TEST(Lint, PathDivergentReleaseSurvivesElaborationFailure)
 
 TEST(Lint, CleanProgramHasNoDiagnosticsAndExactMetrics)
 {
-    const LintResult r = lintSource("borrow w;\n"
-                                    "alloc t;\n"
+    // Clean under ALL five rules: u = a AND b is read by the CNOTs
+    // (not qubit-never-read), never provably constant at a control,
+    // the X-sandwich restores w on every input without depending on
+    // the alloc wire (not borrow-not-restored), no block composes to
+    // the identity on all inputs, and every borrow is touched.
+    const LintResult r = lintSource("borrow a;\n"
+                                    "borrow b;\n"
+                                    "borrow w;\n"
+                                    "alloc u;\n"
+                                    "CCNOT[a, b, u];\n"
+                                    "CNOT[u, w];\n"
                                     "X[w];\n"
-                                    "CNOT[w, t];\n"
+                                    "CNOT[u, w];\n"
                                     "X[w];\n"
                                     "release w;\n");
     ASSERT_TRUE(r.elaborated);
     EXPECT_TRUE(r.diagnostics.empty());
-    EXPECT_EQ(3u, r.metrics.gateCount);
-    EXPECT_EQ(2u, r.metrics.qubits);
-    EXPECT_EQ(3u, r.metrics.depth);
-    EXPECT_EQ(1u, r.metrics.borrowPressure);
+    for (const Diagnostic &d : r.diagnostics)
+        ADD_FAILURE() << d.rule << " at " << d.loc.line << ":"
+                      << d.loc.column << ": " << d.message;
+    EXPECT_EQ(5u, r.metrics.gateCount);
+    EXPECT_EQ(4u, r.metrics.qubits);
+    EXPECT_EQ(5u, r.metrics.depth);
+    EXPECT_EQ(3u, r.metrics.borrowPressure);
 }
 
 TEST(Lint, RenderersCarryRuleAndPosition)
@@ -542,6 +1093,55 @@ TEST(ServingFingerprint, AnalysisOptionsAreResultAffecting)
     EXPECT_NE(fp(base), fp(off));
     EXPECT_NE(fp(base), fp(narrow));
     EXPECT_EQ(fp(base), fp(core::EngineOptions{}));
+}
+
+TEST(ServingFingerprint, EveryAnalysisOptionsFieldIsResultAffecting)
+{
+    // Compile-time completeness gate: this witness mirrors
+    // AnalysisOptions field for field.  If AnalysisOptions grows (or
+    // shrinks), the sizes diverge and this static_assert names the
+    // three places to update in lockstep: the witness + flips below
+    // and the "an..." encoder in ServingTier::optionsFingerprint().
+    struct AnalysisOptionsWitness
+    {
+        bool support;
+        bool mirror;
+        bool affine;
+        bool permutation;
+        unsigned permutationWindow;
+    };
+    static_assert(sizeof(AnalysisOptionsWitness) ==
+                      sizeof(AnalysisOptions),
+                  "AnalysisOptions changed shape: update the witness, "
+                  "the per-field flips below, and "
+                  "ServingTier::optionsFingerprint()");
+
+    const auto fp = [](const core::EngineOptions &o) {
+        return serving::ServingTier::optionsFingerprint(o, false);
+    };
+    const core::EngineOptions base;
+    const auto flipped = [&fp](auto mutate) {
+        core::EngineOptions o;
+        mutate(o.analysis);
+        return fp(o);
+    };
+    const std::string support =
+        flipped([](AnalysisOptions &a) { a.support = false; });
+    const std::string mirror =
+        flipped([](AnalysisOptions &a) { a.mirror = false; });
+    const std::string affine =
+        flipped([](AnalysisOptions &a) { a.affine = false; });
+    const std::string permutation =
+        flipped([](AnalysisOptions &a) { a.permutation = false; });
+    const std::string window = flipped(
+        [](AnalysisOptions &a) { a.permutationWindow = 7; });
+    // Each single-field flip changes the key, and no two flips
+    // collide with each other.
+    const std::string keys[] = {fp(base),     support, mirror,
+                                affine,       permutation, window};
+    for (std::size_t i = 0; i < std::size(keys); ++i)
+        for (std::size_t j = i + 1; j < std::size(keys); ++j)
+            EXPECT_NE(keys[i], keys[j]) << i << " vs " << j;
 }
 
 } // namespace

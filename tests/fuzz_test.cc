@@ -5,8 +5,10 @@
  *  - determinism: the same seed yields a byte-identical corpus and
  *    identical verdict tallies no matter how many worker threads run
  *    the campaign;
- *  - a clean campaign over both case families finds zero
- *    disagreements (the acceptance property CI re-runs at scale);
+ *  - a clean campaign over all three case families (qbr lane
+ *    differential, CNF preset differential, analysis-on/off
+ *    differential) finds zero disagreements (the acceptance property
+ *    CI re-runs at scale);
  *  - the harness self-test: an INTENTIONALLY injected solver bug
  *    (one clause dropped from the differential lane) is caught,
  *    delta-debugged to a minimal reproducer, and written to disk;
@@ -35,6 +37,7 @@ smallCampaign(std::uint64_t seed)
     options.seed = seed;
     options.qbrCases = 12;
     options.cnfCases = 30;
+    options.analysisCases = 8;
     options.bruteForceMaxVars = 10;
     options.cnf.maxVars = 12;
     return options;
@@ -86,6 +89,27 @@ TEST(FuzzCampaign, CleanRunFindsNoDisagreements)
     EXPECT_GT(report.safeQubits + report.unsafeQubits, 0u);
 }
 
+TEST(FuzzCampaign, AnalysisLaneRunsCleanAndCountsQubits)
+{
+    // The analysis-on/off differential lane alone: a linear-heavy
+    // corpus where the GF(2)-affine discharger genuinely fires, so a
+    // clean run is evidence the dischargers never flip a verdict.
+    FuzzOptions options = smallCampaign(11);
+    options.qbrCases = 0;
+    options.cnfCases = 0;
+    options.analysisCases = 24;
+    options.jobs = 2;
+    const FuzzReport report = runFuzz(options);
+    EXPECT_TRUE(report.ok());
+    for (const Disagreement &d : report.disagreements)
+        ADD_FAILURE() << caseKindName(d.kind) << " case " << d.index
+                      << ": " << d.detail << "\n"
+                      << d.artifact;
+    EXPECT_EQ(24u, report.analysisCases);
+    // Every case has at least the one borrowed qubit to verify.
+    EXPECT_GE(report.safeQubits + report.unsafeQubits, 24u);
+}
+
 TEST(FuzzCampaign, InjectedBugIsCaughtShrunkAndWritten)
 {
     // The acceptance self-test: sabotage the differential lane and
@@ -96,6 +120,7 @@ TEST(FuzzCampaign, InjectedBugIsCaughtShrunkAndWritten)
     FuzzOptions options = smallCampaign(20260808);
     options.qbrCases = 0;
     options.cnfCases = 60;
+    options.analysisCases = 0;
     options.injectCnfBug = true;
     options.maxDisagreements = 2;
     options.reproducerDir = ::testing::TempDir();

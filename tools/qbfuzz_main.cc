@@ -36,6 +36,8 @@ usage(const char *argv0)
         "  --seed N               campaign seed (default 1)\n"
         "  --qbr N                random program cases (default 250)\n"
         "  --cnf N                random CNF cases (default 250)\n"
+        "  --analysis N           analysis-on/off differential "
+        "cases (default 250)\n"
         "  --jobs N               worker threads; 0 = hardware "
         "(default 1)\n"
         "  --out DIR              write shrunk reproducers here "
@@ -79,6 +81,9 @@ main(int argc, char **argv)
             else if (arg == "--cnf")
                 options.cnfCases =
                     std::strtoull(next(), nullptr, 10);
+            else if (arg == "--analysis")
+                options.analysisCases =
+                    std::strtoull(next(), nullptr, 10);
             else if (arg == "--jobs")
                 options.jobs = static_cast<unsigned>(
                     std::strtoul(next(), nullptr, 10));
@@ -119,10 +124,11 @@ main(int argc, char **argv)
         return 2;
     }
 
-    std::printf("c qbfuzz seed=%llu qbr=%zu cnf=%zu jobs=%u%s\n",
-                static_cast<unsigned long long>(options.seed),
-                options.qbrCases, options.cnfCases, options.jobs,
-                options.injectCnfBug ? " inject-cnf-bug" : "");
+    std::printf(
+        "c qbfuzz seed=%llu qbr=%zu cnf=%zu analysis=%zu jobs=%u%s\n",
+        static_cast<unsigned long long>(options.seed),
+        options.qbrCases, options.cnfCases, options.analysisCases,
+        options.jobs, options.injectCnfBug ? " inject-cnf-bug" : "");
 
     try {
         const qb::fuzz::FuzzReport report = qb::fuzz::runFuzz(options);
@@ -131,7 +137,7 @@ main(int argc, char **argv)
                         report.corpusDigest));
         std::printf("c cnf verdicts: %zu sat, %zu unsat\n",
                     report.satVerdicts, report.unsatVerdicts);
-        std::printf("c qbr qubits:   %zu safe, %zu unsafe\n",
+        std::printf("c qbr/analysis qubits: %zu safe, %zu unsafe\n",
                     report.safeQubits, report.unsafeQubits);
         for (const auto &d : report.disagreements) {
             std::printf("d %s case %zu (seed 0x%llx): %s\n",
@@ -148,7 +154,8 @@ main(int argc, char **argv)
             return 1;
         }
         std::printf("c PASS: %zu cases, no disagreements\n",
-                    options.qbrCases + options.cnfCases);
+                    options.qbrCases + options.cnfCases +
+                        options.analysisCases);
         return 0;
     } catch (const qb::FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());

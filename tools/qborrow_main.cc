@@ -79,7 +79,7 @@ usage(const char *argv0)
         "                    before local verification\n"
         "  --analysis SPEC   static condition dischargers: 'all'\n"
         "                    (default), 'off', or a comma list of\n"
-        "                    support,mirror,permutation\n"
+        "                    support,mirror,affine,permutation\n"
         "  --analysis-window N   qubit-window bound of the\n"
         "                    permutation discharger (default 10)\n"
         "  --json            emit a machine-readable JSON report\n"
@@ -216,11 +216,13 @@ analysisOptionsFor(const CliOptions &cli)
                 analysis.support = true;
             else if (pass == "mirror")
                 analysis.mirror = true;
+            else if (pass == "affine")
+                analysis.affine = true;
             else if (pass == "permutation")
                 analysis.permutation = true;
             else
                 qb::fatal("unknown analysis pass '" + pass +
-                          "' (expected support, mirror or "
+                          "' (expected support, mirror, affine or "
                           "permutation)");
             start = comma + 1;
         }
